@@ -1,0 +1,134 @@
+// Extension bench: the |V_t| != |V_r| case the paper defers ("a few
+// simple modifications ... take care of other cases").  Compares the
+// general CE mapper against the clustering pipeline (FastMap's family),
+// simulated annealing, and random assignment as the number of tasks per
+// resource grows.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <vector>
+
+#include "baselines/clustering.hpp"
+#include "baselines/local_search.hpp"
+#include "core/general_match.hpp"
+#include "graph/generators.hpp"
+#include "io/table.hpp"
+
+namespace {
+
+double random_assignment_best(const match::sim::CostEvaluator& eval,
+                              std::size_t samples, match::rng::Rng& rng) {
+  const std::size_t nt = eval.num_tasks();
+  const std::size_t nr = eval.num_resources();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<match::graph::NodeId> assign(nt);
+  for (std::size_t i = 0; i < samples; ++i) {
+    for (auto& a : assign) {
+      a = static_cast<match::graph::NodeId>(rng.below(nr));
+    }
+    best = std::min(best, eval.makespan(assign));
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using match::io::Table;
+
+  std::size_t resources = 8;
+  std::vector<std::size_t> task_counts = {16, 32, 64};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      task_counts = {16, 32};
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      task_counts = {16, 32, 64, 128};
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick|--full]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::cout << "== Extension: many-to-one mapping, " << resources
+            << " resources ==\n\n";
+  Table table({"tasks", "CE (general)", "cluster+refine", "sim. annealing",
+               "random best", "CE time (s)", "cluster time (s)"});
+
+  bool ce_competitive = true;
+  for (const std::size_t nt : task_counts) {
+    match::rng::Rng gen(40 + nt);
+    const match::graph::Tig tig(match::graph::make_clustered(
+        nt, 4, 0.6, 0.1, {1, 10}, {50, 100}, gen));
+    const match::sim::Platform plat(match::graph::ResourceGraph(
+        match::graph::make_complete(resources, {1, 5}, {10, 20}, gen)));
+    const match::sim::CostEvaluator eval(tig, plat);
+
+    match::core::GeneralMatchParams gp;
+    gp.sample_size = 2 * nt * resources;
+    match::core::GeneralMatchOptimizer ce(eval, gp);
+    match::rng::Rng r1(7);
+    const auto ce_result = ce.run(r1);
+
+    match::rng::Rng r2(7);
+    const auto cluster_result =
+        match::baselines::cluster_map_refine(eval, {}, r2);
+
+    // SA generalizes to many-to-one via single-task moves; reuse swap SA
+    // on the assignment directly is permutation-bound, so use random +
+    // hill-like SA here: draw with the clustering's budget.
+    match::rng::Rng r3(7);
+    match::baselines::SaParams sp;
+    sp.steps = 30000;
+    // simulated_annealing swaps tasks' resources; on many-to-one
+    // instances a swap is still a valid move (resources exchange), which
+    // explores assignments with the initial multiset of resources.  Seed
+    // it with the clustering result's shape by starting from random —
+    // acceptable as a baseline.
+    double sa_cost;
+    {
+      // Start from a random many-to-one assignment and anneal single-task
+      // moves inline (the library SA is permutation-focused).
+      std::vector<match::graph::NodeId> assign(nt);
+      for (auto& a : assign) {
+        a = static_cast<match::graph::NodeId>(r3.below(resources));
+      }
+      match::sim::LoadTracker tracker(eval,
+                                      match::sim::Mapping(std::move(assign)));
+      double current = tracker.makespan();
+      double best = current;
+      double temp = current * 0.1;
+      for (std::size_t step = 0; step < sp.steps; ++step) {
+        const auto t = static_cast<match::graph::NodeId>(r3.below(nt));
+        const auto r = static_cast<match::graph::NodeId>(r3.below(resources));
+        const double delta = tracker.peek_move_delta(t, r);
+        if (delta <= 0.0 || r3.uniform() < std::exp(-delta / temp)) {
+          tracker.apply_move(t, r);
+          current += delta;
+          best = std::min(best, tracker.makespan());
+        }
+        temp *= 0.9997;
+      }
+      sa_cost = best;
+    }
+
+    match::rng::Rng r4(7);
+    const double random_best = random_assignment_best(eval, 20000, r4);
+
+    table.add_row({std::to_string(nt), Table::num(ce_result.best_cost, 6),
+                   Table::num(cluster_result.best_cost, 6),
+                   Table::num(sa_cost, 6), Table::num(random_best, 6),
+                   Table::num(ce_result.elapsed_seconds, 3),
+                   Table::num(cluster_result.elapsed_seconds, 3)});
+
+    ce_competitive &= ce_result.best_cost <= random_best;
+    std::fprintf(stderr, "  tasks=%zu done\n", nt);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape-check: general CE beats random assignment at every "
+               "scale: "
+            << (ce_competitive ? "yes" : "NO") << "\n";
+  return ce_competitive ? 0 : 1;
+}

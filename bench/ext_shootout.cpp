@@ -1,0 +1,151 @@
+// Extension bench: every mapping heuristic in the library on the same
+// paper-style instances — the summary table a practitioner would want
+// before picking one.  Reports mean ET, mean mapping time, and the gap
+// to the best heuristic per size.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "baselines/clustering.hpp"
+#include "baselines/ga.hpp"
+#include "baselines/list_heuristics.hpp"
+#include "baselines/local_search.hpp"
+#include "core/island.hpp"
+#include "core/matchalgo.hpp"
+#include "io/table.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+struct Entry {
+  double et = 0.0;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using match::io::Table;
+
+  std::vector<std::size_t> sizes = {20, 30};
+  std::size_t runs = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      sizes = {15};
+      runs = 1;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      sizes = {20, 30, 40};
+      runs = 3;
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick|--full]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const std::vector<std::string> names = {
+      "MaTCH (CE)",       "island MaTCH",  "FastMap-GA", "min-min",
+      "max-min",          "sufferage",     "greedy",     "cluster+refine",
+      "hill climbing",    "sim annealing", "random(10k)"};
+
+  bool match_near_best_everywhere = true;
+  for (const std::size_t n : sizes) {
+    std::map<std::string, Entry> entries;
+    for (std::size_t run = 0; run < runs; ++run) {
+      match::rng::Rng setup(1000 + 17 * n + run);
+      match::workload::PaperParams params;
+      params.n = n;
+      const auto inst = match::workload::make_paper_instance(params, setup);
+      const auto plat = inst.make_platform();
+      const match::sim::CostEvaluator eval(inst.tig, plat);
+
+      const auto record = [&](const std::string& name, double et,
+                              double secs) {
+        entries[name].et += et;
+        entries[name].seconds += secs;
+      };
+
+      {
+        match::rng::Rng r(run + 1);
+        const auto res = match::core::MatchOptimizer(eval).run(r);
+        record(names[0], res.best_cost, res.elapsed_seconds);
+      }
+      {
+        match::rng::Rng r(run + 1);
+        const auto res = match::core::IslandMatchOptimizer(eval).run(r);
+        record(names[1], res.best_cost, res.elapsed_seconds);
+      }
+      {
+        match::baselines::GaParams gp;  // paper default
+        match::rng::Rng r(run + 1);
+        const auto res = match::baselines::GaOptimizer(eval, gp).run(r);
+        record(names[2], res.best_cost, res.elapsed_seconds);
+      }
+      {
+        using match::baselines::ListRule;
+        const auto mm =
+            match::baselines::list_schedule(eval, ListRule::kMinMin);
+        record(names[3], mm.best_cost, mm.elapsed_seconds);
+        const auto xm =
+            match::baselines::list_schedule(eval, ListRule::kMaxMin);
+        record(names[4], xm.best_cost, xm.elapsed_seconds);
+        const auto sf =
+            match::baselines::list_schedule(eval, ListRule::kSufferage);
+        record(names[5], sf.best_cost, sf.elapsed_seconds);
+      }
+      {
+        const auto res = match::baselines::greedy_constructive(eval);
+        record(names[6], res.best_cost, res.elapsed_seconds);
+      }
+      {
+        match::rng::Rng r(run + 1);
+        const auto res = match::baselines::cluster_map_refine(eval, {}, r);
+        record(names[7], res.best_cost, res.elapsed_seconds);
+      }
+      {
+        match::rng::Rng r(run + 1);
+        const auto res = match::baselines::hill_climb(eval, 30000, r);
+        record(names[8], res.best_cost, res.elapsed_seconds);
+      }
+      {
+        match::rng::Rng r(run + 1);
+        match::baselines::SaParams sp;
+        sp.steps = 30000;
+        const auto res = match::baselines::simulated_annealing(eval, sp, r);
+        record(names[9], res.best_cost, res.elapsed_seconds);
+      }
+      {
+        match::rng::Rng r(run + 1);
+        const auto res = match::baselines::random_search(eval, 10000, r);
+        record(names[10], res.best_cost, res.elapsed_seconds);
+      }
+      std::fprintf(stderr, "  n=%zu run=%zu done\n", n, run);
+    }
+
+    double best_et = std::numeric_limits<double>::infinity();
+    for (const auto& [name, e] : entries) {
+      best_et = std::min(best_et, e.et);
+    }
+
+    std::cout << "== Heuristic shootout, n = " << n << " (" << runs
+              << " instances, §5.2 family) ==\n\n";
+    Table table({"heuristic", "mean ET", "vs best", "mean MT (s)"});
+    for (const std::string& name : names) {
+      const Entry& e = entries[name];
+      table.add_row({name, Table::num(e.et / runs, 6),
+                     Table::num(e.et / best_et, 4),
+                     Table::num(e.seconds / runs, 3)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+
+    match_near_best_everywhere &= entries[names[0]].et <= best_et * 1.10;
+  }
+
+  std::cout << "shape-check: MaTCH within 10% of the best heuristic at "
+               "every size: "
+            << (match_near_best_everywhere ? "yes" : "NO") << "\n";
+  return match_near_best_everywhere ? 0 : 1;
+}

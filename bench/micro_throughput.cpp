@@ -1,0 +1,169 @@
+// Google-benchmark microbenches for the library's hot paths: cost
+// evaluation, batch evaluation (serial vs thread pool), GenPerm sampling,
+// incremental LoadTracker moves, and one full MaTCH iteration equivalent.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/genperm.hpp"
+#include "core/stochastic_matrix.hpp"
+#include "sim/evaluator.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+using match::graph::NodeId;
+
+struct BenchFixture {
+  match::workload::Instance instance;
+  match::sim::Platform platform;
+  match::sim::CostEvaluator eval;
+
+  explicit BenchFixture(std::size_t n)
+      : instance(make(n)),
+        platform(instance.make_platform()),
+        eval(instance.tig, platform) {}
+
+  static match::workload::Instance make(std::size_t n) {
+    match::rng::Rng rng(1234);
+    match::workload::PaperParams params;
+    params.n = n;
+    return match::workload::make_paper_instance(params, rng);
+  }
+};
+
+void BM_MakespanEval(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BenchFixture f(n);
+  match::rng::Rng rng(1);
+  const auto m = match::sim::Mapping::random_permutation(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.eval.makespan(m));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MakespanEval)->Arg(10)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_BatchEvalSerial(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 512;
+  BenchFixture f(n);
+  match::rng::Rng rng(2);
+  std::vector<NodeId> rows(kBatch * n);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto m = match::sim::Mapping::random_permutation(n, rng);
+    std::copy(m.assignment().begin(), m.assignment().end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(i * n));
+  }
+  std::vector<double> out(kBatch);
+  match::parallel::ForOptions opts;
+  opts.serial_cutoff = kBatch + 1;  // force serial
+  for (auto _ : state) {
+    f.eval.makespans_batch(rows, kBatch, out, opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_BatchEvalSerial)->Arg(20)->Arg(50);
+
+void BM_BatchEvalParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 512;
+  BenchFixture f(n);
+  match::rng::Rng rng(2);
+  std::vector<NodeId> rows(kBatch * n);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto m = match::sim::Mapping::random_permutation(n, rng);
+    std::copy(m.assignment().begin(), m.assignment().end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(i * n));
+  }
+  std::vector<double> out(kBatch);
+  match::parallel::ForOptions opts;
+  opts.serial_cutoff = 1;
+  opts.grain = 16;
+  for (auto _ : state) {
+    f.eval.makespans_batch(rows, kBatch, out, opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_BatchEvalParallel)->Arg(20)->Arg(50);
+
+
+void BM_BatchEvalOpenMP(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kBatch = 512;
+  BenchFixture f(n);
+  match::rng::Rng rng(2);
+  std::vector<NodeId> rows(kBatch * n);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto m = match::sim::Mapping::random_permutation(n, rng);
+    std::copy(m.assignment().begin(), m.assignment().end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(i * n));
+  }
+  std::vector<double> out(kBatch);
+  match::parallel::ForOptions opts;
+  opts.serial_cutoff = 1;
+  opts.grain = 16;
+  opts.prefer_openmp = true;
+  for (auto _ : state) {
+    f.eval.makespans_batch(rows, kBatch, out, opts);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_BatchEvalOpenMP)->Arg(20)->Arg(50);
+
+void BM_GenPermSample(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  match::core::GenPermSampler sampler(n);
+  const auto p = match::core::StochasticMatrix::uniform(n, n);
+  match::rng::Rng rng(3);
+  std::vector<NodeId> out(n);
+  for (auto _ : state) {
+    sampler.sample(p, rng, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GenPermSample)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_LoadTrackerMove(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BenchFixture f(n);
+  match::rng::Rng rng(4);
+  match::sim::LoadTracker tracker(
+      f.eval, match::sim::Mapping::random_permutation(n, rng));
+  std::size_t step = 0;
+  for (auto _ : state) {
+    const auto t = static_cast<NodeId>(step % n);
+    const auto r = static_cast<NodeId>((step * 7 + 1) % n);
+    tracker.apply_move(t, r);
+    benchmark::DoNotOptimize(tracker.loads().data());
+    ++step;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoadTrackerMove)->Arg(20)->Arg(50);
+
+void BM_FullEvalVsIncremental(benchmark::State& state) {
+  // Cost of re-evaluating from scratch, for comparison with
+  // BM_LoadTrackerMove at the same size.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  BenchFixture f(n);
+  match::rng::Rng rng(5);
+  auto m = match::sim::Mapping::random_permutation(n, rng);
+  std::size_t step = 0;
+  for (auto _ : state) {
+    m.set(static_cast<NodeId>(step % n), static_cast<NodeId>((step * 7 + 1) % n));
+    benchmark::DoNotOptimize(f.eval.makespan(m));
+    ++step;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullEvalVsIncremental)->Arg(20)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,192 @@
+#include "sweep.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <stdexcept>
+
+#include "io/run_record.hpp"
+#include "rng/splitmix64.hpp"
+#include "sim/evaluator.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match::bench {
+
+namespace {
+
+std::vector<std::size_t> parse_size_list(const char* arg) {
+  std::vector<std::size_t> sizes;
+  const char* cursor = arg;
+  while (*cursor != '\0') {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(cursor, &end, 10);
+    if (end == cursor || v == 0) {
+      throw std::invalid_argument("bad --sizes list");
+    }
+    sizes.push_back(v);
+    cursor = (*end == ',') ? end + 1 : end;
+  }
+  if (sizes.empty()) throw std::invalid_argument("empty --sizes list");
+  return sizes;
+}
+
+[[noreturn]] void usage_and_exit(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--quick | --full] [--sizes 10,20,...]"
+               " [--instances K] [--runs K] [--csv PATH]\n"
+               "  default: reduced protocol (3 instances x 3 runs);\n"
+               "  --full:  the paper's 5 instances x 5 runs;\n"
+               "  --quick: 1 instance x 1 run (smoke test).\n",
+               prog);
+  std::exit(2);
+}
+
+}  // namespace
+
+SweepProtocol SweepProtocol::from_args(int argc, char** argv) {
+  SweepProtocol p;
+  p.instances_per_size = 3;
+  p.runs_per_instance = 3;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) usage_and_exit(argv[0]);
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--quick") == 0) {
+      p.instances_per_size = 1;
+      p.runs_per_instance = 1;
+    } else if (std::strcmp(arg, "--full") == 0) {
+      p.instances_per_size = 5;
+      p.runs_per_instance = 5;
+    } else if (std::strcmp(arg, "--sizes") == 0) {
+      p.sizes = parse_size_list(next_value());
+    } else if (std::strcmp(arg, "--instances") == 0) {
+      p.instances_per_size = std::strtoul(next_value(), nullptr, 10);
+    } else if (std::strcmp(arg, "--runs") == 0) {
+      p.runs_per_instance = std::strtoul(next_value(), nullptr, 10);
+    } else if (std::strcmp(arg, "--csv") == 0) {
+      p.csv_path = next_value();
+    } else {
+      usage_and_exit(argv[0]);
+    }
+  }
+  if (p.instances_per_size == 0 || p.runs_per_instance == 0) {
+    usage_and_exit(argv[0]);
+  }
+  return p;
+}
+
+std::vector<SweepRow> run_sweep(const SweepProtocol& protocol) {
+  std::vector<SweepRow> rows;
+  rows.reserve(protocol.sizes.size());
+
+  std::ofstream csv_stream;
+  std::optional<io::RunLog> log;
+  if (!protocol.csv_path.empty()) {
+    csv_stream.open(protocol.csv_path);
+    if (!csv_stream) {
+      throw std::runtime_error("run_sweep: cannot open " + protocol.csv_path);
+    }
+    log.emplace(csv_stream);
+  }
+
+  for (const std::size_t n : protocol.sizes) {
+    SweepRow row;
+    row.n = n;
+
+    for (std::size_t inst_idx = 0; inst_idx < protocol.instances_per_size;
+         ++inst_idx) {
+      // Instance seed derives from (base, n, index) so any subset of the
+      // sweep reuses identical instances.
+      rng::SplitMix64 seeder(protocol.base_seed ^ (n * 1315423911ULL) ^
+                             inst_idx);
+      rng::Rng inst_rng(seeder.next());
+      workload::PaperParams params;
+      params.n = n;
+      // The paper varies the computation/communication ratio across its
+      // five graphs; spread comm_scale geometrically over [0.5, 2].
+      const double f = protocol.instances_per_size == 1
+                           ? 0.5
+                           : static_cast<double>(inst_idx) /
+                                 static_cast<double>(
+                                     protocol.instances_per_size - 1);
+      params.comm_scale = 0.5 * std::pow(4.0, f);
+      const workload::Instance instance =
+          workload::make_paper_instance(params, inst_rng);
+      const sim::Platform platform = instance.make_platform();
+      const sim::CostEvaluator eval(instance.tig, platform);
+
+      for (std::size_t run = 0; run < protocol.runs_per_instance; ++run) {
+        const std::uint64_t run_seed = seeder.next() ^ run;
+
+        core::MatchOptimizer matcher(eval, protocol.match_params);
+        rng::Rng match_rng(run_seed);
+        const core::MatchResult mr = matcher.run(match_rng);
+        row.et_match += mr.best_cost;
+        row.mt_match += mr.elapsed_seconds;
+
+        baselines::GaOptimizer ga(eval, protocol.ga);
+        rng::Rng ga_rng(run_seed);
+        const baselines::GaResult gr = ga.run(ga_rng);
+        row.et_ga += gr.best_cost;
+        row.mt_ga += gr.elapsed_seconds;
+
+        if (log) {
+          io::RunRecord rec;
+          rec.experiment = "sweep";
+          rec.instance = instance.name;
+          rec.n = n;
+          rec.seed = run_seed;
+
+          rec.heuristic = "match";
+          rec.cost = mr.best_cost;
+          rec.seconds = mr.elapsed_seconds;
+          rec.iterations = mr.iterations;
+          rec.evaluations = mr.iterations * matcher.effective_sample_size();
+          log->add(rec);
+
+          rec.heuristic = "fastmap-ga";
+          rec.cost = gr.best_cost;
+          rec.seconds = gr.elapsed_seconds;
+          rec.iterations = gr.generations;
+          rec.evaluations = gr.generations * protocol.ga.population;
+          log->add(rec);
+        }
+
+        ++row.samples;
+        std::fprintf(stderr,
+                     "  [n=%zu inst=%zu run=%zu] ET  MaTCH=%.0f  GA=%.0f   "
+                     "MT  MaTCH=%.2fs  GA=%.2fs\n",
+                     n, inst_idx, run, mr.best_cost, gr.best_cost,
+                     mr.elapsed_seconds, gr.elapsed_seconds);
+      }
+    }
+
+    const double k = static_cast<double>(row.samples);
+    row.et_ga /= k;
+    row.et_match /= k;
+    row.mt_ga /= k;
+    row.mt_match /= k;
+    row.et_ratio = row.et_ga / row.et_match;
+    row.mt_ratio = row.mt_match / row.mt_ga;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+const std::vector<PaperReference>& paper_reference() {
+  static const std::vector<PaperReference> kRef = {
+      {10, 16585, 3516, 4.717, 13.62, 13.47, 0.989},
+      {20, 125579, 8489, 14.793, 22.25, 58.65, 2.636},
+      {30, 307158, 13817, 23.292, 32.58, 268.32, 8.23},
+      {40, 534124, 17610, 30.33, 42.97, 883.96, 20.57},
+      {50, 921359, 23858, 38.618, 50.66, 1587.75, 31.34},
+  };
+  return kRef;
+}
+
+}  // namespace match::bench

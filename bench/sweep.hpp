@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared machinery for the paper-reproduction benches: the §5 protocol
+// runs MaTCH and FastMap-GA on the same synthetic instances over
+// |V| = 10..50, averaging over instances and independent runs.  Tables 1
+// and 2 and Figures 7-9 are different projections of this one sweep.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/ga.hpp"
+#include "core/matchalgo.hpp"
+
+namespace match::bench {
+
+/// Experimental protocol of the §5.2 sweep.
+struct SweepProtocol {
+  std::vector<std::size_t> sizes = {10, 20, 30, 40, 50};
+  /// The paper generates five graphs per setting and averages five runs.
+  std::size_t instances_per_size = 5;
+  std::size_t runs_per_instance = 5;
+  std::uint64_t base_seed = 20050404;  // IPDPS 2005 :-)
+
+  baselines::GaParams ga = baselines::GaParams::paper_default();
+  core::MatchParams match_params = {};
+
+  /// When non-empty, every individual run is appended to this CSV file
+  /// as an io::RunRecord row (for offline analysis).
+  std::string csv_path;
+
+  /// Parses --quick / --full / --sizes a,b,c / --instances k / --runs k /
+  /// --csv path.  Unknown flags abort with a usage message.  Defaults:
+  /// the reduced protocol (3 instances x 3 runs) so
+  /// `for b in bench/*; do $b; done` stays snappy; --full restores the
+  /// paper's 5 x 5.
+  static SweepProtocol from_args(int argc, char** argv);
+};
+
+/// Aggregated measurements for one problem size.
+struct SweepRow {
+  std::size_t n = 0;
+  double et_ga = 0.0;     ///< mean application execution time, FastMap-GA
+  double et_match = 0.0;  ///< mean application execution time, MaTCH
+  double mt_ga = 0.0;     ///< mean mapping (algorithm wall-clock) time, s
+  double mt_match = 0.0;
+  double et_ratio = 0.0;  ///< et_ga / et_match (paper Table 1 last row)
+  double mt_ratio = 0.0;  ///< mt_match / mt_ga (paper Table 2 last row)
+  std::size_t samples = 0;  ///< instances x runs aggregated
+};
+
+/// Runs the sweep; one row per size.  Progress notes go to stderr so
+/// stdout stays a clean table.
+std::vector<SweepRow> run_sweep(const SweepProtocol& protocol);
+
+/// Paper reference values (Tables 1 and 2) for side-by-side printing.
+struct PaperReference {
+  std::size_t n;
+  double et_ga, et_match, et_ratio;
+  double mt_ga, mt_match, mt_ratio;
+};
+const std::vector<PaperReference>& paper_reference();
+
+}  // namespace match::bench

@@ -1,0 +1,183 @@
+// Reproduces Table 3: statistical + ANOVA analysis of ET performance of
+// MaTCH, FastMap-GA 100/10000 and FastMap-GA 1000/1000, each run
+// `--runs` independent times (paper: 30) on the same instance.
+//
+// Part A follows the paper's protocol exactly (|V| = 10).  On faithful
+// reimplementations *all three* heuristics solve n = 10 to optimality on
+// every run, so the groups are identical and ANOVA correctly reports
+// F = 0 / p = 1 — the paper's F = 1547 is an artifact of its much weaker
+// GA results (see EXPERIMENTS.md).  Part B therefore repeats the
+// identical analysis at |V| = 30, where the three configurations really
+// do separate, demonstrating the statistical machinery on live data.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "baselines/ga.hpp"
+#include "core/matchalgo.hpp"
+#include "io/table.hpp"
+#include "stats/anova.hpp"
+#include "stats/nonparametric.hpp"
+#include "stats/descriptive.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+using match::io::Table;
+
+struct AnalysisOutcome {
+  std::vector<match::stats::Summary> summaries;
+  match::stats::AnovaResult anova;
+  bool match_lowest = false;
+  bool match_near_best = false;  ///< MaTCH mean within 1% of the best group
+};
+
+AnalysisOutcome run_analysis(std::size_t n, std::size_t runs,
+                             const match::baselines::GaParams& ga_weak,
+                             const match::baselines::GaParams& ga_strong) {
+  match::rng::Rng setup(911 + n);
+  match::workload::PaperParams params;
+  params.n = n;
+  const auto instance = match::workload::make_paper_instance(params, setup);
+  const auto platform = instance.make_platform();
+  const match::sim::CostEvaluator eval(instance.tig, platform);
+
+  std::vector<std::vector<double>> groups(3);
+  for (std::size_t run = 0; run < runs; ++run) {
+    match::rng::Rng r1(run * 3 + 1);
+    match::core::MatchOptimizer matcher(eval);
+    groups[0].push_back(matcher.run(r1).best_cost);
+
+    match::rng::Rng r2(run * 3 + 2);
+    groups[1].push_back(
+        match::baselines::GaOptimizer(eval, ga_weak).run(r2).best_cost);
+
+    match::rng::Rng r3(run * 3 + 3);
+    groups[2].push_back(
+        match::baselines::GaOptimizer(eval, ga_strong).run(r3).best_cost);
+    std::fprintf(stderr,
+                 "  [n=%zu] run %zu/%zu: MaTCH=%.0f GA-100/10000=%.0f "
+                 "GA-1000/1000=%.0f\n",
+                 n, run + 1, runs, groups[0].back(), groups[1].back(),
+                 groups[2].back());
+  }
+
+  AnalysisOutcome out;
+  for (const auto& g : groups) {
+    out.summaries.push_back(match::stats::summarize(g));
+  }
+  out.anova = match::stats::one_way_anova(groups);
+  out.match_lowest =
+      out.summaries[0].mean <= out.summaries[1].mean + 1e-9 &&
+      out.summaries[0].mean <= out.summaries[2].mean + 1e-9;
+  const double best_mean =
+      std::min({out.summaries[0].mean, out.summaries[1].mean,
+                out.summaries[2].mean});
+  out.match_near_best = out.summaries[0].mean <= 1.01 * best_mean;
+
+  const char* names[3] = {"MaTCH", "FastMap-GA 100/10000",
+                          "FastMap-GA 1000/1000"};
+  Table table({"Parameter", names[0], names[1], names[2]});
+  std::vector<std::string> ci_cells;
+  for (const auto& g : groups) {
+    if (g.size() >= 2) {
+      const auto ci = match::stats::mean_confidence_interval(g, 0.95);
+      ci_cells.push_back(Table::num(ci.lo, 6) + "-" + Table::num(ci.hi, 6));
+    } else {
+      ci_cells.push_back("-");
+    }
+  }
+  table.add_row({"Absolute Mean of ET", Table::num(out.summaries[0].mean, 6),
+                 Table::num(out.summaries[1].mean, 6),
+                 Table::num(out.summaries[2].mean, 6)});
+  table.add_row({"95% CI for Mean of ET", ci_cells[0], ci_cells[1],
+                 ci_cells[2]});
+  table.add_row({"Standard Deviation", Table::num(out.summaries[0].stddev, 4),
+                 Table::num(out.summaries[1].stddev, 4),
+                 Table::num(out.summaries[2].stddev, 4)});
+  table.add_row({"Median", Table::num(out.summaries[0].median, 6),
+                 Table::num(out.summaries[1].median, 6),
+                 Table::num(out.summaries[2].median, 6)});
+  table.print(std::cout);
+
+  // Nonparametric companion: ANOVA assumes normal residuals, which ET
+  // samples of randomized heuristics routinely violate; Mann-Whitney
+  // makes the pairwise story robust.
+  std::cout << "\n";
+  Table mw_table({"pairwise (Mann-Whitney, two-sided)", "p-value",
+                  "effect size P(MaTCH < other)"});
+  for (int other = 1; other <= 2; ++other) {
+    const auto mw = match::stats::mann_whitney_u(groups[0], groups[other]);
+    mw_table.add_row({std::string("MaTCH vs ") + names[other],
+                      mw.p_value < 1e-4 ? "< 0.0001" : Table::num(mw.p_value, 4),
+                      Table::num(mw.effect_size, 4)});
+  }
+  mw_table.print(std::cout);
+
+  std::cout << "\n";
+  Table anova_table({"ANOVA parameter", "Value"});
+  anova_table.add_row({"F value", Table::num(out.anova.f_value, 6)});
+  anova_table.add_row({"P value (null hypothesis)",
+                       out.anova.p_value < 1e-4
+                           ? "< 0.0001"
+                           : Table::num(out.anova.p_value, 4)});
+  anova_table.add_row({"df (between, within)",
+                       "(" + Table::num(out.anova.df_between, 3) + ", " +
+                           Table::num(out.anova.df_within, 4) + ")"});
+  anova_table.print(std::cout);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t runs = 30;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      runs = 5;
+    } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
+      runs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      runs = 30;  // the paper's count (also the default)
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--runs K]\n", argv[0]);
+      return 2;
+    }
+  }
+  if (runs < 2) runs = 2;
+
+  const auto ga_weak = match::baselines::GaParams::config_100_10000();
+  const auto ga_strong = match::baselines::GaParams::config_1000_1000();
+
+  std::cout << "== Table 3 (Part A, paper protocol): ET statistics over "
+               "|V| = 10, "
+            << runs << " independent runs ==\n"
+            << "   paper reference: MaTCH mean 3559 vs GA means 18720 / "
+               "16700; F = 1547, p < 0.0001\n\n";
+  const auto part_a = run_analysis(10, runs, ga_weak, ga_strong);
+  std::cout << "\nnote: identical (or near-identical) groups here mean all "
+               "three heuristics\n"
+               "solve n = 10 to optimality; see EXPERIMENTS.md for the "
+               "discussion.\n\n";
+
+  const std::size_t runs_b = std::min<std::size_t>(runs, 15);
+  std::cout << "== Table 3 (Part B, same analysis where heuristics "
+               "separate): |V| = 30, "
+            << runs_b << " runs ==\n\n";
+  const auto part_b = run_analysis(30, runs_b, ga_weak, ga_strong);
+
+  // At n = 10 every faithful implementation solves the instance; the
+  // honest criterion is a tie (within 1% of the best group), not a win.
+  const bool a_ok = part_a.match_near_best;
+  const bool b_ok = part_b.match_lowest && part_b.anova.p_value < 0.05;
+  std::cout << "\nshape-check: MaTCH mean within 1% of best group at n=10: "
+            << (a_ok ? "yes" : "NO") << "\n";
+  std::cout << "shape-check: at n=30 MaTCH lowest and ANOVA significant "
+               "(p < 0.05): "
+            << (b_ok ? "yes" : "NO") << "\n";
+  return (a_ok && b_ok) ? 0 : 1;
+}

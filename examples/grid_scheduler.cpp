@@ -1,0 +1,112 @@
+// Domain example: mapping onto computational grids with different
+// interconnect topologies.
+//
+// The paper assumes a fully-connected resource graph; real grids are
+// rings, meshes, stars, or irregular.  This example maps one application
+// TIG onto platforms with the same node speeds but different topologies
+// (communication cost = cheapest route), showing how topology changes
+// both the achievable makespan and the mapping MaTCH picks.
+//
+//   ./examples/grid_scheduler [n] [seed]    (n must have an integer sqrt
+//                                            for the mesh topology)
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/matchalgo.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "io/table.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+struct Topology {
+  std::string name;
+  match::graph::Graph graph;
+  match::sim::CommCostPolicy policy;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  const auto side = static_cast<std::size_t>(std::lround(std::sqrt(
+      static_cast<double>(n))));
+  if (side * side != n) {
+    std::cerr << "n must be a perfect square (mesh topology); got " << n
+              << "\n";
+    return 2;
+  }
+
+  // One application, shared by every platform.
+  match::rng::Rng rng(seed);
+  match::workload::PaperParams params;
+  params.n = n;
+  const auto app = match::workload::make_paper_instance(params, rng);
+
+  // Platforms: same processing-cost distribution, different interconnects.
+  // Per-node speeds are drawn per topology from the same range, so the
+  // comparison is about *shape*, not a fixed hardware set.
+  const match::graph::WeightRange node_w{1, 5}, link_w{10, 20};
+  std::vector<Topology> topologies;
+  topologies.push_back({"complete",
+                        match::graph::make_complete(n, node_w, link_w, rng),
+                        match::sim::CommCostPolicy::kDirectLinks});
+  topologies.push_back({"ring", match::graph::make_ring(n, node_w, link_w, rng),
+                        match::sim::CommCostPolicy::kShortestPath});
+  topologies.push_back(
+      {"mesh " + std::to_string(side) + "x" + std::to_string(side),
+       match::graph::make_mesh(side, side, false, node_w, link_w, rng),
+       match::sim::CommCostPolicy::kShortestPath});
+  topologies.push_back(
+      {"torus " + std::to_string(side) + "x" + std::to_string(side),
+       match::graph::make_mesh(side, side, true, node_w, link_w, rng),
+       match::sim::CommCostPolicy::kShortestPath});
+  topologies.push_back({"star", match::graph::make_star(n, node_w, link_w, rng),
+                        match::sim::CommCostPolicy::kShortestPath});
+  topologies.push_back(
+      {"scale-free (BA, m=2)",
+       match::graph::make_barabasi_albert(n, 2, node_w, link_w, rng),
+       match::sim::CommCostPolicy::kShortestPath});
+
+  std::cout << "application: " << app.name << " (" << n << " tasks, "
+            << app.tig.graph().num_edges() << " interactions)\n\n";
+
+  match::io::Table table({"topology", "links", "mean route cost",
+                          "MaTCH makespan", "iterations", "mapping time (s)"});
+  for (const auto& topo : topologies) {
+    const match::sim::Platform platform(
+        match::graph::ResourceGraph(topo.graph), topo.policy);
+    const match::sim::CostEvaluator eval(app.tig, platform);
+
+    match::core::MatchOptimizer matcher(eval);
+    match::rng::Rng run_rng(seed);
+    const auto result = matcher.run(run_rng);
+
+    double route_sum = 0.0;
+    for (match::graph::NodeId a = 0; a < n; ++a) {
+      for (match::graph::NodeId b = 0; b < n; ++b) {
+        route_sum += platform.comm_cost(a, b);
+      }
+    }
+    const double mean_route =
+        route_sum / static_cast<double>(n * (n - 1));
+
+    table.add_row({topo.name, std::to_string(topo.graph.num_edges()),
+                   match::io::Table::num(mean_route, 4),
+                   match::io::Table::num(result.best_cost),
+                   std::to_string(result.iterations),
+                   match::io::Table::num(result.elapsed_seconds, 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nreading: richer interconnects (complete, torus) give the "
+               "mapper cheap routes\nbetween any pair, so communication-heavy "
+               "neighbors can spread out; sparse\ntopologies (ring, star) "
+               "funnel traffic through expensive multi-hop routes and\n"
+               "the achievable makespan rises.\n";
+  return 0;
+}

@@ -1,0 +1,244 @@
+// match_cli: command-line front end for the library.
+//
+//   match_cli generate --n 20 --out /tmp/inst [--seed S] [--sparse]
+//       Generate a paper-style instance (writes <out>.tig/.res/.meta).
+//
+//   match_cli info --instance /tmp/inst
+//       Print graph statistics of an instance.
+//
+//   match_cli run --instance /tmp/inst --heuristic match|ga|greedy|hc|sa|random
+//                 [--seed S] [--out mapping.txt]
+//       Map the instance and optionally save the mapping.
+//
+//   match_cli eval --instance /tmp/inst --mapping mapping.txt
+//       Evaluate a saved mapping (per-resource breakdown).
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/clustering.hpp"
+#include "baselines/ga.hpp"
+#include "baselines/list_heuristics.hpp"
+#include "baselines/local_search.hpp"
+#include "core/island.hpp"
+#include "core/matchalgo.hpp"
+#include "graph/algorithms.hpp"
+#include "io/table.hpp"
+#include "sim/mapping_io.hpp"
+#include "sim/metrics.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+using ArgMap = std::map<std::string, std::string>;
+
+ArgMap parse_args(int argc, char** argv, int first) {
+  ArgMap args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::runtime_error("expected --flag, got '" + key + "'");
+    }
+    key = key.substr(2);
+    // Boolean flags have no value; value flags consume the next token.
+    if (key == "sparse") {
+      args[key] = "1";
+    } else {
+      if (i + 1 >= argc) throw std::runtime_error("missing value for --" + key);
+      args[key] = argv[++i];
+    }
+  }
+  return args;
+}
+
+std::string require(const ArgMap& args, const std::string& key) {
+  const auto it = args.find(key);
+  if (it == args.end()) throw std::runtime_error("missing required --" + key);
+  return it->second;
+}
+
+std::uint64_t seed_of(const ArgMap& args) {
+  const auto it = args.find("seed");
+  return it == args.end() ? 42 : std::stoull(it->second);
+}
+
+int cmd_generate(const ArgMap& args) {
+  match::workload::PaperParams params;
+  params.n = std::stoul(require(args, "n"));
+  params.complete_resources = args.find("sparse") == args.end();
+  match::rng::Rng rng(seed_of(args));
+  auto inst = match::workload::make_paper_instance(params, rng);
+  const std::string out = require(args, "out");
+  inst.name = out;
+  match::workload::save_instance(out, inst);
+  std::cout << "wrote " << out << ".tig / .res / .meta  (n = " << params.n
+            << ", " << (params.complete_resources ? "complete" : "sparse")
+            << " resource graph)\n";
+  return 0;
+}
+
+int cmd_info(const ArgMap& args) {
+  const auto inst = match::workload::load_instance(require(args, "instance"));
+  const auto print_stats = [](const char* label,
+                              const match::graph::Graph& g) {
+    const auto s = match::graph::compute_stats(g);
+    std::cout << label << ": " << s.nodes << " nodes, " << s.edges
+              << " edges\n"
+              << "  degree " << s.min_degree << "-" << s.max_degree
+              << " (mean " << match::io::Table::num(s.mean_degree, 4) << ")\n"
+              << "  node weight " << s.min_node_weight << "-"
+              << s.max_node_weight << " (mean "
+              << match::io::Table::num(s.mean_node_weight, 4) << ")\n"
+              << "  edge weight " << s.min_edge_weight << "-"
+              << s.max_edge_weight << " (mean "
+              << match::io::Table::num(s.mean_edge_weight, 4) << ")\n";
+  };
+  print_stats("task graph (TIG)", inst.tig.graph());
+  print_stats("resource graph", inst.resources.graph());
+  std::cout << "comm policy: "
+            << (inst.comm_policy == match::sim::CommCostPolicy::kDirectLinks
+                    ? "direct links"
+                    : "shortest path")
+            << "\n";
+  return 0;
+}
+
+int cmd_run(const ArgMap& args) {
+  const auto inst = match::workload::load_instance(require(args, "instance"));
+  const auto platform = inst.make_platform();
+  const match::sim::CostEvaluator eval(inst.tig, platform);
+  const std::string heuristic = require(args, "heuristic");
+  match::rng::Rng rng(seed_of(args));
+
+  match::sim::Mapping mapping;
+  double cost = 0.0, seconds = 0.0;
+  if (heuristic == "match") {
+    match::core::MatchOptimizer opt(eval);
+    const auto r = opt.run(rng);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+    std::cout << "MaTCH: " << r.iterations << " iterations, stopped on "
+              << match::core::to_string(r.stop_reason) << "\n";
+  } else if (heuristic == "ga") {
+    match::baselines::GaOptimizer opt(eval);
+    const auto r = opt.run(rng);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else if (heuristic == "greedy") {
+    const auto r = match::baselines::greedy_constructive(eval);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else if (heuristic == "hc") {
+    const auto r = match::baselines::hill_climb(eval, 100000, rng);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else if (heuristic == "sa") {
+    const auto r =
+        match::baselines::simulated_annealing(eval, {}, rng);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else if (heuristic == "random") {
+    const auto r = match::baselines::random_search(eval, 100000, rng);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else if (heuristic == "island") {
+    match::core::IslandMatchOptimizer opt(eval);
+    const auto r = opt.run(rng);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else if (heuristic == "cluster") {
+    const auto r = match::baselines::cluster_map_refine(eval, {}, rng);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else if (heuristic == "minmin" || heuristic == "maxmin" ||
+             heuristic == "sufferage") {
+    const auto rule = heuristic == "minmin"
+                          ? match::baselines::ListRule::kMinMin
+                          : heuristic == "maxmin"
+                                ? match::baselines::ListRule::kMaxMin
+                                : match::baselines::ListRule::kSufferage;
+    const auto r = match::baselines::list_schedule(eval, rule);
+    mapping = r.best_mapping;
+    cost = r.best_cost;
+    seconds = r.elapsed_seconds;
+  } else {
+    throw std::runtime_error(
+        "unknown heuristic '" + heuristic +
+        "' (match|island|ga|greedy|hc|sa|random|cluster|minmin|maxmin|"
+        "sufferage)");
+  }
+
+  std::cout << heuristic << " makespan " << cost << " in "
+            << match::io::Table::num(seconds, 3) << "s\n";
+  if (const auto it = args.find("out"); it != args.end()) {
+    match::sim::save_mapping(it->second, mapping);
+    std::cout << "mapping written to " << it->second << "\n";
+  }
+  return 0;
+}
+
+int cmd_eval(const ArgMap& args) {
+  const auto inst = match::workload::load_instance(require(args, "instance"));
+  const auto platform = inst.make_platform();
+  const match::sim::CostEvaluator eval(inst.tig, platform);
+  const auto mapping = match::sim::load_mapping(require(args, "mapping"));
+  if (mapping.num_tasks() != inst.tig.num_tasks()) {
+    throw std::runtime_error("mapping size does not match instance");
+  }
+  if (!mapping.is_valid(platform.num_resources())) {
+    throw std::runtime_error("mapping names a nonexistent resource");
+  }
+
+  const auto r = eval.evaluate(mapping);
+  match::io::Table table({"resource", "compute", "communication", "total"});
+  for (std::size_t s = 0; s < r.loads.size(); ++s) {
+    table.add_row({std::to_string(s),
+                   match::io::Table::num(r.loads[s].compute, 6),
+                   match::io::Table::num(r.loads[s].comm, 6),
+                   match::io::Table::num(r.loads[s].total(), 6)});
+  }
+  table.print(std::cout);
+  std::cout << "\nmakespan " << r.makespan << " (busiest resource r"
+            << r.busiest << ")\n";
+
+  const auto metrics = match::sim::compute_metrics(eval, mapping);
+  std::cout << "imbalance " << match::io::Table::num(metrics.imbalance, 4)
+            << ", cut fraction "
+            << match::io::Table::num(metrics.cut_fraction, 4)
+            << ", resources used " << metrics.used_resources << "/"
+            << platform.num_resources() << ", max tasks/resource "
+            << metrics.max_tasks_per_resource << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: match_cli <generate|info|run|eval> [--flags]\n";
+    return 2;
+  }
+  try {
+    const std::string command = argv[1];
+    const ArgMap args = parse_args(argc, argv, 2);
+    if (command == "generate") return cmd_generate(args);
+    if (command == "info") return cmd_info(args);
+    if (command == "run") return cmd_run(args);
+    if (command == "eval") return cmd_eval(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

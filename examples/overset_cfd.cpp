@@ -1,0 +1,109 @@
+// Domain example: the paper's motivating scenario (§2, Fig. 1).
+//
+// An overset-grid CFD decomposition — dozens of regularly-shaped grids
+// overlapping around an irregular 3-D body — becomes a task interaction
+// graph: node weight = grid points (computation), edge weight =
+// overlapping grid points (communication).  We generate such a workload
+// synthetically, map it onto a heterogeneous 16-node "computational
+// grid", and compare MaTCH against the library's other heuristics.
+//
+//   ./examples/overset_cfd [num_grids] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/ga.hpp"
+#include "baselines/local_search.hpp"
+#include "core/matchalgo.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "io/table.hpp"
+#include "workload/overset.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t num_grids =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+  // 1. Synthesize the overset-grid workload: boxes pulled toward a
+  //    central "body", overlap volume -> communication volume.
+  match::rng::Rng rng(seed);
+  match::workload::OversetParams op;
+  op.num_grids = num_grids;
+  op.body_pull = 0.55;
+  const auto workload = match::workload::make_overset_workload(op, rng);
+
+  const auto tig_stats = match::graph::compute_stats(workload.tig.graph());
+  std::cout << "overset CFD workload: " << num_grids << " grids, "
+            << tig_stats.edges << " overlaps\n"
+            << "  grid points per grid: " << tig_stats.min_node_weight << " - "
+            << tig_stats.max_node_weight << " (mean "
+            << match::io::Table::num(tig_stats.mean_node_weight, 5) << ")\n"
+            << "  computation/communication ratio: "
+            << match::io::Table::num(tig_stats.comp_comm_ratio, 4) << "\n\n";
+
+  // 2. The platform: a heterogeneous cluster with per-node speeds 1-5 and
+  //    link costs 10-20 (the paper's §5.2 resource model).
+  const match::graph::ResourceGraph resources(
+      match::graph::make_complete(num_grids, {1, 5}, {10, 20}, rng));
+  const match::sim::Platform platform(resources);
+  const match::sim::CostEvaluator eval(workload.tig, platform);
+
+  // 3. Map with every heuristic in the library.
+  match::io::Table table(
+      {"heuristic", "makespan (ET)", "mapping time (s)", "evaluations"});
+
+  match::core::MatchOptimizer matcher(eval);
+  match::rng::Rng r1(seed);
+  const auto mr = matcher.run(r1);
+  table.add_row({"MaTCH (CE)", match::io::Table::num(mr.best_cost),
+                 match::io::Table::num(mr.elapsed_seconds, 3),
+                 std::to_string(mr.iterations * matcher.effective_sample_size())});
+
+  match::baselines::GaParams gp;
+  gp.population = 200;
+  gp.generations = 300;
+  match::rng::Rng r2(seed);
+  const auto gr = match::baselines::GaOptimizer(eval, gp).run(r2);
+  table.add_row({"FastMap-GA", match::io::Table::num(gr.best_cost),
+                 match::io::Table::num(gr.elapsed_seconds, 3),
+                 std::to_string(gp.population * gp.generations)});
+
+  const auto gc = match::baselines::greedy_constructive(eval);
+  table.add_row({"greedy constructive", match::io::Table::num(gc.best_cost),
+                 match::io::Table::num(gc.elapsed_seconds, 3),
+                 std::to_string(gc.evaluations)});
+
+  match::rng::Rng r3(seed);
+  const auto hc = match::baselines::hill_climb(eval, 30000, r3);
+  table.add_row({"hill climbing", match::io::Table::num(hc.best_cost),
+                 match::io::Table::num(hc.elapsed_seconds, 3),
+                 std::to_string(hc.evaluations)});
+
+  match::rng::Rng r4(seed);
+  match::baselines::SaParams sp;
+  sp.steps = 30000;
+  const auto sa = match::baselines::simulated_annealing(eval, sp, r4);
+  table.add_row({"simulated annealing", match::io::Table::num(sa.best_cost),
+                 match::io::Table::num(sa.elapsed_seconds, 3),
+                 std::to_string(sa.evaluations)});
+
+  match::rng::Rng r5(seed);
+  const auto rs = match::baselines::random_search(eval, 30000, r5);
+  table.add_row({"random search", match::io::Table::num(rs.best_cost),
+                 match::io::Table::num(rs.elapsed_seconds, 3),
+                 std::to_string(rs.evaluations)});
+
+  table.print(std::cout);
+
+  // 4. Show where the busiest resource's time goes under MaTCH's mapping.
+  const auto breakdown = eval.evaluate(mr.best_mapping);
+  std::cout << "\nMaTCH mapping: busiest resource r" << breakdown.busiest
+            << " (compute "
+            << match::io::Table::num(
+                   breakdown.loads[breakdown.busiest].compute, 5)
+            << " + communication "
+            << match::io::Table::num(breakdown.loads[breakdown.busiest].comm, 5)
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,218 @@
+#include "baselines/clustering.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <stdexcept>
+
+namespace match::baselines {
+
+namespace {
+
+using graph::NodeId;
+
+/// One round of heavy-edge matching on an explicit weighted graph.
+/// Returns the merge partner per node (self = unmatched), visiting nodes
+/// in random order and picking each node's heaviest unmatched neighbor.
+std::vector<NodeId> heavy_edge_matching(const graph::Graph& g, rng::Rng& rng) {
+  const std::size_t n = g.num_nodes();
+  std::vector<NodeId> partner(n);
+  std::iota(partner.begin(), partner.end(), NodeId{0});
+  std::vector<char> matched(n, 0);
+
+  std::vector<std::size_t> order = rng.permutation(n);
+  for (const std::size_t u : order) {
+    if (matched[u]) continue;
+    double best_w = -1.0;
+    NodeId best_v = static_cast<NodeId>(u);
+    for (const graph::Neighbor& nb : g.neighbors(static_cast<NodeId>(u))) {
+      if (!matched[nb.id] && nb.id != u && nb.weight > best_w) {
+        best_w = nb.weight;
+        best_v = nb.id;
+      }
+    }
+    if (best_v != static_cast<NodeId>(u)) {
+      matched[u] = matched[best_v] = 1;
+      partner[u] = best_v;
+      partner[best_v] = static_cast<NodeId>(u);
+    }
+  }
+  return partner;
+}
+
+/// Contracts `g` given per-node cluster labels in [0, k).
+graph::Graph contract(const graph::Graph& g,
+                      const std::vector<NodeId>& label, std::size_t k) {
+  std::vector<double> node_w(k, 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    node_w[label[u]] += g.node_weight(u);
+  }
+  std::map<std::pair<NodeId, NodeId>, double> edge_w;
+  for (const graph::Edge& e : g.edge_list()) {
+    const NodeId a = label[e.u], b = label[e.v];
+    if (a == b) continue;
+    edge_w[{std::min(a, b), std::max(a, b)}] += e.weight;
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(edge_w.size());
+  for (const auto& [key, w] : edge_w) {
+    edges.push_back(graph::Edge{key.first, key.second, w});
+  }
+  return graph::Graph::from_edges(k, std::move(node_w), edges);
+}
+
+}  // namespace
+
+Clustering coarsen_tig(const graph::Tig& tig, std::size_t target_clusters,
+                       rng::Rng& rng) {
+  if (target_clusters == 0) {
+    throw std::invalid_argument("coarsen_tig: target_clusters == 0");
+  }
+  const std::size_t n = tig.num_tasks();
+  if (target_clusters > n) {
+    throw std::invalid_argument("coarsen_tig: target exceeds task count");
+  }
+
+  Clustering out;
+  out.cluster_of.resize(n);
+  std::iota(out.cluster_of.begin(), out.cluster_of.end(), NodeId{0});
+  graph::Graph current = tig.graph();
+
+  while (current.num_nodes() > target_clusters) {
+    const std::size_t level_n = current.num_nodes();
+    const std::size_t excess = level_n - target_clusters;
+
+    std::vector<NodeId> partner = heavy_edge_matching(current, rng);
+
+    // Build the label map for this level, honoring at most `excess`
+    // merges so we never overshoot the target.
+    std::vector<NodeId> label(level_n,
+                              std::numeric_limits<NodeId>::max());
+    NodeId next_label = 0;
+    std::size_t merges_left = excess;
+    for (NodeId u = 0; u < level_n; ++u) {
+      if (label[u] != std::numeric_limits<NodeId>::max()) continue;
+      const NodeId v = partner[u];
+      if (v != u && merges_left > 0 &&
+          label[v] == std::numeric_limits<NodeId>::max()) {
+        label[u] = label[v] = next_label++;
+        --merges_left;
+      } else {
+        label[u] = next_label++;
+      }
+    }
+
+    if (static_cast<std::size_t>(next_label) == level_n) {
+      // Matching stalled (no adjacent unmatched pairs).  Merge the two
+      // lightest clusters unconditionally to guarantee progress.
+      std::vector<NodeId> by_weight(level_n);
+      std::iota(by_weight.begin(), by_weight.end(), NodeId{0});
+      std::sort(by_weight.begin(), by_weight.end(),
+                [&](NodeId a, NodeId b) {
+                  return current.node_weight(a) < current.node_weight(b);
+                });
+      // Relabel: lightest two share a cluster, everything else compacts.
+      std::vector<NodeId> forced(level_n);
+      NodeId fresh = 0;
+      for (NodeId u = 0; u < level_n; ++u) forced[u] = fresh++;
+      forced[by_weight[1]] = forced[by_weight[0]];
+      // Compact labels to [0, level_n - 1).
+      std::vector<NodeId> remap(level_n, std::numeric_limits<NodeId>::max());
+      NodeId compacted = 0;
+      for (NodeId u = 0; u < level_n; ++u) {
+        if (remap[forced[u]] == std::numeric_limits<NodeId>::max()) {
+          remap[forced[u]] = compacted++;
+        }
+        label[u] = remap[forced[u]];
+      }
+      next_label = compacted;
+    }
+
+    // Project the level labels through to the original tasks.
+    for (NodeId task = 0; task < n; ++task) {
+      out.cluster_of[task] = label[out.cluster_of[task]];
+    }
+    current = contract(current, label, next_label);
+  }
+
+  out.num_clusters = current.num_nodes();
+  out.coarse = graph::Tig(std::move(current));
+  return out;
+}
+
+SearchResult cluster_map_refine(const sim::CostEvaluator& eval,
+                                const ClusterMapParams& params,
+                                rng::Rng& rng) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = eval.num_tasks();
+  const std::size_t m = eval.num_resources();
+  if (n < m) {
+    throw std::invalid_argument(
+        "cluster_map_refine: needs |V_t| >= |V_r|");
+  }
+
+  SearchResult out;
+
+  // 1. Coarsen to one cluster per resource.
+  const Clustering clustering = coarsen_tig(eval.tig(), m, rng);
+
+  // 2. Map the contracted instance (a square permutation problem) with a
+  //    swap hill-climb.
+  const sim::CostEvaluator coarse_eval(clustering.coarse, eval.platform());
+  const SearchResult coarse =
+      hill_climb(coarse_eval, params.coarse_budget, rng);
+  out.evaluations += coarse.evaluations;
+
+  // 3. Project: every task inherits its cluster's resource.
+  std::vector<graph::NodeId> assign(n);
+  for (graph::NodeId task = 0; task < n; ++task) {
+    assign[task] =
+        coarse.best_mapping.resource_of(clustering.cluster_of[task]);
+  }
+  sim::Mapping mapping(std::move(assign));
+
+  // 4. Refine: greedy single-task moves with incremental evaluation.
+  if (params.refine_passes > 0) {
+    sim::LoadTracker tracker(eval, mapping);
+    for (std::size_t pass = 0; pass < params.refine_passes; ++pass) {
+      bool improved = false;
+      const auto order = rng.permutation(n);
+      for (const std::size_t task : order) {
+        double best_delta = -1e-9;  // strictly improving moves only
+        graph::NodeId best_r = tracker.mapping().resource_of(
+            static_cast<graph::NodeId>(task));
+        for (graph::NodeId r = 0; r < m; ++r) {
+          if (r == tracker.mapping().resource_of(
+                       static_cast<graph::NodeId>(task))) {
+            continue;
+          }
+          const double delta =
+              tracker.peek_move_delta(static_cast<graph::NodeId>(task), r);
+          ++out.evaluations;
+          if (delta < best_delta) {
+            best_delta = delta;
+            best_r = r;
+          }
+        }
+        if (best_r !=
+            tracker.mapping().resource_of(static_cast<graph::NodeId>(task))) {
+          tracker.apply_move(static_cast<graph::NodeId>(task), best_r);
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+    mapping = tracker.mapping();
+  }
+
+  out.best_mapping = std::move(mapping);
+  out.best_cost = eval.makespan(out.best_mapping);
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return out;
+}
+
+}  // namespace baselines

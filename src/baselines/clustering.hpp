@@ -1,0 +1,54 @@
+#pragma once
+
+// Clustering-based mapping in the spirit of FastMap [16] and the
+// clustering/mapping schemes the paper cites ([2], [10], [25]): coarsen
+// the TIG by heavy-edge matching until one cluster per resource remains,
+// map the coarse graph, then refine task placement locally.  This is the
+// classic multilevel recipe (Karypis/Kumar) specialized to the
+// heterogeneous makespan objective, and it handles |V_t| >= |V_r|.
+
+#include <cstddef>
+#include <vector>
+
+#include "baselines/local_search.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/mapping.hpp"
+
+namespace match::baselines {
+
+/// Result of coarsening a TIG.
+struct Clustering {
+  /// cluster_of[task] in [0, num_clusters).
+  std::vector<graph::NodeId> cluster_of;
+  std::size_t num_clusters = 0;
+  /// The contracted TIG: node weight = summed task weights, edge weight =
+  /// summed inter-cluster communication.
+  graph::Tig coarse;
+};
+
+/// Coarsens `tig` to at most `target_clusters` clusters by repeated
+/// heavy-edge matching (heaviest-communication pairs merge first, so the
+/// hottest data exchanges become intra-cluster and cost nothing).  When
+/// matching stalls before the target, the lightest clusters merge
+/// pairwise regardless of adjacency.
+Clustering coarsen_tig(const graph::Tig& tig, std::size_t target_clusters,
+                       rng::Rng& rng);
+
+struct ClusterMapParams {
+  /// Local-refinement sweeps over all tasks after the coarse mapping is
+  /// projected back (0 disables refinement).
+  std::size_t refine_passes = 3;
+  /// Evaluation budget for the coarse-level hill climb.
+  std::size_t coarse_budget = 20000;
+};
+
+/// The full clustering pipeline: coarsen to |V_r| clusters, map clusters
+/// to resources with a swap hill-climb on the contracted instance,
+/// project, then greedily refine single-task moves with incremental
+/// (LoadTracker) evaluation.  Works for any |V_t| >= |V_r|.
+SearchResult cluster_map_refine(const sim::CostEvaluator& eval,
+                                const ClusterMapParams& params, rng::Rng& rng);
+
+}  // namespace match::baselines

@@ -1,0 +1,167 @@
+#include "baselines/ga.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <limits>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace match::baselines {
+
+void GaParams::validate() const {
+  if (population < 2) throw std::invalid_argument("GaParams: population < 2");
+  if (generations == 0) throw std::invalid_argument("GaParams: generations");
+  if (crossover_prob < 0.0 || crossover_prob > 1.0) {
+    throw std::invalid_argument("GaParams: crossover_prob");
+  }
+  if (mutation_prob < 0.0 || mutation_prob > 1.0) {
+    throw std::invalid_argument("GaParams: mutation_prob");
+  }
+}
+
+GaOptimizer::GaOptimizer(const sim::CostEvaluator& eval, GaParams params)
+    : eval_(&eval), params_(params), n_(eval.num_tasks()) {
+  params_.validate();
+  if (eval.num_resources() != n_) {
+    throw std::invalid_argument(
+        "GaOptimizer: requires |V_t| == |V_r| (permutation encoding)");
+  }
+}
+
+std::vector<graph::NodeId> GaOptimizer::crossover(
+    std::span<const graph::NodeId> parent1,
+    std::span<const graph::NodeId> parent2) {
+  const std::size_t n = parent1.size();
+  assert(parent2.size() == n);
+  std::vector<graph::NodeId> child(n);
+  std::vector<char> used(n, 0);
+
+  const std::size_t cut = n / 2;
+  for (std::size_t i = 0; i < cut; ++i) {
+    child[i] = parent1[i];
+    used[parent1[i]] = 1;
+  }
+
+  // Fill the second half from parent2's second half; on a duplicate, take
+  // the next unused gene of parent2's *first* half, in order (paper §5.1).
+  std::size_t repair_cursor = 0;
+  for (std::size_t i = cut; i < n; ++i) {
+    graph::NodeId gene = parent2[i];
+    if (used[gene]) {
+      while (repair_cursor < cut && used[parent2[repair_cursor]]) {
+        ++repair_cursor;
+      }
+      assert(repair_cursor < cut && "parent2's first half must contain a free gene");
+      gene = parent2[repair_cursor];
+    }
+    child[i] = gene;
+    used[gene] = 1;
+  }
+  return child;
+}
+
+GaResult GaOptimizer::run(rng::Rng& rng) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t pop_size = params_.population;
+  const std::size_t n = n_;
+
+  // Flat population storage: row i = chromosome i (task -> resource).
+  std::vector<graph::NodeId> pop(pop_size * n);
+  std::vector<graph::NodeId> next(pop_size * n);
+  std::vector<double> costs(pop_size);
+  std::vector<double> fitness(pop_size);
+
+  for (std::size_t i = 0; i < pop_size; ++i) {
+    const sim::Mapping m = sim::Mapping::random_permutation(n, rng);
+    std::copy(m.assignment().begin(), m.assignment().end(),
+              pop.begin() + static_cast<std::ptrdiff_t>(i * n));
+  }
+
+  parallel::ForOptions for_opts;
+  if (!params_.parallel) {
+    for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
+  }
+
+  GaResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  result.history.reserve(params_.generations);
+
+  std::vector<graph::NodeId> best_chrom(n);
+
+  for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    eval_->makespans_batch(pop, pop_size, costs, for_opts);
+
+    double gen_best = std::numeric_limits<double>::infinity();
+    std::size_t gen_best_idx = 0;
+    double mean = 0.0;
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      mean += costs[i];
+      if (costs[i] < gen_best) {
+        gen_best = costs[i];
+        gen_best_idx = i;
+      }
+    }
+    mean /= static_cast<double>(pop_size);
+
+    if (gen_best < result.best_cost) {
+      result.best_cost = gen_best;
+      std::copy(pop.begin() + static_cast<std::ptrdiff_t>(gen_best_idx * n),
+                pop.begin() + static_cast<std::ptrdiff_t>((gen_best_idx + 1) * n),
+                best_chrom.begin());
+    }
+    result.history.push_back(
+        GaGenerationStats{gen, gen_best, result.best_cost, mean});
+    result.generations = gen + 1;
+    if (gen + 1 == params_.generations) break;  // no need to breed the last
+
+    // Fitness Ψ = K / Exec; roulette-wheel probabilities are invariant to
+    // K, so K = 1.
+    double fitness_total = 0.0;
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      fitness[i] = 1.0 / costs[i];
+      fitness_total += fitness[i];
+    }
+
+    std::size_t out = 0;
+    if (params_.elitism) {
+      // Carry the best-ever individual unchanged.
+      std::copy(best_chrom.begin(), best_chrom.end(), next.begin());
+      out = 1;
+    }
+
+    const auto select = [&]() -> const graph::NodeId* {
+      const std::size_t idx = rng.weighted_pick(fitness, fitness_total);
+      return pop.data() + idx * n;
+    };
+
+    for (; out < pop_size; ++out) {
+      const graph::NodeId* p1 = select();
+      graph::NodeId* child = next.data() + out * n;
+      if (rng.bernoulli(params_.crossover_prob)) {
+        const graph::NodeId* p2 = select();
+        const auto c = crossover({p1, n}, {p2, n});
+        std::copy(c.begin(), c.end(), child);
+      } else {
+        std::copy(p1, p1 + n, child);
+      }
+      // Per-gene swap mutation keeps the chromosome a permutation.
+      for (std::size_t g = 0; g < n; ++g) {
+        if (rng.bernoulli(params_.mutation_prob)) {
+          const std::size_t other = static_cast<std::size_t>(rng.below(n));
+          std::swap(child[g], child[other]);
+        }
+      }
+    }
+    pop.swap(next);
+  }
+
+  result.best_mapping = sim::Mapping(std::move(best_chrom));
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace match::baselines

@@ -1,0 +1,199 @@
+#include "baselines/list_heuristics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace match::baselines {
+
+const char* to_string(ListRule rule) {
+  switch (rule) {
+    case ListRule::kMinMin:
+      return "min-min";
+    case ListRule::kMaxMin:
+      return "max-min";
+    case ListRule::kSufferage:
+      return "sufferage";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using graph::NodeId;
+
+/// Incremental partial-mapping state shared by the three rules: per-
+/// resource loads under the already-placed tasks, with the same
+/// both-endpoint communication accounting as eq. (1).
+class PartialState {
+ public:
+  PartialState(const sim::CostEvaluator& eval, bool exclusive)
+      : eval_(&eval),
+        n_(eval.num_tasks()),
+        m_(eval.num_resources()),
+        exclusive_(exclusive),
+        assign_(n_, 0),
+        placed_(n_, 0),
+        resource_used_(m_, 0),
+        load_(m_, 0.0) {}
+
+  bool resource_available(NodeId r) const {
+    return !exclusive_ || !resource_used_[r];
+  }
+
+  bool placed(NodeId t) const { return placed_[t] != 0; }
+
+  /// Makespan of the partial mapping if `t` were placed on `r`.
+  double completion(NodeId t, NodeId r) const {
+    const graph::Graph& tg = eval_->tig().graph();
+    const sim::Platform& plat = eval_->platform();
+
+    double new_load_r = load_[r] + tg.node_weight(t) * plat.processing_cost(r);
+    double makespan = 0.0;
+    for (const graph::Neighbor& nb : tg.neighbors(t)) {
+      if (!placed_[nb.id]) continue;
+      const NodeId b = assign_[nb.id];
+      if (b == r) continue;
+      new_load_r += nb.weight * plat.comm_cost(r, b);
+    }
+    for (NodeId s = 0; s < m_; ++s) {
+      makespan = std::max(makespan, s == r ? new_load_r : load_[s]);
+    }
+    for (const graph::Neighbor& nb : tg.neighbors(t)) {
+      if (!placed_[nb.id]) continue;
+      const NodeId b = assign_[nb.id];
+      if (b == r) continue;
+      makespan = std::max(makespan, load_[b] + nb.weight * plat.comm_cost(b, r));
+    }
+    return makespan;
+  }
+
+  void place(NodeId t, NodeId r) {
+    const graph::Graph& tg = eval_->tig().graph();
+    const sim::Platform& plat = eval_->platform();
+    assign_[t] = r;
+    placed_[t] = 1;
+    resource_used_[r] = 1;
+    load_[r] += tg.node_weight(t) * plat.processing_cost(r);
+    for (const graph::Neighbor& nb : tg.neighbors(t)) {
+      if (!placed_[nb.id]) continue;
+      const NodeId b = assign_[nb.id];
+      if (b == r) continue;
+      load_[r] += nb.weight * plat.comm_cost(r, b);
+      load_[b] += nb.weight * plat.comm_cost(b, r);
+    }
+  }
+
+  std::vector<NodeId> take_assignment() { return std::move(assign_); }
+
+  std::size_t num_tasks() const { return n_; }
+  std::size_t num_resources() const { return m_; }
+
+ private:
+  const sim::CostEvaluator* eval_;
+  std::size_t n_, m_;
+  bool exclusive_;
+  std::vector<NodeId> assign_;
+  std::vector<char> placed_;
+  std::vector<char> resource_used_;
+  std::vector<double> load_;
+};
+
+/// Best and second-best completion for a task over available resources.
+struct TaskChoice {
+  double best = std::numeric_limits<double>::infinity();
+  double second = std::numeric_limits<double>::infinity();
+  NodeId best_resource = 0;
+};
+
+TaskChoice evaluate_task(const PartialState& state, NodeId t,
+                         std::size_t* evaluations) {
+  TaskChoice choice;
+  for (NodeId r = 0; r < state.num_resources(); ++r) {
+    if (!state.resource_available(r)) continue;
+    const double c = state.completion(t, r);
+    ++*evaluations;
+    if (c < choice.best) {
+      choice.second = choice.best;
+      choice.best = c;
+      choice.best_resource = r;
+    } else if (c < choice.second) {
+      choice.second = c;
+    }
+  }
+  return choice;
+}
+
+}  // namespace
+
+SearchResult list_schedule(const sim::CostEvaluator& eval, ListRule rule) {
+  return list_schedule(eval, rule,
+                       eval.num_tasks() == eval.num_resources());
+}
+
+SearchResult list_schedule(const sim::CostEvaluator& eval, ListRule rule,
+                           bool exclusive_resources) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::size_t n = eval.num_tasks();
+  if (exclusive_resources && n > eval.num_resources()) {
+    throw std::invalid_argument(
+        "list_schedule: exclusive resources need |V_r| >= |V_t|");
+  }
+
+  SearchResult out;
+  PartialState state(eval, exclusive_resources);
+
+  for (std::size_t step = 0; step < n; ++step) {
+    NodeId chosen_task = 0;
+    NodeId chosen_resource = 0;
+    double chosen_key = rule == ListRule::kMinMin
+                            ? std::numeric_limits<double>::infinity()
+                            : -std::numeric_limits<double>::infinity();
+    bool found = false;
+
+    for (NodeId t = 0; t < n; ++t) {
+      if (state.placed(t)) continue;
+      const TaskChoice choice = evaluate_task(state, t, &out.evaluations);
+
+      double key = 0.0;
+      switch (rule) {
+        case ListRule::kMinMin:
+          key = choice.best;
+          break;
+        case ListRule::kMaxMin:
+          key = choice.best;
+          break;
+        case ListRule::kSufferage:
+          // Tasks with no alternative (one resource left) suffer
+          // maximally; infinity - anything stays infinity.
+          key = std::isinf(choice.second)
+                    ? std::numeric_limits<double>::max()
+                    : choice.second - choice.best;
+          break;
+      }
+
+      const bool better = rule == ListRule::kMinMin ? key < chosen_key
+                                                    : key > chosen_key;
+      if (!found || better) {
+        found = true;
+        chosen_key = key;
+        chosen_task = t;
+        chosen_resource = choice.best_resource;
+      }
+    }
+
+    state.place(chosen_task, chosen_resource);
+  }
+
+  out.best_mapping = sim::Mapping(state.take_assignment());
+  out.best_cost = eval.makespan(out.best_mapping);
+  out.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace match::baselines

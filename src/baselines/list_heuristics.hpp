@@ -1,0 +1,42 @@
+#pragma once
+
+// The classic list-scheduling heuristics of the paper's benchmark
+// lineage — Braun et al. [5] ("A comparison of eleven static
+// heuristics...") evaluated Min-min, Max-min and Sufferage for
+// independent tasks; the paper leans on [5] to justify the GA as the
+// strongest baseline.  We adapt the three to the TIG objective: a task's
+// completion estimate on a resource accounts for its compute cost *and*
+// the communication with already-placed neighbors (both endpoints),
+// exactly the partial cost the final eq. (1) charges.
+//
+// On square instances (|V_t| = |V_r|) resources are exclusive, yielding
+// permutation mappings comparable to MaTCH/GA; with more tasks than
+// resources they produce many-to-one mappings.
+
+#include "baselines/local_search.hpp"
+#include "sim/evaluator.hpp"
+
+namespace match::baselines {
+
+enum class ListRule {
+  /// Assign the (task, resource) pair with the globally smallest
+  /// resulting makespan first — easy tasks lock in early.
+  kMinMin,
+  /// Assign the task whose *best* placement is worst first — hard tasks
+  /// get first pick.
+  kMaxMin,
+  /// Assign the task that would suffer most from losing its best
+  /// resource (largest best-to-second-best gap) first.
+  kSufferage,
+};
+
+const char* to_string(ListRule rule);
+
+/// Runs one list heuristic.  Deterministic.  When
+/// `exclusive_resources` (default: true iff the instance is square),
+/// each resource hosts at most one task.
+SearchResult list_schedule(const sim::CostEvaluator& eval, ListRule rule);
+SearchResult list_schedule(const sim::CostEvaluator& eval, ListRule rule,
+                           bool exclusive_resources);
+
+}  // namespace match::baselines

@@ -1,0 +1,246 @@
+#include "baselines/local_search.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace match::baselines {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+SearchResult random_search(const sim::CostEvaluator& eval,
+                           std::size_t num_samples, rng::Rng& rng) {
+  if (num_samples == 0) {
+    throw std::invalid_argument("random_search: num_samples == 0");
+  }
+  const auto start = Clock::now();
+  const std::size_t n = eval.num_tasks();
+
+  SearchResult out;
+  out.best_cost = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    sim::Mapping m = sim::Mapping::random_permutation(n, rng);
+    const double c = eval.makespan(m);
+    ++out.evaluations;
+    if (c < out.best_cost) {
+      out.best_cost = c;
+      out.best_mapping = std::move(m);
+    }
+  }
+  out.elapsed_seconds = seconds_since(start);
+  return out;
+}
+
+SearchResult greedy_constructive(const sim::CostEvaluator& eval) {
+  const auto start = Clock::now();
+  const std::size_t n = eval.num_tasks();
+  if (eval.num_resources() != n) {
+    throw std::invalid_argument("greedy_constructive: needs square instance");
+  }
+
+  // Heaviest tasks first: they dominate the makespan, so they get first
+  // pick of the fast resources.
+  std::vector<graph::NodeId> task_order(n);
+  std::iota(task_order.begin(), task_order.end(), graph::NodeId{0});
+  const graph::Tig& tig = eval.tig();
+  std::sort(task_order.begin(), task_order.end(),
+            [&](graph::NodeId a, graph::NodeId b) {
+              return tig.compute_weight(a) > tig.compute_weight(b);
+            });
+
+  SearchResult out;
+  std::vector<graph::NodeId> assign(n, graph::NodeId{0});
+  std::vector<char> task_placed(n, 0);
+  std::vector<char> resource_used(n, 0);
+
+  // Partial-makespan evaluation: only placed tasks contribute.  We reuse
+  // the full evaluator by scoring the induced sub-assignment directly.
+  const graph::Graph& tg = tig.graph();
+  const sim::Platform& plat = eval.platform();
+  std::vector<double> load(n, 0.0);
+
+  for (const graph::NodeId t : task_order) {
+    double best_cost = std::numeric_limits<double>::infinity();
+    graph::NodeId best_r = 0;
+    for (graph::NodeId r = 0; r < n; ++r) {
+      if (resource_used[r]) continue;
+      // Incremental: t's compute on r plus both sides of every already-
+      // placed neighbor exchange.
+      double new_load_r = load[r] + tg.node_weight(t) * plat.processing_cost(r);
+      double makespan = 0.0;
+      for (const graph::Neighbor& nb : tg.neighbors(t)) {
+        if (!task_placed[nb.id]) continue;
+        const graph::NodeId b = assign[nb.id];
+        new_load_r += nb.weight * plat.comm_cost(r, b);
+      }
+      for (graph::NodeId s = 0; s < n; ++s) {
+        makespan = std::max(makespan, (s == r) ? new_load_r : load[s]);
+      }
+      // Neighbor-side contributions to *their* resources:
+      for (const graph::Neighbor& nb : tg.neighbors(t)) {
+        if (!task_placed[nb.id]) continue;
+        const graph::NodeId b = assign[nb.id];
+        if (b == r) continue;
+        makespan =
+            std::max(makespan, load[b] + nb.weight * plat.comm_cost(b, r));
+      }
+      ++out.evaluations;
+      if (makespan < best_cost) {
+        best_cost = makespan;
+        best_r = r;
+      }
+    }
+
+    // Commit t -> best_r.
+    assign[t] = best_r;
+    task_placed[t] = 1;
+    resource_used[best_r] = 1;
+    load[best_r] += tg.node_weight(t) * plat.processing_cost(best_r);
+    for (const graph::Neighbor& nb : tg.neighbors(t)) {
+      if (!task_placed[nb.id]) continue;
+      const graph::NodeId b = assign[nb.id];
+      if (b == best_r) continue;
+      load[best_r] += nb.weight * plat.comm_cost(best_r, b);
+      load[b] += nb.weight * plat.comm_cost(b, best_r);
+    }
+  }
+
+  out.best_mapping = sim::Mapping(std::move(assign));
+  out.best_cost = eval.makespan(out.best_mapping);
+  out.elapsed_seconds = seconds_since(start);
+  return out;
+}
+
+SearchResult hill_climb(const sim::CostEvaluator& eval,
+                        std::size_t max_evaluations, rng::Rng& rng) {
+  if (max_evaluations == 0) {
+    throw std::invalid_argument("hill_climb: zero budget");
+  }
+  const auto start = Clock::now();
+  const std::size_t n = eval.num_tasks();
+
+  SearchResult out;
+  out.best_cost = std::numeric_limits<double>::infinity();
+
+  while (out.evaluations < max_evaluations) {
+    sim::Mapping current = sim::Mapping::random_permutation(n, rng);
+    double current_cost = eval.makespan(current);
+    ++out.evaluations;
+
+    bool improved = true;
+    while (improved && out.evaluations < max_evaluations) {
+      improved = false;
+      double best_delta_cost = current_cost;
+      std::size_t best_i = 0, best_j = 0;
+      for (std::size_t i = 0; i < n && out.evaluations < max_evaluations; ++i) {
+        for (std::size_t j = i + 1; j < n && out.evaluations < max_evaluations;
+             ++j) {
+          sim::Mapping trial = current;
+          const graph::NodeId ri = trial.resource_of(static_cast<graph::NodeId>(i));
+          const graph::NodeId rj = trial.resource_of(static_cast<graph::NodeId>(j));
+          trial.set(static_cast<graph::NodeId>(i), rj);
+          trial.set(static_cast<graph::NodeId>(j), ri);
+          const double c = eval.makespan(trial);
+          ++out.evaluations;
+          if (c < best_delta_cost) {
+            best_delta_cost = c;
+            best_i = i;
+            best_j = j;
+            improved = true;
+          }
+        }
+      }
+      if (improved) {
+        const graph::NodeId ri =
+            current.resource_of(static_cast<graph::NodeId>(best_i));
+        const graph::NodeId rj =
+            current.resource_of(static_cast<graph::NodeId>(best_j));
+        current.set(static_cast<graph::NodeId>(best_i), rj);
+        current.set(static_cast<graph::NodeId>(best_j), ri);
+        current_cost = best_delta_cost;
+      }
+    }
+
+    if (current_cost < out.best_cost) {
+      out.best_cost = current_cost;
+      out.best_mapping = current;
+    }
+  }
+  out.elapsed_seconds = seconds_since(start);
+  return out;
+}
+
+SearchResult simulated_annealing(const sim::CostEvaluator& eval,
+                                 const SaParams& params, rng::Rng& rng) {
+  if (params.steps == 0 || params.cooling <= 0.0 || params.cooling >= 1.0) {
+    throw std::invalid_argument("simulated_annealing: bad params");
+  }
+  const auto start = Clock::now();
+  const std::size_t n = eval.num_tasks();
+
+  SearchResult out;
+  sim::Mapping current = sim::Mapping::random_permutation(n, rng);
+  double current_cost = eval.makespan(current);
+  out.evaluations = 1;
+  out.best_mapping = current;
+  out.best_cost = current_cost;
+
+  double temp = params.initial_temp;
+  if (temp <= 0.0) {
+    // Calibrate: mean |Δ| over a short random-swap walk, so the initial
+    // acceptance rate is high regardless of instance scale.
+    double sum = 0.0;
+    const std::size_t probes = std::min<std::size_t>(64, params.steps);
+    for (std::size_t k = 0; k < probes; ++k) {
+      sim::Mapping trial = current;
+      const auto i = static_cast<graph::NodeId>(rng.below(n));
+      const auto j = static_cast<graph::NodeId>(rng.below(n));
+      const graph::NodeId ri = trial.resource_of(i), rj = trial.resource_of(j);
+      trial.set(i, rj);
+      trial.set(j, ri);
+      sum += std::abs(eval.makespan(trial) - current_cost);
+      ++out.evaluations;
+    }
+    temp = std::max(1.0, sum / static_cast<double>(probes)) * 2.0;
+  }
+  const double t_floor = temp * params.min_temp_fraction;
+
+  for (std::size_t step = 0; step < params.steps && temp > t_floor; ++step) {
+    const auto i = static_cast<graph::NodeId>(rng.below(n));
+    auto j = static_cast<graph::NodeId>(rng.below(n));
+    if (i == j) j = static_cast<graph::NodeId>((j + 1) % n);
+
+    sim::Mapping trial = current;
+    const graph::NodeId ri = trial.resource_of(i), rj = trial.resource_of(j);
+    trial.set(i, rj);
+    trial.set(j, ri);
+    const double c = eval.makespan(trial);
+    ++out.evaluations;
+
+    const double delta = c - current_cost;
+    if (delta <= 0.0 || rng.uniform() < std::exp(-delta / temp)) {
+      current = std::move(trial);
+      current_cost = c;
+      if (c < out.best_cost) {
+        out.best_cost = c;
+        out.best_mapping = current;
+      }
+    }
+    temp *= params.cooling;
+  }
+  out.elapsed_seconds = seconds_since(start);
+  return out;
+}
+
+}  // namespace match::baselines

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/mapping.hpp"
+
+namespace match::baselines {
+
+/// Common result shape for the non-GA comparators.
+struct SearchResult {
+  sim::Mapping best_mapping;
+  double best_cost = 0.0;
+  std::size_t evaluations = 0;  ///< cost-function calls spent
+  double elapsed_seconds = 0.0;
+};
+
+/// Pure random search over permutations: the weakest sensible baseline
+/// and the yardstick every heuristic must clear.
+SearchResult random_search(const sim::CostEvaluator& eval,
+                           std::size_t num_samples, rng::Rng& rng);
+
+/// Greedy constructive mapping: tasks in descending compute weight, each
+/// assigned to the free resource that minimizes the resulting makespan.
+/// Deterministic; O(n^2) evaluations.
+SearchResult greedy_constructive(const sim::CostEvaluator& eval);
+
+/// Steepest-descent hill climbing in the swap neighborhood, restarted
+/// from random permutations until the evaluation budget is exhausted.
+SearchResult hill_climb(const sim::CostEvaluator& eval,
+                        std::size_t max_evaluations, rng::Rng& rng);
+
+/// Simulated annealing over swap moves with geometric cooling.
+struct SaParams {
+  double initial_temp = 0.0;   ///< 0 = auto-calibrate from random walk
+  double cooling = 0.995;      ///< geometric factor per step
+  std::size_t steps = 100000;  ///< total move proposals
+  double min_temp_fraction = 1e-4;  ///< stop when T < fraction * T0
+};
+SearchResult simulated_annealing(const sim::CostEvaluator& eval,
+                                 const SaParams& params, rng::Rng& rng);
+
+}  // namespace match::baselines

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "rng/rng.hpp"
+
+namespace match::core {
+
+/// Parameters of the generic CE optimization loop (paper Fig. 2).
+struct CeDriverParams {
+  double rho = 0.1;               ///< elite fraction
+  double zeta = 0.7;              ///< smoothing factor (1 = coarse update)
+  std::size_t sample_size = 256;  ///< N per iteration
+  std::size_t max_iterations = 500;
+  /// Stop when γ has not improved for this many consecutive iterations
+  /// (the generic analogue of the paper's eq. (12) stability check).
+  std::size_t gamma_stall_window = 8;
+  double degeneracy_eps = 1e-3;
+
+  void validate() const {
+    if (!(rho > 0.0 && rho < 1.0)) throw std::invalid_argument("CE: rho");
+    if (!(zeta > 0.0 && zeta <= 1.0)) throw std::invalid_argument("CE: zeta");
+    if (sample_size < 2) throw std::invalid_argument("CE: sample_size");
+    if (max_iterations == 0) throw std::invalid_argument("CE: max_iterations");
+    if (gamma_stall_window == 0) throw std::invalid_argument("CE: stall");
+  }
+};
+
+/// One iteration's summary from the generic driver.
+struct CeIterationStats {
+  std::size_t iteration = 0;
+  double gamma = 0.0;
+  double iter_best = 0.0;
+  double best_so_far = 0.0;
+};
+
+template <typename Sample>
+struct CeResult {
+  Sample best{};
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::size_t iterations = 0;
+  bool degenerate = false;
+  std::vector<CeIterationStats> history;
+};
+
+/// Generic CE minimization loop over any `Problem` type providing:
+///
+/// ```
+/// using Sample = ...;                       // a candidate solution
+/// Sample draw(rng::Rng&) const;             // sample from current pmf
+/// double cost(const Sample&) const;         // performance (minimized)
+/// void update(const std::vector<const Sample*>& elites, double zeta);
+///                                           // re-estimate + smooth pmf
+/// bool degenerate(double eps) const;        // pmf has collapsed
+/// ```
+///
+/// MaTCH itself is a hand-specialized instance of this loop (batch
+/// parallelism, permutation constraints); the driver exists so the CE
+/// framework of the paper's §3 is usable on other COPs — the library
+/// ships a max-cut adapter as the worked example.
+template <typename Problem>
+CeResult<typename Problem::Sample> run_ce(Problem& problem,
+                                          const CeDriverParams& params,
+                                          rng::Rng& rng) {
+  params.validate();
+  using Sample = typename Problem::Sample;
+
+  CeResult<Sample> result;
+  std::vector<Sample> samples(params.sample_size);
+  std::vector<double> costs(params.sample_size);
+  std::vector<std::size_t> order(params.sample_size);
+
+  double prev_gamma = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+
+  for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    for (std::size_t i = 0; i < params.sample_size; ++i) {
+      samples[i] = problem.draw(rng);
+      costs[i] = problem.cost(samples[i]);
+    }
+
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return costs[a] < costs[b];
+    });
+
+    const std::size_t rho_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(params.rho * static_cast<double>(params.sample_size))));
+    const double gamma = costs[order[rho_count - 1]];
+
+    if (costs[order[0]] < result.best_cost) {
+      result.best_cost = costs[order[0]];
+      result.best = samples[order[0]];
+    }
+
+    std::vector<const Sample*> elites;
+    elites.reserve(rho_count);
+    for (std::size_t i = 0; i < params.sample_size; ++i) {
+      if (costs[i] <= gamma) elites.push_back(&samples[i]);
+    }
+    problem.update(elites, params.zeta);
+
+    result.history.push_back(CeIterationStats{iter, gamma, costs[order[0]],
+                                              result.best_cost});
+    result.iterations = iter + 1;
+
+    stall = (gamma < prev_gamma - 1e-12) ? 0 : stall + 1;
+    prev_gamma = std::min(prev_gamma, gamma);
+
+    if (problem.degenerate(params.degeneracy_eps)) {
+      result.degenerate = true;
+      break;
+    }
+    if (stall >= params.gamma_stall_window) break;
+  }
+  return result;
+}
+
+}  // namespace match::core

@@ -1,0 +1,176 @@
+#include "core/general_match.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace match::core {
+
+void GeneralMatchParams::validate() const {
+  if (!(rho > 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("GeneralMatchParams: rho must be in (0, 1)");
+  }
+  if (!(zeta > 0.0 && zeta <= 1.0)) {
+    throw std::invalid_argument("GeneralMatchParams: zeta must be in (0, 1]");
+  }
+  if (stability_window == 0 || gamma_stall_window == 0) {
+    throw std::invalid_argument("GeneralMatchParams: zero window");
+  }
+  if (stability_eps < 0.0 || degeneracy_eps <= 0.0) {
+    throw std::invalid_argument("GeneralMatchParams: bad epsilon");
+  }
+  if (max_iterations == 0) {
+    throw std::invalid_argument("GeneralMatchParams: max_iterations >= 1");
+  }
+}
+
+GeneralMatchOptimizer::GeneralMatchOptimizer(const sim::CostEvaluator& eval,
+                                             GeneralMatchParams params)
+    : eval_(&eval),
+      params_(params),
+      tasks_(eval.num_tasks()),
+      resources_(eval.num_resources()) {
+  params_.validate();
+  sample_size_ =
+      params_.sample_size != 0 ? params_.sample_size : 2 * tasks_ * resources_;
+  if (sample_size_ < 2) sample_size_ = 2;
+}
+
+namespace {
+
+std::uint64_t sample_seed(std::uint64_t iter_seed, std::uint64_t index) {
+  rng::SplitMix64 mixer(iter_seed ^ (index * 0x9e3779b97f4a7c15ULL));
+  return mixer.next();
+}
+
+}  // namespace
+
+MatchResult GeneralMatchOptimizer::run(rng::Rng& rng) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t nt = tasks_;
+  const std::size_t nr = resources_;
+  const std::size_t batch = sample_size_;
+
+  StochasticMatrix p = StochasticMatrix::uniform(nt, nr);
+
+  std::vector<graph::NodeId> samples(batch * nt);
+  std::vector<double> costs(batch);
+  std::vector<std::size_t> order(batch);
+  std::vector<double> counts(nt * nr);
+
+  MatchResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+
+  std::vector<double> prev_row_max(nt, -1.0);
+  std::size_t stable_iters = 0;
+  double prev_gamma = std::numeric_limits<double>::quiet_NaN();
+  std::size_t gamma_stall = 0;
+
+  parallel::ForOptions for_opts;
+  if (!params_.parallel) {
+    for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
+  }
+
+  for (std::size_t iter = 0; iter < params_.max_iterations; ++iter) {
+    const std::uint64_t iter_seed = rng.bits();
+    // Naive independent-rows sampler: each task draws its resource from
+    // its own row of P, no uniqueness constraint.
+    parallel::parallel_for_chunked(
+        0, batch,
+        [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            rng::Rng local(sample_seed(iter_seed, i));
+            graph::NodeId* row = samples.data() + i * nt;
+            for (std::size_t t = 0; t < nt; ++t) {
+              row[t] = static_cast<graph::NodeId>(
+                  local.weighted_pick(p.row(t), 1.0));
+            }
+            costs[i] = eval_->makespan(
+                std::span<const graph::NodeId>(row, nt));
+          }
+        },
+        for_opts);
+
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return costs[a] < costs[b];
+    });
+    const std::size_t rho_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::floor(params_.rho * static_cast<double>(batch))));
+    const double gamma = costs[order[rho_count - 1]];
+
+    if (costs[order[0]] < result.best_cost) {
+      result.best_cost = costs[order[0]];
+      const std::size_t bi = order[0];
+      result.best_mapping = sim::Mapping(std::vector<graph::NodeId>(
+          samples.begin() + static_cast<std::ptrdiff_t>(bi * nt),
+          samples.begin() + static_cast<std::ptrdiff_t>((bi + 1) * nt)));
+    }
+
+    std::fill(counts.begin(), counts.end(), 0.0);
+    std::size_t elite = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (costs[i] <= gamma) {
+        ++elite;
+        const graph::NodeId* row = samples.data() + i * nt;
+        for (std::size_t t = 0; t < nt; ++t) counts[t * nr + row[t]] += 1.0;
+      }
+    }
+    for (double& c : counts) c /= static_cast<double>(elite);
+    const StochasticMatrix q = StochasticMatrix::from_values(nt, nr, counts);
+    counts.assign(nt * nr, 0.0);
+    p.blend_from(q, params_.zeta);
+
+    IterationStats stats;
+    stats.iteration = iter;
+    stats.gamma = gamma;
+    stats.iter_best = costs[order[0]];
+    stats.best_so_far = result.best_cost;
+    stats.mean_entropy = p.mean_entropy();
+    stats.min_row_max = p.min_row_max();
+    stats.elite_count = elite;
+    result.history.push_back(stats);
+    if (trace_) trace_(stats, p);
+    result.iterations = iter + 1;
+
+    bool stable = true;
+    for (std::size_t t = 0; t < nt; ++t) {
+      const double mu = p.row_max(t);
+      if (std::abs(mu - prev_row_max[t]) > params_.stability_eps) stable = false;
+      prev_row_max[t] = mu;
+    }
+    stable_iters = stable ? stable_iters + 1 : 0;
+    if (stable_iters >= params_.stability_window) {
+      result.stop_reason = StopReason::kRowMaxStable;
+      break;
+    }
+    if (p.is_degenerate(params_.degeneracy_eps)) {
+      result.stop_reason = StopReason::kDegenerate;
+      break;
+    }
+    gamma_stall = (std::abs(gamma - prev_gamma) <= params_.stability_eps)
+                      ? gamma_stall + 1
+                      : 0;
+    prev_gamma = gamma;
+    if (gamma_stall >= params_.gamma_stall_window) {
+      result.stop_reason = StopReason::kGammaStable;
+      break;
+    }
+    result.stop_reason = StopReason::kMaxIterations;
+  }
+
+  result.final_matrix = p;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace match::core

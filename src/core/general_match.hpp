@@ -1,0 +1,69 @@
+#pragma once
+
+// The paper's footnote made concrete: "a few simple modifications of the
+// algorithm(s) will in effect take care of other cases" — the case being
+// |V_t| != |V_r|, where a mapping is many-to-one instead of a
+// permutation.  The CE machinery is unchanged (stochastic matrix over
+// tasks x resources, elite-frequency update, smoothing); only the sampler
+// differs: without the uniqueness constraint each task draws its resource
+// independently from its own row, exactly the "naive" generator the paper
+// describes before introducing GenPerm.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/matchalgo.hpp"
+#include "core/stochastic_matrix.hpp"
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/mapping.hpp"
+
+namespace match::core {
+
+/// Parameters for the general (many-to-one) CE mapper.  Semantics match
+/// `MatchParams`; the default sample size is 2 · |V_t| · |V_r|, the
+/// rectangular analogue of the paper's 2n².
+struct GeneralMatchParams {
+  double rho = 0.05;
+  double zeta = 0.3;
+  std::size_t sample_size = 0;  ///< 0 → 2 · tasks · resources
+  std::size_t stability_window = 5;
+  std::size_t gamma_stall_window = 10;
+  double stability_eps = 1e-6;
+  double degeneracy_eps = 1e-3;
+  std::size_t max_iterations = 1000;
+  bool parallel = true;
+
+  void validate() const;
+};
+
+/// Cross-entropy mapping for instances with any task/resource counts.
+///
+/// Tasks may share resources; the evaluator's cost model already charges
+/// co-located neighbors zero communication, so clustering heavy
+/// communicators emerges naturally from the optimization.
+class GeneralMatchOptimizer {
+ public:
+  using TraceFn =
+      std::function<void(const IterationStats&, const StochasticMatrix&)>;
+
+  explicit GeneralMatchOptimizer(const sim::CostEvaluator& eval,
+                                 GeneralMatchParams params = {});
+
+  void set_trace(TraceFn trace) { trace_ = std::move(trace); }
+
+  std::size_t effective_sample_size() const noexcept { return sample_size_; }
+
+  MatchResult run(rng::Rng& rng);
+
+ private:
+  const sim::CostEvaluator* eval_;
+  GeneralMatchParams params_;
+  std::size_t tasks_;
+  std::size_t resources_;
+  std::size_t sample_size_;
+  TraceFn trace_;
+};
+
+}  // namespace match::core

@@ -1,0 +1,75 @@
+#include "core/genperm.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace match::core {
+
+GenPermSampler::GenPermSampler(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("GenPermSampler: n == 0");
+  order_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) order_[i] = i;
+  free_.reserve(n);
+  weights_.reserve(n);
+}
+
+void GenPermSampler::sample(const StochasticMatrix& p, rng::Rng& rng,
+                            std::span<graph::NodeId> out,
+                            bool random_task_order,
+                            std::span<const graph::NodeId> pins) {
+  assert(p.rows() == n_ && p.cols() == n_);
+  assert(out.size() == n_);
+  assert(pins.empty() || pins.size() == n_);
+
+  if (random_task_order) {
+    rng.shuffle(std::span<std::size_t>(order_));
+  } else {
+    for (std::size_t i = 0; i < n_; ++i) order_[i] = i;
+  }
+
+  free_.clear();
+  if (pins.empty()) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      free_.push_back(static_cast<graph::NodeId>(j));
+    }
+  } else {
+    std::vector<char> taken(n_, 0);
+    for (std::size_t t = 0; t < n_; ++t) {
+      if (pins[t] != kNoPin) {
+        assert(pins[t] < n_ && !taken[pins[t]] && "pins must be distinct");
+        out[t] = pins[t];
+        taken[pins[t]] = 1;
+      }
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (!taken[j]) free_.push_back(static_cast<graph::NodeId>(j));
+    }
+  }
+
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t task = order_[step];
+    if (!pins.empty() && pins[task] != kNoPin) continue;
+    const auto row = p.row(task);
+
+    weights_.resize(free_.size());
+    double total = 0.0;
+    for (std::size_t k = 0; k < free_.size(); ++k) {
+      weights_[k] = row[free_[k]];
+      total += weights_[k];
+    }
+
+    std::size_t pick;
+    if (total > 0.0) {
+      pick = rng.weighted_pick(weights_, total);
+    } else {
+      pick = static_cast<std::size_t>(rng.below(free_.size()));
+    }
+
+    out[task] = free_[pick];
+    // Remove the chosen resource in O(1); free_ order is irrelevant.
+    free_[pick] = free_.back();
+    free_.pop_back();
+  }
+}
+
+}  // namespace match::core

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/stochastic_matrix.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace match::core {
+
+/// The paper's `GenPerm` sampler (Fig. 4): draws a *valid* permutation
+/// mapping from the distribution induced by a stochastic matrix `P`.
+///
+/// Tasks are visited in a uniformly random order; each visited task draws
+/// a resource from its row of `P` restricted (and renormalized) to the
+/// resources not yet taken.  Visiting tasks in random order removes the
+/// systematic bias a fixed order would give early tasks (they sample from
+/// an unconstrained row).  A fixed visiting order is available for the
+/// ablation study (`DESIGN.md` §5, item 5).
+class GenPermSampler {
+ public:
+  explicit GenPermSampler(std::size_t n);
+
+  /// Sentinel in a pin vector: task is free to go anywhere.
+  static constexpr graph::NodeId kNoPin = ~graph::NodeId{0};
+
+  /// Draws one permutation into `out` (size n): out[task] = resource.
+  ///
+  /// When a row's remaining probability mass underflows to zero (all its
+  /// mass sat on already-taken resources), the draw falls back to uniform
+  /// over the free resources — the natural completion, since GenPerm's
+  /// conditional renormalization is undefined there.
+  ///
+  /// `pins` is either empty or size n; entry t != kNoPin forces task t
+  /// onto that resource (and removes the resource from everyone else's
+  /// draws).  Pinned resources must be distinct.
+  void sample(const StochasticMatrix& p, rng::Rng& rng,
+              std::span<graph::NodeId> out, bool random_task_order = true,
+              std::span<const graph::NodeId> pins = {});
+
+  std::size_t size() const noexcept { return n_; }
+
+ private:
+  std::size_t n_;
+  // Scratch reused across draws to keep the hot path allocation-free.
+  std::vector<std::size_t> order_;
+  std::vector<graph::NodeId> free_;    // resources still available
+  std::vector<double> weights_;        // P row restricted to free_
+};
+
+}  // namespace match::core

@@ -1,0 +1,174 @@
+#include "core/island.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/genperm.hpp"
+#include "core/stochastic_matrix.hpp"
+#include "parallel/parallel_for.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace match::core {
+
+void IslandParams::validate() const {
+  if (islands == 0) throw std::invalid_argument("IslandParams: islands >= 1");
+  if (epoch_iterations == 0) {
+    throw std::invalid_argument("IslandParams: epoch_iterations >= 1");
+  }
+  if (migration < 0.0 || migration > 1.0) {
+    throw std::invalid_argument("IslandParams: migration in [0, 1]");
+  }
+  if (max_epochs == 0 || stall_epochs == 0) {
+    throw std::invalid_argument("IslandParams: zero epoch budget");
+  }
+  if (!(rho > 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("IslandParams: rho in (0, 1)");
+  }
+  if (!(zeta > 0.0 && zeta <= 1.0)) {
+    throw std::invalid_argument("IslandParams: zeta in (0, 1]");
+  }
+}
+
+IslandMatchOptimizer::IslandMatchOptimizer(const sim::CostEvaluator& eval,
+                                           IslandParams params)
+    : eval_(&eval), params_(params), n_(eval.num_tasks()) {
+  params_.validate();
+  if (eval.num_resources() != n_) {
+    throw std::invalid_argument("IslandMatchOptimizer: needs |V_t| == |V_r|");
+  }
+  sample_size_ = params_.sample_size != 0
+                     ? params_.sample_size
+                     : std::max<std::size_t>(8, 2 * n_ * n_ / params_.islands);
+}
+
+namespace {
+
+/// Per-island evolving state.
+struct Island {
+  StochasticMatrix p;
+  sim::Mapping best_mapping;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::uint64_t seed = 0;
+};
+
+}  // namespace
+
+IslandResult IslandMatchOptimizer::run(rng::Rng& rng) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = n_;
+  const std::size_t batch = sample_size_;
+  const std::size_t k = params_.islands;
+
+  std::vector<Island> islands(k);
+  for (auto& island : islands) {
+    island.p = StochasticMatrix::uniform(n, n);
+    island.seed = rng.bits();
+  }
+
+  IslandResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+
+  parallel::ForOptions for_opts;
+  for_opts.grain = 1;
+  if (!params_.parallel) {
+    for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
+  } else {
+    for_opts.serial_cutoff = 0;
+  }
+
+  const std::size_t rho_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::floor(params_.rho * static_cast<double>(batch))));
+
+  std::size_t stall = 0;
+  for (std::size_t epoch = 0; epoch < params_.max_epochs; ++epoch) {
+    // --- Each island evolves privately for one epoch (parallel). -------
+    parallel::parallel_for(
+        0, k,
+        [&](std::size_t idx) {
+          Island& island = islands[idx];
+          rng::SplitMix64 mixer(island.seed ^ (epoch * 0x9e3779b97f4a7c15ULL));
+          rng::Rng local(mixer.next());
+
+          GenPermSampler sampler(n);
+          std::vector<graph::NodeId> samples(batch * n);
+          std::vector<double> costs(batch);
+          std::vector<std::size_t> order(batch);
+          std::vector<double> counts(n * n);
+
+          for (std::size_t it = 0; it < params_.epoch_iterations; ++it) {
+            for (std::size_t i = 0; i < batch; ++i) {
+              const std::span<graph::NodeId> row(samples.data() + i * n, n);
+              sampler.sample(island.p, local, row);
+              costs[i] = eval_->makespan(row);
+            }
+            std::iota(order.begin(), order.end(), std::size_t{0});
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return costs[a] < costs[b];
+                      });
+            const double gamma = costs[order[rho_count - 1]];
+            if (costs[order[0]] < island.best_cost) {
+              island.best_cost = costs[order[0]];
+              const std::size_t bi = order[0];
+              island.best_mapping = sim::Mapping(std::vector<graph::NodeId>(
+                  samples.begin() + static_cast<std::ptrdiff_t>(bi * n),
+                  samples.begin() + static_cast<std::ptrdiff_t>((bi + 1) * n)));
+            }
+            std::fill(counts.begin(), counts.end(), 0.0);
+            std::size_t elite = 0;
+            for (std::size_t i = 0; i < batch; ++i) {
+              if (costs[i] <= gamma) {
+                ++elite;
+                const graph::NodeId* row = samples.data() + i * n;
+                for (std::size_t t = 0; t < n; ++t) {
+                  counts[t * n + row[t]] += 1.0;
+                }
+              }
+            }
+            for (double& c : counts) c /= static_cast<double>(elite);
+            island.p.blend_from(StochasticMatrix::from_values(n, n, counts),
+                                params_.zeta);
+            counts.assign(n * n, 0.0);
+          }
+        },
+        for_opts);
+
+    // --- Migration: everyone drifts toward the best island. -------------
+    std::size_t best_island = 0;
+    for (std::size_t i = 1; i < k; ++i) {
+      if (islands[i].best_cost < islands[best_island].best_cost) {
+        best_island = i;
+      }
+    }
+    if (params_.migration > 0.0) {
+      for (std::size_t i = 0; i < k; ++i) {
+        if (i == best_island) continue;
+        islands[i].p.blend_from(islands[best_island].p, params_.migration);
+      }
+    }
+
+    const double epoch_best = islands[best_island].best_cost;
+    if (epoch_best < result.best_cost - 1e-12) {
+      result.best_cost = epoch_best;
+      result.best_mapping = islands[best_island].best_mapping;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+    result.history.push_back(result.best_cost);
+    result.epochs = epoch + 1;
+    if (stall >= params_.stall_epochs) break;
+  }
+
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace match::core

@@ -1,0 +1,249 @@
+#include "core/matchalgo.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/genperm.hpp"
+#include "parallel/parallel_for.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace match::core {
+
+void MatchParams::validate() const {
+  if (!(rho > 0.0 && rho < 1.0)) {
+    throw std::invalid_argument("MatchParams: rho must be in (0, 1)");
+  }
+  if (!(zeta > 0.0 && zeta <= 1.0)) {
+    throw std::invalid_argument("MatchParams: zeta must be in (0, 1]");
+  }
+  if (stability_window == 0) {
+    throw std::invalid_argument("MatchParams: stability_window must be >= 1");
+  }
+  if (gamma_stall_window == 0) {
+    throw std::invalid_argument("MatchParams: gamma_stall_window must be >= 1");
+  }
+  if (stability_eps < 0.0 || degeneracy_eps <= 0.0) {
+    throw std::invalid_argument("MatchParams: bad epsilon");
+  }
+  if (dynamic_smoothing_q < 0.0) {
+    throw std::invalid_argument("MatchParams: dynamic_smoothing_q < 0");
+  }
+  if (max_iterations == 0) {
+    throw std::invalid_argument("MatchParams: max_iterations must be >= 1");
+  }
+}
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kRowMaxStable:
+      return "row-max-stable";
+    case StopReason::kDegenerate:
+      return "degenerate";
+    case StopReason::kGammaStable:
+      return "gamma-stable";
+    case StopReason::kMaxIterations:
+      return "max-iterations";
+  }
+  return "unknown";
+}
+
+MatchOptimizer::MatchOptimizer(const sim::CostEvaluator& eval,
+                               MatchParams params)
+    : eval_(&eval), params_(params), n_(eval.num_tasks()) {
+  params_.validate();
+  if (eval.num_resources() != n_) {
+    throw std::invalid_argument(
+        "MatchOptimizer: requires |V_t| == |V_r| (permutation mapping)");
+  }
+  sample_size_ = params_.sample_size != 0 ? params_.sample_size : 2 * n_ * n_;
+  if (sample_size_ < 2) sample_size_ = 2;
+}
+
+namespace {
+
+/// Deterministic per-sample seed: mixing the iteration seed with the
+/// sample index makes the run independent of thread count and chunking.
+std::uint64_t sample_seed(std::uint64_t iter_seed, std::uint64_t index) {
+  rng::SplitMix64 mixer(iter_seed ^ (index * 0x9e3779b97f4a7c15ULL));
+  return mixer.next();
+}
+
+}  // namespace
+
+void MatchOptimizer::set_initial_matrix(StochasticMatrix p0) {
+  if (p0.rows() != n_ || p0.cols() != n_) {
+    throw std::invalid_argument("set_initial_matrix: shape mismatch");
+  }
+  if (!p0.is_row_stochastic()) {
+    throw std::invalid_argument("set_initial_matrix: not row-stochastic");
+  }
+  initial_ = std::move(p0);
+}
+
+void MatchOptimizer::set_pin(graph::NodeId task, graph::NodeId resource) {
+  if (task >= n_ || resource >= n_) {
+    throw std::invalid_argument("set_pin: index out of range");
+  }
+  if (pins_.empty()) pins_.assign(n_, GenPermSampler::kNoPin);
+  for (std::size_t t = 0; t < n_; ++t) {
+    if (t != task && pins_[t] == resource) {
+      throw std::invalid_argument("set_pin: resource already pinned");
+    }
+  }
+  pins_[task] = resource;
+}
+
+void MatchOptimizer::clear_pins() { pins_.clear(); }
+
+MatchResult MatchOptimizer::run(rng::Rng& rng) {
+  const auto t_start = std::chrono::steady_clock::now();
+  const std::size_t n = n_;
+  const std::size_t batch = sample_size_;
+
+  StochasticMatrix p = initial_.rows() == n ? initial_
+                                            : StochasticMatrix::uniform(n, n);
+
+  std::vector<graph::NodeId> samples(batch * n);
+  std::vector<double> costs(batch);
+  std::vector<std::size_t> order(batch);
+  std::vector<double> counts(n * n);
+
+  MatchResult result;
+  result.best_cost = std::numeric_limits<double>::infinity();
+  result.history.reserve(64);
+
+  std::vector<double> prev_row_max(n, -1.0);
+  std::size_t stable_iters = 0;
+  double prev_gamma = std::numeric_limits<double>::quiet_NaN();
+  std::size_t gamma_stall = 0;
+
+  parallel::ForOptions for_opts;
+  if (!params_.parallel) {
+    // Force the serial path by raising the cutoff above any batch size.
+    for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
+  }
+
+  for (std::size_t iter = 0; iter < params_.max_iterations; ++iter) {
+    // --- Step 3 (Fig. 5): draw N mappings via GenPerm. -------------------
+    const std::uint64_t iter_seed = rng.bits();
+    parallel::parallel_for_chunked(
+        0, batch,
+        [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+          GenPermSampler sampler(n);
+          for (std::size_t i = lo; i < hi; ++i) {
+            rng::Rng local(sample_seed(iter_seed, i));
+            const std::span<graph::NodeId> row(samples.data() + i * n, n);
+            sampler.sample(p, local, row, params_.random_task_order, pins_);
+            costs[i] = eval_->makespan(row);
+          }
+        },
+        for_opts);
+
+    // --- Steps 4–5: order costs, pick the elite threshold γ. -------------
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return costs[a] < costs[b];
+    });
+
+    const std::size_t rho_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(params_.rho *
+                                               static_cast<double>(batch))));
+    double gamma;
+    if (params_.paper_literal_elite) {
+      // Literal Fig.-5 reading: sort descending, γ = s_{⌊ρN⌋}; with the
+      // S ≤ γ indicator this keeps ~(1-ρ)N samples (ablation only).
+      gamma = costs[order[batch - 1 - std::min(rho_count, batch - 1)]];
+    } else {
+      gamma = costs[order[rho_count - 1]];
+    }
+
+    const double iter_best = costs[order[0]];
+    if (iter_best < result.best_cost) {
+      result.best_cost = iter_best;
+      const std::size_t bi = order[0];
+      result.best_mapping = sim::Mapping(std::vector<graph::NodeId>(
+          samples.begin() + static_cast<std::ptrdiff_t>(bi * n),
+          samples.begin() + static_cast<std::ptrdiff_t>((bi + 1) * n)));
+    }
+
+    // --- Step 6: re-estimate P from the elite set (eq. 11). --------------
+    std::fill(counts.begin(), counts.end(), 0.0);
+    std::size_t elite = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (costs[i] <= gamma) {
+        ++elite;
+        const graph::NodeId* row = samples.data() + i * n;
+        for (std::size_t t = 0; t < n; ++t) counts[t * n + row[t]] += 1.0;
+      }
+    }
+    // elite >= 1 by construction of gamma.
+    for (double& c : counts) c /= static_cast<double>(elite);
+    const StochasticMatrix q =
+        StochasticMatrix::from_values(n, n, counts);
+    counts.assign(n * n, 0.0);
+
+    // --- Smoothing (eq. 13), optionally decayed over iterations. ---------
+    double zeta_k = params_.zeta;
+    if (params_.dynamic_smoothing_q > 0.0) {
+      const double k = static_cast<double>(iter + 1);
+      zeta_k = params_.zeta *
+               (1.0 - std::pow(1.0 - 1.0 / k, params_.dynamic_smoothing_q));
+      if (zeta_k <= 0.0) zeta_k = 1e-6;  // keep the blend well-defined
+    }
+    p.blend_from(q, zeta_k);
+
+    IterationStats stats;
+    stats.iteration = iter;
+    stats.gamma = gamma;
+    stats.iter_best = iter_best;
+    stats.best_so_far = result.best_cost;
+    stats.mean_entropy = p.mean_entropy();
+    stats.min_row_max = p.min_row_max();
+    stats.elite_count = elite;
+    result.history.push_back(stats);
+    if (trace_) trace_(stats, p);
+
+    result.iterations = iter + 1;
+
+    // --- Step 8: stopping criteria. ---------------------------------------
+    bool stable = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mu = p.row_max(i);
+      if (std::abs(mu - prev_row_max[i]) > params_.stability_eps) {
+        stable = false;
+      }
+      prev_row_max[i] = mu;
+    }
+    stable_iters = stable ? stable_iters + 1 : 0;
+
+    if (stable_iters >= params_.stability_window) {
+      result.stop_reason = StopReason::kRowMaxStable;
+      break;
+    }
+    if (p.is_degenerate(params_.degeneracy_eps)) {
+      result.stop_reason = StopReason::kDegenerate;
+      break;
+    }
+    gamma_stall = (std::abs(gamma - prev_gamma) <= params_.stability_eps)
+                      ? gamma_stall + 1
+                      : 0;
+    prev_gamma = gamma;
+    if (gamma_stall >= params_.gamma_stall_window) {
+      result.stop_reason = StopReason::kGammaStable;
+      break;
+    }
+    result.stop_reason = StopReason::kMaxIterations;
+  }
+
+  result.final_matrix = p;
+  result.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
+          .count();
+  return result;
+}
+
+}  // namespace match::core

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/stochastic_matrix.hpp"
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/mapping.hpp"
+
+namespace match::core {
+
+/// Why a MaTCH run stopped.
+enum class StopReason {
+  kRowMaxStable,   ///< eq. (12): per-row maxima unchanged for `c` iterations
+  kDegenerate,     ///< every row collapsed onto one resource (Fig. 3 endpoint)
+  kGammaStable,    ///< Fig. 2 step 4: γ̂ unchanged for `k` iterations
+  kMaxIterations,  ///< safety cap reached
+};
+
+/// Human-readable name of a stop reason (for logs and bench output).
+const char* to_string(StopReason reason);
+
+/// Tunable parameters of the MaTCH heuristic.  Defaults reproduce the
+/// paper's published configuration.
+struct MatchParams {
+  /// Focus parameter ρ — fraction of each batch kept as the elite set.
+  /// The paper recommends 0.01 ≤ ρ ≤ 0.1.
+  double rho = 0.05;
+
+  /// Smoothing factor ζ of eq. (13); the paper uses 0.3.  ζ = 1 disables
+  /// smoothing (coarse update).
+  double zeta = 0.3;
+
+  /// Dynamic smoothing exponent q (de Boer et al. §5 / Rubinstein): when
+  /// > 0, the effective smoothing decays over iterations,
+  /// ζ_k = ζ · (1 − (1 − 1/(k+1))^q), giving aggressive early updates
+  /// and gentle late ones.  0 (default) keeps the paper's constant ζ.
+  double dynamic_smoothing_q = 0.0;
+
+  /// Samples per iteration N; 0 selects the paper's N = 2·n².
+  std::size_t sample_size = 0;
+
+  /// The paper's `c`: iterations the per-row maxima must stay unchanged.
+  std::size_t stability_window = 5;
+
+  /// The paper's generic-CE stop (Fig. 2 step 4): iterations the elite
+  /// threshold γ̂ must stay unchanged.  Needed because eq. (12) alone
+  /// cannot fire on instances with several optimal mappings, where P
+  /// legitimately converges to a mixture over optima and the row maxima
+  /// keep fluctuating (see DESIGN.md §3).
+  std::size_t gamma_stall_window = 10;
+
+  /// Tolerance for "unchanged" in the stability check (the paper compares
+  /// floats for equality; see DESIGN.md).
+  double stability_eps = 1e-6;
+
+  /// ε for the degeneracy early-out: stop once every row max ≥ 1 − ε.
+  double degeneracy_eps = 1e-3;
+
+  /// Hard iteration cap.
+  std::size_t max_iterations = 1000;
+
+  /// GenPerm visits tasks in random order (paper behavior).  Fixed order
+  /// is exposed for the ablation study.
+  bool random_task_order = true;
+
+  /// Ablation switch: use the literal Fig.-5 elite rule (sort descending,
+  /// γ = s_{⌊ρN⌋}) instead of the standard best-ρ-fraction reading.  The
+  /// literal rule keeps ~(1−ρ)·N samples "elite" and barely optimizes;
+  /// see DESIGN.md §3.
+  bool paper_literal_elite = false;
+
+  /// Evaluate/sample batches on the thread pool.
+  bool parallel = true;
+
+  /// Throws `std::invalid_argument` when a field is out of range.
+  void validate() const;
+};
+
+/// Per-iteration convergence record.
+struct IterationStats {
+  std::size_t iteration = 0;
+  double gamma = 0.0;          ///< elite threshold γ_k
+  double iter_best = 0.0;      ///< best cost in this batch
+  double best_so_far = 0.0;    ///< best cost over all batches
+  double mean_entropy = 0.0;   ///< mean row entropy of P (bits)
+  double min_row_max = 0.0;    ///< degeneracy measure of P
+  std::size_t elite_count = 0;
+};
+
+/// Outcome of a MaTCH run.
+struct MatchResult {
+  sim::Mapping best_mapping;   ///< best sample observed over the whole run
+  double best_cost = 0.0;      ///< its makespan, Exec^χ
+  std::size_t iterations = 0;
+  StopReason stop_reason = StopReason::kMaxIterations;
+  std::vector<IterationStats> history;
+  StochasticMatrix final_matrix;
+  double elapsed_seconds = 0.0;
+};
+
+/// The MaTCH heuristic (paper Fig. 5): cross-entropy optimization over
+/// permutation mappings.
+///
+/// ```
+/// sim::CostEvaluator eval(tig, platform);
+/// core::MatchOptimizer matcher(eval);
+/// rng::Rng rng(42);
+/// core::MatchResult r = matcher.run(rng);
+/// ```
+///
+/// Runs are deterministic for a fixed seed, independent of the number of
+/// worker threads.
+class MatchOptimizer {
+ public:
+  /// Called after each iteration's matrix update with the current P;
+  /// used by the Fig.-3 reproduction to snapshot the matrix evolution.
+  using TraceFn =
+      std::function<void(const IterationStats&, const StochasticMatrix&)>;
+
+  /// The evaluator must describe a square instance (|V_t| = |V_r|);
+  /// throws `std::invalid_argument` otherwise.
+  explicit MatchOptimizer(const sim::CostEvaluator& eval,
+                          MatchParams params = {});
+
+  void set_trace(TraceFn trace) { trace_ = std::move(trace); }
+
+  /// Replaces the uniform P_0 with a caller-supplied starting matrix
+  /// (must be n x n row-stochastic).  Used by the warm-start re-mapper
+  /// (core/rematch.hpp) to bias the search around an incumbent mapping.
+  void set_initial_matrix(StochasticMatrix p0);
+
+  /// Pins `task` to `resource` for the whole run (e.g. a stage bound to
+  /// a node holding a license or a dataset).  Pinned resources are
+  /// withdrawn from every other task's draws.  Pins must name distinct
+  /// resources; throws `std::invalid_argument` on conflicts.
+  void set_pin(graph::NodeId task, graph::NodeId resource);
+  void clear_pins();
+
+  const MatchParams& params() const noexcept { return params_; }
+
+  /// Effective batch size N for this instance.
+  std::size_t effective_sample_size() const noexcept { return sample_size_; }
+
+  /// Runs MaTCH to convergence.
+  MatchResult run(rng::Rng& rng);
+
+ private:
+  const sim::CostEvaluator* eval_;
+  MatchParams params_;
+  std::size_t n_;
+  std::size_t sample_size_;
+  TraceFn trace_;
+  StochasticMatrix initial_;          ///< empty -> uniform
+  std::vector<graph::NodeId> pins_;   ///< empty -> no pins
+};
+
+}  // namespace match::core

@@ -1,0 +1,57 @@
+#include "core/rematch.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace match::core {
+
+void RematchParams::validate() const {
+  if (anchor < 0.0 || anchor >= 1.0) {
+    throw std::invalid_argument("RematchParams: anchor must be in [0, 1)");
+  }
+  base.validate();
+}
+
+StochasticMatrix anchored_matrix(const sim::Mapping& incumbent,
+                                 std::size_t num_resources, double anchor) {
+  if (anchor < 0.0 || anchor >= 1.0) {
+    throw std::invalid_argument("anchored_matrix: anchor must be in [0, 1)");
+  }
+  if (!incumbent.is_valid(num_resources)) {
+    throw std::invalid_argument("anchored_matrix: incumbent out of range");
+  }
+  const std::size_t n = incumbent.num_tasks();
+  const double background = (1.0 - anchor) / static_cast<double>(num_resources);
+  std::vector<double> values(n * num_resources, background);
+  for (graph::NodeId t = 0; t < n; ++t) {
+    values[t * num_resources + incumbent.resource_of(t)] += anchor;
+  }
+  return StochasticMatrix::from_values(n, num_resources, std::move(values));
+}
+
+MatchResult rematch(const sim::CostEvaluator& eval,
+                    const sim::Mapping& incumbent, const RematchParams& params,
+                    rng::Rng& rng) {
+  params.validate();
+  if (incumbent.num_tasks() != eval.num_tasks()) {
+    throw std::invalid_argument("rematch: incumbent size mismatch");
+  }
+  if (!incumbent.is_permutation()) {
+    throw std::invalid_argument("rematch: incumbent must be a permutation");
+  }
+
+  MatchOptimizer optimizer(eval, params.base);
+  optimizer.set_initial_matrix(
+      anchored_matrix(incumbent, eval.num_resources(), params.anchor));
+  MatchResult result = optimizer.run(rng);
+
+  // Never regress: the incumbent stays available as a candidate.
+  const double incumbent_cost = eval.makespan(incumbent);
+  if (incumbent_cost < result.best_cost) {
+    result.best_cost = incumbent_cost;
+    result.best_mapping = incumbent;
+  }
+  return result;
+}
+
+}  // namespace match::core

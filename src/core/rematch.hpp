@@ -1,0 +1,46 @@
+#pragma once
+
+// Warm-started re-mapping for dynamic platforms.
+//
+// Computational grids change while an application runs: a resource slows
+// down (contention), a link degrades, a node is drained.  Re-running
+// MaTCH from the uniform matrix throws away everything the previous run
+// learned.  The re-mapper instead starts CE from an *anchored* matrix —
+// a convex blend of the indicator of the incumbent mapping and the
+// uniform matrix — so the search explores around the incumbent first and
+// falls back to global search only as far as the elite samples demand.
+// This is the natural CE analogue of the dynamic re-mapping schemes the
+// paper cites ([18]).
+
+#include "core/matchalgo.hpp"
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/mapping.hpp"
+
+namespace match::core {
+
+struct RematchParams {
+  /// Probability mass P_0 places on the incumbent assignment per row;
+  /// the rest spreads uniformly.  0 = cold start, values near 1 make the
+  /// first batches near-replays of the incumbent.
+  double anchor = 0.6;
+
+  /// CE parameters of the re-run.
+  MatchParams base = {};
+
+  void validate() const;
+};
+
+/// The anchored starting matrix: row t has `anchor + (1-anchor)/n` at the
+/// incumbent's resource and `(1-anchor)/n` elsewhere.
+StochasticMatrix anchored_matrix(const sim::Mapping& incumbent,
+                                 std::size_t num_resources, double anchor);
+
+/// Re-optimizes `incumbent` for (possibly changed) `eval`.  Returns the
+/// better of the re-run's best and the incumbent itself, so re-mapping
+/// never regresses.
+MatchResult rematch(const sim::CostEvaluator& eval,
+                    const sim::Mapping& incumbent, const RematchParams& params,
+                    rng::Rng& rng);
+
+}  // namespace match::core

@@ -1,0 +1,108 @@
+#include "core/stochastic_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace match::core {
+
+StochasticMatrix StochasticMatrix::uniform(std::size_t rows, std::size_t cols) {
+  if (rows == 0 || cols == 0) {
+    throw std::invalid_argument("StochasticMatrix::uniform: empty");
+  }
+  std::vector<double> v(rows * cols, 1.0 / static_cast<double>(cols));
+  return StochasticMatrix(rows, cols, std::move(v));
+}
+
+StochasticMatrix StochasticMatrix::from_values(std::size_t rows,
+                                               std::size_t cols,
+                                               std::vector<double> values) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("StochasticMatrix::from_values: size");
+  }
+  StochasticMatrix m(rows, cols, std::move(values));
+  if (!m.is_row_stochastic()) {
+    throw std::invalid_argument(
+        "StochasticMatrix::from_values: rows must sum to 1");
+  }
+  return m;
+}
+
+double StochasticMatrix::row_max(std::size_t i) const {
+  const auto r = row(i);
+  return *std::max_element(r.begin(), r.end());
+}
+
+std::size_t StochasticMatrix::row_argmax(std::size_t i) const {
+  const auto r = row(i);
+  return static_cast<std::size_t>(
+      std::max_element(r.begin(), r.end()) - r.begin());
+}
+
+double StochasticMatrix::row_entropy(std::size_t i) const {
+  double h = 0.0;
+  for (double p : row(i)) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double StochasticMatrix::mean_entropy() const {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) sum += row_entropy(i);
+  return sum / static_cast<double>(rows_);
+}
+
+double StochasticMatrix::min_row_max() const {
+  double lo = 1.0;
+  for (std::size_t i = 0; i < rows_; ++i) lo = std::min(lo, row_max(i));
+  return lo;
+}
+
+std::vector<std::size_t> StochasticMatrix::argmax_assignment() const {
+  std::vector<std::size_t> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = row_argmax(i);
+  return out;
+}
+
+bool StochasticMatrix::is_row_stochastic() const {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = 0.0;
+    for (double p : row(i)) {
+      if (p < -kRowSumTolerance || p > 1.0 + kRowSumTolerance) return false;
+      sum += p;
+    }
+    if (std::abs(sum - 1.0) > kRowSumTolerance) return false;
+  }
+  return true;
+}
+
+void StochasticMatrix::blend_from(const StochasticMatrix& target, double zeta) {
+  if (target.rows_ != rows_ || target.cols_ != cols_) {
+    throw std::invalid_argument("StochasticMatrix::blend_from: shape");
+  }
+  if (zeta < 0.0 || zeta > 1.0) {
+    throw std::invalid_argument("StochasticMatrix::blend_from: zeta");
+  }
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    values_[k] = zeta * target.values_[k] + (1.0 - zeta) * values_[k];
+  }
+}
+
+double StochasticMatrix::kl_divergence(const StochasticMatrix& other) const {
+  if (other.rows_ != rows_ || other.cols_ != cols_) {
+    throw std::invalid_argument("StochasticMatrix::kl_divergence: shape");
+  }
+  double total = 0.0;
+  for (std::size_t k = 0; k < values_.size(); ++k) {
+    const double p = values_[k];
+    if (p <= 0.0) continue;
+    const double q = other.values_[k];
+    if (q <= 0.0) return std::numeric_limits<double>::infinity();
+    total += p * std::log2(p / q);
+  }
+  return total / static_cast<double>(rows_);
+}
+
+}  // namespace match::core

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace match::core {
+
+/// A row-stochastic matrix: `n` rows (tasks) × `n` columns (resources),
+/// each row a probability distribution over resources.
+///
+/// This is the CE method's parameter object for the mapping problem
+/// (the paper's `P = (p_ij)`).  MaTCH starts from the uniform matrix,
+/// re-estimates it from elite samples each iteration (eq. 11), smooths it
+/// (eq. 13) and stops when it degenerates — each row concentrating all
+/// mass on a single resource (Fig. 3).
+class StochasticMatrix {
+ public:
+  StochasticMatrix() = default;
+
+  /// `rows × cols` matrix with every entry `1 / cols` (the paper's P_0).
+  static StochasticMatrix uniform(std::size_t rows, std::size_t cols);
+
+  /// Takes ownership of row-major `values`; every row must already sum to
+  /// 1 within `kRowSumTolerance` (throws otherwise).
+  static StochasticMatrix from_values(std::size_t rows, std::size_t cols,
+                                      std::vector<double> values);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  double operator()(std::size_t i, std::size_t j) const {
+    return values_[i * cols_ + j];
+  }
+
+  std::span<const double> row(std::size_t i) const {
+    return {values_.data() + i * cols_, cols_};
+  }
+  std::span<double> row_mut(std::size_t i) {
+    return {values_.data() + i * cols_, cols_};
+  }
+
+  std::span<const double> values() const noexcept { return values_; }
+
+  /// Largest entry of row i (the paper's μ^i).
+  double row_max(std::size_t i) const;
+
+  /// Column index of the largest entry of row i.
+  std::size_t row_argmax(std::size_t i) const;
+
+  /// Shannon entropy of row i in bits; 0 when degenerate, log2(cols) when
+  /// uniform.  Used by the convergence traces (Fig. 3 reproduction).
+  double row_entropy(std::size_t i) const;
+
+  /// Mean row entropy — a scalar summary of how far the matrix is from
+  /// degenerate.
+  double mean_entropy() const;
+
+  /// Smallest row maximum; 1 - min_row_max() <= eps means every row has
+  /// (nearly) collapsed.
+  double min_row_max() const;
+
+  /// True when every row's maximum is at least `1 - eps`.
+  bool is_degenerate(double eps) const { return min_row_max() >= 1.0 - eps; }
+
+  /// The mapping obtained by taking each row's argmax.  Well-defined for
+  /// any matrix, meaningful once (nearly) degenerate.
+  std::vector<std::size_t> argmax_assignment() const;
+
+  /// True if every row sums to 1 within `kRowSumTolerance` and all
+  /// entries are in [0, 1].
+  bool is_row_stochastic() const;
+
+  /// Convex blend (eq. 13): this = zeta * target + (1 - zeta) * this.
+  void blend_from(const StochasticMatrix& target, double zeta);
+
+  /// Mean per-row Kullback–Leibler divergence D(this || other) in bits —
+  /// the "cross-entropy distance" of the method's name, usable as a
+  /// convergence measure between successive parameter matrices.  Zero
+  /// entries of `this` contribute 0; a positive entry of `this` over a
+  /// zero entry of `other` yields +infinity.
+  double kl_divergence(const StochasticMatrix& other) const;
+
+  static constexpr double kRowSumTolerance = 1e-9;
+
+ private:
+  StochasticMatrix(std::size_t rows, std::size_t cols,
+                   std::vector<double> values)
+      : rows_(rows), cols_(cols), values_(std::move(values)) {}
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace match::core

@@ -1,0 +1,176 @@
+#include "core/tsp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace match::core {
+
+TspProblem::TspProblem(std::size_t n, std::vector<double> distances)
+    : n_(n), dist_(std::move(distances)), p_(StochasticMatrix::uniform(
+                                              n > 1 ? n : 2, n > 1 ? n : 2)) {
+  if (n < 3) throw std::invalid_argument("TspProblem: need >= 3 cities");
+  if (dist_.size() != n * n) {
+    throw std::invalid_argument("TspProblem: distance matrix size");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j && !(dist_[i * n + j] > 0.0)) {
+        throw std::invalid_argument("TspProblem: distances must be positive");
+      }
+    }
+  }
+  p_ = StochasticMatrix::uniform(n, n);
+}
+
+TspProblem TspProblem::random_euclidean(std::size_t n, rng::Rng& rng) {
+  std::vector<std::array<double, 2>> points(n);
+  for (auto& pt : points) {
+    pt = {rng.uniform(), rng.uniform()};
+  }
+  std::vector<double> dist(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const double dx = points[i][0] - points[j][0];
+      const double dy = points[i][1] - points[j][1];
+      dist[i * n + j] = std::sqrt(dx * dx + dy * dy) + 1e-9;
+    }
+  }
+  return TspProblem(n, std::move(dist));
+}
+
+TspProblem::Sample TspProblem::draw(rng::Rng& rng) const {
+  Sample tour(n_);
+  std::vector<graph::NodeId> free;
+  free.reserve(n_ - 1);
+  for (graph::NodeId c = 1; c < n_; ++c) free.push_back(c);
+
+  tour[0] = 0;
+  std::vector<double> weights;
+  for (std::size_t step = 1; step < n_; ++step) {
+    const auto row = p_.row(tour[step - 1]);
+    weights.resize(free.size());
+    double total = 0.0;
+    for (std::size_t k = 0; k < free.size(); ++k) {
+      weights[k] = row[free[k]];
+      total += weights[k];
+    }
+    const std::size_t pick =
+        total > 0.0 ? rng.weighted_pick(weights, total)
+                    : static_cast<std::size_t>(rng.below(free.size()));
+    tour[step] = free[pick];
+    free[pick] = free.back();
+    free.pop_back();
+  }
+  return tour;
+}
+
+double TspProblem::cost(const Sample& tour) const {
+  double length = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    length += distance(tour[i], tour[(i + 1) % n_]);
+  }
+  return length;
+}
+
+void TspProblem::update(const std::vector<const Sample*>& elites,
+                        double zeta) {
+  if (elites.empty()) return;
+  std::vector<double> counts(n_ * n_, 0.0);
+  for (const Sample* tour : elites) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      // Count both tour directions: the instance is symmetric, and the
+      // symmetrized estimate halves the variance of the update.
+      const graph::NodeId a = (*tour)[i];
+      const graph::NodeId b = (*tour)[(i + 1) % n_];
+      counts[a * n_ + b] += 1.0;
+      counts[b * n_ + a] += 1.0;
+    }
+  }
+  const double denom = 2.0 * static_cast<double>(elites.size());
+  for (double& c : counts) c /= denom;
+  p_.blend_from(StochasticMatrix::from_values(n_, n_, std::move(counts)),
+                zeta);
+}
+
+bool TspProblem::degenerate(double eps) const {
+  // A degenerate transition matrix has every row concentrated on at most
+  // two successors (the two tour neighbors), i.e. row max >= 0.5 - eps.
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (p_.row_max(i) < 0.5 - eps) return false;
+  }
+  return true;
+}
+
+TspProblem::Sample TspProblem::nearest_neighbor_tour() const {
+  Sample tour(n_);
+  std::vector<char> visited(n_, 0);
+  tour[0] = 0;
+  visited[0] = 1;
+  for (std::size_t step = 1; step < n_; ++step) {
+    const graph::NodeId here = tour[step - 1];
+    double best = std::numeric_limits<double>::infinity();
+    graph::NodeId next = 0;
+    for (graph::NodeId c = 0; c < n_; ++c) {
+      if (!visited[c] && distance(here, c) < best) {
+        best = distance(here, c);
+        next = c;
+      }
+    }
+    tour[step] = next;
+    visited[next] = 1;
+  }
+  return tour;
+}
+
+TspProblem::Sample TspProblem::two_opt(Sample tour) const {
+  if (!is_valid_tour(tour)) {
+    throw std::invalid_argument("two_opt: invalid tour");
+  }
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i + 1 < n_; ++i) {
+      for (std::size_t j = i + 2; j < n_; ++j) {
+        if (i == 0 && j == n_ - 1) continue;  // same edge pair
+        const graph::NodeId a = tour[i], b = tour[i + 1];
+        const graph::NodeId c = tour[j], d = tour[(j + 1) % n_];
+        const double delta = distance(a, c) + distance(b, d) -
+                             distance(a, b) - distance(c, d);
+        if (delta < -1e-12) {
+          std::reverse(tour.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                       tour.begin() + static_cast<std::ptrdiff_t>(j + 1));
+          improved = true;
+        }
+      }
+    }
+  }
+  return tour;
+}
+
+double TspProblem::brute_force_optimum() const {
+  if (n_ > 11) throw std::invalid_argument("brute_force_optimum: n > 11");
+  Sample tour(n_);
+  std::iota(tour.begin(), tour.end(), graph::NodeId{0});
+  double best = std::numeric_limits<double>::infinity();
+  // City 0 fixed first: (n-1)! tours.
+  do {
+    best = std::min(best, cost(tour));
+  } while (std::next_permutation(tour.begin() + 1, tour.end()));
+  return best;
+}
+
+bool TspProblem::is_valid_tour(const Sample& tour) const {
+  if (tour.size() != n_ || tour[0] != 0) return false;
+  std::vector<char> seen(n_, 0);
+  for (const graph::NodeId c : tour) {
+    if (c >= n_ || seen[c]) return false;
+    seen[c] = 1;
+  }
+  return true;
+}
+
+}  // namespace match::core

@@ -1,0 +1,65 @@
+#pragma once
+
+// CE for the traveling-salesman problem, the other classic application
+// of the cross-entropy method to permutation-structured COPs (de Boer et
+// al.'s tutorial, which the paper borrows its notation from, develops CE
+// on exactly this problem).  Included to show the library's CE core is a
+// faithful implementation of the general method, not just of MaTCH:
+// here the stochastic matrix parameterizes *transitions* (row = current
+// city) instead of assignments (row = task).
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "core/ce_driver.hpp"
+#include "core/stochastic_matrix.hpp"
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace match::core {
+
+/// Symmetric TSP over an explicit distance matrix.
+class TspProblem {
+ public:
+  using Sample = std::vector<graph::NodeId>;  ///< visiting order, starts at 0
+
+  /// `distances` is a row-major n x n matrix; diagonal ignored.
+  TspProblem(std::size_t n, std::vector<double> distances);
+
+  /// Random Euclidean instance: n points uniform in the unit square.
+  static TspProblem random_euclidean(std::size_t n, rng::Rng& rng);
+
+  std::size_t size() const noexcept { return n_; }
+  double distance(graph::NodeId a, graph::NodeId b) const {
+    return dist_[a * n_ + b];
+  }
+
+  // --- CE driver interface -------------------------------------------
+  Sample draw(rng::Rng& rng) const;
+  double cost(const Sample& tour) const;  ///< closed-tour length
+  void update(const std::vector<const Sample*>& elites, double zeta);
+  bool degenerate(double eps) const;
+
+  const StochasticMatrix& transition_matrix() const noexcept { return p_; }
+
+  // --- Reference algorithms (baselines & test oracles) ----------------
+  /// Greedy nearest-neighbor tour from city 0.
+  Sample nearest_neighbor_tour() const;
+
+  /// 2-opt local search from `tour` until no improving exchange remains.
+  Sample two_opt(Sample tour) const;
+
+  /// Exact optimum by enumeration; n <= 11 only.
+  double brute_force_optimum() const;
+
+  /// True iff `tour` visits each city exactly once, starting at 0.
+  bool is_valid_tour(const Sample& tour) const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> dist_;
+  StochasticMatrix p_;  ///< transition probabilities, row = current city
+};
+
+}  // namespace match::core

@@ -1,0 +1,190 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace match::graph {
+
+std::vector<NodeId> bfs_order(const Graph& g, NodeId start) {
+  if (start >= g.num_nodes()) throw std::out_of_range("bfs_order: bad start");
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> order;
+  order.reserve(g.num_nodes());
+  std::queue<NodeId> frontier;
+  frontier.push(start);
+  seen[start] = 1;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    order.push_back(u);
+    for (const Neighbor& nb : g.neighbors(u)) {
+      if (!seen[nb.id]) {
+        seen[nb.id] = 1;
+        frontier.push(nb.id);
+      }
+    }
+  }
+  return order;
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.label.assign(g.num_nodes(), std::numeric_limits<std::size_t>::max());
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    if (out.label[s] != std::numeric_limits<std::size_t>::max()) continue;
+    const std::size_t id = out.count++;
+    std::queue<NodeId> frontier;
+    frontier.push(s);
+    out.label[s] = id;
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const Neighbor& nb : g.neighbors(u)) {
+        if (out.label[nb.id] == std::numeric_limits<std::size_t>::max()) {
+          out.label[nb.id] = id;
+          frontier.push(nb.id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() == 0 || connected_components(g).count == 1;
+}
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  if (s.nodes == 0) return s;
+
+  s.min_degree = std::numeric_limits<std::size_t>::max();
+  s.min_node_weight = std::numeric_limits<double>::infinity();
+  s.max_node_weight = -std::numeric_limits<double>::infinity();
+  double degree_sum = 0.0;
+  for (NodeId u = 0; u < s.nodes; ++u) {
+    const std::size_t d = g.degree(u);
+    s.min_degree = std::min(s.min_degree, d);
+    s.max_degree = std::max(s.max_degree, d);
+    degree_sum += static_cast<double>(d);
+    const double w = g.node_weight(u);
+    s.min_node_weight = std::min(s.min_node_weight, w);
+    s.max_node_weight = std::max(s.max_node_weight, w);
+  }
+  s.mean_degree = degree_sum / static_cast<double>(s.nodes);
+  s.mean_node_weight = g.total_node_weight() / static_cast<double>(s.nodes);
+
+  if (s.edges > 0) {
+    s.min_edge_weight = std::numeric_limits<double>::infinity();
+    s.max_edge_weight = -std::numeric_limits<double>::infinity();
+    for (const Edge& e : g.edge_list()) {
+      s.min_edge_weight = std::min(s.min_edge_weight, e.weight);
+      s.max_edge_weight = std::max(s.max_edge_weight, e.weight);
+    }
+    s.mean_edge_weight = g.total_edge_weight() / static_cast<double>(s.edges);
+    s.comp_comm_ratio = g.total_node_weight() / g.total_edge_weight();
+  }
+  return s;
+}
+
+std::vector<double> dijkstra(const Graph& g, NodeId source) {
+  if (source >= g.num_nodes()) throw std::out_of_range("dijkstra: bad source");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_nodes(), kInf);
+  dist[source] = 0.0;
+
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;  // stale entry
+    for (const Neighbor& nb : g.neighbors(u)) {
+      const double candidate = d + nb.weight;
+      if (candidate < dist[nb.id]) {
+        dist[nb.id] = candidate;
+        heap.emplace(candidate, nb.id);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> all_pairs_shortest_paths(const Graph& g) {
+  const std::size_t n = g.num_nodes();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> d(n * n, kInf);
+  for (std::size_t i = 0; i < n; ++i) d[i * n + i] = 0.0;
+  for (const Edge& e : g.edge_list()) {
+    d[e.u * n + e.v] = std::min(d[e.u * n + e.v], e.weight);
+    d[e.v * n + e.u] = std::min(d[e.v * n + e.u], e.weight);
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dik = d[i * n + k];
+      if (dik == kInf) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double via = dik + d[k * n + j];
+        if (via < d[i * n + j]) d[i * n + j] = via;
+      }
+    }
+  }
+  return d;
+}
+
+namespace {
+
+/// Union-find with path halving and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n), size_(n, 1) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
+};
+
+}  // namespace
+
+std::vector<Edge> minimum_spanning_forest(const Graph& g) {
+  std::vector<Edge> edges = g.edge_list();
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) { return a.weight < b.weight; });
+  DisjointSets sets(g.num_nodes());
+  std::vector<Edge> tree;
+  tree.reserve(g.num_nodes() > 0 ? g.num_nodes() - 1 : 0);
+  for (const Edge& e : edges) {
+    if (sets.unite(e.u, e.v)) tree.push_back(e);
+  }
+  std::sort(tree.begin(), tree.end(), [](const Edge& a, const Edge& b) {
+    return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+  });
+  return tree;
+}
+
+}  // namespace match::graph

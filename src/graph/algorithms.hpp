@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace match::graph {
+
+/// Breadth-first order of the component containing `start`.
+std::vector<NodeId> bfs_order(const Graph& g, NodeId start);
+
+/// Per-node component labels in [0, k) plus the component count k.
+struct Components {
+  std::vector<std::size_t> label;
+  std::size_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+/// True if the graph has a single connected component (or no nodes).
+bool is_connected(const Graph& g);
+
+/// Degree / weight summary used by generators' sanity checks and the
+/// workload reports.
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t min_degree = 0;
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  double min_node_weight = 0.0;
+  double max_node_weight = 0.0;
+  double mean_node_weight = 0.0;
+  double min_edge_weight = 0.0;
+  double max_edge_weight = 0.0;
+  double mean_edge_weight = 0.0;
+  /// Sum of node weights over sum of edge weights — the paper's
+  /// computation-to-communication ratio knob.
+  double comp_comm_ratio = 0.0;
+};
+GraphStats compute_stats(const Graph& g);
+
+/// Single-source shortest path distances by edge weight (Dijkstra).
+/// Unreachable nodes get +infinity.  All edge weights must be >= 0.
+std::vector<double> dijkstra(const Graph& g, NodeId source);
+
+/// All-pairs shortest path distance matrix (row-major n*n) via
+/// Floyd–Warshall.  diag = 0; unreachable pairs = +infinity.
+std::vector<double> all_pairs_shortest_paths(const Graph& g);
+
+/// Minimum spanning forest by Kruskal's algorithm (union-find): the
+/// minimum spanning tree of each connected component, as canonical
+/// (u < v) edges sorted by (u, v).  Used to build cheap backbone
+/// topologies from geometric resource layouts.
+std::vector<Edge> minimum_spanning_forest(const Graph& g);
+
+}  // namespace match::graph

@@ -1,0 +1,224 @@
+#include "graph/generators.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+
+namespace match::graph {
+
+namespace {
+
+std::vector<double> sample_node_weights(std::size_t n, WeightRange r,
+                                        rng::Rng& rng) {
+  std::vector<double> w(n);
+  for (auto& x : w) x = r.sample(rng);
+  return w;
+}
+
+/// Adds edges joining the connected components of `edges` into one
+/// component, picking one random representative per component.
+void patch_connectivity(std::size_t n, std::vector<Edge>& edges,
+                        WeightRange edge_w, rng::Rng& rng) {
+  Graph probe = Graph::from_edges(n, {}, edges);
+  const Components comps = connected_components(probe);
+  if (comps.count <= 1) return;
+
+  std::vector<std::vector<NodeId>> members(comps.count);
+  for (NodeId u = 0; u < n; ++u) {
+    members[comps.label[u]].push_back(u);
+  }
+  for (std::size_t c = 1; c < comps.count; ++c) {
+    const NodeId a = members[c - 1][rng.below(members[c - 1].size())];
+    const NodeId b = members[c][rng.below(members[c].size())];
+    edges.push_back(Edge{a, b, edge_w.sample(rng)});
+  }
+}
+
+}  // namespace
+
+Graph make_complete(std::size_t n, WeightRange node_w, WeightRange edge_w,
+                    rng::Rng& rng) {
+  std::vector<Edge> edges;
+  edges.reserve(n * (n - 1) / 2);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      edges.push_back(Edge{u, v, edge_w.sample(rng)});
+    }
+  }
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+Graph make_ring(std::size_t n, WeightRange node_w, WeightRange edge_w,
+                rng::Rng& rng) {
+  if (n < 3) throw std::invalid_argument("make_ring: need n >= 3");
+  std::vector<Edge> edges;
+  edges.reserve(n);
+  for (NodeId u = 0; u < n; ++u) {
+    edges.push_back(Edge{u, static_cast<NodeId>((u + 1) % n), edge_w.sample(rng)});
+  }
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+Graph make_star(std::size_t n, WeightRange node_w, WeightRange edge_w,
+                rng::Rng& rng) {
+  if (n < 2) throw std::invalid_argument("make_star: need n >= 2");
+  std::vector<Edge> edges;
+  edges.reserve(n - 1);
+  for (NodeId u = 1; u < n; ++u) {
+    edges.push_back(Edge{0, u, edge_w.sample(rng)});
+  }
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+Graph make_mesh(std::size_t rows, std::size_t cols, bool torus,
+                WeightRange node_w, WeightRange edge_w, rng::Rng& rng) {
+  if (rows < 1 || cols < 1) throw std::invalid_argument("make_mesh: empty");
+  const std::size_t n = rows * cols;
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  std::vector<Edge> edges;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back(Edge{at(r, c), at(r, c + 1), edge_w.sample(rng)});
+      if (r + 1 < rows) edges.push_back(Edge{at(r, c), at(r + 1, c), edge_w.sample(rng)});
+    }
+  }
+  if (torus) {
+    // Wrap-around links; skip dimensions of size <= 2, where the wrap edge
+    // would duplicate an existing mesh edge.
+    if (cols > 2) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        edges.push_back(Edge{at(r, cols - 1), at(r, 0), edge_w.sample(rng)});
+      }
+    }
+    if (rows > 2) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        edges.push_back(Edge{at(rows - 1, c), at(0, c), edge_w.sample(rng)});
+      }
+    }
+  }
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+Graph make_gnp(std::size_t n, double p, WeightRange node_w, WeightRange edge_w,
+               rng::Rng& rng, bool force_connected) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("make_gnp: bad p");
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.bernoulli(p)) edges.push_back(Edge{u, v, edge_w.sample(rng)});
+    }
+  }
+  if (force_connected && n > 0) patch_connectivity(n, edges, edge_w, rng);
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+Graph make_clustered(std::size_t n, std::size_t regions, double p_dense,
+                     double p_sparse, WeightRange node_w, WeightRange edge_w,
+                     rng::Rng& rng, bool force_connected) {
+  if (regions == 0) throw std::invalid_argument("make_clustered: regions == 0");
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const bool same_region = (u % regions) == (v % regions);
+      const double p = same_region ? p_dense : p_sparse;
+      if (rng.bernoulli(p)) edges.push_back(Edge{u, v, edge_w.sample(rng)});
+    }
+  }
+  if (force_connected && n > 0) patch_connectivity(n, edges, edge_w, rng);
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+Graph make_barabasi_albert(std::size_t n, std::size_t m, WeightRange node_w,
+                           WeightRange edge_w, rng::Rng& rng) {
+  if (m == 0 || n <= m) {
+    throw std::invalid_argument("make_barabasi_albert: need n > m >= 1");
+  }
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: each edge contributes both endpoints, giving
+  // the classic degree-proportional sampling distribution.
+  std::vector<NodeId> endpoint_pool;
+  // Seed: a clique over the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      edges.push_back(Edge{u, v, edge_w.sample(rng)});
+      endpoint_pool.push_back(u);
+      endpoint_pool.push_back(v);
+    }
+  }
+  for (NodeId u = static_cast<NodeId>(m + 1); u < n; ++u) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId cand = endpoint_pool[rng.below(endpoint_pool.size())];
+      bool duplicate = false;
+      for (NodeId t : targets) duplicate |= (t == cand);
+      if (!duplicate) targets.push_back(cand);
+    }
+    for (NodeId t : targets) {
+      edges.push_back(Edge{t, u, edge_w.sample(rng)});
+      endpoint_pool.push_back(t);
+      endpoint_pool.push_back(u);
+    }
+  }
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+Graph make_geometric(std::size_t n, double radius, WeightRange node_w,
+                     double cost_per_unit, rng::Rng& rng,
+                     bool force_connected) {
+  if (radius <= 0.0 || cost_per_unit <= 0.0) {
+    throw std::invalid_argument("make_geometric: bad radius or cost");
+  }
+  std::vector<std::array<double, 2>> points(n);
+  for (auto& pt : points) pt = {rng.uniform(), rng.uniform()};
+
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = points[a][0] - points[b][0];
+    const double dy = points[a][1] - points[b][1];
+    return std::sqrt(dx * dx + dy * dy);
+  };
+
+  std::vector<Edge> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double d = dist(u, v);
+      if (d <= radius) {
+        edges.push_back(Edge{u, v, std::max(d, 1e-6) * cost_per_unit});
+      }
+    }
+  }
+
+  if (force_connected && n > 0) {
+    // Link components via the globally nearest cross-component pair,
+    // repeated until connected — preserves the geometric flavor better
+    // than random patch edges.
+    for (;;) {
+      Graph probe = Graph::from_edges(n, {}, edges);
+      const Components comps = connected_components(probe);
+      if (comps.count <= 1) break;
+      double best_d = std::numeric_limits<double>::infinity();
+      NodeId best_u = 0, best_v = 0;
+      for (NodeId u = 0; u < n; ++u) {
+        for (NodeId v = u + 1; v < n; ++v) {
+          if (comps.label[u] == comps.label[v]) continue;
+          const double d = dist(u, v);
+          if (d < best_d) {
+            best_d = d;
+            best_u = u;
+            best_v = v;
+          }
+        }
+      }
+      edges.push_back(
+          Edge{best_u, best_v, std::max(best_d, 1e-6) * cost_per_unit});
+    }
+  }
+  return Graph::from_edges(n, sample_node_weights(n, node_w, rng), edges);
+}
+
+}  // namespace match::graph

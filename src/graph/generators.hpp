@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace match::graph {
+
+/// Inclusive integer range from which node or edge weights are drawn
+/// uniformly.  The paper draws all weights from integer ranges (e.g. TIG
+/// node weights 1–10), so integer draws keep instances paper-faithful;
+/// the weights are stored as doubles.
+struct WeightRange {
+  long lo = 1;
+  long hi = 1;
+
+  double sample(rng::Rng& rng) const {
+    return static_cast<double>(rng.uniform_int(lo, hi));
+  }
+};
+
+/// Complete graph K_n with random weights.
+Graph make_complete(std::size_t n, WeightRange node_w, WeightRange edge_w,
+                    rng::Rng& rng);
+
+/// Ring (cycle) topology.
+Graph make_ring(std::size_t n, WeightRange node_w, WeightRange edge_w,
+                rng::Rng& rng);
+
+/// Star topology with node 0 at the hub.
+Graph make_star(std::size_t n, WeightRange node_w, WeightRange edge_w,
+                rng::Rng& rng);
+
+/// rows x cols 2-D mesh; `torus` adds wrap-around links.
+Graph make_mesh(std::size_t rows, std::size_t cols, bool torus,
+                WeightRange node_w, WeightRange edge_w, rng::Rng& rng);
+
+/// Erdős–Rényi G(n, p) with random weights.  When `force_connected` is
+/// set, any disconnected result is patched by chaining the components
+/// with extra random edges (weights drawn from the same range).
+Graph make_gnp(std::size_t n, double p, WeightRange node_w, WeightRange edge_w,
+               rng::Rng& rng, bool force_connected = true);
+
+/// The paper's "regions of high density and regions of lower density"
+/// generator: nodes are split into `regions` groups; intra-group edges
+/// appear with probability `p_dense`, inter-group edges with `p_sparse`.
+/// Connectivity is patched in the same way as `make_gnp`.
+Graph make_clustered(std::size_t n, std::size_t regions, double p_dense,
+                     double p_sparse, WeightRange node_w, WeightRange edge_w,
+                     rng::Rng& rng, bool force_connected = true);
+
+/// Barabási–Albert preferential attachment with `m` links per new node;
+/// models scale-free resource pools (extension beyond the paper).
+Graph make_barabasi_albert(std::size_t n, std::size_t m, WeightRange node_w,
+                           WeightRange edge_w, rng::Rng& rng);
+
+/// Random geometric graph: `n` points uniform in the unit square, an
+/// edge between points within `radius`, edge weight = Euclidean distance
+/// × `cost_per_unit` (link cost proportional to physical span — a
+/// wide-area grid model).  Disconnected results are patched by linking
+/// nearest points across components.
+Graph make_geometric(std::size_t n, double radius, WeightRange node_w,
+                     double cost_per_unit, rng::Rng& rng,
+                     bool force_connected = true);
+
+}  // namespace match::graph

@@ -1,0 +1,130 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace match::graph {
+
+Graph Graph::from_edges(std::size_t num_nodes, std::vector<double> node_weights,
+                        std::span<const Edge> edges) {
+  if (node_weights.empty()) {
+    node_weights.assign(num_nodes, 1.0);
+  } else if (node_weights.size() != num_nodes) {
+    throw std::invalid_argument("Graph: node_weights size mismatch");
+  }
+
+  // Canonicalize and validate the edge list.
+  std::vector<Edge> canon(edges.begin(), edges.end());
+  for (auto& e : canon) {
+    if (e.u >= num_nodes || e.v >= num_nodes) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    if (e.u == e.v) throw std::invalid_argument("Graph: self-loop");
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
+    return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+  });
+  for (std::size_t i = 1; i < canon.size(); ++i) {
+    if (canon[i].u == canon[i - 1].u && canon[i].v == canon[i - 1].v) {
+      throw std::invalid_argument("Graph: duplicate edge");
+    }
+  }
+
+  Graph g;
+  g.node_weights_ = std::move(node_weights);
+  g.total_node_weight_ = 0.0;
+  for (double w : g.node_weights_) g.total_node_weight_ += w;
+
+  g.edge_u_.reserve(canon.size());
+  g.edge_v_.reserve(canon.size());
+  g.total_edge_weight_ = 0.0;
+
+  // Counting pass for CSR offsets.
+  g.offsets_.assign(num_nodes + 1, 0);
+  for (const auto& e : canon) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 0; i < num_nodes; ++i) g.offsets_[i + 1] += g.offsets_[i];
+
+  g.adjacency_.resize(2 * canon.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& e : canon) {
+    g.adjacency_[cursor[e.u]++] = Neighbor{e.v, e.weight};
+    g.adjacency_[cursor[e.v]++] = Neighbor{e.u, e.weight};
+    g.edge_u_.push_back(e.u);
+    g.edge_v_.push_back(e.v);
+    g.total_edge_weight_ += e.weight;
+  }
+  // Edges were inserted in (u, v)-sorted order, so each node's "forward"
+  // neighbors are sorted, but the "backward" ones interleave; sort each row.
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[i]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[i + 1]),
+              [](const Neighbor& a, const Neighbor& b) { return a.id < b.id; });
+  }
+  return g;
+}
+
+Graph::Builder::Builder(std::size_t num_nodes) : node_weights_(num_nodes, 1.0) {}
+
+NodeId Graph::Builder::add_node(double weight) {
+  node_weights_.push_back(weight);
+  return static_cast<NodeId>(node_weights_.size() - 1);
+}
+
+void Graph::Builder::set_node_weight(NodeId node, double weight) {
+  if (node >= node_weights_.size()) {
+    throw std::out_of_range("Builder::set_node_weight: no such node");
+  }
+  node_weights_[node] = weight;
+}
+
+void Graph::Builder::add_edge(NodeId u, NodeId v, double weight) {
+  if (u >= node_weights_.size() || v >= node_weights_.size()) {
+    throw std::out_of_range("Builder::add_edge: no such node");
+  }
+  edges_.push_back(Edge{u, v, weight});
+}
+
+Graph Graph::Builder::build() {
+  const std::size_t n = node_weights_.size();
+  Graph g = Graph::from_edges(n, std::move(node_weights_), edges_);
+  node_weights_.clear();
+  edges_.clear();
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  const auto row = neighbors(u);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const Neighbor& n, NodeId id) { return n.id < id; });
+  return it != row.end() && it->id == v;
+}
+
+double Graph::edge_weight(NodeId u, NodeId v) const {
+  const auto row = neighbors(u);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), v,
+      [](const Neighbor& n, NodeId id) { return n.id < id; });
+  return (it != row.end() && it->id == v) ? it->weight : 0.0;
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(edge_u_.size());
+  for (std::size_t i = 0; i < edge_u_.size(); ++i) {
+    out.push_back(Edge{edge_u_[i], edge_v_[i], edge_weight(edge_u_[i], edge_v_[i])});
+  }
+  return out;
+}
+
+bool operator==(const Graph& a, const Graph& b) {
+  return a.node_weights_ == b.node_weights_ && a.offsets_ == b.offsets_ &&
+         a.adjacency_ == b.adjacency_;
+}
+
+}  // namespace match::graph

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace match::graph {
+
+/// Node index.  32 bits comfortably covers every instance size this
+/// library targets while halving the memory traffic of the CSR arrays.
+using NodeId = std::uint32_t;
+
+/// An undirected weighted edge used during construction and I/O.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// A neighbor record as seen from one endpoint.
+struct Neighbor {
+  NodeId id;
+  double weight;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+/// Immutable undirected graph with per-node and per-edge weights, stored
+/// in compressed-sparse-row (CSR) form.
+///
+/// CSR keeps each node's adjacency contiguous, which is what the cost
+/// evaluators iterate over in their inner loop; the layout is the single
+/// most performance-relevant choice in the library.  Graphs are built
+/// once (via `Builder` or the factory functions) and never mutated.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph from an explicit edge list.
+  ///
+  /// Node weights default to 1 when `node_weights` is empty; otherwise it
+  /// must have exactly `num_nodes` entries.  Throws `std::invalid_argument`
+  /// on out-of-range endpoints, self-loops, or duplicate edges.
+  static Graph from_edges(std::size_t num_nodes,
+                          std::vector<double> node_weights,
+                          std::span<const Edge> edges);
+
+  /// Incremental construction helper.
+  class Builder {
+   public:
+    explicit Builder(std::size_t num_nodes = 0);
+
+    /// Appends a node and returns its id.
+    NodeId add_node(double weight = 1.0);
+
+    /// Sets the weight of an existing node.
+    void set_node_weight(NodeId node, double weight);
+
+    /// Adds an undirected edge; endpoints must already exist.
+    void add_edge(NodeId u, NodeId v, double weight = 1.0);
+
+    std::size_t num_nodes() const noexcept { return node_weights_.size(); }
+
+    /// Finalizes into CSR form.  The builder is left empty.
+    Graph build();
+
+   private:
+    std::vector<double> node_weights_;
+    std::vector<Edge> edges_;
+  };
+
+  std::size_t num_nodes() const noexcept { return node_weights_.size(); }
+  std::size_t num_edges() const noexcept { return edge_u_.size(); }
+
+  double node_weight(NodeId node) const { return node_weights_[node]; }
+  std::span<const double> node_weights() const noexcept { return node_weights_; }
+
+  /// Sum of all node weights.
+  double total_node_weight() const noexcept { return total_node_weight_; }
+
+  /// Sum of all edge weights.
+  double total_edge_weight() const noexcept { return total_edge_weight_; }
+
+  std::size_t degree(NodeId node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+  /// The neighbors of `node` with the corresponding edge weights,
+  /// contiguous and sorted by neighbor id.
+  std::span<const Neighbor> neighbors(NodeId node) const {
+    return {adjacency_.data() + offsets_[node],
+            adjacency_.data() + offsets_[node + 1]};
+  }
+
+  /// True if the undirected edge (u, v) exists.  O(log deg(u)).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Weight of edge (u, v), or 0 if absent.  O(log deg(u)).
+  double edge_weight(NodeId u, NodeId v) const;
+
+  /// Each undirected edge exactly once, with u < v, sorted by (u, v).
+  std::vector<Edge> edge_list() const;
+
+  /// Structural + weight equality.
+  friend bool operator==(const Graph& a, const Graph& b);
+
+ private:
+  std::vector<double> node_weights_;
+  std::vector<std::size_t> offsets_;   // size num_nodes + 1
+  std::vector<Neighbor> adjacency_;    // size 2 * num_edges
+  std::vector<NodeId> edge_u_, edge_v_;  // canonical edge list (u < v)
+  double total_node_weight_ = 0.0;
+  double total_edge_weight_ = 0.0;
+};
+
+/// A Task Interaction Graph: nodes are data-parallel tasks (weight = amount
+/// of computation, e.g. grid points of an overset grid), edges are data
+/// exchanges (weight = communication volume, e.g. overlapping grid points).
+class Tig {
+ public:
+  Tig() = default;
+  explicit Tig(Graph g) : g_(std::move(g)) {}
+
+  const Graph& graph() const noexcept { return g_; }
+  std::size_t num_tasks() const noexcept { return g_.num_nodes(); }
+
+  /// Computational weight W^t of task t.
+  double compute_weight(NodeId task) const { return g_.node_weight(task); }
+
+  /// Communication volume C^{t,a}; 0 when the tasks do not interact.
+  double comm_volume(NodeId t, NodeId a) const { return g_.edge_weight(t, a); }
+
+  std::span<const Neighbor> neighbors(NodeId task) const {
+    return g_.neighbors(task);
+  }
+
+  friend bool operator==(const Tig&, const Tig&) = default;
+
+ private:
+  Graph g_;
+};
+
+/// A heterogeneous resource (system) graph: nodes are processors (weight =
+/// processing cost per unit of computation, i.e. *slowness*), edges are
+/// links (weight = cost per unit of communication).
+class ResourceGraph {
+ public:
+  ResourceGraph() = default;
+  explicit ResourceGraph(Graph g) : g_(std::move(g)) {}
+
+  const Graph& graph() const noexcept { return g_; }
+  std::size_t num_resources() const noexcept { return g_.num_nodes(); }
+
+  /// Processing cost per unit of computation, w_s.
+  double processing_cost(NodeId resource) const {
+    return g_.node_weight(resource);
+  }
+
+  /// Direct link cost c_{s,b}; 0 when no direct link exists.
+  double link_cost(NodeId s, NodeId b) const { return g_.edge_weight(s, b); }
+
+  std::span<const Neighbor> neighbors(NodeId resource) const {
+    return g_.neighbors(resource);
+  }
+
+  friend bool operator==(const ResourceGraph&, const ResourceGraph&) = default;
+
+ private:
+  Graph g_;
+};
+
+}  // namespace match::graph

@@ -1,0 +1,92 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace match::graph {
+
+void write_graph(std::ostream& os, const Graph& g) {
+  os << std::setprecision(17);
+  os << "nodes " << g.num_nodes() << "\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    os << "node " << u << " " << g.node_weight(u) << "\n";
+  }
+  for (const Edge& e : g.edge_list()) {
+    os << "edge " << e.u << " " << e.v << " " << e.weight << "\n";
+  }
+}
+
+Graph read_graph(std::istream& is) {
+  std::size_t n = 0;
+  bool have_n = false;
+  std::vector<double> node_weights;
+  std::vector<Edge> edges;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& what) {
+      throw std::runtime_error("read_graph: line " + std::to_string(line_no) +
+                               ": " + what);
+    };
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "nodes") {
+      if (have_n) fail("duplicate 'nodes' line");
+      if (!(ls >> n)) fail("malformed 'nodes' line");
+      node_weights.assign(n, 1.0);
+      have_n = true;
+    } else if (keyword == "node") {
+      if (!have_n) fail("'node' before 'nodes'");
+      std::size_t id;
+      double w;
+      if (!(ls >> id >> w)) fail("malformed 'node' line");
+      if (id >= n) fail("node id out of range");
+      node_weights[id] = w;
+    } else if (keyword == "edge") {
+      if (!have_n) fail("'edge' before 'nodes'");
+      std::size_t u, v;
+      double w;
+      if (!(ls >> u >> v >> w)) fail("malformed 'edge' line");
+      if (u >= n || v >= n) fail("edge endpoint out of range");
+      edges.push_back(Edge{static_cast<NodeId>(u), static_cast<NodeId>(v), w});
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_n) throw std::runtime_error("read_graph: missing 'nodes' line");
+  return Graph::from_edges(n, std::move(node_weights), edges);
+}
+
+void save_graph(const std::string& path, const Graph& g) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_graph: cannot open " + path);
+  write_graph(os, g);
+  if (!os) throw std::runtime_error("save_graph: write failed for " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_graph: cannot open " + path);
+  return read_graph(is);
+}
+
+void write_dot(std::ostream& os, const Graph& g, const std::string& name) {
+  os << "graph " << name << " {\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    os << "  n" << u << " [label=\"" << u << " (" << g.node_weight(u)
+       << ")\"];\n";
+  }
+  for (const Edge& e : g.edge_list()) {
+    os << "  n" << e.u << " -- n" << e.v << " [label=\"" << e.weight
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace match::graph

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace match::graph {
+
+/// Plain-text graph exchange format:
+///
+/// ```
+/// # comment lines start with '#'
+/// nodes <n>
+/// node <id> <weight>          (one line per node; optional, default 1)
+/// edge <u> <v> <weight>       (one line per undirected edge)
+/// ```
+///
+/// The format is the library's on-disk instance representation; it is
+/// whitespace-tolerant and round-trips exactly through write/read.
+void write_graph(std::ostream& os, const Graph& g);
+Graph read_graph(std::istream& is);
+
+/// File-path conveniences; throw `std::runtime_error` on I/O failure.
+void save_graph(const std::string& path, const Graph& g);
+Graph load_graph(const std::string& path);
+
+/// Graphviz DOT export (undirected); node labels show weights.
+void write_dot(std::ostream& os, const Graph& g, const std::string& name = "G");
+
+}  // namespace match::graph

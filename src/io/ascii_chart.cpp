@@ -1,0 +1,91 @@
+#include "io/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+
+namespace match::io {
+
+AsciiChart::AsciiChart(std::string title, std::vector<std::string> x_labels)
+    : title_(std::move(title)), x_labels_(std::move(x_labels)) {
+  if (x_labels_.empty()) throw std::invalid_argument("AsciiChart: no x labels");
+}
+
+void AsciiChart::add_series(Series s) {
+  if (s.y.size() != x_labels_.size()) {
+    throw std::invalid_argument("AsciiChart: series length mismatch");
+  }
+  series_.push_back(std::move(s));
+}
+
+void AsciiChart::set_height(std::size_t rows) {
+  if (rows < 4) throw std::invalid_argument("AsciiChart: height < 4");
+  height_ = rows;
+}
+
+void AsciiChart::print(std::ostream& os) const {
+  if (series_.empty()) {
+    os << title_ << " (no data)\n";
+    return;
+  }
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const Series& s : series_) {
+    for (double v : s.y) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const auto transform = [&](double v) {
+    return log_y_ ? std::log10(std::max(v, 1e-300)) : v;
+  };
+  double tlo = transform(lo), thi = transform(hi);
+  if (thi - tlo < 1e-12) {
+    thi = tlo + 1.0;  // flat data: give the band some height
+  }
+
+  const std::size_t col_width = 12;
+  const std::size_t plot_cols = x_labels_.size() * col_width;
+  std::vector<std::string> canvas(height_, std::string(plot_cols, ' '));
+
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.y.size(); ++i) {
+      const double frac = (transform(s.y[i]) - tlo) / (thi - tlo);
+      const auto row_from_bottom = static_cast<std::size_t>(
+          std::lround(frac * static_cast<double>(height_ - 1)));
+      const std::size_t row = height_ - 1 - row_from_bottom;
+      const std::size_t col = i * col_width + col_width / 2;
+      canvas[row][col] = s.marker;
+    }
+  }
+
+  os << "\n" << title_;
+  if (log_y_) os << "   [log y]";
+  os << "\n";
+  for (std::size_t r = 0; r < height_; ++r) {
+    const double frac =
+        static_cast<double>(height_ - 1 - r) / static_cast<double>(height_ - 1);
+    double axis_val = tlo + frac * (thi - tlo);
+    if (log_y_) axis_val = std::pow(10.0, axis_val);
+    os << std::setw(11) << std::setprecision(4) << axis_val << " |"
+       << canvas[r] << "\n";
+  }
+  os << std::string(12, ' ') << "+" << std::string(plot_cols, '-') << "\n";
+  os << std::string(13, ' ');
+  for (const std::string& label : x_labels_) {
+    std::string cell = label.substr(0, col_width - 1);
+    const std::size_t pad = col_width - cell.size();
+    os << std::string(pad / 2, ' ') << cell
+       << std::string(pad - pad / 2, ' ');
+  }
+  os << "\n   legend: ";
+  for (const Series& s : series_) {
+    os << "'" << s.marker << "' = " << s.label << "   ";
+  }
+  os << "\n\n";
+}
+
+}  // namespace match::io

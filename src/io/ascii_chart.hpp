@@ -1,0 +1,43 @@
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace match::io {
+
+/// One line series of an AsciiChart.
+struct Series {
+  std::string label;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+/// Terminal bar/line chart used by the figure-reproduction benches so a
+/// bench binary's stdout shows the *shape* of the paper's figure, not
+/// just numbers.
+///
+/// Values are plotted against a shared categorical x-axis (e.g. the
+/// resource counts 10..50).  A logarithmic y-axis is available because
+/// the paper's ET spans two orders of magnitude.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::vector<std::string> x_labels);
+
+  void add_series(Series s);
+
+  void set_log_y(bool log_y) { log_y_ = log_y; }
+  void set_height(std::size_t rows);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> x_labels_;
+  std::vector<Series> series_;
+  bool log_y_ = false;
+  std::size_t height_ = 16;
+};
+
+}  // namespace match::io

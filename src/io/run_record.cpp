@@ -1,0 +1,49 @@
+#include "io/run_record.hpp"
+
+#include <map>
+#include <ostream>
+#include <tuple>
+
+#include "io/table.hpp"
+
+namespace match::io {
+
+const char* RunLog::header() {
+  return "experiment,heuristic,instance,n,seed,cost,seconds,iterations,"
+         "evaluations";
+}
+
+RunLog::RunLog(std::ostream& os) : os_(&os) { *os_ << header() << "\n"; }
+
+void RunLog::add(const RunRecord& r) {
+  *os_ << csv_escape(r.experiment) << "," << csv_escape(r.heuristic) << ","
+       << csv_escape(r.instance) << "," << r.n << "," << r.seed << ","
+       << Table::num(r.cost, 12) << "," << Table::num(r.seconds, 8) << ","
+       << r.iterations << "," << r.evaluations << "\n";
+  ++count_;
+}
+
+std::vector<RunAggregate> aggregate_runs(
+    const std::vector<RunRecord>& records) {
+  using Key = std::tuple<std::string, std::string, std::size_t>;
+  std::map<Key, RunAggregate> groups;
+  for (const RunRecord& r : records) {
+    RunAggregate& agg = groups[{r.experiment, r.heuristic, r.n}];
+    agg.experiment = r.experiment;
+    agg.heuristic = r.heuristic;
+    agg.n = r.n;
+    ++agg.runs;
+    agg.mean_cost += r.cost;
+    agg.mean_seconds += r.seconds;
+  }
+  std::vector<RunAggregate> out;
+  out.reserve(groups.size());
+  for (auto& [key, agg] : groups) {
+    agg.mean_cost /= static_cast<double>(agg.runs);
+    agg.mean_seconds /= static_cast<double>(agg.runs);
+    out.push_back(std::move(agg));
+  }
+  return out;
+}
+
+}  // namespace match::io

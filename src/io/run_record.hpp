@@ -1,0 +1,57 @@
+#pragma once
+
+// Structured experiment records: every heuristic run in the benchmark
+// harness can be captured as a RunRecord and appended to a CSV log, so
+// downstream analysis (plots, regressions across commits) works from
+// machine-readable data instead of scraped stdout.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace match::io {
+
+/// One heuristic execution on one instance.
+struct RunRecord {
+  std::string experiment;  ///< e.g. "table1", "ablation"
+  std::string heuristic;   ///< e.g. "match", "fastmap-ga"
+  std::string instance;    ///< instance name / description
+  std::size_t n = 0;       ///< problem size
+  std::uint64_t seed = 0;
+  double cost = 0.0;       ///< achieved makespan (ET)
+  double seconds = 0.0;    ///< mapping time (MT)
+  std::size_t iterations = 0;
+  std::size_t evaluations = 0;
+};
+
+/// Append-only CSV log of run records.  The header is written once per
+/// stream; records escape per RFC 4180 (via io/table.hpp's escaper).
+class RunLog {
+ public:
+  /// Writes to `os`, emitting the header immediately.  The stream must
+  /// outlive the log.
+  explicit RunLog(std::ostream& os);
+
+  void add(const RunRecord& record);
+
+  std::size_t size() const noexcept { return count_; }
+
+  static const char* header();
+
+ private:
+  std::ostream* os_;
+  std::size_t count_ = 0;
+};
+
+/// Aggregates records that share (experiment, heuristic, n).
+struct RunAggregate {
+  std::string experiment;
+  std::string heuristic;
+  std::size_t n = 0;
+  std::size_t runs = 0;
+  double mean_cost = 0.0;
+  double mean_seconds = 0.0;
+};
+std::vector<RunAggregate> aggregate_runs(const std::vector<RunRecord>& records);
+
+}  // namespace match::io

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace match::io {
+
+/// Aligned plain-text table builder used by the benchmark harness to
+/// print paper-style result tables.
+///
+/// ```
+/// Table t({"|Vr|=|Vt|", "ET_GA", "ET_MaTCH", "ratio"});
+/// t.add_row({"10", "16585", "3516", "4.72"});
+/// t.print(std::cout);
+/// ```
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string num(double value, int precision = 6);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+  std::size_t num_cols() const noexcept { return header_.size(); }
+
+  void print(std::ostream& os) const;
+
+  /// Comma-separated form (header + rows) for machine consumption.
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV field quoting per RFC 4180 (quotes fields containing
+/// commas, quotes or newlines).
+std::string csv_escape(const std::string& field);
+
+}  // namespace match::io

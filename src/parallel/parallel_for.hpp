@@ -1,0 +1,100 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+#include "parallel/thread_pool.hpp"
+
+namespace match::parallel {
+
+/// Controls how a `parallel_for` range is split across workers.
+struct ForOptions {
+  /// Minimum iterations per chunk; below `serial_cutoff` total iterations
+  /// the loop runs inline on the calling thread.
+  std::size_t grain = 64;
+  std::size_t serial_cutoff = 256;
+  /// Pool to run on; nullptr selects the process-global pool.
+  ThreadPool* pool = nullptr;
+  /// Dispatch chunks via OpenMP instead of the thread pool when the
+  /// library was built with OpenMP support (no-op otherwise).  Results
+  /// are identical either way — chunking is deterministic and bodies are
+  /// data-independent; this only changes which runtime runs them.
+  bool prefer_openmp = false;
+};
+
+/// Runs `body(begin, end)` over disjoint sub-ranges of [first, last) in
+/// parallel and blocks until all sub-ranges complete.
+///
+/// `body` receives half-open index ranges so callers can amortize per-chunk
+/// setup (scratch buffers, RNG streams).  The chunking is deterministic:
+/// chunk `k` covers `[first + k*chunk, ...)`, so a caller that indexes
+/// per-chunk resources by `chunk_index` gets reproducible assignment.
+template <typename Body>
+void parallel_for_chunked(std::size_t first, std::size_t last, Body&& body,
+                          const ForOptions& opts = {}) {
+  if (first >= last) return;
+  const std::size_t n = last - first;
+  ThreadPool& pool = opts.pool ? *opts.pool : ThreadPool::global();
+  if (n <= opts.serial_cutoff || pool.thread_count() <= 1) {
+    body(first, last, /*chunk_index=*/std::size_t{0});
+    return;
+  }
+
+  const std::size_t target_chunks = pool.thread_count() * 4;
+  std::size_t chunk = std::max<std::size_t>(opts.grain, (n + target_chunks - 1) / target_chunks);
+  const std::size_t chunk_count = (n + chunk - 1) / chunk;
+
+#if defined(MATCH_HAVE_OPENMP)
+  if (opts.prefer_openmp) {
+    const auto count = static_cast<std::ptrdiff_t>(chunk_count);
+#pragma omp parallel for schedule(dynamic, 1)
+    for (std::ptrdiff_t k = 0; k < count; ++k) {
+      const std::size_t lo = first + static_cast<std::size_t>(k) * chunk;
+      const std::size_t hi = std::min(last, lo + chunk);
+      body(lo, hi, static_cast<std::size_t>(k));
+    }
+    return;
+  }
+#endif
+
+  std::atomic<std::size_t> remaining{chunk_count};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  for (std::size_t k = 0; k < chunk_count; ++k) {
+    const std::size_t lo = first + k * chunk;
+    const std::size_t hi = std::min(last, lo + chunk);
+    pool.submit([&, lo, hi, k] {
+      body(lo, hi, k);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+}
+
+/// Element-wise parallel loop: runs `body(i)` for each i in [first, last).
+template <typename Body>
+void parallel_for(std::size_t first, std::size_t last, Body&& body,
+                  const ForOptions& opts = {}) {
+  parallel_for_chunked(
+      first, last,
+      [&body](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      opts);
+}
+
+/// Parallel map: out[i] = f(i) for i in [0, n).  `out` must have size >= n.
+template <typename T, typename F>
+void parallel_transform(std::size_t n, T* out, F&& f, const ForOptions& opts = {}) {
+  parallel_for(
+      0, n, [&](std::size_t i) { out[i] = f(i); }, opts);
+}
+
+}  // namespace match::parallel

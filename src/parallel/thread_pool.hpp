@@ -1,0 +1,57 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace match::parallel {
+
+/// A fixed-size thread pool with a single shared FIFO queue.
+///
+/// This is deliberately simple: the library's parallel sections are
+/// coarse-grained batch evaluations (thousands of independent cost-function
+/// calls per task), so a shared queue with chunked submission is within
+/// noise of a work-stealing scheduler while being far easier to reason
+/// about.  The pool is used through `parallel_for` (see parallel_for.hpp);
+/// direct task submission is available for irregular work.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Joins all workers.  Pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.  Tasks must not throw; exceptions escaping a task
+  /// terminate the program (by design — parallel kernels in this library
+  /// are noexcept).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Process-wide default pool, sized to the hardware, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace match::parallel

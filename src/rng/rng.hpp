@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "rng/xoshiro256ss.hpp"
+
+namespace match::rng {
+
+/// Convenience façade over Xoshiro256ss providing the distributions the
+/// library actually uses.  All draws are deterministic functions of the
+/// seed, independent of platform and standard-library version (we do not
+/// use `std::uniform_int_distribution` et al., whose outputs are
+/// implementation-defined).
+class Rng {
+ public:
+  static constexpr double kPi = 3.14159265358979323846;
+
+  explicit Rng(std::uint64_t seed = 0x2545f4914f6cdd1dULL) : gen_(seed) {}
+  explicit Rng(Xoshiro256ss gen) : gen_(gen) {}
+
+  /// Raw 64 random bits.
+  std::uint64_t bits() { return gen_.next(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased).  `bound` must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    assert(bound > 0);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+    using u128 = unsigned __int128;
+#pragma GCC diagnostic pop
+    std::uint64_t x = gen_.next();
+    u128 m = static_cast<u128>(x) * static_cast<u128>(bound);
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = gen_.next();
+        m = static_cast<u128>(x) * static_cast<u128>(bound);
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    const auto width = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(width));
+  }
+
+  /// Uniform real in [0, 1) with 53 random bits of mantissa.
+  double uniform() {
+    return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponentially distributed value with rate `lambda` (mean 1/lambda).
+  double exponential(double lambda) {
+    assert(lambda > 0.0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / lambda;
+  }
+
+  /// Normally distributed value (Box–Muller; one draw per call, fully
+  /// deterministic — no cached spare, so interleaving with other draws
+  /// cannot change the stream).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    const double u1 = 1.0 - uniform();  // (0, 1]
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * kPi * u2);
+  }
+
+  /// Log-normally distributed value: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Index drawn proportionally to the non-negative weights.  The caller
+  /// guarantees `total == sum(weights) > 0`; passing the precomputed total
+  /// keeps the hot samplers O(n) without a second pass.
+  std::size_t weighted_pick(std::span<const double> weights, double total) {
+    assert(!weights.empty());
+    assert(total > 0.0);
+    double target = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      target -= weights[i];
+      if (target < 0.0) return i;
+    }
+    return weights.size() - 1;  // absorbs floating-point round-off
+  }
+
+  /// Index drawn proportionally to the non-negative weights (two-pass).
+  std::size_t weighted_pick(std::span<const double> weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    return weighted_pick(weights, total);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    shuffle(std::span<T>(values));
+  }
+
+  /// A uniformly random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> permutation(std::size_t n) {
+    std::vector<std::size_t> p(n);
+    for (std::size_t i = 0; i < n; ++i) p[i] = i;
+    shuffle(p);
+    return p;
+  }
+
+  /// Derives `count` statistically independent child generators; stream `i`
+  /// is 2^128 * (i+1) steps ahead of this generator's state, so streams can
+  /// never overlap within any feasible computation.
+  std::vector<Rng> make_streams(std::size_t count) const {
+    std::vector<Rng> out;
+    out.reserve(count);
+    Xoshiro256ss cursor = gen_;
+    for (std::size_t i = 0; i < count; ++i) {
+      cursor.jump();
+      out.emplace_back(cursor);
+    }
+    return out;
+  }
+
+  Xoshiro256ss& generator() { return gen_; }
+  const Xoshiro256ss& generator() const { return gen_; }
+
+ private:
+  Xoshiro256ss gen_;
+};
+
+}  // namespace match::rng

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+namespace match::rng {
+
+/// SplitMix64 generator (Steele, Lea & Flood, 2014).
+///
+/// A tiny, statistically solid 64-bit generator whose primary role in
+/// this library is *seeding*: it expands a single 64-bit seed into the
+/// larger state blocks required by xoshiro256**.  It is also usable as a
+/// standalone UniformRandomBitGenerator.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Advances the state and returns the next 64-bit output.
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace match::rng

@@ -1,0 +1,77 @@
+#include "rng/xoshiro256ss.hpp"
+
+#include "rng/splitmix64.hpp"
+
+namespace match::rng {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // An all-zero state is a fixed point; SplitMix64 cannot produce four
+  // consecutive zeros from any seed, so no further check is required.
+}
+
+std::uint64_t Xoshiro256ss::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+
+  return result;
+}
+
+namespace {
+
+/// Shared jump kernel: applies the polynomial described by `table` to the
+/// generator state, advancing it by the corresponding power of two.
+template <typename Step>
+void apply_jump(std::array<std::uint64_t, 4>& s,
+                const std::array<std::uint64_t, 4>& table, Step step) {
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : table) {
+    for (int bit = 0; bit < 64; ++bit) {
+      if (word & (1ULL << bit)) {
+        for (std::size_t i = 0; i < 4; ++i) acc[i] ^= s[i];
+      }
+      step();
+    }
+  }
+  s = acc;
+}
+
+}  // namespace
+
+void Xoshiro256ss::jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kJump = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  apply_jump(s_, kJump, [this] { next(); });
+}
+
+void Xoshiro256ss::long_jump() noexcept {
+  static constexpr std::array<std::uint64_t, 4> kLongJump = {
+      0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL, 0x77710069854ee241ULL,
+      0x39109bb02acbe635ULL};
+  apply_jump(s_, kLongJump, [this] { next(); });
+}
+
+Xoshiro256ss Xoshiro256ss::split(unsigned n) const noexcept {
+  Xoshiro256ss out(*this);
+  for (unsigned i = 0; i < n; ++i) out.jump();
+  return out;
+}
+
+}  // namespace match::rng

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace match::rng {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, 2018).
+///
+/// The library's workhorse generator: fast, 256-bit state, passes BigCrush,
+/// and provides `jump()` / `long_jump()` for carving a single seed into
+/// many provably non-overlapping streams — the property the parallel
+/// samplers rely on for reproducible multi-threaded runs.
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the 256-bit state by running SplitMix64 on `seed`, as the
+  /// reference implementation recommends (never seed with all zeros).
+  explicit Xoshiro256ss(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  /// Constructs from a full 256-bit state.  The state must not be all zero.
+  explicit Xoshiro256ss(const std::array<std::uint64_t, 4>& state) noexcept
+      : s_(state) {}
+
+  std::uint64_t next() noexcept;
+  std::uint64_t operator()() noexcept { return next(); }
+
+  /// Advances the stream by 2^128 steps; used to derive parallel streams.
+  void jump() noexcept;
+
+  /// Advances the stream by 2^192 steps; used to derive stream *families*.
+  void long_jump() noexcept;
+
+  /// Returns a generator `n` jumps ahead of this one (this one is unchanged).
+  [[nodiscard]] Xoshiro256ss split(unsigned n) const noexcept;
+
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return s_;
+  }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  friend bool operator==(const Xoshiro256ss& a, const Xoshiro256ss& b) {
+    return a.s_ == b.s_;
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace match::rng

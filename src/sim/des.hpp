@@ -1,0 +1,68 @@
+#pragma once
+
+// A small discrete-event simulator of the execution the paper's cost
+// model abstracts: tasks compute on their resources, then exchange data
+// with remote neighbors over priced links, with a barrier per round.
+//
+// Its purpose is validation: in `kIndependent` mode (each endpoint is
+// charged its side of a transfer whenever it is free, exactly the
+// accounting of eq. (1)) the simulated round time provably equals
+// Exec^χ, which the test suite asserts.  In `kCoupled` mode a transfer
+// occupies sender and receiver simultaneously — a more physical network
+// where idle waits appear — and the bench harness measures how well the
+// paper's additive model still *ranks* mappings.
+
+#include <cstddef>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/mapping.hpp"
+
+namespace match::sim {
+
+struct DesParams {
+  enum class CommModel {
+    /// Each endpoint of a transfer is busy for the transfer's duration,
+    /// scheduled independently (the paper's additive accounting).
+    kIndependent,
+    /// A transfer occupies both endpoints at the same time (rendezvous
+    /// NICs); endpoints can idle waiting for their peer.
+    kCoupled,
+  };
+
+  CommModel comm_model = CommModel::kIndependent;
+
+  /// Fraction of communication time hidden under computation, in [0, 1].
+  /// 0 = fully serialized (the paper's model); 1 = perfectly overlapped.
+  /// Applies to kIndependent mode.
+  double comm_overlap = 0.0;
+
+  /// Multiplicative compute-time noise: each task's compute duration is
+  /// scaled by U[1 - jitter, 1 + jitter].  Requires an RNG when > 0.
+  double compute_jitter = 0.0;
+
+  /// Data-parallel rounds to simulate (a barrier separates rounds).
+  std::size_t rounds = 1;
+
+  void validate() const;
+};
+
+struct DesResult {
+  /// Wall-clock of the whole simulation (all rounds).
+  double total_time = 0.0;
+  /// Per-resource time spent actually computing or transferring.
+  std::vector<double> busy;
+  /// Per-resource completion time of the final round.
+  std::vector<double> finish;
+  /// Σ (finish − busy): cumulative idle time, 0 in kIndependent mode.
+  double total_idle = 0.0;
+  std::size_t transfers = 0;  ///< cut edges simulated per round
+};
+
+/// Simulates `rounds` rounds of the application under `mapping`.
+/// `rng` may be null when `compute_jitter` is 0.
+DesResult simulate_execution(const CostEvaluator& eval, const Mapping& mapping,
+                             const DesParams& params, rng::Rng* rng = nullptr);
+
+}  // namespace match::sim

@@ -1,0 +1,138 @@
+#include "sim/evaluator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace match::sim {
+
+CostEvaluator::CostEvaluator(const graph::Tig& tig, const Platform& platform)
+    : tig_(&tig), platform_(&platform) {
+  if (tig.num_tasks() == 0) {
+    throw std::invalid_argument("CostEvaluator: empty TIG");
+  }
+  if (platform.num_resources() == 0) {
+    throw std::invalid_argument("CostEvaluator: empty platform");
+  }
+}
+
+double CostEvaluator::makespan(const Mapping& m) const {
+  return makespan(m.assignment());
+}
+
+double CostEvaluator::makespan(std::span<const graph::NodeId> assignment) const {
+  assert(assignment.size() == tig_->num_tasks());
+  const std::size_t nr = platform_->num_resources();
+  // Small fixed-size scratch: resource loads.  n is at most a few
+  // thousand in any realistic instance, so a stack-friendly vector is fine.
+  std::vector<double> load(nr, 0.0);
+
+  const graph::Graph& tg = tig_->graph();
+  for (graph::NodeId t = 0; t < assignment.size(); ++t) {
+    const graph::NodeId s = assignment[t];
+    const double* crow = platform_->comm_row(s);
+    double comm = 0.0;
+    for (const graph::Neighbor& nb : tg.neighbors(t)) {
+      const graph::NodeId b = assignment[nb.id];
+      if (b != s) comm += nb.weight * crow[b];
+    }
+    load[s] += tg.node_weight(t) * platform_->processing_cost(s) + comm;
+  }
+
+  double best = 0.0;
+  for (double x : load) best = std::max(best, x);
+  return best;
+}
+
+EvalResult CostEvaluator::evaluate(const Mapping& m) const {
+  assert(m.num_tasks() == tig_->num_tasks());
+  const std::size_t nr = platform_->num_resources();
+  EvalResult out;
+  out.loads.assign(nr, ResourceLoad{});
+
+  const graph::Graph& tg = tig_->graph();
+  const auto assignment = m.assignment();
+  for (graph::NodeId t = 0; t < assignment.size(); ++t) {
+    const graph::NodeId s = assignment[t];
+    if (s >= nr) throw std::out_of_range("CostEvaluator: bad resource id");
+    out.loads[s].compute += tg.node_weight(t) * platform_->processing_cost(s);
+    const double* crow = platform_->comm_row(s);
+    for (const graph::Neighbor& nb : tg.neighbors(t)) {
+      const graph::NodeId b = assignment[nb.id];
+      if (b != s) out.loads[s].comm += nb.weight * crow[b];
+    }
+  }
+
+  for (graph::NodeId s = 0; s < nr; ++s) {
+    const double total = out.loads[s].total();
+    if (total > out.makespan) {
+      out.makespan = total;
+      out.busiest = s;
+    }
+  }
+  return out;
+}
+
+void CostEvaluator::makespans_batch(std::span<const graph::NodeId> rows,
+                                    std::size_t count, std::span<double> out,
+                                    const parallel::ForOptions& opts) const {
+  const std::size_t n = tig_->num_tasks();
+  if (rows.size() < count * n || out.size() < count) {
+    throw std::invalid_argument("makespans_batch: buffer sizes");
+  }
+  parallel::parallel_for(
+      0, count,
+      [&](std::size_t i) { out[i] = makespan(rows.subspan(i * n, n)); }, opts);
+}
+
+LoadTracker::LoadTracker(const CostEvaluator& eval, const Mapping& initial)
+    : eval_(&eval), mapping_(initial) {
+  const EvalResult r = eval.evaluate(initial);
+  loads_ = r.loads;
+}
+
+void LoadTracker::accumulate(graph::NodeId t, double sign) {
+  const graph::Graph& tg = eval_->tig().graph();
+  const Platform& plat = eval_->platform();
+  const graph::NodeId s = mapping_.resource_of(t);
+  const double* crow = plat.comm_row(s);
+
+  loads_[s].compute += sign * tg.node_weight(t) * plat.processing_cost(s);
+  for (const graph::Neighbor& nb : tg.neighbors(t)) {
+    const graph::NodeId b = mapping_.resource_of(nb.id);
+    if (b == s) continue;
+    // t's side of the exchange, charged to s ...
+    loads_[s].comm += sign * nb.weight * crow[b];
+    // ... and the neighbor's side, charged to b (c is symmetric in the
+    // platform matrix only if the resource graph is; read the b row).
+    loads_[b].comm += sign * nb.weight * plat.comm_cost(b, s);
+  }
+}
+
+void LoadTracker::apply_move(graph::NodeId t, graph::NodeId r) {
+  if (mapping_.resource_of(t) == r) return;
+  accumulate(t, -1.0);
+  mapping_.set(t, r);
+  accumulate(t, +1.0);
+}
+
+void LoadTracker::apply_swap(graph::NodeId t1, graph::NodeId t2) {
+  const graph::NodeId r1 = mapping_.resource_of(t1);
+  const graph::NodeId r2 = mapping_.resource_of(t2);
+  apply_move(t1, r2);
+  apply_move(t2, r1);
+}
+
+double LoadTracker::peek_move_delta(graph::NodeId t, graph::NodeId r) const {
+  LoadTracker scratch(*this);
+  const double before = scratch.makespan();
+  scratch.apply_move(t, r);
+  return scratch.makespan() - before;
+}
+
+double LoadTracker::makespan() const {
+  double best = 0.0;
+  for (const ResourceLoad& l : loads_) best = std::max(best, l.total());
+  return best;
+}
+
+}  // namespace match::sim

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "parallel/parallel_for.hpp"
+#include "sim/mapping.hpp"
+#include "sim/platform.hpp"
+
+namespace match::sim {
+
+/// Per-resource breakdown of a mapping's cost (eq. (1) of the paper).
+struct ResourceLoad {
+  double compute = 0.0;  ///< Σ_{t on s} W^t · w_s
+  double comm = 0.0;     ///< Σ_{t on s} Σ_{a∼t, map(a)=b≠s} C^{t,a} · c_{s,b}
+
+  double total() const noexcept { return compute + comm; }
+};
+
+/// Full evaluation of a mapping.
+struct EvalResult {
+  double makespan = 0.0;          ///< eq. (2): max over resources
+  graph::NodeId busiest = 0;      ///< argmax resource
+  std::vector<ResourceLoad> loads;  ///< per-resource breakdown
+};
+
+/// Evaluates the paper's cost model (eqs. (1)–(2)) for a TIG on a
+/// Platform.  Stateless and thread-safe; the batch entry points use the
+/// library thread pool.
+class CostEvaluator {
+ public:
+  CostEvaluator(const graph::Tig& tig, const Platform& platform);
+
+  std::size_t num_tasks() const noexcept { return tig_->num_tasks(); }
+  std::size_t num_resources() const noexcept {
+    return platform_->num_resources();
+  }
+
+  /// Application execution time Exec^χ (eq. (2)).
+  double makespan(const Mapping& m) const;
+
+  /// Raw assignment-span overload used by the hot samplers (no Mapping
+  /// object construction).
+  double makespan(std::span<const graph::NodeId> assignment) const;
+
+  /// Full per-resource breakdown.
+  EvalResult evaluate(const Mapping& m) const;
+
+  /// Batch evaluation: out[i] = makespan(assignments row i).  Rows are
+  /// contiguous blocks of `num_tasks()` entries.  Runs on the thread pool.
+  void makespans_batch(std::span<const graph::NodeId> rows, std::size_t count,
+                       std::span<double> out,
+                       const parallel::ForOptions& opts = {}) const;
+
+  const graph::Tig& tig() const noexcept { return *tig_; }
+  const Platform& platform() const noexcept { return *platform_; }
+
+ private:
+  const graph::Tig* tig_;
+  const Platform* platform_;
+};
+
+/// Incrementally maintained per-resource loads for local-search moves.
+///
+/// `apply_move(t, r)` updates all affected resources in O(deg(t)); the
+/// exact loads always match a from-scratch `CostEvaluator::evaluate`.
+/// Supports general many-to-one assignments, so a permutation swap is two
+/// consecutive moves.
+class LoadTracker {
+ public:
+  LoadTracker(const CostEvaluator& eval, const Mapping& initial);
+
+  /// Moves task `t` to resource `r`, updating loads incrementally.
+  void apply_move(graph::NodeId t, graph::NodeId r);
+
+  /// Exchanges the resources of two tasks.
+  void apply_swap(graph::NodeId t1, graph::NodeId t2);
+
+  /// Cost change that `apply_move(t, r)` would cause (positive = worse),
+  /// computed without mutating the tracker.
+  double peek_move_delta(graph::NodeId t, graph::NodeId r) const;
+
+  double makespan() const;
+  const Mapping& mapping() const noexcept { return mapping_; }
+  const std::vector<ResourceLoad>& loads() const noexcept { return loads_; }
+
+ private:
+  /// Adds (sign=+1) or removes (sign=-1) task t's contributions, assuming
+  /// `mapping_[t]` currently names the resource the contribution targets.
+  void accumulate(graph::NodeId t, double sign);
+
+  const CostEvaluator* eval_;
+  Mapping mapping_;
+  std::vector<ResourceLoad> loads_;
+};
+
+}  // namespace match::sim

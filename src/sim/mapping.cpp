@@ -1,0 +1,46 @@
+#include "sim/mapping.hpp"
+
+#include <stdexcept>
+
+namespace match::sim {
+
+Mapping Mapping::identity(std::size_t n) {
+  std::vector<graph::NodeId> a(n);
+  for (std::size_t i = 0; i < n; ++i) a[i] = static_cast<graph::NodeId>(i);
+  return Mapping(std::move(a));
+}
+
+Mapping Mapping::random_permutation(std::size_t n, rng::Rng& rng) {
+  Mapping m = identity(n);
+  rng.shuffle(std::span<graph::NodeId>(m.assign_));
+  return m;
+}
+
+bool Mapping::is_permutation() const {
+  std::vector<char> seen(assign_.size(), 0);
+  for (graph::NodeId r : assign_) {
+    if (r >= assign_.size() || seen[r]) return false;
+    seen[r] = 1;
+  }
+  return true;
+}
+
+bool Mapping::is_valid(std::size_t num_resources) const {
+  for (graph::NodeId r : assign_) {
+    if (r >= num_resources) return false;
+  }
+  return true;
+}
+
+std::vector<graph::NodeId> Mapping::tasks_by_resource() const {
+  if (!is_permutation()) {
+    throw std::logic_error("Mapping::tasks_by_resource: not a permutation");
+  }
+  std::vector<graph::NodeId> inv(assign_.size());
+  for (std::size_t t = 0; t < assign_.size(); ++t) {
+    inv[assign_[t]] = static_cast<graph::NodeId>(t);
+  }
+  return inv;
+}
+
+}  // namespace match::sim

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace match::sim {
+
+/// An assignment of tasks to resources: `resource_of(t)` is the resource
+/// that runs task `t`.
+///
+/// The paper's setting is the one-to-one case (`|V_t| = |V_r|`, a
+/// permutation); the type also represents general many-to-one mappings so
+/// the cost model, local-search baselines and future extensions share one
+/// representation.
+class Mapping {
+ public:
+  Mapping() = default;
+
+  /// Constructs from an explicit assignment vector (index = task).
+  explicit Mapping(std::vector<graph::NodeId> task_to_resource)
+      : assign_(std::move(task_to_resource)) {}
+
+  /// Task i -> resource i.
+  static Mapping identity(std::size_t n);
+
+  /// A uniformly random permutation mapping.
+  static Mapping random_permutation(std::size_t n, rng::Rng& rng);
+
+  std::size_t num_tasks() const noexcept { return assign_.size(); }
+
+  graph::NodeId resource_of(graph::NodeId task) const { return assign_[task]; }
+
+  void set(graph::NodeId task, graph::NodeId resource) {
+    assign_[task] = resource;
+  }
+
+  std::span<const graph::NodeId> assignment() const noexcept { return assign_; }
+
+  /// True if the assignment is a bijection onto {0, ..., n-1} where n is
+  /// the number of tasks (the paper's validity condition, `X ∈ χ`).
+  bool is_permutation() const;
+
+  /// True if every assigned resource id is < `num_resources`.
+  bool is_valid(std::size_t num_resources) const;
+
+  /// Inverse view for permutation mappings: index = resource, value = task.
+  /// Precondition: `is_permutation()`.
+  std::vector<graph::NodeId> tasks_by_resource() const;
+
+  friend bool operator==(const Mapping&, const Mapping&) = default;
+
+ private:
+  std::vector<graph::NodeId> assign_;
+};
+
+}  // namespace match::sim

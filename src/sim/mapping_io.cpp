@@ -1,0 +1,75 @@
+#include "sim/mapping_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace match::sim {
+
+void write_mapping(std::ostream& os, const Mapping& m) {
+  os << "tasks " << m.num_tasks() << "\n";
+  for (graph::NodeId t = 0; t < m.num_tasks(); ++t) {
+    os << "map " << t << " " << m.resource_of(t) << "\n";
+  }
+}
+
+Mapping read_mapping(std::istream& is) {
+  std::size_t n = 0;
+  bool have_n = false;
+  std::vector<graph::NodeId> assign;
+  std::vector<char> seen;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto fail = [&](const std::string& what) {
+      throw std::runtime_error("read_mapping: line " +
+                               std::to_string(line_no) + ": " + what);
+    };
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword) || keyword[0] == '#') continue;
+    if (keyword == "tasks") {
+      if (have_n) fail("duplicate 'tasks' line");
+      if (!(ls >> n)) fail("malformed 'tasks' line");
+      assign.assign(n, 0);
+      seen.assign(n, 0);
+      have_n = true;
+    } else if (keyword == "map") {
+      if (!have_n) fail("'map' before 'tasks'");
+      std::size_t task, resource;
+      if (!(ls >> task >> resource)) fail("malformed 'map' line");
+      if (task >= n) fail("task id out of range");
+      if (seen[task]) fail("duplicate assignment for task");
+      assign[task] = static_cast<graph::NodeId>(resource);
+      seen[task] = 1;
+    } else {
+      fail("unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_n) throw std::runtime_error("read_mapping: missing 'tasks' line");
+  for (std::size_t t = 0; t < n; ++t) {
+    if (!seen[t]) {
+      throw std::runtime_error("read_mapping: task " + std::to_string(t) +
+                               " has no assignment");
+    }
+  }
+  return Mapping(std::move(assign));
+}
+
+void save_mapping(const std::string& path, const Mapping& m) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_mapping: cannot open " + path);
+  write_mapping(os, m);
+  if (!os) throw std::runtime_error("save_mapping: write failed for " + path);
+}
+
+Mapping load_mapping(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_mapping: cannot open " + path);
+  return read_mapping(is);
+}
+
+}  // namespace match::sim

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/mapping.hpp"
+
+namespace match::sim {
+
+/// Plain-text mapping format, one `map <task> <resource>` line per task:
+///
+/// ```
+/// # comments allowed
+/// tasks <n>
+/// map 0 3
+/// map 1 0
+/// ...
+/// ```
+void write_mapping(std::ostream& os, const Mapping& m);
+Mapping read_mapping(std::istream& is);
+
+/// File-path conveniences; throw `std::runtime_error` on I/O failure.
+void save_mapping(const std::string& path, const Mapping& m);
+Mapping load_mapping(const std::string& path);
+
+}  // namespace match::sim

@@ -1,0 +1,48 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace match::sim {
+
+MappingMetrics compute_metrics(const CostEvaluator& eval,
+                               const Mapping& mapping) {
+  const EvalResult result = eval.evaluate(mapping);
+  const std::size_t nr = eval.num_resources();
+
+  MappingMetrics m;
+  m.makespan = result.makespan;
+  m.utilization.resize(nr);
+
+  double load_sum = 0.0;
+  for (std::size_t s = 0; s < nr; ++s) {
+    const double load = result.loads[s].total();
+    load_sum += load;
+    m.total_comm += result.loads[s].comm;
+    m.total_compute += result.loads[s].compute;
+    m.utilization[s] = result.makespan > 0.0 ? load / result.makespan : 0.0;
+  }
+  const double mean_load = load_sum / static_cast<double>(nr);
+  m.imbalance = mean_load > 0.0 ? result.makespan / mean_load : 1.0;
+
+  // Cut fraction by communication volume.
+  const graph::Graph& tg = eval.tig().graph();
+  double cut_volume = 0.0;
+  double total_volume = 0.0;
+  const auto assignment = mapping.assignment();
+  for (const graph::Edge& e : tg.edge_list()) {
+    total_volume += e.weight;
+    if (assignment[e.u] != assignment[e.v]) cut_volume += e.weight;
+  }
+  m.cut_fraction = total_volume > 0.0 ? cut_volume / total_volume : 0.0;
+
+  std::vector<std::size_t> tasks_per_resource(nr, 0);
+  for (const graph::NodeId r : assignment) ++tasks_per_resource[r];
+  for (std::size_t s = 0; s < nr; ++s) {
+    if (tasks_per_resource[s] > 0) ++m.used_resources;
+    m.max_tasks_per_resource =
+        std::max(m.max_tasks_per_resource, tasks_per_resource[s]);
+  }
+  return m;
+}
+
+}  // namespace match::sim

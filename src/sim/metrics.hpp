@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/evaluator.hpp"
+#include "sim/mapping.hpp"
+
+namespace match::sim {
+
+/// Quality metrics of a mapping beyond the scalar makespan — the numbers
+/// a scheduler operator looks at to understand *why* a mapping is good
+/// or bad.  Used by the CLI's `eval` command and the examples.
+struct MappingMetrics {
+  double makespan = 0.0;
+
+  /// Load imbalance: makespan / mean resource load.  1.0 is perfect.
+  double imbalance = 0.0;
+
+  /// Total communication cost summed over resources (both endpoints).
+  double total_comm = 0.0;
+
+  /// Total compute cost summed over resources.
+  double total_compute = 0.0;
+
+  /// Fraction of TIG communication *volume* crossing resources
+  /// (0 = everything colocated, 1 = every edge remote).
+  double cut_fraction = 0.0;
+
+  /// Resources that received at least one task.
+  std::size_t used_resources = 0;
+
+  /// Largest number of tasks on one resource.
+  std::size_t max_tasks_per_resource = 0;
+
+  /// Per-resource utilization: load / makespan, in [0, 1].
+  std::vector<double> utilization;
+};
+
+/// Computes the full metric set for `mapping` under `eval`'s cost model.
+MappingMetrics compute_metrics(const CostEvaluator& eval,
+                               const Mapping& mapping);
+
+}  // namespace match::sim

@@ -1,0 +1,44 @@
+#include "sim/perturb.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace match::sim {
+
+namespace {
+
+void check(const graph::ResourceGraph& rg, graph::NodeId node, double factor) {
+  if (node >= rg.num_resources()) {
+    throw std::out_of_range("perturb: no such resource");
+  }
+  if (factor <= 0.0) {
+    throw std::invalid_argument("perturb: factor must be > 0");
+  }
+}
+
+}  // namespace
+
+graph::ResourceGraph scale_processing_cost(const graph::ResourceGraph& rg,
+                                           graph::NodeId node, double factor) {
+  check(rg, node, factor);
+  const graph::Graph& g = rg.graph();
+  std::vector<double> node_w(g.node_weights().begin(), g.node_weights().end());
+  node_w[node] *= factor;
+  return graph::ResourceGraph(
+      graph::Graph::from_edges(g.num_nodes(), std::move(node_w), g.edge_list()));
+}
+
+graph::ResourceGraph scale_link_costs(const graph::ResourceGraph& rg,
+                                      graph::NodeId node, double factor) {
+  check(rg, node, factor);
+  const graph::Graph& g = rg.graph();
+  std::vector<double> node_w(g.node_weights().begin(), g.node_weights().end());
+  auto edges = g.edge_list();
+  for (auto& e : edges) {
+    if (e.u == node || e.v == node) e.weight *= factor;
+  }
+  return graph::ResourceGraph(
+      graph::Graph::from_edges(g.num_nodes(), std::move(node_w), edges));
+}
+
+}  // namespace match::sim

@@ -1,0 +1,22 @@
+#pragma once
+
+// Platform perturbations for dynamic re-mapping scenarios: build a new
+// resource graph from an existing one with one resource slowed down or
+// its links degraded.  Graphs are immutable, so perturbations construct
+// fresh graphs; pair with core/rematch.hpp.
+
+#include "graph/graph.hpp"
+
+namespace match::sim {
+
+/// Returns a copy of `rg` with resource `node`'s processing cost
+/// multiplied by `factor` (> 1 = slower).
+graph::ResourceGraph scale_processing_cost(const graph::ResourceGraph& rg,
+                                           graph::NodeId node, double factor);
+
+/// Returns a copy of `rg` with every link incident to `node` scaled by
+/// `factor` (> 1 = more expensive communication).
+graph::ResourceGraph scale_link_costs(const graph::ResourceGraph& rg,
+                                      graph::NodeId node, double factor);
+
+}  // namespace match::sim

@@ -1,0 +1,50 @@
+#include "sim/platform.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+
+namespace match::sim {
+
+Platform::Platform(graph::ResourceGraph rg, CommCostPolicy policy)
+    : rg_(std::move(rg)), policy_(policy) {
+  const std::size_t n = rg_.num_resources();
+  proc_cost_.resize(n);
+  for (graph::NodeId s = 0; s < n; ++s) {
+    proc_cost_[s] = rg_.processing_cost(s);
+  }
+
+  comm_cost_.assign(n * n, 0.0);
+  switch (policy_) {
+    case CommCostPolicy::kDirectLinks: {
+      for (graph::NodeId s = 0; s < n; ++s) {
+        for (graph::NodeId b = 0; b < n; ++b) {
+          if (s == b) continue;
+          const double c = rg_.link_cost(s, b);
+          if (c <= 0.0) {
+            throw std::invalid_argument(
+                "Platform: kDirectLinks requires a link between every "
+                "resource pair (missing " +
+                std::to_string(s) + "-" + std::to_string(b) + ")");
+          }
+          comm_cost_[static_cast<std::size_t>(s) * n + b] = c;
+        }
+      }
+      break;
+    }
+    case CommCostPolicy::kShortestPath: {
+      comm_cost_ = graph::all_pairs_shortest_paths(rg_.graph());
+      for (double d : comm_cost_) {
+        if (std::isinf(d)) {
+          throw std::invalid_argument(
+              "Platform: kShortestPath requires a connected resource graph");
+        }
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace match::sim

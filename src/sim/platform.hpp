@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace match::sim {
+
+/// How the pairwise communication cost `c_{s,b}` is derived from the
+/// resource graph when two resources are not directly linked.
+enum class CommCostPolicy {
+  /// Use direct link weights only; a missing link is an error at
+  /// construction time.  This is the paper's setting (it charges
+  /// `c_{s,b}` for arbitrary pairs, implying a complete system graph).
+  kDirectLinks,
+  /// Route over the cheapest path: `c_{s,b}` = shortest-path distance in
+  /// the resource graph.  Allows sparse topologies (mesh, ring, star).
+  kShortestPath,
+};
+
+/// The execution platform: a resource graph flattened into dense arrays
+/// the evaluators index directly — per-resource processing cost `w_s` and
+/// an n×n communication cost matrix `c_{s,b}` (zero diagonal).
+class Platform {
+ public:
+  Platform() = default;
+
+  /// Flattens `rg` according to `policy`.  Throws `std::invalid_argument`
+  /// if kDirectLinks is requested but some resource pair has no link, or
+  /// if kShortestPath is requested on a disconnected graph.
+  explicit Platform(graph::ResourceGraph rg,
+                    CommCostPolicy policy = CommCostPolicy::kDirectLinks);
+
+  std::size_t num_resources() const noexcept { return proc_cost_.size(); }
+
+  /// Processing cost per unit of computation of resource s (w_s).
+  double processing_cost(graph::NodeId s) const { return proc_cost_[s]; }
+
+  /// Communication cost per unit between resources s and b (c_{s,b}).
+  double comm_cost(graph::NodeId s, graph::NodeId b) const {
+    return comm_cost_[static_cast<std::size_t>(s) * num_resources() + b];
+  }
+
+  /// Row s of the cost matrix, length n; used by the evaluators' inner
+  /// loops to avoid recomputing the row base.
+  const double* comm_row(graph::NodeId s) const {
+    return comm_cost_.data() + static_cast<std::size_t>(s) * num_resources();
+  }
+
+  const graph::ResourceGraph& resource_graph() const noexcept { return rg_; }
+  CommCostPolicy policy() const noexcept { return policy_; }
+
+ private:
+  graph::ResourceGraph rg_;
+  CommCostPolicy policy_ = CommCostPolicy::kDirectLinks;
+  std::vector<double> proc_cost_;
+  std::vector<double> comm_cost_;  // row-major n*n
+};
+
+}  // namespace match::sim

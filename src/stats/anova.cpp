@@ -1,0 +1,60 @@
+#include "stats/anova.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.hpp"
+#include "stats/special_functions.hpp"
+
+namespace match::stats {
+
+AnovaResult one_way_anova(std::span<const std::vector<double>> groups) {
+  if (groups.size() < 2) {
+    throw std::invalid_argument("one_way_anova: need >= 2 groups");
+  }
+  std::size_t total_n = 0;
+  double grand_sum = 0.0;
+  for (const auto& g : groups) {
+    if (g.empty()) throw std::invalid_argument("one_way_anova: empty group");
+    total_n += g.size();
+    for (double x : g) grand_sum += x;
+  }
+  const double k = static_cast<double>(groups.size());
+  const double n = static_cast<double>(total_n);
+  if (total_n <= groups.size()) {
+    throw std::invalid_argument("one_way_anova: no within-group dof");
+  }
+
+  AnovaResult r;
+  r.grand_mean = grand_sum / n;
+  r.df_between = k - 1.0;
+  r.df_within = n - k;
+
+  for (const auto& g : groups) {
+    const double gm = mean(g);
+    r.ss_between +=
+        static_cast<double>(g.size()) * (gm - r.grand_mean) * (gm - r.grand_mean);
+    for (double x : g) r.ss_within += (x - gm) * (x - gm);
+  }
+  r.ms_between = r.ss_between / r.df_between;
+  r.ms_within = r.ss_within / r.df_within;
+
+  if (r.ms_within <= 0.0) {
+    if (r.ms_between <= 0.0) {
+      // All observations identical: no evidence against the null.
+      r.f_value = 0.0;
+      r.p_value = 1.0;
+    } else {
+      r.f_value = std::numeric_limits<double>::infinity();
+      r.p_value = 0.0;
+    }
+    return r;
+  }
+
+  r.f_value = r.ms_between / r.ms_within;
+  r.p_value = f_sf(r.f_value, r.df_between, r.df_within);
+  return r;
+}
+
+}  // namespace match::stats

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace match::stats {
+
+/// One-way ANOVA result (the paper's Table-3 analysis).
+struct AnovaResult {
+  double f_value = 0.0;     ///< between-group MS / within-group MS
+  double p_value = 1.0;     ///< P(F > f) under the null hypothesis
+  double ss_between = 0.0;  ///< treatment sum of squares
+  double ss_within = 0.0;   ///< error sum of squares
+  double df_between = 0.0;  ///< k - 1
+  double df_within = 0.0;   ///< N - k
+  double ms_between = 0.0;
+  double ms_within = 0.0;
+  double grand_mean = 0.0;
+};
+
+/// One-way ANOVA across `groups` (each a sample of observations).
+///
+/// Requires at least two groups, every group non-empty, and at least one
+/// within-group degree of freedom; throws `std::invalid_argument`
+/// otherwise.  A zero within-group mean square (all groups internally
+/// constant) yields f = +infinity, p = 0 when the group means differ.
+AnovaResult one_way_anova(std::span<const std::vector<double>> groups);
+
+}  // namespace match::stats

@@ -1,0 +1,68 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special_functions.hpp"
+
+namespace match::stats {
+
+double mean(std::span<const double> data) {
+  if (data.empty()) throw std::invalid_argument("mean: empty sample");
+  double sum = 0.0;
+  for (double x : data) sum += x;
+  return sum / static_cast<double>(data.size());
+}
+
+double variance(std::span<const double> data) {
+  if (data.empty()) throw std::invalid_argument("variance: empty sample");
+  if (data.size() < 2) return 0.0;
+  const double m = mean(data);
+  double ss = 0.0;
+  for (double x : data) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(data.size() - 1);
+}
+
+double quantile(std::span<const double> data, double q) {
+  if (data.empty()) throw std::invalid_argument("quantile: empty sample");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: bad q");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double h = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> data) { return quantile(data, 0.5); }
+
+Summary summarize(std::span<const double> data) {
+  if (data.empty()) throw std::invalid_argument("summarize: empty sample");
+  Summary s;
+  s.count = data.size();
+  s.mean = mean(data);
+  s.variance = variance(data);
+  s.stddev = std::sqrt(s.variance);
+  s.min = *std::min_element(data.begin(), data.end());
+  s.max = *std::max_element(data.begin(), data.end());
+  s.median = median(data);
+  return s;
+}
+
+ConfidenceInterval mean_confidence_interval(std::span<const double> data,
+                                            double level) {
+  if (data.size() < 2) {
+    throw std::invalid_argument("mean_confidence_interval: need n >= 2");
+  }
+  const double m = mean(data);
+  const double se =
+      std::sqrt(variance(data) / static_cast<double>(data.size()));
+  const double tstar = student_t_quantile_two_sided(
+      level, static_cast<double>(data.size() - 1));
+  return ConfidenceInterval{m - tstar * se, m + tstar * se, level};
+}
+
+}  // namespace match::stats

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace match::stats {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< unbiased (n-1 denominator); 0 for n < 2
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes the summary of `data` (which may be unsorted; the input is
+/// not modified).  Throws `std::invalid_argument` on an empty sample.
+Summary summarize(std::span<const double> data);
+
+/// Sample mean.
+double mean(std::span<const double> data);
+
+/// Unbiased sample variance (n-1); 0 for samples smaller than 2.
+double variance(std::span<const double> data);
+
+/// The q-quantile (0 <= q <= 1) with linear interpolation between order
+/// statistics (type-7, the R/NumPy default).
+double quantile(std::span<const double> data, double q);
+
+/// Median (the 0.5 quantile).
+double median(std::span<const double> data);
+
+/// Two-sided confidence interval for the mean using the Student-t
+/// distribution.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+};
+ConfidenceInterval mean_confidence_interval(std::span<const double> data,
+                                            double level = 0.95);
+
+}  // namespace match::stats

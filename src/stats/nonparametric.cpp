@@ -1,0 +1,109 @@
+#include "stats/nonparametric.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+
+namespace match::stats {
+
+namespace {
+
+/// Standard normal CDF via erfc.
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+MannWhitneyResult mann_whitney_u(std::span<const double> x,
+                                 std::span<const double> y) {
+  if (x.empty() || y.empty()) {
+    throw std::invalid_argument("mann_whitney_u: empty sample");
+  }
+  const std::size_t nx = x.size(), ny = y.size();
+
+  // Pool, sort, assign mid-ranks to ties.
+  struct Tagged {
+    double value;
+    bool from_x;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(nx + ny);
+  for (double v : x) pool.push_back({v, true});
+  for (double v : y) pool.push_back({v, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& a, const Tagged& b) { return a.value < b.value; });
+
+  double rank_sum_x = 0.0;
+  double tie_term = 0.0;  // Σ (t^3 - t) over tie groups
+  std::size_t i = 0;
+  while (i < pool.size()) {
+    std::size_t j = i;
+    while (j < pool.size() && pool[j].value == pool[i].value) ++j;
+    const double mid_rank =
+        0.5 * (static_cast<double>(i + 1) + static_cast<double>(j));
+    const auto t = static_cast<double>(j - i);
+    if (j - i > 1) tie_term += t * t * t - t;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pool[k].from_x) rank_sum_x += mid_rank;
+    }
+    i = j;
+  }
+
+  MannWhitneyResult r;
+  const double nxd = static_cast<double>(nx), nyd = static_cast<double>(ny);
+  r.u = rank_sum_x - nxd * (nxd + 1.0) / 2.0;
+  r.effect_size = 1.0 - r.u / (nxd * nyd);  // P(X < Y) + .5 P(=)
+
+  const double mean_u = nxd * nyd / 2.0;
+  const double n = nxd + nyd;
+  const double var_u =
+      nxd * nyd / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    // All observations identical: no evidence of difference.
+    r.z = 0.0;
+    r.p_value = 1.0;
+    return r;
+  }
+  // Continuity correction toward the mean.
+  const double diff = r.u - mean_u;
+  const double corrected = diff > 0.5 ? diff - 0.5 : (diff < -0.5 ? diff + 0.5 : 0.0);
+  r.z = corrected / std::sqrt(var_u);
+  r.p_value = 2.0 * (1.0 - normal_cdf(std::abs(r.z)));
+  if (r.p_value > 1.0) r.p_value = 1.0;
+  return r;
+}
+
+BootstrapInterval bootstrap_mean_ci(std::span<const double> data, double level,
+                                    std::size_t resamples, rng::Rng& rng) {
+  if (data.empty()) {
+    throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  }
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::invalid_argument("bootstrap_mean_ci: level in (0, 1)");
+  }
+  if (resamples < 10) {
+    throw std::invalid_argument("bootstrap_mean_ci: too few resamples");
+  }
+
+  std::vector<double> means(resamples);
+  const double inv_n = 1.0 / static_cast<double>(data.size());
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < data.size(); ++k) {
+      sum += data[rng.below(data.size())];
+    }
+    means[b] = sum * inv_n;
+  }
+
+  BootstrapInterval out;
+  out.level = level;
+  out.resamples = resamples;
+  const double alpha = (1.0 - level) / 2.0;
+  out.lo = quantile(means, alpha);
+  out.hi = quantile(means, 1.0 - alpha);
+  return out;
+}
+
+}  // namespace match::stats

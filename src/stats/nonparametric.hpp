@@ -1,0 +1,39 @@
+#pragma once
+
+// Nonparametric comparisons for heuristic-evaluation data.  ET samples
+// from randomized heuristics are skewed and occasionally multi-modal, so
+// rank-based tests and bootstrap intervals are the methodologically
+// sound complement to the paper's ANOVA (which assumes normality).
+
+#include <cstdint>
+#include <span>
+
+#include "rng/rng.hpp"
+
+namespace match::stats {
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie
+/// correction).  Valid for sample sizes ≳ 8 per group.
+struct MannWhitneyResult {
+  double u = 0.0;        ///< U statistic of the first sample
+  double z = 0.0;        ///< normal approximation z-score
+  double p_value = 1.0;  ///< two-sided
+  /// P(X < Y) + 0.5 P(X = Y): the common-language effect size; 0.5 means
+  /// no stochastic difference.
+  double effect_size = 0.5;
+};
+MannWhitneyResult mann_whitney_u(std::span<const double> x,
+                                 std::span<const double> y);
+
+/// Percentile bootstrap confidence interval for the mean.
+struct BootstrapInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+  double level = 0.95;
+  std::size_t resamples = 0;
+};
+BootstrapInterval bootstrap_mean_ci(std::span<const double> data,
+                                    double level, std::size_t resamples,
+                                    rng::Rng& rng);
+
+}  // namespace match::stats

@@ -1,0 +1,132 @@
+#include "stats/special_functions.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace match::stats {
+
+double log_gamma(double x) {
+  if (!(x > 0.0)) throw std::domain_error("log_gamma: x must be > 0");
+  // Lanczos approximation, g = 7, n = 9 coefficients.
+  static constexpr double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059, 12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection: Γ(x)Γ(1-x) = π / sin(πx).
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = kCoef[0];
+  for (int i = 1; i < 9; ++i) sum += kCoef[i] / (z + static_cast<double>(i));
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t +
+         std::log(sum);
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta (Numerical Recipes betacf),
+/// evaluated by the modified Lentz method.
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) return h;
+  }
+  throw std::runtime_error("incomplete_beta: continued fraction diverged");
+}
+
+}  // namespace
+
+double incomplete_beta(double a, double b, double x) {
+  if (!(a > 0.0 && b > 0.0)) {
+    throw std::domain_error("incomplete_beta: a, b must be > 0");
+  }
+  if (x < 0.0 || x > 1.0) {
+    throw std::domain_error("incomplete_beta: x must be in [0, 1]");
+  }
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+
+  const double ln_front = log_gamma(a + b) - log_gamma(a) - log_gamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry that keeps the continued fraction well-conditioned.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_cdf(double t, double dof) {
+  if (!(dof > 0.0)) throw std::domain_error("student_t_cdf: dof must be > 0");
+  if (t == 0.0) return 0.5;
+  const double x = dof / (dof + t * t);
+  const double tail = 0.5 * incomplete_beta(dof / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_quantile_two_sided(double level, double dof) {
+  if (!(level > 0.0 && level < 1.0)) {
+    throw std::domain_error("student_t_quantile_two_sided: level in (0,1)");
+  }
+  // P(|T| <= t*) = level  <=>  CDF(t*) = (1 + level) / 2.
+  const double target = 0.5 * (1.0 + level);
+  double lo = 0.0, hi = 1.0;
+  while (student_t_cdf(hi, dof) < target) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, dof) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double f_cdf(double f, double d1, double d2) {
+  if (!(d1 > 0.0 && d2 > 0.0)) throw std::domain_error("f_cdf: dof");
+  if (f <= 0.0) return 0.0;
+  const double x = d1 * f / (d1 * f + d2);
+  return incomplete_beta(d1 / 2.0, d2 / 2.0, x);
+}
+
+double f_sf(double f, double d1, double d2) {
+  if (!(d1 > 0.0 && d2 > 0.0)) throw std::domain_error("f_sf: dof");
+  if (f <= 0.0) return 1.0;
+  // Complement via the beta symmetry to preserve precision in the tail.
+  const double x = d1 * f / (d1 * f + d2);
+  return incomplete_beta(d2 / 2.0, d1 / 2.0, 1.0 - x);
+}
+
+}  // namespace match::stats

@@ -1,0 +1,26 @@
+#pragma once
+
+namespace match::stats {
+
+/// ln Γ(x) for x > 0 (Lanczos approximation, ~15 significant digits).
+double log_gamma(double x);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and
+/// x ∈ [0, 1], via the Lentz continued-fraction expansion.  This is the
+/// CDF kernel of both the Student-t and F distributions.
+double incomplete_beta(double a, double b, double x);
+
+/// Student-t distribution with `dof` degrees of freedom.
+double student_t_cdf(double t, double dof);
+
+/// Two-sided critical value t* with P(|T| <= t*) = level (e.g. 0.95),
+/// found by bisection on the CDF.
+double student_t_quantile_two_sided(double level, double dof);
+
+/// F distribution CDF with (d1, d2) degrees of freedom.
+double f_cdf(double f, double d1, double d2);
+
+/// Upper tail P(F > f) — the ANOVA p-value.
+double f_sf(double f, double d1, double d2);
+
+}  // namespace match::stats

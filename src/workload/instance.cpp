@@ -1,0 +1,48 @@
+#include "workload/instance.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "graph/io.hpp"
+
+namespace match::workload {
+
+void save_instance(const std::string& path_stem, const Instance& inst) {
+  graph::save_graph(path_stem + ".tig", inst.tig.graph());
+  graph::save_graph(path_stem + ".res", inst.resources.graph());
+  std::ofstream meta(path_stem + ".meta");
+  if (!meta) {
+    throw std::runtime_error("save_instance: cannot open " + path_stem +
+                             ".meta");
+  }
+  meta << "name " << (inst.name.empty() ? path_stem : inst.name) << "\n";
+  meta << "comm_policy "
+       << (inst.comm_policy == sim::CommCostPolicy::kDirectLinks
+               ? "direct"
+               : "shortest_path")
+       << "\n";
+}
+
+Instance load_instance(const std::string& path_stem) {
+  Instance inst;
+  inst.tig = graph::Tig(graph::load_graph(path_stem + ".tig"));
+  inst.resources = graph::ResourceGraph(graph::load_graph(path_stem + ".res"));
+  inst.name = path_stem;
+
+  std::ifstream meta(path_stem + ".meta");
+  if (meta) {
+    std::string keyword, value;
+    while (meta >> keyword >> value) {
+      if (keyword == "name") {
+        inst.name = value;
+      } else if (keyword == "comm_policy") {
+        inst.comm_policy = value == "shortest_path"
+                               ? sim::CommCostPolicy::kShortestPath
+                               : sim::CommCostPolicy::kDirectLinks;
+      }
+    }
+  }
+  return inst;
+}
+
+}  // namespace match::workload

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "sim/platform.hpp"
+
+namespace match::workload {
+
+/// A complete mapping-problem instance: the application (TIG) plus the
+/// platform it runs on.
+struct Instance {
+  std::string name;
+  graph::Tig tig;
+  graph::ResourceGraph resources;
+  sim::CommCostPolicy comm_policy = sim::CommCostPolicy::kDirectLinks;
+
+  std::size_t size() const noexcept { return tig.num_tasks(); }
+
+  /// Builds the flattened platform for this instance.
+  sim::Platform make_platform() const {
+    return sim::Platform(resources, comm_policy);
+  }
+};
+
+/// Saves/loads an instance as a pair of graph files: `<path>.tig` and
+/// `<path>.res` (see graph/io.hpp for the format).
+void save_instance(const std::string& path_stem, const Instance& inst);
+Instance load_instance(const std::string& path_stem);
+
+}  // namespace match::workload

@@ -1,0 +1,109 @@
+#include "workload/overset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace match::workload {
+
+double OversetGrid::overlap_volume(const OversetGrid& other) const noexcept {
+  double vol = 1.0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const double lo_edge = std::max(lo[axis], other.lo[axis]);
+    const double hi_edge = std::min(hi[axis], other.hi[axis]);
+    if (hi_edge <= lo_edge) return 0.0;
+    vol *= hi_edge - lo_edge;
+  }
+  return vol;
+}
+
+OversetWorkload make_overset_workload(const OversetParams& params,
+                                      rng::Rng& rng) {
+  if (params.num_grids < 2) {
+    throw std::invalid_argument("make_overset_workload: need >= 2 grids");
+  }
+  if (params.min_extent <= 0.0 || params.max_extent < params.min_extent ||
+      params.max_extent > 1.0) {
+    throw std::invalid_argument("make_overset_workload: bad extent range");
+  }
+  if (params.body_pull < 0.0 || params.body_pull > 1.0) {
+    throw std::invalid_argument("make_overset_workload: bad body_pull");
+  }
+
+  OversetWorkload out;
+  out.grids.reserve(params.num_grids);
+  for (std::size_t i = 0; i < params.num_grids; ++i) {
+    OversetGrid g;
+    for (int axis = 0; axis < 3; ++axis) {
+      const double extent =
+          rng.uniform_real(params.min_extent, params.max_extent);
+      // Center placement pulled toward the body at (0.5, 0.5, 0.5).
+      const double uniform_center =
+          rng.uniform_real(extent / 2.0, 1.0 - extent / 2.0);
+      const double center =
+          (1.0 - params.body_pull) * uniform_center + params.body_pull * 0.5;
+      g.lo[axis] = center - extent / 2.0;
+      g.hi[axis] = center + extent / 2.0;
+    }
+    out.grids.push_back(g);
+  }
+
+  graph::Graph::Builder builder;
+  for (const OversetGrid& g : out.grids) {
+    // Grid points scale with volume; always at least one point.
+    builder.add_node(std::max(1.0, params.points_per_volume * g.volume()));
+  }
+  std::vector<graph::Edge> edges;
+  double min_edge_weight = std::numeric_limits<double>::infinity();
+  for (graph::NodeId i = 0; i < params.num_grids; ++i) {
+    for (graph::NodeId j = i + 1; j < params.num_grids; ++j) {
+      const double overlap = out.grids[i].overlap_volume(out.grids[j]);
+      if (overlap > 0.0) {
+        const double w = std::max(1.0, params.points_per_volume * overlap);
+        edges.push_back(graph::Edge{i, j, w});
+        min_edge_weight = std::min(min_edge_weight, w);
+      }
+    }
+  }
+
+  graph::Graph g =
+      graph::Graph::from_edges(params.num_grids, {}, edges);
+  // Recover node weights from the builder path (Builder::build consumes, so
+  // rebuild with explicit weights instead).
+  std::vector<double> node_w(params.num_grids);
+  for (std::size_t i = 0; i < params.num_grids; ++i) {
+    node_w[i] = std::max(1.0, params.points_per_volume * out.grids[i].volume());
+  }
+  g = graph::Graph::from_edges(params.num_grids, std::move(node_w), edges);
+
+  if (params.force_connected && !graph::is_connected(g)) {
+    // Chain components with minimum-weight "ghost" overlaps so the TIG is
+    // usable by heuristics that assume connectivity.
+    const auto comps = graph::connected_components(g);
+    std::vector<graph::NodeId> representative(comps.count,
+                                              graph::NodeId{0});
+    std::vector<char> seen(comps.count, 0);
+    for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (!seen[comps.label[u]]) {
+        seen[comps.label[u]] = 1;
+        representative[comps.label[u]] = u;
+      }
+    }
+    const double ghost_w =
+        std::isfinite(min_edge_weight) ? min_edge_weight : 1.0;
+    for (std::size_t c = 1; c < comps.count; ++c) {
+      edges.push_back(
+          graph::Edge{representative[c - 1], representative[c], ghost_w});
+    }
+    std::vector<double> weights(g.node_weights().begin(),
+                                g.node_weights().end());
+    g = graph::Graph::from_edges(params.num_grids, std::move(weights), edges);
+  }
+
+  out.tig = graph::Tig(std::move(g));
+  return out;
+}
+
+}  // namespace match::workload

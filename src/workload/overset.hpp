@@ -1,0 +1,53 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+
+namespace match::workload {
+
+/// An axis-aligned box representing one structured grid of an overset-grid
+/// CFD decomposition (paper §2 / Fig. 1).
+struct OversetGrid {
+  std::array<double, 3> lo{};  ///< min corner
+  std::array<double, 3> hi{};  ///< max corner
+
+  double volume() const noexcept {
+    return (hi[0] - lo[0]) * (hi[1] - lo[1]) * (hi[2] - lo[2]);
+  }
+
+  /// Overlap volume with another grid; 0 when disjoint.
+  double overlap_volume(const OversetGrid& other) const noexcept;
+};
+
+/// Parameters of the synthetic overset-grid workload.
+///
+/// The generator scatters `num_grids` boxes inside the unit cube around an
+/// embedded "body" (a central region every grid is pulled toward, mimicking
+/// grids clustered around an irregular body).  Node weight = grid points
+/// (`points_per_volume` × volume); edge weight = overlapping grid points
+/// (`points_per_volume` × overlap volume).  This is the substitution for
+/// the paper's (proprietary) CFD meshes: it exercises the same TIG shape —
+/// geometric adjacency, heavy-tailed overlap volumes — see DESIGN.md.
+struct OversetParams {
+  std::size_t num_grids = 16;
+  double min_extent = 0.15;  ///< per-axis box size range
+  double max_extent = 0.45;
+  double body_pull = 0.5;    ///< 0 = uniform placement, 1 = all at center
+  double points_per_volume = 4096.0;
+  bool force_connected = true;  ///< chain disconnected grids with min-weight overlaps
+};
+
+/// Result of generating an overset workload: the geometry plus its TIG.
+struct OversetWorkload {
+  std::vector<OversetGrid> grids;
+  graph::Tig tig;
+};
+
+OversetWorkload make_overset_workload(const OversetParams& params,
+                                      rng::Rng& rng);
+
+}  // namespace match::workload

@@ -1,0 +1,82 @@
+#include "workload/paper_suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace match::workload {
+
+Instance make_paper_instance(const PaperParams& params, rng::Rng& rng) {
+  if (params.n < 2) throw std::invalid_argument("make_paper_instance: n < 2");
+  if (params.comm_scale <= 0.0) {
+    throw std::invalid_argument("make_paper_instance: comm_scale <= 0");
+  }
+
+  graph::Graph tig_graph = graph::make_clustered(
+      params.n, params.tig_regions, params.tig_p_dense, params.tig_p_sparse,
+      params.tig_node, params.tig_edge, rng, /*force_connected=*/true);
+
+  const bool lognormal =
+      params.task_weight_model == PaperParams::TaskWeightModel::kLognormal;
+  if (params.comm_scale != 1.0 || lognormal) {
+    // Rebuild with adjusted weights; graphs are immutable by design.
+    auto edges = tig_graph.edge_list();
+    for (auto& e : edges) e.weight *= params.comm_scale;
+    std::vector<double> node_w(tig_graph.node_weights().begin(),
+                               tig_graph.node_weights().end());
+    if (lognormal) {
+      if (params.lognormal_sigma <= 0.0) {
+        throw std::invalid_argument(
+            "make_paper_instance: lognormal_sigma <= 0");
+      }
+      // Same mean as the uniform draw, heavier tail: E[lognormal] =
+      // exp(mu + sigma^2/2) = range mean.
+      const double target_mean =
+          0.5 * static_cast<double>(params.tig_node.lo + params.tig_node.hi);
+      const double mu = std::log(target_mean) -
+                        0.5 * params.lognormal_sigma * params.lognormal_sigma;
+      for (auto& w : node_w) {
+        w = std::max(1.0, rng.lognormal(mu, params.lognormal_sigma));
+      }
+    }
+    tig_graph = graph::Graph::from_edges(params.n, std::move(node_w), edges);
+  }
+
+  Instance inst;
+  inst.name = "paper-n" + std::to_string(params.n);
+  inst.tig = graph::Tig(std::move(tig_graph));
+  if (params.complete_resources) {
+    inst.resources = graph::ResourceGraph(
+        graph::make_complete(params.n, params.res_node, params.res_edge, rng));
+    inst.comm_policy = sim::CommCostPolicy::kDirectLinks;
+  } else {
+    inst.resources = graph::ResourceGraph(
+        graph::make_gnp(params.n, params.res_gnp_p, params.res_node,
+                        params.res_edge, rng, /*force_connected=*/true));
+    inst.comm_policy = sim::CommCostPolicy::kShortestPath;
+  }
+  return inst;
+}
+
+std::vector<Instance> make_paper_suite(const PaperParams& params,
+                                       std::size_t count, double scale_lo,
+                                       double scale_hi, rng::Rng& rng) {
+  if (count == 0) return {};
+  if (scale_lo <= 0.0 || scale_hi < scale_lo) {
+    throw std::invalid_argument("make_paper_suite: bad scale range");
+  }
+  std::vector<Instance> suite;
+  suite.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PaperParams p = params;
+    const double f =
+        count == 1 ? 0.0
+                   : static_cast<double>(i) / static_cast<double>(count - 1);
+    p.comm_scale = scale_lo * std::pow(scale_hi / scale_lo, f);
+    Instance inst = make_paper_instance(p, rng);
+    inst.name += "-ccr" + std::to_string(i);
+    suite.push_back(std::move(inst));
+  }
+  return suite;
+}
+
+}  // namespace match::workload

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+#include "workload/instance.hpp"
+
+namespace match::workload {
+
+/// Parameters of the paper's §5.2 synthetic instance family.
+///
+/// Defaults reproduce the published setting exactly:
+///  * `|V_t| = |V_r| = n`;
+///  * TIG node weights 1–10, TIG edge weights 50–100;
+///  * resource node weights 1–5, link weights 10–20;
+///  * TIG edges "randomly generated ... to represent regions of high
+///    density and regions of lower density" — modeled by the clustered
+///    generator (dense intra-region, sparse inter-region);
+///  * complete resource graph (the cost model charges `c_{s,b}` for any
+///    pair, see DESIGN.md).
+struct PaperParams {
+  std::size_t n = 10;
+
+  graph::WeightRange tig_node{1, 10};
+  graph::WeightRange tig_edge{50, 100};
+  graph::WeightRange res_node{1, 5};
+  graph::WeightRange res_edge{10, 20};
+
+  std::size_t tig_regions = 3;
+  double tig_p_dense = 0.7;
+  double tig_p_sparse = 0.2;
+
+  /// Multiplier applied to every TIG edge weight after sampling; this is
+  /// the paper's "varying computation to communication ratio" knob.
+  double comm_scale = 1.0;
+
+  /// Task compute-weight model.  The paper draws uniformly from
+  /// `tig_node`; `kLognormal` replaces the draws with a heavy-tailed
+  /// log-normal of the *same mean*, modeling the few-huge-grids profile
+  /// real overset decompositions show (extension; see
+  /// bench/ext_heterogeneity).
+  enum class TaskWeightModel { kUniform, kLognormal };
+  TaskWeightModel task_weight_model = TaskWeightModel::kUniform;
+  /// Shape of the log-normal (larger = heavier tail).
+  double lognormal_sigma = 0.75;
+
+  /// Complete resource graph (paper default) vs sparse topology routed
+  /// over shortest paths.
+  bool complete_resources = true;
+  double res_gnp_p = 0.4;  ///< density when `complete_resources` is false
+};
+
+/// Generates one paper-style instance.
+Instance make_paper_instance(const PaperParams& params, rng::Rng& rng);
+
+/// Generates the paper's evaluation suite: `count` instances with
+/// comm/comp ratios spread over [scale_lo, scale_hi] (geometric steps),
+/// all of size `params.n`.  The paper uses five.
+std::vector<Instance> make_paper_suite(const PaperParams& params,
+                                       std::size_t count, double scale_lo,
+                                       double scale_hi, rng::Rng& rng);
+
+}  // namespace match::workload

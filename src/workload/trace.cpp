@@ -1,0 +1,158 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/matchalgo.hpp"
+#include "core/rematch.hpp"
+#include "sim/perturb.hpp"
+
+namespace match::workload {
+
+void TraceParams::validate() const {
+  if (horizon <= 0.0) throw std::invalid_argument("TraceParams: horizon");
+  if (min_factor <= 1.0 || max_factor < min_factor) {
+    throw std::invalid_argument("TraceParams: factor range");
+  }
+  if (p_link_event < 0.0 || p_link_event > 1.0 || p_recovery < 0.0 ||
+      p_recovery > 1.0) {
+    throw std::invalid_argument("TraceParams: probabilities");
+  }
+}
+
+std::vector<TraceEvent> make_degradation_trace(std::size_t num_resources,
+                                               const TraceParams& params,
+                                               rng::Rng& rng) {
+  params.validate();
+  if (num_resources == 0) {
+    throw std::invalid_argument("make_degradation_trace: no resources");
+  }
+
+  std::vector<TraceEvent> events;
+  events.reserve(params.num_events);
+  std::vector<char> slowed(num_resources, 0);
+
+  for (std::size_t i = 0; i < params.num_events; ++i) {
+    TraceEvent ev;
+    ev.time = rng.uniform_real(0.0, params.horizon);
+
+    // Recovery only makes sense if something is currently slowed.
+    bool any_slowed = false;
+    for (char s : slowed) any_slowed |= (s != 0);
+
+    if (any_slowed && rng.bernoulli(params.p_recovery)) {
+      ev.kind = TraceEvent::Kind::kRecovery;
+      // Pick a slowed resource uniformly.
+      std::vector<graph::NodeId> candidates;
+      for (graph::NodeId r = 0; r < num_resources; ++r) {
+        if (slowed[r]) candidates.push_back(r);
+      }
+      ev.resource = candidates[rng.below(candidates.size())];
+      slowed[ev.resource] = 0;
+    } else if (rng.bernoulli(params.p_link_event)) {
+      ev.kind = TraceEvent::Kind::kLinkDegrade;
+      ev.resource = static_cast<graph::NodeId>(rng.below(num_resources));
+      ev.factor = rng.uniform_real(params.min_factor, params.max_factor);
+    } else {
+      ev.kind = TraceEvent::Kind::kSlowdown;
+      ev.resource = static_cast<graph::NodeId>(rng.below(num_resources));
+      ev.factor = rng.uniform_real(params.min_factor, params.max_factor);
+      slowed[ev.resource] = 1;
+    }
+    events.push_back(ev);
+  }
+
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.time < b.time;
+            });
+  return events;
+}
+
+const char* to_string(ReplayPolicy policy) {
+  switch (policy) {
+    case ReplayPolicy::kStatic:
+      return "static";
+    case ReplayPolicy::kWarmRematch:
+      return "warm-rematch";
+    case ReplayPolicy::kColdRestart:
+      return "cold-restart";
+  }
+  return "unknown";
+}
+
+ReplayResult replay_trace(const graph::Tig& tig,
+                          const graph::ResourceGraph& initial_resources,
+                          const std::vector<TraceEvent>& events,
+                          ReplayPolicy policy, rng::Rng& rng) {
+  ReplayResult out;
+
+  // Track baseline processing costs so recovery can restore them.
+  const graph::Graph& base = initial_resources.graph();
+  graph::ResourceGraph current = initial_resources;
+
+  // Initial mapping on the healthy platform.
+  sim::Platform platform(current);
+  sim::CostEvaluator eval(tig, platform);
+  core::MatchOptimizer initial_opt(eval);
+  const auto initial = initial_opt.run(rng);
+  sim::Mapping mapping = initial.best_mapping;
+  out.total_mapping_seconds += initial.elapsed_seconds;
+
+  for (const TraceEvent& ev : events) {
+    // Apply the event to the platform.
+    switch (ev.kind) {
+      case TraceEvent::Kind::kSlowdown:
+        current = sim::scale_processing_cost(current, ev.resource, ev.factor);
+        break;
+      case TraceEvent::Kind::kRecovery: {
+        const double now = current.processing_cost(ev.resource);
+        const double baseline = base.node_weight(ev.resource);
+        if (now > baseline) {
+          current = sim::scale_processing_cost(current, ev.resource,
+                                               baseline / now);
+        }
+        break;
+      }
+      case TraceEvent::Kind::kLinkDegrade:
+        current = sim::scale_link_costs(current, ev.resource, ev.factor);
+        break;
+    }
+
+    sim::Platform new_platform(current);
+    sim::CostEvaluator new_eval(tig, new_platform);
+
+    switch (policy) {
+      case ReplayPolicy::kStatic:
+        break;  // never react
+      case ReplayPolicy::kWarmRematch: {
+        core::RematchParams rp;
+        const auto r = core::rematch(new_eval, mapping, rp, rng);
+        mapping = r.best_mapping;
+        out.total_mapping_seconds += r.elapsed_seconds;
+        ++out.remaps;
+        break;
+      }
+      case ReplayPolicy::kColdRestart: {
+        core::MatchOptimizer opt(new_eval);
+        const auto r = opt.run(rng);
+        if (r.best_cost < new_eval.makespan(mapping)) {
+          mapping = r.best_mapping;
+        }
+        out.total_mapping_seconds += r.elapsed_seconds;
+        ++out.remaps;
+        break;
+      }
+    }
+
+    out.et_timeline.push_back(new_eval.makespan(mapping));
+  }
+
+  for (double et : out.et_timeline) out.mean_et += et;
+  if (!out.et_timeline.empty()) {
+    out.mean_et /= static_cast<double>(out.et_timeline.size());
+  }
+  return out;
+}
+
+}  // namespace match::workload

@@ -1,0 +1,86 @@
+#pragma once
+
+// Synthetic grid-availability traces and a replay driver.
+//
+// A computational grid's resources degrade and recover while an
+// application runs (contention from other users, links saturating).
+// `make_degradation_trace` synthesizes a timed event sequence;
+// `replay_trace` plays it against an instance under one of three
+// reaction policies — keep the initial mapping, warm-started re-mapping
+// (core/rematch), or cold restart — and reports the ET the application
+// would have observed over time.  This turns the paper's static mapping
+// problem into the dynamic scenario its future-work section gestures at,
+// with everything built from the library's own pieces (perturb, rematch,
+// evaluator).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+
+namespace match::workload {
+
+/// One platform change.
+struct TraceEvent {
+  enum class Kind {
+    kSlowdown,     ///< resource processing cost × factor
+    kRecovery,     ///< resource processing cost restored to baseline
+    kLinkDegrade,  ///< all links incident to the resource × factor
+  };
+
+  double time = 0.0;  ///< abstract time units, non-decreasing
+  Kind kind = Kind::kSlowdown;
+  graph::NodeId resource = 0;
+  double factor = 1.0;  ///< meaningful for slowdown/link events, > 1
+};
+
+struct TraceParams {
+  std::size_t num_events = 12;
+  double horizon = 1000.0;  ///< events are spread over [0, horizon)
+  double min_factor = 1.5;
+  double max_factor = 4.0;
+  /// Probability an event is a link degradation instead of a slowdown.
+  double p_link_event = 0.25;
+  /// Probability an event restores a previously slowed resource instead
+  /// of degrading a new one (no-op if nothing is degraded).
+  double p_recovery = 0.3;
+
+  void validate() const;
+};
+
+/// Generates a time-sorted event sequence for a platform of
+/// `num_resources` nodes.
+std::vector<TraceEvent> make_degradation_trace(std::size_t num_resources,
+                                               const TraceParams& params,
+                                               rng::Rng& rng);
+
+/// How the scheduler reacts to each event.
+enum class ReplayPolicy {
+  kStatic,       ///< map once, never react
+  kWarmRematch,  ///< anchored warm re-mapping after every event
+  kColdRestart,  ///< full MaTCH re-run after every event
+};
+
+const char* to_string(ReplayPolicy policy);
+
+struct ReplayResult {
+  /// ET of the active mapping after each event (index-aligned with the
+  /// event sequence).
+  std::vector<double> et_timeline;
+  double mean_et = 0.0;
+  /// Total wall-clock spent re-mapping across the whole trace.
+  double total_mapping_seconds = 0.0;
+  std::size_t remaps = 0;
+};
+
+/// Plays `events` against the instance under `policy`.  The same seed
+/// yields identical decisions across policies, so results are directly
+/// comparable.
+ReplayResult replay_trace(const graph::Tig& tig,
+                          const graph::ResourceGraph& initial_resources,
+                          const std::vector<TraceEvent>& events,
+                          ReplayPolicy policy, rng::Rng& rng);
+
+}  // namespace match::workload

@@ -1,0 +1,119 @@
+#include "stats/anova.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace match::stats {
+namespace {
+
+TEST(Anova, TextbookExample) {
+  // Three groups; classic hand-workable example.
+  // g1 = {6, 8, 4, 5, 3, 4}, mean 5
+  // g2 = {8, 12, 9, 11, 6, 8}, mean 9
+  // g3 = {13, 9, 11, 8, 7, 12}, mean 10
+  // Grand mean 8; SSB = 6[(5-8)^2 + (9-8)^2 + (10-8)^2] = 84
+  // SSW = 16+4+0+... = 68; F = (84/2)/(68/15) = 9.264…
+  const std::vector<std::vector<double>> groups = {
+      {6, 8, 4, 5, 3, 4}, {8, 12, 9, 11, 6, 8}, {13, 9, 11, 8, 7, 12}};
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_DOUBLE_EQ(r.grand_mean, 8.0);
+  EXPECT_NEAR(r.ss_between, 84.0, 1e-9);
+  EXPECT_NEAR(r.ss_within, 68.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.df_between, 2.0);
+  EXPECT_DOUBLE_EQ(r.df_within, 15.0);
+  EXPECT_NEAR(r.f_value, (84.0 / 2.0) / (68.0 / 15.0), 1e-9);
+  // Table lookup: p ≈ 0.0024 for F = 9.26 with (2, 15) dof.
+  EXPECT_NEAR(r.p_value, 0.0024, 5e-4);
+}
+
+TEST(Anova, IdenticalGroupsGiveNullResult) {
+  const std::vector<std::vector<double>> groups = {
+      {5.0, 5.0, 5.0}, {5.0, 5.0, 5.0}};
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_DOUBLE_EQ(r.f_value, 0.0);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+}
+
+TEST(Anova, ConstantButDifferentGroupsGiveInfiniteF) {
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}};
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_TRUE(std::isinf(r.f_value));
+  EXPECT_DOUBLE_EQ(r.p_value, 0.0);
+}
+
+TEST(Anova, WellSeparatedGroupsAreSignificant) {
+  std::vector<std::vector<double>> groups(3);
+  for (int i = 0; i < 30; ++i) {
+    groups[0].push_back(100.0 + (i % 5));
+    groups[1].push_back(200.0 + (i % 5));
+    groups[2].push_back(300.0 + (i % 5));
+  }
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_GT(r.f_value, 1000.0);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(Anova, OverlappingGroupsAreNot) {
+  // Same distribution in both groups (deterministic interleaved values).
+  std::vector<std::vector<double>> groups(2);
+  for (int i = 0; i < 40; ++i) {
+    groups[0].push_back(static_cast<double>(i % 7));
+    groups[1].push_back(static_cast<double>((i + 3) % 7));
+  }
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_LT(r.f_value, 2.0);
+  EXPECT_GT(r.p_value, 0.1);
+}
+
+TEST(Anova, UnbalancedGroupSizes) {
+  const std::vector<std::vector<double>> groups = {
+      {1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0}, {10.0, 12.0}};
+  const AnovaResult r = one_way_anova(groups);
+  EXPECT_DOUBLE_EQ(r.df_between, 1.0);
+  EXPECT_DOUBLE_EQ(r.df_within, 8.0);
+  EXPECT_GT(r.f_value, 1.0);
+}
+
+TEST(Anova, FIsInvariantToShiftAndScale) {
+  const std::vector<std::vector<double>> base = {
+      {6, 8, 4, 5, 3, 4}, {8, 12, 9, 11, 6, 8}, {13, 9, 11, 8, 7, 12}};
+  std::vector<std::vector<double>> transformed = base;
+  for (auto& g : transformed) {
+    for (auto& x : g) x = 3.0 * x + 17.0;
+  }
+  const AnovaResult a = one_way_anova(base);
+  const AnovaResult b = one_way_anova(transformed);
+  EXPECT_NEAR(a.f_value, b.f_value, 1e-9);
+  EXPECT_NEAR(a.p_value, b.p_value, 1e-12);
+}
+
+TEST(Anova, RejectsDegenerateInputs) {
+  const std::vector<std::vector<double>> one_group = {{1.0, 2.0}};
+  EXPECT_THROW(one_way_anova(one_group), std::invalid_argument);
+
+  const std::vector<std::vector<double>> with_empty = {{1.0, 2.0}, {}};
+  EXPECT_THROW(one_way_anova(with_empty), std::invalid_argument);
+
+  const std::vector<std::vector<double>> singletons = {{1.0}, {2.0}};
+  EXPECT_THROW(one_way_anova(singletons), std::invalid_argument);
+}
+
+TEST(Anova, TwoGroupFEqualsSquaredT) {
+  // For two groups, one-way ANOVA's F equals the square of the pooled
+  // two-sample t statistic.
+  const std::vector<double> g1 = {4.0, 5.0, 6.0, 7.0, 8.0};
+  const std::vector<double> g2 = {7.0, 8.0, 9.0, 10.0, 11.0};
+  const std::vector<std::vector<double>> groups = {g1, g2};
+  const AnovaResult r = one_way_anova(groups);
+
+  // Pooled t: means 6 and 9, each variance 2.5, n = 5.
+  const double pooled_var = 2.5;
+  const double t = (9.0 - 6.0) / std::sqrt(pooled_var * (1.0 / 5 + 1.0 / 5));
+  EXPECT_NEAR(r.f_value, t * t, 1e-9);
+}
+
+}  // namespace
+}  // namespace match::stats

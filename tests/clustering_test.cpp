@@ -1,0 +1,189 @@
+#include "baselines/clustering.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match::baselines {
+namespace {
+
+graph::Tig make_tig(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  return graph::Tig(
+      graph::make_clustered(n, 4, 0.7, 0.15, {1, 10}, {50, 100}, rng));
+}
+
+TEST(Coarsen, ReachesExactTarget) {
+  const auto tig = make_tig(24, 1);
+  rng::Rng rng(2);
+  for (std::size_t target : {1u, 2u, 6u, 12u, 24u}) {
+    const Clustering c = coarsen_tig(tig, target, rng);
+    EXPECT_EQ(c.num_clusters, target);
+    EXPECT_EQ(c.coarse.num_tasks(), target);
+    // Labels are dense in [0, target).
+    std::set<graph::NodeId> labels(c.cluster_of.begin(), c.cluster_of.end());
+    EXPECT_EQ(labels.size(), target);
+    EXPECT_EQ(*labels.rbegin(), static_cast<graph::NodeId>(target - 1));
+  }
+}
+
+TEST(Coarsen, PreservesTotalComputeWeight) {
+  const auto tig = make_tig(30, 3);
+  rng::Rng rng(4);
+  const Clustering c = coarsen_tig(tig, 7, rng);
+  EXPECT_NEAR(c.coarse.graph().total_node_weight(),
+              tig.graph().total_node_weight(), 1e-9);
+}
+
+TEST(Coarsen, ClusterWeightEqualsMemberSum) {
+  const auto tig = make_tig(20, 5);
+  rng::Rng rng(6);
+  const Clustering c = coarsen_tig(tig, 5, rng);
+  std::vector<double> sums(5, 0.0);
+  for (graph::NodeId t = 0; t < 20; ++t) {
+    sums[c.cluster_of[t]] += tig.compute_weight(t);
+  }
+  for (graph::NodeId k = 0; k < 5; ++k) {
+    EXPECT_NEAR(c.coarse.compute_weight(k), sums[k], 1e-9);
+  }
+}
+
+TEST(Coarsen, CoarseEdgesAggregateCutVolume) {
+  const auto tig = make_tig(16, 7);
+  rng::Rng rng(8);
+  const Clustering c = coarsen_tig(tig, 4, rng);
+  // For every cluster pair, the coarse edge weight must equal the summed
+  // inter-cluster edge weights of the original TIG.
+  for (graph::NodeId a = 0; a < 4; ++a) {
+    for (graph::NodeId b = a + 1; b < 4; ++b) {
+      double expected = 0.0;
+      for (const auto& e : tig.graph().edge_list()) {
+        if ((c.cluster_of[e.u] == a && c.cluster_of[e.v] == b) ||
+            (c.cluster_of[e.u] == b && c.cluster_of[e.v] == a)) {
+          expected += e.weight;
+        }
+      }
+      EXPECT_NEAR(c.coarse.comm_volume(a, b), expected, 1e-9)
+          << "clusters " << a << "," << b;
+    }
+  }
+}
+
+TEST(Coarsen, HeavyEdgesCollapseFirst) {
+  // A graph with two obvious heavy pairs and light cross edges: the heavy
+  // pairs must end up intra-cluster.
+  graph::Graph::Builder b;
+  for (int i = 0; i < 4; ++i) b.add_node(1.0);
+  b.add_edge(0, 1, 1000.0);
+  b.add_edge(2, 3, 1000.0);
+  b.add_edge(1, 2, 1.0);
+  b.add_edge(0, 3, 1.0);
+  const graph::Tig tig(b.build());
+  rng::Rng rng(9);
+  const Clustering c = coarsen_tig(tig, 2, rng);
+  EXPECT_EQ(c.cluster_of[0], c.cluster_of[1]);
+  EXPECT_EQ(c.cluster_of[2], c.cluster_of[3]);
+  EXPECT_NE(c.cluster_of[0], c.cluster_of[2]);
+}
+
+TEST(Coarsen, HandlesDisconnectedGraphs) {
+  // Matching stalls on isolated nodes; the lightest-pair fallback must
+  // still reach the target.
+  const graph::Graph g = graph::Graph::from_edges(6, {}, std::vector<graph::Edge>{});
+  const graph::Tig tig(g);
+  rng::Rng rng(10);
+  const Clustering c = coarsen_tig(tig, 2, rng);
+  EXPECT_EQ(c.num_clusters, 2u);
+}
+
+TEST(Coarsen, RejectsBadTargets) {
+  const auto tig = make_tig(10, 11);
+  rng::Rng rng(12);
+  EXPECT_THROW(coarsen_tig(tig, 0, rng), std::invalid_argument);
+  EXPECT_THROW(coarsen_tig(tig, 11, rng), std::invalid_argument);
+}
+
+TEST(ClusterMapRefine, ProducesValidMappingOnRectangularInstance) {
+  const auto tig = make_tig(24, 13);
+  rng::Rng prng(14);
+  const sim::Platform plat(graph::ResourceGraph(
+      graph::make_complete(6, {1, 5}, {10, 20}, prng)));
+  const sim::CostEvaluator eval(tig, plat);
+
+  rng::Rng rng(15);
+  const SearchResult r = cluster_map_refine(eval, {}, rng);
+  EXPECT_TRUE(r.best_mapping.is_valid(6));
+  EXPECT_EQ(r.best_mapping.num_tasks(), 24u);
+  EXPECT_DOUBLE_EQ(eval.makespan(r.best_mapping), r.best_cost);
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(ClusterMapRefine, RefinementNeverHurts) {
+  const auto tig = make_tig(20, 16);
+  rng::Rng prng(17);
+  const sim::Platform plat(graph::ResourceGraph(
+      graph::make_complete(5, {1, 5}, {10, 20}, prng)));
+  const sim::CostEvaluator eval(tig, plat);
+
+  ClusterMapParams no_refine;
+  no_refine.refine_passes = 0;
+  ClusterMapParams with_refine;
+  with_refine.refine_passes = 5;
+
+  rng::Rng r1(18), r2(18);
+  const auto a = cluster_map_refine(eval, no_refine, r1);
+  const auto b = cluster_map_refine(eval, with_refine, r2);
+  EXPECT_LE(b.best_cost, a.best_cost + 1e-9);
+}
+
+TEST(ClusterMapRefine, BeatsRandomAssignment) {
+  const auto tig = make_tig(30, 19);
+  rng::Rng prng(20);
+  const sim::Platform plat(graph::ResourceGraph(
+      graph::make_complete(6, {1, 5}, {10, 20}, prng)));
+  const sim::CostEvaluator eval(tig, plat);
+
+  rng::Rng rng(21);
+  const auto clustered = cluster_map_refine(eval, {}, rng);
+
+  // Mean of random many-to-one assignments as the reference.
+  rng::Rng rrng(22);
+  double random_mean = 0.0;
+  constexpr int kTrials = 100;
+  for (int i = 0; i < kTrials; ++i) {
+    std::vector<graph::NodeId> assign(30);
+    for (auto& a : assign) a = static_cast<graph::NodeId>(rrng.below(6));
+    random_mean += eval.makespan(sim::Mapping(std::move(assign)));
+  }
+  random_mean /= kTrials;
+  EXPECT_LT(clustered.best_cost, random_mean);
+}
+
+TEST(ClusterMapRefine, WorksOnSquareInstances) {
+  rng::Rng setup(23);
+  workload::PaperParams params;
+  params.n = 12;
+  const auto inst = workload::make_paper_instance(params, setup);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+  rng::Rng rng(24);
+  const auto r = cluster_map_refine(eval, {}, rng);
+  EXPECT_TRUE(r.best_mapping.is_valid(12));
+}
+
+TEST(ClusterMapRefine, RejectsMoreResourcesThanTasks) {
+  const auto tig = make_tig(4, 25);
+  rng::Rng prng(26);
+  const sim::Platform plat(graph::ResourceGraph(
+      graph::make_complete(6, {1, 5}, {10, 20}, prng)));
+  const sim::CostEvaluator eval(tig, plat);
+  rng::Rng rng(27);
+  EXPECT_THROW(cluster_map_refine(eval, {}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace match::baselines

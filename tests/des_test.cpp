@@ -1,0 +1,202 @@
+#include "sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/paper_suite.hpp"
+
+namespace match::sim {
+namespace {
+
+struct Fixture {
+  workload::Instance inst;
+  Platform platform;
+  CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+TEST(DesParams, Validation) {
+  DesParams p;
+  p.comm_overlap = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.compute_jitter = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.rounds = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Des, IndependentModeReproducesAnalyticMakespanExactly) {
+  // The headline validation: with serialized communication and no jitter,
+  // one simulated round's duration equals eq. (2)'s Exec^χ.
+  Fixture f(12, 1);
+  rng::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Mapping m = Mapping::random_permutation(12, rng);
+    const DesResult r = simulate_execution(f.eval, m, {});
+    EXPECT_NEAR(r.total_time, f.eval.makespan(m), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(Des, IndependentModePerResourceTimesMatchEq1) {
+  Fixture f(10, 3);
+  rng::Rng rng(4);
+  const Mapping m = Mapping::random_permutation(10, rng);
+  const DesResult des = simulate_execution(f.eval, m, {});
+  const EvalResult analytic = f.eval.evaluate(m);
+  for (std::size_t s = 0; s < 10; ++s) {
+    EXPECT_NEAR(des.finish[s], analytic.loads[s].total(), 1e-9) << s;
+    EXPECT_NEAR(des.busy[s], analytic.loads[s].total(), 1e-9) << s;
+  }
+}
+
+TEST(Des, RoundsScaleLinearlyWithoutJitter) {
+  Fixture f(10, 5);
+  rng::Rng rng(6);
+  const Mapping m = Mapping::random_permutation(10, rng);
+  DesParams one;
+  DesParams five;
+  five.rounds = 5;
+  const double t1 = simulate_execution(f.eval, m, one).total_time;
+  const double t5 = simulate_execution(f.eval, m, five).total_time;
+  EXPECT_NEAR(t5, 5.0 * t1, 1e-9);
+}
+
+TEST(Des, FullOverlapLeavesOnlyCompute) {
+  Fixture f(10, 7);
+  rng::Rng rng(8);
+  const Mapping m = Mapping::random_permutation(10, rng);
+  DesParams p;
+  p.comm_overlap = 1.0;
+  const DesResult r = simulate_execution(f.eval, m, p);
+  // With communication fully hidden, round time = max compute load.
+  const EvalResult analytic = f.eval.evaluate(m);
+  double max_compute = 0.0;
+  for (const auto& load : analytic.loads) {
+    max_compute = std::max(max_compute, load.compute);
+  }
+  EXPECT_NEAR(r.total_time, max_compute, 1e-9);
+}
+
+TEST(Des, PartialOverlapInterpolates) {
+  Fixture f(10, 9);
+  rng::Rng rng(10);
+  const Mapping m = Mapping::random_permutation(10, rng);
+  DesParams half;
+  half.comm_overlap = 0.5;
+  const double t_half = simulate_execution(f.eval, m, half).total_time;
+  const double t_none = simulate_execution(f.eval, m, {}).total_time;
+  EXPECT_LT(t_half, t_none);
+}
+
+TEST(Des, CoupledModeIsAtLeastAsSlow) {
+  // Rendezvous transfers can only add idle waits on top of the additive
+  // accounting, never remove work.
+  Fixture f(12, 11);
+  rng::Rng rng(12);
+  DesParams coupled;
+  coupled.comm_model = DesParams::CommModel::kCoupled;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Mapping m = Mapping::random_permutation(12, rng);
+    const double t_ind = simulate_execution(f.eval, m, {}).total_time;
+    const double t_cpl = simulate_execution(f.eval, m, coupled).total_time;
+    EXPECT_GE(t_cpl, t_ind - 1e-9);
+  }
+}
+
+TEST(Des, CoupledModeReportsIdle) {
+  Fixture f(12, 13);
+  rng::Rng rng(14);
+  const Mapping m = Mapping::random_permutation(12, rng);
+  DesParams coupled;
+  coupled.comm_model = DesParams::CommModel::kCoupled;
+  const DesResult r = simulate_execution(f.eval, m, coupled);
+  EXPECT_GE(r.total_idle, 0.0);
+  // Busy time never exceeds finish time on any resource.
+  for (std::size_t s = 0; s < r.busy.size(); ++s) {
+    EXPECT_LE(r.busy[s], r.total_time + 1e-9);
+  }
+}
+
+TEST(Des, ColocatedMappingHasNoTransfers) {
+  Fixture f(8, 15);
+  const Mapping m(std::vector<graph::NodeId>(8, 0));
+  const DesResult r = simulate_execution(f.eval, m, {});
+  EXPECT_EQ(r.transfers, 0u);
+  EXPECT_NEAR(r.total_time, f.eval.makespan(m), 1e-9);
+}
+
+TEST(Des, JitterRequiresRng) {
+  Fixture f(8, 16);
+  const Mapping m = Mapping::identity(8);
+  DesParams p;
+  p.compute_jitter = 0.1;
+  EXPECT_THROW(simulate_execution(f.eval, m, p, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Des, JitterStaysWithinBounds) {
+  Fixture f(10, 17);
+  rng::Rng map_rng(18);
+  const Mapping m = Mapping::random_permutation(10, map_rng);
+  const double base = simulate_execution(f.eval, m, {}).total_time;
+
+  DesParams p;
+  p.compute_jitter = 0.2;
+  rng::Rng rng(19);
+  for (int trial = 0; trial < 20; ++trial) {
+    const double t = simulate_execution(f.eval, m, p, &rng).total_time;
+    // Compute is at most ~20% of these instances' cost, so the jittered
+    // time must stay within a loose band of the deterministic one.
+    EXPECT_GT(t, 0.6 * base);
+    EXPECT_LT(t, 1.4 * base);
+  }
+}
+
+TEST(Des, AnalyticModelRanksMappingsUnderCoupledNetwork) {
+  // The experiment backing the paper's premise: the additive cost model
+  // is a useful *ranking* proxy even when the network is rendezvous-
+  // based.  A clearly better analytic mapping must not simulate worse
+  // than a clearly worse one.
+  Fixture f(14, 20);
+  rng::Rng rng(21);
+  DesParams coupled;
+  coupled.comm_model = DesParams::CommModel::kCoupled;
+
+  // Gather a spread of mappings and compare extreme pairs.
+  std::vector<std::pair<double, double>> points;  // (analytic, simulated)
+  for (int i = 0; i < 40; ++i) {
+    const Mapping m = Mapping::random_permutation(14, rng);
+    points.emplace_back(f.eval.makespan(m),
+                        simulate_execution(f.eval, m, coupled).total_time);
+  }
+  auto best = *std::min_element(points.begin(), points.end());
+  auto worst = *std::max_element(points.begin(), points.end());
+  // Require a real spread to make the comparison meaningful.
+  ASSERT_GT(worst.first, best.first * 1.05);
+  EXPECT_LT(best.second, worst.second);
+}
+
+TEST(Des, MappingSizeMismatchThrows) {
+  Fixture f(8, 22);
+  const Mapping wrong = Mapping::identity(5);
+  EXPECT_THROW(simulate_execution(f.eval, wrong, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace match::sim

@@ -1,0 +1,150 @@
+// Cross-component determinism suite.  Reproducibility is a library-wide
+// contract: for a fixed seed every pipeline must produce bit-identical
+// results across repeated runs, across serial/parallel execution, and
+// across thread-pool sizes (per-sample seeds are derived by counter
+// hashing, never by thread identity).
+
+#include <gtest/gtest.h>
+
+#include "baselines/clustering.hpp"
+#include "baselines/ga.hpp"
+#include "core/general_match.hpp"
+#include "core/island.hpp"
+#include "core/matchalgo.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/des.hpp"
+#include "workload/overset.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match {
+namespace {
+
+workload::Instance make_instance(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  workload::PaperParams params;
+  params.n = n;
+  return workload::make_paper_instance(params, rng);
+}
+
+TEST(Determinism, InstanceGenerationRepeats) {
+  const auto a = make_instance(20, 1);
+  const auto b = make_instance(20, 1);
+  EXPECT_EQ(a.tig, b.tig);
+  EXPECT_EQ(a.resources, b.resources);
+}
+
+TEST(Determinism, SuiteGenerationRepeats) {
+  rng::Rng r1(2), r2(2);
+  workload::PaperParams params;
+  params.n = 12;
+  const auto a = workload::make_paper_suite(params, 4, 0.5, 2.0, r1);
+  const auto b = workload::make_paper_suite(params, 4, 0.5, 2.0, r2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tig, b[i].tig) << i;
+  }
+}
+
+TEST(Determinism, OversetWorkloadRepeats) {
+  rng::Rng r1(3), r2(3);
+  workload::OversetParams params;
+  const auto a = workload::make_overset_workload(params, r1);
+  const auto b = workload::make_overset_workload(params, r2);
+  EXPECT_EQ(a.tig, b.tig);
+}
+
+TEST(Determinism, MatchFullHistoryRepeats) {
+  // Repeatability on the shared global pool, whatever its size; the
+  // serial-vs-parallel equivalence is covered in matchalgo_test.
+  const auto inst = make_instance(12, 4);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+
+  const auto run_once = [&] {
+    core::MatchOptimizer opt(eval);
+    rng::Rng rng(5);
+    return opt.run(rng);
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history[i].gamma, b.history[i].gamma);
+    EXPECT_DOUBLE_EQ(a.history[i].mean_entropy, b.history[i].mean_entropy);
+  }
+}
+
+TEST(Determinism, GaFullHistoryRepeats) {
+  const auto inst = make_instance(10, 6);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+  baselines::GaParams params;
+  params.population = 40;
+  params.generations = 50;
+
+  rng::Rng r1(7), r2(7);
+  const auto a = baselines::GaOptimizer(eval, params).run(r1);
+  const auto b = baselines::GaOptimizer(eval, params).run(r2);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history[i].gen_best, b.history[i].gen_best);
+    EXPECT_DOUBLE_EQ(a.history[i].mean_cost, b.history[i].mean_cost);
+  }
+}
+
+TEST(Determinism, GeneralMatchRepeats) {
+  rng::Rng gen(8);
+  const graph::Tig tig(
+      graph::make_clustered(15, 3, 0.6, 0.1, {1, 10}, {50, 100}, gen));
+  const sim::Platform plat(graph::ResourceGraph(
+      graph::make_complete(5, {1, 5}, {10, 20}, gen)));
+  const sim::CostEvaluator eval(tig, plat);
+
+  rng::Rng r1(9), r2(9);
+  const auto a = core::GeneralMatchOptimizer(eval).run(r1);
+  const auto b = core::GeneralMatchOptimizer(eval).run(r2);
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Determinism, ClusteringRepeats) {
+  const auto inst = make_instance(18, 10);
+  rng::Rng r1(11), r2(11);
+  const auto a = baselines::coarsen_tig(inst.tig, 6, r1);
+  const auto b = baselines::coarsen_tig(inst.tig, 6, r2);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  EXPECT_EQ(a.coarse, b.coarse);
+}
+
+TEST(Determinism, DesWithJitterRepeats) {
+  const auto inst = make_instance(10, 12);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+  rng::Rng map_rng(13);
+  const auto m = sim::Mapping::random_permutation(10, map_rng);
+
+  sim::DesParams params;
+  params.compute_jitter = 0.15;
+  params.rounds = 3;
+  rng::Rng r1(14), r2(14);
+  const auto a = sim::simulate_execution(eval, m, params, &r1);
+  const auto b = sim::simulate_execution(eval, m, params, &r2);
+  EXPECT_DOUBLE_EQ(a.total_time, b.total_time);
+  EXPECT_EQ(a.busy, b.busy);
+}
+
+TEST(Determinism, IslandFullHistoryRepeats) {
+  const auto inst = make_instance(10, 15);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+  core::IslandParams params;
+  params.islands = 3;
+  rng::Rng r1(16), r2(16);
+  const auto a = core::IslandMatchOptimizer(eval, params).run(r1);
+  const auto b = core::IslandMatchOptimizer(eval, params).run(r2);
+  EXPECT_EQ(a.history, b.history);
+}
+
+}  // namespace
+}  // namespace match

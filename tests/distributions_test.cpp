@@ -1,0 +1,166 @@
+// Tests for the continuous distributions added to rng::Rng and the
+// heavy-tailed workload model built on them, plus the KL divergence of
+// stochastic matrices.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stochastic_matrix.hpp"
+#include "rng/rng.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match {
+namespace {
+
+TEST(Distributions, ExponentialMeanAndPositivity) {
+  rng::Rng rng(1);
+  const double lambda = 2.5;
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.exponential(lambda);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, 1.0 / lambda, 0.01);
+}
+
+TEST(Distributions, NormalMomentsMatch) {
+  rng::Rng rng(2);
+  const double mu = 3.0, sigma = 2.0;
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(mu, sigma);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, mu, 0.03);
+  EXPECT_NEAR(var, sigma * sigma, 0.1);
+}
+
+TEST(Distributions, NormalIsRoughlySymmetric) {
+  rng::Rng rng(3);
+  int above = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    above += rng.normal() > 0.0 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(above) / kDraws, 0.5, 0.01);
+}
+
+TEST(Distributions, LognormalMeanMatchesFormula) {
+  rng::Rng rng(4);
+  const double mu = 1.0, sigma = 0.5;
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.lognormal(mu, sigma);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws, std::exp(mu + 0.5 * sigma * sigma), 0.05);
+}
+
+TEST(Distributions, DeterministicStreams) {
+  rng::Rng a(5), b(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+    EXPECT_DOUBLE_EQ(a.exponential(1.0), b.exponential(1.0));
+  }
+}
+
+TEST(HeavyTailWorkload, PreservesMeanAndAddsTail) {
+  workload::PaperParams uniform;
+  uniform.n = 40;
+  workload::PaperParams heavy = uniform;
+  heavy.task_weight_model =
+      workload::PaperParams::TaskWeightModel::kLognormal;
+  heavy.lognormal_sigma = 1.2;
+
+  // Average many instances so the comparison is statistical, not
+  // per-instance.
+  double mean_u = 0.0, mean_h = 0.0, max_u = 0.0, max_h = 0.0;
+  constexpr int kInstances = 20;
+  rng::Rng ru(6), rh(6);
+  for (int i = 0; i < kInstances; ++i) {
+    const auto iu = workload::make_paper_instance(uniform, ru);
+    const auto ih = workload::make_paper_instance(heavy, rh);
+    for (graph::NodeId t = 0; t < 40; ++t) {
+      mean_u += iu.tig.compute_weight(t);
+      mean_h += ih.tig.compute_weight(t);
+      max_u = std::max(max_u, iu.tig.compute_weight(t));
+      max_h = std::max(max_h, ih.tig.compute_weight(t));
+    }
+  }
+  mean_u /= 40.0 * kInstances;
+  mean_h /= 40.0 * kInstances;
+  EXPECT_NEAR(mean_h, mean_u, 0.15 * mean_u);  // same mean by construction
+  EXPECT_GT(max_h, max_u);                     // heavier tail
+  EXPECT_LE(max_u, 10.0);                      // uniform stays in range
+}
+
+TEST(HeavyTailWorkload, WeightsAreAtLeastOne) {
+  workload::PaperParams params;
+  params.n = 25;
+  params.task_weight_model =
+      workload::PaperParams::TaskWeightModel::kLognormal;
+  params.lognormal_sigma = 2.0;  // extreme tail
+  rng::Rng rng(7);
+  const auto inst = workload::make_paper_instance(params, rng);
+  for (graph::NodeId t = 0; t < 25; ++t) {
+    EXPECT_GE(inst.tig.compute_weight(t), 1.0);
+  }
+}
+
+TEST(HeavyTailWorkload, RejectsBadSigma) {
+  workload::PaperParams params;
+  params.n = 10;
+  params.task_weight_model =
+      workload::PaperParams::TaskWeightModel::kLognormal;
+  params.lognormal_sigma = 0.0;
+  rng::Rng rng(8);
+  EXPECT_THROW(workload::make_paper_instance(params, rng),
+               std::invalid_argument);
+}
+
+TEST(KlDivergence, ZeroForIdenticalMatrices) {
+  const auto p = core::StochasticMatrix::uniform(3, 4);
+  EXPECT_DOUBLE_EQ(p.kl_divergence(p), 0.0);
+}
+
+TEST(KlDivergence, MatchesHandComputedValue) {
+  const auto p = core::StochasticMatrix::from_values(1, 2, {0.75, 0.25});
+  const auto q = core::StochasticMatrix::from_values(1, 2, {0.5, 0.5});
+  const double expected =
+      0.75 * std::log2(0.75 / 0.5) + 0.25 * std::log2(0.25 / 0.5);
+  EXPECT_NEAR(p.kl_divergence(q), expected, 1e-12);
+}
+
+TEST(KlDivergence, AsymmetricAndNonNegative) {
+  const auto p = core::StochasticMatrix::from_values(1, 2, {0.9, 0.1});
+  const auto q = core::StochasticMatrix::from_values(1, 2, {0.4, 0.6});
+  EXPECT_GT(p.kl_divergence(q), 0.0);
+  EXPECT_GT(q.kl_divergence(p), 0.0);
+  EXPECT_NE(p.kl_divergence(q), q.kl_divergence(p));
+}
+
+TEST(KlDivergence, InfiniteWhenSupportShrinks) {
+  const auto p = core::StochasticMatrix::from_values(1, 2, {0.5, 0.5});
+  const auto q = core::StochasticMatrix::from_values(1, 2, {1.0, 0.0});
+  EXPECT_TRUE(std::isinf(p.kl_divergence(q)));
+  // The reverse is finite: q's support is inside p's.
+  EXPECT_TRUE(std::isfinite(q.kl_divergence(p)));
+}
+
+TEST(KlDivergence, RejectsShapeMismatch) {
+  const auto p = core::StochasticMatrix::uniform(2, 2);
+  const auto q = core::StochasticMatrix::uniform(2, 3);
+  EXPECT_THROW(p.kl_divergence(q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace match

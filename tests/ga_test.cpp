@@ -1,0 +1,245 @@
+#include "baselines/ga.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "workload/paper_suite.hpp"
+
+namespace match::baselines {
+namespace {
+
+bool is_permutation(std::span<const graph::NodeId> v) {
+  return sim::Mapping(std::vector<graph::NodeId>(v.begin(), v.end()))
+      .is_permutation();
+}
+
+struct Fixture {
+  workload::Instance inst;
+  sim::Platform platform;
+  sim::CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+double brute_force_optimum(const sim::CostEvaluator& eval) {
+  const std::size_t n = eval.num_tasks();
+  std::vector<graph::NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), graph::NodeId{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, eval.makespan(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(GaParams, ValidationCatchesBadValues) {
+  GaParams p;
+  p.population = 1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.generations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.crossover_prob = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.mutation_prob = -0.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(GaParams, PaperConfigFactories) {
+  EXPECT_EQ(GaParams::paper_default().population, 500u);
+  EXPECT_EQ(GaParams::paper_default().generations, 1000u);
+  EXPECT_EQ(GaParams::config_100_10000().population, 100u);
+  EXPECT_EQ(GaParams::config_100_10000().generations, 10000u);
+  EXPECT_EQ(GaParams::config_1000_1000().population, 1000u);
+  EXPECT_EQ(GaParams::config_1000_1000().generations, 1000u);
+  EXPECT_DOUBLE_EQ(GaParams::paper_default().crossover_prob, 0.85);
+  EXPECT_DOUBLE_EQ(GaParams::paper_default().mutation_prob, 0.07);
+}
+
+TEST(GaCrossover, PreservesFirstHalfOfParent1) {
+  const std::vector<graph::NodeId> p1 = {3, 1, 4, 0, 2, 5};
+  const std::vector<graph::NodeId> p2 = {5, 4, 3, 2, 1, 0};
+  const auto child = GaOptimizer::crossover(p1, p2);
+  ASSERT_EQ(child.size(), 6u);
+  EXPECT_EQ(child[0], 3u);
+  EXPECT_EQ(child[1], 1u);
+  EXPECT_EQ(child[2], 4u);
+  EXPECT_TRUE(is_permutation(child));
+}
+
+TEST(GaCrossover, TakesSecondHalfOfParent2WhenNoConflict) {
+  const std::vector<graph::NodeId> p1 = {0, 1, 2, 3, 4, 5};
+  const std::vector<graph::NodeId> p2 = {1, 0, 2, 3, 5, 4};
+  const auto child = GaOptimizer::crossover(p1, p2);
+  // First half from p1: 0 1 2.  p2's second half (3 5 4) has no dup.
+  const std::vector<graph::NodeId> expected = {0, 1, 2, 3, 5, 4};
+  EXPECT_EQ(child, expected);
+}
+
+TEST(GaCrossover, RepairsDuplicatesFromParent2FirstHalfInOrder) {
+  const std::vector<graph::NodeId> p1 = {0, 1, 2, 3, 4, 5};
+  const std::vector<graph::NodeId> p2 = {3, 4, 5, 0, 1, 2};
+  // First half from p1: 0 1 2.  p2 second half = 0 1 2 -> all duplicates;
+  // repairs in order from p2 first half: 3, 4, 5.
+  const auto child = GaOptimizer::crossover(p1, p2);
+  const std::vector<graph::NodeId> expected = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(child, expected);
+}
+
+TEST(GaCrossover, MixedRepair) {
+  const std::vector<graph::NodeId> p1 = {2, 0, 4, 1, 3, 5};
+  const std::vector<graph::NodeId> p2 = {0, 3, 5, 4, 2, 1};
+  // First half from p1: 2 0 4.  p2 second half: 4(dup->3), 2(dup->5), 1(ok).
+  const auto child = GaOptimizer::crossover(p1, p2);
+  const std::vector<graph::NodeId> expected = {2, 0, 4, 3, 5, 1};
+  EXPECT_EQ(child, expected);
+}
+
+TEST(GaCrossover, AlwaysProducesPermutations) {
+  rng::Rng rng(1);
+  for (int trial = 0; trial < 500; ++trial) {
+    const auto p1 = sim::Mapping::random_permutation(9, rng);
+    const auto p2 = sim::Mapping::random_permutation(9, rng);
+    const auto child = GaOptimizer::crossover(p1.assignment(), p2.assignment());
+    ASSERT_TRUE(is_permutation(child)) << "trial " << trial;
+  }
+}
+
+TEST(GaCrossover, OddLengthChromosomes) {
+  rng::Rng rng(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto p1 = sim::Mapping::random_permutation(7, rng);
+    const auto p2 = sim::Mapping::random_permutation(7, rng);
+    const auto child = GaOptimizer::crossover(p1.assignment(), p2.assignment());
+    ASSERT_TRUE(is_permutation(child));
+  }
+}
+
+TEST(GaOptimizer, FindsOptimumOnTinyInstance) {
+  Fixture f(6, 3);
+  const double optimum = brute_force_optimum(f.eval);
+  GaParams params;
+  params.population = 100;
+  params.generations = 150;
+  GaOptimizer opt(f.eval, params);
+  rng::Rng rng(4);
+  const GaResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_NEAR(r.best_cost, optimum, 1e-9);
+}
+
+TEST(GaOptimizer, BestSoFarIsMonotone) {
+  Fixture f(12, 5);
+  GaParams params;
+  params.population = 60;
+  params.generations = 80;
+  GaOptimizer opt(f.eval, params);
+  rng::Rng rng(6);
+  const GaResult r = opt.run(rng);
+  ASSERT_EQ(r.history.size(), 80u);
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i].best_so_far, r.history[i - 1].best_so_far);
+  }
+  EXPECT_DOUBLE_EQ(r.history.back().best_so_far, r.best_cost);
+}
+
+TEST(GaOptimizer, ElitismNeverLosesTheBest) {
+  Fixture f(10, 7);
+  GaParams params;
+  params.population = 40;
+  params.generations = 60;
+  params.elitism = true;
+  GaOptimizer opt(f.eval, params);
+  rng::Rng rng(8);
+  const GaResult r = opt.run(rng);
+  // With elitism the generation best can never regress past the best so far.
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i].gen_best,
+              r.history[i - 1].best_so_far + 1e-9);
+  }
+}
+
+TEST(GaOptimizer, RunsWithoutElitism) {
+  Fixture f(8, 9);
+  GaParams params;
+  params.population = 30;
+  params.generations = 30;
+  params.elitism = false;
+  GaOptimizer opt(f.eval, params);
+  rng::Rng rng(10);
+  const GaResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_DOUBLE_EQ(f.eval.makespan(r.best_mapping), r.best_cost);
+}
+
+TEST(GaOptimizer, DeterministicAcrossParallelModes) {
+  Fixture f(10, 11);
+  GaParams serial;
+  serial.population = 50;
+  serial.generations = 40;
+  serial.parallel = false;
+  GaParams par = serial;
+  par.parallel = true;
+
+  rng::Rng r1(12), r2(12);
+  const GaResult a = GaOptimizer(f.eval, serial).run(r1);
+  const GaResult b = GaOptimizer(f.eval, par).run(r2);
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+}
+
+TEST(GaOptimizer, ZeroCrossoverAndMutationStillValid) {
+  // Degenerate GA: pure selection.  Must still return a valid mapping.
+  Fixture f(8, 13);
+  GaParams params;
+  params.population = 20;
+  params.generations = 10;
+  params.crossover_prob = 0.0;
+  params.mutation_prob = 0.0;
+  GaOptimizer opt(f.eval, params);
+  rng::Rng rng(14);
+  const GaResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+}
+
+TEST(GaOptimizer, RejectsNonSquareInstance) {
+  rng::Rng rng(15);
+  graph::Tig tig(graph::make_gnp(5, 0.5, {1, 10}, {50, 100}, rng));
+  sim::Platform plat(
+      graph::ResourceGraph(graph::make_complete(7, {1, 5}, {10, 20}, rng)));
+  sim::CostEvaluator eval(tig, plat);
+  EXPECT_THROW(GaOptimizer{eval}, std::invalid_argument);
+}
+
+TEST(GaOptimizer, ImprovesOverRandomInitialPopulation) {
+  Fixture f(20, 16);
+  GaParams params;
+  params.population = 80;
+  params.generations = 120;
+  GaOptimizer opt(f.eval, params);
+  rng::Rng rng(17);
+  const GaResult r = opt.run(rng);
+  // The first generation's best is a sample of 80 random permutations;
+  // 120 generations of selection must improve on it.
+  EXPECT_LT(r.best_cost, r.history.front().gen_best);
+}
+
+}  // namespace
+}  // namespace match::baselines

@@ -1,0 +1,152 @@
+#include "core/genperm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/mapping.hpp"
+
+namespace match::core {
+namespace {
+
+bool is_permutation(std::span<const graph::NodeId> v) {
+  return sim::Mapping(std::vector<graph::NodeId>(v.begin(), v.end()))
+      .is_permutation();
+}
+
+TEST(GenPerm, RejectsEmpty) {
+  EXPECT_THROW(GenPermSampler(0), std::invalid_argument);
+}
+
+TEST(GenPerm, AlwaysProducesValidPermutations) {
+  constexpr std::size_t kN = 10;
+  GenPermSampler sampler(kN);
+  const auto p = StochasticMatrix::uniform(kN, kN);
+  rng::Rng rng(1);
+  std::vector<graph::NodeId> out(kN);
+  for (int trial = 0; trial < 500; ++trial) {
+    sampler.sample(p, rng, out);
+    ASSERT_TRUE(is_permutation(out)) << "trial " << trial;
+  }
+}
+
+TEST(GenPerm, DegenerateMatrixIsDeterministic) {
+  // P = permutation matrix task i -> resource (i+1) mod n.
+  constexpr std::size_t kN = 6;
+  std::vector<double> values(kN * kN, 0.0);
+  for (std::size_t i = 0; i < kN; ++i) values[i * kN + (i + 1) % kN] = 1.0;
+  const auto p = StochasticMatrix::from_values(kN, kN, std::move(values));
+
+  GenPermSampler sampler(kN);
+  rng::Rng rng(2);
+  std::vector<graph::NodeId> out(kN);
+  for (int trial = 0; trial < 50; ++trial) {
+    sampler.sample(p, rng, out);
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(out[i], (i + 1) % kN);
+    }
+  }
+}
+
+TEST(GenPerm, BiasedRowIsPreferred) {
+  // Task 0 strongly prefers resource 3; with everything else uniform it
+  // should land there most of the time.
+  constexpr std::size_t kN = 5;
+  std::vector<double> values(kN * kN, 1.0 / kN);
+  for (std::size_t j = 0; j < kN; ++j) values[0 * kN + j] = (j == 3) ? 0.92 : 0.02;
+  const auto p = StochasticMatrix::from_values(kN, kN, std::move(values));
+
+  GenPermSampler sampler(kN);
+  rng::Rng rng(3);
+  std::vector<graph::NodeId> out(kN);
+  int hits = 0;
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    sampler.sample(p, rng, out);
+    hits += (out[0] == 3) ? 1 : 0;
+  }
+  // The conditional renormalization dilutes the bias slightly (task 0 is
+  // not always drawn first), but the preference must dominate.
+  EXPECT_GT(hits, kTrials / 2);
+}
+
+TEST(GenPerm, ZeroMassRowFallsBackToUniform) {
+  // Both rows put all mass on resource 0: whichever task draws second has
+  // zero remaining mass and must fall back to the free resource.
+  const auto p = StochasticMatrix::from_values(2, 2, {1.0, 0.0, 1.0, 0.0});
+  GenPermSampler sampler(2);
+  rng::Rng rng(4);
+  std::vector<graph::NodeId> out(2);
+  for (int trial = 0; trial < 100; ++trial) {
+    sampler.sample(p, rng, out);
+    ASSERT_TRUE(is_permutation(out));
+  }
+}
+
+TEST(GenPerm, FixedTaskOrderStillValid) {
+  constexpr std::size_t kN = 8;
+  GenPermSampler sampler(kN);
+  const auto p = StochasticMatrix::uniform(kN, kN);
+  rng::Rng rng(5);
+  std::vector<graph::NodeId> out(kN);
+  for (int trial = 0; trial < 200; ++trial) {
+    sampler.sample(p, rng, out, /*random_task_order=*/false);
+    ASSERT_TRUE(is_permutation(out));
+  }
+}
+
+TEST(GenPerm, UniformMatrixGivesUniformMarginals) {
+  constexpr std::size_t kN = 4;
+  GenPermSampler sampler(kN);
+  const auto p = StochasticMatrix::uniform(kN, kN);
+  rng::Rng rng(6);
+  std::vector<graph::NodeId> out(kN);
+  std::vector<std::vector<int>> histogram(kN, std::vector<int>(kN, 0));
+  constexpr int kTrials = 40000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    sampler.sample(p, rng, out);
+    for (std::size_t t = 0; t < kN; ++t) ++histogram[t][out[t]];
+  }
+  for (std::size_t t = 0; t < kN; ++t) {
+    for (std::size_t r = 0; r < kN; ++r) {
+      EXPECT_NEAR(static_cast<double>(histogram[t][r]) / kTrials, 0.25, 0.02)
+          << "task " << t << " resource " << r;
+    }
+  }
+}
+
+TEST(GenPerm, DeterministicForFixedSeed) {
+  constexpr std::size_t kN = 9;
+  GenPermSampler s1(kN), s2(kN);
+  const auto p = StochasticMatrix::uniform(kN, kN);
+  rng::Rng r1(7), r2(7);
+  std::vector<graph::NodeId> out1(kN), out2(kN);
+  for (int trial = 0; trial < 20; ++trial) {
+    s1.sample(p, r1, out1);
+    s2.sample(p, r2, out2);
+    EXPECT_EQ(out1, out2);
+  }
+}
+
+class GenPermSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GenPermSizeTest, ValidAcrossSizes) {
+  const std::size_t n = GetParam();
+  GenPermSampler sampler(n);
+  const auto p = StochasticMatrix::uniform(n, n);
+  rng::Rng rng(8);
+  std::vector<graph::NodeId> out(n);
+  for (int trial = 0; trial < 50; ++trial) {
+    sampler.sample(p, rng, out);
+    ASSERT_TRUE(is_permutation(out));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GenPermSizeTest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}, std::size_t{10},
+                                           std::size_t{50}));
+
+}  // namespace
+}  // namespace match::core

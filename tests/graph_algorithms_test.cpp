@@ -1,0 +1,153 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+
+namespace match::graph {
+namespace {
+
+Graph path4() {
+  // 0 -1.0- 1 -2.0- 2 -4.0- 3
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 4.0}};
+  return Graph::from_edges(4, {}, edges);
+}
+
+Graph two_components() {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {2, 3, 1.0}};
+  return Graph::from_edges(5, {}, edges);  // node 4 isolated
+}
+
+TEST(Bfs, VisitsComponentInBreadthOrder) {
+  const Graph g = path4();
+  const auto order = bfs_order(g, 0);
+  const std::vector<NodeId> expected = {0, 1, 2, 3};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Bfs, OnlyReachesOwnComponent) {
+  const Graph g = two_components();
+  EXPECT_EQ(bfs_order(g, 0).size(), 2u);
+  EXPECT_EQ(bfs_order(g, 2).size(), 2u);
+  EXPECT_EQ(bfs_order(g, 4).size(), 1u);
+}
+
+TEST(Bfs, RejectsBadStart) {
+  const Graph g = path4();
+  EXPECT_THROW(bfs_order(g, 9), std::out_of_range);
+}
+
+TEST(Components, CountsAndLabels) {
+  const Graph g = two_components();
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[2], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[2]);
+  EXPECT_NE(c.label[0], c.label[4]);
+  EXPECT_NE(c.label[2], c.label[4]);
+}
+
+TEST(Components, ConnectedGraphIsOneComponent) {
+  EXPECT_TRUE(is_connected(path4()));
+  EXPECT_FALSE(is_connected(two_components()));
+}
+
+TEST(Components, EmptyGraphIsConnected) {
+  EXPECT_TRUE(is_connected(Graph()));
+}
+
+TEST(Stats, MatchesHandComputedValues) {
+  const std::vector<Edge> edges = {{0, 1, 2.0}, {1, 2, 4.0}};
+  const Graph g = Graph::from_edges(3, {1.0, 2.0, 3.0}, edges);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.nodes, 3u);
+  EXPECT_EQ(s.edges, 2u);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_degree, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.mean_node_weight, 2.0);
+  EXPECT_DOUBLE_EQ(s.min_edge_weight, 2.0);
+  EXPECT_DOUBLE_EQ(s.max_edge_weight, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean_edge_weight, 3.0);
+  EXPECT_DOUBLE_EQ(s.comp_comm_ratio, 1.0);
+}
+
+TEST(Dijkstra, ShortestPathsOnPath) {
+  const Graph g = path4();
+  const auto dist = dijkstra(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(dist[2], 3.0);
+  EXPECT_DOUBLE_EQ(dist[3], 7.0);
+}
+
+TEST(Dijkstra, PrefersCheaperIndirectRoute) {
+  // Direct 0-2 costs 10; the route through 1 costs 3.
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 2, 2.0}, {0, 2, 10.0}};
+  const Graph g = Graph::from_edges(3, {}, edges);
+  EXPECT_DOUBLE_EQ(dijkstra(g, 0)[2], 3.0);
+}
+
+TEST(Dijkstra, UnreachableIsInfinite) {
+  const Graph g = two_components();
+  const auto dist = dijkstra(g, 0);
+  EXPECT_TRUE(std::isinf(dist[2]));
+  EXPECT_TRUE(std::isinf(dist[4]));
+}
+
+TEST(FloydWarshall, MatchesDijkstraOnRandomGraphs) {
+  rng::Rng rng(77);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = make_gnp(20, 0.25, {1, 5}, {1, 9}, rng);
+    const auto apsp = all_pairs_shortest_paths(g);
+    for (NodeId s = 0; s < g.num_nodes(); s += 7) {
+      const auto d = dijkstra(g, s);
+      for (NodeId t = 0; t < g.num_nodes(); ++t) {
+        EXPECT_NEAR(apsp[s * g.num_nodes() + t], d[t], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(FloydWarshall, DiagonalIsZero) {
+  rng::Rng rng(78);
+  const Graph g = make_gnp(12, 0.3, {1, 3}, {1, 5}, rng);
+  const auto apsp = all_pairs_shortest_paths(g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_DOUBLE_EQ(apsp[u * g.num_nodes() + u], 0.0);
+  }
+}
+
+TEST(FloydWarshall, SymmetricForUndirectedGraphs) {
+  rng::Rng rng(79);
+  const Graph g = make_gnp(15, 0.3, {1, 3}, {1, 20}, rng);
+  const std::size_t n = g.num_nodes();
+  const auto apsp = all_pairs_shortest_paths(g);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_DOUBLE_EQ(apsp[u * n + v], apsp[v * n + u]);
+    }
+  }
+}
+
+TEST(FloydWarshall, TriangleInequalityHolds) {
+  rng::Rng rng(80);
+  const Graph g = make_gnp(15, 0.35, {1, 3}, {1, 20}, rng);
+  const std::size_t n = g.num_nodes();
+  const auto d = all_pairs_shortest_paths(g);
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = 0; j < n; ++j) {
+      for (NodeId k = 0; k < n; ++k) {
+        EXPECT_LE(d[i * n + j], d[i * n + k] + d[k * n + j] + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace match::graph

@@ -1,0 +1,101 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+
+namespace match::graph {
+namespace {
+
+TEST(GraphIo, RoundTripsSmallGraph) {
+  const std::vector<Edge> edges = {{0, 1, 1.25}, {1, 2, 2.5}};
+  const Graph g = Graph::from_edges(3, {1.0, 2.0, 3.0}, edges);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const Graph back = read_graph(ss);
+  EXPECT_EQ(g, back);
+}
+
+class RoundTripTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoundTripTest, RandomGraphsRoundTripExactly) {
+  rng::Rng rng(GetParam());
+  const Graph g = make_gnp(30, 0.3, {1, 10}, {50, 100}, rng);
+  std::stringstream ss;
+  write_graph(ss, g);
+  EXPECT_EQ(g, read_graph(ss));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+TEST(GraphIo, ToleratesCommentsAndBlankLines) {
+  std::stringstream ss(
+      "# a comment\n"
+      "nodes 2\n"
+      "\n"
+      "node 0 4.0\n"
+      "edge 0 1 9.0\n");
+  const Graph g = read_graph(ss);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_DOUBLE_EQ(g.node_weight(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.node_weight(1), 1.0);  // defaulted
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 9.0);
+}
+
+TEST(GraphIo, RejectsMissingNodesHeader) {
+  std::stringstream ss("edge 0 1 1.0\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsUnknownKeyword) {
+  std::stringstream ss("nodes 2\nfoo 1 2\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsOutOfRangeIds) {
+  std::stringstream ss("nodes 2\nedge 0 7 1.0\n");
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+  std::stringstream ss2("nodes 2\nnode 5 1.0\n");
+  EXPECT_THROW(read_graph(ss2), std::runtime_error);
+}
+
+TEST(GraphIo, RejectsMalformedLines) {
+  std::stringstream ss("nodes 2\nedge 0 1\n");  // missing weight
+  EXPECT_THROW(read_graph(ss), std::runtime_error);
+}
+
+TEST(GraphIo, SaveAndLoadFile) {
+  rng::Rng rng(6);
+  const Graph g = make_complete(8, {1, 5}, {10, 20}, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "match_io_test.graph").string();
+  save_graph(path, g);
+  const Graph back = load_graph(path);
+  EXPECT_EQ(g, back);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/definitely/missing.graph"),
+               std::runtime_error);
+}
+
+TEST(GraphIo, DotExportContainsNodesAndEdges) {
+  const std::vector<Edge> edges = {{0, 1, 3.0}};
+  const Graph g = Graph::from_edges(2, {1.0, 2.0}, edges);
+  std::stringstream ss;
+  write_dot(ss, g, "Demo");
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("graph Demo"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"3\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace match::graph

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+
+namespace match::graph {
+namespace {
+
+double total_weight(const std::vector<Edge>& edges) {
+  double w = 0.0;
+  for (const Edge& e : edges) w += e.weight;
+  return w;
+}
+
+TEST(Mst, HandComputedTree) {
+  // Square with diagonal: MST must take the three cheapest edges that
+  // avoid the cycle.
+  const std::vector<Edge> edges = {
+      {0, 1, 1.0}, {1, 2, 2.0}, {2, 3, 3.0}, {0, 3, 4.0}, {0, 2, 5.0}};
+  const Graph g = Graph::from_edges(4, {}, edges);
+  const auto tree = minimum_spanning_forest(g);
+  ASSERT_EQ(tree.size(), 3u);
+  EXPECT_DOUBLE_EQ(total_weight(tree), 6.0);  // 1 + 2 + 3
+}
+
+TEST(Mst, SpanningTreeHasNMinusOneEdges) {
+  rng::Rng rng(1);
+  const Graph g = make_gnp(30, 0.3, {1, 1}, {1, 100}, rng);
+  const auto tree = minimum_spanning_forest(g);
+  EXPECT_EQ(tree.size(), 29u);
+  EXPECT_TRUE(is_connected(Graph::from_edges(30, {}, tree)));
+}
+
+TEST(Mst, ForestOnDisconnectedGraph) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {2, 3, 2.0}};
+  const Graph g = Graph::from_edges(5, {}, edges);  // node 4 isolated
+  const auto tree = minimum_spanning_forest(g);
+  EXPECT_EQ(tree.size(), 2u);
+}
+
+TEST(Mst, NeverHeavierThanAnySpanningSubgraph) {
+  // Cut property spot check: total MST weight <= total weight of the
+  // ring subgraph (also spanning) on a ring + chords instance.
+  rng::Rng rng(2);
+  const Graph ring = make_ring(12, {1, 1}, {5, 9}, rng);
+  auto edges = ring.edge_list();
+  const double ring_weight = total_weight(edges);
+  // Add chords that are sometimes cheaper.
+  for (NodeId u = 0; u < 12; ++u) {
+    edges.push_back(Edge{u, static_cast<NodeId>((u + 3) % 12),
+                         static_cast<double>(1 + (u % 3))});
+  }
+  const Graph g = Graph::from_edges(12, {}, edges);
+  const auto tree = minimum_spanning_forest(g);
+  EXPECT_EQ(tree.size(), 11u);
+  EXPECT_LE(total_weight(tree), ring_weight);
+}
+
+TEST(Mst, MatchesBruteForceOnTinyGraphs) {
+  // Enumerate all spanning trees of K4 by brute force over edge subsets.
+  rng::Rng rng(3);
+  const Graph g = make_complete(4, {1, 1}, {1, 50}, rng);
+  const auto edges = g.edge_list();
+  ASSERT_EQ(edges.size(), 6u);
+  double best = std::numeric_limits<double>::infinity();
+  for (unsigned mask = 0; mask < 64; ++mask) {
+    if (__builtin_popcount(mask) != 3) continue;
+    std::vector<Edge> subset;
+    for (unsigned b = 0; b < 6; ++b) {
+      if (mask & (1u << b)) subset.push_back(edges[b]);
+    }
+    const Graph candidate = Graph::from_edges(4, {}, subset);
+    if (is_connected(candidate)) best = std::min(best, total_weight(subset));
+  }
+  EXPECT_DOUBLE_EQ(total_weight(minimum_spanning_forest(g)), best);
+}
+
+TEST(Geometric, EdgesRespectRadius) {
+  rng::Rng rng(4);
+  const double radius = 0.3, cost = 10.0;
+  const Graph g = make_geometric(40, radius, {1, 5}, cost, rng,
+                                 /*force_connected=*/false);
+  for (const Edge& e : g.edge_list()) {
+    // weight = distance * cost, so distance = weight / cost <= radius.
+    EXPECT_LE(e.weight / cost, radius + 1e-9);
+  }
+}
+
+TEST(Geometric, ForcedConnectivity) {
+  rng::Rng rng(5);
+  const Graph g = make_geometric(30, 0.12, {1, 5}, 10.0, rng, true);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Geometric, LargerRadiusGivesMoreEdges) {
+  rng::Rng a(6), b(6);
+  const Graph small = make_geometric(40, 0.15, {1, 1}, 1.0, a, false);
+  const Graph large = make_geometric(40, 0.5, {1, 1}, 1.0, b, false);
+  EXPECT_GT(large.num_edges(), small.num_edges());
+}
+
+TEST(Geometric, RejectsBadParams) {
+  rng::Rng rng(7);
+  EXPECT_THROW(make_geometric(10, 0.0, {1, 1}, 1.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_geometric(10, 0.3, {1, 1}, 0.0, rng),
+               std::invalid_argument);
+}
+
+TEST(Geometric, MstBackboneIsUsableTopology) {
+  // The intended composition: geometric layout -> MST backbone resource
+  // graph (cheap spanning interconnect).
+  rng::Rng rng(8);
+  const Graph geo = make_geometric(25, 0.4, {1, 5}, 10.0, rng);
+  const auto backbone = minimum_spanning_forest(geo);
+  std::vector<double> node_w(geo.node_weights().begin(),
+                             geo.node_weights().end());
+  const Graph backbone_graph =
+      Graph::from_edges(25, std::move(node_w), backbone);
+  EXPECT_TRUE(is_connected(backbone_graph));
+  EXPECT_EQ(backbone_graph.num_edges(), 24u);
+}
+
+}  // namespace
+}  // namespace match::graph

@@ -1,0 +1,179 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace match::graph {
+namespace {
+
+Graph triangle() {
+  // 0-1 (w 1.5), 1-2 (w 2.5), 0-2 (w 3.5); node weights 1, 2, 3.
+  const std::vector<Edge> edges = {{0, 1, 1.5}, {1, 2, 2.5}, {0, 2, 3.5}};
+  return Graph::from_edges(3, {1.0, 2.0, 3.0}, edges);
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, BasicCounts) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_DOUBLE_EQ(g.total_node_weight(), 6.0);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 7.5);
+}
+
+TEST(Graph, NodeWeightsDefaultToOne) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}};
+  const Graph g = Graph::from_edges(2, {}, edges);
+  EXPECT_DOUBLE_EQ(g.node_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.node_weight(1), 1.0);
+}
+
+TEST(Graph, NeighborsAreSortedById) {
+  const std::vector<Edge> edges = {{3, 0, 1.0}, {3, 2, 1.0}, {3, 1, 1.0}};
+  const Graph g = Graph::from_edges(4, {}, edges);
+  const auto row = g.neighbors(3);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].id, 0u);
+  EXPECT_EQ(row[1].id, 1u);
+  EXPECT_EQ(row[2].id, 2u);
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  const Graph g = triangle();
+  for (NodeId u = 0; u < 3; ++u) {
+    for (const Neighbor& nb : g.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(nb.id, u));
+      EXPECT_DOUBLE_EQ(g.edge_weight(nb.id, u), nb.weight);
+    }
+  }
+}
+
+TEST(Graph, EdgeWeightLookup) {
+  const Graph g = triangle();
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(1, 2), 2.5);
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 3.5);
+}
+
+TEST(Graph, MissingEdgeHasZeroWeight) {
+  const std::vector<Edge> edges = {{0, 1, 9.0}};
+  const Graph g = Graph::from_edges(3, {}, edges);
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_DOUBLE_EQ(g.edge_weight(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(2, 1), 0.0);
+}
+
+TEST(Graph, DegreeCounts) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}};
+  const Graph g = Graph::from_edges(4, {}, edges);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Graph, EdgeListIsCanonical) {
+  const std::vector<Edge> edges = {{2, 1, 5.0}, {1, 0, 4.0}};
+  const Graph g = Graph::from_edges(3, {}, edges);
+  const auto list = g.edge_list();
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0].u, 0u);
+  EXPECT_EQ(list[0].v, 1u);
+  EXPECT_DOUBLE_EQ(list[0].weight, 4.0);
+  EXPECT_EQ(list[1].u, 1u);
+  EXPECT_EQ(list[1].v, 2u);
+  EXPECT_DOUBLE_EQ(list[1].weight, 5.0);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  const std::vector<Edge> edges = {{1, 1, 1.0}};
+  EXPECT_THROW(Graph::from_edges(2, {}, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}, {1, 0, 2.0}};
+  EXPECT_THROW(Graph::from_edges(2, {}, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  const std::vector<Edge> edges = {{0, 5, 1.0}};
+  EXPECT_THROW(Graph::from_edges(3, {}, edges), std::invalid_argument);
+}
+
+TEST(Graph, RejectsNodeWeightSizeMismatch) {
+  const std::vector<Edge> edges = {{0, 1, 1.0}};
+  EXPECT_THROW(Graph::from_edges(3, {1.0, 2.0}, edges), std::invalid_argument);
+}
+
+TEST(Graph, EqualityIsStructuralAndWeighted) {
+  const Graph a = triangle();
+  const Graph b = triangle();
+  EXPECT_EQ(a, b);
+  const std::vector<Edge> edges = {{0, 1, 1.5}, {1, 2, 2.5}};
+  const Graph c = Graph::from_edges(3, {1.0, 2.0, 3.0}, edges);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(GraphBuilder, BuildsIncrementally) {
+  Graph::Builder b;
+  const NodeId n0 = b.add_node(2.0);
+  const NodeId n1 = b.add_node(3.0);
+  const NodeId n2 = b.add_node();
+  b.add_edge(n0, n1, 7.0);
+  b.add_edge(n1, n2, 8.0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.node_weight(n0), 2.0);
+  EXPECT_DOUBLE_EQ(g.node_weight(n2), 1.0);
+  EXPECT_DOUBLE_EQ(g.edge_weight(n0, n1), 7.0);
+}
+
+TEST(GraphBuilder, PresizedConstructor) {
+  Graph::Builder b(4);
+  b.set_node_weight(2, 9.0);
+  b.add_edge(0, 3, 1.0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(g.node_weight(2), 9.0);
+}
+
+TEST(GraphBuilder, RejectsBadIndices) {
+  Graph::Builder b(2);
+  EXPECT_THROW(b.add_edge(0, 5), std::out_of_range);
+  EXPECT_THROW(b.set_node_weight(9, 1.0), std::out_of_range);
+}
+
+TEST(Tig, SemanticAccessors) {
+  const Tig tig(triangle());
+  EXPECT_EQ(tig.num_tasks(), 3u);
+  EXPECT_DOUBLE_EQ(tig.compute_weight(1), 2.0);
+  EXPECT_DOUBLE_EQ(tig.comm_volume(0, 2), 3.5);
+  EXPECT_DOUBLE_EQ(tig.comm_volume(2, 0), 3.5);
+  EXPECT_EQ(tig.neighbors(0).size(), 2u);
+}
+
+TEST(ResourceGraph, SemanticAccessors) {
+  const ResourceGraph rg(triangle());
+  EXPECT_EQ(rg.num_resources(), 3u);
+  EXPECT_DOUBLE_EQ(rg.processing_cost(2), 3.0);
+  EXPECT_DOUBLE_EQ(rg.link_cost(0, 1), 1.5);
+}
+
+TEST(Graph, IsolatedNodesHaveEmptyAdjacency) {
+  const Graph g = Graph::from_edges(5, {}, std::vector<Edge>{});
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_EQ(g.degree(u), 0u);
+    EXPECT_TRUE(g.neighbors(u).empty());
+  }
+}
+
+}  // namespace
+}  // namespace match::graph

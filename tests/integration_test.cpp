@@ -1,0 +1,228 @@
+// End-to-end tests spanning workload generation, the cost model, MaTCH,
+// and every baseline — the pipelines the benchmark harness runs, at
+// test-friendly sizes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/ga.hpp"
+#include "baselines/local_search.hpp"
+#include "core/matchalgo.hpp"
+#include "stats/anova.hpp"
+#include "stats/descriptive.hpp"
+#include "workload/overset.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match {
+namespace {
+
+TEST(Integration, MatchBeatsGaOnPaperStyleInstance) {
+  // The paper's headline claim at reduced scale: on a §5.2 instance,
+  // MaTCH's mapping quality matches or beats a budgeted FastMap-GA.
+  rng::Rng setup(1);
+  workload::PaperParams params;
+  params.n = 15;
+  const auto inst = workload::make_paper_instance(params, setup);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+
+  core::MatchOptimizer matcher(eval);
+  rng::Rng r1(2);
+  const auto match_result = matcher.run(r1);
+
+  baselines::GaParams ga_params;
+  ga_params.population = 100;
+  ga_params.generations = 200;
+  baselines::GaOptimizer ga(eval, ga_params);
+  rng::Rng r2(2);
+  const auto ga_result = ga.run(r2);
+
+  EXPECT_TRUE(match_result.best_mapping.is_permutation());
+  EXPECT_TRUE(ga_result.best_mapping.is_permutation());
+  EXPECT_LE(match_result.best_cost, ga_result.best_cost * 1.10);
+}
+
+TEST(Integration, AllHeuristicsProduceConsistentCosts) {
+  rng::Rng setup(3);
+  workload::PaperParams params;
+  params.n = 12;
+  const auto inst = workload::make_paper_instance(params, setup);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+
+  rng::Rng rng(4);
+  std::vector<std::pair<const char*, double>> results;
+
+  core::MatchOptimizer matcher(eval);
+  const auto mr = matcher.run(rng);
+  EXPECT_DOUBLE_EQ(eval.makespan(mr.best_mapping), mr.best_cost);
+  results.emplace_back("match", mr.best_cost);
+
+  baselines::GaParams gp;
+  gp.population = 50;
+  gp.generations = 60;
+  const auto gr = baselines::GaOptimizer(eval, gp).run(rng);
+  EXPECT_DOUBLE_EQ(eval.makespan(gr.best_mapping), gr.best_cost);
+  results.emplace_back("ga", gr.best_cost);
+
+  const auto rr = baselines::random_search(eval, 500, rng);
+  results.emplace_back("random", rr.best_cost);
+
+  const auto gc = baselines::greedy_constructive(eval);
+  results.emplace_back("greedy", gc.best_cost);
+
+  const auto hc = baselines::hill_climb(eval, 10000, rng);
+  results.emplace_back("hillclimb", hc.best_cost);
+
+  baselines::SaParams sp;
+  sp.steps = 10000;
+  const auto sa = baselines::simulated_annealing(eval, sp, rng);
+  results.emplace_back("sa", sa.best_cost);
+
+  // Sanity band: every heuristic lands between the best found and a
+  // factor of the worst random draw.
+  for (const auto& [name, cost] : results) {
+    EXPECT_GT(cost, 0.0) << name;
+    EXPECT_LE(mr.best_cost, cost * 1.2)
+        << "MaTCH should be at or near the best (" << name << ")";
+  }
+}
+
+TEST(Integration, SuiteAveragingPipelineWorks) {
+  // The Table-1 pipeline in miniature: a 3-instance suite, 2 runs per
+  // instance, averaged ET for MaTCH and GA.
+  rng::Rng setup(5);
+  workload::PaperParams params;
+  params.n = 10;
+  const auto suite = workload::make_paper_suite(params, 3, 0.5, 2.0, setup);
+
+  std::vector<double> match_ets, ga_ets;
+  for (const auto& inst : suite) {
+    const auto plat = inst.make_platform();
+    const sim::CostEvaluator eval(inst.tig, plat);
+    for (std::uint64_t run = 0; run < 2; ++run) {
+      rng::Rng rng(100 + run);
+      core::MatchOptimizer matcher(eval);
+      match_ets.push_back(matcher.run(rng).best_cost);
+
+      baselines::GaParams gp;
+      gp.population = 40;
+      gp.generations = 40;
+      rng::Rng grng(100 + run);
+      ga_ets.push_back(baselines::GaOptimizer(eval, gp).run(grng).best_cost);
+    }
+  }
+  ASSERT_EQ(match_ets.size(), 6u);
+  ASSERT_EQ(ga_ets.size(), 6u);
+  EXPECT_LE(stats::mean(match_ets), stats::mean(ga_ets) * 1.05);
+}
+
+TEST(Integration, AnovaPipelineOnHeuristicOutputs) {
+  // The Table-3 pipeline in miniature: repeated independent runs of three
+  // heuristic configurations, analyzed with one-way ANOVA.
+  rng::Rng setup(6);
+  workload::PaperParams params;
+  params.n = 10;
+  const auto inst = workload::make_paper_instance(params, setup);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+
+  std::vector<std::vector<double>> groups(3);
+  for (std::uint64_t run = 0; run < 8; ++run) {
+    rng::Rng rng(run);
+    core::MatchOptimizer matcher(eval);
+    groups[0].push_back(matcher.run(rng).best_cost);
+
+    baselines::GaParams weak;
+    weak.population = 10;
+    weak.generations = 5;
+    rng::Rng g1(run);
+    groups[1].push_back(baselines::GaOptimizer(eval, weak).run(g1).best_cost);
+
+    rng::Rng g2(run);
+    groups[2].push_back(baselines::random_search(eval, 30, g2).best_cost);
+  }
+
+  const auto anova = stats::one_way_anova(groups);
+  EXPECT_GT(anova.f_value, 0.0);
+  EXPECT_GE(anova.p_value, 0.0);
+  EXPECT_LE(anova.p_value, 1.0);
+  // MaTCH (near-optimal every run) vs 30-sample random search must be a
+  // statistically massive gap.
+  EXPECT_LT(stats::mean(groups[0]), stats::mean(groups[2]));
+  EXPECT_LT(anova.p_value, 0.05);
+}
+
+TEST(Integration, OversetWorkloadMapsEndToEnd) {
+  // The motivating CFD scenario: overset-grid TIG onto a heterogeneous
+  // complete platform.
+  rng::Rng setup(7);
+  workload::OversetParams op;
+  op.num_grids = 12;
+  const auto work = workload::make_overset_workload(op, setup);
+
+  const graph::ResourceGraph rg(
+      graph::make_complete(12, {1, 5}, {10, 20}, setup));
+  const sim::Platform plat(rg);
+  const sim::CostEvaluator eval(work.tig, plat);
+
+  core::MatchOptimizer matcher(eval);
+  rng::Rng rng(8);
+  const auto result = matcher.run(rng);
+  EXPECT_TRUE(result.best_mapping.is_permutation());
+
+  rng::Rng rrng(8);
+  const auto random = baselines::random_search(eval, 200, rrng);
+  EXPECT_LE(result.best_cost, random.best_cost);
+}
+
+TEST(Integration, SparsePlatformPipeline) {
+  // Non-complete resource graph routed via shortest paths, exercised
+  // through MaTCH and GA.
+  rng::Rng setup(9);
+  workload::PaperParams params;
+  params.n = 12;
+  params.complete_resources = false;
+  const auto inst = workload::make_paper_instance(params, setup);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+
+  rng::Rng r1(10);
+  const auto mr = core::MatchOptimizer(eval).run(r1);
+  EXPECT_TRUE(mr.best_mapping.is_permutation());
+
+  baselines::GaParams gp;
+  gp.population = 40;
+  gp.generations = 40;
+  rng::Rng r2(10);
+  const auto gr = baselines::GaOptimizer(eval, gp).run(r2);
+  EXPECT_TRUE(gr.best_mapping.is_permutation());
+}
+
+TEST(Integration, MatchMappingTimeGrowsWithProblemSize) {
+  // Table 2's qualitative shape: MaTCH's mapping time rises steeply with
+  // n (N = 2n² samples per iteration and O(n²) sampling cost).
+  double t_small = 0.0, t_large = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {
+    rng::Rng setup(11);
+    workload::PaperParams params;
+    params.n = 8;
+    auto inst = workload::make_paper_instance(params, setup);
+    auto plat = inst.make_platform();
+    sim::CostEvaluator eval_small(inst.tig, plat);
+    rng::Rng r1(12);
+    t_small += core::MatchOptimizer(eval_small).run(r1).elapsed_seconds;
+
+    params.n = 24;
+    auto inst2 = workload::make_paper_instance(params, setup);
+    auto plat2 = inst2.make_platform();
+    sim::CostEvaluator eval_large(inst2.tig, plat2);
+    rng::Rng r2(12);
+    t_large += core::MatchOptimizer(eval_large).run(r2).elapsed_seconds;
+  }
+  EXPECT_GT(t_large, t_small);
+}
+
+}  // namespace
+}  // namespace match

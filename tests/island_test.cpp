@@ -1,0 +1,156 @@
+#include "core/island.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/paper_suite.hpp"
+
+namespace match::core {
+namespace {
+
+struct Fixture {
+  workload::Instance inst;
+  sim::Platform platform;
+  sim::CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+double brute_force_optimum(const sim::CostEvaluator& eval) {
+  const std::size_t n = eval.num_tasks();
+  std::vector<graph::NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), graph::NodeId{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, eval.makespan(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(IslandParams, Validation) {
+  IslandParams p;
+  p.islands = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.migration = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.epoch_iterations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.rho = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(Island, FindsOptimumOnTinyInstance) {
+  Fixture f(6, 1);
+  const double optimum = brute_force_optimum(f.eval);
+  IslandMatchOptimizer opt(f.eval);
+  rng::Rng rng(2);
+  const IslandResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_NEAR(r.best_cost, optimum, 1e-9);
+}
+
+TEST(Island, HistoryIsMonotone) {
+  Fixture f(10, 3);
+  IslandMatchOptimizer opt(f.eval);
+  rng::Rng rng(4);
+  const IslandResult r = opt.run(rng);
+  ASSERT_FALSE(r.history.empty());
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i], r.history[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(r.history.back(), r.best_cost);
+  EXPECT_EQ(r.epochs, r.history.size());
+}
+
+TEST(Island, SingleIslandStillWorks) {
+  Fixture f(8, 5);
+  IslandParams params;
+  params.islands = 1;
+  IslandMatchOptimizer opt(f.eval, params);
+  rng::Rng rng(6);
+  const IslandResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+}
+
+TEST(Island, ZeroMigrationIsIndependentRestarts) {
+  Fixture f(8, 7);
+  IslandParams params;
+  params.islands = 3;
+  params.migration = 0.0;
+  IslandMatchOptimizer opt(f.eval, params);
+  rng::Rng rng(8);
+  const IslandResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_GT(r.best_cost, 0.0);
+}
+
+TEST(Island, PerIslandBatchSplitsPaperBudget) {
+  Fixture f(10, 9);
+  IslandParams params;
+  params.islands = 4;
+  IslandMatchOptimizer opt(f.eval, params);
+  // 2 * 10 * 10 / 4 = 50 samples per island.
+  EXPECT_EQ(opt.per_island_samples(), 50u);
+}
+
+TEST(Island, DeterministicForFixedSeed) {
+  Fixture f(9, 10);
+  IslandMatchOptimizer opt(f.eval);
+  rng::Rng r1(11), r2(11);
+  const IslandResult a = opt.run(r1);
+  const IslandResult b = opt.run(r2);
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  EXPECT_EQ(a.history, b.history);
+}
+
+TEST(Island, DeterministicAcrossParallelModes) {
+  Fixture f(9, 12);
+  IslandParams serial;
+  serial.parallel = false;
+  IslandParams par;
+  par.parallel = true;
+  rng::Rng r1(13), r2(13);
+  const auto a = IslandMatchOptimizer(f.eval, serial).run(r1);
+  const auto b = IslandMatchOptimizer(f.eval, par).run(r2);
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+}
+
+TEST(Island, QualityComparableToSingleMatch) {
+  Fixture f(12, 14);
+  rng::Rng r1(15), r2(15);
+  const auto island = IslandMatchOptimizer(f.eval).run(r1);
+  const auto single = MatchOptimizer(f.eval).run(r2);
+  // The island model samples the same total budget per epoch-iteration;
+  // it must land within a modest factor of single-matrix MaTCH.
+  EXPECT_LE(island.best_cost, single.best_cost * 1.10);
+}
+
+TEST(Island, RejectsNonSquareInstance) {
+  rng::Rng rng(16);
+  graph::Tig tig(graph::make_gnp(5, 0.5, {1, 10}, {50, 100}, rng));
+  sim::Platform plat(
+      graph::ResourceGraph(graph::make_complete(7, {1, 5}, {10, 20}, rng)));
+  sim::CostEvaluator eval(tig, plat);
+  EXPECT_THROW(IslandMatchOptimizer{eval}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace match::core

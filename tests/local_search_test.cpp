@@ -1,0 +1,186 @@
+#include "baselines/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "workload/paper_suite.hpp"
+
+namespace match::baselines {
+namespace {
+
+struct Fixture {
+  workload::Instance inst;
+  sim::Platform platform;
+  sim::CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+TEST(RandomSearch, ReturnsValidMappingAndCost) {
+  Fixture f(10, 1);
+  rng::Rng rng(2);
+  const SearchResult r = random_search(f.eval, 500, rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_DOUBLE_EQ(f.eval.makespan(r.best_mapping), r.best_cost);
+  EXPECT_EQ(r.evaluations, 500u);
+}
+
+TEST(RandomSearch, MoreSamplesNeverWorse) {
+  Fixture f(12, 3);
+  rng::Rng r1(4), r2(4);
+  // Same seed: the first 100 draws of the 2000-sample run are exactly the
+  // 100-sample run, so the bigger budget can only improve.
+  const SearchResult small = random_search(f.eval, 100, r1);
+  const SearchResult large = random_search(f.eval, 2000, r2);
+  EXPECT_LE(large.best_cost, small.best_cost);
+}
+
+TEST(RandomSearch, RejectsZeroSamples) {
+  Fixture f(8, 5);
+  rng::Rng rng(6);
+  EXPECT_THROW(random_search(f.eval, 0, rng), std::invalid_argument);
+}
+
+TEST(Greedy, ProducesValidPermutation) {
+  Fixture f(15, 7);
+  const SearchResult r = greedy_constructive(f.eval);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_DOUBLE_EQ(f.eval.makespan(r.best_mapping), r.best_cost);
+}
+
+TEST(Greedy, IsDeterministic) {
+  Fixture f(12, 8);
+  const SearchResult a = greedy_constructive(f.eval);
+  const SearchResult b = greedy_constructive(f.eval);
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+}
+
+TEST(Greedy, BeatsTheWorstMapping) {
+  Fixture f(12, 9);
+  // Greedy should at least be far from the worst permutation.
+  rng::Rng rng(10);
+  double worst = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    worst = std::max(
+        worst, f.eval.makespan(sim::Mapping::random_permutation(12, rng)));
+  }
+  const SearchResult r = greedy_constructive(f.eval);
+  EXPECT_LT(r.best_cost, worst);
+}
+
+TEST(Greedy, RejectsNonSquare) {
+  rng::Rng rng(11);
+  graph::Tig tig(graph::make_gnp(5, 0.5, {1, 10}, {50, 100}, rng));
+  sim::Platform plat(
+      graph::ResourceGraph(graph::make_complete(7, {1, 5}, {10, 20}, rng)));
+  sim::CostEvaluator eval(tig, plat);
+  EXPECT_THROW(greedy_constructive(eval), std::invalid_argument);
+}
+
+TEST(HillClimb, ReachesSwapLocalOptimum) {
+  Fixture f(8, 12);
+  rng::Rng rng(13);
+  const SearchResult r = hill_climb(f.eval, 50000, rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+
+  // No single swap may improve the returned mapping if the budget allowed
+  // a full final scan (generous budget above guarantees it).
+  const double cost = r.best_cost;
+  for (graph::NodeId i = 0; i < 8; ++i) {
+    for (graph::NodeId j = i + 1; j < 8; ++j) {
+      sim::Mapping m = r.best_mapping;
+      const graph::NodeId ri = m.resource_of(i), rj = m.resource_of(j);
+      m.set(i, rj);
+      m.set(j, ri);
+      EXPECT_GE(f.eval.makespan(m), cost - 1e-9);
+    }
+  }
+}
+
+TEST(HillClimb, RespectsEvaluationBudget) {
+  Fixture f(10, 14);
+  rng::Rng rng(15);
+  const SearchResult r = hill_climb(f.eval, 137, rng);
+  EXPECT_LE(r.evaluations, 137u);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+}
+
+TEST(HillClimb, RejectsZeroBudget) {
+  Fixture f(8, 16);
+  rng::Rng rng(17);
+  EXPECT_THROW(hill_climb(f.eval, 0, rng), std::invalid_argument);
+}
+
+TEST(SimulatedAnnealing, ReturnsValidResult) {
+  Fixture f(12, 18);
+  rng::Rng rng(19);
+  SaParams params;
+  params.steps = 20000;
+  const SearchResult r = simulated_annealing(f.eval, params, rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_DOUBLE_EQ(f.eval.makespan(r.best_mapping), r.best_cost);
+}
+
+TEST(SimulatedAnnealing, ImprovesOnInitialState) {
+  Fixture f(15, 20);
+  // The initial state is the first random permutation drawn from this
+  // seed; SA must end at least as good.
+  rng::Rng probe(21);
+  const double initial =
+      f.eval.makespan(sim::Mapping::random_permutation(15, probe));
+  rng::Rng rng(21);
+  SaParams params;
+  params.steps = 30000;
+  const SearchResult r = simulated_annealing(f.eval, params, rng);
+  EXPECT_LE(r.best_cost, initial);
+}
+
+TEST(SimulatedAnnealing, ExplicitTemperatureWorks) {
+  Fixture f(10, 22);
+  rng::Rng rng(23);
+  SaParams params;
+  params.initial_temp = 1000.0;
+  params.steps = 5000;
+  const SearchResult r = simulated_annealing(f.eval, params, rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+}
+
+TEST(SimulatedAnnealing, RejectsBadParams) {
+  Fixture f(8, 24);
+  rng::Rng rng(25);
+  SaParams params;
+  params.steps = 0;
+  EXPECT_THROW(simulated_annealing(f.eval, params, rng),
+               std::invalid_argument);
+  params.steps = 100;
+  params.cooling = 1.0;
+  EXPECT_THROW(simulated_annealing(f.eval, params, rng),
+               std::invalid_argument);
+}
+
+TEST(Comparators, HeuristicsBeatPureRandomOnMediumInstance) {
+  Fixture f(20, 26);
+  rng::Rng r1(27), r2(27), r3(27);
+  const SearchResult rnd = random_search(f.eval, 2000, r1);
+  const SearchResult hc = hill_climb(f.eval, 20000, r2);
+  SaParams sa_params;
+  sa_params.steps = 20000;
+  const SearchResult sa = simulated_annealing(f.eval, sa_params, r3);
+  EXPECT_LE(hc.best_cost, rnd.best_cost);
+  EXPECT_LE(sa.best_cost, rnd.best_cost * 1.05);
+}
+
+}  // namespace
+}  // namespace match::baselines

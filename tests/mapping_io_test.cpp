@@ -1,0 +1,83 @@
+#include "sim/mapping_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "rng/rng.hpp"
+
+namespace match::sim {
+namespace {
+
+TEST(MappingIo, RoundTripsPermutation) {
+  rng::Rng rng(1);
+  const Mapping m = Mapping::random_permutation(12, rng);
+  std::stringstream ss;
+  write_mapping(ss, m);
+  EXPECT_EQ(read_mapping(ss), m);
+}
+
+TEST(MappingIo, RoundTripsManyToOne) {
+  const Mapping m(std::vector<graph::NodeId>{0, 0, 2, 2, 1});
+  std::stringstream ss;
+  write_mapping(ss, m);
+  EXPECT_EQ(read_mapping(ss), m);
+}
+
+TEST(MappingIo, ToleratesCommentsAndReordering) {
+  std::stringstream ss(
+      "# a mapping\n"
+      "tasks 3\n"
+      "map 2 0\n"
+      "map 0 1\n"
+      "map 1 2\n");
+  const Mapping m = read_mapping(ss);
+  EXPECT_EQ(m.resource_of(0), 1u);
+  EXPECT_EQ(m.resource_of(1), 2u);
+  EXPECT_EQ(m.resource_of(2), 0u);
+}
+
+TEST(MappingIo, RejectsMissingHeader) {
+  std::stringstream ss("map 0 1\n");
+  EXPECT_THROW(read_mapping(ss), std::runtime_error);
+}
+
+TEST(MappingIo, RejectsIncompleteAssignment) {
+  std::stringstream ss("tasks 3\nmap 0 1\nmap 1 2\n");
+  EXPECT_THROW(read_mapping(ss), std::runtime_error);
+}
+
+TEST(MappingIo, RejectsDuplicateAssignment) {
+  std::stringstream ss("tasks 2\nmap 0 1\nmap 0 0\nmap 1 1\n");
+  EXPECT_THROW(read_mapping(ss), std::runtime_error);
+}
+
+TEST(MappingIo, RejectsOutOfRangeTask) {
+  std::stringstream ss("tasks 2\nmap 5 0\n");
+  EXPECT_THROW(read_mapping(ss), std::runtime_error);
+}
+
+TEST(MappingIo, RejectsUnknownKeyword) {
+  std::stringstream ss("tasks 1\nassign 0 0\n");
+  EXPECT_THROW(read_mapping(ss), std::runtime_error);
+}
+
+TEST(MappingIo, FileRoundTrip) {
+  rng::Rng rng(2);
+  const Mapping m = Mapping::random_permutation(9, rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "match_mapping_test.txt")
+          .string();
+  save_mapping(path, m);
+  EXPECT_EQ(load_mapping(path), m);
+  std::remove(path.c_str());
+}
+
+TEST(MappingIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_mapping("/no/such/mapping.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace match::sim

@@ -1,0 +1,85 @@
+#include "sim/mapping.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rng/rng.hpp"
+
+namespace match::sim {
+namespace {
+
+TEST(Mapping, IdentityMapsEachTaskToItself) {
+  const Mapping m = Mapping::identity(5);
+  EXPECT_EQ(m.num_tasks(), 5u);
+  for (graph::NodeId t = 0; t < 5; ++t) EXPECT_EQ(m.resource_of(t), t);
+  EXPECT_TRUE(m.is_permutation());
+}
+
+TEST(Mapping, RandomPermutationIsValid) {
+  rng::Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Mapping m = Mapping::random_permutation(12, rng);
+    EXPECT_TRUE(m.is_permutation());
+  }
+}
+
+TEST(Mapping, RandomPermutationsVary) {
+  rng::Rng rng(2);
+  const Mapping a = Mapping::random_permutation(20, rng);
+  const Mapping b = Mapping::random_permutation(20, rng);
+  EXPECT_FALSE(a == b);  // same with prob 1/20!
+}
+
+TEST(Mapping, IsPermutationRejectsDuplicates) {
+  const Mapping m(std::vector<graph::NodeId>{0, 1, 1});
+  EXPECT_FALSE(m.is_permutation());
+}
+
+TEST(Mapping, IsPermutationRejectsOutOfRange) {
+  const Mapping m(std::vector<graph::NodeId>{0, 1, 5});
+  EXPECT_FALSE(m.is_permutation());
+}
+
+TEST(Mapping, IsValidChecksResourceBound) {
+  const Mapping m(std::vector<graph::NodeId>{0, 2, 2});
+  EXPECT_TRUE(m.is_valid(3));
+  EXPECT_FALSE(m.is_valid(2));
+}
+
+TEST(Mapping, SetUpdatesAssignment) {
+  Mapping m = Mapping::identity(3);
+  m.set(0, 2);
+  EXPECT_EQ(m.resource_of(0), 2u);
+  EXPECT_FALSE(m.is_permutation());  // 2 now appears twice
+}
+
+TEST(Mapping, TasksByResourceIsInverse) {
+  rng::Rng rng(3);
+  const Mapping m = Mapping::random_permutation(15, rng);
+  const auto inv = m.tasks_by_resource();
+  for (graph::NodeId t = 0; t < 15; ++t) {
+    EXPECT_EQ(inv[m.resource_of(t)], t);
+  }
+}
+
+TEST(Mapping, TasksByResourceThrowsOnNonPermutation) {
+  const Mapping m(std::vector<graph::NodeId>{0, 0});
+  EXPECT_THROW(m.tasks_by_resource(), std::logic_error);
+}
+
+TEST(Mapping, EqualityComparesAssignments) {
+  EXPECT_EQ(Mapping::identity(4), Mapping::identity(4));
+  EXPECT_FALSE(Mapping::identity(4) == Mapping::identity(5));
+}
+
+TEST(Mapping, AssignmentSpanViewsUnderlyingData) {
+  const Mapping m(std::vector<graph::NodeId>{2, 0, 1});
+  const auto view = m.assignment();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 2u);
+  EXPECT_EQ(view[2], 1u);
+}
+
+}  // namespace
+}  // namespace match::sim

@@ -1,0 +1,297 @@
+#include "core/matchalgo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "workload/paper_suite.hpp"
+
+namespace match::core {
+namespace {
+
+/// Exhaustive optimum over all n! permutation mappings (test-sized n only).
+double brute_force_optimum(const sim::CostEvaluator& eval) {
+  const std::size_t n = eval.num_tasks();
+  std::vector<graph::NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), graph::NodeId{0});
+  double best = std::numeric_limits<double>::infinity();
+  do {
+    best = std::min(best, eval.makespan(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+struct Fixture {
+  workload::Instance inst;
+  sim::Platform platform;
+  sim::CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+TEST(MatchParams, ValidationCatchesBadValues) {
+  MatchParams p;
+  p.rho = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.rho = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.zeta = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.zeta = 1.1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.stability_window = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.max_iterations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(MatchOptimizer, DefaultSampleSizeIsTwoNSquared) {
+  Fixture f(10, 1);
+  MatchOptimizer opt(f.eval);
+  EXPECT_EQ(opt.effective_sample_size(), 200u);
+}
+
+TEST(MatchOptimizer, FindsBruteForceOptimumOnTinyInstance) {
+  Fixture f(6, 2);
+  const double optimum = brute_force_optimum(f.eval);
+
+  MatchOptimizer opt(f.eval);
+  rng::Rng rng(42);
+  const MatchResult r = opt.run(rng);
+
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_NEAR(r.best_cost, optimum, 1e-9);
+  EXPECT_NEAR(f.eval.makespan(r.best_mapping), r.best_cost, 1e-9);
+}
+
+TEST(MatchOptimizer, FindsBruteForceOptimumAcrossSeeds) {
+  Fixture f(7, 3);
+  const double optimum = brute_force_optimum(f.eval);
+  for (std::uint64_t seed : {1ull, 7ull, 1234ull}) {
+    MatchOptimizer opt(f.eval);
+    rng::Rng rng(seed);
+    const MatchResult r = opt.run(rng);
+    EXPECT_NEAR(r.best_cost, optimum, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(MatchOptimizer, SolvesZeroCommInstanceAnalytically) {
+  // Without communication the problem is bottleneck matching on products
+  // W_t * w_s; sorting heavy tasks onto fast resources is optimal.
+  const std::size_t n = 12;
+  std::vector<double> task_w(n), res_w(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    task_w[i] = static_cast<double>(2 * i + 1);
+    res_w[i] = static_cast<double>((7 * i) % n + 1);
+  }
+  graph::Tig tig(graph::Graph::from_edges(n, task_w, {}));
+  rng::Rng setup_rng(4);
+  graph::ResourceGraph rg(
+      graph::make_complete(n, {1, 1}, {1, 1}, setup_rng));
+  // Rebuild resource graph with the chosen processing costs.
+  {
+    auto edges = rg.graph().edge_list();
+    rg = graph::ResourceGraph(graph::Graph::from_edges(n, res_w, edges));
+  }
+  const sim::Platform plat(rg);
+  const sim::CostEvaluator eval(tig, plat);
+
+  std::vector<double> ws = task_w, rs = res_w;
+  std::sort(ws.begin(), ws.end(), std::greater<>());
+  std::sort(rs.begin(), rs.end());
+  double optimum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) optimum = std::max(optimum, ws[i] * rs[i]);
+
+  MatchOptimizer opt(eval);
+  rng::Rng rng(99);
+  const MatchResult r = opt.run(rng);
+  EXPECT_NEAR(r.best_cost, optimum, 1e-9);
+}
+
+TEST(MatchOptimizer, DeterministicAcrossParallelModes) {
+  Fixture f(10, 5);
+  MatchParams serial_params;
+  serial_params.parallel = false;
+  MatchParams parallel_params;
+  parallel_params.parallel = true;
+
+  MatchOptimizer serial_opt(f.eval, serial_params);
+  MatchOptimizer parallel_opt(f.eval, parallel_params);
+  rng::Rng r1(7), r2(7);
+  const MatchResult a = serial_opt.run(r1);
+  const MatchResult b = parallel_opt.run(r2);
+
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(MatchOptimizer, DeterministicForFixedSeed) {
+  Fixture f(10, 6);
+  MatchOptimizer opt(f.eval);
+  rng::Rng r1(11), r2(11);
+  const MatchResult a = opt.run(r1);
+  const MatchResult b = opt.run(r2);
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+  ASSERT_EQ(a.history.size(), b.history.size());
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.history[i].gamma, b.history[i].gamma);
+  }
+}
+
+TEST(MatchOptimizer, BestSoFarIsMonotone) {
+  Fixture f(12, 7);
+  MatchOptimizer opt(f.eval);
+  rng::Rng rng(3);
+  const MatchResult r = opt.run(rng);
+  ASSERT_FALSE(r.history.empty());
+  for (std::size_t i = 1; i < r.history.size(); ++i) {
+    EXPECT_LE(r.history[i].best_so_far, r.history[i - 1].best_so_far);
+    EXPECT_LE(r.history[i].best_so_far, r.history[i].iter_best);
+  }
+  EXPECT_DOUBLE_EQ(r.history.back().best_so_far, r.best_cost);
+}
+
+TEST(MatchOptimizer, EntropyDecaysTowardDegeneracy) {
+  Fixture f(10, 8);
+  MatchOptimizer opt(f.eval);
+  rng::Rng rng(5);
+  const MatchResult r = opt.run(rng);
+  ASSERT_GE(r.history.size(), 3u);
+  EXPECT_LT(r.history.back().mean_entropy, r.history.front().mean_entropy);
+  // Converged: matrix close to degenerate or maxima stabilized.
+  EXPECT_NE(r.stop_reason, StopReason::kMaxIterations);
+}
+
+TEST(MatchOptimizer, TraceSeesEveryIteration) {
+  Fixture f(8, 9);
+  MatchOptimizer opt(f.eval);
+  std::size_t calls = 0;
+  std::size_t matrix_rows = 0;
+  opt.set_trace([&](const IterationStats& stats, const StochasticMatrix& p) {
+    EXPECT_EQ(stats.iteration, calls);
+    ++calls;
+    matrix_rows = p.rows();
+  });
+  rng::Rng rng(6);
+  const MatchResult r = opt.run(rng);
+  EXPECT_EQ(calls, r.iterations);
+  EXPECT_EQ(calls, r.history.size());
+  EXPECT_EQ(matrix_rows, 8u);
+}
+
+TEST(MatchOptimizer, LiteralEliteRuleDoesNotConverge) {
+  // DESIGN.md §3: the literal Fig.-5 elite rule keeps ~(1-ρ)N samples and
+  // the matrix never sharpens, so the run exhausts max_iterations.
+  Fixture f(10, 10);
+  MatchParams params;
+  params.paper_literal_elite = true;
+  params.max_iterations = 25;
+  MatchOptimizer opt(f.eval, params);
+  rng::Rng rng(8);
+  const MatchResult r = opt.run(rng);
+  EXPECT_EQ(r.stop_reason, StopReason::kMaxIterations);
+  EXPECT_EQ(r.iterations, 25u);
+  // Best-ever tracking still yields a valid mapping.
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+}
+
+TEST(MatchOptimizer, StandardEliteBeatsLiteralElite) {
+  Fixture f(12, 11);
+  MatchParams literal;
+  literal.paper_literal_elite = true;
+  literal.max_iterations = 40;
+  MatchParams standard;
+  standard.max_iterations = 40;
+
+  rng::Rng r1(9), r2(9);
+  const MatchResult a = MatchOptimizer(f.eval, standard).run(r1);
+  const MatchResult b = MatchOptimizer(f.eval, literal).run(r2);
+  EXPECT_LE(a.best_cost, b.best_cost);
+}
+
+TEST(MatchOptimizer, RejectsNonSquareInstance) {
+  rng::Rng rng(12);
+  graph::Tig tig(graph::make_gnp(5, 0.5, {1, 10}, {50, 100}, rng));
+  sim::Platform plat(
+      graph::ResourceGraph(graph::make_complete(7, {1, 5}, {10, 20}, rng)));
+  sim::CostEvaluator eval(tig, plat);
+  EXPECT_THROW(MatchOptimizer{eval}, std::invalid_argument);
+}
+
+TEST(MatchOptimizer, TinySizesWork) {
+  Fixture f(2, 13);
+  MatchOptimizer opt(f.eval);
+  rng::Rng rng(14);
+  const MatchResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_EQ(r.best_mapping.num_tasks(), 2u);
+  EXPECT_NEAR(r.best_cost, brute_force_optimum(f.eval), 1e-9);
+}
+
+TEST(MatchOptimizer, FinalMatrixIsReportedAndStochastic) {
+  Fixture f(9, 15);
+  MatchOptimizer opt(f.eval);
+  rng::Rng rng(16);
+  const MatchResult r = opt.run(rng);
+  EXPECT_EQ(r.final_matrix.rows(), 9u);
+  EXPECT_TRUE(r.final_matrix.is_row_stochastic());
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+}
+
+TEST(MatchOptimizer, CustomSampleSizeIsRespected) {
+  Fixture f(8, 17);
+  MatchParams params;
+  params.sample_size = 64;
+  MatchOptimizer opt(f.eval, params);
+  EXPECT_EQ(opt.effective_sample_size(), 64u);
+  rng::Rng rng(18);
+  const MatchResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+}
+
+class MatchRhoZetaTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(MatchRhoZetaTest, ConvergesAcrossParameterGrid) {
+  const auto [rho, zeta] = GetParam();
+  Fixture f(8, 19);
+  MatchParams params;
+  params.rho = rho;
+  params.zeta = zeta;
+  MatchOptimizer opt(f.eval, params);
+  rng::Rng rng(20);
+  const MatchResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_LT(r.best_cost, std::numeric_limits<double>::infinity());
+  // Should do at least as well as the first iteration's best.
+  EXPECT_LE(r.best_cost, r.history.front().iter_best);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MatchRhoZetaTest,
+    ::testing::Combine(::testing::Values(0.01, 0.05, 0.1),
+                       ::testing::Values(0.3, 0.7, 1.0)));
+
+}  // namespace
+}  // namespace match::core

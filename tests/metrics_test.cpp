@@ -1,0 +1,113 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/paper_suite.hpp"
+
+namespace match::sim {
+namespace {
+
+struct Fixture {
+  workload::Instance inst;
+  Platform platform;
+  CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+TEST(Metrics, MakespanMatchesEvaluator) {
+  Fixture f(10, 1);
+  rng::Rng rng(2);
+  const Mapping m = Mapping::random_permutation(10, rng);
+  const MappingMetrics metrics = compute_metrics(f.eval, m);
+  EXPECT_DOUBLE_EQ(metrics.makespan, f.eval.makespan(m));
+}
+
+TEST(Metrics, PermutationUsesEveryResourceOnce) {
+  Fixture f(12, 3);
+  rng::Rng rng(4);
+  const Mapping m = Mapping::random_permutation(12, rng);
+  const MappingMetrics metrics = compute_metrics(f.eval, m);
+  EXPECT_EQ(metrics.used_resources, 12u);
+  EXPECT_EQ(metrics.max_tasks_per_resource, 1u);
+}
+
+TEST(Metrics, ColocatedMappingHasZeroCut) {
+  Fixture f(8, 5);
+  const Mapping m(std::vector<graph::NodeId>(8, 0));
+  const MappingMetrics metrics = compute_metrics(f.eval, m);
+  EXPECT_DOUBLE_EQ(metrics.cut_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.total_comm, 0.0);
+  EXPECT_EQ(metrics.used_resources, 1u);
+  EXPECT_EQ(metrics.max_tasks_per_resource, 8u);
+  // A single loaded resource: imbalance = makespan / (makespan / n) = n.
+  EXPECT_NEAR(metrics.imbalance, 8.0, 1e-9);
+}
+
+TEST(Metrics, CutFractionIsOneWhenAllEdgesRemote) {
+  // Any permutation mapping on a square instance cuts every edge.
+  Fixture f(10, 6);
+  rng::Rng rng(7);
+  const Mapping m = Mapping::random_permutation(10, rng);
+  const MappingMetrics metrics = compute_metrics(f.eval, m);
+  EXPECT_DOUBLE_EQ(metrics.cut_fraction, 1.0);
+  EXPECT_GT(metrics.total_comm, 0.0);
+}
+
+TEST(Metrics, UtilizationBoundedByOne) {
+  Fixture f(15, 8);
+  rng::Rng rng(9);
+  const Mapping m = Mapping::random_permutation(15, rng);
+  const MappingMetrics metrics = compute_metrics(f.eval, m);
+  ASSERT_EQ(metrics.utilization.size(), 15u);
+  double max_util = 0.0;
+  for (double u : metrics.utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0 + 1e-12);
+    max_util = std::max(max_util, u);
+  }
+  // The busiest resource defines the makespan: its utilization is 1.
+  EXPECT_NEAR(max_util, 1.0, 1e-12);
+}
+
+TEST(Metrics, TotalsDecomposeThePerResourceLoads) {
+  Fixture f(10, 10);
+  rng::Rng rng(11);
+  const Mapping m = Mapping::random_permutation(10, rng);
+  const MappingMetrics metrics = compute_metrics(f.eval, m);
+  const EvalResult ref = f.eval.evaluate(m);
+  double compute = 0.0, comm = 0.0;
+  for (const auto& load : ref.loads) {
+    compute += load.compute;
+    comm += load.comm;
+  }
+  EXPECT_NEAR(metrics.total_compute, compute, 1e-9);
+  EXPECT_NEAR(metrics.total_comm, comm, 1e-9);
+}
+
+TEST(Metrics, ImbalanceIsOneForPerfectBalance) {
+  // Hand-built: 2 identical isolated tasks on 2 identical resources.
+  graph::Graph::Builder tb;
+  tb.add_node(4.0);
+  tb.add_node(4.0);
+  const graph::Tig tig(tb.build());
+  const std::vector<graph::Edge> redges = {{0, 1, 1.0}};
+  const Platform plat(graph::ResourceGraph(
+      graph::Graph::from_edges(2, {2.0, 2.0}, redges)));
+  const CostEvaluator eval(tig, plat);
+  const MappingMetrics metrics = compute_metrics(eval, Mapping::identity(2));
+  EXPECT_NEAR(metrics.imbalance, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace match::sim

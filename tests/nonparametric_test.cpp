@@ -1,0 +1,126 @@
+#include "stats/nonparametric.hpp"
+
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace match::stats {
+namespace {
+
+TEST(MannWhitney, IdenticalSamplesShowNoDifference) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto r = mann_whitney_u(x, x);
+  EXPECT_NEAR(r.effect_size, 0.5, 1e-12);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(MannWhitney, DisjointSamplesAreExtreme) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 15; ++i) {
+    x.push_back(i);          // 0..14
+    y.push_back(100.0 + i);  // 100..114
+  }
+  const auto r = mann_whitney_u(x, y);
+  // Every x below every y: U = 0, effect size = 1 (P(X < Y) = 1).
+  EXPECT_DOUBLE_EQ(r.u, 0.0);
+  EXPECT_DOUBLE_EQ(r.effect_size, 1.0);
+  EXPECT_LT(r.p_value, 1e-5);
+}
+
+TEST(MannWhitney, SymmetricInDirection) {
+  std::vector<double> x = {1, 3, 5, 7, 9, 11, 13, 15};
+  std::vector<double> y = {2, 4, 6, 8, 10, 12, 14, 16};
+  const auto ab = mann_whitney_u(x, y);
+  const auto ba = mann_whitney_u(y, x);
+  EXPECT_NEAR(ab.p_value, ba.p_value, 1e-12);
+  EXPECT_NEAR(ab.effect_size + ba.effect_size, 1.0, 1e-12);
+}
+
+TEST(MannWhitney, HandlesTies) {
+  const std::vector<double> x = {1, 1, 2, 2, 3, 3, 4, 4};
+  const std::vector<double> y = {1, 2, 2, 3, 3, 4, 4, 4};
+  const auto r = mann_whitney_u(x, y);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+  EXPECT_GT(r.p_value, 0.3);  // near-identical distributions
+}
+
+TEST(MannWhitney, AllValuesEqual) {
+  const std::vector<double> x(10, 5.0), y(12, 5.0);
+  const auto r = mann_whitney_u(x, y);
+  EXPECT_DOUBLE_EQ(r.p_value, 1.0);
+  EXPECT_DOUBLE_EQ(r.z, 0.0);
+}
+
+TEST(MannWhitney, KnownSmallExample) {
+  // Classic worked example: x = {7,3,6,2}, y = {5,1,4}.
+  // Ranks: 1:y 2:x 3:x 4:y 5:y 6:x 7:x -> R_x = 2+3+6+7 = 18,
+  // U_x = 18 - 4*5/2 = 8 of max 12.
+  const std::vector<double> x = {7, 3, 6, 2};
+  const std::vector<double> y = {5, 1, 4};
+  const auto r = mann_whitney_u(x, y);
+  EXPECT_DOUBLE_EQ(r.u, 8.0);
+}
+
+TEST(MannWhitney, RejectsEmpty) {
+  const std::vector<double> x = {1.0};
+  EXPECT_THROW(mann_whitney_u(x, {}), std::invalid_argument);
+  EXPECT_THROW(mann_whitney_u({}, x), std::invalid_argument);
+}
+
+TEST(Bootstrap, IntervalCoversTheMean) {
+  std::vector<double> data;
+  for (int i = 0; i < 50; ++i) data.push_back(10.0 + (i % 7));
+  rng::Rng rng(1);
+  const auto ci = bootstrap_mean_ci(data, 0.95, 2000, rng);
+  double mean = 0.0;
+  for (double v : data) mean += v;
+  mean /= data.size();
+  EXPECT_LT(ci.lo, mean);
+  EXPECT_GT(ci.hi, mean);
+  EXPECT_EQ(ci.resamples, 2000u);
+}
+
+TEST(Bootstrap, DegenerateSampleGivesPointInterval) {
+  const std::vector<double> data(20, 3.5);
+  rng::Rng rng(2);
+  const auto ci = bootstrap_mean_ci(data, 0.95, 500, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 3.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 3.5);
+}
+
+TEST(Bootstrap, WiderLevelWiderInterval) {
+  std::vector<double> data;
+  for (int i = 0; i < 40; ++i) data.push_back(static_cast<double>(i * i % 23));
+  rng::Rng r1(3), r2(3);
+  const auto ci90 = bootstrap_mean_ci(data, 0.90, 4000, r1);
+  const auto ci99 = bootstrap_mean_ci(data, 0.99, 4000, r2);
+  EXPECT_LE(ci99.lo, ci90.lo);
+  EXPECT_GE(ci99.hi, ci90.hi);
+}
+
+TEST(Bootstrap, AgreesWithTIntervalOnWellBehavedData) {
+  // For a symmetric sample the percentile bootstrap and the t interval
+  // should roughly coincide.
+  std::vector<double> data;
+  rng::Rng gen(4);
+  for (int i = 0; i < 100; ++i) data.push_back(gen.normal(50.0, 5.0));
+  rng::Rng rng(5);
+  const auto boot = bootstrap_mean_ci(data, 0.95, 4000, rng);
+  const auto t_ci = mean_confidence_interval(data, 0.95);
+  EXPECT_NEAR(boot.lo, t_ci.lo, 0.5);
+  EXPECT_NEAR(boot.hi, t_ci.hi, 0.5);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  const std::vector<double> data = {1.0, 2.0};
+  rng::Rng rng(6);
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95, 100, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(data, 1.0, 100, rng), std::invalid_argument);
+  EXPECT_THROW(bootstrap_mean_ci(data, 0.95, 5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace match::stats

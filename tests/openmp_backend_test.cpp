@@ -1,0 +1,100 @@
+// The OpenMP dispatch path of parallel_for must be a pure backend swap:
+// identical coverage and identical results to the thread-pool path.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "sim/evaluator.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match::parallel {
+namespace {
+
+TEST(OpenMpBackend, CoversEveryIndexOnce) {
+  constexpr std::size_t kN = 20000;
+  std::vector<std::atomic<int>> hits(kN);
+  ForOptions opts;
+  opts.prefer_openmp = true;
+  opts.serial_cutoff = 0;
+  opts.grain = 7;
+  parallel_for(
+      0, kN, [&](std::size_t i) { hits[i].fetch_add(1); }, opts);
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(OpenMpBackend, ChunkIndicesMatchPoolBackend) {
+  ForOptions omp_opts;
+  omp_opts.prefer_openmp = true;
+  omp_opts.serial_cutoff = 0;
+  omp_opts.grain = 10;
+  ForOptions pool_opts = omp_opts;
+  pool_opts.prefer_openmp = false;
+
+  const auto collect = [](const ForOptions& opts) {
+    std::mutex mu;
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    parallel_for_chunked(
+        0, 997,
+        [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+          std::lock_guard<std::mutex> lock(mu);
+          ranges.emplace_back(chunk, hi - lo);
+          (void)lo;
+        },
+        opts);
+    std::sort(ranges.begin(), ranges.end());
+    return ranges;
+  };
+  EXPECT_EQ(collect(omp_opts), collect(pool_opts));
+}
+
+TEST(OpenMpBackend, BatchEvaluationMatchesPoolBackend) {
+  rng::Rng setup(1);
+  workload::PaperParams params;
+  params.n = 15;
+  const auto inst = workload::make_paper_instance(params, setup);
+  const auto plat = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, plat);
+
+  constexpr std::size_t kCount = 300;
+  rng::Rng rng(2);
+  std::vector<graph::NodeId> rows(kCount * 15);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    const auto m = sim::Mapping::random_permutation(15, rng);
+    std::copy(m.assignment().begin(), m.assignment().end(),
+              rows.begin() + static_cast<std::ptrdiff_t>(i * 15));
+  }
+
+  std::vector<double> pool_out(kCount), omp_out(kCount);
+  ForOptions pool_opts;
+  pool_opts.serial_cutoff = 0;
+  ForOptions omp_opts = pool_opts;
+  omp_opts.prefer_openmp = true;
+  eval.makespans_batch(rows, kCount, pool_out, pool_opts);
+  eval.makespans_batch(rows, kCount, omp_out, omp_opts);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_DOUBLE_EQ(pool_out[i], omp_out[i]) << i;
+  }
+}
+
+TEST(OpenMpBackend, EmptyAndTinyRanges) {
+  ForOptions opts;
+  opts.prefer_openmp = true;
+  opts.serial_cutoff = 0;
+  bool ran = false;
+  parallel_for(
+      3, 3, [&](std::size_t) { ran = true; }, opts);
+  EXPECT_FALSE(ran);
+
+  std::atomic<int> count{0};
+  parallel_for(
+      0, 1, [&](std::size_t) { count.fetch_add(1); }, opts);
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace match::parallel

@@ -1,0 +1,141 @@
+// Tests for task pinning: GenPerm-level constraint sampling and the
+// MatchOptimizer::set_pin API.
+
+#include <gtest/gtest.h>
+
+#include "core/genperm.hpp"
+#include "core/matchalgo.hpp"
+#include "sim/mapping.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match::core {
+namespace {
+
+struct Fixture {
+  workload::Instance inst;
+  sim::Platform platform;
+  sim::CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+TEST(GenPermPins, PinnedTasksAlwaysLandOnTheirResource) {
+  constexpr std::size_t kN = 8;
+  GenPermSampler sampler(kN);
+  const auto p = StochasticMatrix::uniform(kN, kN);
+  rng::Rng rng(1);
+
+  std::vector<graph::NodeId> pins(kN, GenPermSampler::kNoPin);
+  pins[2] = 5;
+  pins[6] = 0;
+
+  std::vector<graph::NodeId> out(kN);
+  for (int trial = 0; trial < 300; ++trial) {
+    sampler.sample(p, rng, out, true, pins);
+    EXPECT_EQ(out[2], 5u);
+    EXPECT_EQ(out[6], 0u);
+    EXPECT_TRUE(sim::Mapping(std::vector<graph::NodeId>(out.begin(),
+                                                        out.end()))
+                    .is_permutation());
+  }
+}
+
+TEST(GenPermPins, UnpinnedTasksNeverTakePinnedResources) {
+  constexpr std::size_t kN = 6;
+  GenPermSampler sampler(kN);
+  // Bias every row heavily toward resource 3 — which is pinned to task 0,
+  // so nobody else may take it.
+  std::vector<double> values(kN * kN, 0.02);
+  for (std::size_t i = 0; i < kN; ++i) values[i * kN + 3] = 0.9;
+  for (std::size_t i = 0; i < kN; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < kN; ++j) sum += values[i * kN + j];
+    for (std::size_t j = 0; j < kN; ++j) values[i * kN + j] /= sum;
+  }
+  const auto p = StochasticMatrix::from_values(kN, kN, std::move(values));
+
+  std::vector<graph::NodeId> pins(kN, GenPermSampler::kNoPin);
+  pins[0] = 3;
+  rng::Rng rng(2);
+  std::vector<graph::NodeId> out(kN);
+  for (int trial = 0; trial < 200; ++trial) {
+    sampler.sample(p, rng, out, true, pins);
+    EXPECT_EQ(out[0], 3u);
+    for (std::size_t t = 1; t < kN; ++t) EXPECT_NE(out[t], 3u);
+  }
+}
+
+TEST(MatchPins, ResultRespectsPins) {
+  Fixture f(10, 3);
+  MatchOptimizer opt(f.eval);
+  opt.set_pin(4, 7);
+  opt.set_pin(0, 2);
+  rng::Rng rng(4);
+  const MatchResult r = opt.run(rng);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_EQ(r.best_mapping.resource_of(4), 7u);
+  EXPECT_EQ(r.best_mapping.resource_of(0), 2u);
+}
+
+TEST(MatchPins, PinnedRunCostsNoLessThanFree) {
+  Fixture f(10, 5);
+  rng::Rng r1(6), r2(6);
+  const MatchResult free_run = MatchOptimizer(f.eval).run(r1);
+
+  // Pin a task to a deliberately different resource than the free
+  // optimum chose: the constrained optimum cannot be better.
+  const graph::NodeId task = 3;
+  const graph::NodeId forced =
+      (free_run.best_mapping.resource_of(task) + 1) % 10;
+  MatchOptimizer pinned(f.eval);
+  pinned.set_pin(task, forced);
+  const MatchResult pinned_run = pinned.run(r2);
+  EXPECT_GE(pinned_run.best_cost, free_run.best_cost - 1e-9);
+}
+
+TEST(MatchPins, FullyPinnedRunIsDeterminate) {
+  Fixture f(6, 7);
+  MatchOptimizer opt(f.eval);
+  std::vector<graph::NodeId> target = {3, 0, 5, 1, 4, 2};
+  for (graph::NodeId t = 0; t < 6; ++t) opt.set_pin(t, target[t]);
+  rng::Rng rng(8);
+  const MatchResult r = opt.run(rng);
+  EXPECT_EQ(r.best_mapping, sim::Mapping(target));
+  EXPECT_DOUBLE_EQ(r.best_cost, f.eval.makespan(sim::Mapping(target)));
+}
+
+TEST(MatchPins, RejectsConflictsAndBadIndices) {
+  Fixture f(8, 9);
+  MatchOptimizer opt(f.eval);
+  opt.set_pin(1, 4);
+  EXPECT_THROW(opt.set_pin(2, 4), std::invalid_argument);  // resource reuse
+  EXPECT_THROW(opt.set_pin(99, 0), std::invalid_argument);
+  EXPECT_THROW(opt.set_pin(0, 99), std::invalid_argument);
+  // Re-pinning the same task to a new resource is allowed.
+  EXPECT_NO_THROW(opt.set_pin(1, 5));
+  EXPECT_NO_THROW(opt.set_pin(2, 4));  // 4 is free again
+}
+
+TEST(MatchPins, ClearPinsRestoresFreeSearch) {
+  Fixture f(8, 10);
+  MatchOptimizer opt(f.eval);
+  opt.set_pin(0, 1);
+  opt.clear_pins();
+  rng::Rng r1(11), r2(11);
+  const auto a = opt.run(r1);
+  const auto b = MatchOptimizer(f.eval).run(r2);
+  EXPECT_EQ(a.best_mapping, b.best_mapping);
+}
+
+}  // namespace
+}  // namespace match::core

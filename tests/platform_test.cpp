@@ -1,0 +1,83 @@
+#include "sim/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+
+namespace match::sim {
+namespace {
+
+graph::ResourceGraph path_resources() {
+  // 0 -5- 1 -7- 2, processing costs 1, 2, 3.
+  const std::vector<graph::Edge> edges = {{0, 1, 5.0}, {1, 2, 7.0}};
+  return graph::ResourceGraph(
+      graph::Graph::from_edges(3, {1.0, 2.0, 3.0}, edges));
+}
+
+TEST(Platform, DirectLinksOnCompleteGraph) {
+  rng::Rng rng(1);
+  const auto rg = graph::ResourceGraph(
+      graph::make_complete(6, {1, 5}, {10, 20}, rng));
+  const Platform p(rg, CommCostPolicy::kDirectLinks);
+  EXPECT_EQ(p.num_resources(), 6u);
+  for (graph::NodeId s = 0; s < 6; ++s) {
+    EXPECT_DOUBLE_EQ(p.comm_cost(s, s), 0.0);
+    EXPECT_DOUBLE_EQ(p.processing_cost(s), rg.processing_cost(s));
+    for (graph::NodeId b = 0; b < 6; ++b) {
+      if (s == b) continue;
+      EXPECT_DOUBLE_EQ(p.comm_cost(s, b), rg.link_cost(s, b));
+      EXPECT_DOUBLE_EQ(p.comm_cost(s, b), p.comm_cost(b, s));
+    }
+  }
+}
+
+TEST(Platform, DirectLinksRejectsIncompleteGraph) {
+  EXPECT_THROW(Platform(path_resources(), CommCostPolicy::kDirectLinks),
+               std::invalid_argument);
+}
+
+TEST(Platform, ShortestPathRoutesOverIntermediates) {
+  const Platform p(path_resources(), CommCostPolicy::kShortestPath);
+  EXPECT_DOUBLE_EQ(p.comm_cost(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(p.comm_cost(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(p.comm_cost(0, 2), 12.0);  // routed through 1
+  EXPECT_DOUBLE_EQ(p.comm_cost(2, 0), 12.0);
+}
+
+TEST(Platform, ShortestPathUsesCheaperIndirectRoute) {
+  // Direct 0-2 link costs 100; the route through 1 costs 12.
+  const std::vector<graph::Edge> edges = {
+      {0, 1, 5.0}, {1, 2, 7.0}, {0, 2, 100.0}};
+  const graph::ResourceGraph rg(graph::Graph::from_edges(3, {}, edges));
+  const Platform p(rg, CommCostPolicy::kShortestPath);
+  EXPECT_DOUBLE_EQ(p.comm_cost(0, 2), 12.0);
+}
+
+TEST(Platform, ShortestPathRejectsDisconnected) {
+  const std::vector<graph::Edge> edges = {{0, 1, 1.0}};
+  const graph::ResourceGraph rg(graph::Graph::from_edges(3, {}, edges));
+  EXPECT_THROW(Platform(rg, CommCostPolicy::kShortestPath),
+               std::invalid_argument);
+}
+
+TEST(Platform, CommRowMatchesCommCost) {
+  rng::Rng rng(2);
+  const auto rg = graph::ResourceGraph(
+      graph::make_complete(5, {1, 5}, {10, 20}, rng));
+  const Platform p(rg);
+  for (graph::NodeId s = 0; s < 5; ++s) {
+    const double* row = p.comm_row(s);
+    for (graph::NodeId b = 0; b < 5; ++b) {
+      EXPECT_DOUBLE_EQ(row[b], p.comm_cost(s, b));
+    }
+  }
+}
+
+TEST(Platform, PolicyAccessorReflectsConstruction) {
+  const Platform p(path_resources(), CommCostPolicy::kShortestPath);
+  EXPECT_EQ(p.policy(), CommCostPolicy::kShortestPath);
+}
+
+}  // namespace
+}  // namespace match::sim

@@ -1,0 +1,111 @@
+// Golden-value regression suite: pins exact outputs of the randomized
+// pipelines for fixed seeds.  Any change to a generator, sampler, update
+// rule, or cost model shifts these values; failing here means "the
+// algorithms changed", which must be a conscious decision (update the
+// goldens in that case).  All values were produced by this library at
+// the revision that introduced the test.
+
+#include <gtest/gtest.h>
+
+#include "baselines/clustering.hpp"
+#include "baselines/ga.hpp"
+#include "baselines/local_search.hpp"
+#include "core/island.hpp"
+#include "core/matchalgo.hpp"
+#include "workload/overset.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match {
+namespace {
+
+struct Golden {
+  workload::Instance inst;
+  sim::Platform platform;
+  sim::CostEvaluator eval;
+
+  Golden()
+      : inst(make()), platform(inst.make_platform()), eval(inst.tig, platform) {}
+
+  static workload::Instance make() {
+    rng::Rng setup(123);
+    workload::PaperParams params;
+    params.n = 10;
+    return workload::make_paper_instance(params, setup);
+  }
+};
+
+TEST(Regression, InstanceGeneration) {
+  Golden g;
+  EXPECT_EQ(g.inst.tig.graph().num_edges(), 14u);
+  EXPECT_DOUBLE_EQ(g.inst.tig.graph().total_edge_weight(), 1011.0);
+  EXPECT_DOUBLE_EQ(g.inst.resources.graph().total_node_weight(), 26.0);
+}
+
+TEST(Regression, CostModel) {
+  Golden g;
+  EXPECT_DOUBLE_EQ(g.eval.makespan(sim::Mapping::identity(10)), 4659.0);
+}
+
+TEST(Regression, MatchOptimizer) {
+  Golden g;
+  core::MatchOptimizer opt(g.eval);
+  rng::Rng rng(99);
+  const auto r = opt.run(rng);
+  EXPECT_DOUBLE_EQ(r.best_cost, 3557.0);
+  EXPECT_EQ(r.iterations, 26u);
+}
+
+TEST(Regression, GaOptimizer) {
+  Golden g;
+  baselines::GaParams params;
+  params.population = 60;
+  params.generations = 80;
+  baselines::GaOptimizer ga(g.eval, params);
+  rng::Rng rng(99);
+  EXPECT_DOUBLE_EQ(ga.run(rng).best_cost, 3664.0);
+}
+
+TEST(Regression, IslandOptimizer) {
+  Golden g;
+  core::IslandMatchOptimizer opt(g.eval);
+  rng::Rng rng(99);
+  const auto r = opt.run(rng);
+  EXPECT_DOUBLE_EQ(r.best_cost, 3448.0);
+  EXPECT_EQ(r.epochs, 8u);
+}
+
+TEST(Regression, RandomSearch) {
+  Golden g;
+  rng::Rng rng(99);
+  EXPECT_DOUBLE_EQ(baselines::random_search(g.eval, 500, rng).best_cost,
+                   3751.0);
+}
+
+TEST(Regression, GreedyConstructive) {
+  Golden g;
+  EXPECT_DOUBLE_EQ(baselines::greedy_constructive(g.eval).best_cost, 4338.0);
+}
+
+TEST(Regression, ClusterMapRefine) {
+  Golden g;
+  rng::Rng rng(99);
+  EXPECT_DOUBLE_EQ(baselines::cluster_map_refine(g.eval, {}, rng).best_cost,
+                   3265.0);
+}
+
+TEST(Regression, OversetWorkload) {
+  rng::Rng rng(7);
+  workload::OversetParams params;
+  params.num_grids = 10;
+  const auto w = workload::make_overset_workload(params, rng);
+  EXPECT_EQ(w.tig.graph().num_edges(), 41u);
+  EXPECT_NEAR(w.tig.graph().total_node_weight(), 1241.445270, 1e-5);
+}
+
+TEST(Regression, RngStream) {
+  rng::Rng rng(5);
+  EXPECT_EQ(rng.bits(), 5320248114040590185ULL);
+}
+
+}  // namespace
+}  // namespace match

@@ -1,0 +1,175 @@
+#include "core/rematch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/perturb.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace match::core {
+namespace {
+
+struct Fixture {
+  workload::Instance inst;
+  sim::Platform platform;
+  sim::CostEvaluator eval;
+
+  explicit Fixture(std::size_t n, std::uint64_t seed)
+      : inst(make(n, seed)),
+        platform(inst.make_platform()),
+        eval(inst.tig, platform) {}
+
+  static workload::Instance make(std::size_t n, std::uint64_t seed) {
+    rng::Rng rng(seed);
+    workload::PaperParams params;
+    params.n = n;
+    return workload::make_paper_instance(params, rng);
+  }
+};
+
+TEST(Perturb, ScaleProcessingCostOnlyTouchesOneNode) {
+  Fixture f(8, 1);
+  const auto scaled = sim::scale_processing_cost(f.inst.resources, 3, 2.0);
+  for (graph::NodeId r = 0; r < 8; ++r) {
+    const double expected = f.inst.resources.processing_cost(r) *
+                            (r == 3 ? 2.0 : 1.0);
+    EXPECT_DOUBLE_EQ(scaled.processing_cost(r), expected);
+  }
+  // Links unchanged.
+  EXPECT_EQ(scaled.graph().edge_list(), f.inst.resources.graph().edge_list());
+}
+
+TEST(Perturb, ScaleLinkCostsTouchesIncidentLinksOnly) {
+  Fixture f(8, 2);
+  const auto scaled = sim::scale_link_costs(f.inst.resources, 2, 3.0);
+  for (const auto& e : f.inst.resources.graph().edge_list()) {
+    const double factor = (e.u == 2 || e.v == 2) ? 3.0 : 1.0;
+    EXPECT_DOUBLE_EQ(scaled.link_cost(e.u, e.v), e.weight * factor);
+  }
+}
+
+TEST(Perturb, RejectsBadArguments) {
+  Fixture f(6, 3);
+  EXPECT_THROW(sim::scale_processing_cost(f.inst.resources, 99, 2.0),
+               std::out_of_range);
+  EXPECT_THROW(sim::scale_processing_cost(f.inst.resources, 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(sim::scale_link_costs(f.inst.resources, 99, 2.0),
+               std::out_of_range);
+}
+
+TEST(AnchoredMatrix, PutsRequestedMassOnIncumbent) {
+  const sim::Mapping incumbent(std::vector<graph::NodeId>{2, 0, 1});
+  const auto p = anchored_matrix(incumbent, 3, 0.6);
+  EXPECT_TRUE(p.is_row_stochastic());
+  const double background = 0.4 / 3.0;
+  EXPECT_NEAR(p(0, 2), 0.6 + background, 1e-12);
+  EXPECT_NEAR(p(0, 0), background, 1e-12);
+  EXPECT_NEAR(p(1, 0), 0.6 + background, 1e-12);
+  EXPECT_NEAR(p(2, 1), 0.6 + background, 1e-12);
+}
+
+TEST(AnchoredMatrix, ZeroAnchorIsUniform) {
+  const sim::Mapping incumbent(std::vector<graph::NodeId>{0, 1});
+  const auto p = anchored_matrix(incumbent, 2, 0.0);
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(p(1, 0), 0.5);
+}
+
+TEST(AnchoredMatrix, RejectsBadInputs) {
+  const sim::Mapping incumbent(std::vector<graph::NodeId>{0, 1});
+  EXPECT_THROW(anchored_matrix(incumbent, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(anchored_matrix(incumbent, 2, -0.1), std::invalid_argument);
+  const sim::Mapping bad(std::vector<graph::NodeId>{0, 9});
+  EXPECT_THROW(anchored_matrix(bad, 2, 0.5), std::invalid_argument);
+}
+
+TEST(Rematch, NeverRegressesFromIncumbent) {
+  Fixture f(10, 4);
+  rng::Rng r1(5);
+  const auto cold = MatchOptimizer(f.eval).run(r1);
+
+  // Re-map on the *same* platform: the incumbent is already excellent,
+  // so the result must be at least as good.
+  RematchParams params;
+  rng::Rng r2(6);
+  const auto warm = rematch(f.eval, cold.best_mapping, params, r2);
+  EXPECT_LE(warm.best_cost, cold.best_cost + 1e-9);
+  EXPECT_TRUE(warm.best_mapping.is_permutation());
+}
+
+TEST(Rematch, AdaptsToSlowedResource) {
+  Fixture f(12, 7);
+  rng::Rng r1(8);
+  const auto cold = MatchOptimizer(f.eval).run(r1);
+
+  // Slow down the resource hosting the heaviest-loaded task by 10x.
+  const auto breakdown = f.eval.evaluate(cold.best_mapping);
+  const graph::NodeId victim = breakdown.busiest;
+  const auto degraded =
+      sim::scale_processing_cost(f.inst.resources, victim, 10.0);
+  const sim::Platform new_platform(degraded);
+  const sim::CostEvaluator new_eval(f.inst.tig, new_platform);
+
+  RematchParams params;
+  rng::Rng r2(9);
+  const auto warm = rematch(new_eval, cold.best_mapping, params, r2);
+
+  // The re-run must improve on simply keeping the old mapping.
+  const double stale_cost = new_eval.makespan(cold.best_mapping);
+  EXPECT_LE(warm.best_cost, stale_cost);
+  EXPECT_TRUE(warm.best_mapping.is_permutation());
+}
+
+TEST(Rematch, WarmStartConvergesFasterThanCold) {
+  Fixture f(15, 10);
+  rng::Rng r1(11);
+  const auto cold_initial = MatchOptimizer(f.eval).run(r1);
+
+  // Mild perturbation: one resource 1.5x slower.
+  const auto degraded = sim::scale_processing_cost(f.inst.resources, 0, 1.5);
+  const sim::Platform new_platform(degraded);
+  const sim::CostEvaluator new_eval(f.inst.tig, new_platform);
+
+  rng::Rng r2(12), r3(12);
+  const auto cold = MatchOptimizer(new_eval).run(r2);
+  RematchParams params;
+  params.anchor = 0.7;
+  const auto warm = rematch(new_eval, cold_initial.best_mapping, params, r3);
+
+  // Warm start must reach comparable quality in no more iterations.
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_LE(warm.best_cost, cold.best_cost * 1.05);
+}
+
+TEST(Rematch, RejectsBadIncumbent) {
+  Fixture f(8, 13);
+  RematchParams params;
+  rng::Rng rng(14);
+  const sim::Mapping wrong_size = sim::Mapping::identity(5);
+  EXPECT_THROW(rematch(f.eval, wrong_size, params, rng),
+               std::invalid_argument);
+  const sim::Mapping not_perm(std::vector<graph::NodeId>(8, 0));
+  EXPECT_THROW(rematch(f.eval, not_perm, params, rng), std::invalid_argument);
+}
+
+TEST(Rematch, ParamsValidate) {
+  RematchParams p;
+  p.anchor = 1.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.base.rho = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(MatchOptimizer, SetInitialMatrixValidatesShape) {
+  Fixture f(6, 15);
+  MatchOptimizer opt(f.eval);
+  EXPECT_THROW(opt.set_initial_matrix(StochasticMatrix::uniform(5, 5)),
+               std::invalid_argument);
+  EXPECT_NO_THROW(opt.set_initial_matrix(StochasticMatrix::uniform(6, 6)));
+}
+
+}  // namespace
+}  // namespace match::core

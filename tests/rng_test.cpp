@@ -1,0 +1,235 @@
+#include "rng/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256ss.hpp"
+
+namespace match::rng {
+namespace {
+
+TEST(SplitMix64, MatchesReferenceVector) {
+  // Reference outputs for seed 1234567 from the public-domain reference
+  // implementation.
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.next(), 9817491932198370423ULL);
+}
+
+TEST(SplitMix64, DeterministicPerSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Xoshiro256ss, DeterministicPerSeed) {
+  Xoshiro256ss a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256ss, MatchesReferenceVector) {
+  // State {1, 2, 3, 4} drives the canonical reference sequence.
+  Xoshiro256ss gen(std::array<std::uint64_t, 4>{1, 2, 3, 4});
+  EXPECT_EQ(gen.next(), 11520ULL);
+  EXPECT_EQ(gen.next(), 0ULL);
+  EXPECT_EQ(gen.next(), 1509978240ULL);
+  EXPECT_EQ(gen.next(), 1215971899390074240ULL);
+}
+
+TEST(Xoshiro256ss, JumpChangesStateButStaysDeterministic) {
+  Xoshiro256ss a(99);
+  Xoshiro256ss b(99);
+  b.jump();
+  EXPECT_NE(a.state(), b.state());
+  Xoshiro256ss c(99);
+  c.jump();
+  EXPECT_EQ(b.state(), c.state());
+}
+
+TEST(Xoshiro256ss, SplitStreamsDiffer) {
+  Xoshiro256ss base(5);
+  Xoshiro256ss s1 = base.split(1);
+  Xoshiro256ss s2 = base.split(2);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(s1.next());
+    seen.insert(s2.next());
+  }
+  // Two independent streams should not collide in 128 draws.
+  EXPECT_EQ(seen.size(), 128u);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(1);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, BelowOneIsAlwaysZero) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(3);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> histogram(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.below(kBound)];
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / kBound, 0.05 * kDraws / kBound);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.uniform_int(7, 7), 7);
+}
+
+TEST(Rng, UniformRealInHalfOpenInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanIsCentered) {
+  Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.005);
+}
+
+TEST(Rng, BernoulliRespectsProbability) {
+  Rng rng(8);
+  constexpr int kDraws = 100000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateProbabilities) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, WeightedPickProportions) {
+  Rng rng(10);
+  const std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  std::vector<int> histogram(4, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++histogram[rng.weighted_pick(weights)];
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    const double expected = weights[k] / 10.0;
+    EXPECT_NEAR(static_cast<double>(histogram[k]) / kDraws, expected, 0.01);
+  }
+}
+
+TEST(Rng, WeightedPickSkipsZeroWeights) {
+  Rng rng(11);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_pick(weights), 1u);
+  }
+}
+
+TEST(Rng, WeightedPickSingleElement) {
+  Rng rng(12);
+  const std::vector<double> weights = {5.0};
+  EXPECT_EQ(rng.weighted_pick(weights), 0u);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(14);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);  // probability of identity is ~1/50!
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(15);
+  for (std::size_t n : {1u, 2u, 5u, 64u}) {
+    auto p = rng.permutation(n);
+    std::sort(p.begin(), p.end());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(p[i], i);
+  }
+}
+
+TEST(Rng, MakeStreamsAreIndependentAndReproducible) {
+  Rng base(16);
+  auto streams_a = base.make_streams(4);
+  auto streams_b = base.make_streams(4);
+  ASSERT_EQ(streams_a.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    // make_streams does not consume base state: second call matches.
+    EXPECT_EQ(streams_a[i].bits(), streams_b[i].bits());
+  }
+  std::set<std::uint64_t> firsts;
+  auto streams_c = base.make_streams(8);
+  for (auto& s : streams_c) firsts.insert(s.bits());
+  EXPECT_EQ(firsts.size(), 8u);
+}
+
+class ShuffleUniformityTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShuffleUniformityTest, FirstPositionIsUniform) {
+  // Property: after shuffling [0..3], each value lands in slot 0 with
+  // probability 1/4, for a range of seeds.
+  Rng rng(GetParam());
+  std::vector<int> histogram(4, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    std::vector<int> v = {0, 1, 2, 3};
+    rng.shuffle(v);
+    ++histogram[v[0]];
+  }
+  for (int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 4, 0.06 * kDraws / 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShuffleUniformityTest,
+                         ::testing::Values(1ull, 99ull, 123456789ull));
+
+}  // namespace
+}  // namespace match::rng

@@ -1,0 +1,80 @@
+#include "io/run_record.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace match::io {
+namespace {
+
+RunRecord sample_record() {
+  RunRecord r;
+  r.experiment = "table1";
+  r.heuristic = "match";
+  r.instance = "paper-n10";
+  r.n = 10;
+  r.seed = 42;
+  r.cost = 3557.0;
+  r.seconds = 0.0025;
+  r.iterations = 26;
+  r.evaluations = 5200;
+  return r;
+}
+
+TEST(RunLog, WritesHeaderImmediately) {
+  std::stringstream ss;
+  RunLog log(ss);
+  EXPECT_EQ(ss.str(), std::string(RunLog::header()) + "\n");
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(RunLog, AppendsRecords) {
+  std::stringstream ss;
+  RunLog log(ss);
+  log.add(sample_record());
+  EXPECT_EQ(log.size(), 1u);
+  const std::string out = ss.str();
+  EXPECT_NE(out.find("table1,match,paper-n10,10,42,3557,"), std::string::npos);
+  EXPECT_NE(out.find(",26,5200"), std::string::npos);
+}
+
+TEST(RunLog, EscapesCommasInNames) {
+  std::stringstream ss;
+  RunLog log(ss);
+  RunRecord r = sample_record();
+  r.instance = "weird,name";
+  log.add(r);
+  EXPECT_NE(ss.str().find("\"weird,name\""), std::string::npos);
+}
+
+TEST(Aggregate, GroupsByExperimentHeuristicAndSize) {
+  std::vector<RunRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    RunRecord r = sample_record();
+    r.cost = 100.0 + i;  // 100, 101, 102
+    r.seconds = 1.0;
+    records.push_back(r);
+  }
+  RunRecord other = sample_record();
+  other.heuristic = "ga";
+  other.cost = 500.0;
+  records.push_back(other);
+
+  const auto aggs = aggregate_runs(records);
+  ASSERT_EQ(aggs.size(), 2u);
+  // Map iteration order: ("table1","ga",10) before ("table1","match",10).
+  EXPECT_EQ(aggs[0].heuristic, "ga");
+  EXPECT_EQ(aggs[0].runs, 1u);
+  EXPECT_DOUBLE_EQ(aggs[0].mean_cost, 500.0);
+  EXPECT_EQ(aggs[1].heuristic, "match");
+  EXPECT_EQ(aggs[1].runs, 3u);
+  EXPECT_DOUBLE_EQ(aggs[1].mean_cost, 101.0);
+  EXPECT_DOUBLE_EQ(aggs[1].mean_seconds, 1.0);
+}
+
+TEST(Aggregate, EmptyInput) {
+  EXPECT_TRUE(aggregate_runs({}).empty());
+}
+
+}  // namespace
+}  // namespace match::io

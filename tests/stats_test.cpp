@@ -1,0 +1,193 @@
+#include "stats/descriptive.hpp"
+#include "stats/special_functions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace match::stats {
+namespace {
+
+TEST(LogGamma, KnownValues) {
+  // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(0.5) = sqrt(pi).
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(LogGamma, RecurrenceHolds) {
+  // ln Γ(x+1) = ln Γ(x) + ln x.
+  for (double x : {0.3, 1.7, 4.2, 11.9, 101.5}) {
+    EXPECT_NEAR(log_gamma(x + 1.0), log_gamma(x) + std::log(x), 1e-9) << x;
+  }
+}
+
+TEST(LogGamma, RejectsNonPositive) {
+  EXPECT_THROW(log_gamma(0.0), std::domain_error);
+  EXPECT_THROW(log_gamma(-1.5), std::domain_error);
+}
+
+TEST(IncompleteBeta, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformCase) {
+  // I_x(1, 1) = x.
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(incomplete_beta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryIdentity) {
+  // I_x(a, b) = 1 - I_{1-x}(b, a).
+  for (double x : {0.2, 0.5, 0.8}) {
+    EXPECT_NEAR(incomplete_beta(2.5, 4.0, x),
+                1.0 - incomplete_beta(4.0, 2.5, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, KnownClosedForms) {
+  // I_x(1, b) = 1 - (1-x)^b;  I_x(a, 1) = x^a.
+  EXPECT_NEAR(incomplete_beta(1.0, 3.0, 0.4), 1.0 - std::pow(0.6, 3.0), 1e-12);
+  EXPECT_NEAR(incomplete_beta(3.0, 1.0, 0.4), std::pow(0.4, 3.0), 1e-12);
+}
+
+TEST(IncompleteBeta, RejectsBadArguments) {
+  EXPECT_THROW(incomplete_beta(0.0, 1.0, 0.5), std::domain_error);
+  EXPECT_THROW(incomplete_beta(1.0, 1.0, 1.5), std::domain_error);
+}
+
+TEST(StudentT, CdfKnownValues) {
+  // CDF(0) = 0.5 for any dof.
+  EXPECT_DOUBLE_EQ(student_t_cdf(0.0, 5.0), 0.5);
+  // With 1 dof (Cauchy): CDF(1) = 0.75.
+  EXPECT_NEAR(student_t_cdf(1.0, 1.0), 0.75, 1e-10);
+  // Large dof approaches the normal: CDF(1.96, 1e6) ~ 0.975.
+  EXPECT_NEAR(student_t_cdf(1.96, 1e6), 0.975, 1e-3);
+  // Symmetry.
+  EXPECT_NEAR(student_t_cdf(-2.0, 7.0) + student_t_cdf(2.0, 7.0), 1.0, 1e-12);
+}
+
+TEST(StudentT, QuantileMatchesTables) {
+  // Classic two-sided 95% critical values.
+  EXPECT_NEAR(student_t_quantile_two_sided(0.95, 29.0), 2.045, 2e-3);
+  EXPECT_NEAR(student_t_quantile_two_sided(0.95, 10.0), 2.228, 2e-3);
+  EXPECT_NEAR(student_t_quantile_two_sided(0.99, 29.0), 2.756, 2e-3);
+  EXPECT_NEAR(student_t_quantile_two_sided(0.95, 1e6), 1.960, 2e-3);
+}
+
+TEST(StudentT, QuantileInvertsCdf) {
+  for (double dof : {3.0, 12.0, 29.0}) {
+    const double t = student_t_quantile_two_sided(0.9, dof);
+    EXPECT_NEAR(student_t_cdf(t, dof) - student_t_cdf(-t, dof), 0.9, 1e-9);
+  }
+}
+
+TEST(FDistribution, CdfKnownValues) {
+  // F(d1=1, d2=d): F CDF relates to t: P(F <= t^2) = P(|T| <= t).
+  const double t = 2.0, dof = 8.0;
+  EXPECT_NEAR(f_cdf(t * t, 1.0, dof),
+              student_t_cdf(t, dof) - student_t_cdf(-t, dof), 1e-10);
+  // 95th percentile of F(5, 10) is about 3.326 (standard tables).
+  EXPECT_NEAR(f_cdf(3.326, 5.0, 10.0), 0.95, 2e-3);
+}
+
+TEST(FDistribution, SurvivalComplementsCdf) {
+  for (double f : {0.5, 1.0, 2.5, 10.0}) {
+    EXPECT_NEAR(f_cdf(f, 4.0, 20.0) + f_sf(f, 4.0, 20.0), 1.0, 1e-12);
+  }
+}
+
+TEST(FDistribution, ExtremeValueHasTinyPValue) {
+  // The paper's F = 1547 with (2, 87) dof: p must be < 0.0001.
+  EXPECT_LT(f_sf(1547.0, 2.0, 87.0), 1e-4);
+  EXPECT_GT(f_sf(1547.0, 2.0, 87.0), 0.0);
+}
+
+TEST(FDistribution, NonPositiveFIsZeroCdf) {
+  EXPECT_DOUBLE_EQ(f_cdf(0.0, 3.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(f_sf(-1.0, 3.0, 3.0), 1.0);
+}
+
+TEST(Descriptive, MeanAndVariance) {
+  const std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(data), 5.0);
+  // Sum of squared deviations = 32; unbiased variance = 32/7.
+  EXPECT_NEAR(variance(data), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, SingleElementVarianceIsZero) {
+  const std::vector<double> data = {3.5};
+  EXPECT_DOUBLE_EQ(variance(data), 0.0);
+}
+
+TEST(Descriptive, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(summarize(empty), std::invalid_argument);
+  EXPECT_THROW(quantile(empty, 0.5), std::invalid_argument);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> data = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(data, 0.5), 2.5);
+  EXPECT_NEAR(quantile(data, 0.25), 1.75, 1e-12);  // type-7 interpolation
+}
+
+TEST(Descriptive, QuantileUnsortedInput) {
+  const std::vector<double> data = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(data), 5.0);
+}
+
+TEST(Descriptive, QuantileRejectsBadQ) {
+  const std::vector<double> data = {1.0, 2.0};
+  EXPECT_THROW(quantile(data, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(data, 1.1), std::invalid_argument);
+}
+
+TEST(Descriptive, SummaryAggregatesEverything) {
+  const std::vector<double> data = {4.0, 1.0, 3.0, 2.0};
+  const Summary s = summarize(data);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(s.variance), 1e-15);
+}
+
+TEST(Descriptive, ConfidenceIntervalMatchesHandComputation) {
+  // n = 30 sample of constant + small spread.  CI = mean ± t* · s/√n with
+  // t*(0.95, 29) ≈ 2.045.
+  std::vector<double> data;
+  for (int i = 0; i < 30; ++i) data.push_back(100.0 + (i % 3) - 1.0);
+  const auto ci = mean_confidence_interval(data, 0.95);
+  const double m = mean(data);
+  const double half = 2.045 * std::sqrt(variance(data) / 30.0);
+  EXPECT_NEAR(ci.lo, m - half, 1e-3);
+  EXPECT_NEAR(ci.hi, m + half, 1e-3);
+  EXPECT_LT(ci.lo, m);
+  EXPECT_GT(ci.hi, m);
+}
+
+TEST(Descriptive, ConfidenceIntervalNeedsTwoPoints) {
+  const std::vector<double> data = {1.0};
+  EXPECT_THROW(mean_confidence_interval(data), std::invalid_argument);
+}
+
+TEST(Descriptive, WiderLevelGivesWiderInterval) {
+  std::vector<double> data;
+  for (int i = 0; i < 20; ++i) data.push_back(static_cast<double>(i));
+  const auto ci95 = mean_confidence_interval(data, 0.95);
+  const auto ci99 = mean_confidence_interval(data, 0.99);
+  EXPECT_LT(ci99.lo, ci95.lo);
+  EXPECT_GT(ci99.hi, ci95.hi);
+}
+
+}  // namespace
+}  // namespace match::stats

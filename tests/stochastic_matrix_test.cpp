@@ -1,0 +1,131 @@
+#include "core/stochastic_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace match::core {
+namespace {
+
+TEST(StochasticMatrix, UniformHasEqualEntries) {
+  const auto m = StochasticMatrix::uniform(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(m(i, j), 0.25);
+    }
+  }
+  EXPECT_TRUE(m.is_row_stochastic());
+}
+
+TEST(StochasticMatrix, UniformRejectsEmpty) {
+  EXPECT_THROW(StochasticMatrix::uniform(0, 3), std::invalid_argument);
+  EXPECT_THROW(StochasticMatrix::uniform(3, 0), std::invalid_argument);
+}
+
+TEST(StochasticMatrix, FromValuesValidatesRows) {
+  EXPECT_NO_THROW(StochasticMatrix::from_values(2, 2, {0.5, 0.5, 1.0, 0.0}));
+  EXPECT_THROW(StochasticMatrix::from_values(2, 2, {0.5, 0.6, 1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW(StochasticMatrix::from_values(2, 2, {0.5, 0.5, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(StochasticMatrix::from_values(2, 2, {1.5, -0.5, 1.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(StochasticMatrix, RowMaxAndArgmax) {
+  const auto m =
+      StochasticMatrix::from_values(2, 3, {0.2, 0.5, 0.3, 0.7, 0.1, 0.2});
+  EXPECT_DOUBLE_EQ(m.row_max(0), 0.5);
+  EXPECT_EQ(m.row_argmax(0), 1u);
+  EXPECT_DOUBLE_EQ(m.row_max(1), 0.7);
+  EXPECT_EQ(m.row_argmax(1), 0u);
+}
+
+TEST(StochasticMatrix, EntropyBounds) {
+  const auto uniform = StochasticMatrix::uniform(3, 8);
+  EXPECT_NEAR(uniform.row_entropy(0), 3.0, 1e-12);  // log2(8)
+  EXPECT_NEAR(uniform.mean_entropy(), 3.0, 1e-12);
+
+  const auto degenerate =
+      StochasticMatrix::from_values(1, 4, {0.0, 1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(degenerate.row_entropy(0), 0.0);
+}
+
+TEST(StochasticMatrix, DegeneracyDetection) {
+  const auto degenerate =
+      StochasticMatrix::from_values(2, 2, {1.0, 0.0, 0.0, 1.0});
+  EXPECT_TRUE(degenerate.is_degenerate(1e-6));
+  EXPECT_DOUBLE_EQ(degenerate.min_row_max(), 1.0);
+
+  const auto half = StochasticMatrix::uniform(2, 2);
+  EXPECT_FALSE(half.is_degenerate(1e-3));
+  EXPECT_DOUBLE_EQ(half.min_row_max(), 0.5);
+
+  const auto nearly =
+      StochasticMatrix::from_values(1, 2, {0.999, 0.001});
+  EXPECT_TRUE(nearly.is_degenerate(1e-2));
+  EXPECT_FALSE(nearly.is_degenerate(1e-4));
+}
+
+TEST(StochasticMatrix, ArgmaxAssignment) {
+  const auto m = StochasticMatrix::from_values(
+      3, 3, {0.1, 0.8, 0.1, 0.9, 0.05, 0.05, 0.2, 0.2, 0.6});
+  const auto a = m.argmax_assignment();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(a[1], 0u);
+  EXPECT_EQ(a[2], 2u);
+}
+
+TEST(StochasticMatrix, BlendInterpolates) {
+  auto p = StochasticMatrix::uniform(1, 2);  // {0.5, 0.5}
+  const auto q = StochasticMatrix::from_values(1, 2, {1.0, 0.0});
+  p.blend_from(q, 0.3);
+  EXPECT_NEAR(p(0, 0), 0.3 * 1.0 + 0.7 * 0.5, 1e-12);
+  EXPECT_NEAR(p(0, 1), 0.3 * 0.0 + 0.7 * 0.5, 1e-12);
+  EXPECT_TRUE(p.is_row_stochastic());
+}
+
+TEST(StochasticMatrix, BlendFullReplacesAndZeroKeeps) {
+  auto p = StochasticMatrix::uniform(1, 2);
+  const auto q = StochasticMatrix::from_values(1, 2, {1.0, 0.0});
+  auto p_full = p;
+  p_full.blend_from(q, 1.0);
+  EXPECT_DOUBLE_EQ(p_full(0, 0), 1.0);
+  // zeta must be > 0 in MatchParams, but blend itself accepts 0.
+  auto p_zero = p;
+  p_zero.blend_from(q, 0.0);
+  EXPECT_DOUBLE_EQ(p_zero(0, 0), 0.5);
+}
+
+TEST(StochasticMatrix, BlendRejectsShapeMismatchAndBadZeta) {
+  auto p = StochasticMatrix::uniform(2, 2);
+  const auto q = StochasticMatrix::uniform(2, 3);
+  EXPECT_THROW(p.blend_from(q, 0.5), std::invalid_argument);
+  const auto q2 = StochasticMatrix::uniform(2, 2);
+  EXPECT_THROW(p.blend_from(q2, 1.5), std::invalid_argument);
+}
+
+TEST(StochasticMatrix, BlendPreservesRowStochasticity) {
+  auto p = StochasticMatrix::uniform(3, 3);
+  const auto q = StochasticMatrix::from_values(
+      3, 3, {1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0});
+  for (int k = 0; k < 20; ++k) {
+    p.blend_from(q, 0.3);
+    EXPECT_TRUE(p.is_row_stochastic());
+  }
+  // Repeated blending converges to the target.
+  EXPECT_GT(p(0, 0), 0.99);
+}
+
+TEST(StochasticMatrix, RowSpansExposeData) {
+  auto p = StochasticMatrix::uniform(2, 2);
+  auto row = p.row_mut(0);
+  row[0] = 0.9;
+  row[1] = 0.1;
+  EXPECT_DOUBLE_EQ(p(0, 0), 0.9);
+  EXPECT_DOUBLE_EQ(p.row(0)[1], 0.1);
+}
+
+}  // namespace
+}  // namespace match::core

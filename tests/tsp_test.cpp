@@ -1,0 +1,168 @@
+#include "core/tsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace match::core {
+namespace {
+
+/// 4 cities on a unit square: optimal tour is the perimeter, length 4.
+TspProblem square_instance() {
+  // coordinates: (0,0) (1,0) (1,1) (0,1)
+  const double s2 = std::sqrt(2.0);
+  std::vector<double> d = {
+      0, 1, s2, 1,  //
+      1, 0, 1, s2,  //
+      s2, 1, 0, 1,  //
+      1, s2, 1, 0,  //
+  };
+  return TspProblem(4, std::move(d));
+}
+
+TEST(Tsp, RejectsBadConstruction) {
+  EXPECT_THROW(TspProblem(2, std::vector<double>(4, 1.0)),
+               std::invalid_argument);
+  EXPECT_THROW(TspProblem(3, std::vector<double>(8, 1.0)),
+               std::invalid_argument);
+  std::vector<double> with_zero(9, 1.0);
+  with_zero[1] = 0.0;  // d(0,1) = 0
+  EXPECT_THROW(TspProblem(3, std::move(with_zero)), std::invalid_argument);
+}
+
+TEST(Tsp, CostOfKnownTour) {
+  const auto tsp = square_instance();
+  EXPECT_DOUBLE_EQ(tsp.cost({0, 1, 2, 3}), 4.0);                  // perimeter
+  EXPECT_DOUBLE_EQ(tsp.cost({0, 2, 1, 3}), 2.0 + 2.0 * std::sqrt(2.0));
+}
+
+TEST(Tsp, BruteForceFindsPerimeter) {
+  const auto tsp = square_instance();
+  EXPECT_DOUBLE_EQ(tsp.brute_force_optimum(), 4.0);
+}
+
+TEST(Tsp, BruteForceRejectsLargeInstances) {
+  rng::Rng rng(1);
+  const auto tsp = TspProblem::random_euclidean(15, rng);
+  EXPECT_THROW(tsp.brute_force_optimum(), std::invalid_argument);
+}
+
+TEST(Tsp, DrawProducesValidTours) {
+  rng::Rng rng(2);
+  const auto tsp = TspProblem::random_euclidean(12, rng);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(tsp.is_valid_tour(tsp.draw(rng)));
+  }
+}
+
+TEST(Tsp, NearestNeighborIsValidAndReasonable) {
+  rng::Rng rng(3);
+  const auto tsp = TspProblem::random_euclidean(20, rng);
+  const auto nn = tsp.nearest_neighbor_tour();
+  EXPECT_TRUE(tsp.is_valid_tour(nn));
+  // NN beats the average random tour.
+  double random_mean = 0.0;
+  for (int i = 0; i < 100; ++i) random_mean += tsp.cost(tsp.draw(rng));
+  random_mean /= 100.0;
+  EXPECT_LT(tsp.cost(nn), random_mean);
+}
+
+TEST(Tsp, TwoOptImprovesOrMatches) {
+  rng::Rng rng(4);
+  const auto tsp = TspProblem::random_euclidean(25, rng);
+  const auto nn = tsp.nearest_neighbor_tour();
+  const auto improved = tsp.two_opt(nn);
+  EXPECT_TRUE(tsp.is_valid_tour(improved));
+  EXPECT_LE(tsp.cost(improved), tsp.cost(nn) + 1e-12);
+}
+
+TEST(Tsp, TwoOptReachesLocalOptimum) {
+  rng::Rng rng(5);
+  const auto tsp = TspProblem::random_euclidean(12, rng);
+  auto tour = tsp.two_opt(tsp.nearest_neighbor_tour());
+  const double cost = tsp.cost(tour);
+  // No single 2-exchange improves further.
+  for (std::size_t i = 0; i + 1 < tour.size(); ++i) {
+    for (std::size_t j = i + 2; j < tour.size(); ++j) {
+      if (i == 0 && j == tour.size() - 1) continue;
+      auto trial = tour;
+      std::reverse(trial.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                   trial.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      EXPECT_GE(tsp.cost(trial), cost - 1e-9);
+    }
+  }
+}
+
+TEST(Tsp, TwoOptRejectsInvalidTour) {
+  const auto tsp = square_instance();
+  EXPECT_THROW(tsp.two_opt({0, 1, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(tsp.two_opt({1, 0, 2, 3}), std::invalid_argument);  // not from 0
+}
+
+TEST(Tsp, CeFindsOptimumOnSquare) {
+  auto tsp = square_instance();
+  CeDriverParams params;
+  params.sample_size = 100;
+  rng::Rng rng(6);
+  const auto r = run_ce(tsp, params, rng);
+  EXPECT_DOUBLE_EQ(r.best_cost, 4.0);
+}
+
+TEST(Tsp, CeMatchesBruteForceOnSmallEuclidean) {
+  for (std::uint64_t seed : {7ull, 8ull}) {
+    rng::Rng gen(seed);
+    auto tsp = TspProblem::random_euclidean(9, gen);
+    const double optimum = tsp.brute_force_optimum();
+
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint64_t restart = 0; restart < 3; ++restart) {
+      auto fresh = tsp;  // reset transition matrix
+      CeDriverParams params;
+      params.sample_size = 400;
+      params.rho = 0.05;
+      rng::Rng rng(10 * seed + restart);
+      best = std::min(best, run_ce(fresh, params, rng).best_cost);
+    }
+    EXPECT_NEAR(best, optimum, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Tsp, CeBeatsRandomOnMediumInstance) {
+  rng::Rng gen(9);
+  auto tsp = TspProblem::random_euclidean(30, gen);
+  CeDriverParams params;
+  params.sample_size = 500;
+  params.zeta = 0.7;
+  rng::Rng rng(10);
+  const auto r = run_ce(tsp, params, rng);
+
+  rng::Rng rrng(10);
+  double random_best = std::numeric_limits<double>::infinity();
+  // Random baseline: uniform random tours with the same sample budget.
+  {
+    std::vector<graph::NodeId> tour(30);
+    for (graph::NodeId c = 0; c < 30; ++c) tour[c] = c;
+    const std::size_t budget = r.iterations * params.sample_size;
+    for (std::size_t i = 0; i < budget; ++i) {
+      std::span<graph::NodeId> tail(tour.data() + 1, 29);
+      rrng.shuffle(tail);
+      random_best = std::min(random_best, tsp.cost(tour));
+    }
+  }
+  EXPECT_LT(r.best_cost, random_best);
+}
+
+TEST(Tsp, UpdateSharpensTransitionMatrix) {
+  rng::Rng gen(11);
+  auto tsp = TspProblem::random_euclidean(10, gen);
+  const double before = tsp.transition_matrix().mean_entropy();
+  CeDriverParams params;
+  params.sample_size = 200;
+  params.max_iterations = 15;
+  rng::Rng rng(12);
+  run_ce(tsp, params, rng);
+  EXPECT_LT(tsp.transition_matrix().mean_entropy(), before);
+}
+
+}  // namespace
+}  // namespace match::core

@@ -1,0 +1,237 @@
+#include "workload/paper_suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "graph/algorithms.hpp"
+#include "workload/instance.hpp"
+#include "workload/overset.hpp"
+
+namespace match::workload {
+namespace {
+
+TEST(PaperInstance, RespectsPaperWeightRanges) {
+  rng::Rng rng(1);
+  PaperParams params;
+  params.n = 30;
+  const Instance inst = make_paper_instance(params, rng);
+
+  EXPECT_EQ(inst.tig.num_tasks(), 30u);
+  EXPECT_EQ(inst.resources.num_resources(), 30u);
+
+  const auto& tg = inst.tig.graph();
+  for (graph::NodeId u = 0; u < 30; ++u) {
+    EXPECT_GE(tg.node_weight(u), 1.0);
+    EXPECT_LE(tg.node_weight(u), 10.0);
+  }
+  for (const auto& e : tg.edge_list()) {
+    EXPECT_GE(e.weight, 50.0);
+    EXPECT_LE(e.weight, 100.0);
+  }
+
+  const auto& rg = inst.resources.graph();
+  for (graph::NodeId u = 0; u < 30; ++u) {
+    EXPECT_GE(rg.node_weight(u), 1.0);
+    EXPECT_LE(rg.node_weight(u), 5.0);
+  }
+  for (const auto& e : rg.edge_list()) {
+    EXPECT_GE(e.weight, 10.0);
+    EXPECT_LE(e.weight, 20.0);
+  }
+}
+
+TEST(PaperInstance, CompleteResourcesByDefault) {
+  rng::Rng rng(2);
+  PaperParams params;
+  params.n = 12;
+  const Instance inst = make_paper_instance(params, rng);
+  EXPECT_EQ(inst.resources.graph().num_edges(), 12u * 11u / 2u);
+  EXPECT_EQ(inst.comm_policy, sim::CommCostPolicy::kDirectLinks);
+  // The flattened platform must build without throwing.
+  const sim::Platform plat = inst.make_platform();
+  EXPECT_EQ(plat.num_resources(), 12u);
+}
+
+TEST(PaperInstance, SparseResourcesUseShortestPath) {
+  rng::Rng rng(3);
+  PaperParams params;
+  params.n = 15;
+  params.complete_resources = false;
+  const Instance inst = make_paper_instance(params, rng);
+  EXPECT_EQ(inst.comm_policy, sim::CommCostPolicy::kShortestPath);
+  EXPECT_TRUE(graph::is_connected(inst.resources.graph()));
+  const sim::Platform plat = inst.make_platform();
+  EXPECT_GT(plat.comm_cost(0, 1), 0.0);
+}
+
+TEST(PaperInstance, TigIsConnected) {
+  rng::Rng rng(4);
+  for (std::size_t n : {10u, 20u, 50u}) {
+    PaperParams params;
+    params.n = n;
+    const Instance inst = make_paper_instance(params, rng);
+    EXPECT_TRUE(graph::is_connected(inst.tig.graph())) << n;
+  }
+}
+
+TEST(PaperInstance, CommScaleMultipliesEdgeWeights) {
+  rng::Rng a(5), b(5);
+  PaperParams p1;
+  p1.n = 20;
+  PaperParams p2 = p1;
+  p2.comm_scale = 3.0;
+  const Instance i1 = make_paper_instance(p1, a);
+  const Instance i2 = make_paper_instance(p2, b);
+  const auto e1 = i1.tig.graph().edge_list();
+  const auto e2 = i2.tig.graph().edge_list();
+  ASSERT_EQ(e1.size(), e2.size());
+  for (std::size_t k = 0; k < e1.size(); ++k) {
+    EXPECT_DOUBLE_EQ(e2[k].weight, 3.0 * e1[k].weight);
+  }
+}
+
+TEST(PaperInstance, RejectsBadParams) {
+  rng::Rng rng(6);
+  PaperParams params;
+  params.n = 1;
+  EXPECT_THROW(make_paper_instance(params, rng), std::invalid_argument);
+  params.n = 10;
+  params.comm_scale = 0.0;
+  EXPECT_THROW(make_paper_instance(params, rng), std::invalid_argument);
+}
+
+TEST(PaperSuite, GeneratesRequestedCount) {
+  rng::Rng rng(7);
+  PaperParams params;
+  params.n = 10;
+  const auto suite = make_paper_suite(params, 5, 0.5, 2.0, rng);
+  ASSERT_EQ(suite.size(), 5u);
+  for (const auto& inst : suite) {
+    EXPECT_EQ(inst.size(), 10u);
+  }
+}
+
+TEST(PaperSuite, CommCompRatioSpansRange) {
+  rng::Rng rng(8);
+  PaperParams params;
+  params.n = 20;
+  const auto suite = make_paper_suite(params, 3, 0.25, 4.0, rng);
+  // Heavier comm_scale => lower computation/communication ratio.
+  const auto ratio = [](const Instance& inst) {
+    return graph::compute_stats(inst.tig.graph()).comp_comm_ratio;
+  };
+  EXPECT_GT(ratio(suite.front()), ratio(suite.back()));
+}
+
+TEST(PaperSuite, EmptyAndSingleCounts) {
+  rng::Rng rng(9);
+  PaperParams params;
+  EXPECT_TRUE(make_paper_suite(params, 0, 1.0, 2.0, rng).empty());
+  EXPECT_EQ(make_paper_suite(params, 1, 1.0, 2.0, rng).size(), 1u);
+}
+
+TEST(PaperSuite, RejectsBadScaleRange) {
+  rng::Rng rng(10);
+  PaperParams params;
+  EXPECT_THROW(make_paper_suite(params, 3, 0.0, 2.0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(make_paper_suite(params, 3, 2.0, 1.0, rng),
+               std::invalid_argument);
+}
+
+TEST(OversetGrid, OverlapVolumeIsSymmetricAndCorrect) {
+  OversetGrid a{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  OversetGrid b{{0.5, 0.5, 0.5}, {1.5, 1.5, 1.5}};
+  EXPECT_DOUBLE_EQ(a.overlap_volume(b), 0.125);
+  EXPECT_DOUBLE_EQ(b.overlap_volume(a), 0.125);
+  EXPECT_DOUBLE_EQ(a.volume(), 1.0);
+}
+
+TEST(OversetGrid, DisjointBoxesHaveZeroOverlap) {
+  OversetGrid a{{0.0, 0.0, 0.0}, {0.4, 0.4, 0.4}};
+  OversetGrid b{{0.6, 0.6, 0.6}, {1.0, 1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(a.overlap_volume(b), 0.0);
+}
+
+TEST(OversetGrid, TouchingFacesDoNotOverlap) {
+  OversetGrid a{{0.0, 0.0, 0.0}, {0.5, 1.0, 1.0}};
+  OversetGrid b{{0.5, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(a.overlap_volume(b), 0.0);
+}
+
+TEST(OversetWorkload, ProducesConsistentTig) {
+  rng::Rng rng(11);
+  OversetParams params;
+  params.num_grids = 20;
+  const OversetWorkload w = make_overset_workload(params, rng);
+  EXPECT_EQ(w.grids.size(), 20u);
+  EXPECT_EQ(w.tig.num_tasks(), 20u);
+  EXPECT_TRUE(graph::is_connected(w.tig.graph()));
+  for (graph::NodeId u = 0; u < 20; ++u) {
+    EXPECT_GE(w.tig.compute_weight(u), 1.0);
+  }
+}
+
+TEST(OversetWorkload, EdgeWeightsTrackOverlapVolume) {
+  rng::Rng rng(12);
+  OversetParams params;
+  params.num_grids = 12;
+  params.body_pull = 0.8;  // force plenty of overlap
+  params.force_connected = false;
+  const OversetWorkload w = make_overset_workload(params, rng);
+  for (const auto& e : w.tig.graph().edge_list()) {
+    const double overlap = w.grids[e.u].overlap_volume(w.grids[e.v]);
+    EXPECT_GT(overlap, 0.0);
+    EXPECT_NEAR(e.weight, std::max(1.0, params.points_per_volume * overlap),
+                1e-9);
+  }
+}
+
+TEST(OversetWorkload, BodyPullIncreasesOverlap) {
+  rng::Rng a(13), b(13);
+  OversetParams loose;
+  loose.num_grids = 24;
+  loose.body_pull = 0.0;
+  loose.force_connected = false;
+  OversetParams tight = loose;
+  tight.body_pull = 0.9;
+  const auto w_loose = make_overset_workload(loose, a);
+  const auto w_tight = make_overset_workload(tight, b);
+  EXPECT_GT(w_tight.tig.graph().num_edges(), w_loose.tig.graph().num_edges());
+}
+
+TEST(OversetWorkload, RejectsBadParams) {
+  rng::Rng rng(14);
+  OversetParams params;
+  params.num_grids = 1;
+  EXPECT_THROW(make_overset_workload(params, rng), std::invalid_argument);
+  params.num_grids = 8;
+  params.min_extent = 0.0;
+  EXPECT_THROW(make_overset_workload(params, rng), std::invalid_argument);
+  params.min_extent = 0.2;
+  params.body_pull = 1.5;
+  EXPECT_THROW(make_overset_workload(params, rng), std::invalid_argument);
+}
+
+TEST(InstanceIo, SaveLoadRoundTrip) {
+  rng::Rng rng(15);
+  PaperParams params;
+  params.n = 10;
+  const Instance inst = make_paper_instance(params, rng);
+  const std::string stem =
+      (std::filesystem::temp_directory_path() / "match_instance_test").string();
+  save_instance(stem, inst);
+  const Instance back = load_instance(stem);
+  EXPECT_EQ(inst.tig, back.tig);
+  EXPECT_EQ(inst.resources, back.resources);
+  EXPECT_EQ(inst.comm_policy, back.comm_policy);
+  EXPECT_EQ(back.name, inst.name);
+  for (const char* ext : {".tig", ".res", ".meta"}) {
+    std::remove((stem + ext).c_str());
+  }
+}
+
+}  // namespace
+}  // namespace match::workload
