@@ -19,6 +19,9 @@ void GaParams::validate() const {
   if (mutation_prob < 0.0 || mutation_prob > 1.0) {
     throw std::invalid_argument("GaParams: mutation_prob");
   }
+  if (target_cost < 0.0) {
+    throw std::invalid_argument("GaParams: target_cost < 0");
+  }
 }
 
 GaOptimizer::GaOptimizer(const sim::CostEvaluator& eval, GaParams params)
@@ -91,6 +94,10 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
   std::vector<graph::NodeId> best_chrom(n);
 
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
+    if (should_stop_ && should_stop_()) {
+      result.cancelled = true;
+      break;
+    }
     eval_->makespans_batch(pop, pop_size, costs, for_opts);
 
     double gen_best = std::numeric_limits<double>::infinity();
@@ -114,6 +121,9 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
     result.history.push_back(
         GaGenerationStats{gen, gen_best, result.best_cost, mean});
     result.generations = gen + 1;
+    if (params_.target_cost > 0.0 && result.best_cost <= params_.target_cost) {
+      break;
+    }
     if (gen + 1 == params_.generations) break;  // no need to breed the last
 
     // Fitness Ψ = K / Exec; roulette-wheel probabilities are invariant to
@@ -155,6 +165,15 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
       }
     }
     pop.swap(next);
+  }
+
+  if (result.generations == 0 &&
+      result.best_cost == std::numeric_limits<double>::infinity()) {
+    // Cancelled before the first generation was scored: evaluate the
+    // first (random) chromosome so the result is a valid permutation.
+    best_chrom.assign(pop.begin(), pop.begin() + static_cast<std::ptrdiff_t>(n));
+    result.best_cost = eval_->makespan(std::span<const graph::NodeId>(
+        pop.data(), n));
   }
 
   result.best_mapping = sim::Mapping(std::move(best_chrom));

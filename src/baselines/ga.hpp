@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "rng/rng.hpp"
@@ -20,6 +21,9 @@ struct GaParams {
   bool elitism = true;
   /// Evaluate each generation's population on the thread pool.
   bool parallel = true;
+
+  /// Quality target: stop once best-so-far ≤ this value (0 disables).
+  double target_cost = 0.0;
 
   void validate() const;
 
@@ -51,6 +55,9 @@ struct GaResult {
   sim::Mapping best_mapping;
   double best_cost = 0.0;
   std::size_t generations = 0;
+  /// True when the run was stopped by the `should_stop` hook; the best
+  /// mapping is still valid (best-so-far, never partial).
+  bool cancelled = false;
   std::vector<GaGenerationStats> history;
   double elapsed_seconds = 0.0;
 };
@@ -66,9 +73,19 @@ struct GaResult {
 /// act identically on either string.
 class GaOptimizer {
  public:
+  /// Cooperative-cancellation hook, polled once per generation; on true
+  /// the run stops and reports best-so-far (deadline support, mirrors
+  /// core::MatchOptimizer::StopFn).
+  using StopFn = std::function<bool()>;
+
   explicit GaOptimizer(const sim::CostEvaluator& eval, GaParams params = {});
 
   const GaParams& params() const noexcept { return params_; }
+
+  /// Installs the cancellation hook (empty = never stop early).
+  void set_should_stop(StopFn should_stop) {
+    should_stop_ = std::move(should_stop);
+  }
 
   GaResult run(rng::Rng& rng);
 
@@ -83,6 +100,7 @@ class GaOptimizer {
   const sim::CostEvaluator* eval_;
   GaParams params_;
   std::size_t n_;
+  StopFn should_stop_;
 };
 
 }  // namespace match::baselines

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <functional>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
@@ -46,8 +47,17 @@ struct CeResult {
   double best_cost = std::numeric_limits<double>::infinity();
   std::size_t iterations = 0;
   bool degenerate = false;
+  /// True when the run was stopped by the caller's `should_stop` hook
+  /// (deadline expiry / external cancellation); `best` is the best sample
+  /// observed up to that point.
+  bool cancelled = false;
   std::vector<CeIterationStats> history;
 };
+
+/// Cooperative-cancellation hook: polled once per CE iteration; returning
+/// true stops the loop, which then reports best-so-far (see the service
+/// layer's deadline support, src/service/deadline.hpp).
+using CeStopFn = std::function<bool()>;
 
 /// Generic CE minimization loop over any `Problem` type providing:
 ///
@@ -67,7 +77,8 @@ struct CeResult {
 template <typename Problem>
 CeResult<typename Problem::Sample> run_ce(Problem& problem,
                                           const CeDriverParams& params,
-                                          rng::Rng& rng) {
+                                          rng::Rng& rng,
+                                          const CeStopFn& should_stop = {}) {
   params.validate();
   using Sample = typename Problem::Sample;
 
@@ -80,6 +91,10 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
   std::size_t stall = 0;
 
   for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
+    if (should_stop && should_stop()) {
+      result.cancelled = true;
+      break;
+    }
     for (std::size_t i = 0; i < params.sample_size; ++i) {
       samples[i] = problem.draw(rng);
       costs[i] = problem.cost(samples[i]);
@@ -100,10 +115,14 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
       result.best = samples[order[0]];
     }
 
+    // Elite set = the best ⌈ρN⌉ samples by the sorted order (eq. 11's
+    // ρ-quantile).  Selecting by `costs[i] <= gamma` instead would admit
+    // *every* tie at γ, inflating the elite set by an amount that depends
+    // on duplicate costs and destabilizing the update.
     std::vector<const Sample*> elites;
     elites.reserve(rho_count);
-    for (std::size_t i = 0; i < params.sample_size; ++i) {
-      if (costs[i] <= gamma) elites.push_back(&samples[i]);
+    for (std::size_t k = 0; k < rho_count; ++k) {
+      elites.push_back(&samples[order[k]]);
     }
     problem.update(elites, params.zeta);
 
@@ -119,6 +138,12 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
       break;
     }
     if (stall >= params.gamma_stall_window) break;
+  }
+  if (result.iterations == 0 && !std::isfinite(result.best_cost)) {
+    // Cancelled before the first batch completed: draw a single sample so
+    // the caller always receives a valid best-so-far solution.
+    result.best = problem.draw(rng);
+    result.best_cost = problem.cost(result.best);
   }
   return result;
 }

@@ -35,6 +35,9 @@ void MatchParams::validate() const {
   if (max_iterations == 0) {
     throw std::invalid_argument("MatchParams: max_iterations must be >= 1");
   }
+  if (target_cost < 0.0) {
+    throw std::invalid_argument("MatchParams: target_cost < 0");
+  }
 }
 
 const char* to_string(StopReason reason) {
@@ -47,6 +50,10 @@ const char* to_string(StopReason reason) {
       return "gamma-stable";
     case StopReason::kMaxIterations:
       return "max-iterations";
+    case StopReason::kCancelled:
+      return "cancelled";
+    case StopReason::kTargetReached:
+      return "target-reached";
   }
   return "unknown";
 }
@@ -128,6 +135,10 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
   }
 
   for (std::size_t iter = 0; iter < params_.max_iterations; ++iter) {
+    if (should_stop_ && should_stop_()) {
+      result.stop_reason = StopReason::kCancelled;
+      break;
+    }
     // --- Step 3 (Fig. 5): draw N mappings via GenPerm. -------------------
     const std::uint64_t iter_seed = rng.bits();
     parallel::parallel_for_chunked(
@@ -209,6 +220,11 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
 
     result.iterations = iter + 1;
 
+    if (params_.target_cost > 0.0 && result.best_cost <= params_.target_cost) {
+      result.stop_reason = StopReason::kTargetReached;
+      break;
+    }
+
     // --- Step 8: stopping criteria. ---------------------------------------
     bool stable = true;
     for (std::size_t i = 0; i < n; ++i) {
@@ -237,6 +253,19 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
       break;
     }
     result.stop_reason = StopReason::kMaxIterations;
+  }
+
+  if (result.iterations == 0 &&
+      !std::isfinite(result.best_cost)) {
+    // Cancelled before the first batch: evaluate one GenPerm draw so the
+    // result always carries a valid permutation (service deadline
+    // contract; see matchalgo.hpp StopFn).
+    GenPermSampler sampler(n);
+    std::vector<graph::NodeId> row(n);
+    rng::Rng local(rng.bits());
+    sampler.sample(p, local, row, params_.random_task_order, pins_);
+    result.best_cost = eval_->makespan(row);
+    result.best_mapping = sim::Mapping(std::move(row));
   }
 
   result.final_matrix = p;

@@ -17,6 +17,8 @@ enum class StopReason {
   kDegenerate,     ///< every row collapsed onto one resource (Fig. 3 endpoint)
   kGammaStable,    ///< Fig. 2 step 4: γ̂ unchanged for `k` iterations
   kMaxIterations,  ///< safety cap reached
+  kCancelled,      ///< the caller's `should_stop` hook fired (deadline etc.)
+  kTargetReached,  ///< best-so-far reached `MatchParams::target_cost`
 };
 
 /// Human-readable name of a stop reason (for logs and bench output).
@@ -61,6 +63,11 @@ struct MatchParams {
 
   /// Hard iteration cap.
   std::size_t max_iterations = 1000;
+
+  /// Quality target: stop as soon as best-so-far ≤ this value
+  /// (`StopReason::kTargetReached`).  0 (default) disables the check; the
+  /// service layer uses it for "good enough, answer now" requests.
+  double target_cost = 0.0;
 
   /// GenPerm visits tasks in random order (paper behavior).  Fixed order
   /// is exposed for the ablation study.
@@ -120,12 +127,25 @@ class MatchOptimizer {
   using TraceFn =
       std::function<void(const IterationStats&, const StochasticMatrix&)>;
 
+  /// Cooperative-cancellation hook, polled once per iteration before the
+  /// batch is drawn.  Returning true stops the run with
+  /// `StopReason::kCancelled` and the best mapping seen so far; when it
+  /// fires before the first batch, a single GenPerm draw is evaluated so
+  /// the result always carries a valid permutation.  Used by the service
+  /// layer to enforce request deadlines (src/service/deadline.hpp).
+  using StopFn = std::function<bool()>;
+
   /// The evaluator must describe a square instance (|V_t| = |V_r|);
   /// throws `std::invalid_argument` otherwise.
   explicit MatchOptimizer(const sim::CostEvaluator& eval,
                           MatchParams params = {});
 
   void set_trace(TraceFn trace) { trace_ = std::move(trace); }
+
+  /// Installs the cancellation hook (empty = never stop early).
+  void set_should_stop(StopFn should_stop) {
+    should_stop_ = std::move(should_stop);
+  }
 
   /// Replaces the uniform P_0 with a caller-supplied starting matrix
   /// (must be n x n row-stochastic).  Used by the warm-start re-mapper
@@ -153,6 +173,7 @@ class MatchOptimizer {
   std::size_t n_;
   std::size_t sample_size_;
   TraceFn trace_;
+  StopFn should_stop_;
   StochasticMatrix initial_;          ///< empty -> uniform
   std::vector<graph::NodeId> pins_;   ///< empty -> no pins
 };

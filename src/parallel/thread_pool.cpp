@@ -1,5 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
+#include <stdexcept>
 #include <utility>
 
 namespace match::parallel {
@@ -15,18 +16,26 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;  // already shut down (or shutting down)
     stopping_ = true;
   }
   work_available_.notify_all();
-  for (auto& worker : workers_) worker.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit after shutdown");
+    }
     queue_.push_back(std::move(task));
     ++in_flight_;
   }

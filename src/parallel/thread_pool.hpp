@@ -23,15 +23,26 @@ class ThreadPool {
   /// Creates `threads` workers; 0 means `hardware_concurrency()`.
   explicit ThreadPool(std::size_t threads = 0);
 
-  /// Joins all workers.  Pending tasks are completed first.
+  /// Joins all workers (equivalent to `shutdown()`).  Pending tasks are
+  /// completed first.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Begins shutdown: pending tasks are drained, workers are joined, and
+  /// any later `submit` throws.  Idempotent; not safe to race with other
+  /// `shutdown()` calls (the destructor path is the normal caller).
+  void shutdown();
+
   /// Enqueues a task.  Tasks must not throw; exceptions escaping a task
   /// terminate the program (by design — parallel kernels in this library
   /// are noexcept).
+  ///
+  /// Guarantee: once shutdown has begun (via `shutdown()` or the
+  /// destructor), `submit` throws `std::runtime_error` instead of
+  /// silently enqueueing into a stopping pool — a task accepted by
+  /// `submit` is always eventually executed.
   void submit(std::function<void()> task);
 
   /// Blocks until every task submitted so far has finished.

@@ -1,0 +1,81 @@
+#pragma once
+
+// Deadline support for the mapping service.
+//
+// A Deadline is an absolute point on the steady clock (or "never").  The
+// service anchors each request's deadline at *submission* time, so queue
+// wait counts against the budget, and turns it into a cooperative
+// cancellation hook (`StopFn`) that the solvers poll once per iteration
+// (core::MatchOptimizer / baselines::GaOptimizer / core::run_ce).  The
+// cancellation contract: when the hook fires, the solver stops at the next
+// iteration boundary and returns its best-so-far solution — always a valid
+// complete mapping, never a partial one.
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <limits>
+#include <optional>
+
+namespace match::service {
+
+using Clock = std::chrono::steady_clock;
+
+/// An absolute completion deadline, or "unlimited".
+class Deadline {
+ public:
+  /// No deadline: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` from now; non-positive values expire immediately.
+  static Deadline in(double seconds) {
+    return Deadline(Clock::now() +
+                    std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(seconds)));
+  }
+
+  /// Expires at an explicit time point (used to anchor at submission).
+  static Deadline at(Clock::time_point when) { return Deadline(when); }
+
+  static Deadline never() { return {}; }
+
+  bool unlimited() const noexcept { return !at_.has_value(); }
+
+  bool expired() const {
+    return at_.has_value() && Clock::now() >= *at_;
+  }
+
+  /// Seconds until expiry (negative once past); +inf when unlimited.
+  double remaining_seconds() const {
+    if (!at_.has_value()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(*at_ - Clock::now()).count();
+  }
+
+  std::optional<Clock::time_point> time_point() const noexcept { return at_; }
+
+ private:
+  explicit Deadline(Clock::time_point when) : at_(when) {}
+
+  std::optional<Clock::time_point> at_;
+};
+
+/// Cooperative-cancellation hook shared by every solver adapter: polled
+/// between iterations, returns true when the solver should stop and
+/// report best-so-far.
+using StopFn = std::function<bool()>;
+
+/// Builds a StopFn that fires when `deadline` expires or `*cancel` is set
+/// (cancel may be null).  Unlimited deadline + null cancel yields an empty
+/// function, so solvers skip the poll entirely.
+inline StopFn make_stop_fn(Deadline deadline,
+                           const std::atomic<bool>* cancel = nullptr) {
+  if (deadline.unlimited() && cancel == nullptr) return {};
+  return [deadline, cancel] {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return deadline.expired();
+  };
+}
+
+}  // namespace match::service

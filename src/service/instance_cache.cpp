@@ -1,0 +1,112 @@
+#include "service/instance_cache.hpp"
+
+#include <bit>
+
+#include "graph/graph.hpp"
+#include "rng/splitmix64.hpp"
+
+namespace match::service {
+
+void Fingerprinter::mix(std::uint64_t value) {
+  rng::SplitMix64 mixer(h_ ^ value);
+  h_ = mixer.next();
+}
+
+void Fingerprinter::mix_double(double value) {
+  mix(std::bit_cast<std::uint64_t>(value));
+}
+
+namespace {
+
+void mix_graph(Fingerprinter& fp, const graph::Graph& g) {
+  fp.mix(g.num_nodes());
+  for (double w : g.node_weights()) fp.mix_double(w);
+  fp.mix(g.num_edges());
+  for (const graph::Edge& e : g.edge_list()) {
+    fp.mix(e.u);
+    fp.mix(e.v);
+    fp.mix_double(e.weight);
+  }
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_instance(const workload::Instance& instance) {
+  Fingerprinter fp;
+  fp.mix(0x5449472d46503164ULL);  // domain tag
+  mix_graph(fp, instance.tig.graph());
+  mix_graph(fp, instance.resources.graph());
+  fp.mix(static_cast<std::uint64_t>(instance.comm_policy));
+  return fp.digest();
+}
+
+std::uint64_t cache_key(std::uint64_t instance_fingerprint, SolverKind solver,
+                        const SolveOptions& options) {
+  Fingerprinter fp;
+  fp.mix(instance_fingerprint);
+  fp.mix(static_cast<std::uint64_t>(solver));
+  fp.mix(options.seed);
+  fp.mix(options.max_iterations);
+  fp.mix_double(options.target_cost);
+  // deadline_seconds intentionally excluded: truncated results are never
+  // cached, so the key must not fragment on the latency budget.
+  return fp.digest();
+}
+
+SolutionCache::SolutionCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::optional<CachedSolution> SolutionCache::lookup(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void SolutionCache::insert(std::uint64_t key, CachedSolution solution) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(solution);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.emplace_front(key, std::move(solution));
+  index_.emplace(key, lru_.begin());
+  ++insertions_;
+}
+
+CacheStats SolutionCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.insertions = insertions_;
+  s.evictions = evictions_;
+  s.size = lru_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+std::size_t SolutionCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+void SolutionCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace match::service

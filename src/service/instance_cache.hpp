@@ -1,0 +1,106 @@
+#pragma once
+
+// Solution cache of the mapping service.
+//
+// Key: a canonical 64-bit fingerprint of the problem — the TIG (node
+// weights + edge list with weights), the resource graph, the comm-cost
+// policy — mixed with the solver kind and every result-affecting solve
+// option (seed, iteration budget, quality target) through the library's
+// SplitMix64 mixer.  Two requests with equal fingerprints are solved
+// identically (solvers are deterministic in their seed), so a cached
+// mapping is byte-identical to what a fresh run would return.
+//
+// Deadlines deliberately do NOT participate in the key: a truncated run
+// depends on machine load, so deadline-missed results are never inserted
+// (the service enforces this), keeping cached entries load-independent.
+//
+// The cache is a mutex-guarded LRU with hit/miss/eviction counters; all
+// entries are value copies, so readers never alias writer state.
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "service/request.hpp"
+#include "sim/mapping.hpp"
+#include "workload/instance.hpp"
+
+namespace match::service {
+
+/// Order-sensitive SplitMix64 chaining: each value is absorbed through a
+/// full SplitMix64 round, so permuting inputs changes the digest.
+class Fingerprinter {
+ public:
+  void mix(std::uint64_t value);
+  void mix_double(double value);  ///< bit-pattern of the IEEE double
+  std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x9e3779b97f4a7c15ULL;
+};
+
+/// Canonical fingerprint of the problem data (TIG + platform + policy).
+std::uint64_t fingerprint_instance(const workload::Instance& instance);
+
+/// Full cache key: instance fingerprint ⊕ solver kind ⊕ result-affecting
+/// options (seed, max_iterations, target_cost — not the deadline).
+std::uint64_t cache_key(std::uint64_t instance_fingerprint, SolverKind solver,
+                        const SolveOptions& options);
+
+/// A cached solve result.
+struct CachedSolution {
+  sim::Mapping mapping;
+  double cost = 0.0;
+  std::size_t iterations = 0;
+};
+
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t insertions = 0;
+  std::size_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const noexcept {
+    const std::size_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Thread-safe LRU cache keyed by the 64-bit cache key.
+class SolutionCache {
+ public:
+  /// `capacity` = max entries; 0 disables storage (every lookup misses).
+  explicit SolutionCache(std::size_t capacity);
+
+  /// Returns a copy of the entry and refreshes its recency.  Counts a hit
+  /// or miss.
+  std::optional<CachedSolution> lookup(std::uint64_t key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry when full.
+  void insert(std::uint64_t key, CachedSolution solution);
+
+  CacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  using LruList = std::list<std::pair<std::uint64_t, CachedSolution>>;
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  LruList lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, LruList::iterator> index_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t insertions_ = 0;
+  std::size_t evictions_ = 0;
+};
+
+}  // namespace match::service

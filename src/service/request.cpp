@@ -1,0 +1,47 @@
+#include "service/request.hpp"
+
+#include <stdexcept>
+
+namespace match::service {
+
+const char* to_string(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kMatch:
+      return "match";
+    case SolverKind::kGa:
+      return "fastmap-ga";
+    case SolverKind::kLocalSearch:
+      return "local-search";
+    case SolverKind::kMinMin:
+      return "min-min";
+    case SolverKind::kMaxMin:
+      return "max-min";
+    case SolverKind::kSufferage:
+      return "sufferage";
+  }
+  return "unknown";
+}
+
+SolverKind parse_solver_kind(const std::string& name) {
+  for (SolverKind kind :
+       {SolverKind::kMatch, SolverKind::kGa, SolverKind::kLocalSearch,
+        SolverKind::kMinMin, SolverKind::kMaxMin, SolverKind::kSufferage}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("parse_solver_kind: unknown solver '" + name +
+                              "'");
+}
+
+const char* to_string(ServedBy served_by) {
+  switch (served_by) {
+    case ServedBy::kSolver:
+      return "solver";
+    case ServedBy::kCache:
+      return "cache";
+    case ServedBy::kCoalesced:
+      return "coalesced";
+  }
+  return "unknown";
+}
+
+}  // namespace match::service

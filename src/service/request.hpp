@@ -1,0 +1,101 @@
+#pragma once
+
+// Request/response types of the mapping service: a `MapRequest` names an
+// instance, a solver, and per-request `SolveOptions` (deadline, seed,
+// quality target); a `MapResponse` carries the mapping plus the metadata
+// a resource manager needs to audit the service (who served it, whether
+// the deadline was met, where the time went).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sim/mapping.hpp"
+#include "workload/instance.hpp"
+
+namespace match::service {
+
+/// Which solver the request wants.  The registry adapts every mapping
+/// heuristic in the library behind one `solve()` entry point.
+enum class SolverKind {
+  kMatch,        ///< MaTCH cross-entropy (core::MatchOptimizer)
+  kGa,           ///< FastMap-GA (baselines::GaOptimizer)
+  kLocalSearch,  ///< restarted hill climbing (baselines::hill_climb)
+  kMinMin,       ///< list heuristic (baselines::list_schedule)
+  kMaxMin,
+  kSufferage,
+};
+
+const char* to_string(SolverKind kind);
+
+/// Parses the names printed by `to_string`; throws `std::invalid_argument`
+/// on unknown names (used by the CLI-facing example).
+SolverKind parse_solver_kind(const std::string& name);
+
+/// Per-request solve parameters.  Everything that affects the *result*
+/// (seed, iteration budget, quality target) participates in the cache
+/// key; the deadline does not — instead, deadline-truncated results are
+/// never cached (see instance_cache.hpp).
+struct SolveOptions {
+  /// Base seed of the request's private RNG stream.
+  std::uint64_t seed = 1;
+
+  /// Completion budget in seconds, anchored at submission time (queue
+  /// wait counts).  0 = unbounded.
+  double deadline_seconds = 0.0;
+
+  /// Stop early once the solver's best-so-far makespan ≤ this (0 = off).
+  double target_cost = 0.0;
+
+  /// Iteration budget override (MaTCH iterations / GA generations /
+  /// local-search evaluations).  0 = the adapter's default.
+  std::size_t max_iterations = 0;
+
+  /// Allow this request to be served from / inserted into the cache.
+  bool use_cache = true;
+};
+
+/// One mapping request.  The instance is shared (not copied) so requests
+/// are cheap to enqueue and many requests can reference the same TIG.
+struct MapRequest {
+  /// Caller tag, echoed in the response.  The service does not interpret
+  /// it (0 is fine; ids need not be unique).
+  std::uint64_t id = 0;
+  std::shared_ptr<const workload::Instance> instance;
+  SolverKind solver = SolverKind::kMatch;
+  SolveOptions options;
+};
+
+/// Who produced the response's mapping.
+enum class ServedBy {
+  kSolver,     ///< a fresh solver run
+  kCache,      ///< solution cache hit
+  kCoalesced,  ///< batched onto an identical in-flight request's run
+};
+
+const char* to_string(ServedBy served_by);
+
+/// The service's answer to one MapRequest.
+struct MapResponse {
+  std::uint64_t id = 0;
+  sim::Mapping mapping;
+  double cost = 0.0;          ///< makespan of `mapping`
+  std::size_t iterations = 0; ///< solver iterations spent (0 for cache hits)
+
+  /// True iff the request finished after its deadline.  The mapping is
+  /// still valid (best-so-far at cancellation), by the solver contract.
+  bool deadline_missed = false;
+
+  ServedBy served_by = ServedBy::kSolver;
+  SolverKind solver = SolverKind::kMatch;
+
+  /// Canonical fingerprint of (instance, solver, result-affecting
+  /// options) — the cache key this request resolved to.
+  std::uint64_t fingerprint = 0;
+
+  double queue_seconds = 0.0;  ///< submission → worker pickup
+  double solve_seconds = 0.0;  ///< worker pickup → completion
+  double total_seconds = 0.0;  ///< submission → completion
+};
+
+}  // namespace match::service

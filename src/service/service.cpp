@@ -1,0 +1,294 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace match::service {
+
+namespace {
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+}  // namespace
+
+void ServiceConfig::validate() const {
+  if (workers == 0) {
+    throw std::invalid_argument("ServiceConfig: workers must be >= 1");
+  }
+  if (queue_capacity == 0) {
+    throw std::invalid_argument("ServiceConfig: queue_capacity must be >= 1");
+  }
+}
+
+MappingService::MappingService(ServiceConfig config)
+    : config_(config), cache_(config.cache_capacity) {
+  config_.validate();
+  pool_ = std::make_unique<parallel::ThreadPool>(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    pool_->submit([this] { pump(); });
+  }
+}
+
+MappingService::~MappingService() { shutdown(); }
+
+std::future<MapResponse> MappingService::submit(MapRequest request) {
+  if (!request.instance) {
+    throw std::invalid_argument("MappingService::submit: null instance");
+  }
+  if (!registry_.contains(request.solver)) {
+    throw std::invalid_argument(
+        "MappingService::submit: no solver registered for request");
+  }
+
+  Pending pending;
+  pending.submitted_at = Clock::now();
+  pending.deadline =
+      request.options.deadline_seconds > 0.0
+          ? Deadline::at(pending.submitted_at +
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 request.options.deadline_seconds)))
+          : Deadline::never();
+  pending.request = std::move(request);
+  std::future<MapResponse> future = pending.promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(queue_mutex_);
+    queue_not_full_.wait(lock, [this] {
+      return !accepting_ || queue_.size() < config_.queue_capacity;
+    });
+    if (!accepting_) {
+      throw std::runtime_error("MappingService::submit after shutdown");
+    }
+    queue_.push_back(std::move(pending));
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++submitted_;
+      peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+    }
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+MapResponse MappingService::solve(MapRequest request) {
+  return submit(std::move(request)).get();
+}
+
+void MappingService::drain() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_drained_.wait(lock,
+                      [this] { return queue_.empty() && processing_ == 0; });
+}
+
+void MappingService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    accepting_ = false;
+  }
+  queue_not_full_.notify_all();
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    closed_ = true;
+  }
+  queue_not_empty_.notify_all();
+  if (pool_) {
+    pool_->shutdown();  // pumps have exited; joins the workers
+    pool_.reset();
+  }
+}
+
+void MappingService::pump() {
+  for (;;) {
+    Pending pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait(lock,
+                            [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed and drained
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      ++processing_;
+    }
+    queue_not_full_.notify_one();
+
+    std::promise<MapResponse> promise = std::move(pending.promise);
+    try {
+      MapResponse response = process(pending);
+      record_completion(response);
+      promise.set_value(std::move(response));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      --processing_;
+      if (queue_.empty() && processing_ == 0) queue_drained_.notify_all();
+    }
+  }
+}
+
+MapResponse MappingService::process(Pending& pending) {
+  const Clock::time_point picked_up = Clock::now();
+  const MapRequest& request = pending.request;
+
+  MapResponse response;
+  response.id = request.id;
+  response.solver = request.solver;
+
+  const std::uint64_t instance_fp = fingerprint_instance(*request.instance);
+  const std::uint64_t key =
+      cache_key(instance_fp, request.solver, request.options);
+  response.fingerprint = key;
+
+  const bool cacheable =
+      config_.cache_capacity > 0 && request.options.use_cache;
+
+  CachedSolution solution;
+  bool have_solution = false;
+
+  if (cacheable) {
+    if (std::optional<CachedSolution> hit = cache_.lookup(key)) {
+      solution = std::move(*hit);
+      have_solution = true;
+      response.served_by = ServedBy::kCache;
+    }
+  }
+
+  // In-flight coalescing: identical concurrent requests batch onto one
+  // solver run.  The first becomes the leader; later arrivals wait for
+  // its shared result instead of re-solving.
+  bool leader = false;
+  bool registered = false;
+  std::promise<CachedSolution> lead_promise;
+  std::shared_future<CachedSolution> follow;
+  if (!have_solution) {
+    if (config_.coalesce && cacheable) {
+      std::lock_guard<std::mutex> lock(inflight_mutex_);
+      const auto it = inflight_.find(key);
+      if (it != inflight_.end()) {
+        follow = it->second.result;
+      } else {
+        leader = true;
+        registered = true;
+        inflight_.emplace(key, InFlight{lead_promise.get_future().share()});
+      }
+    } else {
+      leader = true;
+    }
+  }
+
+  if (!have_solution && !leader) {
+    solution = follow.get();  // leader is running on another worker
+    have_solution = true;
+    response.served_by = ServedBy::kCoalesced;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++coalesced_;
+  }
+
+  if (!have_solution) {
+    const StopFn should_stop = make_stop_fn(pending.deadline);
+    try {
+      const SolveOutcome outcome = registry_.get(request.solver)
+                                       .solve(*request.instance,
+                                              request.options, should_stop);
+      solution.mapping = outcome.mapping;
+      solution.cost = outcome.cost;
+      solution.iterations = outcome.iterations;
+      response.served_by = ServedBy::kSolver;
+      // Deadline-truncated results depend on machine load; never cache
+      // them, so cached entries always equal a full deterministic run.
+      if (cacheable && !outcome.stopped_early) {
+        cache_.insert(key, solution);
+      }
+      if (registered) {
+        lead_promise.set_value(solution);
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(key);
+      }
+    } catch (...) {
+      if (registered) {
+        lead_promise.set_exception(std::current_exception());
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        inflight_.erase(key);
+      }
+      throw;
+    }
+  }
+
+  response.mapping = std::move(solution.mapping);
+  response.cost = solution.cost;
+  response.iterations =
+      response.served_by == ServedBy::kSolver ? solution.iterations : 0;
+
+  const Clock::time_point done = Clock::now();
+  response.queue_seconds = seconds_between(pending.submitted_at, picked_up);
+  response.solve_seconds = seconds_between(picked_up, done);
+  response.total_seconds = seconds_between(pending.submitted_at, done);
+  response.deadline_missed =
+      !pending.deadline.unlimited() && done > *pending.deadline.time_point();
+  return response;
+}
+
+void MappingService::record_completion(const MapResponse& response) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++completed_;
+  if (response.deadline_missed) ++deadline_misses_;
+  latencies_.push_back(response.total_seconds);
+}
+
+namespace {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  const std::size_t rank = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size() - 1)));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<std::ptrdiff_t>(rank),
+                   values.end());
+  return values[rank];
+}
+
+}  // namespace
+
+ServiceStats MappingService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    out.queue_depth = queue_.size();
+    out.in_flight = processing_;
+  }
+  std::vector<double> latencies;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.submitted = submitted_;
+    out.completed = completed_;
+    out.deadline_misses = deadline_misses_;
+    out.coalesced = coalesced_;
+    out.peak_queue_depth = peak_queue_depth_;
+    latencies = latencies_;
+  }
+  const CacheStats cache = cache_.stats();
+  out.cache_hits = cache.hits;
+  out.cache_misses = cache.misses;
+  out.cache_evictions = cache.evictions;
+  out.cache_size = cache.size;
+
+  if (!latencies.empty()) {
+    double sum = 0.0;
+    for (double v : latencies) sum += v;
+    out.mean_latency_seconds = sum / static_cast<double>(latencies.size());
+    out.p50_latency_seconds = percentile(latencies, 0.50);
+    out.p99_latency_seconds = percentile(latencies, 0.99);
+  }
+  return out;
+}
+
+}  // namespace match::service

@@ -1,0 +1,167 @@
+#pragma once
+
+// MappingService: the solvers as a long-lived concurrent service.
+//
+//   submit() ──► bounded MPMC queue ──► worker pumps (parallel::ThreadPool)
+//                                          │
+//                                          ├─ solution cache (LRU, keyed by
+//                                          │  canonical fingerprint)
+//                                          ├─ in-flight coalescing (identical
+//                                          │  concurrent requests share one
+//                                          │  solver run)
+//                                          └─ SolverRegistry dispatch, with
+//                                             per-request RNG stream and a
+//                                             deadline StopFn anchored at
+//                                             submission time
+//
+// Deadline accounting contract: every response either met its deadline or
+// is flagged `deadline_missed` (and counted in ServiceStats) while still
+// carrying a valid best-so-far mapping.  `deadline_missed` is computed
+// from the service's own completion timestamp, so
+// `deadline_missed == (total_seconds > deadline_seconds)` exactly.
+//
+// Determinism: a request's result depends only on (instance, solver,
+// options) — never on worker count or scheduling — because solvers are
+// seed-deterministic and cache/coalescing return exactly what a fresh run
+// would.  (Deadline-truncated runs are the documented exception: where a
+// run is cut off depends on load, which is why they are never cached.)
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "service/deadline.hpp"
+#include "service/instance_cache.hpp"
+#include "service/request.hpp"
+#include "service/solver_registry.hpp"
+
+namespace match::service {
+
+struct ServiceConfig {
+  /// Worker pump threads (each owns one ThreadPool slot).  ≥ 1.
+  std::size_t workers = 2;
+
+  /// Bounded request-queue capacity; `submit` blocks while full
+  /// (admission control / back-pressure).  ≥ 1.
+  std::size_t queue_capacity = 1024;
+
+  /// Solution-cache capacity in entries; 0 disables caching.
+  std::size_t cache_capacity = 4096;
+
+  /// Batch identical concurrent requests onto one solver run.
+  bool coalesce = true;
+
+  void validate() const;
+};
+
+/// A point-in-time snapshot of the service's counters.
+struct ServiceStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t coalesced = 0;
+
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::size_t cache_evictions = 0;
+  std::size_t cache_size = 0;
+
+  std::size_t queue_depth = 0;       ///< requests waiting right now
+  std::size_t peak_queue_depth = 0;  ///< high-water mark
+  std::size_t in_flight = 0;         ///< requests being processed right now
+
+  double p50_latency_seconds = 0.0;
+  double p99_latency_seconds = 0.0;
+  double mean_latency_seconds = 0.0;
+
+  double cache_hit_rate() const noexcept {
+    const std::size_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+class MappingService {
+ public:
+  explicit MappingService(ServiceConfig config = {});
+
+  /// Drains outstanding work and joins the workers.
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// Enqueues a request; blocks while the queue is full.  Throws
+  /// `std::invalid_argument` on a null instance or unknown solver, and
+  /// `std::runtime_error` after `shutdown()`.
+  std::future<MapResponse> submit(MapRequest request);
+
+  /// Convenience: submit + wait.
+  MapResponse solve(MapRequest request);
+
+  /// Blocks until every submitted request has completed.
+  void drain();
+
+  /// Stops accepting requests, drains outstanding work, joins workers.
+  /// Idempotent.
+  void shutdown();
+
+  ServiceStats stats() const;
+
+  const ServiceConfig& config() const noexcept { return config_; }
+  const SolverRegistry& registry() const noexcept { return registry_; }
+
+ private:
+  struct Pending {
+    MapRequest request;
+    std::promise<MapResponse> promise;
+    Clock::time_point submitted_at;
+    Deadline deadline;
+  };
+
+  /// Leader/follower state for coalesced identical requests.
+  struct InFlight {
+    std::shared_future<CachedSolution> result;
+  };
+
+  void pump();
+  MapResponse process(Pending& pending);
+  void record_completion(const MapResponse& response);
+
+  ServiceConfig config_;
+  SolverRegistry registry_;
+  SolutionCache cache_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_drained_;
+  std::deque<Pending> queue_;
+  bool accepting_ = true;
+  bool closed_ = false;
+  std::size_t processing_ = 0;  ///< popped but not yet completed
+
+  mutable std::mutex inflight_mutex_;
+  std::unordered_map<std::uint64_t, InFlight> inflight_;
+
+  mutable std::mutex stats_mutex_;
+  std::size_t submitted_ = 0;
+  std::size_t completed_ = 0;
+  std::size_t deadline_misses_ = 0;
+  std::size_t coalesced_ = 0;
+  std::size_t peak_queue_depth_ = 0;
+  std::vector<double> latencies_;
+
+  /// Owned last-initialized / first-destroyed is irrelevant here because
+  /// shutdown() explicitly sequences queue close before pool join.
+  std::unique_ptr<parallel::ThreadPool> pool_;
+};
+
+}  // namespace match::service

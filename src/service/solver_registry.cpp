@@ -1,0 +1,212 @@
+#include "service/solver_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/ga.hpp"
+#include "baselines/list_heuristics.hpp"
+#include "baselines/local_search.hpp"
+#include "core/matchalgo.hpp"
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/platform.hpp"
+
+namespace match::service {
+namespace {
+
+/// MaTCH adapter: library defaults, with the request's iteration budget,
+/// quality target and deadline hook threaded through.
+class MatchSolver final : public Solver {
+ public:
+  const char* name() const override { return "match"; }
+
+  SolveOutcome solve(const workload::Instance& instance,
+                     const SolveOptions& options,
+                     const StopFn& should_stop) const override {
+    const sim::Platform platform = instance.make_platform();
+    const sim::CostEvaluator eval(instance.tig, platform);
+
+    core::MatchParams params;
+    if (options.max_iterations != 0) {
+      params.max_iterations = options.max_iterations;
+    }
+    params.target_cost = options.target_cost;
+
+    core::MatchOptimizer optimizer(eval, params);
+    if (should_stop) optimizer.set_should_stop(should_stop);
+
+    rng::Rng rng(options.seed);
+    const core::MatchResult r = optimizer.run(rng);
+
+    SolveOutcome out;
+    out.mapping = r.best_mapping;
+    out.cost = r.best_cost;
+    out.iterations = r.iterations;
+    out.stopped_early = r.stop_reason == core::StopReason::kCancelled;
+    return out;
+  }
+};
+
+/// FastMap-GA adapter.  The paper's tuned configuration (population 500 ×
+/// 1000 generations) is an offline budget; a service answering a request
+/// stream needs something bounded, so the adapter scales the population
+/// with the instance (≥ 32, 4n) and defaults to 150 generations unless
+/// the request overrides the budget.
+class GaSolver final : public Solver {
+ public:
+  const char* name() const override { return "fastmap-ga"; }
+
+  SolveOutcome solve(const workload::Instance& instance,
+                     const SolveOptions& options,
+                     const StopFn& should_stop) const override {
+    const sim::Platform platform = instance.make_platform();
+    const sim::CostEvaluator eval(instance.tig, platform);
+
+    baselines::GaParams params;
+    params.population = std::max<std::size_t>(32, 4 * instance.size());
+    params.generations = options.max_iterations != 0 ? options.max_iterations
+                                                     : 150;
+    params.target_cost = options.target_cost;
+
+    baselines::GaOptimizer optimizer(eval, params);
+    if (should_stop) optimizer.set_should_stop(should_stop);
+
+    rng::Rng rng(options.seed);
+    const baselines::GaResult r = optimizer.run(rng);
+
+    SolveOutcome out;
+    out.mapping = r.best_mapping;
+    out.cost = r.best_cost;
+    out.iterations = r.generations;
+    out.stopped_early = r.cancelled;
+    return out;
+  }
+};
+
+/// Restarted hill climbing, adapted to cooperative cancellation by
+/// slicing the evaluation budget: `should_stop` is polled between slices,
+/// and the best mapping across slices is kept.  Each slice draws its RNG
+/// from the request's master stream, so the full (uncancelled) run is a
+/// deterministic function of the seed.
+class LocalSearchSolver final : public Solver {
+ public:
+  const char* name() const override { return "local-search"; }
+
+  SolveOutcome solve(const workload::Instance& instance,
+                     const SolveOptions& options,
+                     const StopFn& should_stop) const override {
+    const sim::Platform platform = instance.make_platform();
+    const sim::CostEvaluator eval(instance.tig, platform);
+    const std::size_t n = instance.size();
+
+    const std::size_t budget =
+        options.max_iterations != 0 ? options.max_iterations : 20000;
+    const std::size_t slice = std::max<std::size_t>(n * n, 1000);
+
+    rng::Rng master(options.seed);
+    SolveOutcome out;
+    out.cost = std::numeric_limits<double>::infinity();
+
+    std::size_t spent = 0;
+    while (spent < budget) {
+      if (should_stop && should_stop()) {
+        out.stopped_early = true;
+        break;
+      }
+      rng::Rng slice_rng(master.bits());
+      const baselines::SearchResult r = baselines::hill_climb(
+          eval, std::min(slice, budget - spent), slice_rng);
+      if (r.best_cost < out.cost) {
+        out.cost = r.best_cost;
+        out.mapping = r.best_mapping;
+      }
+      spent += r.evaluations;
+      if (options.target_cost > 0.0 && out.cost <= options.target_cost) break;
+    }
+    out.iterations = spent;
+
+    if (!std::isfinite(out.cost)) {
+      // Cancelled before the first slice: one random permutation keeps
+      // the best-so-far contract (a valid complete mapping).
+      rng::Rng fallback(master.bits());
+      out.mapping = sim::Mapping::random_permutation(n, fallback);
+      out.cost = eval.makespan(out.mapping);
+    }
+    return out;
+  }
+};
+
+/// List-heuristic adapter (Min-min / Max-min / Sufferage): deterministic
+/// constructive mappings, fast enough that the deadline hook is only
+/// consulted on entry.
+class ListSolver final : public Solver {
+ public:
+  explicit ListSolver(baselines::ListRule rule) : rule_(rule) {}
+
+  const char* name() const override { return baselines::to_string(rule_); }
+
+  SolveOutcome solve(const workload::Instance& instance,
+                     const SolveOptions& /*options*/,
+                     const StopFn& /*should_stop*/) const override {
+    const sim::Platform platform = instance.make_platform();
+    const sim::CostEvaluator eval(instance.tig, platform);
+    const baselines::SearchResult r = baselines::list_schedule(eval, rule_);
+
+    SolveOutcome out;
+    out.mapping = r.best_mapping;
+    out.cost = r.best_cost;
+    out.iterations = r.evaluations;
+    return out;
+  }
+
+ private:
+  baselines::ListRule rule_;
+};
+
+}  // namespace
+
+SolverRegistry::SolverRegistry() {
+  register_solver(SolverKind::kMatch, std::make_unique<MatchSolver>());
+  register_solver(SolverKind::kGa, std::make_unique<GaSolver>());
+  register_solver(SolverKind::kLocalSearch,
+                  std::make_unique<LocalSearchSolver>());
+  register_solver(SolverKind::kMinMin,
+                  std::make_unique<ListSolver>(baselines::ListRule::kMinMin));
+  register_solver(SolverKind::kMaxMin,
+                  std::make_unique<ListSolver>(baselines::ListRule::kMaxMin));
+  register_solver(
+      SolverKind::kSufferage,
+      std::make_unique<ListSolver>(baselines::ListRule::kSufferage));
+}
+
+void SolverRegistry::register_solver(SolverKind kind,
+                                     std::unique_ptr<Solver> solver) {
+  if (!solver) {
+    throw std::invalid_argument("SolverRegistry: null solver");
+  }
+  solvers_[kind] = std::move(solver);
+}
+
+const Solver& SolverRegistry::get(SolverKind kind) const {
+  const auto it = solvers_.find(kind);
+  if (it == solvers_.end()) {
+    throw std::out_of_range("SolverRegistry: no solver registered for kind");
+  }
+  return *it->second;
+}
+
+bool SolverRegistry::contains(SolverKind kind) const {
+  return solvers_.find(kind) != solvers_.end();
+}
+
+std::vector<SolverKind> SolverRegistry::kinds() const {
+  std::vector<SolverKind> out;
+  out.reserve(solvers_.size());
+  for (const auto& [kind, solver] : solvers_) out.push_back(kind);
+  return out;
+}
+
+}  // namespace match::service

@@ -1,0 +1,71 @@
+#pragma once
+
+// Uniform solver interface of the mapping service: every mapping
+// heuristic in the library (MaTCH, FastMap-GA, restarted hill climbing,
+// the list heuristics) is adapted behind one
+// `solve(instance, options, should_stop)` entry point, so the service
+// dispatches on `SolverKind` without knowing any solver's API.
+//
+// Adapter contract (matches the deadline contract in deadline.hpp):
+//  * deterministic: equal (instance, options) → byte-identical mapping;
+//  * the returned mapping is always complete and valid, even when
+//    `should_stop` fires before the first iteration;
+//  * `should_stop` is polled at iteration granularity — cancellation
+//    latency is one iteration, not one full run.
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "service/deadline.hpp"
+#include "service/request.hpp"
+#include "sim/mapping.hpp"
+#include "workload/instance.hpp"
+
+namespace match::service {
+
+/// What one solver run produced.
+struct SolveOutcome {
+  sim::Mapping mapping;
+  double cost = 0.0;
+  std::size_t iterations = 0;
+  /// True when the run ended because `should_stop` fired.
+  bool stopped_early = false;
+};
+
+/// Abstract solver adapted into the service.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Solves the instance under the given options.  `should_stop` may be
+  /// empty (no deadline, no cancellation).
+  virtual SolveOutcome solve(const workload::Instance& instance,
+                             const SolveOptions& options,
+                             const StopFn& should_stop) const = 0;
+};
+
+/// SolverKind → Solver dispatch table.  The default constructor registers
+/// every built-in adapter; callers may override or extend.
+class SolverRegistry {
+ public:
+  /// Builds the registry with all built-in solvers registered.
+  SolverRegistry();
+
+  /// Registers (or replaces) the solver for `kind`.
+  void register_solver(SolverKind kind, std::unique_ptr<Solver> solver);
+
+  /// Throws `std::out_of_range` when no solver is registered for `kind`.
+  const Solver& get(SolverKind kind) const;
+
+  bool contains(SolverKind kind) const;
+
+  std::vector<SolverKind> kinds() const;
+
+ private:
+  std::map<SolverKind, std::unique_ptr<Solver>> solvers_;
+};
+
+}  // namespace match::service

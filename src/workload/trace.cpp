@@ -155,4 +155,21 @@ ReplayResult replay_trace(const graph::Tig& tig,
   return out;
 }
 
+void ArrivalParams::validate() const {
+  if (rate <= 0.0) throw std::invalid_argument("ArrivalParams: rate");
+}
+
+std::vector<double> make_poisson_arrivals(const ArrivalParams& params,
+                                          rng::Rng& rng) {
+  params.validate();
+  std::vector<double> arrivals;
+  arrivals.reserve(params.count);
+  double t = 0.0;
+  for (std::size_t i = 0; i < params.count; ++i) {
+    t += rng.exponential(params.rate);
+    arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
 }  // namespace match::workload

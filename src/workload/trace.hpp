@@ -83,4 +83,21 @@ ReplayResult replay_trace(const graph::Tig& tig,
                           const std::vector<TraceEvent>& events,
                           ReplayPolicy policy, rng::Rng& rng);
 
+/// Parameters of a synthetic open-loop arrival process (the request
+/// stream a mapping service faces: requests arrive on their own clock,
+/// independent of how fast the service answers them).
+struct ArrivalParams {
+  std::size_t count = 500;
+  /// Mean arrival rate in requests per second (Poisson process:
+  /// exponential inter-arrival times with this rate).
+  double rate = 500.0;
+
+  void validate() const;
+};
+
+/// Generates `params.count` non-decreasing arrival times (seconds from
+/// trace start) of a Poisson process with rate `params.rate`.
+std::vector<double> make_poisson_arrivals(const ArrivalParams& params,
+                                          rng::Rng& rng);
+
 }  // namespace match::workload

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <vector>
 
@@ -91,6 +92,65 @@ TEST(CeDriver, HistoryTracksBestSoFar) {
   for (std::size_t i = 1; i < r.history.size(); ++i) {
     EXPECT_LE(r.history[i].best_so_far, r.history[i - 1].best_so_far);
   }
+}
+
+/// Every sample costs the same, so the old elite rule `costs[i] <= gamma`
+/// would admit the entire batch; update() records what it actually gets.
+class ConstantCostProblem {
+ public:
+  using Sample = int;
+
+  Sample draw(rng::Rng& rng) const { return static_cast<int>(rng.below(4)); }
+  double cost(const Sample&) const { return 1.0; }
+
+  void update(const std::vector<const Sample*>& elites, double /*zeta*/) {
+    elite_sizes.push_back(elites.size());
+  }
+
+  bool degenerate(double) const { return false; }
+
+  std::vector<std::size_t> elite_sizes;
+};
+
+TEST(CeDriver, EliteSetCappedAtRhoQuantileUnderTies) {
+  // Regression: with all 50 costs tied, the elite set must still be the
+  // rho-quantile's floor(0.1 * 50) = 5 samples, not the whole batch.
+  ConstantCostProblem problem;
+  CeDriverParams params;
+  params.sample_size = 50;
+  params.rho = 0.1;
+  params.max_iterations = 20;
+  rng::Rng rng(9);
+  const auto r = run_ce(problem, params, rng);
+  ASSERT_FALSE(problem.elite_sizes.empty());
+  for (std::size_t size : problem.elite_sizes) EXPECT_EQ(size, 5u);
+  // gamma never improves, so the stall window ends the run early.
+  EXPECT_LE(r.iterations, params.gamma_stall_window + 1);
+}
+
+TEST(CeDriver, CancelledBeforeFirstIterationStillReturnsASample) {
+  BitIntegerProblem problem;
+  CeDriverParams params;
+  rng::Rng rng(10);
+  const auto r = run_ce(problem, params, rng, [] { return true; });
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.iterations, 0u);
+  ASSERT_EQ(r.best.size(), 4u);  // valid sample, not a default-constructed one
+  EXPECT_TRUE(std::isfinite(r.best_cost));
+}
+
+TEST(CeDriver, CancelledMidRunKeepsBestSoFar) {
+  BitIntegerProblem problem;
+  CeDriverParams params;
+  params.sample_size = 64;
+  std::size_t polls = 0;
+  rng::Rng rng(11);
+  const auto r =
+      run_ce(problem, params, rng, [&polls] { return ++polls > 3; });
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.iterations, 3u);
+  EXPECT_EQ(r.history.size(), 3u);
+  EXPECT_TRUE(std::isfinite(r.best_cost));
 }
 
 TEST(MaxCut, RejectsTinyGraph) {

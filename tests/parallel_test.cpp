@@ -56,6 +56,24 @@ TEST(ThreadPool, GlobalPoolIsASingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
 }
 
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&counter] { ++counter; });
+  pool.shutdown();
+  // Shutdown drains pending work before joining, so nothing is lost...
+  EXPECT_EQ(counter.load(), 20);
+  // ...and any later submit would otherwise be silently dropped.
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();  // must not hang or double-join
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
 TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
   constexpr std::size_t kN = 10000;
   std::vector<std::atomic<int>> hits(kN);

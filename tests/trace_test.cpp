@@ -162,5 +162,32 @@ TEST(Replay, RecoveryRestoresBaselineCosts) {
   EXPECT_GE(r.et_timeline[0], r.et_timeline[1] - 1e-9);
 }
 
+TEST(PoissonArrivals, SortedSizedAndSeedDeterministic) {
+  ArrivalParams params;
+  params.count = 64;
+  params.rate = 100.0;
+  rng::Rng r1(5), r2(5);
+  const auto a = make_poisson_arrivals(params, r1);
+  const auto b = make_poisson_arrivals(params, r2);
+  ASSERT_EQ(a.size(), 64u);
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.front(), 0.0);
+  EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+}
+
+TEST(PoissonArrivals, RateValidationAndMeanSpacing) {
+  ArrivalParams params;
+  params.rate = 0.0;
+  rng::Rng rng(6);
+  EXPECT_THROW(make_poisson_arrivals(params, rng), std::invalid_argument);
+
+  params.rate = 1000.0;
+  params.count = 4000;
+  const auto arrivals = make_poisson_arrivals(params, rng);
+  // Mean inter-arrival 1/rate; the sum of n exponentials concentrates
+  // tightly around n/rate.
+  EXPECT_NEAR(arrivals.back(), 4.0, 0.5);
+}
+
 }  // namespace
 }  // namespace match::workload
