@@ -42,7 +42,7 @@ Outcome run_config(const Config& config,
     for (std::size_t run = 0; run < runs; ++run) {
       match::core::MatchOptimizer opt(eval, config.params);
       match::rng::Rng rng(7000 + run);
-      const auto r = opt.run(rng);
+      const auto r = opt.run(match::SolverContext(rng));
       out.mean_et += r.best_cost;
       out.mean_iters += static_cast<double>(r.iterations);
       out.mean_seconds += r.elapsed_seconds;

@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
   // --- Part 3: optimized mapping still wins on the coupled simulator. ---
   match::core::MatchOptimizer matcher(eval);
   match::rng::Rng match_rng(2);
-  const auto optimized = matcher.run(match_rng);
+  const auto optimized = matcher.run(match::SolverContext(match_rng));
   match::sim::DesParams coupled;
   coupled.comm_model = match::sim::DesParams::CommModel::kCoupled;
   const double opt_sim =

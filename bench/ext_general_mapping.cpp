@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
     gp.sample_size = 2 * nt * resources;
     match::core::GeneralMatchOptimizer ce(eval, gp);
     match::rng::Rng r1(7);
-    const auto ce_result = ce.run(r1);
+    const auto ce_result = ce.run(match::SolverContext(r1));
 
     match::rng::Rng r2(7);
     const auto cluster_result =

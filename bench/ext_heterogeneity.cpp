@@ -64,11 +64,11 @@ int main(int argc, char** argv) {
       tail += max_w / (sum_w / static_cast<double>(n));
 
       match::rng::Rng r1(400 + run);
-      et_match += match::core::MatchOptimizer(eval).run(r1).best_cost;
+      et_match += match::core::MatchOptimizer(eval).run(match::SolverContext(r1)).best_cost;
 
       match::baselines::GaParams gp;  // paper default 500x1000
       match::rng::Rng r2(400 + run);
-      et_ga += match::baselines::GaOptimizer(eval, gp).run(r2).best_cost;
+      et_ga += match::baselines::GaOptimizer(eval, gp).run(match::SolverContext(r2)).best_cost;
     }
     const double k = static_cast<double>(runs);
     et_match /= k;

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     for (std::size_t run = 0; run < runs; ++run) {
       match::core::MatchOptimizer opt(eval);
       match::rng::Rng rng(100 + run);
-      const auto r = opt.run(rng);
+      const auto r = opt.run(match::SolverContext(rng));
       et += r.best_cost;
       mt += r.elapsed_seconds;
       iters += static_cast<double>(r.iterations);
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
     for (std::size_t run = 0; run < runs; ++run) {
       match::core::IslandMatchOptimizer opt(eval, ip);
       match::rng::Rng rng(100 + run);
-      const auto r = opt.run(rng);
+      const auto r = opt.run(match::SolverContext(rng));
       et += r.best_cost;
       mt += r.elapsed_seconds;
       epochs += static_cast<double>(r.epochs);

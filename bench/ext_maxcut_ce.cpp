@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
         match::core::CeDriverParams params;
         params.sample_size = 400;
         match::rng::Rng rng(100 + 17 * t + restart);
-        const auto r = match::core::run_ce(problem, params, rng);
+        const auto r = match::core::run_ce(problem, params, match::SolverContext(rng));
         ce_cut = std::max(ce_cut, -r.best_cost);
       }
       const bool found = std::abs(ce_cut - optimum) < 1e-9;
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
       params.sample_size = quick ? 200 : 500;
       params.max_iterations = quick ? 60 : 200;
       match::rng::Rng rng(7);
-      const auto r = match::core::run_ce(problem, params, rng);
+      const auto r = match::core::run_ce(problem, params, match::SolverContext(rng));
       const double ce_cut = -r.best_cost;
       const std::size_t ce_budget = r.iterations * params.sample_size;
 

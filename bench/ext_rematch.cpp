@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     double it_cold = 0.0, it_warm = 0.0;
     for (std::size_t run = 0; run < runs; ++run) {
       match::rng::Rng r0(50 + run);
-      const auto initial = match::core::MatchOptimizer(eval).run(r0);
+      const auto initial = match::core::MatchOptimizer(eval).run(match::SolverContext(r0));
 
       // Degrade the resource that carries the critical load.
       const auto victim = eval.evaluate(initial.best_mapping).busiest;
@@ -66,14 +66,14 @@ int main(int argc, char** argv) {
       et_keep += new_eval.makespan(initial.best_mapping);
 
       match::rng::Rng r1(90 + run);
-      const auto cold = match::core::MatchOptimizer(new_eval).run(r1);
+      const auto cold = match::core::MatchOptimizer(new_eval).run(match::SolverContext(r1));
       et_cold += cold.best_cost;
       it_cold += static_cast<double>(cold.iterations);
 
       match::rng::Rng r2(90 + run);
       match::core::RematchParams rp;
       const auto warm =
-          match::core::rematch(new_eval, initial.best_mapping, rp, r2);
+          match::core::rematch(new_eval, initial.best_mapping, rp, match::SolverContext(r2));
       et_warm += warm.best_cost;
       it_warm += static_cast<double>(warm.iterations);
     }

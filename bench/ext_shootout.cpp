@@ -69,18 +69,18 @@ int main(int argc, char** argv) {
 
       {
         match::rng::Rng r(run + 1);
-        const auto res = match::core::MatchOptimizer(eval).run(r);
+        const auto res = match::core::MatchOptimizer(eval).run(match::SolverContext(r));
         record(names[0], res.best_cost, res.elapsed_seconds);
       }
       {
         match::rng::Rng r(run + 1);
-        const auto res = match::core::IslandMatchOptimizer(eval).run(r);
+        const auto res = match::core::IslandMatchOptimizer(eval).run(match::SolverContext(r));
         record(names[1], res.best_cost, res.elapsed_seconds);
       }
       {
         match::baselines::GaParams gp;  // paper default
         match::rng::Rng r(run + 1);
-        const auto res = match::baselines::GaOptimizer(eval, gp).run(r);
+        const auto res = match::baselines::GaOptimizer(eval, gp).run(match::SolverContext(r));
         record(names[2], res.best_cost, res.elapsed_seconds);
       }
       {
@@ -106,19 +106,19 @@ int main(int argc, char** argv) {
       }
       {
         match::rng::Rng r(run + 1);
-        const auto res = match::baselines::hill_climb(eval, 30000, r);
+        const auto res = match::baselines::hill_climb(eval, 30000, match::SolverContext(r));
         record(names[8], res.best_cost, res.elapsed_seconds);
       }
       {
         match::rng::Rng r(run + 1);
         match::baselines::SaParams sp;
         sp.steps = 30000;
-        const auto res = match::baselines::simulated_annealing(eval, sp, r);
+        const auto res = match::baselines::simulated_annealing(eval, sp, match::SolverContext(r));
         record(names[9], res.best_cost, res.elapsed_seconds);
       }
       {
         match::rng::Rng r(run + 1);
-        const auto res = match::baselines::random_search(eval, 10000, r);
+        const auto res = match::baselines::random_search(eval, 10000, match::SolverContext(r));
         record(names[10], res.best_cost, res.elapsed_seconds);
       }
       std::fprintf(stderr, "  n=%zu run=%zu done\n", n, run);

@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
         params.rho = 0.05;
         match::rng::Rng rng(10 * t + restart);
         best = std::min(best,
-                        match::core::run_ce(fresh, params, rng).best_cost);
+                        match::core::run_ce(fresh, params, match::SolverContext(rng)).best_cost);
       }
       const bool found = std::abs(best - optimum) < 1e-9;
       all_exact &= found;
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       params.sample_size = quick ? 300 : 800;
       params.zeta = 0.7;
       match::rng::Rng rng(5);
-      const auto ce = match::core::run_ce(tsp, params, rng);
+      const auto ce = match::core::run_ce(tsp, params, match::SolverContext(rng));
       const double ce_cost = ce.best_cost;
       const double ce_2opt = tsp.cost(tsp.two_opt(ce.best));
 

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   });
 
   match::rng::Rng rng(seed);
-  const auto result = matcher.run(rng);
+  const auto result = matcher.run(match::SolverContext(rng));
   snapshots.emplace(result.iterations - 1, result.final_matrix);
 
   std::cout << "== Figure 3: evolution of the stochastic matrix (n = " << n

@@ -125,13 +125,13 @@ std::vector<SweepRow> run_sweep(const SweepProtocol& protocol) {
 
         core::MatchOptimizer matcher(eval, protocol.match_params);
         rng::Rng match_rng(run_seed);
-        const core::MatchResult mr = matcher.run(match_rng);
+        const core::MatchResult mr = matcher.run(match::SolverContext(match_rng));
         row.et_match += mr.best_cost;
         row.mt_match += mr.elapsed_seconds;
 
         baselines::GaOptimizer ga(eval, protocol.ga);
         rng::Rng ga_rng(run_seed);
-        const baselines::GaResult gr = ga.run(ga_rng);
+        const baselines::GaResult gr = ga.run(match::SolverContext(ga_rng));
         row.et_ga += gr.best_cost;
         row.mt_ga += gr.elapsed_seconds;
 

@@ -50,15 +50,15 @@ AnalysisOutcome run_analysis(std::size_t n, std::size_t runs,
   for (std::size_t run = 0; run < runs; ++run) {
     match::rng::Rng r1(run * 3 + 1);
     match::core::MatchOptimizer matcher(eval);
-    groups[0].push_back(matcher.run(r1).best_cost);
+    groups[0].push_back(matcher.run(match::SolverContext(r1)).best_cost);
 
     match::rng::Rng r2(run * 3 + 2);
     groups[1].push_back(
-        match::baselines::GaOptimizer(eval, ga_weak).run(r2).best_cost);
+        match::baselines::GaOptimizer(eval, ga_weak).run(match::SolverContext(r2)).best_cost);
 
     match::rng::Rng r3(run * 3 + 3);
     groups[2].push_back(
-        match::baselines::GaOptimizer(eval, ga_strong).run(r3).best_cost);
+        match::baselines::GaOptimizer(eval, ga_strong).run(match::SolverContext(r3)).best_cost);
     std::fprintf(stderr,
                  "  [n=%zu] run %zu/%zu: MaTCH=%.0f GA-100/10000=%.0f "
                  "GA-1000/1000=%.0f\n",

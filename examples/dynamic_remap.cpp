@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   auto eval = std::make_unique<match::sim::CostEvaluator>(instance.tig,
                                                           platform);
   match::rng::Rng opt_rng(seed);
-  auto current = match::core::MatchOptimizer(*eval).run(opt_rng).best_mapping;
+  auto current = match::core::MatchOptimizer(*eval).run(match::SolverContext(opt_rng)).best_mapping;
 
   std::cout << "dynamic re-mapping on a degrading " << n
             << "-resource grid (" << events << " slowdown events)\n\n";
@@ -53,10 +53,10 @@ int main(int argc, char** argv) {
 
     match::rng::Rng warm_rng(seed + event);
     match::core::RematchParams rp;
-    const auto warm = match::core::rematch(*eval, current, rp, warm_rng);
+    const auto warm = match::core::rematch(*eval, current, rp, match::SolverContext(warm_rng));
 
     match::rng::Rng cold_rng(seed + event);
-    const auto cold = match::core::MatchOptimizer(*eval).run(cold_rng);
+    const auto cold = match::core::MatchOptimizer(*eval).run(match::SolverContext(cold_rng));
 
     table.add_row({std::to_string(event), "r" + std::to_string(victim),
                    match::io::Table::num(stale),

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
 
     match::core::MatchOptimizer matcher(eval);
     match::rng::Rng run_rng(seed);
-    const auto result = matcher.run(run_rng);
+    const auto result = matcher.run(match::SolverContext(run_rng));
 
     double route_sum = 0.0;
     for (match::graph::NodeId a = 0; a < n; ++a) {

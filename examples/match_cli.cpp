@@ -116,7 +116,7 @@ int cmd_run(const ArgMap& args) {
   double cost = 0.0, seconds = 0.0;
   if (heuristic == "match") {
     match::core::MatchOptimizer opt(eval);
-    const auto r = opt.run(rng);
+    const auto r = opt.run(match::SolverContext(rng));
     mapping = r.best_mapping;
     cost = r.best_cost;
     seconds = r.elapsed_seconds;
@@ -124,7 +124,7 @@ int cmd_run(const ArgMap& args) {
               << match::core::to_string(r.stop_reason) << "\n";
   } else if (heuristic == "ga") {
     match::baselines::GaOptimizer opt(eval);
-    const auto r = opt.run(rng);
+    const auto r = opt.run(match::SolverContext(rng));
     mapping = r.best_mapping;
     cost = r.best_cost;
     seconds = r.elapsed_seconds;
@@ -134,24 +134,24 @@ int cmd_run(const ArgMap& args) {
     cost = r.best_cost;
     seconds = r.elapsed_seconds;
   } else if (heuristic == "hc") {
-    const auto r = match::baselines::hill_climb(eval, 100000, rng);
+    const auto r = match::baselines::hill_climb(eval, 100000, match::SolverContext(rng));
     mapping = r.best_mapping;
     cost = r.best_cost;
     seconds = r.elapsed_seconds;
   } else if (heuristic == "sa") {
     const auto r =
-        match::baselines::simulated_annealing(eval, {}, rng);
+        match::baselines::simulated_annealing(eval, {}, match::SolverContext(rng));
     mapping = r.best_mapping;
     cost = r.best_cost;
     seconds = r.elapsed_seconds;
   } else if (heuristic == "random") {
-    const auto r = match::baselines::random_search(eval, 100000, rng);
+    const auto r = match::baselines::random_search(eval, 100000, match::SolverContext(rng));
     mapping = r.best_mapping;
     cost = r.best_cost;
     seconds = r.elapsed_seconds;
   } else if (heuristic == "island") {
     match::core::IslandMatchOptimizer opt(eval);
-    const auto r = opt.run(rng);
+    const auto r = opt.run(match::SolverContext(rng));
     mapping = r.best_mapping;
     cost = r.best_cost;
     seconds = r.elapsed_seconds;

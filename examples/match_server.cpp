@@ -10,18 +10,29 @@
 //    `deadline_missed` and counted in ServiceStats (no violation is
 //    unaccounted);
 //  * the warm-cache rerun's hit rate exceeds 50% and every cache-served
-//    response is byte-identical to the first run's mapping.
+//    response is byte-identical to the first run's mapping;
+//  * the traced γ sequence of one audited solver run reconstructs the
+//    optimizer's `history` exactly (events are a faithful transcript).
+//
+// `--trace out.jsonl` additionally streams every service/solver event
+// to the given file as JSON lines (obs::JsonlSink).
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "core/matchalgo.hpp"
+#include "core/solver_context.hpp"
 #include "io/table.hpp"
+#include "obs/events.hpp"
 #include "service/service.hpp"
+#include "sim/evaluator.hpp"
+#include "sim/platform.hpp"
 #include "workload/paper_suite.hpp"
 #include "workload/trace.hpp"
 
@@ -150,8 +161,66 @@ void print_stats(const char* label, const ServiceStats& s) {
                  match::io::Table::num(1e3 * s.p50_latency_seconds, 4)});
   table.add_row({"p99 latency (ms)",
                  match::io::Table::num(1e3 * s.p99_latency_seconds, 4)});
+  table.add_row({"fallback draws", std::to_string(s.fallback_draws)});
   std::cout << "\n-- " << label << " --\n";
   table.print(std::cout);
+}
+
+/// Submits one uncached kMatch request, then replays the identical solve
+/// (same adapter parameters, same seed) directly through MatchOptimizer
+/// and checks that the `iteration` events recorded under the response's
+/// run id carry exactly the optimizer's per-iteration γ trajectory.
+bool audit_gamma_trajectory(MappingService& service,
+                            const match::obs::RingBufferSink& ring,
+                            std::shared_ptr<const match::workload::Instance>
+                                instance) {
+  MapRequest request;
+  request.id = 999999;
+  request.instance = instance;
+  request.solver = SolverKind::kMatch;
+  request.options.seed = 4242;
+  request.options.max_iterations = 40;
+  request.options.use_cache = false;  // force a fresh solver run
+  const MapResponse resp = service.submit(std::move(request)).get();
+  if (resp.served_by != ServedBy::kSolver || resp.run_id == 0) {
+    std::cerr << "FAIL: audit request was not served by a fresh run\n";
+    return false;
+  }
+
+  // Replay the exact solve the adapter performed (solver_registry.cpp):
+  // library-default MatchParams with the request's iteration budget, RNG
+  // seeded from options.seed.
+  const match::sim::Platform platform = instance->make_platform();
+  const match::sim::CostEvaluator eval(instance->tig, platform);
+  match::core::MatchParams params;
+  params.max_iterations = 40;
+  match::core::MatchOptimizer optimizer(eval, params);
+  match::rng::Rng rng(4242);
+  const match::core::MatchResult direct =
+      optimizer.run(match::SolverContext(rng));
+
+  std::vector<double> traced;
+  for (const match::obs::Event& e : ring.snapshot()) {
+    if (e.kind == match::obs::EventKind::kIteration &&
+        e.run_id == resp.run_id) {
+      traced.push_back(e.gamma);
+    }
+  }
+
+  bool ok = traced.size() == direct.history.size();
+  for (std::size_t i = 0; ok && i < traced.size(); ++i) {
+    ok = traced[i] == direct.history[i].gamma;  // exact, not approximate
+  }
+  std::cout << "\ntrace audit: " << traced.size()
+            << " iteration events under run id " << resp.run_id
+            << "; γ trajectory matches MatchOptimizer history exactly: "
+            << (ok ? "yes" : "NO") << "\n";
+  if (!ok) {
+    std::cerr << "FAIL: traced gamma trajectory (" << traced.size()
+              << " events) != optimizer history (" << direct.history.size()
+              << " iterations)\n";
+  }
+  return ok;
 }
 
 }  // namespace
@@ -159,13 +228,17 @@ void print_stats(const char* label, const ServiceStats& s) {
 int main(int argc, char** argv) {
   std::size_t count = 500;
   double rate = 1000.0;
+  const char* trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       count = 120;
     } else if (std::strcmp(argv[i], "--full") == 0) {
       count = 2000;
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
     } else {
-      std::cerr << "usage: " << argv[0] << " [--quick|--full]\n";
+      std::cerr << "usage: " << argv[0]
+                << " [--quick|--full] [--trace out.jsonl]\n";
       return 2;
     }
   }
@@ -174,9 +247,29 @@ int main(int argc, char** argv) {
   std::cout << "== match_server: " << count << "-request open-loop trace over "
             << templates.size() << " request templates ==\n";
 
+  // The sink chain must outlive the service (ServiceConfig::sink is
+  // borrowed).  The ring buffer always runs — it feeds the γ-trajectory
+  // audit — and `--trace` tees a JSONL stream on top of it.
+  match::obs::RingBufferSink ring(8192);
+  std::ofstream trace_file;
+  std::unique_ptr<match::obs::JsonlSink> jsonl;
+  std::unique_ptr<match::obs::TeeSink> tee;
+  match::obs::EventSink* sink = &ring;
+  if (trace_path != nullptr) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::cerr << "cannot open trace file: " << trace_path << "\n";
+      return 2;
+    }
+    jsonl = std::make_unique<match::obs::JsonlSink>(trace_file);
+    tee = std::make_unique<match::obs::TeeSink>(jsonl.get(), &ring);
+    sink = tee.get();
+  }
+
   match::service::ServiceConfig config;
   config.workers = 4;
   config.cache_capacity = 4096;
+  config.sink = sink;
   MappingService service(config);
 
   // ---- Run 1: cold cache, open loop. -----------------------------------
@@ -255,7 +348,18 @@ int main(int argc, char** argv) {
   }
   if (!identical) ok = false;
 
+  // ---- Trace audit: events must reconstruct the solver's history. ------
+  if (!audit_gamma_trajectory(service, ring, templates[0].instance)) {
+    ok = false;
+  }
+
   service.shutdown();
+  if (trace_path != nullptr) {
+    trace_file.flush();
+    std::cout << "trace: " << jsonl->emitted() << " events written to "
+              << trace_path << " (" << ring.dropped()
+              << " dropped from the audit ring)\n";
+  }
   std::cout << "\n" << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }

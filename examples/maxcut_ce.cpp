@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   params.zeta = 0.7;
 
   match::rng::Rng rng(seed);
-  const auto result = match::core::run_ce(problem, params, rng);
+  const auto result = match::core::run_ce(problem, params, match::SolverContext(rng));
 
   std::cout << "CE converged after " << result.iterations << " iterations"
             << (result.degenerate ? " (degenerate pmf)" : "") << "\n";

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
 
   match::core::MatchOptimizer matcher(eval);
   match::rng::Rng r1(seed);
-  const auto mr = matcher.run(r1);
+  const auto mr = matcher.run(match::SolverContext(r1));
   table.add_row({"MaTCH (CE)", match::io::Table::num(mr.best_cost),
                  match::io::Table::num(mr.elapsed_seconds, 3),
                  std::to_string(mr.iterations * matcher.effective_sample_size())});
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
   gp.population = 200;
   gp.generations = 300;
   match::rng::Rng r2(seed);
-  const auto gr = match::baselines::GaOptimizer(eval, gp).run(r2);
+  const auto gr = match::baselines::GaOptimizer(eval, gp).run(match::SolverContext(r2));
   table.add_row({"FastMap-GA", match::io::Table::num(gr.best_cost),
                  match::io::Table::num(gr.elapsed_seconds, 3),
                  std::to_string(gp.population * gp.generations)});
@@ -75,7 +75,7 @@ int main(int argc, char** argv) {
                  std::to_string(gc.evaluations)});
 
   match::rng::Rng r3(seed);
-  const auto hc = match::baselines::hill_climb(eval, 30000, r3);
+  const auto hc = match::baselines::hill_climb(eval, 30000, match::SolverContext(r3));
   table.add_row({"hill climbing", match::io::Table::num(hc.best_cost),
                  match::io::Table::num(hc.elapsed_seconds, 3),
                  std::to_string(hc.evaluations)});
@@ -83,13 +83,13 @@ int main(int argc, char** argv) {
   match::rng::Rng r4(seed);
   match::baselines::SaParams sp;
   sp.steps = 30000;
-  const auto sa = match::baselines::simulated_annealing(eval, sp, r4);
+  const auto sa = match::baselines::simulated_annealing(eval, sp, match::SolverContext(r4));
   table.add_row({"simulated annealing", match::io::Table::num(sa.best_cost),
                  match::io::Table::num(sa.elapsed_seconds, 3),
                  std::to_string(sa.evaluations)});
 
   match::rng::Rng r5(seed);
-  const auto rs = match::baselines::random_search(eval, 30000, r5);
+  const auto rs = match::baselines::random_search(eval, 30000, match::SolverContext(r5));
   table.add_row({"random search", match::io::Table::num(rs.best_cost),
                  match::io::Table::num(rs.elapsed_seconds, 3),
                  std::to_string(rs.evaluations)});

@@ -31,12 +31,12 @@ int main(int argc, char** argv) {
   // 3. Run MaTCH with the paper's defaults (rho=0.05, zeta=0.3, N=2n^2).
   match::core::MatchOptimizer matcher(eval);
   match::rng::Rng match_rng(seed);
-  const auto match_result = matcher.run(match_rng);
+  const auto match_result = matcher.run(match::SolverContext(match_rng));
 
   // 4. Run the FastMap-GA baseline (population 500, 1000 generations).
   match::baselines::GaOptimizer ga(eval);
   match::rng::Rng ga_rng(seed);
-  const auto ga_result = ga.run(ga_rng);
+  const auto ga_result = ga.run(match::SolverContext(ga_rng));
 
   // 5. Report.
   std::cout << "instance: " << instance.name << " (n = " << n << ")\n\n";

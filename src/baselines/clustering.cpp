@@ -162,7 +162,7 @@ SearchResult cluster_map_refine(const sim::CostEvaluator& eval,
   //    swap hill-climb.
   const sim::CostEvaluator coarse_eval(clustering.coarse, eval.platform());
   const SearchResult coarse =
-      hill_climb(coarse_eval, params.coarse_budget, rng);
+      hill_climb(coarse_eval, params.coarse_budget, match::SolverContext(rng));
   out.evaluations += coarse.evaluations;
 
   // 3. Project: every task inherits its cluster's resource.
@@ -209,6 +209,7 @@ SearchResult cluster_map_refine(const sim::CostEvaluator& eval,
 
   out.best_mapping = std::move(mapping);
   out.best_cost = eval.makespan(out.best_mapping);
+  out.iterations = out.evaluations;
   out.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();

@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace match::baselines {
@@ -65,10 +66,20 @@ std::vector<graph::NodeId> GaOptimizer::crossover(
   return child;
 }
 
-GaResult GaOptimizer::run(rng::Rng& rng) {
+GaResult GaOptimizer::run(const match::SolverContext& ctx) {
   const auto t_start = std::chrono::steady_clock::now();
+  rng::Rng& rng = ctx.rng();
   const std::size_t pop_size = params_.population;
   const std::size_t n = n_;
+
+  // A context-supplied stop hook wins over the deprecated member.
+  const match::StopFn& should_stop =
+      ctx.stop_fn() ? ctx.stop_fn() : should_stop_;
+  obs::PhaseProbe probe(ctx.sink(), ctx.metrics(), "ga", ctx.run_id());
+  obs::Counter* iter_counter = ctx.metrics() != nullptr
+                                   ? &ctx.metrics()->counter("ga.iterations")
+                                   : nullptr;
+  ctx.emit(obs::Event::run_start(ctx.run_id(), "ga"));
 
   // Flat population storage: row i = chromosome i (task -> resource).
   std::vector<graph::NodeId> pop(pop_size * n);
@@ -83,6 +94,7 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
   }
 
   parallel::ForOptions for_opts;
+  for_opts.pool = ctx.pool();
   if (!params_.parallel) {
     for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
   }
@@ -94,11 +106,13 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
   std::vector<graph::NodeId> best_chrom(n);
 
   for (std::size_t gen = 0; gen < params_.generations; ++gen) {
-    if (should_stop_ && should_stop_()) {
+    if (should_stop && should_stop()) {
       result.cancelled = true;
       break;
     }
+    probe.start_iteration(gen);
     eval_->makespans_batch(pop, pop_size, costs, for_opts);
+    probe.split("cost");
 
     double gen_best = std::numeric_limits<double>::infinity();
     std::size_t gen_best_idx = 0;
@@ -121,6 +135,12 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
     result.history.push_back(
         GaGenerationStats{gen, gen_best, result.best_cost, mean});
     result.generations = gen + 1;
+    if (iter_counter != nullptr) iter_counter->add();
+    // No elite threshold / stochastic matrix here: spread reports how far
+    // the population mean sits above the generation best.
+    ctx.emit(obs::Event::iteration_event(
+        ctx.run_id(), "ga", gen, 0.0, gen_best, result.best_cost,
+        mean - gen_best, 0.0, 0.0, params_.elitism ? 1 : 0));
     if (params_.target_cost > 0.0 && result.best_cost <= params_.target_cost) {
       break;
     }
@@ -164,6 +184,7 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
         }
       }
     }
+    probe.split("breed");
     pop.swap(next);
   }
 
@@ -174,12 +195,19 @@ GaResult GaOptimizer::run(rng::Rng& rng) {
     best_chrom.assign(pop.begin(), pop.begin() + static_cast<std::ptrdiff_t>(n));
     result.best_cost = eval_->makespan(std::span<const graph::NodeId>(
         pop.data(), n));
+    ctx.emit(obs::Event::fallback_draw(ctx.run_id(), "ga"));
+    if (ctx.metrics() != nullptr) {
+      ctx.metrics()->counter("solver.fallback_draws").add();
+    }
   }
 
   result.best_mapping = sim::Mapping(std::move(best_chrom));
+  result.iterations = result.generations;
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  ctx.emit(obs::Event::run_end(ctx.run_id(), "ga", result.generations,
+                               result.best_cost, result.elapsed_seconds));
   return result;
 }
 

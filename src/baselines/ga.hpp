@@ -4,6 +4,9 @@
 #include <functional>
 #include <vector>
 
+#include "core/run_summary.hpp"
+#include "core/solver_context.hpp"
+#include "core/stop.hpp"
 #include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
@@ -51,13 +54,13 @@ struct GaGenerationStats {
   double mean_cost = 0.0;    ///< population mean makespan
 };
 
-struct GaResult {
+/// `best_cost`, `iterations`, and `cancelled` live in the `RunSummary`
+/// base; on cancellation the best mapping is still valid (best-so-far,
+/// never partial).  `generations` mirrors `iterations` under the GA's
+/// traditional name.
+struct GaResult : match::RunSummary {
   sim::Mapping best_mapping;
-  double best_cost = 0.0;
   std::size_t generations = 0;
-  /// True when the run was stopped by the `should_stop` hook; the best
-  /// mapping is still valid (best-so-far, never partial).
-  bool cancelled = false;
   std::vector<GaGenerationStats> history;
   double elapsed_seconds = 0.0;
 };
@@ -73,21 +76,30 @@ struct GaResult {
 /// act identically on either string.
 class GaOptimizer {
  public:
-  /// Cooperative-cancellation hook, polled once per generation; on true
-  /// the run stops and reports best-so-far (deadline support, mirrors
-  /// core::MatchOptimizer::StopFn).
-  using StopFn = std::function<bool()>;
+  /// Deprecated alias; use `match::StopFn` (core/stop.hpp).  Polled once
+  /// per generation; on true the run stops and reports best-so-far.
+  using StopFn = match::StopFn;
 
   explicit GaOptimizer(const sim::CostEvaluator& eval, GaParams params = {});
 
   const GaParams& params() const noexcept { return params_; }
 
   /// Installs the cancellation hook (empty = never stop early).
-  void set_should_stop(StopFn should_stop) {
+  /// Deprecated: attach the hook to the SolverContext instead; a
+  /// context-supplied hook wins over this one.
+  [[deprecated("pass the stop hook via SolverContext")]]
+  void set_should_stop(match::StopFn should_stop) {
     should_stop_ = std::move(should_stop);
   }
 
-  GaResult run(rng::Rng& rng);
+  /// Runs the GA.  The context supplies the RNG stream (required), stop
+  /// hook, thread pool, and optional telemetry (per-generation iteration
+  /// events plus cost/breed phase timings).
+  GaResult run(const match::SolverContext& ctx);
+
+  /// Deprecated forwarder for the pre-SolverContext signature.
+  [[deprecated("use run(SolverContext)")]]
+  GaResult run(rng::Rng& rng) { return run(match::SolverContext(rng)); }
 
   /// The paper's crossover, exposed for unit testing: copies the first
   /// half of `parent1`, then fills the second half from `parent2` (second
@@ -100,7 +112,7 @@ class GaOptimizer {
   const sim::CostEvaluator* eval_;
   GaParams params_;
   std::size_t n_;
-  StopFn should_stop_;
+  match::StopFn should_stop_;
 };
 
 }  // namespace match::baselines

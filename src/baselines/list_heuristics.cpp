@@ -190,6 +190,7 @@ SearchResult list_schedule(const sim::CostEvaluator& eval, ListRule rule,
 
   out.best_mapping = sim::Mapping(state.take_assignment());
   out.best_cost = eval.makespan(out.best_mapping);
+  out.iterations = out.evaluations;
   out.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

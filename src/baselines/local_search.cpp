@@ -17,19 +17,32 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+void note_fallback(const match::SolverContext& ctx, const char* solver) {
+  ctx.emit(obs::Event::fallback_draw(ctx.run_id(), solver));
+  if (ctx.metrics() != nullptr) {
+    ctx.metrics()->counter("solver.fallback_draws").add();
+  }
+}
+
 }  // namespace
 
 SearchResult random_search(const sim::CostEvaluator& eval,
-                           std::size_t num_samples, rng::Rng& rng) {
+                           std::size_t num_samples,
+                           const match::SolverContext& ctx) {
   if (num_samples == 0) {
     throw std::invalid_argument("random_search: num_samples == 0");
   }
   const auto start = Clock::now();
+  rng::Rng& rng = ctx.rng();
   const std::size_t n = eval.num_tasks();
 
   SearchResult out;
   out.best_cost = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < num_samples; ++i) {
+    if (ctx.stop_requested()) {
+      out.cancelled = true;
+      break;
+    }
     sim::Mapping m = sim::Mapping::random_permutation(n, rng);
     const double c = eval.makespan(m);
     ++out.evaluations;
@@ -38,6 +51,16 @@ SearchResult random_search(const sim::CostEvaluator& eval,
       out.best_mapping = std::move(m);
     }
   }
+  if (out.evaluations == 0) {
+    // Cancelled before the first sample: evaluate one draw so the result
+    // is a valid permutation (best-so-far contract).
+    sim::Mapping m = sim::Mapping::random_permutation(n, rng);
+    out.best_cost = eval.makespan(m);
+    out.best_mapping = std::move(m);
+    out.evaluations = 1;
+    note_fallback(ctx, "random");
+  }
+  out.iterations = out.evaluations;
   out.elapsed_seconds = seconds_since(start);
   return out;
 }
@@ -118,28 +141,39 @@ SearchResult greedy_constructive(const sim::CostEvaluator& eval) {
 
   out.best_mapping = sim::Mapping(std::move(assign));
   out.best_cost = eval.makespan(out.best_mapping);
+  out.iterations = out.evaluations;
   out.elapsed_seconds = seconds_since(start);
   return out;
 }
 
 SearchResult hill_climb(const sim::CostEvaluator& eval,
-                        std::size_t max_evaluations, rng::Rng& rng) {
+                        std::size_t max_evaluations,
+                        const match::SolverContext& ctx) {
   if (max_evaluations == 0) {
     throw std::invalid_argument("hill_climb: zero budget");
   }
   const auto start = Clock::now();
+  rng::Rng& rng = ctx.rng();
   const std::size_t n = eval.num_tasks();
 
   SearchResult out;
   out.best_cost = std::numeric_limits<double>::infinity();
 
   while (out.evaluations < max_evaluations) {
+    if (ctx.stop_requested()) {
+      out.cancelled = true;
+      break;
+    }
     sim::Mapping current = sim::Mapping::random_permutation(n, rng);
     double current_cost = eval.makespan(current);
     ++out.evaluations;
 
     bool improved = true;
     while (improved && out.evaluations < max_evaluations) {
+      if (ctx.stop_requested()) {
+        out.cancelled = true;
+        break;
+      }
       improved = false;
       double best_delta_cost = current_cost;
       std::size_t best_i = 0, best_j = 0;
@@ -176,17 +210,30 @@ SearchResult hill_climb(const sim::CostEvaluator& eval,
       out.best_cost = current_cost;
       out.best_mapping = current;
     }
+    if (out.cancelled) break;
   }
+  if (out.evaluations == 0) {
+    // Cancelled before the first restart was scored: evaluate one random
+    // permutation so the result is valid.
+    sim::Mapping m = sim::Mapping::random_permutation(n, rng);
+    out.best_cost = eval.makespan(m);
+    out.best_mapping = std::move(m);
+    out.evaluations = 1;
+    note_fallback(ctx, "hill_climb");
+  }
+  out.iterations = out.evaluations;
   out.elapsed_seconds = seconds_since(start);
   return out;
 }
 
 SearchResult simulated_annealing(const sim::CostEvaluator& eval,
-                                 const SaParams& params, rng::Rng& rng) {
+                                 const SaParams& params,
+                                 const match::SolverContext& ctx) {
   if (params.steps == 0 || params.cooling <= 0.0 || params.cooling >= 1.0) {
     throw std::invalid_argument("simulated_annealing: bad params");
   }
   const auto start = Clock::now();
+  rng::Rng& rng = ctx.rng();
   const std::size_t n = eval.num_tasks();
 
   SearchResult out;
@@ -217,6 +264,10 @@ SearchResult simulated_annealing(const sim::CostEvaluator& eval,
   const double t_floor = temp * params.min_temp_fraction;
 
   for (std::size_t step = 0; step < params.steps && temp > t_floor; ++step) {
+    if (ctx.stop_requested()) {
+      out.cancelled = true;
+      break;
+    }
     const auto i = static_cast<graph::NodeId>(rng.below(n));
     auto j = static_cast<graph::NodeId>(rng.below(n));
     if (i == j) j = static_cast<graph::NodeId>((j + 1) % n);
@@ -239,6 +290,7 @@ SearchResult simulated_annealing(const sim::CostEvaluator& eval,
     }
     temp *= params.cooling;
   }
+  out.iterations = out.evaluations;
   out.elapsed_seconds = seconds_since(start);
   return out;
 }

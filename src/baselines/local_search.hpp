@@ -2,24 +2,38 @@
 
 #include <cstddef>
 
+#include "core/run_summary.hpp"
+#include "core/solver_context.hpp"
 #include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
 
 namespace match::baselines {
 
-/// Common result shape for the non-GA comparators.
-struct SearchResult {
+/// Common result shape for the non-GA comparators.  `best_cost`,
+/// `iterations`, and `cancelled` live in the `RunSummary` base;
+/// `iterations` mirrors `evaluations` (these searches are budgeted in
+/// cost-function calls).
+struct SearchResult : match::RunSummary {
   sim::Mapping best_mapping;
-  double best_cost = 0.0;
   std::size_t evaluations = 0;  ///< cost-function calls spent
   double elapsed_seconds = 0.0;
 };
 
 /// Pure random search over permutations: the weakest sensible baseline
-/// and the yardstick every heuristic must clear.
+/// and the yardstick every heuristic must clear.  The context's stop
+/// hook is polled per sample; when it fires before the first sample, a
+/// single fallback draw is evaluated (`fallback_draw` event).
 SearchResult random_search(const sim::CostEvaluator& eval,
-                           std::size_t num_samples, rng::Rng& rng);
+                           std::size_t num_samples,
+                           const match::SolverContext& ctx);
+
+/// Deprecated forwarder for the pre-SolverContext signature.
+[[deprecated("use random_search(eval, num_samples, SolverContext)")]]
+inline SearchResult random_search(const sim::CostEvaluator& eval,
+                                  std::size_t num_samples, rng::Rng& rng) {
+  return random_search(eval, num_samples, match::SolverContext(rng));
+}
 
 /// Greedy constructive mapping: tasks in descending compute weight, each
 /// assigned to the free resource that minimizes the resulting makespan.
@@ -28,8 +42,17 @@ SearchResult greedy_constructive(const sim::CostEvaluator& eval);
 
 /// Steepest-descent hill climbing in the swap neighborhood, restarted
 /// from random permutations until the evaluation budget is exhausted.
+/// The context's stop hook is polled per restart and per descent sweep.
 SearchResult hill_climb(const sim::CostEvaluator& eval,
-                        std::size_t max_evaluations, rng::Rng& rng);
+                        std::size_t max_evaluations,
+                        const match::SolverContext& ctx);
+
+/// Deprecated forwarder for the pre-SolverContext signature.
+[[deprecated("use hill_climb(eval, max_evaluations, SolverContext)")]]
+inline SearchResult hill_climb(const sim::CostEvaluator& eval,
+                               std::size_t max_evaluations, rng::Rng& rng) {
+  return hill_climb(eval, max_evaluations, match::SolverContext(rng));
+}
 
 /// Simulated annealing over swap moves with geometric cooling.
 struct SaParams {
@@ -38,7 +61,18 @@ struct SaParams {
   std::size_t steps = 100000;  ///< total move proposals
   double min_temp_fraction = 1e-4;  ///< stop when T < fraction * T0
 };
+
+/// The context's stop hook is polled per step; the initial evaluation
+/// always completes, so the result is always a valid permutation.
 SearchResult simulated_annealing(const sim::CostEvaluator& eval,
-                                 const SaParams& params, rng::Rng& rng);
+                                 const SaParams& params,
+                                 const match::SolverContext& ctx);
+
+/// Deprecated forwarder for the pre-SolverContext signature.
+[[deprecated("use simulated_annealing(eval, params, SolverContext)")]]
+inline SearchResult simulated_annealing(const sim::CostEvaluator& eval,
+                                        const SaParams& params, rng::Rng& rng) {
+  return simulated_annealing(eval, params, match::SolverContext(rng));
+}
 
 }  // namespace match::baselines

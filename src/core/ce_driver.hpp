@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <functional>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
 
+#include "core/run_summary.hpp"
+#include "core/solver_context.hpp"
+#include "core/stop.hpp"
+#include "obs/scoped_timer.hpp"
 #include "rng/rng.hpp"
 
 namespace match::core {
@@ -42,22 +45,14 @@ struct CeIterationStats {
 };
 
 template <typename Sample>
-struct CeResult {
+struct CeResult : RunSummary {
+  // best_cost / iterations / cancelled / degenerate live in RunSummary.
   Sample best{};
-  double best_cost = std::numeric_limits<double>::infinity();
-  std::size_t iterations = 0;
-  bool degenerate = false;
-  /// True when the run was stopped by the caller's `should_stop` hook
-  /// (deadline expiry / external cancellation); `best` is the best sample
-  /// observed up to that point.
-  bool cancelled = false;
   std::vector<CeIterationStats> history;
 };
 
-/// Cooperative-cancellation hook: polled once per CE iteration; returning
-/// true stops the loop, which then reports best-so-far (see the service
-/// layer's deadline support, src/service/deadline.hpp).
-using CeStopFn = std::function<bool()>;
+/// Deprecated alias; use `match::StopFn` (core/stop.hpp).
+using CeStopFn = match::StopFn;
 
 /// Generic CE minimization loop over any `Problem` type providing:
 ///
@@ -74,13 +69,24 @@ using CeStopFn = std::function<bool()>;
 /// parallelism, permutation constraints); the driver exists so the CE
 /// framework of the paper's §3 is usable on other COPs — the library
 /// ships a max-cut adapter as the worked example.
+///
+/// The context supplies the RNG stream (required), an optional stop hook
+/// (polled once per iteration; best-so-far on cancel), and optional
+/// telemetry: when a sink/metrics pair is attached the loop emits one
+/// `kIteration` event per iteration plus draw/cost/sort/update phase
+/// timings.  Tracing never touches the RNG stream, so a traced run's
+/// result is identical to an untraced one.
 template <typename Problem>
 CeResult<typename Problem::Sample> run_ce(Problem& problem,
                                           const CeDriverParams& params,
-                                          rng::Rng& rng,
-                                          const CeStopFn& should_stop = {}) {
+                                          const SolverContext& ctx) {
   params.validate();
   using Sample = typename Problem::Sample;
+
+  rng::Rng& rng = ctx.rng();
+  obs::PhaseProbe probe(ctx.sink(), ctx.metrics(), "ce", ctx.run_id());
+  obs::Counter* iter_counter =
+      ctx.metrics() != nullptr ? &ctx.metrics()->counter("ce.iterations") : nullptr;
 
   CeResult<Sample> result;
   std::vector<Sample> samples(params.sample_size);
@@ -91,19 +97,25 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
   std::size_t stall = 0;
 
   for (std::size_t iter = 0; iter < params.max_iterations; ++iter) {
-    if (should_stop && should_stop()) {
+    if (ctx.stop_requested()) {
       result.cancelled = true;
       break;
     }
+    probe.start_iteration(iter);
     for (std::size_t i = 0; i < params.sample_size; ++i) {
       samples[i] = problem.draw(rng);
+    }
+    probe.split("draw");
+    for (std::size_t i = 0; i < params.sample_size; ++i) {
       costs[i] = problem.cost(samples[i]);
     }
+    probe.split("cost");
 
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return costs[a] < costs[b];
     });
+    probe.split("sort");
 
     const std::size_t rho_count = std::max<std::size_t>(
         1, static_cast<std::size_t>(
@@ -125,10 +137,17 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
       elites.push_back(&samples[order[k]]);
     }
     problem.update(elites, params.zeta);
+    probe.split("update");
 
     result.history.push_back(CeIterationStats{iter, gamma, costs[order[0]],
                                               result.best_cost});
     result.iterations = iter + 1;
+    if (iter_counter != nullptr) iter_counter->add();
+    // The generic driver has no stochastic matrix, so row_max_mean and
+    // entropy stay 0; the MaTCH-specialized loop fills them in.
+    ctx.emit(obs::Event::iteration_event(
+        ctx.run_id(), "ce", iter, gamma, costs[order[0]], result.best_cost,
+        gamma - costs[order[0]], 0.0, 0.0, rho_count));
 
     stall = (gamma < prev_gamma - 1e-12) ? 0 : stall + 1;
     prev_gamma = std::min(prev_gamma, gamma);
@@ -141,11 +160,27 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
   }
   if (result.iterations == 0 && !std::isfinite(result.best_cost)) {
     // Cancelled before the first batch completed: draw a single sample so
-    // the caller always receives a valid best-so-far solution.
+    // the caller always receives a valid best-so-far solution.  The extra
+    // `cost()` call runs after the deadline already expired — flag it so
+    // operators can see deadline budgets are too tight for even one batch.
     result.best = problem.draw(rng);
     result.best_cost = problem.cost(result.best);
+    ctx.emit(obs::Event::fallback_draw(ctx.run_id(), "ce"));
+    if (ctx.metrics() != nullptr) {
+      ctx.metrics()->counter("solver.fallback_draws").add();
+    }
   }
   return result;
+}
+
+/// Deprecated forwarder for the pre-SolverContext signature.
+template <typename Problem>
+[[deprecated("use run_ce(problem, params, SolverContext)")]]
+CeResult<typename Problem::Sample> run_ce(Problem& problem,
+                                          const CeDriverParams& params,
+                                          rng::Rng& rng,
+                                          const StopFn& should_stop = {}) {
+  return run_ce(problem, params, SolverContext(rng, should_stop));
 }
 
 }  // namespace match::core

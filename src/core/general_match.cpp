@@ -7,6 +7,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/scoped_timer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rng/splitmix64.hpp"
 
@@ -51,8 +52,14 @@ std::uint64_t sample_seed(std::uint64_t iter_seed, std::uint64_t index) {
 
 }  // namespace
 
-MatchResult GeneralMatchOptimizer::run(rng::Rng& rng) {
+MatchResult GeneralMatchOptimizer::run(const SolverContext& ctx) {
   const auto t_start = std::chrono::steady_clock::now();
+  rng::Rng& rng = ctx.rng();
+  obs::PhaseProbe probe(ctx.sink(), ctx.metrics(), "general", ctx.run_id());
+  obs::Counter* iter_counter =
+      ctx.metrics() != nullptr ? &ctx.metrics()->counter("general.iterations")
+                               : nullptr;
+  ctx.emit(obs::Event::run_start(ctx.run_id(), "general"));
   const std::size_t nt = tasks_;
   const std::size_t nr = resources_;
   const std::size_t batch = sample_size_;
@@ -73,11 +80,17 @@ MatchResult GeneralMatchOptimizer::run(rng::Rng& rng) {
   std::size_t gamma_stall = 0;
 
   parallel::ForOptions for_opts;
+  for_opts.pool = ctx.pool();
   if (!params_.parallel) {
     for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
   }
 
   for (std::size_t iter = 0; iter < params_.max_iterations; ++iter) {
+    if (ctx.stop_requested()) {
+      result.stop_reason = StopReason::kCancelled;
+      break;
+    }
+    probe.start_iteration(iter);
     const std::uint64_t iter_seed = rng.bits();
     // Naive independent-rows sampler: each task draws its resource from
     // its own row of P, no uniqueness constraint.
@@ -96,6 +109,7 @@ MatchResult GeneralMatchOptimizer::run(rng::Rng& rng) {
           }
         },
         for_opts);
+    probe.split("draw_cost");
 
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -127,6 +141,7 @@ MatchResult GeneralMatchOptimizer::run(rng::Rng& rng) {
     const StochasticMatrix q = StochasticMatrix::from_values(nt, nr, counts);
     counts.assign(nt * nr, 0.0);
     p.blend_from(q, params_.zeta);
+    probe.split("update");
 
     IterationStats stats;
     stats.iteration = iter;
@@ -136,16 +151,24 @@ MatchResult GeneralMatchOptimizer::run(rng::Rng& rng) {
     stats.mean_entropy = p.mean_entropy();
     stats.min_row_max = p.min_row_max();
     stats.elite_count = elite;
-    result.history.push_back(stats);
-    if (trace_) trace_(stats, p);
-    result.iterations = iter + 1;
 
     bool stable = true;
+    double row_max_sum = 0.0;
     for (std::size_t t = 0; t < nt; ++t) {
       const double mu = p.row_max(t);
+      row_max_sum += mu;
       if (std::abs(mu - prev_row_max[t]) > params_.stability_eps) stable = false;
       prev_row_max[t] = mu;
     }
+    stats.row_max_mean = row_max_sum / static_cast<double>(nt);
+    result.history.push_back(stats);
+    if (trace_) trace_(stats, p);
+    result.iterations = iter + 1;
+    if (iter_counter != nullptr) iter_counter->add();
+    ctx.emit(obs::Event::iteration_event(
+        ctx.run_id(), "general", iter, gamma, stats.iter_best,
+        result.best_cost, gamma - stats.iter_best, stats.row_max_mean,
+        stats.mean_entropy, elite));
     stable_iters = stable ? stable_iters + 1 : 0;
     if (stable_iters >= params_.stability_window) {
       result.stop_reason = StopReason::kRowMaxStable;
@@ -166,10 +189,31 @@ MatchResult GeneralMatchOptimizer::run(rng::Rng& rng) {
     result.stop_reason = StopReason::kMaxIterations;
   }
 
+  if (result.iterations == 0 && !std::isfinite(result.best_cost)) {
+    // Cancelled before the first batch: evaluate one naive draw so the
+    // result always carries a valid mapping.
+    std::vector<graph::NodeId> row(nt);
+    rng::Rng local(rng.bits());
+    for (std::size_t t = 0; t < nt; ++t) {
+      row[t] = static_cast<graph::NodeId>(local.weighted_pick(p.row(t), 1.0));
+    }
+    result.best_cost =
+        eval_->makespan(std::span<const graph::NodeId>(row.data(), nt));
+    result.best_mapping = sim::Mapping(std::move(row));
+    ctx.emit(obs::Event::fallback_draw(ctx.run_id(), "general"));
+    if (ctx.metrics() != nullptr) {
+      ctx.metrics()->counter("solver.fallback_draws").add();
+    }
+  }
+
+  result.cancelled = result.stop_reason == StopReason::kCancelled;
+  result.degenerate = result.stop_reason == StopReason::kDegenerate;
   result.final_matrix = p;
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  ctx.emit(obs::Event::run_end(ctx.run_id(), "general", result.iterations,
+                               result.best_cost, result.elapsed_seconds));
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/matchalgo.hpp"
+#include "core/solver_context.hpp"
 #include "core/stochastic_matrix.hpp"
 #include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
@@ -55,7 +56,14 @@ class GeneralMatchOptimizer {
 
   std::size_t effective_sample_size() const noexcept { return sample_size_; }
 
-  MatchResult run(rng::Rng& rng);
+  /// Runs the general mapper.  The stop hook is polled once per
+  /// iteration; on cancellation the best-so-far mapping is reported
+  /// (with a single naive fallback draw if no batch completed).
+  MatchResult run(const SolverContext& ctx);
+
+  /// Deprecated forwarder for the pre-SolverContext signature.
+  [[deprecated("use run(SolverContext)")]]
+  MatchResult run(rng::Rng& rng) { return run(SolverContext(rng)); }
 
  private:
   const sim::CostEvaluator* eval_;

@@ -9,6 +9,7 @@
 
 #include "core/genperm.hpp"
 #include "core/stochastic_matrix.hpp"
+#include "obs/scoped_timer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rng/splitmix64.hpp"
 
@@ -57,8 +58,14 @@ struct Island {
 
 }  // namespace
 
-IslandResult IslandMatchOptimizer::run(rng::Rng& rng) {
+IslandResult IslandMatchOptimizer::run(const SolverContext& ctx) {
   const auto t_start = std::chrono::steady_clock::now();
+  rng::Rng& rng = ctx.rng();
+  obs::PhaseProbe probe(ctx.sink(), ctx.metrics(), "island", ctx.run_id());
+  obs::Counter* iter_counter =
+      ctx.metrics() != nullptr ? &ctx.metrics()->counter("island.epochs")
+                               : nullptr;
+  ctx.emit(obs::Event::run_start(ctx.run_id(), "island"));
   const std::size_t n = n_;
   const std::size_t batch = sample_size_;
   const std::size_t k = params_.islands;
@@ -73,6 +80,7 @@ IslandResult IslandMatchOptimizer::run(rng::Rng& rng) {
   result.best_cost = std::numeric_limits<double>::infinity();
 
   parallel::ForOptions for_opts;
+  for_opts.pool = ctx.pool();
   for_opts.grain = 1;
   if (!params_.parallel) {
     for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
@@ -86,6 +94,11 @@ IslandResult IslandMatchOptimizer::run(rng::Rng& rng) {
 
   std::size_t stall = 0;
   for (std::size_t epoch = 0; epoch < params_.max_epochs; ++epoch) {
+    if (ctx.stop_requested()) {
+      result.cancelled = true;
+      break;
+    }
+    probe.start_iteration(epoch);
     // --- Each island evolves privately for one epoch (parallel). -------
     parallel::parallel_for(
         0, k,
@@ -137,6 +150,7 @@ IslandResult IslandMatchOptimizer::run(rng::Rng& rng) {
           }
         },
         for_opts);
+    probe.split("evolve");
 
     // --- Migration: everyone drifts toward the best island. -------------
     std::size_t best_island = 0;
@@ -160,14 +174,37 @@ IslandResult IslandMatchOptimizer::run(rng::Rng& rng) {
     } else {
       ++stall;
     }
+    probe.split("migrate");
     result.history.push_back(result.best_cost);
     result.epochs = epoch + 1;
+    if (iter_counter != nullptr) iter_counter->add();
+    ctx.emit(obs::Event::iteration_event(
+        ctx.run_id(), "island", epoch, 0.0, epoch_best, result.best_cost, 0.0,
+        0.0, 0.0, k));
     if (stall >= params_.stall_epochs) break;
   }
 
+  if (result.epochs == 0 && !std::isfinite(result.best_cost)) {
+    // Cancelled before the first epoch: evaluate one draw from island 0
+    // so the result always carries a valid permutation.
+    GenPermSampler sampler(n);
+    std::vector<graph::NodeId> row(n);
+    rng::Rng local(rng.bits());
+    sampler.sample(islands[0].p, local, row);
+    result.best_cost = eval_->makespan(row);
+    result.best_mapping = sim::Mapping(std::move(row));
+    ctx.emit(obs::Event::fallback_draw(ctx.run_id(), "island"));
+    if (ctx.metrics() != nullptr) {
+      ctx.metrics()->counter("solver.fallback_draws").add();
+    }
+  }
+
+  result.iterations = result.epochs;
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  ctx.emit(obs::Event::run_end(ctx.run_id(), "island", result.epochs,
+                               result.best_cost, result.elapsed_seconds));
   return result;
 }
 

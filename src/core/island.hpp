@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "core/matchalgo.hpp"
+#include "core/run_summary.hpp"
+#include "core/solver_context.hpp"
 #include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
@@ -39,9 +41,10 @@ struct IslandParams {
   void validate() const;
 };
 
-struct IslandResult {
+/// `best_cost`, `iterations`, and `cancelled` live in the `RunSummary`
+/// base; `epochs` mirrors `iterations` under the island model's name.
+struct IslandResult : RunSummary {
   sim::Mapping best_mapping;
-  double best_cost = 0.0;
   std::size_t epochs = 0;
   /// Global best after each epoch (monotone non-increasing).
   std::vector<double> history;
@@ -55,7 +58,15 @@ class IslandMatchOptimizer {
 
   std::size_t per_island_samples() const noexcept { return sample_size_; }
 
-  IslandResult run(rng::Rng& rng);
+  /// Runs the island model.  The stop hook is polled once per epoch
+  /// (between migrations); on cancellation the global best so far is
+  /// reported.  With telemetry attached, one iteration event per epoch
+  /// carries the global best.
+  IslandResult run(const SolverContext& ctx);
+
+  /// Deprecated forwarder for the pre-SolverContext signature.
+  [[deprecated("use run(SolverContext)")]]
+  IslandResult run(rng::Rng& rng) { return run(SolverContext(rng)); }
 
  private:
   const sim::CostEvaluator* eval_;

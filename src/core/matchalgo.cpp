@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "core/genperm.hpp"
+#include "obs/scoped_timer.hpp"
 #include "parallel/parallel_for.hpp"
 #include "rng/splitmix64.hpp"
 
@@ -106,10 +107,20 @@ void MatchOptimizer::set_pin(graph::NodeId task, graph::NodeId resource) {
 
 void MatchOptimizer::clear_pins() { pins_.clear(); }
 
-MatchResult MatchOptimizer::run(rng::Rng& rng) {
+MatchResult MatchOptimizer::run(const SolverContext& ctx) {
   const auto t_start = std::chrono::steady_clock::now();
+  rng::Rng& rng = ctx.rng();
   const std::size_t n = n_;
   const std::size_t batch = sample_size_;
+
+  // A context-supplied stop hook wins over the deprecated member.
+  const match::StopFn& should_stop =
+      ctx.stop_fn() ? ctx.stop_fn() : should_stop_;
+  obs::PhaseProbe probe(ctx.sink(), ctx.metrics(), "match", ctx.run_id());
+  obs::Counter* iter_counter = ctx.metrics() != nullptr
+                                   ? &ctx.metrics()->counter("match.iterations")
+                                   : nullptr;
+  ctx.emit(obs::Event::run_start(ctx.run_id(), "match"));
 
   StochasticMatrix p = initial_.rows() == n ? initial_
                                             : StochasticMatrix::uniform(n, n);
@@ -129,36 +140,69 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
   std::size_t gamma_stall = 0;
 
   parallel::ForOptions for_opts;
+  for_opts.pool = ctx.pool();
   if (!params_.parallel) {
     // Force the serial path by raising the cutoff above any batch size.
     for_opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
   }
 
   for (std::size_t iter = 0; iter < params_.max_iterations; ++iter) {
-    if (should_stop_ && should_stop_()) {
+    if (should_stop && should_stop()) {
       result.stop_reason = StopReason::kCancelled;
       break;
     }
+    probe.start_iteration(iter);
     // --- Step 3 (Fig. 5): draw N mappings via GenPerm. -------------------
     const std::uint64_t iter_seed = rng.bits();
-    parallel::parallel_for_chunked(
-        0, batch,
-        [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-          GenPermSampler sampler(n);
-          for (std::size_t i = lo; i < hi; ++i) {
-            rng::Rng local(sample_seed(iter_seed, i));
-            const std::span<graph::NodeId> row(samples.data() + i * n, n);
-            sampler.sample(p, local, row, params_.random_task_order, pins_);
-            costs[i] = eval_->makespan(row);
-          }
-        },
-        for_opts);
+    if (!probe.armed()) {
+      parallel::parallel_for_chunked(
+          0, batch,
+          [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+            GenPermSampler sampler(n);
+            for (std::size_t i = lo; i < hi; ++i) {
+              rng::Rng local(sample_seed(iter_seed, i));
+              const std::span<graph::NodeId> row(samples.data() + i * n, n);
+              sampler.sample(p, local, row, params_.random_task_order, pins_);
+              costs[i] = eval_->makespan(row);
+            }
+          },
+          for_opts);
+    } else {
+      // Instrumented path: split the fused loop so draw and cost time
+      // separately.  Each sample's RNG is seeded from (iter_seed, i)
+      // alone and cost evaluation consumes no randomness, so the split
+      // produces bit-identical samples and costs.
+      parallel::parallel_for_chunked(
+          0, batch,
+          [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+            GenPermSampler sampler(n);
+            for (std::size_t i = lo; i < hi; ++i) {
+              rng::Rng local(sample_seed(iter_seed, i));
+              const std::span<graph::NodeId> row(samples.data() + i * n, n);
+              sampler.sample(p, local, row, params_.random_task_order, pins_);
+            }
+          },
+          for_opts);
+      probe.split("draw");
+      parallel::parallel_for_chunked(
+          0, batch,
+          [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              const std::span<const graph::NodeId> row(samples.data() + i * n,
+                                                       n);
+              costs[i] = eval_->makespan(row);
+            }
+          },
+          for_opts);
+      probe.split("cost");
+    }
 
     // --- Steps 4–5: order costs, pick the elite threshold γ. -------------
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return costs[a] < costs[b];
     });
+    probe.split("sort");
 
     const std::size_t rho_count = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::floor(params_.rho *
@@ -206,6 +250,20 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
       if (zeta_k <= 0.0) zeta_k = 1e-6;  // keep the blend well-defined
     }
     p.blend_from(q, zeta_k);
+    probe.split("update");
+
+    // One pass over the updated rows serves both the eq. (12) stability
+    // check and the row-max-mean telemetry field.
+    bool stable = true;
+    double row_max_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mu = p.row_max(i);
+      row_max_sum += mu;
+      if (std::abs(mu - prev_row_max[i]) > params_.stability_eps) {
+        stable = false;
+      }
+      prev_row_max[i] = mu;
+    }
 
     IterationStats stats;
     stats.iteration = iter;
@@ -214,9 +272,14 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
     stats.best_so_far = result.best_cost;
     stats.mean_entropy = p.mean_entropy();
     stats.min_row_max = p.min_row_max();
+    stats.row_max_mean = row_max_sum / static_cast<double>(n);
     stats.elite_count = elite;
     result.history.push_back(stats);
     if (trace_) trace_(stats, p);
+    if (iter_counter != nullptr) iter_counter->add();
+    ctx.emit(obs::Event::iteration_event(
+        ctx.run_id(), "match", iter, gamma, iter_best, result.best_cost,
+        gamma - iter_best, stats.row_max_mean, stats.mean_entropy, elite));
 
     result.iterations = iter + 1;
 
@@ -226,14 +289,6 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
     }
 
     // --- Step 8: stopping criteria. ---------------------------------------
-    bool stable = true;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double mu = p.row_max(i);
-      if (std::abs(mu - prev_row_max[i]) > params_.stability_eps) {
-        stable = false;
-      }
-      prev_row_max[i] = mu;
-    }
     stable_iters = stable ? stable_iters + 1 : 0;
 
     if (stable_iters >= params_.stability_window) {
@@ -259,19 +314,27 @@ MatchResult MatchOptimizer::run(rng::Rng& rng) {
       !std::isfinite(result.best_cost)) {
     // Cancelled before the first batch: evaluate one GenPerm draw so the
     // result always carries a valid permutation (service deadline
-    // contract; see matchalgo.hpp StopFn).
+    // contract; see core/stop.hpp).
     GenPermSampler sampler(n);
     std::vector<graph::NodeId> row(n);
     rng::Rng local(rng.bits());
     sampler.sample(p, local, row, params_.random_task_order, pins_);
     result.best_cost = eval_->makespan(row);
     result.best_mapping = sim::Mapping(std::move(row));
+    ctx.emit(obs::Event::fallback_draw(ctx.run_id(), "match"));
+    if (ctx.metrics() != nullptr) {
+      ctx.metrics()->counter("solver.fallback_draws").add();
+    }
   }
 
+  result.cancelled = result.stop_reason == StopReason::kCancelled;
+  result.degenerate = result.stop_reason == StopReason::kDegenerate;
   result.final_matrix = p;
   result.elapsed_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t_start)
           .count();
+  ctx.emit(obs::Event::run_end(ctx.run_id(), "match", result.iterations,
+                               result.best_cost, result.elapsed_seconds));
   return result;
 }
 

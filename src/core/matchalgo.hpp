@@ -4,7 +4,10 @@
 #include <functional>
 #include <vector>
 
+#include "core/run_summary.hpp"
+#include "core/solver_context.hpp"
 #include "core/stochastic_matrix.hpp"
+#include "core/stop.hpp"
 #include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
@@ -94,14 +97,15 @@ struct IterationStats {
   double best_so_far = 0.0;    ///< best cost over all batches
   double mean_entropy = 0.0;   ///< mean row entropy of P (bits)
   double min_row_max = 0.0;    ///< degeneracy measure of P
+  double row_max_mean = 0.0;   ///< mean over rows of max_j p_ij
   std::size_t elite_count = 0;
 };
 
-/// Outcome of a MaTCH run.
-struct MatchResult {
+/// Outcome of a MaTCH run.  `best_cost` (the makespan Exec^χ),
+/// `iterations`, `cancelled`, and `degenerate` live in the `RunSummary`
+/// base; `cancelled`/`degenerate` mirror `stop_reason`.
+struct MatchResult : RunSummary {
   sim::Mapping best_mapping;   ///< best sample observed over the whole run
-  double best_cost = 0.0;      ///< its makespan, Exec^χ
-  std::size_t iterations = 0;
   StopReason stop_reason = StopReason::kMaxIterations;
   std::vector<IterationStats> history;
   StochasticMatrix final_matrix;
@@ -115,11 +119,11 @@ struct MatchResult {
 /// sim::CostEvaluator eval(tig, platform);
 /// core::MatchOptimizer matcher(eval);
 /// rng::Rng rng(42);
-/// core::MatchResult r = matcher.run(rng);
+/// core::MatchResult r = matcher.run(match::SolverContext(rng));
 /// ```
 ///
 /// Runs are deterministic for a fixed seed, independent of the number of
-/// worker threads.
+/// worker threads, and independent of whether telemetry is attached.
 class MatchOptimizer {
  public:
   /// Called after each iteration's matrix update with the current P;
@@ -127,13 +131,12 @@ class MatchOptimizer {
   using TraceFn =
       std::function<void(const IterationStats&, const StochasticMatrix&)>;
 
-  /// Cooperative-cancellation hook, polled once per iteration before the
-  /// batch is drawn.  Returning true stops the run with
-  /// `StopReason::kCancelled` and the best mapping seen so far; when it
-  /// fires before the first batch, a single GenPerm draw is evaluated so
-  /// the result always carries a valid permutation.  Used by the service
-  /// layer to enforce request deadlines (src/service/deadline.hpp).
-  using StopFn = std::function<bool()>;
+  /// Deprecated alias; use `match::StopFn` (core/stop.hpp).  Polled once
+  /// per iteration before the batch is drawn; returning true stops the
+  /// run with `StopReason::kCancelled` and the best mapping seen so far.
+  /// When it fires before the first batch, a single GenPerm draw is
+  /// evaluated so the result always carries a valid permutation.
+  using StopFn = match::StopFn;
 
   /// The evaluator must describe a square instance (|V_t| = |V_r|);
   /// throws `std::invalid_argument` otherwise.
@@ -143,7 +146,11 @@ class MatchOptimizer {
   void set_trace(TraceFn trace) { trace_ = std::move(trace); }
 
   /// Installs the cancellation hook (empty = never stop early).
-  void set_should_stop(StopFn should_stop) {
+  /// Deprecated: attach the hook to the SolverContext instead
+  /// (`SolverContext(rng, stop)`); a context-supplied hook wins over
+  /// this one.
+  [[deprecated("pass the stop hook via SolverContext")]]
+  void set_should_stop(match::StopFn should_stop) {
     should_stop_ = std::move(should_stop);
   }
 
@@ -164,8 +171,17 @@ class MatchOptimizer {
   /// Effective batch size N for this instance.
   std::size_t effective_sample_size() const noexcept { return sample_size_; }
 
-  /// Runs MaTCH to convergence.
-  MatchResult run(rng::Rng& rng);
+  /// Runs MaTCH to convergence.  The context supplies the RNG stream
+  /// (required), stop hook, thread pool, and optional telemetry; with a
+  /// sink/metrics pair attached the run emits per-iteration events
+  /// (γ, bests, elite spread, P row-max mean and entropy) and
+  /// draw/cost/sort/update phase timings without perturbing the RNG
+  /// stream.
+  MatchResult run(const SolverContext& ctx);
+
+  /// Deprecated forwarder for the pre-SolverContext signature.
+  [[deprecated("use run(SolverContext)")]]
+  MatchResult run(rng::Rng& rng) { return run(SolverContext(rng)); }
 
  private:
   const sim::CostEvaluator* eval_;
@@ -173,7 +189,7 @@ class MatchOptimizer {
   std::size_t n_;
   std::size_t sample_size_;
   TraceFn trace_;
-  StopFn should_stop_;
+  match::StopFn should_stop_;
   StochasticMatrix initial_;          ///< empty -> uniform
   std::vector<graph::NodeId> pins_;   ///< empty -> no pins
 };

@@ -31,7 +31,7 @@ StochasticMatrix anchored_matrix(const sim::Mapping& incumbent,
 
 MatchResult rematch(const sim::CostEvaluator& eval,
                     const sim::Mapping& incumbent, const RematchParams& params,
-                    rng::Rng& rng) {
+                    const SolverContext& ctx) {
   params.validate();
   if (incumbent.num_tasks() != eval.num_tasks()) {
     throw std::invalid_argument("rematch: incumbent size mismatch");
@@ -43,7 +43,7 @@ MatchResult rematch(const sim::CostEvaluator& eval,
   MatchOptimizer optimizer(eval, params.base);
   optimizer.set_initial_matrix(
       anchored_matrix(incumbent, eval.num_resources(), params.anchor));
-  MatchResult result = optimizer.run(rng);
+  MatchResult result = optimizer.run(ctx);
 
   // Never regress: the incumbent stays available as a candidate.
   const double incumbent_cost = eval.makespan(incumbent);

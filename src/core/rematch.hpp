@@ -13,6 +13,7 @@
 // paper cites ([18]).
 
 #include "core/matchalgo.hpp"
+#include "core/solver_context.hpp"
 #include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
@@ -38,9 +39,18 @@ StochasticMatrix anchored_matrix(const sim::Mapping& incumbent,
 
 /// Re-optimizes `incumbent` for (possibly changed) `eval`.  Returns the
 /// better of the re-run's best and the incumbent itself, so re-mapping
-/// never regresses.
+/// never regresses.  The context's stop hook and telemetry flow through
+/// to the underlying MaTCH run.
 MatchResult rematch(const sim::CostEvaluator& eval,
                     const sim::Mapping& incumbent, const RematchParams& params,
-                    rng::Rng& rng);
+                    const SolverContext& ctx);
+
+/// Deprecated forwarder for the pre-SolverContext signature.
+[[deprecated("use rematch(eval, incumbent, params, SolverContext)")]]
+inline MatchResult rematch(const sim::CostEvaluator& eval,
+                           const sim::Mapping& incumbent,
+                           const RematchParams& params, rng::Rng& rng) {
+  return rematch(eval, incumbent, params, SolverContext(rng));
+}
 
 }  // namespace match::core

@@ -1,0 +1,37 @@
+#pragma once
+
+// The common base every solver result embeds.
+//
+// Before this existed each result type (`CeResult`, `MatchResult`,
+// `GaResult`, `IslandResult`, `SearchResult`) spelled these fields its
+// own way and the service's solver adapters re-mapped them one by one.
+// Embedding one base lets generic code (the solver registry, benchmark
+// sweeps, telemetry) read any run's outcome without knowing which
+// heuristic produced it.
+
+#include <cstddef>
+#include <limits>
+
+namespace match {
+
+struct RunSummary {
+  /// Best cost observed over the whole run; +inf until the first sample
+  /// has been evaluated.
+  double best_cost = std::numeric_limits<double>::infinity();
+
+  /// Iterations completed (CE iterations, GA generations, island epochs,
+  /// or evaluations for budget-driven searches — each solver documents
+  /// its unit).
+  std::size_t iterations = 0;
+
+  /// True when the run was stopped by the caller's stop hook (deadline
+  /// expiry / external cancellation); `best_cost` is still the best
+  /// observed so far.
+  bool cancelled = false;
+
+  /// True when the sampling distribution collapsed (CE degeneracy
+  /// early-out); meaningless for non-CE solvers.
+  bool degenerate = false;
+};
+
+}  // namespace match

@@ -1,0 +1,450 @@
+#include "obs/events.hpp"
+
+#include <array>
+#include <charconv>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <system_error>
+
+namespace match::obs {
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr std::array<KindName, 6> kKindNames{{
+    {EventKind::kRunStart, "run_start"},
+    {EventKind::kIteration, "iteration"},
+    {EventKind::kPhase, "phase"},
+    {EventKind::kService, "service"},
+    {EventKind::kFallbackDraw, "fallback_draw"},
+    {EventKind::kRunEnd, "run_end"},
+}};
+
+// Shortest decimal form that parses back to the identical double.
+void append_double(std::string& out, double value) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) throw std::runtime_error("obs: double to_chars failed");
+  out.append(buf, ptr);
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) throw std::runtime_error("obs: u64 to_chars failed");
+  out.append(buf, ptr);
+}
+
+// Event strings are identifiers ("match", "cache_hit"); escape the JSON
+// specials anyway so arbitrary solver names cannot corrupt the line.
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// --- Minimal parser for the flat one-level objects `to_jsonl` emits. ---
+
+class LineParser {
+ public:
+  explicit LineParser(std::string_view line) : s_(line) {}
+
+  Event parse() {
+    Event e;
+    bool saw_kind = false;
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      throw std::invalid_argument("obs: event line has no kind");
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "kind") {
+        e.kind = parse_event_kind(parse_string());
+        saw_kind = true;
+      } else if (key == "solver") {
+        e.solver = parse_string();
+      } else if (key == "phase") {
+        e.phase = parse_string();
+      } else if (key == "run") {
+        e.run_id = parse_u64();
+      } else if (key == "iter") {
+        e.iteration = parse_u64();
+      } else if (key == "elite") {
+        e.elite_count = parse_u64();
+      } else if (key == "gamma") {
+        e.gamma = parse_double();
+      } else if (key == "iter_best") {
+        e.iter_best = parse_double();
+      } else if (key == "best") {
+        e.best_so_far = parse_double();
+      } else if (key == "spread") {
+        e.elite_spread = parse_double();
+      } else if (key == "row_max_mean") {
+        e.row_max_mean = parse_double();
+      } else if (key == "entropy") {
+        e.entropy = parse_double();
+      } else if (key == "seconds") {
+        e.seconds = parse_double();
+      } else {
+        skip_value();  // forward compatibility: ignore unknown keys
+      }
+      skip_ws();
+      char c = next();
+      if (c == '}') break;
+      if (c != ',') throw std::invalid_argument("obs: expected ',' or '}'");
+    }
+    if (!saw_kind) throw std::invalid_argument("obs: event line has no kind");
+    return e;
+  }
+
+ private:
+  char peek() const {
+    if (pos_ >= s_.size()) throw std::invalid_argument("obs: truncated event line");
+    return s_[pos_];
+  }
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (next() != c) throw std::invalid_argument("obs: malformed event line");
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t')) ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        char esc = next();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else throw std::invalid_argument("obs: bad \\u escape");
+            }
+            // to_jsonl only emits \u00xx for control bytes.
+            out.push_back(static_cast<char>(code & 0xff));
+            break;
+          }
+          default: throw std::invalid_argument("obs: bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  std::string_view number_token() {
+    std::size_t start = pos_;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if ((c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+          c == 'e' || c == 'E' || c == 'i' || c == 'n' || c == 'f' ||
+          c == 'a' || c == 'N') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) throw std::invalid_argument("obs: expected number");
+    return s_.substr(start, pos_ - start);
+  }
+
+  std::uint64_t parse_u64() {
+    std::string_view tok = number_token();
+    std::uint64_t v = 0;
+    auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+      throw std::invalid_argument("obs: bad integer");
+    }
+    return v;
+  }
+
+  double parse_double() {
+    std::string_view tok = number_token();
+    double v = 0.0;
+    auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+      throw std::invalid_argument("obs: bad double");
+    }
+    return v;
+  }
+
+  void skip_value() {
+    char c = peek();
+    if (c == '"') {
+      (void)parse_string();
+    } else {
+      (void)number_token();
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  for (const auto& kn : kKindNames) {
+    if (kn.kind == kind) return kn.name;
+  }
+  return "unknown";
+}
+
+EventKind parse_event_kind(std::string_view name) {
+  for (const auto& kn : kKindNames) {
+    if (name == kn.name) return kn.kind;
+  }
+  throw std::invalid_argument("obs: unknown event kind '" + std::string(name) + "'");
+}
+
+Event Event::run_start(std::uint64_t run_id, std::string_view solver) {
+  Event e;
+  e.kind = EventKind::kRunStart;
+  e.run_id = run_id;
+  e.solver = solver;
+  return e;
+}
+
+Event Event::run_end(std::uint64_t run_id, std::string_view solver,
+                     std::uint64_t iterations, double best_cost,
+                     double seconds) {
+  Event e;
+  e.kind = EventKind::kRunEnd;
+  e.run_id = run_id;
+  e.solver = solver;
+  e.iteration = iterations;
+  e.best_so_far = best_cost;
+  e.seconds = seconds;
+  return e;
+}
+
+Event Event::iteration_event(std::uint64_t run_id, std::string_view solver,
+                             std::uint64_t iteration, double gamma,
+                             double iter_best, double best_so_far,
+                             double elite_spread, double row_max_mean,
+                             double entropy, std::uint64_t elite_count) {
+  Event e;
+  e.kind = EventKind::kIteration;
+  e.run_id = run_id;
+  e.solver = solver;
+  e.iteration = iteration;
+  e.gamma = gamma;
+  e.iter_best = iter_best;
+  e.best_so_far = best_so_far;
+  e.elite_spread = elite_spread;
+  e.row_max_mean = row_max_mean;
+  e.entropy = entropy;
+  e.elite_count = elite_count;
+  return e;
+}
+
+Event Event::phase_event(std::uint64_t run_id, std::string_view solver,
+                         std::uint64_t iteration, std::string_view phase,
+                         double seconds) {
+  Event e;
+  e.kind = EventKind::kPhase;
+  e.run_id = run_id;
+  e.solver = solver;
+  e.iteration = iteration;
+  e.phase = phase;
+  e.seconds = seconds;
+  return e;
+}
+
+Event Event::service_event(std::uint64_t run_id, std::string_view solver,
+                           std::string_view action, double seconds) {
+  Event e;
+  e.kind = EventKind::kService;
+  e.run_id = run_id;
+  e.solver = solver;
+  e.phase = action;
+  e.seconds = seconds;
+  return e;
+}
+
+Event Event::fallback_draw(std::uint64_t run_id, std::string_view solver) {
+  Event e;
+  e.kind = EventKind::kFallbackDraw;
+  e.run_id = run_id;
+  e.solver = solver;
+  return e;
+}
+
+std::string to_jsonl(const Event& event) {
+  std::string out;
+  out.reserve(192);
+  append_jsonl(out, event);
+  return out;
+}
+
+void append_jsonl(std::string& out, const Event& event) {
+  out += "{\"kind\":";
+  append_json_string(out, to_string(event.kind));
+  out += ",\"run\":";
+  append_u64(out, event.run_id);
+  if (!event.solver.empty()) {
+    out += ",\"solver\":";
+    append_json_string(out, event.solver);
+  }
+  switch (event.kind) {
+    case EventKind::kRunStart:
+      break;
+    case EventKind::kIteration:
+      out += ",\"iter\":";
+      append_u64(out, event.iteration);
+      out += ",\"gamma\":";
+      append_double(out, event.gamma);
+      out += ",\"iter_best\":";
+      append_double(out, event.iter_best);
+      out += ",\"best\":";
+      append_double(out, event.best_so_far);
+      out += ",\"spread\":";
+      append_double(out, event.elite_spread);
+      out += ",\"row_max_mean\":";
+      append_double(out, event.row_max_mean);
+      out += ",\"entropy\":";
+      append_double(out, event.entropy);
+      out += ",\"elite\":";
+      append_u64(out, event.elite_count);
+      break;
+    case EventKind::kPhase:
+      out += ",\"iter\":";
+      append_u64(out, event.iteration);
+      out += ",\"phase\":";
+      append_json_string(out, event.phase);
+      out += ",\"seconds\":";
+      append_double(out, event.seconds);
+      break;
+    case EventKind::kService:
+      out += ",\"phase\":";
+      append_json_string(out, event.phase);
+      out += ",\"seconds\":";
+      append_double(out, event.seconds);
+      break;
+    case EventKind::kFallbackDraw:
+      break;
+    case EventKind::kRunEnd:
+      out += ",\"iter\":";
+      append_u64(out, event.iteration);
+      out += ",\"best\":";
+      append_double(out, event.best_so_far);
+      out += ",\"seconds\":";
+      append_double(out, event.seconds);
+      break;
+  }
+  out.push_back('}');
+}
+
+Event from_jsonl(std::string_view line) { return LineParser(line).parse(); }
+
+std::vector<Event> read_jsonl(std::istream& is) {
+  std::vector<Event> events;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    events.push_back(from_jsonl(line));
+  }
+  return events;
+}
+
+void JsonlSink::emit(const Event& event) {
+  // Serialization happens outside the lock, into a thread-reused buffer:
+  // no per-event allocation, and contention is limited to the write.
+  thread_local std::string line;
+  line.clear();
+  append_jsonl(line, event);
+  line.push_back('\n');
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  ++emitted_;
+}
+
+std::size_t JsonlSink::emitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return emitted_;
+}
+
+RingBufferSink::RingBufferSink(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void RingBufferSink::emit(const Event& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+std::vector<Event> RingBufferSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  // `next_` points at the oldest element once the ring is full.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::size_t RingBufferSink::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::size_t RingBufferSink::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ - ring_.size();
+}
+
+}  // namespace match::obs

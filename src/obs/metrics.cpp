@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace match::obs {
+
+Histogram::Histogram() : buckets_(kBuckets) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double Histogram::bucket_upper(std::size_t i) {
+  if (i + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return 1e-6 * static_cast<double>(std::uint64_t{1} << i);
+}
+
+std::size_t Histogram::bucket_index(double value) const {
+  if (!(value > 1e-6)) return 0;  // NaN and everything ≤ 1 µs land in bucket 0
+  // value ∈ (1e-6 * 2^(i-1), 1e-6 * 2^i] → bucket i.
+  double ratio = value * 1e6;
+  int exp = static_cast<int>(std::ceil(std::log2(ratio) - 1e-12));
+  if (exp < 0) return 0;
+  if (static_cast<std::size_t>(exp) >= kBuckets) return kBuckets - 1;
+  return static_cast<std::size_t>(exp);
+}
+
+void Histogram::observe(double value) {
+  if (std::isnan(value)) return;
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Double accumulation via CAS on the bit pattern; contention here is
+  // tiny compared to the work being timed.
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    double current = std::bit_cast<double>(expected);
+    std::uint64_t desired = std::bit_cast<std::uint64_t>(current + value);
+    if (sum_bits_.compare_exchange_weak(expected, desired,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::quantile(double q) const {
+  std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-th observation, 1-based ceil like the service layer's
+  // nearest-rank percentile.
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(kBuckets - 1);
+}
+
+HistogramStats Histogram::stats() const {
+  HistogramStats s;
+  s.count = count();
+  s.sum = sum();
+  s.mean = s.count == 0 ? 0.0 : s.sum / static_cast<double>(s.count);
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  return s;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+const MetricsRegistry::Shard& MetricsRegistry::shard_for(
+    std::string_view name) const {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& slot = shard.counters[std::string(name)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& slot = shard.gauges[std::string(name)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto& slot = shard.histograms[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
+  const Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.counters.find(std::string(name));
+  return it == shard.counters.end() ? 0 : it->second->value();
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, c] : shard.counters) snap.counters[name] = c->value();
+    for (const auto& [name, g] : shard.gauges) snap.gauges[name] = g->value();
+    for (const auto& [name, h] : shard.histograms) {
+      snap.histograms[name] = h->stats();
+    }
+  }
+  return snap;
+}
+
+}  // namespace match::obs

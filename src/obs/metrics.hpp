@@ -1,0 +1,145 @@
+#pragma once
+
+// Lock-sharded metrics registry: monotonic counters, gauges, and
+// fixed-bucket latency histograms with p50/p90/p99 extraction.
+//
+// Design constraints, in order:
+//   1. Hot-path updates (Counter::add, Histogram::observe) are wait-free
+//      relaxed atomics — no locks, no allocation, safe from pool threads.
+//   2. Registry lookups (`counter(name)` etc.) take one shard mutex and
+//      may allocate; the returned references are stable for the life of
+//      the registry, so hot loops resolve names once up front.
+//   3. Snapshots are approximate under concurrent writers (per-metric
+//      values are exact; cross-metric consistency is not promised).
+//
+// Histograms use ~48 fixed geometric buckets from 1 µs doubling upward,
+// which spans sub-microsecond phases to multi-hour runs with ≤ ×2
+// quantile error — plenty for p99 latency attribution.  Naming
+// conventions live in docs/OBSERVABILITY.md.
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace match::obs {
+
+/// Monotonically increasing count of events.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// A point-in-time double (queue depth, cache fill, γ of a live run).
+/// Stored as bit-cast uint64 so C++17-era toolchains without
+/// atomic<double> lock-free support still get a lock-free gauge.
+class Gauge {
+ public:
+  void set(double value) {
+    bits_.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+  }
+
+  double value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> bits_{std::bit_cast<std::uint64_t>(0.0)};
+};
+
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Fixed-bucket geometric histogram tuned for seconds-valued latencies.
+/// Bucket i covers (upper(i-1), upper(i)] with upper(i) = 1e-6 * 2^i;
+/// the final bucket is a +inf catch-all.  `quantile` reports the upper
+/// bound of the bucket containing the q-th observation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 48;
+
+  Histogram();
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+
+  /// q in [0, 1].  Returns 0 when empty.
+  double quantile(double q) const;
+
+  HistogramStats stats() const;
+
+  /// Upper bound of bucket `i` (+inf for the last).
+  static double bucket_upper(std::size_t i);
+
+ private:
+  std::size_t bucket_index(double value) const;
+
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_bits_{0};  ///< CAS-accumulated double
+};
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramStats> histograms;
+};
+
+/// Name → metric map, sharded by name hash so unrelated lookups never
+/// contend.  Metrics are created on first use and never removed;
+/// returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Value of a counter, 0 if it was never touched (const: never creates).
+  std::uint64_t counter_value(std::string_view name) const;
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  static constexpr std::size_t kShards = 16;
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+
+  Shard& shard_for(std::string_view name);
+  const Shard& shard_for(std::string_view name) const;
+
+  Shard shards_[kShards];
+};
+
+}  // namespace match::obs

@@ -1,0 +1,143 @@
+#pragma once
+
+// RAII profiling hooks.
+//
+// `ScopedTimer` times one scope into a `Histogram` and/or an `EventSink`.
+// `PhaseProbe` is the solver-facing helper: it carries the sink/metrics
+// pair from a `SolverContext`, and when *disarmed* (no sink, no metrics)
+// every call is a no-op that never reads the clock — instrumented solvers
+// pay nothing when nobody is listening.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+
+namespace match::obs {
+
+/// Times from construction to `stop()` (or destruction).  Records the
+/// elapsed seconds into an optional histogram and/or emits an optional
+/// prototype event with `seconds` filled in.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram, EventSink* sink = nullptr,
+                       Event proto = {})
+      : histogram_(histogram),
+        sink_(sink),
+        proto_(std::move(proto)),
+        start_(Clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Stops the timer and records; idempotent.  Returns elapsed seconds.
+  double stop() {
+    if (stopped_) return elapsed_;
+    stopped_ = true;
+    elapsed_ = std::chrono::duration<double>(Clock::now() - start_).count();
+    if (histogram_ != nullptr) histogram_->observe(elapsed_);
+    if (sink_ != nullptr) {
+      proto_.seconds = elapsed_;
+      sink_->emit(proto_);
+    }
+    return elapsed_;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Histogram* histogram_;
+  EventSink* sink_;
+  Event proto_;
+  Clock::time_point start_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+/// Per-run phase timer for solver loops.  Usage:
+///
+///   PhaseProbe probe(ctx.sink(), ctx.metrics(), "match", ctx.run_id());
+///   for (iter...) {
+///     probe.start_iteration(iter);
+///     ... draw ...      probe.split("draw");
+///     ... cost ...      probe.split("cost");
+///   }
+///
+/// Each `split` emits a `kPhase` event and records into the histogram
+/// `<solver>.phase.<phase>_seconds`.  Histogram references are resolved
+/// once per phase name and cached, so steady-state splits cost two clock
+/// reads plus a relaxed atomic add.
+class PhaseProbe {
+ public:
+  PhaseProbe(EventSink* sink, MetricsRegistry* metrics, std::string solver,
+             std::uint64_t run_id)
+      : sink_(sink),
+        metrics_(metrics),
+        solver_(std::move(solver)),
+        run_id_(run_id) {}
+
+  /// False when no one is listening; callers may skip loop restructuring
+  /// (e.g. keep fused draw+cost loops) entirely.
+  bool armed() const { return sink_ != nullptr || metrics_ != nullptr; }
+
+  void start_iteration(std::uint64_t iteration) {
+    if (!armed()) return;
+    iteration_ = iteration;
+    mark_ = Clock::now();
+  }
+
+  /// Closes the phase running since the last split/start_iteration.
+  void split(std::string_view phase) {
+    if (!armed()) return;
+    Clock::time_point now = Clock::now();
+    double seconds = std::chrono::duration<double>(now - mark_).count();
+    mark_ = now;
+    if (metrics_ != nullptr) phase_histogram(phase).observe(seconds);
+    if (sink_ != nullptr) {
+      sink_->emit(Event::phase_event(run_id_, solver_, iteration_, phase, seconds));
+    }
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Histogram& phase_histogram(std::string_view phase) {
+    auto it = histograms_.find(phase);
+    if (it != histograms_.end()) return *it->second;
+    std::string name = solver_;
+    name += ".phase.";
+    name += phase;
+    name += "_seconds";
+    Histogram& h = metrics_->histogram(name);
+    histograms_.emplace(std::string(phase), &h);
+    return h;
+  }
+
+  EventSink* sink_;
+  MetricsRegistry* metrics_;
+  std::string solver_;
+  std::uint64_t run_id_;
+  std::uint64_t iteration_ = 0;
+  Clock::time_point mark_{};
+  // Transparent lookup keeps split(string_view) allocation-free after the
+  // first occurrence of each phase name.
+  struct SvHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+  };
+  std::unordered_map<std::string, Histogram*, SvHash, SvEq> histograms_;
+};
+
+}  // namespace match::obs

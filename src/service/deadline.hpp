@@ -17,6 +17,8 @@
 #include <limits>
 #include <optional>
 
+#include "core/stop.hpp"
+
 namespace match::service {
 
 using Clock = std::chrono::steady_clock;
@@ -59,10 +61,10 @@ class Deadline {
   std::optional<Clock::time_point> at_;
 };
 
-/// Cooperative-cancellation hook shared by every solver adapter: polled
-/// between iterations, returns true when the solver should stop and
+/// Deprecated alias; use `match::StopFn` (core/stop.hpp).  Polled
+/// between iterations; returns true when the solver should stop and
 /// report best-so-far.
-using StopFn = std::function<bool()>;
+using StopFn = match::StopFn;
 
 /// Builds a StopFn that fires when `deadline` expires or `*cancel` is set
 /// (cancel may be null).  Unlimited deadline + null cancel yields an empty

@@ -93,6 +93,12 @@ struct MapResponse {
   /// options) — the cache key this request resolved to.
   std::uint64_t fingerprint = 0;
 
+  /// Correlates this request's trace events (iteration/phase/service
+  /// records in the configured EventSink).  Nonzero only when
+  /// `served_by == kSolver`; cache hits and coalesced followers ran no
+  /// solver of their own.
+  std::uint64_t run_id = 0;
+
   double queue_seconds = 0.0;  ///< submission → worker pickup
   double solve_seconds = 0.0;  ///< worker pickup → completion
   double total_seconds = 0.0;  ///< submission → completion

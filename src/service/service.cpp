@@ -13,6 +13,14 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
   return std::chrono::duration<double>(to - from).count();
 }
 
+void emit_service_event(obs::EventSink* sink, std::uint64_t run_id,
+                        SolverKind solver, const char* action,
+                        double seconds = 0.0) {
+  if (sink == nullptr) return;
+  sink->emit(obs::Event::service_event(run_id, to_string(solver), action,
+                                       seconds));
+}
+
 }  // namespace
 
 void ServiceConfig::validate() const {
@@ -54,7 +62,12 @@ std::future<MapResponse> MappingService::submit(MapRequest request) {
                                  request.options.deadline_seconds)))
           : Deadline::never();
   pending.request = std::move(request);
+  pending.run_id = next_run_id_.fetch_add(1, std::memory_order_relaxed);
   std::future<MapResponse> future = pending.promise.get_future();
+
+  metrics_.counter("service.submitted").add();
+  emit_service_event(config_.sink, pending.run_id, pending.request.solver,
+                     "enqueue");
 
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -158,6 +171,13 @@ MapResponse MappingService::process(Pending& pending) {
       solution = std::move(*hit);
       have_solution = true;
       response.served_by = ServedBy::kCache;
+      metrics_.counter("service.cache_hits").add();
+      emit_service_event(config_.sink, pending.run_id, request.solver,
+                         "cache_hit");
+    } else {
+      metrics_.counter("service.cache_misses").add();
+      emit_service_event(config_.sink, pending.run_id, request.solver,
+                         "cache_miss");
     }
   }
 
@@ -185,6 +205,9 @@ MapResponse MappingService::process(Pending& pending) {
   }
 
   if (!have_solution && !leader) {
+    metrics_.counter("service.coalesced").add();
+    emit_service_event(config_.sink, pending.run_id, request.solver,
+                       "coalesce");
     solution = follow.get();  // leader is running on another worker
     have_solution = true;
     response.served_by = ServedBy::kCoalesced;
@@ -193,18 +216,27 @@ MapResponse MappingService::process(Pending& pending) {
   }
 
   if (!have_solution) {
-    const StopFn should_stop = make_stop_fn(pending.deadline);
+    // One context per request: the deadline hook, the configured event
+    // sink, the service-wide metrics registry, and the request's run id
+    // all flow into the solver through it.
+    match::SolverContext ctx;
+    const match::StopFn should_stop = make_stop_fn(pending.deadline);
+    if (should_stop) ctx.with_stop(should_stop);
+    ctx.with_sink(config_.sink)
+        .with_metrics(&metrics_)
+        .with_run_id(pending.run_id);
     try {
       const SolveOutcome outcome = registry_.get(request.solver)
                                        .solve(*request.instance,
-                                              request.options, should_stop);
+                                              request.options, ctx);
       solution.mapping = outcome.mapping;
-      solution.cost = outcome.cost;
+      solution.cost = outcome.best_cost;
       solution.iterations = outcome.iterations;
       response.served_by = ServedBy::kSolver;
+      response.run_id = pending.run_id;
       // Deadline-truncated results depend on machine load; never cache
       // them, so cached entries always equal a full deterministic run.
-      if (cacheable && !outcome.stopped_early) {
+      if (cacheable && !outcome.cancelled) {
         cache_.insert(key, solution);
       }
       if (registered) {
@@ -233,10 +265,17 @@ MapResponse MappingService::process(Pending& pending) {
   response.total_seconds = seconds_between(pending.submitted_at, done);
   response.deadline_missed =
       !pending.deadline.unlimited() && done > *pending.deadline.time_point();
+  if (response.deadline_missed) {
+    metrics_.counter("service.deadline_misses").add();
+    emit_service_event(config_.sink, pending.run_id, request.solver,
+                       "deadline_expired", response.total_seconds);
+  }
   return response;
 }
 
 void MappingService::record_completion(const MapResponse& response) {
+  metrics_.counter("service.completed").add();
+  metrics_.histogram("service.latency_seconds").observe(response.total_seconds);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++completed_;
   if (response.deadline_missed) ++deadline_misses_;
@@ -275,6 +314,7 @@ ServiceStats MappingService::stats() const {
     out.peak_queue_depth = peak_queue_depth_;
     latencies = latencies_;
   }
+  out.fallback_draws = metrics_.counter_value("solver.fallback_draws");
   const CacheStats cache = cache_.stats();
   out.cache_hits = cache.hits;
   out.cache_misses = cache.misses;

@@ -26,6 +26,7 @@
 // would.  (Deadline-truncated runs are the documented exception: where a
 // run is cut off depends on load, which is why they are never cached.)
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -35,6 +36,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 #include "service/deadline.hpp"
 #include "service/instance_cache.hpp"
@@ -57,6 +60,13 @@ struct ServiceConfig {
   /// Batch identical concurrent requests onto one solver run.
   bool coalesce = true;
 
+  /// Optional event sink shared by every request: service lifecycle
+  /// events (enqueue, cache hit/miss, coalesce, deadline expiry) plus the
+  /// per-run solver events (iterations, phases, fallback draws), all
+  /// correlated by `MapResponse::run_id`.  Must be thread-safe and
+  /// outlive the service; null disables tracing.
+  obs::EventSink* sink = nullptr;
+
   void validate() const;
 };
 
@@ -66,6 +76,10 @@ struct ServiceStats {
   std::size_t completed = 0;
   std::size_t deadline_misses = 0;
   std::size_t coalesced = 0;
+  /// Solver runs cancelled before their first batch, answered with a
+  /// single fallback evaluation (run after the deadline already expired
+  /// — a sign the deadline budget is too tight for even one iteration).
+  std::size_t fallback_draws = 0;
 
   std::size_t cache_hits = 0;
   std::size_t cache_misses = 0;
@@ -118,12 +132,19 @@ class MappingService {
   const ServiceConfig& config() const noexcept { return config_; }
   const SolverRegistry& registry() const noexcept { return registry_; }
 
+  /// The service-wide metrics registry: request counters, the
+  /// `service.latency_seconds` histogram, and every counter/histogram the
+  /// solvers record (e.g. `solver.fallback_draws`,
+  /// `match.phase.*_seconds`).
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
  private:
   struct Pending {
     MapRequest request;
     std::promise<MapResponse> promise;
     Clock::time_point submitted_at;
     Deadline deadline;
+    std::uint64_t run_id = 0;
   };
 
   /// Leader/follower state for coalesced identical requests.
@@ -138,6 +159,8 @@ class MappingService {
   ServiceConfig config_;
   SolverRegistry registry_;
   SolutionCache cache_;
+  obs::MetricsRegistry metrics_;
+  std::atomic<std::uint64_t> next_run_id_{1};
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_not_empty_;

@@ -25,7 +25,7 @@ class MatchSolver final : public Solver {
 
   SolveOutcome solve(const workload::Instance& instance,
                      const SolveOptions& options,
-                     const StopFn& should_stop) const override {
+                     const match::SolverContext& ctx) const override {
     const sim::Platform platform = instance.make_platform();
     const sim::CostEvaluator eval(instance.tig, platform);
 
@@ -36,16 +36,15 @@ class MatchSolver final : public Solver {
     params.target_cost = options.target_cost;
 
     core::MatchOptimizer optimizer(eval, params);
-    if (should_stop) optimizer.set_should_stop(should_stop);
 
     rng::Rng rng(options.seed);
-    const core::MatchResult r = optimizer.run(rng);
+    match::SolverContext run_ctx = ctx;
+    run_ctx.with_rng(rng);
+    const core::MatchResult r = optimizer.run(run_ctx);
 
     SolveOutcome out;
+    static_cast<match::RunSummary&>(out) = r;
     out.mapping = r.best_mapping;
-    out.cost = r.best_cost;
-    out.iterations = r.iterations;
-    out.stopped_early = r.stop_reason == core::StopReason::kCancelled;
     return out;
   }
 };
@@ -61,7 +60,7 @@ class GaSolver final : public Solver {
 
   SolveOutcome solve(const workload::Instance& instance,
                      const SolveOptions& options,
-                     const StopFn& should_stop) const override {
+                     const match::SolverContext& ctx) const override {
     const sim::Platform platform = instance.make_platform();
     const sim::CostEvaluator eval(instance.tig, platform);
 
@@ -72,23 +71,23 @@ class GaSolver final : public Solver {
     params.target_cost = options.target_cost;
 
     baselines::GaOptimizer optimizer(eval, params);
-    if (should_stop) optimizer.set_should_stop(should_stop);
 
     rng::Rng rng(options.seed);
-    const baselines::GaResult r = optimizer.run(rng);
+    match::SolverContext run_ctx = ctx;
+    run_ctx.with_rng(rng);
+    const baselines::GaResult r = optimizer.run(run_ctx);
 
     SolveOutcome out;
+    static_cast<match::RunSummary&>(out) = r;
     out.mapping = r.best_mapping;
-    out.cost = r.best_cost;
-    out.iterations = r.generations;
-    out.stopped_early = r.cancelled;
     return out;
   }
 };
 
 /// Restarted hill climbing, adapted to cooperative cancellation by
-/// slicing the evaluation budget: `should_stop` is polled between slices,
-/// and the best mapping across slices is kept.  Each slice draws its RNG
+/// slicing the evaluation budget: the stop hook cuts the current slice
+/// short (hill_climb polls it per restart and per descent sweep), and
+/// the best mapping across slices is kept.  Each slice draws its RNG
 /// from the request's master stream, so the full (uncancelled) run is a
 /// deterministic function of the seed.
 class LocalSearchSolver final : public Solver {
@@ -97,7 +96,7 @@ class LocalSearchSolver final : public Solver {
 
   SolveOutcome solve(const workload::Instance& instance,
                      const SolveOptions& options,
-                     const StopFn& should_stop) const override {
+                     const match::SolverContext& ctx) const override {
     const sim::Platform platform = instance.make_platform();
     const sim::CostEvaluator eval(instance.tig, platform);
     const std::size_t n = instance.size();
@@ -108,40 +107,39 @@ class LocalSearchSolver final : public Solver {
 
     rng::Rng master(options.seed);
     SolveOutcome out;
-    out.cost = std::numeric_limits<double>::infinity();
+    out.best_cost = std::numeric_limits<double>::infinity();
 
     std::size_t spent = 0;
     while (spent < budget) {
-      if (should_stop && should_stop()) {
-        out.stopped_early = true;
-        break;
-      }
+      // The first slice always starts: on immediate cancellation
+      // hill_climb itself evaluates one fallback draw, keeping the
+      // best-so-far contract (and emitting the fallback_draw event).
       rng::Rng slice_rng(master.bits());
+      match::SolverContext slice_ctx = ctx;
+      slice_ctx.with_rng(slice_rng);
       const baselines::SearchResult r = baselines::hill_climb(
-          eval, std::min(slice, budget - spent), slice_rng);
-      if (r.best_cost < out.cost) {
-        out.cost = r.best_cost;
+          eval, std::min(slice, budget - spent), slice_ctx);
+      if (r.best_cost < out.best_cost) {
+        out.best_cost = r.best_cost;
         out.mapping = r.best_mapping;
       }
       spent += r.evaluations;
-      if (options.target_cost > 0.0 && out.cost <= options.target_cost) break;
+      if (r.cancelled) {
+        out.cancelled = true;
+        break;
+      }
+      if (options.target_cost > 0.0 && out.best_cost <= options.target_cost) {
+        break;
+      }
     }
     out.iterations = spent;
-
-    if (!std::isfinite(out.cost)) {
-      // Cancelled before the first slice: one random permutation keeps
-      // the best-so-far contract (a valid complete mapping).
-      rng::Rng fallback(master.bits());
-      out.mapping = sim::Mapping::random_permutation(n, fallback);
-      out.cost = eval.makespan(out.mapping);
-    }
     return out;
   }
 };
 
 /// List-heuristic adapter (Min-min / Max-min / Sufferage): deterministic
-/// constructive mappings, fast enough that the deadline hook is only
-/// consulted on entry.
+/// constructive mappings, fast enough that the deadline hook is never
+/// consulted.
 class ListSolver final : public Solver {
  public:
   explicit ListSolver(baselines::ListRule rule) : rule_(rule) {}
@@ -150,15 +148,15 @@ class ListSolver final : public Solver {
 
   SolveOutcome solve(const workload::Instance& instance,
                      const SolveOptions& /*options*/,
-                     const StopFn& /*should_stop*/) const override {
+                     const match::SolverContext& /*ctx*/) const override {
     const sim::Platform platform = instance.make_platform();
     const sim::CostEvaluator eval(instance.tig, platform);
     const baselines::SearchResult r = baselines::list_schedule(eval, rule_);
 
     SolveOutcome out;
-    out.mapping = r.best_mapping;
-    out.cost = r.best_cost;
+    static_cast<match::RunSummary&>(out) = r;
     out.iterations = r.evaluations;
+    out.mapping = r.best_mapping;
     return out;
   }
 

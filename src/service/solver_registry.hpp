@@ -3,20 +3,27 @@
 // Uniform solver interface of the mapping service: every mapping
 // heuristic in the library (MaTCH, FastMap-GA, restarted hill climbing,
 // the list heuristics) is adapted behind one
-// `solve(instance, options, should_stop)` entry point, so the service
+// `solve(instance, options, context)` entry point, so the service
 // dispatches on `SolverKind` without knowing any solver's API.
 //
 // Adapter contract (matches the deadline contract in deadline.hpp):
-//  * deterministic: equal (instance, options) → byte-identical mapping;
-//  * the returned mapping is always complete and valid, even when
-//    `should_stop` fires before the first iteration;
-//  * `should_stop` is polled at iteration granularity — cancellation
+//  * deterministic: equal (instance, options) → byte-identical mapping,
+//    regardless of attached telemetry;
+//  * the returned mapping is always complete and valid, even when the
+//    context's stop hook fires before the first iteration;
+//  * the stop hook is polled at iteration granularity — cancellation
 //    latency is one iteration, not one full run.
+//
+// The adapters build a per-request RNG from `options.seed` and attach it
+// to a copy of the caller's context, so the service's stop hook, event
+// sink, metrics registry, and run id all flow into the solver unchanged.
 
 #include <map>
 #include <memory>
 #include <vector>
 
+#include "core/run_summary.hpp"
+#include "core/solver_context.hpp"
 #include "service/deadline.hpp"
 #include "service/request.hpp"
 #include "sim/mapping.hpp"
@@ -24,13 +31,11 @@
 
 namespace match::service {
 
-/// What one solver run produced.
-struct SolveOutcome {
+/// What one solver run produced.  The `RunSummary` base (best cost,
+/// iterations, cancelled, degenerate) is copied wholesale from the
+/// solver's result — adapters no longer re-map fields one by one.
+struct SolveOutcome : match::RunSummary {
   sim::Mapping mapping;
-  double cost = 0.0;
-  std::size_t iterations = 0;
-  /// True when the run ended because `should_stop` fired.
-  bool stopped_early = false;
 };
 
 /// Abstract solver adapted into the service.
@@ -40,11 +45,23 @@ class Solver {
 
   virtual const char* name() const = 0;
 
-  /// Solves the instance under the given options.  `should_stop` may be
-  /// empty (no deadline, no cancellation).
+  /// Solves the instance under the given options.  The context carries
+  /// the stop hook (may be empty: no deadline, no cancellation) and
+  /// optional telemetry; its RNG slot is ignored — adapters seed their
+  /// own stream from `options.seed`.
   virtual SolveOutcome solve(const workload::Instance& instance,
                              const SolveOptions& options,
-                             const StopFn& should_stop) const = 0;
+                             const match::SolverContext& ctx) const = 0;
+
+  /// Deprecated forwarder for the pre-SolverContext signature.
+  [[deprecated("use solve(instance, options, SolverContext)")]]
+  SolveOutcome solve(const workload::Instance& instance,
+                     const SolveOptions& options,
+                     const match::StopFn& should_stop) const {
+    match::SolverContext ctx;
+    if (should_stop) ctx.with_stop(should_stop);
+    return solve(instance, options, ctx);
+  }
 };
 
 /// SolverKind → Solver dispatch table.  The default constructor registers

@@ -95,7 +95,7 @@ ReplayResult replay_trace(const graph::Tig& tig,
   sim::Platform platform(current);
   sim::CostEvaluator eval(tig, platform);
   core::MatchOptimizer initial_opt(eval);
-  const auto initial = initial_opt.run(rng);
+  const auto initial = initial_opt.run(match::SolverContext(rng));
   sim::Mapping mapping = initial.best_mapping;
   out.total_mapping_seconds += initial.elapsed_seconds;
 
@@ -127,7 +127,8 @@ ReplayResult replay_trace(const graph::Tig& tig,
         break;  // never react
       case ReplayPolicy::kWarmRematch: {
         core::RematchParams rp;
-        const auto r = core::rematch(new_eval, mapping, rp, rng);
+        const auto r =
+            core::rematch(new_eval, mapping, rp, match::SolverContext(rng));
         mapping = r.best_mapping;
         out.total_mapping_seconds += r.elapsed_seconds;
         ++out.remaps;
@@ -135,7 +136,7 @@ ReplayResult replay_trace(const graph::Tig& tig,
       }
       case ReplayPolicy::kColdRestart: {
         core::MatchOptimizer opt(new_eval);
-        const auto r = opt.run(rng);
+        const auto r = opt.run(match::SolverContext(rng));
         if (r.best_cost < new_eval.makespan(mapping)) {
           mapping = r.best_mapping;
         }

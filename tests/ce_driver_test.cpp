@@ -76,7 +76,7 @@ TEST(CeDriver, SolvesBitIntegerProblem) {
   CeDriverParams params;
   params.sample_size = 64;
   rng::Rng rng(1);
-  const auto r = run_ce(problem, params, rng);
+  const auto r = run_ce(problem, params, match::SolverContext(rng));
   EXPECT_EQ(BitIntegerProblem::value(r.best), 7);
   EXPECT_DOUBLE_EQ(r.best_cost, 0.0);
   EXPECT_TRUE(r.degenerate || r.iterations > 0);
@@ -87,7 +87,7 @@ TEST(CeDriver, HistoryTracksBestSoFar) {
   CeDriverParams params;
   params.sample_size = 32;
   rng::Rng rng(2);
-  const auto r = run_ce(problem, params, rng);
+  const auto r = run_ce(problem, params, match::SolverContext(rng));
   ASSERT_FALSE(r.history.empty());
   for (std::size_t i = 1; i < r.history.size(); ++i) {
     EXPECT_LE(r.history[i].best_so_far, r.history[i - 1].best_so_far);
@@ -121,7 +121,7 @@ TEST(CeDriver, EliteSetCappedAtRhoQuantileUnderTies) {
   params.rho = 0.1;
   params.max_iterations = 20;
   rng::Rng rng(9);
-  const auto r = run_ce(problem, params, rng);
+  const auto r = run_ce(problem, params, match::SolverContext(rng));
   ASSERT_FALSE(problem.elite_sizes.empty());
   for (std::size_t size : problem.elite_sizes) EXPECT_EQ(size, 5u);
   // gamma never improves, so the stall window ends the run early.
@@ -132,7 +132,8 @@ TEST(CeDriver, CancelledBeforeFirstIterationStillReturnsASample) {
   BitIntegerProblem problem;
   CeDriverParams params;
   rng::Rng rng(10);
-  const auto r = run_ce(problem, params, rng, [] { return true; });
+  const auto r = run_ce(problem, params,
+                        match::SolverContext(rng, [] { return true; }));
   EXPECT_TRUE(r.cancelled);
   EXPECT_EQ(r.iterations, 0u);
   ASSERT_EQ(r.best.size(), 4u);  // valid sample, not a default-constructed one
@@ -146,7 +147,8 @@ TEST(CeDriver, CancelledMidRunKeepsBestSoFar) {
   std::size_t polls = 0;
   rng::Rng rng(11);
   const auto r =
-      run_ce(problem, params, rng, [&polls] { return ++polls > 3; });
+      run_ce(problem, params,
+             match::SolverContext(rng, [&polls] { return ++polls > 3; }));
   EXPECT_TRUE(r.cancelled);
   EXPECT_EQ(r.iterations, 3u);
   EXPECT_EQ(r.history.size(), 3u);
@@ -194,7 +196,7 @@ TEST(MaxCut, CeFindsOptimumOnSmallRandomGraphs) {
     params.sample_size = 300;
     params.rho = 0.1;
     rng::Rng rng(seed);
-    const auto r = run_ce(problem, params, rng);
+    const auto r = run_ce(problem, params, match::SolverContext(rng));
     EXPECT_NEAR(-r.best_cost, optimum, 1e-9) << "seed " << seed;
   }
 }
@@ -216,7 +218,7 @@ TEST(MaxCut, BipartiteGraphCutsEverything) {
   CeDriverParams params;
   params.sample_size = 200;
   rng::Rng rng(5);
-  const auto r = run_ce(problem, params, rng);
+  const auto r = run_ce(problem, params, match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(-r.best_cost, total);
 }
 
@@ -228,7 +230,7 @@ TEST(MaxCut, SymmetryPinHoldsThroughUpdates) {
   params.sample_size = 100;
   params.max_iterations = 30;
   rng::Rng rng(7);
-  run_ce(problem, params, rng);
+  run_ce(problem, params, match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(problem.probabilities()[0], 0.0);
 }
 
@@ -240,7 +242,7 @@ TEST(MaxCut, DegenerateFlagSetOnConvergence) {
   params.sample_size = 50;
   params.zeta = 1.0;
   rng::Rng rng(8);
-  const auto r = run_ce(problem, params, rng);
+  const auto r = run_ce(problem, params, match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(-r.best_cost, 5.0);
   EXPECT_TRUE(r.degenerate);
 }

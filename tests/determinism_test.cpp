@@ -63,7 +63,7 @@ TEST(Determinism, MatchFullHistoryRepeats) {
   const auto run_once = [&] {
     core::MatchOptimizer opt(eval);
     rng::Rng rng(5);
-    return opt.run(rng);
+    return opt.run(match::SolverContext(rng));
   };
   const auto a = run_once();
   const auto b = run_once();
@@ -84,8 +84,8 @@ TEST(Determinism, GaFullHistoryRepeats) {
   params.generations = 50;
 
   rng::Rng r1(7), r2(7);
-  const auto a = baselines::GaOptimizer(eval, params).run(r1);
-  const auto b = baselines::GaOptimizer(eval, params).run(r2);
+  const auto a = baselines::GaOptimizer(eval, params).run(match::SolverContext(r1));
+  const auto b = baselines::GaOptimizer(eval, params).run(match::SolverContext(r2));
   ASSERT_EQ(a.history.size(), b.history.size());
   for (std::size_t i = 0; i < a.history.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.history[i].gen_best, b.history[i].gen_best);
@@ -102,8 +102,8 @@ TEST(Determinism, GeneralMatchRepeats) {
   const sim::CostEvaluator eval(tig, plat);
 
   rng::Rng r1(9), r2(9);
-  const auto a = core::GeneralMatchOptimizer(eval).run(r1);
-  const auto b = core::GeneralMatchOptimizer(eval).run(r2);
+  const auto a = core::GeneralMatchOptimizer(eval).run(match::SolverContext(r1));
+  const auto b = core::GeneralMatchOptimizer(eval).run(match::SolverContext(r2));
   EXPECT_EQ(a.best_mapping, b.best_mapping);
   EXPECT_EQ(a.iterations, b.iterations);
 }
@@ -141,8 +141,8 @@ TEST(Determinism, IslandFullHistoryRepeats) {
   core::IslandParams params;
   params.islands = 3;
   rng::Rng r1(16), r2(16);
-  const auto a = core::IslandMatchOptimizer(eval, params).run(r1);
-  const auto b = core::IslandMatchOptimizer(eval, params).run(r2);
+  const auto a = core::IslandMatchOptimizer(eval, params).run(match::SolverContext(r1));
+  const auto b = core::IslandMatchOptimizer(eval, params).run(match::SolverContext(r2));
   EXPECT_EQ(a.history, b.history);
 }
 

@@ -140,7 +140,7 @@ TEST(GaOptimizer, FindsOptimumOnTinyInstance) {
   params.generations = 150;
   GaOptimizer opt(f.eval, params);
   rng::Rng rng(4);
-  const GaResult r = opt.run(rng);
+  const GaResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_NEAR(r.best_cost, optimum, 1e-9);
 }
@@ -152,7 +152,7 @@ TEST(GaOptimizer, BestSoFarIsMonotone) {
   params.generations = 80;
   GaOptimizer opt(f.eval, params);
   rng::Rng rng(6);
-  const GaResult r = opt.run(rng);
+  const GaResult r = opt.run(match::SolverContext(rng));
   ASSERT_EQ(r.history.size(), 80u);
   for (std::size_t i = 1; i < r.history.size(); ++i) {
     EXPECT_LE(r.history[i].best_so_far, r.history[i - 1].best_so_far);
@@ -168,7 +168,7 @@ TEST(GaOptimizer, ElitismNeverLosesTheBest) {
   params.elitism = true;
   GaOptimizer opt(f.eval, params);
   rng::Rng rng(8);
-  const GaResult r = opt.run(rng);
+  const GaResult r = opt.run(match::SolverContext(rng));
   // With elitism the generation best can never regress past the best so far.
   for (std::size_t i = 1; i < r.history.size(); ++i) {
     EXPECT_LE(r.history[i].gen_best,
@@ -184,7 +184,7 @@ TEST(GaOptimizer, RunsWithoutElitism) {
   params.elitism = false;
   GaOptimizer opt(f.eval, params);
   rng::Rng rng(10);
-  const GaResult r = opt.run(rng);
+  const GaResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_DOUBLE_EQ(f.eval.makespan(r.best_mapping), r.best_cost);
 }
@@ -199,8 +199,8 @@ TEST(GaOptimizer, DeterministicAcrossParallelModes) {
   par.parallel = true;
 
   rng::Rng r1(12), r2(12);
-  const GaResult a = GaOptimizer(f.eval, serial).run(r1);
-  const GaResult b = GaOptimizer(f.eval, par).run(r2);
+  const GaResult a = GaOptimizer(f.eval, serial).run(match::SolverContext(r1));
+  const GaResult b = GaOptimizer(f.eval, par).run(match::SolverContext(r2));
   EXPECT_EQ(a.best_mapping, b.best_mapping);
   EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
 }
@@ -215,7 +215,7 @@ TEST(GaOptimizer, ZeroCrossoverAndMutationStillValid) {
   params.mutation_prob = 0.0;
   GaOptimizer opt(f.eval, params);
   rng::Rng rng(14);
-  const GaResult r = opt.run(rng);
+  const GaResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
 }
 
@@ -235,7 +235,7 @@ TEST(GaOptimizer, ImprovesOverRandomInitialPopulation) {
   params.generations = 120;
   GaOptimizer opt(f.eval, params);
   rng::Rng rng(17);
-  const GaResult r = opt.run(rng);
+  const GaResult r = opt.run(match::SolverContext(rng));
   // The first generation's best is a sample of 80 random permutations;
   // 120 generations of selection must improve on it.
   EXPECT_LT(r.best_cost, r.history.front().gen_best);

@@ -94,7 +94,7 @@ TEST(GeneralMatch, FindsBruteForceOptimumOnSmoothInstance) {
     params.gamma_stall_window = 15;
     GeneralMatchOptimizer opt(eval, params);
     rng::Rng run_rng(10 + restart);
-    best = std::min(best, opt.run(run_rng).best_cost);
+    best = std::min(best, opt.run(match::SolverContext(run_rng)).best_cost);
   }
   EXPECT_NEAR(best, optimum, 1e-9);
 }
@@ -109,7 +109,7 @@ TEST(GeneralMatch, CommHeavyCornerInstanceColocatesEverything) {
   const double optimum = brute_force_general(f.eval);
   GeneralMatchOptimizer opt(f.eval);
   rng::Rng rng(3);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_valid(3));
   const auto assignment = r.best_mapping.assignment();
   for (std::size_t t = 1; t < assignment.size(); ++t) {
@@ -128,7 +128,7 @@ TEST(GeneralMatch, HandlesSquareInstancesToo) {
 
   GeneralMatchOptimizer opt(eval);
   rng::Rng rng(5);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_valid(8));
   // Without the permutation constraint it may colocate tasks; the result
   // can only be at least as good as the best permutation it sampled.
@@ -144,13 +144,13 @@ TEST(GeneralMatch, MoreResourcesNeverHurts) {
     RectFixture f(tasks, 6, 6);
     GeneralMatchOptimizer opt(f.eval);
     rng::Rng rng(7);
-    return opt.run(rng).best_cost;
+    return opt.run(match::SolverContext(rng)).best_cost;
   }();
   const double cost1 = [&] {
     RectFixture f(tasks, 1, 6);
     GeneralMatchOptimizer opt(f.eval);
     rng::Rng rng(7);
-    return opt.run(rng).best_cost;
+    return opt.run(match::SolverContext(rng)).best_cost;
   }();
   // A single resource serializes everything (but pays no communication);
   // this is a sanity bound rather than a strict ordering: both must be
@@ -164,7 +164,7 @@ TEST(GeneralMatch, SingleResourceIsPureCompute) {
   RectFixture f(10, 1, 8);
   GeneralMatchOptimizer opt(f.eval);
   rng::Rng rng(9);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   // Everything on the one resource: cost = total W x w_0, no choice.
   double expected = 0.0;
   for (graph::NodeId t = 0; t < 10; ++t) {
@@ -180,8 +180,8 @@ TEST(GeneralMatch, DeterministicAcrossParallelModes) {
   GeneralMatchParams par;
   par.parallel = true;
   rng::Rng r1(11), r2(11);
-  const auto a = GeneralMatchOptimizer(f.eval, serial).run(r1);
-  const auto b = GeneralMatchOptimizer(f.eval, par).run(r2);
+  const auto a = GeneralMatchOptimizer(f.eval, serial).run(match::SolverContext(r1));
+  const auto b = GeneralMatchOptimizer(f.eval, par).run(match::SolverContext(r2));
   EXPECT_EQ(a.best_mapping, b.best_mapping);
   EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
 }
@@ -190,7 +190,7 @@ TEST(GeneralMatch, BestSoFarMonotone) {
   RectFixture f(12, 5, 12);
   GeneralMatchOptimizer opt(f.eval);
   rng::Rng rng(13);
-  const auto r = opt.run(rng);
+  const auto r = opt.run(match::SolverContext(rng));
   for (std::size_t i = 1; i < r.history.size(); ++i) {
     EXPECT_LE(r.history[i].best_so_far, r.history[i - 1].best_so_far);
   }
@@ -212,7 +212,7 @@ TEST(GeneralMatch, ColocationBeatsForcedSpreadOnCommHeavyInstance) {
 
   GeneralMatchOptimizer opt(eval);
   rng::Rng run_rng(15);
-  const auto r = opt.run(run_rng);
+  const auto r = opt.run(match::SolverContext(run_rng));
   // Optimal: pair up the communicating tasks -> zero comm, makespan = 2.
   EXPECT_NEAR(r.best_cost, 2.0, 1e-9);
 }
@@ -227,7 +227,7 @@ TEST_P(GeneralMatchShapeTest, ValidMappingsAcrossShapes) {
   params.max_iterations = 60;
   GeneralMatchOptimizer opt(f.eval, params);
   rng::Rng rng(21);
-  const auto r = opt.run(rng);
+  const auto r = opt.run(match::SolverContext(rng));
   EXPECT_EQ(r.best_mapping.num_tasks(), tasks);
   EXPECT_TRUE(r.best_mapping.is_valid(resources));
 }

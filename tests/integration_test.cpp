@@ -29,14 +29,14 @@ TEST(Integration, MatchBeatsGaOnPaperStyleInstance) {
 
   core::MatchOptimizer matcher(eval);
   rng::Rng r1(2);
-  const auto match_result = matcher.run(r1);
+  const auto match_result = matcher.run(match::SolverContext(r1));
 
   baselines::GaParams ga_params;
   ga_params.population = 100;
   ga_params.generations = 200;
   baselines::GaOptimizer ga(eval, ga_params);
   rng::Rng r2(2);
-  const auto ga_result = ga.run(r2);
+  const auto ga_result = ga.run(match::SolverContext(r2));
 
   EXPECT_TRUE(match_result.best_mapping.is_permutation());
   EXPECT_TRUE(ga_result.best_mapping.is_permutation());
@@ -55,29 +55,29 @@ TEST(Integration, AllHeuristicsProduceConsistentCosts) {
   std::vector<std::pair<const char*, double>> results;
 
   core::MatchOptimizer matcher(eval);
-  const auto mr = matcher.run(rng);
+  const auto mr = matcher.run(match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(eval.makespan(mr.best_mapping), mr.best_cost);
   results.emplace_back("match", mr.best_cost);
 
   baselines::GaParams gp;
   gp.population = 50;
   gp.generations = 60;
-  const auto gr = baselines::GaOptimizer(eval, gp).run(rng);
+  const auto gr = baselines::GaOptimizer(eval, gp).run(match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(eval.makespan(gr.best_mapping), gr.best_cost);
   results.emplace_back("ga", gr.best_cost);
 
-  const auto rr = baselines::random_search(eval, 500, rng);
+  const auto rr = baselines::random_search(eval, 500, match::SolverContext(rng));
   results.emplace_back("random", rr.best_cost);
 
   const auto gc = baselines::greedy_constructive(eval);
   results.emplace_back("greedy", gc.best_cost);
 
-  const auto hc = baselines::hill_climb(eval, 10000, rng);
+  const auto hc = baselines::hill_climb(eval, 10000, match::SolverContext(rng));
   results.emplace_back("hillclimb", hc.best_cost);
 
   baselines::SaParams sp;
   sp.steps = 10000;
-  const auto sa = baselines::simulated_annealing(eval, sp, rng);
+  const auto sa = baselines::simulated_annealing(eval, sp, match::SolverContext(rng));
   results.emplace_back("sa", sa.best_cost);
 
   // Sanity band: every heuristic lands between the best found and a
@@ -104,13 +104,13 @@ TEST(Integration, SuiteAveragingPipelineWorks) {
     for (std::uint64_t run = 0; run < 2; ++run) {
       rng::Rng rng(100 + run);
       core::MatchOptimizer matcher(eval);
-      match_ets.push_back(matcher.run(rng).best_cost);
+      match_ets.push_back(matcher.run(match::SolverContext(rng)).best_cost);
 
       baselines::GaParams gp;
       gp.population = 40;
       gp.generations = 40;
       rng::Rng grng(100 + run);
-      ga_ets.push_back(baselines::GaOptimizer(eval, gp).run(grng).best_cost);
+      ga_ets.push_back(baselines::GaOptimizer(eval, gp).run(match::SolverContext(grng)).best_cost);
     }
   }
   ASSERT_EQ(match_ets.size(), 6u);
@@ -132,16 +132,16 @@ TEST(Integration, AnovaPipelineOnHeuristicOutputs) {
   for (std::uint64_t run = 0; run < 8; ++run) {
     rng::Rng rng(run);
     core::MatchOptimizer matcher(eval);
-    groups[0].push_back(matcher.run(rng).best_cost);
+    groups[0].push_back(matcher.run(match::SolverContext(rng)).best_cost);
 
     baselines::GaParams weak;
     weak.population = 10;
     weak.generations = 5;
     rng::Rng g1(run);
-    groups[1].push_back(baselines::GaOptimizer(eval, weak).run(g1).best_cost);
+    groups[1].push_back(baselines::GaOptimizer(eval, weak).run(match::SolverContext(g1)).best_cost);
 
     rng::Rng g2(run);
-    groups[2].push_back(baselines::random_search(eval, 30, g2).best_cost);
+    groups[2].push_back(baselines::random_search(eval, 30, match::SolverContext(g2)).best_cost);
   }
 
   const auto anova = stats::one_way_anova(groups);
@@ -169,11 +169,11 @@ TEST(Integration, OversetWorkloadMapsEndToEnd) {
 
   core::MatchOptimizer matcher(eval);
   rng::Rng rng(8);
-  const auto result = matcher.run(rng);
+  const auto result = matcher.run(match::SolverContext(rng));
   EXPECT_TRUE(result.best_mapping.is_permutation());
 
   rng::Rng rrng(8);
-  const auto random = baselines::random_search(eval, 200, rrng);
+  const auto random = baselines::random_search(eval, 200, match::SolverContext(rrng));
   EXPECT_LE(result.best_cost, random.best_cost);
 }
 
@@ -189,14 +189,14 @@ TEST(Integration, SparsePlatformPipeline) {
   const sim::CostEvaluator eval(inst.tig, plat);
 
   rng::Rng r1(10);
-  const auto mr = core::MatchOptimizer(eval).run(r1);
+  const auto mr = core::MatchOptimizer(eval).run(match::SolverContext(r1));
   EXPECT_TRUE(mr.best_mapping.is_permutation());
 
   baselines::GaParams gp;
   gp.population = 40;
   gp.generations = 40;
   rng::Rng r2(10);
-  const auto gr = baselines::GaOptimizer(eval, gp).run(r2);
+  const auto gr = baselines::GaOptimizer(eval, gp).run(match::SolverContext(r2));
   EXPECT_TRUE(gr.best_mapping.is_permutation());
 }
 
@@ -212,14 +212,14 @@ TEST(Integration, MatchMappingTimeGrowsWithProblemSize) {
     auto plat = inst.make_platform();
     sim::CostEvaluator eval_small(inst.tig, plat);
     rng::Rng r1(12);
-    t_small += core::MatchOptimizer(eval_small).run(r1).elapsed_seconds;
+    t_small += core::MatchOptimizer(eval_small).run(match::SolverContext(r1)).elapsed_seconds;
 
     params.n = 24;
     auto inst2 = workload::make_paper_instance(params, setup);
     auto plat2 = inst2.make_platform();
     sim::CostEvaluator eval_large(inst2.tig, plat2);
     rng::Rng r2(12);
-    t_large += core::MatchOptimizer(eval_large).run(r2).elapsed_seconds;
+    t_large += core::MatchOptimizer(eval_large).run(match::SolverContext(r2)).elapsed_seconds;
   }
   EXPECT_GT(t_large, t_small);
 }

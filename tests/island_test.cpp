@@ -61,7 +61,7 @@ TEST(Island, FindsOptimumOnTinyInstance) {
   const double optimum = brute_force_optimum(f.eval);
   IslandMatchOptimizer opt(f.eval);
   rng::Rng rng(2);
-  const IslandResult r = opt.run(rng);
+  const IslandResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_NEAR(r.best_cost, optimum, 1e-9);
 }
@@ -70,7 +70,7 @@ TEST(Island, HistoryIsMonotone) {
   Fixture f(10, 3);
   IslandMatchOptimizer opt(f.eval);
   rng::Rng rng(4);
-  const IslandResult r = opt.run(rng);
+  const IslandResult r = opt.run(match::SolverContext(rng));
   ASSERT_FALSE(r.history.empty());
   for (std::size_t i = 1; i < r.history.size(); ++i) {
     EXPECT_LE(r.history[i], r.history[i - 1]);
@@ -85,7 +85,7 @@ TEST(Island, SingleIslandStillWorks) {
   params.islands = 1;
   IslandMatchOptimizer opt(f.eval, params);
   rng::Rng rng(6);
-  const IslandResult r = opt.run(rng);
+  const IslandResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
 }
 
@@ -96,7 +96,7 @@ TEST(Island, ZeroMigrationIsIndependentRestarts) {
   params.migration = 0.0;
   IslandMatchOptimizer opt(f.eval, params);
   rng::Rng rng(8);
-  const IslandResult r = opt.run(rng);
+  const IslandResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_GT(r.best_cost, 0.0);
 }
@@ -114,8 +114,8 @@ TEST(Island, DeterministicForFixedSeed) {
   Fixture f(9, 10);
   IslandMatchOptimizer opt(f.eval);
   rng::Rng r1(11), r2(11);
-  const IslandResult a = opt.run(r1);
-  const IslandResult b = opt.run(r2);
+  const IslandResult a = opt.run(match::SolverContext(r1));
+  const IslandResult b = opt.run(match::SolverContext(r2));
   EXPECT_EQ(a.best_mapping, b.best_mapping);
   EXPECT_EQ(a.history, b.history);
 }
@@ -127,8 +127,8 @@ TEST(Island, DeterministicAcrossParallelModes) {
   IslandParams par;
   par.parallel = true;
   rng::Rng r1(13), r2(13);
-  const auto a = IslandMatchOptimizer(f.eval, serial).run(r1);
-  const auto b = IslandMatchOptimizer(f.eval, par).run(r2);
+  const auto a = IslandMatchOptimizer(f.eval, serial).run(match::SolverContext(r1));
+  const auto b = IslandMatchOptimizer(f.eval, par).run(match::SolverContext(r2));
   EXPECT_EQ(a.best_mapping, b.best_mapping);
   EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
 }
@@ -136,8 +136,8 @@ TEST(Island, DeterministicAcrossParallelModes) {
 TEST(Island, QualityComparableToSingleMatch) {
   Fixture f(12, 14);
   rng::Rng r1(15), r2(15);
-  const auto island = IslandMatchOptimizer(f.eval).run(r1);
-  const auto single = MatchOptimizer(f.eval).run(r2);
+  const auto island = IslandMatchOptimizer(f.eval).run(match::SolverContext(r1));
+  const auto single = MatchOptimizer(f.eval).run(match::SolverContext(r2));
   // The island model samples the same total budget per epoch-iteration;
   // it must land within a modest factor of single-matrix MaTCH.
   EXPECT_LE(island.best_cost, single.best_cost * 1.10);

@@ -31,7 +31,7 @@ struct Fixture {
 TEST(RandomSearch, ReturnsValidMappingAndCost) {
   Fixture f(10, 1);
   rng::Rng rng(2);
-  const SearchResult r = random_search(f.eval, 500, rng);
+  const SearchResult r = random_search(f.eval, 500, match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_DOUBLE_EQ(f.eval.makespan(r.best_mapping), r.best_cost);
   EXPECT_EQ(r.evaluations, 500u);
@@ -42,15 +42,15 @@ TEST(RandomSearch, MoreSamplesNeverWorse) {
   rng::Rng r1(4), r2(4);
   // Same seed: the first 100 draws of the 2000-sample run are exactly the
   // 100-sample run, so the bigger budget can only improve.
-  const SearchResult small = random_search(f.eval, 100, r1);
-  const SearchResult large = random_search(f.eval, 2000, r2);
+  const SearchResult small = random_search(f.eval, 100, match::SolverContext(r1));
+  const SearchResult large = random_search(f.eval, 2000, match::SolverContext(r2));
   EXPECT_LE(large.best_cost, small.best_cost);
 }
 
 TEST(RandomSearch, RejectsZeroSamples) {
   Fixture f(8, 5);
   rng::Rng rng(6);
-  EXPECT_THROW(random_search(f.eval, 0, rng), std::invalid_argument);
+  EXPECT_THROW(random_search(f.eval, 0, match::SolverContext(rng)), std::invalid_argument);
 }
 
 TEST(Greedy, ProducesValidPermutation) {
@@ -92,7 +92,7 @@ TEST(Greedy, RejectsNonSquare) {
 TEST(HillClimb, ReachesSwapLocalOptimum) {
   Fixture f(8, 12);
   rng::Rng rng(13);
-  const SearchResult r = hill_climb(f.eval, 50000, rng);
+  const SearchResult r = hill_climb(f.eval, 50000, match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
 
   // No single swap may improve the returned mapping if the budget allowed
@@ -112,7 +112,7 @@ TEST(HillClimb, ReachesSwapLocalOptimum) {
 TEST(HillClimb, RespectsEvaluationBudget) {
   Fixture f(10, 14);
   rng::Rng rng(15);
-  const SearchResult r = hill_climb(f.eval, 137, rng);
+  const SearchResult r = hill_climb(f.eval, 137, match::SolverContext(rng));
   EXPECT_LE(r.evaluations, 137u);
   EXPECT_TRUE(r.best_mapping.is_permutation());
 }
@@ -120,7 +120,7 @@ TEST(HillClimb, RespectsEvaluationBudget) {
 TEST(HillClimb, RejectsZeroBudget) {
   Fixture f(8, 16);
   rng::Rng rng(17);
-  EXPECT_THROW(hill_climb(f.eval, 0, rng), std::invalid_argument);
+  EXPECT_THROW(hill_climb(f.eval, 0, match::SolverContext(rng)), std::invalid_argument);
 }
 
 TEST(SimulatedAnnealing, ReturnsValidResult) {
@@ -128,7 +128,7 @@ TEST(SimulatedAnnealing, ReturnsValidResult) {
   rng::Rng rng(19);
   SaParams params;
   params.steps = 20000;
-  const SearchResult r = simulated_annealing(f.eval, params, rng);
+  const SearchResult r = simulated_annealing(f.eval, params, match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_DOUBLE_EQ(f.eval.makespan(r.best_mapping), r.best_cost);
 }
@@ -143,7 +143,7 @@ TEST(SimulatedAnnealing, ImprovesOnInitialState) {
   rng::Rng rng(21);
   SaParams params;
   params.steps = 30000;
-  const SearchResult r = simulated_annealing(f.eval, params, rng);
+  const SearchResult r = simulated_annealing(f.eval, params, match::SolverContext(rng));
   EXPECT_LE(r.best_cost, initial);
 }
 
@@ -153,7 +153,7 @@ TEST(SimulatedAnnealing, ExplicitTemperatureWorks) {
   SaParams params;
   params.initial_temp = 1000.0;
   params.steps = 5000;
-  const SearchResult r = simulated_annealing(f.eval, params, rng);
+  const SearchResult r = simulated_annealing(f.eval, params, match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
 }
 
@@ -162,22 +162,22 @@ TEST(SimulatedAnnealing, RejectsBadParams) {
   rng::Rng rng(25);
   SaParams params;
   params.steps = 0;
-  EXPECT_THROW(simulated_annealing(f.eval, params, rng),
+  EXPECT_THROW(simulated_annealing(f.eval, params, match::SolverContext(rng)),
                std::invalid_argument);
   params.steps = 100;
   params.cooling = 1.0;
-  EXPECT_THROW(simulated_annealing(f.eval, params, rng),
+  EXPECT_THROW(simulated_annealing(f.eval, params, match::SolverContext(rng)),
                std::invalid_argument);
 }
 
 TEST(Comparators, HeuristicsBeatPureRandomOnMediumInstance) {
   Fixture f(20, 26);
   rng::Rng r1(27), r2(27), r3(27);
-  const SearchResult rnd = random_search(f.eval, 2000, r1);
-  const SearchResult hc = hill_climb(f.eval, 20000, r2);
+  const SearchResult rnd = random_search(f.eval, 2000, match::SolverContext(r1));
+  const SearchResult hc = hill_climb(f.eval, 20000, match::SolverContext(r2));
   SaParams sa_params;
   sa_params.steps = 20000;
-  const SearchResult sa = simulated_annealing(f.eval, sa_params, r3);
+  const SearchResult sa = simulated_annealing(f.eval, sa_params, match::SolverContext(r3));
   EXPECT_LE(hc.best_cost, rnd.best_cost);
   EXPECT_LE(sa.best_cost, rnd.best_cost * 1.05);
 }

@@ -77,7 +77,7 @@ TEST(MatchOptimizer, FindsBruteForceOptimumOnTinyInstance) {
 
   MatchOptimizer opt(f.eval);
   rng::Rng rng(42);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
 
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_NEAR(r.best_cost, optimum, 1e-9);
@@ -90,7 +90,7 @@ TEST(MatchOptimizer, FindsBruteForceOptimumAcrossSeeds) {
   for (std::uint64_t seed : {1ull, 7ull, 1234ull}) {
     MatchOptimizer opt(f.eval);
     rng::Rng rng(seed);
-    const MatchResult r = opt.run(rng);
+    const MatchResult r = opt.run(match::SolverContext(rng));
     EXPECT_NEAR(r.best_cost, optimum, 1e-9) << "seed " << seed;
   }
 }
@@ -124,7 +124,7 @@ TEST(MatchOptimizer, SolvesZeroCommInstanceAnalytically) {
 
   MatchOptimizer opt(eval);
   rng::Rng rng(99);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_NEAR(r.best_cost, optimum, 1e-9);
 }
 
@@ -138,8 +138,8 @@ TEST(MatchOptimizer, DeterministicAcrossParallelModes) {
   MatchOptimizer serial_opt(f.eval, serial_params);
   MatchOptimizer parallel_opt(f.eval, parallel_params);
   rng::Rng r1(7), r2(7);
-  const MatchResult a = serial_opt.run(r1);
-  const MatchResult b = parallel_opt.run(r2);
+  const MatchResult a = serial_opt.run(match::SolverContext(r1));
+  const MatchResult b = parallel_opt.run(match::SolverContext(r2));
 
   EXPECT_EQ(a.best_mapping, b.best_mapping);
   EXPECT_DOUBLE_EQ(a.best_cost, b.best_cost);
@@ -150,8 +150,8 @@ TEST(MatchOptimizer, DeterministicForFixedSeed) {
   Fixture f(10, 6);
   MatchOptimizer opt(f.eval);
   rng::Rng r1(11), r2(11);
-  const MatchResult a = opt.run(r1);
-  const MatchResult b = opt.run(r2);
+  const MatchResult a = opt.run(match::SolverContext(r1));
+  const MatchResult b = opt.run(match::SolverContext(r2));
   EXPECT_EQ(a.best_mapping, b.best_mapping);
   ASSERT_EQ(a.history.size(), b.history.size());
   for (std::size_t i = 0; i < a.history.size(); ++i) {
@@ -163,7 +163,7 @@ TEST(MatchOptimizer, BestSoFarIsMonotone) {
   Fixture f(12, 7);
   MatchOptimizer opt(f.eval);
   rng::Rng rng(3);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   ASSERT_FALSE(r.history.empty());
   for (std::size_t i = 1; i < r.history.size(); ++i) {
     EXPECT_LE(r.history[i].best_so_far, r.history[i - 1].best_so_far);
@@ -176,7 +176,7 @@ TEST(MatchOptimizer, EntropyDecaysTowardDegeneracy) {
   Fixture f(10, 8);
   MatchOptimizer opt(f.eval);
   rng::Rng rng(5);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   ASSERT_GE(r.history.size(), 3u);
   EXPECT_LT(r.history.back().mean_entropy, r.history.front().mean_entropy);
   // Converged: matrix close to degenerate or maxima stabilized.
@@ -194,7 +194,7 @@ TEST(MatchOptimizer, TraceSeesEveryIteration) {
     matrix_rows = p.rows();
   });
   rng::Rng rng(6);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_EQ(calls, r.iterations);
   EXPECT_EQ(calls, r.history.size());
   EXPECT_EQ(matrix_rows, 8u);
@@ -209,7 +209,7 @@ TEST(MatchOptimizer, LiteralEliteRuleDoesNotConverge) {
   params.max_iterations = 25;
   MatchOptimizer opt(f.eval, params);
   rng::Rng rng(8);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_EQ(r.stop_reason, StopReason::kMaxIterations);
   EXPECT_EQ(r.iterations, 25u);
   // Best-ever tracking still yields a valid mapping.
@@ -225,8 +225,8 @@ TEST(MatchOptimizer, StandardEliteBeatsLiteralElite) {
   standard.max_iterations = 40;
 
   rng::Rng r1(9), r2(9);
-  const MatchResult a = MatchOptimizer(f.eval, standard).run(r1);
-  const MatchResult b = MatchOptimizer(f.eval, literal).run(r2);
+  const MatchResult a = MatchOptimizer(f.eval, standard).run(match::SolverContext(r1));
+  const MatchResult b = MatchOptimizer(f.eval, literal).run(match::SolverContext(r2));
   EXPECT_LE(a.best_cost, b.best_cost);
 }
 
@@ -243,7 +243,7 @@ TEST(MatchOptimizer, TinySizesWork) {
   Fixture f(2, 13);
   MatchOptimizer opt(f.eval);
   rng::Rng rng(14);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_EQ(r.best_mapping.num_tasks(), 2u);
   EXPECT_NEAR(r.best_cost, brute_force_optimum(f.eval), 1e-9);
@@ -253,7 +253,7 @@ TEST(MatchOptimizer, FinalMatrixIsReportedAndStochastic) {
   Fixture f(9, 15);
   MatchOptimizer opt(f.eval);
   rng::Rng rng(16);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_EQ(r.final_matrix.rows(), 9u);
   EXPECT_TRUE(r.final_matrix.is_row_stochastic());
   EXPECT_GT(r.elapsed_seconds, 0.0);
@@ -266,7 +266,7 @@ TEST(MatchOptimizer, CustomSampleSizeIsRespected) {
   MatchOptimizer opt(f.eval, params);
   EXPECT_EQ(opt.effective_sample_size(), 64u);
   rng::Rng rng(18);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
 }
 
@@ -281,7 +281,7 @@ TEST_P(MatchRhoZetaTest, ConvergesAcrossParameterGrid) {
   params.zeta = zeta;
   MatchOptimizer opt(f.eval, params);
   rng::Rng rng(20);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_LT(r.best_cost, std::numeric_limits<double>::infinity());
   // Should do at least as well as the first iteration's best.

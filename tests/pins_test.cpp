@@ -81,7 +81,7 @@ TEST(MatchPins, ResultRespectsPins) {
   opt.set_pin(4, 7);
   opt.set_pin(0, 2);
   rng::Rng rng(4);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_EQ(r.best_mapping.resource_of(4), 7u);
   EXPECT_EQ(r.best_mapping.resource_of(0), 2u);
@@ -90,7 +90,7 @@ TEST(MatchPins, ResultRespectsPins) {
 TEST(MatchPins, PinnedRunCostsNoLessThanFree) {
   Fixture f(10, 5);
   rng::Rng r1(6), r2(6);
-  const MatchResult free_run = MatchOptimizer(f.eval).run(r1);
+  const MatchResult free_run = MatchOptimizer(f.eval).run(match::SolverContext(r1));
 
   // Pin a task to a deliberately different resource than the free
   // optimum chose: the constrained optimum cannot be better.
@@ -99,7 +99,7 @@ TEST(MatchPins, PinnedRunCostsNoLessThanFree) {
       (free_run.best_mapping.resource_of(task) + 1) % 10;
   MatchOptimizer pinned(f.eval);
   pinned.set_pin(task, forced);
-  const MatchResult pinned_run = pinned.run(r2);
+  const MatchResult pinned_run = pinned.run(match::SolverContext(r2));
   EXPECT_GE(pinned_run.best_cost, free_run.best_cost - 1e-9);
 }
 
@@ -109,7 +109,7 @@ TEST(MatchPins, FullyPinnedRunIsDeterminate) {
   std::vector<graph::NodeId> target = {3, 0, 5, 1, 4, 2};
   for (graph::NodeId t = 0; t < 6; ++t) opt.set_pin(t, target[t]);
   rng::Rng rng(8);
-  const MatchResult r = opt.run(rng);
+  const MatchResult r = opt.run(match::SolverContext(rng));
   EXPECT_EQ(r.best_mapping, sim::Mapping(target));
   EXPECT_DOUBLE_EQ(r.best_cost, f.eval.makespan(sim::Mapping(target)));
 }
@@ -132,8 +132,8 @@ TEST(MatchPins, ClearPinsRestoresFreeSearch) {
   opt.set_pin(0, 1);
   opt.clear_pins();
   rng::Rng r1(11), r2(11);
-  const auto a = opt.run(r1);
-  const auto b = MatchOptimizer(f.eval).run(r2);
+  const auto a = opt.run(match::SolverContext(r1));
+  const auto b = MatchOptimizer(f.eval).run(match::SolverContext(r2));
   EXPECT_EQ(a.best_mapping, b.best_mapping);
 }
 

@@ -74,7 +74,7 @@ TEST_P(TopologyPipelineTest, FullStackInvariantsHold) {
   mp.max_iterations = 60;
   core::MatchOptimizer opt(eval, mp);
   rng::Rng run_rng(7);
-  const auto result = opt.run(run_rng);
+  const auto result = opt.run(match::SolverContext(run_rng));
   EXPECT_TRUE(result.best_mapping.is_permutation());
 
   rng::Rng sample_rng(8);

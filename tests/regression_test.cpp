@@ -50,7 +50,7 @@ TEST(Regression, MatchOptimizer) {
   Golden g;
   core::MatchOptimizer opt(g.eval);
   rng::Rng rng(99);
-  const auto r = opt.run(rng);
+  const auto r = opt.run(match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(r.best_cost, 3557.0);
   EXPECT_EQ(r.iterations, 26u);
 }
@@ -62,14 +62,14 @@ TEST(Regression, GaOptimizer) {
   params.generations = 80;
   baselines::GaOptimizer ga(g.eval, params);
   rng::Rng rng(99);
-  EXPECT_DOUBLE_EQ(ga.run(rng).best_cost, 3664.0);
+  EXPECT_DOUBLE_EQ(ga.run(match::SolverContext(rng)).best_cost, 3664.0);
 }
 
 TEST(Regression, IslandOptimizer) {
   Golden g;
   core::IslandMatchOptimizer opt(g.eval);
   rng::Rng rng(99);
-  const auto r = opt.run(rng);
+  const auto r = opt.run(match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(r.best_cost, 3448.0);
   EXPECT_EQ(r.epochs, 8u);
 }
@@ -77,7 +77,7 @@ TEST(Regression, IslandOptimizer) {
 TEST(Regression, RandomSearch) {
   Golden g;
   rng::Rng rng(99);
-  EXPECT_DOUBLE_EQ(baselines::random_search(g.eval, 500, rng).best_cost,
+  EXPECT_DOUBLE_EQ(baselines::random_search(g.eval, 500, match::SolverContext(rng)).best_cost,
                    3751.0);
 }
 

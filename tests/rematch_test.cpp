@@ -86,13 +86,13 @@ TEST(AnchoredMatrix, RejectsBadInputs) {
 TEST(Rematch, NeverRegressesFromIncumbent) {
   Fixture f(10, 4);
   rng::Rng r1(5);
-  const auto cold = MatchOptimizer(f.eval).run(r1);
+  const auto cold = MatchOptimizer(f.eval).run(match::SolverContext(r1));
 
   // Re-map on the *same* platform: the incumbent is already excellent,
   // so the result must be at least as good.
   RematchParams params;
   rng::Rng r2(6);
-  const auto warm = rematch(f.eval, cold.best_mapping, params, r2);
+  const auto warm = rematch(f.eval, cold.best_mapping, params, match::SolverContext(r2));
   EXPECT_LE(warm.best_cost, cold.best_cost + 1e-9);
   EXPECT_TRUE(warm.best_mapping.is_permutation());
 }
@@ -100,7 +100,7 @@ TEST(Rematch, NeverRegressesFromIncumbent) {
 TEST(Rematch, AdaptsToSlowedResource) {
   Fixture f(12, 7);
   rng::Rng r1(8);
-  const auto cold = MatchOptimizer(f.eval).run(r1);
+  const auto cold = MatchOptimizer(f.eval).run(match::SolverContext(r1));
 
   // Slow down the resource hosting the heaviest-loaded task by 10x.
   const auto breakdown = f.eval.evaluate(cold.best_mapping);
@@ -112,7 +112,7 @@ TEST(Rematch, AdaptsToSlowedResource) {
 
   RematchParams params;
   rng::Rng r2(9);
-  const auto warm = rematch(new_eval, cold.best_mapping, params, r2);
+  const auto warm = rematch(new_eval, cold.best_mapping, params, match::SolverContext(r2));
 
   // The re-run must improve on simply keeping the old mapping.
   const double stale_cost = new_eval.makespan(cold.best_mapping);
@@ -123,7 +123,7 @@ TEST(Rematch, AdaptsToSlowedResource) {
 TEST(Rematch, WarmStartConvergesFasterThanCold) {
   Fixture f(15, 10);
   rng::Rng r1(11);
-  const auto cold_initial = MatchOptimizer(f.eval).run(r1);
+  const auto cold_initial = MatchOptimizer(f.eval).run(match::SolverContext(r1));
 
   // Mild perturbation: one resource 1.5x slower.
   const auto degraded = sim::scale_processing_cost(f.inst.resources, 0, 1.5);
@@ -131,10 +131,10 @@ TEST(Rematch, WarmStartConvergesFasterThanCold) {
   const sim::CostEvaluator new_eval(f.inst.tig, new_platform);
 
   rng::Rng r2(12), r3(12);
-  const auto cold = MatchOptimizer(new_eval).run(r2);
+  const auto cold = MatchOptimizer(new_eval).run(match::SolverContext(r2));
   RematchParams params;
   params.anchor = 0.7;
-  const auto warm = rematch(new_eval, cold_initial.best_mapping, params, r3);
+  const auto warm = rematch(new_eval, cold_initial.best_mapping, params, match::SolverContext(r3));
 
   // Warm start must reach comparable quality in no more iterations.
   EXPECT_LE(warm.iterations, cold.iterations);
@@ -146,10 +146,10 @@ TEST(Rematch, RejectsBadIncumbent) {
   RematchParams params;
   rng::Rng rng(14);
   const sim::Mapping wrong_size = sim::Mapping::identity(5);
-  EXPECT_THROW(rematch(f.eval, wrong_size, params, rng),
+  EXPECT_THROW(rematch(f.eval, wrong_size, params, match::SolverContext(rng)),
                std::invalid_argument);
   const sim::Mapping not_perm(std::vector<graph::NodeId>(8, 0));
-  EXPECT_THROW(rematch(f.eval, not_perm, params, rng), std::invalid_argument);
+  EXPECT_THROW(rematch(f.eval, not_perm, params, match::SolverContext(rng)), std::invalid_argument);
 }
 
 TEST(Rematch, ParamsValidate) {

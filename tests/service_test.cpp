@@ -155,9 +155,8 @@ TEST(DeadlineContract, MatchCancelledImmediatelyReturnsValidMapping) {
   const auto platform = inst->make_platform();
   sim::CostEvaluator eval(inst->tig, platform);
   core::MatchOptimizer opt(eval);
-  opt.set_should_stop([] { return true; });
   rng::Rng rng(1);
-  const auto r = opt.run(rng);
+  const auto r = opt.run(match::SolverContext(rng, [] { return true; }));
   EXPECT_EQ(r.stop_reason, core::StopReason::kCancelled);
   EXPECT_TRUE(r.best_mapping.is_permutation());
   EXPECT_TRUE(std::isfinite(r.best_cost));
@@ -170,9 +169,10 @@ TEST(DeadlineContract, EverySolverSurvivesImmediateCancellation) {
   SolveOptions options;
   for (SolverKind kind : registry.kinds()) {
     const SolveOutcome outcome =
-        registry.get(kind).solve(*inst, options, [] { return true; });
+        registry.get(kind).solve(*inst, options,
+                                 match::SolverContext([] { return true; }));
     EXPECT_TRUE(outcome.mapping.is_permutation()) << to_string(kind);
-    EXPECT_TRUE(std::isfinite(outcome.cost)) << to_string(kind);
+    EXPECT_TRUE(std::isfinite(outcome.best_cost)) << to_string(kind);
   }
 }
 

@@ -157,7 +157,7 @@ TEST(Replay, RecoveryRestoresBaselineCosts) {
   sim::Platform healthy(inst.resources);
   sim::CostEvaluator eval(inst.tig, healthy);
   rng::Rng map_rng(11);
-  const auto initial = match::core::MatchOptimizer(eval).run(map_rng);
+  const auto initial = match::core::MatchOptimizer(eval).run(match::SolverContext(map_rng));
   EXPECT_NEAR(r.et_timeline[1], eval.makespan(initial.best_mapping), 1e-9);
   EXPECT_GE(r.et_timeline[0], r.et_timeline[1] - 1e-9);
 }

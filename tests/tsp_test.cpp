@@ -104,7 +104,7 @@ TEST(Tsp, CeFindsOptimumOnSquare) {
   CeDriverParams params;
   params.sample_size = 100;
   rng::Rng rng(6);
-  const auto r = run_ce(tsp, params, rng);
+  const auto r = run_ce(tsp, params, match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(r.best_cost, 4.0);
 }
 
@@ -121,7 +121,7 @@ TEST(Tsp, CeMatchesBruteForceOnSmallEuclidean) {
       params.sample_size = 400;
       params.rho = 0.05;
       rng::Rng rng(10 * seed + restart);
-      best = std::min(best, run_ce(fresh, params, rng).best_cost);
+      best = std::min(best, run_ce(fresh, params, match::SolverContext(rng)).best_cost);
     }
     EXPECT_NEAR(best, optimum, 1e-9) << "seed " << seed;
   }
@@ -134,7 +134,7 @@ TEST(Tsp, CeBeatsRandomOnMediumInstance) {
   params.sample_size = 500;
   params.zeta = 0.7;
   rng::Rng rng(10);
-  const auto r = run_ce(tsp, params, rng);
+  const auto r = run_ce(tsp, params, match::SolverContext(rng));
 
   rng::Rng rrng(10);
   double random_best = std::numeric_limits<double>::infinity();
@@ -160,7 +160,7 @@ TEST(Tsp, UpdateSharpensTransitionMatrix) {
   params.sample_size = 200;
   params.max_iterations = 15;
   rng::Rng rng(12);
-  run_ce(tsp, params, rng);
+  run_ce(tsp, params, match::SolverContext(rng));
   EXPECT_LT(tsp.transition_matrix().mean_entropy(), before);
 }
 
