@@ -19,6 +19,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "core/matchalgo.hpp"
 #include "core/solver_context.hpp"
 #include "io/table.hpp"
@@ -173,6 +174,28 @@ int main(int argc, char** argv) {
   const bool under_budget = jsonl_over < 2.0;
   std::cout << "overhead budget: JSONL vs null sink " << Table::num(jsonl_over, 2)
             << "% < 2%: " << (under_budget ? "yes" : "NO") << "\n";
+
+  // Machine-readable perf point: the three arms plus the JSONL arm's
+  // solver metrics snapshot, appended to the repo's BENCH_* trajectory.
+  match::bench::BenchReport report;
+  report.name = "ext_obs_overhead";
+  report.git_sha = match::bench::current_git_sha();
+  report.config = {{"n", std::to_string(n)},
+                   {"reps", std::to_string(reps)},
+                   {"trials", std::to_string(trials)},
+                   {"match_iterations", std::to_string(mp.max_iterations)}};
+  for (const Arm& arm : arms) {
+    match::bench::BenchCase c;
+    c.name = arm.name;
+    c.wall_seconds = arm.best_seconds();
+    c.metrics["overhead_vs_baseline_pct"] = overhead_pct(arm, base);
+    report.cases.push_back(std::move(c));
+  }
+  report.cases.back().metrics["jsonl_vs_null_pct"] = jsonl_over;
+  report.cases.back().metrics["events_traced"] =
+      static_cast<double>(jsonl.emitted());
+  report.attach_snapshot(jsonl_metrics.snapshot());
+  std::cout << "bench json: " << report.write() << "\n";
 
   std::remove(trace_path);
   return (identical && under_budget) ? 0 : 1;

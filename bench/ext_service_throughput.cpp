@@ -16,8 +16,10 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.hpp"
 #include "io/run_record.hpp"
 #include "io/table.hpp"
+#include "obs/metrics.hpp"
 #include "service/service.hpp"
 #include "workload/paper_suite.hpp"
 
@@ -34,6 +36,7 @@ struct BenchResult {
   double wall_seconds = 0.0;
   double requests_per_second = 0.0;
   ServiceStats stats;
+  match::obs::MetricsSnapshot snapshot;  ///< solver + service metrics
 };
 
 BenchResult run_batch(
@@ -71,6 +74,7 @@ BenchResult run_batch(
   result.wall_seconds = wall;
   result.requests_per_second = static_cast<double>(requests) / wall;
   result.stats = service.stats();
+  result.snapshot = service.metrics().snapshot();
   service.shutdown();
   return result;
 }
@@ -144,6 +148,29 @@ int main(int argc, char** argv) {
     record.evaluations = requests;
     log.add(record);
   }
+
+  // Machine-readable perf point: one case per worker count, carrying
+  // the widest configuration's full metrics snapshot.
+  match::bench::BenchReport report;
+  report.name = "ext_service_throughput";
+  report.git_sha = match::bench::current_git_sha();
+  report.config = {{"n", std::to_string(n)},
+                   {"requests", std::to_string(requests)},
+                   {"match_iterations", std::to_string(match_iterations)},
+                   {"cache", "off"}};
+  for (const BenchResult& r : results) {
+    match::bench::BenchCase c;
+    c.name = "workers=" + std::to_string(r.workers);
+    c.wall_seconds = r.wall_seconds;
+    c.metrics["requests_per_second"] = r.requests_per_second;
+    c.metrics["p50_latency_seconds"] = r.stats.p50_latency_seconds;
+    c.metrics["p99_latency_seconds"] = r.stats.p99_latency_seconds;
+    c.metrics["speedup_vs_1_worker"] =
+        r.requests_per_second / results.front().requests_per_second;
+    report.cases.push_back(std::move(c));
+  }
+  report.attach_snapshot(results.back().snapshot);
+  std::cout << "\nbench json: " << report.write() << "\n";
 
   bool monotone = true;
   for (std::size_t i = 1; i < results.size(); ++i) {

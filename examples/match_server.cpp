@@ -15,9 +15,17 @@
 //    optimizer's `history` exactly (events are a faithful transcript).
 //
 // `--trace out.jsonl` additionally streams every service/solver event
-// to the given file as JSON lines (obs::JsonlSink).
+// to the given file as JSON lines (obs::JsonlSink); feed it to
+// `match_inspect summary` for a convergence report.
+//
+// `--metrics-port N` serves the service's metrics registry as
+// Prometheus text exposition on `127.0.0.1:N/metrics` (plus
+// `/healthz`) for the life of the process — scrape it mid-run, or pass
+// `--linger S` to keep the exporter up S seconds after the audit
+// finishes (N = 0 binds an ephemeral port, printed at startup).
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -30,6 +38,8 @@
 #include "core/solver_context.hpp"
 #include "io/table.hpp"
 #include "obs/events.hpp"
+#include "obs/http_exposer.hpp"
+#include "obs/prometheus.hpp"
 #include "service/service.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/platform.hpp"
@@ -229,6 +239,8 @@ int main(int argc, char** argv) {
   std::size_t count = 500;
   double rate = 1000.0;
   const char* trace_path = nullptr;
+  int metrics_port = -1;  // -1 = exporter off; 0 = ephemeral
+  double linger_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       count = 120;
@@ -236,9 +248,18 @@ int main(int argc, char** argv) {
       count = 2000;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
+      metrics_port = std::atoi(argv[++i]);
+      if (metrics_port < 0 || metrics_port > 65535) {
+        std::cerr << "--metrics-port wants 0..65535\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      linger_seconds = std::atof(argv[++i]);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--quick|--full] [--trace out.jsonl]\n";
+                << " [--quick|--full] [--trace out.jsonl]"
+                << " [--metrics-port N] [--linger S]\n";
       return 2;
     }
   }
@@ -271,6 +292,27 @@ int main(int argc, char** argv) {
   config.cache_capacity = 4096;
   config.sink = sink;
   MappingService service(config);
+
+  // Prometheus exposition over the service registry.  A scrape renders a
+  // MetricsSnapshot on the exporter's own thread — a pure observer that
+  // can run mid-trace without perturbing any solver.
+  std::unique_ptr<match::obs::HttpExposer> exposer;
+  if (metrics_port >= 0) {
+    match::obs::HttpExposer::Options http;
+    http.port = static_cast<std::uint16_t>(metrics_port);
+    try {
+      exposer = std::make_unique<match::obs::HttpExposer>(
+          [&service] {
+            return match::obs::to_prometheus(service.metrics().snapshot());
+          },
+          http);
+    } catch (const std::exception& e) {
+      std::cerr << "metrics exporter failed to start: " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "metrics: http://127.0.0.1:" << exposer->port()
+              << "/metrics (and /healthz)\n";
+  }
 
   // ---- Run 1: cold cache, open loop. -----------------------------------
   const RunOutcome cold = run_trace(service, templates, count, rate,
@@ -355,10 +397,21 @@ int main(int argc, char** argv) {
 
   service.shutdown();
   if (trace_path != nullptr) {
-    trace_file.flush();
+    jsonl->flush();
     std::cout << "trace: " << jsonl->emitted() << " events written to "
               << trace_path << " (" << ring.dropped()
               << " dropped from the audit ring)\n";
+  }
+  if (exposer && linger_seconds > 0.0) {
+    std::cout << "lingering " << linger_seconds
+              << "s for scrapes (curl http://127.0.0.1:" << exposer->port()
+              << "/metrics)...\n";
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger_seconds));
+  }
+  if (exposer) {
+    std::cout << "metrics: served " << exposer->requests_served()
+              << " scrape(s)\n";
+    exposer->stop();
   }
   std::cout << "\n" << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;

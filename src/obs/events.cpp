@@ -405,6 +405,11 @@ void JsonlSink::emit(const Event& event) {
   ++emitted_;
 }
 
+void JsonlSink::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os_->flush();
+}
+
 std::size_t JsonlSink::emitted() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return emitted_;

@@ -112,11 +112,19 @@ class NullSink final : public EventSink {
 /// never tear lines.
 class JsonlSink final : public EventSink {
  public:
-  /// The stream must outlive the sink.  The sink never flushes; callers
-  /// flush (or destroy the stream) before reading the trace back.
+  /// The stream must outlive the sink.  Hot-path emits never flush (one
+  /// flush per event would dominate tracing cost); the destructor
+  /// flushes so a trace survives as long as the sink is torn down, and
+  /// long-lived servers call `flush()` at checkpoints so an abnormal
+  /// shutdown loses at most the events since the last checkpoint.
   explicit JsonlSink(std::ostream& os) : os_(&os) {}
 
+  ~JsonlSink() override { flush(); }
+
   void emit(const Event& event) override;
+
+  /// Flushes the underlying stream (serialized with concurrent emits).
+  void flush();
 
   std::size_t emitted() const;
 

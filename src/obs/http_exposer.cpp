@@ -1,0 +1,187 @@
+#include "obs/http_exposer.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string_view>
+
+namespace match::obs {
+namespace {
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+void write_all(int fd, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client went away; nothing useful to do
+    }
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+std::string make_response(int status, const char* reason,
+                          const char* content_type, std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out.push_back(' ');
+  out += reason;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+HttpExposer::HttpExposer(Renderer render_metrics, Options options)
+    : render_metrics_(std::move(render_metrics)) {
+  if (!render_metrics_) {
+    throw std::invalid_argument("HttpExposer: null renderer");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("HttpExposer: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
+    close_fd(listen_fd_);
+    throw std::runtime_error("HttpExposer: bad bind address '" +
+                             options.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    const int err = errno;
+    close_fd(listen_fd_);
+    throw std::runtime_error(std::string("HttpExposer: cannot listen on ") +
+                             options.bind_address + ":" +
+                             std::to_string(options.port) + " (" +
+                             std::strerror(err) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    close_fd(listen_fd_);
+    throw std::runtime_error("HttpExposer: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  thread_ = std::thread([this] { serve(); });
+}
+
+HttpExposer::~HttpExposer() { stop(); }
+
+void HttpExposer::stop() {
+  if (!stopping_.exchange(true)) {
+    // shutdown() wakes the blocking accept(); the serve loop then sees
+    // stopping_ and exits.
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  if (thread_.joinable()) thread_.join();
+  close_fd(listen_fd_);
+}
+
+std::uint64_t HttpExposer::requests_served() const {
+  return requests_.load(std::memory_order_relaxed);
+}
+
+void HttpExposer::serve() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      // Transient accept failure (e.g. EMFILE); keep listening.
+      continue;
+    }
+    handle_connection(client);
+    ::close(client);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void HttpExposer::handle_connection(int client_fd) {
+  // A slow or stuck client must not wedge the single accept thread.
+  timeval timeout{};
+  timeout.tv_sec = 5;
+  ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+
+  // Read until the end of the request head; the routes take no bodies,
+  // so everything past the blank line is ignored.
+  std::string request;
+  char buf[2048];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 16 * 1024) {
+    const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+
+  const std::size_t line_end = request.find("\r\n");
+  const std::string_view request_line =
+      std::string_view(request).substr(0, line_end);
+  const std::size_t method_end = request_line.find(' ');
+  if (method_end == std::string_view::npos) {
+    write_all(client_fd,
+              make_response(400, "Bad Request", "text/plain", "bad request\n"));
+    return;
+  }
+  const std::string_view method = request_line.substr(0, method_end);
+  std::string_view target = request_line.substr(method_end + 1);
+  target = target.substr(0, target.find(' '));
+  target = target.substr(0, target.find('?'));  // ignore query strings
+
+  if (method != "GET" && method != "HEAD") {
+    write_all(client_fd, make_response(405, "Method Not Allowed", "text/plain",
+                                       "only GET is served here\n"));
+    return;
+  }
+
+  std::string response;
+  if (target == "/metrics") {
+    try {
+      response = make_response(200, "OK", "text/plain; version=0.0.4",
+                               render_metrics_());
+    } catch (...) {
+      response = make_response(500, "Internal Server Error", "text/plain",
+                               "metrics renderer failed\n");
+    }
+  } else if (target == "/healthz") {
+    response = make_response(200, "OK", "text/plain", "ok\n");
+  } else {
+    response = make_response(404, "Not Found", "text/plain",
+                             "try /metrics or /healthz\n");
+  }
+  if (method == "HEAD") {
+    response.resize(response.find("\r\n\r\n") + 4);
+  }
+  write_all(client_fd, response);
+}
+
+}  // namespace match::obs

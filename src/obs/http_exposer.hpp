@@ -1,0 +1,75 @@
+#pragma once
+
+// Minimal blocking HTTP/1.1 listener for metrics exposition.
+//
+// One accept thread serves short-lived GET connections — exactly what a
+// Prometheus scraper (or `curl`) sends — with no third-party
+// dependencies: POSIX sockets only.  Routes:
+//
+//   GET /metrics  → 200, the renderer callback's output
+//                   (`text/plain; version=0.0.4`)
+//   GET /healthz  → 200 `ok`
+//   anything else → 404 (or 405 for non-GET methods)
+//
+// The renderer runs on the accept thread, so a scrape can never block a
+// solver; the usual renderer is `[&] { return
+// to_prometheus(registry.snapshot()); }`, which only reads atomics.  If
+// the renderer throws, the client gets a 500 and the listener keeps
+// serving.  Scrapes are pure observers: they read a `MetricsSnapshot`
+// and never touch solver state or RNG streams (pinned by
+// tests/obs_test.cpp).
+//
+// Lifecycle: the constructor binds and starts listening (throwing
+// `std::runtime_error` on failure, e.g. port in use); `stop()` — also
+// run by the destructor — closes the listening socket and joins the
+// thread.  Port 0 binds an ephemeral port; `port()` reports the actual
+// one.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace match::obs {
+
+struct HttpExposerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral, see `HttpExposer::port()`
+  /// Loopback by default: metrics are an operator surface, not a
+  /// public one.  Use "0.0.0.0" to scrape from another host.
+  std::string bind_address = "127.0.0.1";
+};
+
+class HttpExposer {
+ public:
+  using Renderer = std::function<std::string()>;
+  using Options = HttpExposerOptions;
+
+  explicit HttpExposer(Renderer render_metrics, Options options = {});
+  ~HttpExposer();
+
+  HttpExposer(const HttpExposer&) = delete;
+  HttpExposer& operator=(const HttpExposer&) = delete;
+
+  /// The port actually bound (== options.port unless that was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Closes the listener and joins the accept thread.  Idempotent.
+  void stop();
+
+  /// Connections served so far (any route, including 404s).
+  std::uint64_t requests_served() const;
+
+ private:
+  void serve();
+  void handle_connection(int client_fd);
+
+  Renderer render_metrics_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace match::obs

@@ -46,8 +46,13 @@ double Histogram::sum() const {
   return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
 }
 
-double Histogram::quantile(double q) const {
-  std::uint64_t total = count();
+namespace {
+
+// Nearest-rank quantile over one fixed read of the bucket array; shared
+// by the live `quantile()` path and the snapshot path so both report the
+// upper bound of the bucket containing the q-th observation.
+double quantile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                             std::uint64_t total, double q) {
   if (total == 0) return 0.0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
@@ -57,21 +62,44 @@ double Histogram::quantile(double q) const {
       std::ceil(q * static_cast<double>(total)));
   if (rank == 0) rank = 1;
   std::uint64_t cumulative = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    cumulative += buckets_[i].load(std::memory_order_relaxed);
-    if (cumulative >= rank) return bucket_upper(i);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return Histogram::bucket_upper(i);
   }
-  return bucket_upper(kBuckets - 1);
+  return Histogram::bucket_upper(buckets.empty() ? 0 : buckets.size() - 1);
+}
+
+}  // namespace
+
+double Histogram::quantile(double q) const {
+  std::vector<std::uint64_t> copy(kBuckets);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    copy[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += copy[i];
+  }
+  return quantile_from_buckets(copy, total, q);
 }
 
 HistogramStats Histogram::stats() const {
   HistogramStats s;
-  s.count = count();
+  // One read of the bucket array defines the whole snapshot: `count` is
+  // the sum of the buckets read (not the separate count_ atomic, which
+  // may run ahead/behind under concurrent observe()), and the quantiles
+  // walk the same copy.  Each bucket is monotone, so repeated snapshots
+  // never report a shrinking count.
+  s.buckets.resize(kBuckets);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += s.buckets[i];
+  }
+  s.count = total;
   s.sum = sum();
   s.mean = s.count == 0 ? 0.0 : s.sum / static_cast<double>(s.count);
-  s.p50 = quantile(0.50);
-  s.p90 = quantile(0.90);
-  s.p99 = quantile(0.99);
+  s.p50 = quantile_from_buckets(s.buckets, total, 0.50);
+  s.p90 = quantile_from_buckets(s.buckets, total, 0.90);
+  s.p99 = quantile_from_buckets(s.buckets, total, 0.99);
   return s;
 }
 

@@ -68,6 +68,14 @@ struct HistogramStats {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// Per-bucket observation counts (bucket i covers
+  /// (Histogram::bucket_upper(i-1), Histogram::bucket_upper(i)]).  Empty
+  /// only for a default-constructed stats object; `stats()` always fills
+  /// all `Histogram::kBuckets` entries.  `count` equals the sum of this
+  /// vector and the quantiles are computed from the same single read of
+  /// the buckets, so one snapshot is internally consistent even under
+  /// concurrent writers.
+  std::vector<std::uint64_t> buckets;
 };
 
 /// Fixed-bucket geometric histogram tuned for seconds-valued latencies.

@@ -1,0 +1,56 @@
+#pragma once
+
+// Prometheus text-exposition rendering of a `MetricsSnapshot`.
+//
+// Maps the registry's dot-separated metric names onto the Prometheus
+// data model (version 0.0.4 text format):
+//
+//   - counters render as `# TYPE <name> counter` plus one sample;
+//   - gauges render as `# TYPE <name> gauge` plus one sample;
+//   - histograms render as a full histogram family — cumulative
+//     `<name>_bucket{le="..."}` series over the registry's fixed
+//     geometric buckets, `<name>_sum`, `<name>_count` — plus
+//     `<name>_p50` / `_p90` / `_p99` gauges carrying the snapshot's
+//     nearest-rank quantiles (Prometheus cannot mix `quantile` labels
+//     into a histogram family, so the quantiles get their own gauges).
+//
+// Registry names are sanitized (`service.cache_hits` →
+// `service_cache_hits`: every character outside [a-zA-Z0-9_:] becomes
+// `_`, a leading digit gains a `_` prefix) and label values are escaped
+// per the exposition format (backslash, double-quote, newline).
+// Rendering only reads the snapshot — it can never perturb a run.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace match::obs {
+
+struct PrometheusOptions {
+  /// Prepended to every family name (with a joining `_`) when non-empty.
+  std::string prefix;
+
+  /// Labels attached to every sample, e.g. {{"job", "match_server"}}.
+  /// Values are escaped; names are sanitized like metric names.
+  std::map<std::string, std::string> labels;
+};
+
+/// `service.cache_hits` → `service_cache_hits`; any character outside
+/// [a-zA-Z0-9_:] becomes `_`, and a leading digit gains a `_` prefix.
+/// An empty input renders as a single `_`.
+std::string sanitize_metric_name(std::string_view name);
+
+/// Escapes `\` → `\\`, `"` → `\"`, newline → `\n` for use inside a
+/// label-value double-quoted string.
+std::string escape_label_value(std::string_view value);
+
+/// Renders the snapshot, appending to `out` (exposition format 0.0.4).
+void render_prometheus(std::string& out, const MetricsSnapshot& snapshot,
+                       const PrometheusOptions& options = {});
+
+std::string to_prometheus(const MetricsSnapshot& snapshot,
+                          const PrometheusOptions& options = {});
+
+}  // namespace match::obs

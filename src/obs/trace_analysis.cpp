@@ -1,0 +1,377 @@
+#include "obs/trace_analysis.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "io/table.hpp"
+
+namespace match::obs {
+
+LenientTrace read_jsonl_lenient(std::istream& is) {
+  LenientTrace out;
+  std::string line;
+  while (std::getline(is, line)) {
+    // Tolerate CRLF traces (a file that bounced through Windows tooling).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    ++out.total_lines;
+    try {
+      out.events.push_back(from_jsonl(line));
+    } catch (const std::exception&) {
+      ++out.skipped_lines;
+    }
+  }
+  return out;
+}
+
+std::size_t RunReport::iterations_to_stability(double eps,
+                                               std::size_t window) const {
+  if (window == 0) window = 1;
+  if (gamma.size() < window + 1) return gamma.size();
+  std::size_t quiet = 0;  // consecutive steps with |Δγ| ≤ eps
+  for (std::size_t j = 1; j < gamma.size(); ++j) {
+    if (std::abs(gamma[j] - gamma[j - 1]) <= eps) {
+      if (++quiet >= window) return j + 1;  // 1-based iteration count
+    } else {
+      quiet = 0;
+    }
+  }
+  return gamma.size();
+}
+
+std::size_t RunReport::longest_stall() const {
+  std::size_t longest = 0, current = 0;
+  for (std::size_t j = 1; j < best.size(); ++j) {
+    if (best[j] < best[j - 1]) {
+      current = 0;
+    } else {
+      longest = std::max(longest, ++current);
+    }
+  }
+  return longest;
+}
+
+bool RunReport::best_regressed() const {
+  for (std::size_t j = 1; j < best.size(); ++j) {
+    if (best[j] > best[j - 1]) return true;
+  }
+  return false;
+}
+
+double RunReport::phase_total_seconds() const {
+  double total = 0.0;
+  for (const auto& [phase, seconds] : phase_seconds) total += seconds;
+  return total;
+}
+
+const RunReport* TraceReport::find(std::uint64_t run_id) const {
+  for (const RunReport& run : runs) {
+    if (run.run_id == run_id) return &run;
+  }
+  return nullptr;
+}
+
+double TraceReport::mean_final_best() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const RunReport& run : runs) {
+    if (!std::isnan(run.final_best)) {
+      sum += run.final_best;
+      ++n;
+    }
+  }
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum / static_cast<double>(n);
+}
+
+double TraceReport::best_final_best() const {
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (const RunReport& run : runs) {
+    if (std::isnan(run.final_best)) continue;
+    if (std::isnan(best) || run.final_best < best) best = run.final_best;
+  }
+  return best;
+}
+
+std::uint64_t TraceReport::total_iterations() const {
+  std::uint64_t total = 0;
+  for (const RunReport& run : runs) total += run.iterations;
+  return total;
+}
+
+TraceReport analyze(const std::vector<Event>& events) {
+  TraceReport report;
+  report.events = events.size();
+  std::unordered_map<std::uint64_t, std::size_t> index_of;
+  const auto run_for = [&](const Event& e) -> RunReport& {
+    auto [it, inserted] = index_of.emplace(e.run_id, report.runs.size());
+    if (inserted) {
+      report.runs.emplace_back();
+      report.runs.back().run_id = e.run_id;
+    }
+    RunReport& run = report.runs[it->second];
+    // The service's `enqueue` event carries the solver too, but the
+    // solver's own events are authoritative; first non-empty name wins.
+    if (run.solver.empty() && !e.solver.empty()) run.solver = e.solver;
+    return run;
+  };
+
+  for (const Event& e : events) {
+    RunReport& run = run_for(e);
+    switch (e.kind) {
+      case EventKind::kIteration:
+        ++run.iterations;
+        run.gamma.push_back(e.gamma);
+        run.best.push_back(e.best_so_far);
+        break;
+      case EventKind::kPhase:
+        run.phase_seconds[e.phase] += e.seconds;
+        break;
+      case EventKind::kService:
+        ++run.service_events;
+        break;
+      case EventKind::kFallbackDraw:
+        ++run.fallback_draws;
+        break;
+      case EventKind::kRunEnd:
+        run.has_run_end = true;
+        run.final_best = e.best_so_far;
+        run.run_seconds = e.seconds;
+        if (e.iteration > 0) run.iterations = e.iteration;
+        break;
+      case EventKind::kRunStart:
+        break;
+    }
+  }
+  for (RunReport& run : report.runs) {
+    if (!run.has_run_end && !run.best.empty()) run.final_best = run.best.back();
+  }
+  return report;
+}
+
+TraceReport analyze_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("match_inspect: cannot open '" + path + "'");
+  }
+  LenientTrace trace = read_jsonl_lenient(in);
+  TraceReport report = analyze(trace.events);
+  report.total_lines = trace.total_lines;
+  report.skipped_lines = trace.skipped_lines;
+  return report;
+}
+
+TraceDiff diff_traces(const TraceReport& a, const TraceReport& b,
+                      const DiffOptions& options) {
+  TraceDiff diff;
+  diff.makespan_a = a.mean_final_best();
+  diff.makespan_b = b.mean_final_best();
+  if (!std::isnan(diff.makespan_a) && !std::isnan(diff.makespan_b) &&
+      diff.makespan_a != 0.0) {
+    diff.makespan_delta_pct =
+        100.0 * (diff.makespan_b - diff.makespan_a) / diff.makespan_a;
+    diff.makespan_regressed =
+        diff.makespan_delta_pct > options.makespan_tolerance_pct;
+  } else if (std::isnan(diff.makespan_a) != std::isnan(diff.makespan_b)) {
+    // One trace finished runs and the other finished none: treat a
+    // candidate that lost all results as regressed.
+    diff.makespan_regressed = std::isnan(diff.makespan_b);
+  }
+  diff.iterations_a = a.total_iterations();
+  diff.iterations_b = b.total_iterations();
+  if (diff.iterations_a > 0) {
+    diff.iterations_delta_pct =
+        100.0 *
+        (static_cast<double>(diff.iterations_b) -
+         static_cast<double>(diff.iterations_a)) /
+        static_cast<double>(diff.iterations_a);
+    diff.iterations_regressed =
+        diff.iterations_delta_pct > options.iterations_tolerance_pct;
+  }
+  return diff;
+}
+
+// ------------------------------------------------------------------ CLI
+
+namespace {
+
+bool parse_double_arg(const std::string& s, double& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc{} && ptr == end;
+}
+
+int usage(std::ostream& err) {
+  err << "usage:\n"
+         "  match_inspect summary <trace.jsonl> [--stability-eps E] "
+         "[--stability-window W]\n"
+         "  match_inspect diff <baseline.jsonl> <candidate.jsonl> "
+         "[--makespan-tol PCT] [--iterations-tol PCT]\n"
+         "\n"
+         "summary: per-run convergence report (gamma trajectory, "
+         "iterations-to-stability,\n"
+         "         phase time breakdown, stall/regression detection); "
+         "exit 1 when any run's\n"
+         "         best-so-far regressed within its own trace.\n"
+         "diff:    compares candidate against baseline; exit 1 on "
+         "makespan or\n"
+         "         iteration-count regression beyond the tolerance.\n";
+  return 2;
+}
+
+std::string fmt_or_dash(double v, int precision = 6) {
+  return std::isnan(v) ? "-" : io::Table::num(v, precision);
+}
+
+void print_skip_note(const TraceReport& report, std::ostream& out) {
+  if (report.skipped_lines > 0) {
+    out << "note: skipped " << report.skipped_lines << " malformed line(s) of "
+        << report.total_lines << "\n";
+  }
+}
+
+int cmd_summary(const std::vector<std::string>& args, std::ostream& out,
+                std::ostream& err) {
+  std::string path;
+  double eps = 1e-6;
+  double window = 5;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--stability-eps" && i + 1 < args.size()) {
+      if (!parse_double_arg(args[++i], eps)) return usage(err);
+    } else if (args[i] == "--stability-window" && i + 1 < args.size()) {
+      if (!parse_double_arg(args[++i], window) || window < 1) return usage(err);
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage(err);
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      return usage(err);
+    }
+  }
+  if (path.empty()) return usage(err);
+
+  TraceReport report;
+  try {
+    report = analyze_file(path);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+
+  out << "== " << path << ": " << report.events << " events, "
+      << report.runs.size() << " run(s) ==\n";
+  print_skip_note(report, out);
+
+  io::Table table({"run", "solver", "iters", "iters->stable", "final best",
+                   "stall", "run (s)", "draw %", "cost %", "sort %",
+                   "update %"});
+  bool any_regressed = false;
+  for (const RunReport& run : report.runs) {
+    const double phase_total = run.phase_total_seconds();
+    const auto pct = [&](const char* phase) -> std::string {
+      const auto it = run.phase_seconds.find(phase);
+      if (it == run.phase_seconds.end() || phase_total <= 0.0) return "-";
+      return io::Table::num(100.0 * it->second / phase_total, 3);
+    };
+    any_regressed |= run.best_regressed();
+    table.add_row(
+        {std::to_string(run.run_id), run.solver.empty() ? "-" : run.solver,
+         std::to_string(run.iterations),
+         run.gamma.empty()
+             ? "-"
+             : std::to_string(run.iterations_to_stability(
+                   eps, static_cast<std::size_t>(window))),
+         fmt_or_dash(run.final_best), std::to_string(run.longest_stall()),
+         run.run_seconds > 0.0 ? io::Table::num(run.run_seconds, 4) : "-",
+         pct("draw"), pct("cost"), pct("sort"), pct("update")});
+  }
+  table.print(out);
+
+  out << "\ntotals: " << report.total_iterations() << " iterations; mean final"
+      << " best " << fmt_or_dash(report.mean_final_best()) << "; best "
+      << fmt_or_dash(report.best_final_best()) << "\n";
+  for (const RunReport& run : report.runs) {
+    if (run.fallback_draws > 0) {
+      out << "warning: run " << run.run_id << " answered with "
+          << run.fallback_draws << " deadline-starved fallback draw(s)\n";
+    }
+    if (run.best_regressed()) {
+      out << "REGRESSION: run " << run.run_id
+          << " best-so-far increased within its own trace (corrupt trace or"
+             " solver bug)\n";
+    }
+  }
+  return any_regressed ? 1 : 0;
+}
+
+int cmd_diff(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  std::vector<std::string> paths;
+  DiffOptions options;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--makespan-tol" && i + 1 < args.size()) {
+      if (!parse_double_arg(args[++i], options.makespan_tolerance_pct)) {
+        return usage(err);
+      }
+    } else if (args[i] == "--iterations-tol" && i + 1 < args.size()) {
+      if (!parse_double_arg(args[++i], options.iterations_tolerance_pct)) {
+        return usage(err);
+      }
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage(err);
+    } else {
+      paths.push_back(args[i]);
+    }
+  }
+  if (paths.size() != 2) return usage(err);
+
+  TraceReport baseline, candidate;
+  try {
+    baseline = analyze_file(paths[0]);
+    candidate = analyze_file(paths[1]);
+  } catch (const std::exception& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
+  print_skip_note(baseline, out);
+  print_skip_note(candidate, out);
+
+  const TraceDiff diff = diff_traces(baseline, candidate, options);
+  io::Table table({"metric", "baseline", "candidate", "delta %", "tolerance %",
+                   "verdict"});
+  table.add_row({"mean final best", fmt_or_dash(diff.makespan_a),
+                 fmt_or_dash(diff.makespan_b),
+                 io::Table::num(diff.makespan_delta_pct, 4),
+                 io::Table::num(options.makespan_tolerance_pct, 4),
+                 diff.makespan_regressed ? "REGRESSED" : "ok"});
+  table.add_row({"total iterations", std::to_string(diff.iterations_a),
+                 std::to_string(diff.iterations_b),
+                 io::Table::num(diff.iterations_delta_pct, 4),
+                 io::Table::num(options.iterations_tolerance_pct, 4),
+                 diff.iterations_regressed ? "REGRESSED" : "ok"});
+  table.print(out);
+  out << "\n" << (diff.regressed() ? "REGRESSION" : "OK") << "\n";
+  return diff.regressed() ? 1 : 0;
+}
+
+}  // namespace
+
+int run_inspect_cli(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err) {
+  if (args.empty()) return usage(err);
+  const std::string& command = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "summary") return cmd_summary(rest, out, err);
+  if (command == "diff") return cmd_diff(rest, out, err);
+  return usage(err);
+}
+
+}  // namespace match::obs

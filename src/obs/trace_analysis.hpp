@@ -1,0 +1,136 @@
+#pragma once
+
+// Post-hoc analysis of JSONL event traces (the files JsonlSink writes).
+//
+// Where `read_jsonl` is strict (one bad line throws), the analyzer is
+// built for operations: `read_jsonl_lenient` skips-and-counts malformed
+// or truncated lines (a server killed mid-write leaves a torn last
+// line), and `analyze` folds the surviving events into per-run
+// convergence reports — γ trajectory, iterations-to-stability in the
+// sense of the paper's stopping rule (eq. 12: the trajectory stops
+// moving for a window of consecutive iterations), per-phase time
+// breakdown from the draw/cost/sort/update phase events, and
+// stall/regression detection.
+//
+// `diff_traces` compares two reports (baseline vs candidate) and flags
+// makespan or iteration-count regressions beyond a threshold — the
+// contract `match_inspect diff` turns into an exit status, making traces
+// a CI-gateable artifact.
+//
+// `run_inspect_cli` is the whole `tools/match_inspect` CLI behind a
+// testable interface: tests drive argv vectors through it and assert on
+// the exit code without spawning a process.
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace match::obs {
+
+struct LenientTrace {
+  std::vector<Event> events;
+  std::size_t total_lines = 0;    ///< non-blank lines seen
+  std::size_t skipped_lines = 0;  ///< malformed lines skipped (never throws)
+};
+
+/// Reads a JSONL trace, skipping (and counting) lines `from_jsonl`
+/// rejects.  Garbage, truncation, and binary junk all land in
+/// `skipped_lines`; the reader itself never throws.
+LenientTrace read_jsonl_lenient(std::istream& is);
+
+/// Everything the analyzer derives about one solver run (one `run` id).
+struct RunReport {
+  std::uint64_t run_id = 0;
+  std::string solver;
+
+  std::vector<double> gamma;  ///< γ_k per iteration event, in trace order
+  std::vector<double> best;   ///< best-so-far per iteration event
+  std::uint64_t iterations = 0;
+  bool has_run_end = false;
+  /// Best cost at the end of the run: the `run_end` payload when
+  /// present, else the last iteration's best-so-far.  NaN when the run
+  /// has neither (e.g. a service-only run id).
+  double final_best = std::numeric_limits<double>::quiet_NaN();
+  double run_seconds = 0.0;  ///< from `run_end`; 0 when absent
+
+  std::map<std::string, double> phase_seconds;  ///< phase → total seconds
+  std::size_t fallback_draws = 0;
+  std::size_t service_events = 0;
+
+  /// Iterations until the γ trajectory stops moving (eq. 12 reading):
+  /// the smallest k such that |γ_j − γ_{j−1}| ≤ eps for `window`
+  /// consecutive steps ending at k.  Returns `gamma.size()` when the
+  /// trajectory never stabilizes (or is shorter than the window).
+  std::size_t iterations_to_stability(double eps = 1e-6,
+                                      std::size_t window = 5) const;
+
+  /// Longest run of consecutive iterations with no improvement in
+  /// best-so-far.  Long stalls flag a solver spinning without progress.
+  std::size_t longest_stall() const;
+
+  /// True when best-so-far ever *increases* along the trace — impossible
+  /// for a correct solver, so it flags trace corruption or a solver bug.
+  bool best_regressed() const;
+
+  double phase_total_seconds() const;
+};
+
+struct TraceReport {
+  std::vector<RunReport> runs;  ///< ordered by first appearance
+  std::size_t events = 0;
+  std::size_t total_lines = 0;
+  std::size_t skipped_lines = 0;
+
+  const RunReport* find(std::uint64_t run_id) const;
+
+  /// Mean of `final_best` over runs that have one (the CI-gated
+  /// makespan statistic); NaN when no run finished.
+  double mean_final_best() const;
+  /// Minimum `final_best` over runs that have one; NaN when none.
+  double best_final_best() const;
+  std::uint64_t total_iterations() const;
+};
+
+TraceReport analyze(const std::vector<Event>& events);
+
+/// Lenient read + analyze.  Throws `std::runtime_error` only when the
+/// file cannot be opened; content problems are counted, not thrown.
+TraceReport analyze_file(const std::string& path);
+
+struct DiffOptions {
+  /// Candidate mean final best may exceed the baseline's by this many
+  /// percent before the diff counts as a makespan regression.
+  double makespan_tolerance_pct = 0.5;
+  /// Candidate total iterations may exceed the baseline's by this many
+  /// percent before the diff counts as an iteration-count regression.
+  double iterations_tolerance_pct = 20.0;
+};
+
+struct TraceDiff {
+  double makespan_a = 0.0;
+  double makespan_b = 0.0;
+  double makespan_delta_pct = 0.0;  ///< 100·(b−a)/a; 0 when a is NaN/0
+  std::uint64_t iterations_a = 0;
+  std::uint64_t iterations_b = 0;
+  double iterations_delta_pct = 0.0;
+  bool makespan_regressed = false;
+  bool iterations_regressed = false;
+
+  bool regressed() const { return makespan_regressed || iterations_regressed; }
+};
+
+/// a = baseline, b = candidate.
+TraceDiff diff_traces(const TraceReport& a, const TraceReport& b,
+                      const DiffOptions& options = {});
+
+/// The `match_inspect` CLI: `args` excludes the program name.  Returns
+/// the process exit code: 0 ok, 1 regression detected, 2 usage/IO error.
+int run_inspect_cli(const std::vector<std::string>& args, std::ostream& out,
+                    std::ostream& err);
+
+}  // namespace match::obs

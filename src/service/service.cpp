@@ -155,6 +155,11 @@ MapResponse MappingService::process(Pending& pending) {
   response.id = request.id;
   response.solver = request.solver;
 
+  // Per-solver request series for the /metrics exposition: which solvers
+  // the traffic actually exercises (`service.requests.match`, ...).
+  metrics_.counter(std::string("service.requests.") + to_string(request.solver))
+      .add();
+
   const std::uint64_t instance_fp = fingerprint_instance(*request.instance);
   const std::uint64_t key =
       cache_key(instance_fp, request.solver, request.options);

@@ -1,0 +1,188 @@
+// Schema round-trip tests for the BENCH_<name>.json reports
+// (bench/bench_report.{hpp,cpp}): a report serialized with `to_json`
+// and parsed back with `from_json` must compare equal field-for-field,
+// including exact doubles, u64 counters beyond 2^53, and hostile
+// strings.  Also pins the on-disk `write()` artifact and the
+// MATCH_GIT_SHA override that CI uses.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_report.hpp"
+#include "obs/metrics.hpp"
+
+namespace match::bench {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report;
+  report.name = "ext_obs_overhead";
+  report.git_sha = "0123abcd4567";
+  report.config = {{"n", "30"}, {"mode", "--full"}, {"sizes", "10,20,30"}};
+
+  BenchCase a;
+  a.name = "no observer";
+  a.wall_seconds = 0.4121874999999997;  // non-terminating binary expansion
+  a.metrics["overhead_vs_baseline_pct"] = 0.0;
+  BenchCase b;
+  b.name = "JsonlSink (file)";
+  b.wall_seconds = 1.0 / 3.0;
+  b.metrics["overhead_vs_baseline_pct"] = 1.27;
+  b.metrics["events_traced"] = 3135.0;
+  report.cases = {a, b};
+
+  report.counters = {{"match.iterations", 2421},
+                     {"service.completed", 160}};
+  report.gauges = {{"queue.depth", -0.0}, {"gamma.last", 1e-300}};
+  obs::HistogramStats h;
+  h.count = 160;
+  h.sum = 1.25;
+  h.mean = 0.0078125;
+  h.p50 = 4e-6;
+  h.p90 = 1.6e-5;
+  h.p99 = 3.2e-5;
+  report.histograms["service.latency_seconds"] = h;
+  return report;
+}
+
+void expect_reports_equal(const BenchReport& x, const BenchReport& y) {
+  EXPECT_EQ(x.name, y.name);
+  EXPECT_EQ(x.git_sha, y.git_sha);
+  EXPECT_EQ(x.config, y.config);
+  EXPECT_EQ(x.cases, y.cases);  // BenchCase has defaulted operator==
+  EXPECT_EQ(x.counters, y.counters);
+  EXPECT_EQ(x.gauges, y.gauges);
+  ASSERT_EQ(x.histograms.size(), y.histograms.size());
+  for (const auto& [name, hx] : x.histograms) {
+    ASSERT_TRUE(y.histograms.count(name)) << name;
+    const obs::HistogramStats& hy = y.histograms.at(name);
+    EXPECT_EQ(hx.count, hy.count);
+    EXPECT_EQ(hx.sum, hy.sum);    // exact: shortest-round-trip doubles
+    EXPECT_EQ(hx.mean, hy.mean);
+    EXPECT_EQ(hx.p50, hy.p50);
+    EXPECT_EQ(hx.p90, hy.p90);
+    EXPECT_EQ(hx.p99, hy.p99);
+  }
+}
+
+TEST(BenchReport, RoundTripsExactly) {
+  const BenchReport original = sample_report();
+  const BenchReport back = BenchReport::from_json(original.to_json());
+  expect_reports_equal(original, back);
+  // And a second generation is a fixed point.
+  EXPECT_EQ(original.to_json(), back.to_json());
+}
+
+TEST(BenchReport, RoundTripsCountersBeyondDoublePrecision) {
+  BenchReport report;
+  report.name = "big";
+  // 2^53 + 1 is not representable as a double; the u64 path must keep it.
+  report.counters["huge"] = (1ull << 53) + 1;
+  report.counters["max"] = UINT64_MAX;
+  const BenchReport back = BenchReport::from_json(report.to_json());
+  EXPECT_EQ(back.counters.at("huge"), (1ull << 53) + 1);
+  EXPECT_EQ(back.counters.at("max"), UINT64_MAX);
+}
+
+TEST(BenchReport, RoundTripsHostileStrings) {
+  BenchReport report;
+  report.name = "quo\"te";
+  report.git_sha = "back\\slash";
+  report.config["new\nline"] = "tab\there\rcr";
+  report.config["ctrl"] = std::string("\x01\x02", 2);
+  BenchCase c;
+  c.name = "spaces and \"quotes\"";
+  report.cases.push_back(c);
+  const BenchReport back = BenchReport::from_json(report.to_json());
+  expect_reports_equal(report, back);
+}
+
+TEST(BenchReport, EmptyReportRoundTrips) {
+  const BenchReport back = BenchReport::from_json(BenchReport().to_json());
+  expect_reports_equal(BenchReport(), back);
+}
+
+TEST(BenchReport, AttachSnapshotCopiesMetricsAndDropsBuckets) {
+  obs::MetricsRegistry registry;
+  registry.counter("solver.iterations").add(17);
+  registry.gauge("gamma").set(2.5);
+  registry.histogram("lat").observe(3e-6);
+
+  BenchReport report;
+  report.name = "snap";
+  report.attach_snapshot(registry.snapshot());
+  EXPECT_EQ(report.counters.at("solver.iterations"), 17u);
+  EXPECT_DOUBLE_EQ(report.gauges.at("gamma"), 2.5);
+  EXPECT_EQ(report.histograms.at("lat").count, 1u);
+  // Bucket arrays are an exposition concern; the report drops them so a
+  // round trip compares equal.
+  EXPECT_TRUE(report.histograms.at("lat").buckets.empty());
+  expect_reports_equal(report, BenchReport::from_json(report.to_json()));
+}
+
+TEST(BenchReport, ParserRejectsGarbage) {
+  EXPECT_THROW(BenchReport::from_json(""), std::invalid_argument);
+  EXPECT_THROW(BenchReport::from_json("not json"), std::invalid_argument);
+  EXPECT_THROW(BenchReport::from_json("{\"name\":"), std::invalid_argument);
+  EXPECT_THROW(BenchReport::from_json("{} trailing"), std::invalid_argument);
+  EXPECT_THROW(BenchReport::from_json("{\"counters\":{\"x\":-1}}"),
+               std::invalid_argument);  // counters are unsigned
+  EXPECT_THROW(BenchReport::from_json("{\"name\":42}"),
+               std::invalid_argument);  // wrong type
+}
+
+TEST(BenchReport, ParserIgnoresUnknownKeysForSchemaGrowth) {
+  const BenchReport back = BenchReport::from_json(
+      "{\"name\":\"x\",\"future_field\":{\"deep\":[1,2,3]},"
+      "\"schema_version\":99}");
+  EXPECT_EQ(back.name, "x");
+}
+
+TEST(BenchReport, WriteEmitsWellFormedFileNamedAfterTheBench) {
+  BenchReport report = sample_report();
+  report.name = "unit_test";
+  const std::string dir =
+      ::testing::TempDir().substr(0, ::testing::TempDir().size() - 1);
+  const std::string path = report.write(dir);
+  EXPECT_NE(path.find("BENCH_unit_test.json"), std::string::npos);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string content = buffer.str();
+  ASSERT_FALSE(content.empty());
+  EXPECT_EQ(content.back(), '\n');
+  content.pop_back();
+  expect_reports_equal(report, BenchReport::from_json(content));
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, WriteToUnwritableDirectoryThrows) {
+  BenchReport report;
+  report.name = "nope";
+  EXPECT_THROW(report.write("/nonexistent-dir-for-sure"), std::runtime_error);
+}
+
+TEST(GitSha, EnvOverrideWinsAndFallbackIsSane) {
+  ::setenv("MATCH_GIT_SHA", "feedface0123", 1);
+  EXPECT_EQ(current_git_sha(), "feedface0123");
+  ::unsetenv("MATCH_GIT_SHA");
+  // Without the override: either a lowercase-hex sha (in a git checkout)
+  // or the literal "unknown" — never garbage.
+  const std::string sha = current_git_sha();
+  if (sha != "unknown") {
+    EXPECT_GE(sha.size(), 7u);
+    for (char c : sha) {
+      EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << sha;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace match::bench

@@ -1,0 +1,274 @@
+// Tests of the trace-analysis pipeline behind `match_inspect`: the
+// lenient JSONL reader (skip-and-count, never crash), per-run
+// convergence reports (iterations-to-stability, stalls, regression
+// detection, phase breakdown), trace diffing, and the CLI's exit-code
+// contract (0 ok / 1 regression / 2 usage or IO error).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+#include "obs/trace_analysis.hpp"
+
+namespace match::obs {
+namespace {
+
+// A plausible run: γ decays geometrically then freezes, best-so-far
+// improves monotonically to `final_best`.
+std::vector<Event> make_run(std::uint64_t run_id, double final_best,
+                            std::size_t iterations = 12) {
+  std::vector<Event> events;
+  events.push_back(Event::run_start(run_id, "match"));
+  double best = final_best + static_cast<double>(iterations);
+  for (std::size_t k = 0; k < iterations; ++k) {
+    const double gamma =
+        k + 6 < iterations ? best : final_best;  // freezes near the end
+    best = std::max(final_best, best - 1.0);
+    events.push_back(Event::iteration_event(run_id, "match", k, gamma,
+                                            best, best, 0.1, 0.5, 2.0, 8));
+    events.push_back(Event::phase_event(run_id, "match", k, "draw", 3e-4));
+    events.push_back(Event::phase_event(run_id, "match", k, "cost", 1e-4));
+    events.push_back(Event::phase_event(run_id, "match", k, "sort", 5e-5));
+    events.push_back(Event::phase_event(run_id, "match", k, "update", 5e-5));
+  }
+  events.push_back(
+      Event::run_end(run_id, "match", iterations, final_best, 0.25));
+  return events;
+}
+
+std::string write_trace(const std::string& name,
+                        const std::vector<Event>& events,
+                        const std::string& tail = "") {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream os(path, std::ios::trunc);
+  for (const Event& e : events) os << to_jsonl(e) << "\n";
+  os << tail;
+  return path;
+}
+
+// ---------------------------------------------------------- lenient reader
+
+TEST(LenientReader, SkipsAndCountsGarbageWithoutThrowing) {
+  std::stringstream is;
+  is << to_jsonl(Event::run_start(1, "match")) << "\n"
+     << "not json at all\n"
+     << "{\"kind\":\"nope\"}\n"
+     << "{\"kind\":\"run_end\",\"run\":1,\"best\"\n"  // torn mid-write
+     << "\x01\x02\xff binary junk\n"
+     << "\n"  // blank: not counted at all
+     << to_jsonl(Event::run_end(1, "match", 3, 9.5, 0.1)) << "\n";
+  const LenientTrace trace = read_jsonl_lenient(is);
+  EXPECT_EQ(trace.events.size(), 2u);
+  EXPECT_EQ(trace.total_lines, 6u);
+  EXPECT_EQ(trace.skipped_lines, 4u);
+}
+
+TEST(LenientReader, ToleratesCrlfLineEndings) {
+  std::stringstream is;
+  is << to_jsonl(Event::run_start(7, "ce")) << "\r\n";
+  const LenientTrace trace = read_jsonl_lenient(is);
+  ASSERT_EQ(trace.events.size(), 1u);
+  EXPECT_EQ(trace.events[0].run_id, 7u);
+  EXPECT_EQ(trace.skipped_lines, 0u);
+}
+
+// ----------------------------------------------------------------- analyze
+
+TEST(Analyze, FoldsEventsIntoPerRunReports) {
+  std::vector<Event> events = make_run(3, 40.0, 10);
+  const std::vector<Event> second = make_run(9, 44.0, 8);
+  events.insert(events.end(), second.begin(), second.end());
+  events.push_back(Event::service_event(3, "", "cache_hit", 1e-5));
+  events.push_back(Event::fallback_draw(9, "match"));
+
+  const TraceReport report = analyze(events);
+  ASSERT_EQ(report.runs.size(), 2u);
+
+  const RunReport* a = report.find(3);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->solver, "match");
+  EXPECT_EQ(a->iterations, 10u);
+  EXPECT_TRUE(a->has_run_end);
+  EXPECT_DOUBLE_EQ(a->final_best, 40.0);
+  EXPECT_DOUBLE_EQ(a->run_seconds, 0.25);
+  EXPECT_EQ(a->service_events, 1u);
+  EXPECT_NEAR(a->phase_seconds.at("draw"), 10 * 3e-4, 1e-12);
+  EXPECT_NEAR(a->phase_total_seconds(), 10 * 5e-4, 1e-12);
+
+  const RunReport* b = report.find(9);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->fallback_draws, 1u);
+
+  EXPECT_EQ(report.total_iterations(), 18u);
+  EXPECT_DOUBLE_EQ(report.mean_final_best(), 42.0);
+  EXPECT_DOUBLE_EQ(report.best_final_best(), 40.0);
+  EXPECT_EQ(report.find(555), nullptr);
+}
+
+TEST(Analyze, TruncatedRunFallsBackToLastBestSoFar) {
+  // A server killed mid-run: iteration events but no run_end.
+  std::vector<Event> events = make_run(1, 12.0, 6);
+  events.pop_back();  // drop the run_end
+  const TraceReport report = analyze(events);
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_FALSE(report.runs[0].has_run_end);
+  EXPECT_DOUBLE_EQ(report.runs[0].final_best, 12.0);
+}
+
+TEST(Analyze, RunWithNoCostSignalHasNaNFinalBest) {
+  const std::vector<Event> events = {Event::service_event(5, "x", "enqueue")};
+  const TraceReport report = analyze(events);
+  ASSERT_EQ(report.runs.size(), 1u);
+  EXPECT_TRUE(std::isnan(report.runs[0].final_best));
+  EXPECT_TRUE(std::isnan(report.mean_final_best()));
+}
+
+TEST(RunReport, IterationsToStabilityReadsTheGammaFreeze) {
+  RunReport run;
+  // Moves for 4 steps, then frozen: with window=3 the freeze is
+  // certified at the 3rd consecutive quiet step (iteration 8, 1-based).
+  run.gamma = {9.0, 8.0, 7.0, 6.0, 5.0, 5.0, 5.0, 5.0, 5.0};
+  EXPECT_EQ(run.iterations_to_stability(1e-9, 3), 8u);
+  // Never freezes → the full length.
+  RunReport moving;
+  moving.gamma = {9.0, 8.0, 7.0, 6.0, 5.0, 4.0};
+  EXPECT_EQ(moving.iterations_to_stability(1e-9, 3), 6u);
+  // Shorter than the window → trivially the full length.
+  RunReport tiny;
+  tiny.gamma = {1.0, 1.0};
+  EXPECT_EQ(tiny.iterations_to_stability(1e-9, 5), 2u);
+}
+
+TEST(RunReport, StallAndRegressionDetection) {
+  RunReport run;
+  run.best = {10.0, 9.0, 9.0, 9.0, 8.0, 8.0};
+  EXPECT_EQ(run.longest_stall(), 2u);
+  EXPECT_FALSE(run.best_regressed());
+
+  RunReport corrupt;
+  corrupt.best = {10.0, 9.0, 11.0};  // best-so-far may never increase
+  EXPECT_TRUE(corrupt.best_regressed());
+}
+
+// -------------------------------------------------------------------- diff
+
+TEST(Diff, FlagsMakespanRegressionBeyondTolerance) {
+  const TraceReport base = analyze(make_run(1, 100.0));
+  const TraceReport worse = analyze(make_run(1, 103.0));  // +3%
+  DiffOptions options;
+  options.makespan_tolerance_pct = 0.5;
+  const TraceDiff diff = diff_traces(base, worse, options);
+  EXPECT_TRUE(diff.makespan_regressed);
+  EXPECT_NEAR(diff.makespan_delta_pct, 3.0, 1e-9);
+  EXPECT_FALSE(diff.iterations_regressed);
+  EXPECT_TRUE(diff.regressed());
+
+  // The same delta under a looser tolerance passes.
+  options.makespan_tolerance_pct = 5.0;
+  EXPECT_FALSE(diff_traces(base, worse, options).regressed());
+  // An improvement is never a regression.
+  EXPECT_FALSE(diff_traces(worse, base, options).regressed());
+}
+
+TEST(Diff, FlagsIterationCountRegression) {
+  const TraceReport base = analyze(make_run(1, 100.0, 10));
+  const TraceReport slower = analyze(make_run(1, 100.0, 16));  // +60%
+  const TraceDiff diff = diff_traces(base, slower);  // default tol 20%
+  EXPECT_TRUE(diff.iterations_regressed);
+  EXPECT_FALSE(diff.makespan_regressed);
+  EXPECT_EQ(diff.iterations_a, 10u);
+  EXPECT_EQ(diff.iterations_b, 16u);
+}
+
+TEST(Diff, CandidateThatLostAllRunsIsARegression) {
+  const TraceReport base = analyze(make_run(1, 100.0));
+  const TraceReport empty = analyze({Event::run_start(1, "match")});
+  EXPECT_TRUE(diff_traces(base, empty).makespan_regressed);
+  // The mirror image — baseline had nothing — is not the candidate's fault.
+  EXPECT_FALSE(diff_traces(empty, base).makespan_regressed);
+}
+
+// --------------------------------------------------------------------- CLI
+
+int run_cli(std::vector<std::string> args, std::string* out_text = nullptr) {
+  std::ostringstream out, err;
+  const int rc = run_inspect_cli(args, out, err);
+  if (out_text != nullptr) *out_text = out.str() + err.str();
+  return rc;
+}
+
+TEST(InspectCli, DiffIdenticalTracesExitsZero) {
+  const std::string path = write_trace("identical.jsonl", make_run(1, 50.0));
+  std::string text;
+  EXPECT_EQ(run_cli({"diff", path, path}, &text), 0);
+  EXPECT_NE(text.find("OK"), std::string::npos);
+  EXPECT_EQ(text.find("REGRESSED"), std::string::npos);
+}
+
+TEST(InspectCli, DiffInjectedMakespanRegressionExitsNonzero) {
+  const std::string base = write_trace("cli_base.jsonl", make_run(1, 50.0));
+  const std::string worse = write_trace("cli_worse.jsonl", make_run(1, 55.0));
+  std::string text;
+  EXPECT_EQ(run_cli({"diff", base, worse}, &text), 1);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+  // Loosening the tolerance past the injected 10% delta clears it.
+  EXPECT_EQ(run_cli({"diff", base, worse, "--makespan-tol", "15"}), 0);
+}
+
+TEST(InspectCli, SummaryReportsCleanTrace) {
+  const std::string path = write_trace("summary.jsonl", make_run(4, 75.0));
+  std::string text;
+  EXPECT_EQ(run_cli({"summary", path}, &text), 0);
+  EXPECT_NE(text.find("match"), std::string::npos);
+  EXPECT_NE(text.find("75"), std::string::npos);
+  EXPECT_EQ(text.find("REGRESSION"), std::string::npos);
+}
+
+TEST(InspectCli, SummarySurvivesGarbageAndCountsSkips) {
+  const std::string path = write_trace(
+      "garbage.jsonl", make_run(2, 60.0),
+      "utter garbage\n{\"kind\":\"iteration\",\"run\":2,\"gam\n\x01\xfe\n");
+  std::string text;
+  EXPECT_EQ(run_cli({"summary", path}, &text), 0);
+  EXPECT_NE(text.find("skipped 3 malformed line(s)"), std::string::npos);
+}
+
+TEST(InspectCli, SummaryFlagsWithinTraceRegression) {
+  std::vector<Event> events = make_run(1, 20.0, 6);
+  // Corrupt one iteration so best-so-far jumps upward mid-run.
+  events.push_back(
+      Event::iteration_event(1, "match", 7, 20.0, 99.0, 99.0, 0, 0, 0, 4));
+  const std::string path = write_trace("regressed.jsonl", events);
+  std::string text;
+  EXPECT_EQ(run_cli({"summary", path}, &text), 1);
+  EXPECT_NE(text.find("REGRESSION"), std::string::npos);
+}
+
+TEST(InspectCli, UsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(run_cli({}), 2);
+  EXPECT_EQ(run_cli({"frobnicate"}), 2);
+  EXPECT_EQ(run_cli({"summary"}), 2);
+  EXPECT_EQ(run_cli({"summary", "/nonexistent/trace.jsonl"}), 2);
+  EXPECT_EQ(run_cli({"diff", "only-one.jsonl"}), 2);
+  EXPECT_EQ(run_cli({"summary", "x.jsonl", "--stability-eps", "not-a-num"}),
+            2);
+  EXPECT_EQ(run_cli({"summary", "x.jsonl", "--unknown-flag"}), 2);
+}
+
+TEST(InspectCli, StabilityFlagsReachTheAnalyzer) {
+  const std::string path = write_trace("stability.jsonl", make_run(1, 30.0));
+  // Tight window vs absurdly wide window change the reported column but
+  // both parse and exit 0.
+  EXPECT_EQ(run_cli({"summary", path, "--stability-window", "2",
+                     "--stability-eps", "0.5"}),
+            0);
+}
+
+}  // namespace
+}  // namespace match::obs

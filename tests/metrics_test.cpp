@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
 #include "workload/paper_suite.hpp"
 
 namespace match::sim {
@@ -111,3 +117,110 @@ TEST(Metrics, ImbalanceIsOneForPerfectBalance) {
 
 }  // namespace
 }  // namespace match::sim
+
+// ---------------------------------------------------------------------------
+// obs::MetricsRegistry snapshot consistency: a scrape taken mid-run must
+// be internally coherent.  Counters may only move forward between
+// snapshots, and a histogram's stats must agree with themselves — the
+// count equal to the sum of the bucket array it ships with, quantiles
+// ordered — even while writer threads hammer the registry.
+
+namespace match::obs {
+namespace {
+
+TEST(SnapshotConsistency, CountersAreMonotoneAcrossRepeatedSnapshots) {
+  MetricsRegistry registry;
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kAddsPerWriter = 200000;
+
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry, t] {
+      Counter& mine = registry.counter("snap.per_thread_" + std::to_string(t));
+      Counter& shared = registry.counter("snap.shared");
+      for (std::uint64_t i = 0; i < kAddsPerWriter; ++i) {
+        mine.add();
+        shared.add(2);
+      }
+    });
+  }
+
+  std::map<std::string, std::uint64_t> last;
+  for (int round = 0; round < 200; ++round) {
+    const MetricsSnapshot snap = registry.snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      const auto it = last.find(name);
+      if (it != last.end()) {
+        EXPECT_GE(value, it->second) << name << " moved backwards";
+      }
+      last[name] = value;
+    }
+  }
+  for (auto& w : writers) w.join();
+
+  const MetricsSnapshot final_snap = registry.snapshot();
+  EXPECT_EQ(final_snap.counters.at("snap.shared"),
+            2 * kWriters * kAddsPerWriter);
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    EXPECT_EQ(final_snap.counters.at("snap.per_thread_" + std::to_string(t)),
+              kAddsPerWriter);
+  }
+}
+
+TEST(SnapshotConsistency, HistogramStatsAreNeverTorn) {
+  MetricsRegistry registry;
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kObsPerWriter = 100000;
+
+  std::vector<std::thread> writers;
+  for (std::size_t t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&registry, t] {
+      Histogram& h = registry.histogram("snap.latency_seconds");
+      // Spread observations over several buckets so a torn read would
+      // actually disagree with its own count.
+      const double values[] = {3e-6, 1.7e-5, 2.1e-4, 1.5e-3};
+      for (std::uint64_t i = 0; i < kObsPerWriter; ++i) {
+        h.observe(values[(i + t) % 4]);
+      }
+    });
+  }
+
+  std::uint64_t last_count = 0;
+  for (int round = 0; round < 200; ++round) {
+    const MetricsSnapshot snap = registry.snapshot();
+    const auto it = snap.histograms.find("snap.latency_seconds");
+    if (it == snap.histograms.end()) continue;  // not registered yet
+    const HistogramStats& stats = it->second;
+
+    // The shipped bucket array is the ground truth for this snapshot:
+    // its sum IS the count, by construction of a single sequential read.
+    ASSERT_EQ(stats.buckets.size(), Histogram::kBuckets);
+    std::uint64_t bucket_total = 0;
+    for (std::uint64_t b : stats.buckets) bucket_total += b;
+    EXPECT_EQ(stats.count, bucket_total);
+
+    // Each bucket is monotone, so the snapshot count is too.
+    EXPECT_GE(stats.count, last_count) << "count moved backwards";
+    last_count = stats.count;
+
+    // Quantiles computed from the same read are ordered.
+    EXPECT_LE(stats.p50, stats.p90);
+    EXPECT_LE(stats.p90, stats.p99);
+    // All observed values are positive, but a snapshot may catch a
+    // writer between its bucket increment and its sum CAS — so the sum
+    // is only guaranteed non-negative, not strictly positive.
+    EXPECT_GE(stats.sum, 0.0);
+    EXPECT_GE(stats.mean, 0.0);
+  }
+  for (auto& w : writers) w.join();
+
+  const HistogramStats final_stats =
+      registry.snapshot().histograms.at("snap.latency_seconds");
+  EXPECT_EQ(final_stats.count, kWriters * kObsPerWriter);
+  std::uint64_t final_total = 0;
+  for (std::uint64_t b : final_stats.buckets) final_total += b;
+  EXPECT_EQ(final_total, kWriters * kObsPerWriter);
+}
+
+}  // namespace
+}  // namespace match::obs

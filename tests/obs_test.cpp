@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <limits>
@@ -16,7 +22,9 @@
 #include "core/matchalgo.hpp"
 #include "core/solver_context.hpp"
 #include "obs/events.hpp"
+#include "obs/http_exposer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/scoped_timer.hpp"
 #include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
@@ -191,6 +199,48 @@ TEST(JsonlSink, WritesReadableTrace) {
   ASSERT_EQ(back.size(), 2u);
   EXPECT_EQ(back[0], a);
   EXPECT_EQ(back[1], b);
+}
+
+/// Counts `sync()` calls so a test can observe exactly when a stream
+/// gets flushed (an ofstream's buffer size would make that timing-
+/// dependent; a counting streambuf makes it deterministic).
+class SyncCountingBuf : public std::stringbuf {
+ public:
+  int syncs = 0;
+
+ protected:
+  int sync() override {
+    ++syncs;
+    return std::stringbuf::sync();
+  }
+};
+
+TEST(JsonlSink, HotPathNeverFlushesButExplicitFlushDoes) {
+  SyncCountingBuf buf;
+  std::ostream os(&buf);
+  JsonlSink sink(os);
+  sink.emit(make_iteration_event());
+  sink.emit(Event::run_end(71, "match", 13, 0.5, 0.01));
+  // One flush per event would dominate tracing cost; emit must not sync.
+  EXPECT_EQ(buf.syncs, 0);
+  sink.flush();
+  EXPECT_EQ(buf.syncs, 1);
+  sink.flush();  // checkpoint flushes are repeatable
+  EXPECT_EQ(buf.syncs, 2);
+}
+
+TEST(JsonlSink, DestructorFlushesSoShortLivedTracesSurvive) {
+  SyncCountingBuf buf;
+  {
+    std::ostream os(&buf);
+    JsonlSink sink(os);
+    sink.emit(Event::run_start(1, "match"));
+    EXPECT_EQ(buf.syncs, 0);
+  }  // sink destroyed here — the trace's last line must be pushed out
+  EXPECT_GE(buf.syncs, 1);
+  // And the buffered content is intact after the sink is gone.
+  const Event back = from_jsonl(buf.str().substr(0, buf.str().find('\n')));
+  EXPECT_EQ(back.kind, EventKind::kRunStart);
 }
 
 TEST(RingBufferSink, KeepsNewestEventsOldestFirst) {
@@ -384,6 +434,90 @@ TEST(PureObserver, StopBeforeFirstBatchEmitsFallbackDraw) {
   }
   EXPECT_EQ(fallbacks, 1u);
   EXPECT_EQ(metrics.counter_value("solver.fallback_draws"), 1u);
+}
+
+/// Minimal loopback GET for the scrape-under-load test below.
+std::string scrape(std::uint16_t port, const char* path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = std::string("GET ") + path +
+                              " HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(PureObserver, ScrapingAnAttachedExporterNeverPerturbsTheRun) {
+  rng::Rng setup(3);
+  workload::PaperParams wp;
+  wp.n = 12;
+  const auto inst = workload::make_paper_instance(wp, setup);
+  const auto platform = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, platform);
+
+  core::MatchParams mp;
+  mp.max_iterations = 40;
+
+  // Reference: untraced, unexported.
+  rng::Rng plain_rng(5);
+  const auto plain =
+      core::MatchOptimizer(eval, mp).run(match::SolverContext(plain_rng));
+
+  // Candidate: full telemetry attached — sink, metrics, and a live
+  // /metrics endpoint being scraped as fast as possible while the
+  // solver runs.
+  rng::Rng traced_rng(5);
+  RingBufferSink ring(8192);
+  MetricsRegistry metrics;
+  HttpExposer exposer(
+      [&metrics] { return to_prometheus(metrics.snapshot()); });
+
+  std::atomic<bool> done{false};
+  std::atomic<std::size_t> scrapes{0};
+  std::thread scraper([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      if (scrape(exposer.port(), "/metrics").find("200 OK") !=
+          std::string::npos) {
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  match::SolverContext ctx(traced_rng);
+  ctx.with_sink(&ring).with_metrics(&metrics).with_run_id(12);
+  const auto traced = core::MatchOptimizer(eval, mp).run(ctx);
+  done.store(true, std::memory_order_relaxed);
+  scraper.join();
+
+  // One more scrape after the run: the final counters are visible.
+  const std::string text = scrape(exposer.port(), "/metrics");
+  EXPECT_NE(text.find("match_iterations"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE match_phase_draw_seconds histogram"),
+            std::string::npos);
+  EXPECT_GE(scrapes.load() + 1, 1u);
+
+  // Bit-identical trajectory: the exporter observed, never participated.
+  EXPECT_EQ(plain.best_mapping, traced.best_mapping);
+  EXPECT_EQ(plain.best_cost, traced.best_cost);
+  ASSERT_EQ(plain.history.size(), traced.history.size());
+  for (std::size_t i = 0; i < plain.history.size(); ++i) {
+    EXPECT_EQ(plain.history[i].gamma, traced.history[i].gamma);
+    EXPECT_EQ(plain.history[i].best_so_far, traced.history[i].best_so_far);
+  }
 }
 
 }  // namespace

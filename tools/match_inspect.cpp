@@ -1,0 +1,30 @@
+// match_inspect: convergence summaries and CI-gateable diffs over the
+// JSONL traces JsonlSink writes (e.g. `match_server --trace out.jsonl`).
+//
+//   match_inspect summary trace.jsonl
+//       per-run γ-trajectory report: iterations, iterations-to-stability
+//       (eq. 12 reading: γ stops moving for a window of consecutive
+//       iterations), final best cost, longest stall, per-phase
+//       draw/cost/sort/update time breakdown.  Malformed lines are
+//       skipped and counted, never fatal.  Exit 1 when any run's
+//       best-so-far regressed within its own trace.
+//
+//   match_inspect diff baseline.jsonl candidate.jsonl
+//       compares the candidate trace against the baseline and exits
+//       nonzero when the mean final best (makespan) or the total
+//       iteration count regressed beyond the tolerance
+//       (--makespan-tol / --iterations-tol, percent).
+//
+// All logic lives in src/obs/trace_analysis.{hpp,cpp} (covered by
+// tests/inspect_test.cpp); this file is only the process entry point.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/trace_analysis.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return match::obs::run_inspect_cli(args, std::cout, std::cerr);
+}
