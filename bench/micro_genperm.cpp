@@ -1,0 +1,393 @@
+// Microbenchmark for the CE hot path: GenPerm draw throughput (exact
+// scan vs alias+rejection) and end-to-end MatchOptimizer::run with both
+// backends at fixed iteration counts.  Writes BENCH_perf.json so CI
+// accumulates a perf trajectory next to the observability reports.
+//
+//   --quick   smaller sizes / fewer repetitions (CI default)
+//   --full    adds n = 256 to the draw sweep and more e2e iterations
+//
+// The headline metric is `speedup_alias_vs_scan` on the e2e cases
+// (n = 128..256): wall-clock of a fixed-work run (early stopping
+// disabled) with the legacy scan backend divided by the same run with
+// the alias backend.  The gap widens with n — the scan draw is O(n²)
+// per sample while alias+rejection is ~O(n log n) — so the largest size
+// carries the headline number.  Exit status is 0 iff every run
+// completed; the speedup is reported, not gated, so slow shared CI
+// machines cannot flake the job.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "core/genperm.hpp"
+#include "core/matchalgo.hpp"
+#include "core/stochastic_matrix.hpp"
+#include "io/table.hpp"
+#include "rng/rng.hpp"
+#include "sim/evaluator.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// A moderately skewed matrix: what P looks like mid-run, after a few CE
+// updates have concentrated mass (uniform P flatters the scan backend,
+// degenerate P flatters alias; this sits between).
+match::core::StochasticMatrix mid_run_matrix(std::size_t n) {
+  std::vector<double> v(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t d = (j + n - i % n) % n;
+      v[i * n + j] = 1.0 / static_cast<double>(1 + d * d);
+      sum += v[i * n + j];
+    }
+    for (std::size_t j = 0; j < n; ++j) v[i * n + j] /= sum;
+  }
+  return match::core::StochasticMatrix::from_values(n, n, std::move(v));
+}
+
+struct DrawResult {
+  double wall = 0.0;
+  double draws_per_sec = 0.0;
+};
+
+DrawResult time_draws(std::size_t n, std::size_t reps,
+                      match::core::SamplerBackend backend) {
+  const auto p = mid_run_matrix(n);
+  match::core::RowAliasTables tables;
+  if (backend == match::core::SamplerBackend::kAlias) tables.build(p);
+  match::core::GenPermSampler sampler(n);
+  match::rng::Rng rng(7);
+  std::vector<match::graph::NodeId> out(n);
+
+  // Warm the timed path (scratch buffers, alias cells, caches) before
+  // the clock starts; a handful of draws also lets the core clock ramp.
+  for (std::size_t r = 0; r < 8; ++r) {
+    if (backend == match::core::SamplerBackend::kAlias) {
+      sampler.sample(p, tables, rng, out);
+    } else {
+      sampler.sample(p, rng, out);
+    }
+  }
+  const auto t0 = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    if (backend == match::core::SamplerBackend::kAlias) {
+      sampler.sample(p, tables, rng, out);
+    } else {
+      sampler.sample(p, rng, out);
+    }
+  }
+  DrawResult res;
+  res.wall = seconds_since(t0);
+  res.draws_per_sec = static_cast<double>(reps) / std::max(res.wall, 1e-12);
+  return res;
+}
+
+// Frozen copy of the pre-PR GenPermSampler::sample inner loop (see git
+// history at the PR base): two passes per pick — gather the row over the
+// free resources into `weights`, then a subtraction scan inside
+// rng.weighted_pick.  Kept here verbatim so the bench can time the
+// pre-PR hot path even as the library implementation moves on.
+void legacy_sample(const match::core::StochasticMatrix& p,
+                   match::rng::Rng& rng, std::vector<std::size_t>& order,
+                   std::vector<match::graph::NodeId>& free_v,
+                   std::vector<double>& weights,
+                   std::span<match::graph::NodeId> out) {
+  const std::size_t n = p.rows();
+  rng.shuffle(std::span<std::size_t>(order));
+  free_v.clear();
+  for (std::size_t j = 0; j < n; ++j) {
+    free_v.push_back(static_cast<match::graph::NodeId>(j));
+  }
+  for (std::size_t step = 0; step < n; ++step) {
+    const std::size_t task = order[step];
+    const auto row = p.row(task);
+    weights.resize(free_v.size());
+    double total = 0.0;
+    for (std::size_t k = 0; k < free_v.size(); ++k) {
+      weights[k] = row[free_v[k]];
+      total += weights[k];
+    }
+    std::size_t pick;
+    if (total > 0.0) {
+      pick = rng.weighted_pick(weights, total);
+    } else {
+      pick = static_cast<std::size_t>(rng.below(free_v.size()));
+    }
+    out[task] = free_v[pick];
+    free_v[pick] = free_v.back();
+    free_v.pop_back();
+  }
+}
+
+// Frozen copy of the pre-PR makespan kernel: per-task CSR walk with a
+// load buffer allocated per call.  Kept verbatim (like legacy_sample
+// above) so the pre-PR reference stays fixed — the library kernel now
+// streams the undirected edge list when the comm matrix is symmetric,
+// so timing it here would understate the pre-PR cost.
+double legacy_makespan(const match::sim::CostEvaluator& eval,
+                       std::span<const match::graph::NodeId> assignment) {
+  const match::sim::Platform& plat = eval.platform();
+  const match::graph::Graph& tg = eval.tig().graph();
+  const std::size_t nr = plat.num_resources();
+  std::vector<double> load(nr, 0.0);
+  const double* node_w = tg.node_weights().data();
+  const match::graph::NodeId* assigned = assignment.data();
+  for (match::graph::NodeId t = 0; t < assignment.size(); ++t) {
+    const match::graph::NodeId s = assigned[t];
+    const double* crow = plat.comm_row(s);
+    double comm = 0.0;
+    for (const match::graph::Neighbor& nb : tg.neighbors(t)) {
+      comm += nb.weight * crow[assigned[nb.id]];
+    }
+    load[s] += node_w[t] * plat.processing_cost(s) + comm;
+  }
+  double best = 0.0;
+  for (std::size_t s = 0; s < nr; ++s) best = std::max(best, load[s]);
+  return best;
+}
+
+// Per-sample hot path (draw + makespan), mirroring the pre-PR inner
+// loop exactly: fresh sampler state per 64-sample chunk (the batch
+// grain — the pre-PR code constructed a GenPermSampler in every chunk
+// lambda), the legacy two-pass scan draw above, and the legacy
+// allocating makespan kernel.  The "new" variant is what MatchOptimizer::run
+// does today: one pooled sampler, alias-table draw, caller-provided
+// makespan scratch.  This is the cleanest reproducible stand-in for the
+// pre-PR end-to-end cost: the phases outside it (elite cut, eq. 11
+// update) are shared and small.
+double time_hotpath(const match::sim::CostEvaluator& eval,
+                    const match::core::StochasticMatrix& p,
+                    std::size_t samples, bool prepr) {
+  const std::size_t n = p.rows();
+  match::core::RowAliasTables tables;
+  match::core::GenPermSampler pooled(n);
+  if (!prepr) tables.build(p);
+  std::vector<match::graph::NodeId> out(n);
+  std::vector<double> load;
+  std::vector<std::size_t> order;
+  std::vector<match::graph::NodeId> free_v;
+  std::vector<double> weights;
+  match::rng::Rng rng(7);
+  double sink = 0.0;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (prepr) {
+      if (i % 64 == 0) {
+        // Fresh per-chunk sampler state, as the pre-PR ctor built it.
+        order.assign(n, 0);
+        for (std::size_t j = 0; j < n; ++j) order[j] = j;
+        free_v = std::vector<match::graph::NodeId>();
+        free_v.reserve(n);
+        weights = std::vector<double>();
+        weights.reserve(n);
+      }
+      legacy_sample(p, rng, order, free_v, weights, out);
+      sink += legacy_makespan(eval, std::span<const match::graph::NodeId>(out));
+    } else {
+      if (i % 64 == 0) pooled.reset_order();
+      pooled.sample(p, tables, rng, out);
+      sink += eval.makespan(std::span<const match::graph::NodeId>(out), load);
+    }
+  }
+  const double wall = seconds_since(t0);
+  if (sink < 0.0) std::abort();  // keep the sums observable
+  return wall;
+}
+
+struct E2eResult {
+  double wall = 0.0;
+  double best_cost = 0.0;
+  std::size_t iterations = 0;
+};
+
+E2eResult time_end_to_end(const match::sim::CostEvaluator& eval,
+                          std::size_t iterations,
+                          match::core::SamplerBackend backend) {
+  match::core::MatchParams params;
+  params.sampler = backend;
+  // Fixed work: run exactly `iterations` batches with every early stop
+  // effectively disabled, so both backends do identical numbers of
+  // draws and evaluations and wall-clock is comparable.
+  params.max_iterations = iterations;
+  params.stability_window = 1000000;
+  params.gamma_stall_window = 1000000;
+  params.degeneracy_eps = 1e-12;
+
+  match::core::MatchOptimizer opt(eval, params);
+  match::rng::Rng rng(42);
+  const auto t0 = Clock::now();
+  const auto r = opt.run(match::SolverContext(rng));
+  E2eResult res;
+  res.wall = seconds_since(t0);
+  res.best_cost = r.best_cost;
+  res.iterations = r.iterations;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using match::core::SamplerBackend;
+  using match::io::Table;
+
+  bool full = false, quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") full = true;
+    if (arg == "--quick") quick = true;
+  }
+  std::vector<std::size_t> draw_sizes = {32, 64, 128};
+  if (full) draw_sizes.push_back(256);
+  const std::size_t draw_reps = quick ? 200 : 500;
+  std::vector<std::size_t> e2e_sizes = {128, 192, 256};
+  // Keep at least 3 iterations: the first batch samples the uniform P —
+  // the rejection sampler's worst case (~n·ln n draws per sample) — while
+  // every later batch samples a concentrated P that mostly accepts on the
+  // first draw.  Real runs do ~25 iterations, so a 1-2 iteration timing
+  // would overweight the untypical uniform batch.
+  const std::size_t e2e_iters = full ? 5 : 3;
+  const std::size_t e2e_trials = full ? 3 : 2;
+
+  match::bench::BenchReport report;
+  report.name = "perf";
+  report.git_sha = match::bench::current_git_sha();
+  report.config["mode"] = full ? "full" : (quick ? "quick" : "default");
+  report.config["draw_reps"] = std::to_string(draw_reps);
+  report.config["e2e_iterations"] = std::to_string(e2e_iters);
+  report.config["e2e_trials"] = std::to_string(e2e_trials);
+
+  std::cout << "== GenPerm draw throughput (mid-run P) ==\n\n";
+  Table draws({"n", "scan draws/s", "alias draws/s", "alias speedup"});
+  for (const std::size_t n : draw_sizes) {
+    std::fprintf(stderr, "micro_genperm: draws n=%zu\n", n);
+    const DrawResult scan = time_draws(n, draw_reps, SamplerBackend::kScan);
+    const DrawResult alias = time_draws(n, draw_reps, SamplerBackend::kAlias);
+    const double speedup = scan.wall / std::max(alias.wall, 1e-12);
+    draws.add_row({std::to_string(n), Table::num(scan.draws_per_sec, 1),
+                   Table::num(alias.draws_per_sec, 1),
+                   Table::num(speedup, 2)});
+
+    match::bench::BenchCase cs;
+    cs.name = "draw/scan/n=" + std::to_string(n);
+    cs.wall_seconds = scan.wall;
+    cs.metrics["draws_per_sec"] = scan.draws_per_sec;
+    report.cases.push_back(cs);
+    match::bench::BenchCase ca;
+    ca.name = "draw/alias/n=" + std::to_string(n);
+    ca.wall_seconds = alias.wall;
+    ca.metrics["draws_per_sec"] = alias.draws_per_sec;
+    ca.metrics["speedup_vs_scan"] = speedup;
+    report.cases.push_back(ca);
+  }
+  draws.print(std::cout);
+
+  std::cout << "\n== Per-sample hot path: pre-PR reference (fresh "
+               "sampler/chunk, scan draw,\n   allocating makespan) vs "
+               "pooled alias draw + scratch makespan ==\n\n";
+  Table hot({"n", "pre-PR us/sample", "alias us/sample",
+             "speedup_alias_vs_prepr"});
+  for (const std::size_t n : e2e_sizes) {
+    std::fprintf(stderr, "micro_genperm: hotpath n=%zu\n", n);
+    match::rng::Rng setup(123);
+    match::workload::PaperParams wp;
+    wp.n = n;
+    const auto inst = match::workload::make_paper_instance(wp, setup);
+    const auto platform = inst.make_platform();
+    const match::sim::CostEvaluator eval(inst.tig, platform);
+    const auto p = mid_run_matrix(n);
+
+    const std::size_t samples = quick ? 256 : 512;
+    double prepr = 0.0, alias_hp = 0.0;
+    for (std::size_t trial = 0; trial < 3; ++trial) {
+      const double wp_wall = time_hotpath(eval, p, samples, /*prepr=*/true);
+      const double wa_wall = time_hotpath(eval, p, samples, /*prepr=*/false);
+      if (trial == 0 || wp_wall < prepr) prepr = wp_wall;
+      if (trial == 0 || wa_wall < alias_hp) alias_hp = wa_wall;
+    }
+    const double speedup = prepr / std::max(alias_hp, 1e-12);
+    const double scale = 1e6 / static_cast<double>(samples);
+    hot.add_row({std::to_string(n), Table::num(prepr * scale, 2),
+                 Table::num(alias_hp * scale, 2), Table::num(speedup, 2)});
+
+    match::bench::BenchCase hp;
+    hp.name = "hotpath/prepr/n=" + std::to_string(n);
+    hp.wall_seconds = prepr;
+    hp.metrics["us_per_sample"] = prepr * scale;
+    report.cases.push_back(hp);
+    match::bench::BenchCase ha;
+    ha.name = "hotpath/alias/n=" + std::to_string(n);
+    ha.wall_seconds = alias_hp;
+    ha.metrics["us_per_sample"] = alias_hp * scale;
+    ha.metrics["speedup_alias_vs_prepr"] = speedup;
+    report.cases.push_back(ha);
+  }
+  hot.print(std::cout);
+
+  std::cout << "\n== End-to-end MatchOptimizer::run, " << e2e_iters
+            << " iterations (early stops disabled) ==\n\n";
+  Table e2e({"n", "scan wall s", "alias wall s", "best cost",
+             "speedup_alias_vs_scan"});
+  for (const std::size_t e2e_n : e2e_sizes) {
+    std::fprintf(stderr, "micro_genperm: e2e n=%zu\n", e2e_n);
+    match::rng::Rng setup(123);
+    match::workload::PaperParams wp;
+    wp.n = e2e_n;
+    const auto inst = match::workload::make_paper_instance(wp, setup);
+    const auto platform = inst.make_platform();
+    const match::sim::CostEvaluator eval(inst.tig, platform);
+
+    // Interleaved min-of-trials: thermal/frequency drift on a shared
+    // machine hits both backends alike, and the min is the least-noisy
+    // estimator of the true cost (same approach as ext_obs_overhead).
+    // Alternating which backend goes first keeps a monotone clock ramp
+    // from systematically favoring one side.  The runs are
+    // deterministic, so best_cost/iterations agree across trials and
+    // only the walls differ.
+    E2eResult scan, alias;
+    for (std::size_t trial = 0; trial < e2e_trials; ++trial) {
+      E2eResult s, a;
+      if (trial % 2 == 0) {
+        s = time_end_to_end(eval, e2e_iters, SamplerBackend::kScan);
+        a = time_end_to_end(eval, e2e_iters, SamplerBackend::kAlias);
+      } else {
+        a = time_end_to_end(eval, e2e_iters, SamplerBackend::kAlias);
+        s = time_end_to_end(eval, e2e_iters, SamplerBackend::kScan);
+      }
+      if (trial == 0 || s.wall < scan.wall) scan = s;
+      if (trial == 0 || a.wall < alias.wall) alias = a;
+    }
+    const double e2e_speedup = scan.wall / std::max(alias.wall, 1e-12);
+    e2e.add_row({std::to_string(e2e_n), Table::num(scan.wall, 4),
+                 Table::num(alias.wall, 4), Table::num(alias.best_cost, 1),
+                 Table::num(e2e_speedup, 2)});
+
+    match::bench::BenchCase es;
+    es.name = "e2e/scan/n=" + std::to_string(e2e_n);
+    es.wall_seconds = scan.wall;
+    es.metrics["best_cost"] = scan.best_cost;
+    es.metrics["iterations"] = static_cast<double>(scan.iterations);
+    report.cases.push_back(es);
+    match::bench::BenchCase ea;
+    ea.name = "e2e/alias/n=" + std::to_string(e2e_n);
+    ea.wall_seconds = alias.wall;
+    ea.metrics["best_cost"] = alias.best_cost;
+    ea.metrics["iterations"] = static_cast<double>(alias.iterations);
+    ea.metrics["speedup_alias_vs_scan"] = e2e_speedup;
+    report.cases.push_back(ea);
+  }
+  e2e.print(std::cout);
+
+  const std::string path = report.write();
+  std::cout << "report: " << path << "\n";
+  return 0;
+}

@@ -111,15 +111,24 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
     }
     probe.split("cost");
 
+    // Selection-based elite cut: only the ⌈ρN⌉ smallest costs matter, so
+    // an O(N) nth_element replaces the full O(N log N) sort; the elite
+    // prefix is then sorted ascending (O(ρN log ρN)) to preserve the
+    // elite ordering the update hook used to see.
     std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return costs[a] < costs[b];
-    });
-    probe.split("sort");
-
     const std::size_t rho_count = std::max<std::size_t>(
         1, static_cast<std::size_t>(
                std::floor(params.rho * static_cast<double>(params.sample_size))));
+    const auto by_cost = [&](std::size_t a, std::size_t b) {
+      return costs[a] < costs[b];
+    };
+    std::nth_element(order.begin(),
+                     order.begin() + static_cast<std::ptrdiff_t>(rho_count - 1),
+                     order.end(), by_cost);
+    std::sort(order.begin(),
+              order.begin() + static_cast<std::ptrdiff_t>(rho_count), by_cost);
+    probe.split("sort");
+
     const double gamma = costs[order[rho_count - 1]];
 
     if (costs[order[0]] < result.best_cost) {

@@ -1,26 +1,81 @@
 #include "core/genperm.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
 namespace match::core {
 
+const char* to_string(SamplerBackend backend) {
+  switch (backend) {
+    case SamplerBackend::kScan:
+      return "scan";
+    case SamplerBackend::kAlias:
+      return "alias";
+  }
+  return "unknown";
+}
+
+void RowAliasTables::build(const StochasticMatrix& p) {
+  rows_ = p.rows();
+  cols_ = p.cols();
+  cells_.resize(rows_ * cols_);
+  small_.reserve(cols_);
+  large_.reserve(cols_);
+
+  const std::size_t n = cols_;
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto row = p.row(i);
+    Cell* cells = cells_.data() + i * n;
+    small_.clear();
+    large_.clear();
+    // Vose's method: scale entries by n, pair each deficit bucket with a
+    // surplus donor.  Row sums are 1 (within tolerance), so the worklists
+    // balance; fp drift leaves a few ~1.0 leftovers, which become
+    // self-aliased full buckets.
+    for (std::size_t j = 0; j < n; ++j) {
+      cells[j].prob = row[j] * static_cast<double>(n);
+      cells[j].alias = static_cast<graph::NodeId>(j);
+      if (cells[j].prob < 1.0) {
+        small_.push_back(static_cast<graph::NodeId>(j));
+      } else {
+        large_.push_back(static_cast<graph::NodeId>(j));
+      }
+    }
+    while (!small_.empty() && !large_.empty()) {
+      const graph::NodeId s = small_.back();
+      small_.pop_back();
+      const graph::NodeId l = large_.back();
+      cells[s].alias = l;
+      cells[l].prob -= 1.0 - cells[s].prob;
+      if (cells[l].prob < 1.0) {
+        large_.pop_back();
+        small_.push_back(l);
+      }
+    }
+    // Leftovers on either list carry (numerically) full buckets.
+    for (const graph::NodeId j : small_) cells[j].prob = 1.0;
+    for (const graph::NodeId j : large_) cells[j].prob = 1.0;
+  }
+}
+
 GenPermSampler::GenPermSampler(std::size_t n) : n_(n) {
   if (n == 0) throw std::invalid_argument("GenPermSampler: n == 0");
+  std::size_t root = 1;
+  while ((root + 1) * (root + 1) <= n) ++root;  // floor(sqrt(n)), integer-only
+  scan_cutoff_ = std::max(kSmallFreeCutoff, 2 * root);
   order_.resize(n);
   for (std::size_t i = 0; i < n; ++i) order_[i] = i;
   free_.reserve(n);
-  weights_.reserve(n);
+  prefix_.reserve(n);
+  taken_.reserve(n);
+  pos_.reserve(n);
 }
 
-void GenPermSampler::sample(const StochasticMatrix& p, rng::Rng& rng,
-                            std::span<graph::NodeId> out,
-                            bool random_task_order,
-                            std::span<const graph::NodeId> pins) {
-  assert(p.rows() == n_ && p.cols() == n_);
-  assert(out.size() == n_);
-  assert(pins.empty() || pins.size() == n_);
-
+void GenPermSampler::begin_draw(rng::Rng& rng, std::span<graph::NodeId> out,
+                                bool random_task_order,
+                                std::span<const graph::NodeId> pins,
+                                bool track_positions) {
   if (random_task_order) {
     rng.shuffle(std::span<std::size_t>(order_));
   } else {
@@ -32,42 +87,126 @@ void GenPermSampler::sample(const StochasticMatrix& p, rng::Rng& rng,
     for (std::size_t j = 0; j < n_; ++j) {
       free_.push_back(static_cast<graph::NodeId>(j));
     }
+    if (track_positions) taken_.assign(n_, 0);
   } else {
-    std::vector<char> taken(n_, 0);
+    taken_.assign(n_, 0);
     for (std::size_t t = 0; t < n_; ++t) {
       if (pins[t] != kNoPin) {
-        assert(pins[t] < n_ && !taken[pins[t]] && "pins must be distinct");
+        assert(pins[t] < n_ && !taken_[pins[t]] && "pins must be distinct");
         out[t] = pins[t];
-        taken[pins[t]] = 1;
+        taken_[pins[t]] = 1;
       }
     }
     for (std::size_t j = 0; j < n_; ++j) {
-      if (!taken[j]) free_.push_back(static_cast<graph::NodeId>(j));
+      if (!taken_[j]) free_.push_back(static_cast<graph::NodeId>(j));
     }
   }
+  if (track_positions) {
+    pos_.resize(n_);
+    for (std::size_t k = 0; k < free_.size(); ++k) pos_[free_[k]] = static_cast<graph::NodeId>(k);
+  }
+}
+
+std::size_t GenPermSampler::pick_from_free_scan(std::span<const double> row,
+                                                rng::Rng& rng) {
+  const std::size_t f = free_.size();
+  prefix_.resize(f);
+  double total = 0.0;
+  for (std::size_t k = 0; k < f; ++k) {
+    total += row[free_[k]];
+    prefix_[k] = total;
+  }
+  if (total > 0.0) {
+    // One uniform per pick, exactly like the legacy subtraction scan, but
+    // the pick itself is a binary search over the prefix sums stored
+    // during the (single) weight gather.
+    const double target = rng.uniform() * total;
+    const auto it =
+        std::upper_bound(prefix_.begin(), prefix_.end(), target);
+    std::size_t pick = static_cast<std::size_t>(it - prefix_.begin());
+    if (pick >= f) pick = f - 1;  // absorbs floating-point round-off
+    return pick;
+  }
+  return static_cast<std::size_t>(rng.below(f));
+}
+
+void GenPermSampler::sample(const StochasticMatrix& p, rng::Rng& rng,
+                            std::span<graph::NodeId> out,
+                            bool random_task_order,
+                            std::span<const graph::NodeId> pins) {
+  assert(p.rows() == n_ && p.cols() == n_);
+  assert(out.size() == n_);
+  assert(pins.empty() || pins.size() == n_);
+
+  begin_draw(rng, out, random_task_order, pins, /*track_positions=*/false);
 
   for (std::size_t step = 0; step < n_; ++step) {
     const std::size_t task = order_[step];
     if (!pins.empty() && pins[task] != kNoPin) continue;
-    const auto row = p.row(task);
-
-    weights_.resize(free_.size());
-    double total = 0.0;
-    for (std::size_t k = 0; k < free_.size(); ++k) {
-      weights_[k] = row[free_[k]];
-      total += weights_[k];
-    }
-
-    std::size_t pick;
-    if (total > 0.0) {
-      pick = rng.weighted_pick(weights_, total);
-    } else {
-      pick = static_cast<std::size_t>(rng.below(free_.size()));
-    }
-
+    const std::size_t pick = pick_from_free_scan(p.row(task), rng);
     out[task] = free_[pick];
     // Remove the chosen resource in O(1); free_ order is irrelevant.
     free_[pick] = free_.back();
+    free_.pop_back();
+  }
+}
+
+void GenPermSampler::sample(const StochasticMatrix& p,
+                            const RowAliasTables& tables, rng::Rng& rng,
+                            std::span<graph::NodeId> out,
+                            bool random_task_order,
+                            std::span<const graph::NodeId> pins) {
+  assert(p.rows() == n_ && p.cols() == n_);
+  assert(tables.rows() == n_ && tables.cols() == n_);
+  assert(out.size() == n_);
+  assert(pins.empty() || pins.size() == n_);
+
+  begin_draw(rng, out, random_task_order, pins, /*track_positions=*/true);
+
+  for (std::size_t step = 0; step < n_; ++step) {
+    const std::size_t task = order_[step];
+    if (!pins.empty() && pins[task] != kNoPin) continue;
+    const std::size_t f = free_.size();
+
+    std::size_t chosen = n_;  // sentinel: not yet decided
+    if (f == 1) {
+      chosen = free_[0];
+    } else if (f > scan_cutoff_) {
+      // Rejection against the taken set: conditioned on acceptance, the
+      // draw is exactly the row renormalized over free resources.  Two
+      // candidates per round: their alias-cell loads are independent, so
+      // the out-of-order core overlaps the cache misses that dominate
+      // this loop (the candidates are i.i.d.; checking them in draw
+      // order keeps the accepted value's distribution unchanged).
+      for (std::size_t attempt = 0; attempt < kMaxRejections; attempt += 2) {
+        const std::size_t j1 = tables.sample(task, rng);
+        const std::size_t j2 = tables.sample(task, rng);
+        if (!taken_[j1]) {
+          chosen = j1;
+          break;
+        }
+        if (!taken_[j2]) {
+          chosen = j2;
+          break;
+        }
+      }
+    }
+    std::size_t pick;
+    if (chosen != n_) {
+      pick = pos_[chosen];
+    } else {
+      // Exact fallback — small free set, or the row's mass sits almost
+      // entirely on taken resources.  Falling back to the exact
+      // conditional keeps the overall distribution identical.
+      pick = pick_from_free_scan(p.row(task), rng);
+      chosen = free_[pick];
+    }
+
+    out[task] = static_cast<graph::NodeId>(chosen);
+    taken_[chosen] = 1;
+    const graph::NodeId last = free_.back();
+    free_[pick] = last;
+    pos_[last] = static_cast<graph::NodeId>(pick);
     free_.pop_back();
   }
 }

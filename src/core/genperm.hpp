@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -8,6 +9,67 @@
 #include "rng/rng.hpp"
 
 namespace match::core {
+
+/// Which GenPerm draw backend a solver uses (see docs/ALGORITHMS.md §"GenPerm
+/// sampling complexity").
+enum class SamplerBackend {
+  /// The legacy exact scan: each pick gathers the row restricted to the
+  /// free resources and draws by inverse transform.  O(n²) per sample,
+  /// bit-exact with the pre-alias library versions.
+  kScan,
+  /// Alias-table + rejection: per-row Walker/Vose alias tables are built
+  /// once per iteration from the fixed P and shared read-only across the
+  /// batch; each pick rejection-samples against the taken set and falls
+  /// back to the exact scan when the free set is small or rejections
+  /// exceed a cap.  Distributionally identical to kScan (renormalization
+  /// over free resources), ~O(n log n) per sample.
+  kAlias,
+};
+
+const char* to_string(SamplerBackend backend);
+
+/// Walker/Vose alias tables for every row of a row-stochastic matrix:
+/// O(1) draws from a row's *unconditional* distribution.
+///
+/// The tables depend only on P, so one build per CE iteration (O(n²)
+/// total) is shared read-only by every sampler in the batch; `build`
+/// reuses its storage, keeping steady-state iterations allocation-free.
+class RowAliasTables {
+ public:
+  RowAliasTables() = default;
+
+  /// Rebuilds the tables from `p` (any rows × cols shape).
+  void build(const StochasticMatrix& p);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return rows_ == 0; }
+
+  /// Draws a column from row i's distribution.  Consumes exactly one
+  /// uniform: the integer part selects the bucket, the fractional part
+  /// decides bucket-vs-alias.
+  std::size_t sample(std::size_t i, rng::Rng& rng) const {
+    const double u = rng.uniform() * static_cast<double>(cols_);
+    std::size_t k = static_cast<std::size_t>(u);
+    if (k >= cols_) k = cols_ - 1;  // guard fp round-up at u -> cols
+    const Cell& c = cells_[i * cols_ + k];
+    return (u - static_cast<double>(k)) < c.prob ? k : c.alias;
+  }
+
+ private:
+  /// Acceptance threshold and alias target interleaved in one 16-byte
+  /// cell: a rejection draw touches a random bucket, so keeping both
+  /// fields on the same cache line matters on the hot path.
+  struct Cell {
+    double prob;
+    graph::NodeId alias;
+  };
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<Cell> cells_;                   // row-major
+  std::vector<graph::NodeId> small_, large_;  // build worklists (reused)
+};
 
 /// The paper's `GenPerm` sampler (Fig. 4): draws a *valid* permutation
 /// mapping from the distribution induced by a stochastic matrix `P`.
@@ -18,12 +80,29 @@ namespace match::core {
 /// systematic bias a fixed order would give early tasks (they sample from
 /// an unconstrained row).  A fixed visiting order is available for the
 /// ablation study (`DESIGN.md` §5, item 5).
+///
+/// Two backends produce the same conditional distribution: the exact
+/// scan (`sample` without tables) and alias-table rejection (`sample`
+/// with a `RowAliasTables` built from the same `P`).  All scratch is
+/// owned by the sampler and reused, so both paths are allocation-free
+/// after the first draw.
 class GenPermSampler {
  public:
   explicit GenPermSampler(std::size_t n);
 
   /// Sentinel in a pin vector: task is free to go anywhere.
   static constexpr graph::NodeId kNoPin = ~graph::NodeId{0};
+
+  /// Floor of the alias→scan crossover: below this many free resources
+  /// the exact scan always wins.  The effective cutoff is
+  /// max(kSmallFreeCutoff, 2·√n): with f free resources the rejection
+  /// loop expects ~n/f draws per pick while the scan costs O(f), so the
+  /// crossover scales with √n rather than a constant.
+  static constexpr std::size_t kSmallFreeCutoff = 8;
+
+  /// Rejection attempts per pick before falling back to the exact scan
+  /// (covers rows whose mass concentrates on already-taken resources).
+  static constexpr std::size_t kMaxRejections = 16;
 
   /// Draws one permutation into `out` (size n): out[task] = resource.
   ///
@@ -35,18 +114,61 @@ class GenPermSampler {
   /// `pins` is either empty or size n; entry t != kNoPin forces task t
   /// onto that resource (and removes the resource from everyone else's
   /// draws).  Pinned resources must be distinct.
+  ///
+  /// This overload is the exact-scan backend (`SamplerBackend::kScan`);
+  /// it consumes one uniform per pick and is bit-exact with the legacy
+  /// two-pass scan (the pick is binary-searched over prefix sums stored
+  /// during the single weight gather).
   void sample(const StochasticMatrix& p, rng::Rng& rng,
               std::span<graph::NodeId> out, bool random_task_order = true,
               std::span<const graph::NodeId> pins = {});
 
+  /// Alias-backend overload (`SamplerBackend::kAlias`): `tables` must
+  /// have been built from `p` (same object the caller keeps fixed for
+  /// the whole batch).  Each pick rejection-samples the task's row until
+  /// it hits a free resource, falling back to the exact renormalized
+  /// scan after `kMaxRejections` misses or when fewer than
+  /// `kSmallFreeCutoff` resources remain — so the conditional
+  /// distribution is identical to the scan backend's, while the expected
+  /// per-sample cost drops from O(n²) to ~O(n log n).  The RNG stream
+  /// differs from the scan backend (rejections consume extra draws).
+  void sample(const StochasticMatrix& p, const RowAliasTables& tables,
+              rng::Rng& rng, std::span<graph::NodeId> out,
+              bool random_task_order = true,
+              std::span<const graph::NodeId> pins = {});
+
   std::size_t size() const noexcept { return n_; }
 
+  /// Resets the task visiting order to identity — the state of a freshly
+  /// constructed sampler.  With `random_task_order`, the Fisher–Yates
+  /// shuffle permutes the *current* order in place, so consecutive draws
+  /// chain their orders; callers that reuse one sampler where the legacy
+  /// code constructed a fresh one (e.g. per worker chunk) call this at
+  /// the old construction point to reproduce the exact same stream.
+  void reset_order() noexcept {
+    for (std::size_t i = 0; i < n_; ++i) order_[i] = i;
+  }
+
  private:
+  /// Shuffles (or resets) the task visiting order and rebuilds the free
+  /// set from `pins`, writing pinned assignments straight into `out`.
+  void begin_draw(rng::Rng& rng, std::span<graph::NodeId> out,
+                  bool random_task_order, std::span<const graph::NodeId> pins,
+                  bool track_positions);
+
+  /// Exact renormalized pick over the current free set from row `row`:
+  /// index into `free_`.  Consumes one uniform (or one bounded integer
+  /// draw when the remaining mass is zero).
+  std::size_t pick_from_free_scan(std::span<const double> row, rng::Rng& rng);
+
   std::size_t n_;
+  std::size_t scan_cutoff_;  // max(kSmallFreeCutoff, 2·√n); see above
   // Scratch reused across draws to keep the hot path allocation-free.
   std::vector<std::size_t> order_;
   std::vector<graph::NodeId> free_;    // resources still available
-  std::vector<double> weights_;        // P row restricted to free_
+  std::vector<double> prefix_;         // inclusive prefix sums of row|free
+  std::vector<char> taken_;            // alias path: taken-resource bitmap
+  std::vector<graph::NodeId> pos_;     // alias path: free_ index of resource
 };
 
 }  // namespace match::core

@@ -10,6 +10,7 @@
 #include "core/genperm.hpp"
 #include "obs/scoped_timer.hpp"
 #include "parallel/parallel_for.hpp"
+#include "parallel/scratch.hpp"
 #include "rng/splitmix64.hpp"
 
 namespace match::core {
@@ -80,6 +81,22 @@ std::uint64_t sample_seed(std::uint64_t iter_seed, std::uint64_t index) {
   return mixer.next();
 }
 
+/// Per-worker reusable hot-loop state, handed out by a ScratchPool: the
+/// GenPerm sampler (scratch-heavy, hoisted out of the chunk lambdas so
+/// it is built once per worker per run instead of once per chunk per
+/// iteration), the makespan load buffer, and the eq. (11) partial count
+/// accumulator.  Everything here is either fully overwritten per use or
+/// reduced order-insensitively, so timing-dependent chunk→worker
+/// assignment cannot perturb results.
+struct MatchWorker {
+  GenPermSampler sampler;
+  std::vector<double> load;    ///< CostEvaluator::makespan scratch
+  std::vector<double> counts;  ///< eq. (11) partial counts (n*n, lazily sized)
+  std::size_t elite = 0;       ///< eq. (11) partial elite count
+
+  explicit MatchWorker(std::size_t n) : sampler(n) {}
+};
+
 }  // namespace
 
 void MatchOptimizer::set_initial_matrix(StochasticMatrix p0) {
@@ -127,8 +144,19 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
 
   std::vector<graph::NodeId> samples(batch * n);
   std::vector<double> costs(batch);
-  std::vector<std::size_t> order(batch);
+  std::vector<double> gamma_scratch(batch);  // nth_element workspace
   std::vector<double> counts(n * n);
+
+  // Per-worker state outlives the iteration loop, so samplers and
+  // scratch buffers are constructed at most once per worker thread for
+  // the whole run (not once per chunk per iteration).
+  parallel::ScratchPool<MatchWorker> workers(
+      [n] { return std::make_unique<MatchWorker>(n); });
+  // Alias tables for the kAlias backend: rebuilt from P once per
+  // iteration (O(n²), the cost of a *single* legacy draw) and shared
+  // read-only across the whole batch.
+  RowAliasTables alias_tables;
+  const bool use_alias = params_.sampler == SamplerBackend::kAlias;
 
   MatchResult result;
   result.best_cost = std::numeric_limits<double>::infinity();
@@ -154,16 +182,31 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
     probe.start_iteration(iter);
     // --- Step 3 (Fig. 5): draw N mappings via GenPerm. -------------------
     const std::uint64_t iter_seed = rng.bits();
+    if (use_alias) alias_tables.build(p);
+    const auto draw_one = [&](MatchWorker& w, rng::Rng& local,
+                              std::span<graph::NodeId> row) {
+      if (use_alias) {
+        w.sampler.sample(p, alias_tables, local, row,
+                         params_.random_task_order, pins_);
+      } else {
+        w.sampler.sample(p, local, row, params_.random_task_order, pins_);
+      }
+    };
     if (!probe.armed()) {
       parallel::parallel_for_chunked(
           0, batch,
           [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-            GenPermSampler sampler(n);
+            auto lease = workers.acquire();
+            // The legacy code constructed a fresh sampler per chunk, and
+            // the shuffled task order chains across draws; resetting it
+            // at the old construction point keeps the stream bit-exact
+            // and independent of which pooled worker serves the chunk.
+            lease->sampler.reset_order();
             for (std::size_t i = lo; i < hi; ++i) {
               rng::Rng local(sample_seed(iter_seed, i));
               const std::span<graph::NodeId> row(samples.data() + i * n, n);
-              sampler.sample(p, local, row, params_.random_task_order, pins_);
-              costs[i] = eval_->makespan(row);
+              draw_one(*lease, local, row);
+              costs[i] = eval_->makespan(row, lease->load);
             }
           },
           for_opts);
@@ -175,11 +218,12 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
       parallel::parallel_for_chunked(
           0, batch,
           [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-            GenPermSampler sampler(n);
+            auto lease = workers.acquire();
+            lease->sampler.reset_order();  // see the fused loop above
             for (std::size_t i = lo; i < hi; ++i) {
               rng::Rng local(sample_seed(iter_seed, i));
               const std::span<graph::NodeId> row(samples.data() + i * n, n);
-              sampler.sample(p, local, row, params_.random_task_order, pins_);
+              draw_one(*lease, local, row);
             }
           },
           for_opts);
@@ -187,58 +231,91 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
       parallel::parallel_for_chunked(
           0, batch,
           [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+            auto lease = workers.acquire();
             for (std::size_t i = lo; i < hi; ++i) {
               const std::span<const graph::NodeId> row(samples.data() + i * n,
                                                        n);
-              costs[i] = eval_->makespan(row);
+              costs[i] = eval_->makespan(row, lease->load);
             }
           },
           for_opts);
       probe.split("cost");
     }
 
-    // --- Steps 4–5: order costs, pick the elite threshold γ. -------------
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return costs[a] < costs[b];
-    });
-    probe.split("sort");
-
+    // --- Steps 4–5: pick the elite threshold γ. --------------------------
+    // γ is a single order statistic and the elite set below is selected
+    // by the `costs[i] <= gamma` indicator, so a full O(N log N) sort is
+    // wasted work: an O(N) selection yields the bit-identical γ.
     const std::size_t rho_count = std::max<std::size_t>(
         1, static_cast<std::size_t>(std::floor(params_.rho *
                                                static_cast<double>(batch))));
-    double gamma;
-    if (params_.paper_literal_elite) {
-      // Literal Fig.-5 reading: sort descending, γ = s_{⌊ρN⌋}; with the
-      // S ≤ γ indicator this keeps ~(1-ρ)N samples (ablation only).
-      gamma = costs[order[batch - 1 - std::min(rho_count, batch - 1)]];
-    } else {
-      gamma = costs[order[rho_count - 1]];
-    }
+    const std::size_t kth =
+        params_.paper_literal_elite
+            // Literal Fig.-5 reading: sort descending, γ = s_{⌊ρN⌋}; with
+            // the S ≤ γ indicator this keeps ~(1-ρ)N samples (ablation
+            // only).
+            ? batch - 1 - std::min(rho_count, batch - 1)
+            : rho_count - 1;
+    std::copy(costs.begin(), costs.end(), gamma_scratch.begin());
+    std::nth_element(gamma_scratch.begin(),
+                     gamma_scratch.begin() + static_cast<std::ptrdiff_t>(kth),
+                     gamma_scratch.end());
+    const double gamma = gamma_scratch[kth];
 
-    const double iter_best = costs[order[0]];
+    // Iteration best by min-scan (smallest index wins ties, which makes
+    // the tie-break deterministic where an unstable sort's was not).
+    std::size_t best_index = 0;
+    for (std::size_t i = 1; i < batch; ++i) {
+      if (costs[i] < costs[best_index]) best_index = i;
+    }
+    const double iter_best = costs[best_index];
+    probe.split("sort");
+
     if (iter_best < result.best_cost) {
       result.best_cost = iter_best;
-      const std::size_t bi = order[0];
       result.best_mapping = sim::Mapping(std::vector<graph::NodeId>(
-          samples.begin() + static_cast<std::ptrdiff_t>(bi * n),
-          samples.begin() + static_cast<std::ptrdiff_t>((bi + 1) * n)));
+          samples.begin() + static_cast<std::ptrdiff_t>(best_index * n),
+          samples.begin() + static_cast<std::ptrdiff_t>((best_index + 1) * n)));
     }
 
     // --- Step 6: re-estimate P from the elite set (eq. 11). --------------
+    // Parallel accumulation into per-worker count buffers.  Every
+    // increment is an exact +1.0 in double, so the reduction below is
+    // exact and order-insensitive: results are bit-identical to the
+    // serial accumulation regardless of chunking or thread timing.
+    workers.for_each([&](MatchWorker& w) {
+      if (!w.counts.empty()) std::fill(w.counts.begin(), w.counts.end(), 0.0);
+      w.elite = 0;
+    });
+    parallel::parallel_for_chunked(
+        0, batch,
+        [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+          auto lease = workers.acquire();
+          MatchWorker& w = *lease;
+          if (w.counts.empty()) w.counts.assign(n * n, 0.0);
+          for (std::size_t i = lo; i < hi; ++i) {
+            if (costs[i] <= gamma) {
+              ++w.elite;
+              const graph::NodeId* row = samples.data() + i * n;
+              for (std::size_t t = 0; t < n; ++t) w.counts[t * n + row[t]] += 1.0;
+            }
+          }
+        },
+        for_opts);
     std::fill(counts.begin(), counts.end(), 0.0);
     std::size_t elite = 0;
-    for (std::size_t i = 0; i < batch; ++i) {
-      if (costs[i] <= gamma) {
-        ++elite;
-        const graph::NodeId* row = samples.data() + i * n;
-        for (std::size_t t = 0; t < n; ++t) counts[t * n + row[t]] += 1.0;
+    workers.for_each([&](MatchWorker& w) {
+      elite += w.elite;
+      if (w.elite != 0) {
+        for (std::size_t k = 0; k < counts.size(); ++k) counts[k] += w.counts[k];
       }
-    }
+    });
     // elite >= 1 by construction of gamma.
     for (double& c : counts) c /= static_cast<double>(elite);
+    // The counts were normalized right here, so skip the redundant
+    // O(n²) row-sum revalidation of the checked factory.
     const StochasticMatrix q =
-        StochasticMatrix::from_values(n, n, counts);
+        StochasticMatrix::from_values_unchecked(n, n, counts);
     counts.assign(n * n, 0.0);
 
     // --- Smoothing (eq. 13), optionally decayed over iterations. ---------

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/genperm.hpp"
 #include "core/run_summary.hpp"
 #include "core/solver_context.hpp"
 #include "core/stochastic_matrix.hpp"
@@ -75,6 +76,14 @@ struct MatchParams {
   /// GenPerm visits tasks in random order (paper behavior).  Fixed order
   /// is exposed for the ablation study.
   bool random_task_order = true;
+
+  /// GenPerm draw backend.  `kAlias` (default) builds per-row alias
+  /// tables once per iteration and rejection-samples each pick in O(1)
+  /// expected — distributionally identical to the exact scan but
+  /// ~O(n log n) instead of O(n²) per sample.  `kScan` is the legacy
+  /// exact scan, bit-identical to pre-alias library versions for a
+  /// fixed seed (see docs/ALGORITHMS.md).
+  SamplerBackend sampler = SamplerBackend::kAlias;
 
   /// Ablation switch: use the literal Fig.-5 elite rule (sort descending,
   /// γ = s_{⌊ρN⌋}) instead of the standard best-ρ-fraction reading.  The

@@ -1,6 +1,7 @@
 #include "core/stochastic_matrix.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -26,6 +27,17 @@ StochasticMatrix StochasticMatrix::from_values(std::size_t rows,
     throw std::invalid_argument(
         "StochasticMatrix::from_values: rows must sum to 1");
   }
+  return m;
+}
+
+StochasticMatrix StochasticMatrix::from_values_unchecked(
+    std::size_t rows, std::size_t cols, std::vector<double> values) {
+  if (values.size() != rows * cols) {
+    throw std::invalid_argument("StochasticMatrix::from_values_unchecked: size");
+  }
+  StochasticMatrix m(rows, cols, std::move(values));
+  assert(m.is_row_stochastic() &&
+         "from_values_unchecked: caller must guarantee row-stochastic input");
   return m;
 }
 

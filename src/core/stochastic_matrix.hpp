@@ -26,6 +26,16 @@ class StochasticMatrix {
   static StochasticMatrix from_values(std::size_t rows, std::size_t cols,
                                       std::vector<double> values);
 
+  /// Takes ownership of row-major `values` WITHOUT the O(rows·cols)
+  /// stochasticity validation.  Strictly for internal hot paths whose
+  /// construction already guarantees row sums of 1 — e.g. the eq. (11)
+  /// re-estimate, which normalizes counts it just accumulated; debug
+  /// builds still assert.  Misuse silently breaks sampling invariants,
+  /// so public entry points must keep using `from_values`.
+  static StochasticMatrix from_values_unchecked(std::size_t rows,
+                                                std::size_t cols,
+                                                std::vector<double> values);
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
 

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace match::parallel {
+
+/// A small pool of reusable worker-state objects for chunked parallel
+/// loops.
+///
+/// The library's hot loops (`MatchOptimizer::run`, batch evaluation)
+/// need per-worker scratch — GenPerm samplers, load buffers, count
+/// accumulators — that is expensive to construct per chunk and must not
+/// be shared between concurrently running chunks.  `ScratchPool` hands
+/// out exclusive leases: `acquire()` pops an idle state or creates one
+/// via the factory, and the lease returns the state on destruction.
+/// The number of states ever created is bounded by the peak number of
+/// concurrent leases (≤ pool worker count), so a loop that acquires
+/// once per chunk is allocation-free once the pool has warmed up —
+/// including across successive iterations of an outer loop that keeps
+/// the pool alive.
+///
+/// Determinism note: which chunk lands on which state depends on thread
+/// timing, so states must only carry *scratch* — buffers whose contents
+/// are fully overwritten before use, or accumulators whose reduction is
+/// order-insensitive (e.g. exact integer counts in doubles) — never RNG
+/// state or anything order-sensitive.
+template <typename T>
+class ScratchPool {
+ public:
+  explicit ScratchPool(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {}
+
+  ScratchPool(const ScratchPool&) = delete;
+  ScratchPool& operator=(const ScratchPool&) = delete;
+
+  /// Exclusive RAII handle to one pooled state.
+  class Lease {
+   public:
+    Lease(ScratchPool* pool, std::unique_ptr<T> item)
+        : pool_(pool), item_(std::move(item)) {}
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), item_(std::move(other.item_)) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (item_) pool_->release(std::move(item_));
+    }
+
+    T& operator*() const noexcept { return *item_; }
+    T* operator->() const noexcept { return item_.get(); }
+
+   private:
+    ScratchPool* pool_;
+    std::unique_ptr<T> item_;
+  };
+
+  Lease acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        std::unique_ptr<T> item = std::move(idle_.back());
+        idle_.pop_back();
+        return Lease(this, std::move(item));
+      }
+      ++created_;
+      // Capacity for every state ever created: `release` never allocates.
+      idle_.reserve(created_);
+    }
+    // Construct outside the lock; factories may be expensive.
+    return Lease(this, factory_());
+  }
+
+  /// Number of states created so far (== peak concurrent leases).
+  std::size_t created() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return created_;
+  }
+
+  /// Applies `fn` to every pooled state.  Only valid while no leases are
+  /// outstanding (i.e. after the parallel loop has joined), so that the
+  /// idle list holds every state ever created.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& item : idle_) fn(*item);
+  }
+
+ private:
+  void release(std::unique_ptr<T> item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(item));
+  }
+
+  std::function<std::unique_ptr<T>()> factory_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<T>> idle_;
+  std::size_t created_ = 0;
+};
+
+}  // namespace match::parallel

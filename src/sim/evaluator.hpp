@@ -42,14 +42,25 @@ class CostEvaluator {
   double makespan(const Mapping& m) const;
 
   /// Raw assignment-span overload used by the hot samplers (no Mapping
-  /// object construction).
+  /// object construction).  Allocates a transient load buffer; hot loops
+  /// should prefer the scratch overload below.
   double makespan(std::span<const graph::NodeId> assignment) const;
+
+  /// Zero-allocation overload: `load_scratch` is resized to
+  /// `num_resources()` and fully overwritten, so the same vector can be
+  /// reused across calls (no heap traffic after the first call).  The
+  /// caller owns the buffer; contents on return are the per-resource
+  /// total loads of this assignment.
+  double makespan(std::span<const graph::NodeId> assignment,
+                  std::vector<double>& load_scratch) const;
 
   /// Full per-resource breakdown.
   EvalResult evaluate(const Mapping& m) const;
 
   /// Batch evaluation: out[i] = makespan(assignments row i).  Rows are
-  /// contiguous blocks of `num_tasks()` entries.  Runs on the thread pool.
+  /// contiguous blocks of `num_tasks()` entries.  Runs on the thread
+  /// pool; each worker chunk reuses one load-scratch buffer, so the
+  /// per-sample cost is allocation-free.
   void makespans_batch(std::span<const graph::NodeId> rows, std::size_t count,
                        std::span<double> out,
                        const parallel::ForOptions& opts = {}) const;
@@ -58,8 +69,17 @@ class CostEvaluator {
   const Platform& platform() const noexcept { return *platform_; }
 
  private:
+  /// One record per undirected TIG edge (a < b), packed for streaming.
+  struct UndirectedEdge {
+    graph::NodeId a;
+    graph::NodeId b;
+    double w;
+  };
+
   const graph::Tig* tig_;
   const Platform* platform_;
+  std::vector<UndirectedEdge> edges_;
+  bool comm_symmetric_ = false;
 };
 
 /// Incrementally maintained per-resource loads for local-search moves.

@@ -86,6 +86,56 @@ double incomplete_beta(double a, double b, double x) {
   return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
 }
 
+double incomplete_gamma_p(double a, double x) {
+  if (!(a > 0.0)) throw std::domain_error("incomplete_gamma_p: a must be > 0");
+  if (x < 0.0) throw std::domain_error("incomplete_gamma_p: x must be >= 0");
+  if (x == 0.0) return 0.0;
+
+  const double ln_front = a * std::log(x) - x - log_gamma(a);
+  if (x < a + 1.0) {
+    // Series: P(a, x) = x^a e^-x / Γ(a) · Σ x^k Γ(a) / Γ(a + 1 + k).
+    double term = 1.0 / a;
+    double sum = term;
+    for (int k = 1; k <= 500; ++k) {
+      term *= x / (a + static_cast<double>(k));
+      sum += term;
+      if (std::abs(term) < std::abs(sum) * 3e-14) {
+        return sum * std::exp(ln_front);
+      }
+    }
+    throw std::runtime_error("incomplete_gamma_p: series did not converge");
+  }
+  // Continued fraction for Q(a, x) (modified Lentz), complemented.
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < 3e-14) {
+      return 1.0 - h * std::exp(ln_front);
+    }
+  }
+  throw std::runtime_error("incomplete_gamma_p: continued fraction diverged");
+}
+
+double chi_square_cdf(double x, double dof) {
+  if (!(dof > 0.0)) throw std::domain_error("chi_square_cdf: dof must be > 0");
+  if (x <= 0.0) return 0.0;
+  return incomplete_gamma_p(dof / 2.0, x / 2.0);
+}
+
+double chi_square_sf(double x, double dof) { return 1.0 - chi_square_cdf(x, dof); }
+
 double student_t_cdf(double t, double dof) {
   if (!(dof > 0.0)) throw std::domain_error("student_t_cdf: dof must be > 0");
   if (t == 0.0) return 0.5;

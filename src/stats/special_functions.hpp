@@ -17,6 +17,17 @@ double student_t_cdf(double t, double dof);
 /// found by bisection on the CDF.
 double student_t_quantile_two_sided(double level, double dof);
 
+/// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0 (series
+/// expansion for x < a + 1, Lentz continued fraction otherwise).  This
+/// is the CDF kernel of the gamma, chi-square, and Poisson families.
+double incomplete_gamma_p(double a, double x);
+
+/// Chi-square distribution CDF with `dof` degrees of freedom.
+double chi_square_cdf(double x, double dof);
+
+/// Upper tail P(X² > x) — the goodness-of-fit p-value.
+double chi_square_sf(double x, double dof);
+
 /// F distribution CDF with (d1, d2) degrees of freedom.
 double f_cdf(double f, double d1, double d2);
 

@@ -87,6 +87,28 @@ TEST(CostEvaluator, MakespanMatchesEvaluate) {
   }
 }
 
+TEST(CostEvaluator, EdgeKernelMatchesEvaluateOnFractionalWeights) {
+  // Geometric platforms carry fractional (distance-derived) link costs,
+  // so the edge-streaming makespan kernel and the per-task reference in
+  // evaluate() accumulate in different orders; they must still agree to
+  // reassociation tolerance.
+  rng::Rng rng(7);
+  constexpr std::size_t kN = 16;
+  const graph::Tig tig(
+      graph::make_clustered(kN, 3, 0.7, 0.2, {1, 10}, {50, 100}, rng));
+  const Platform plat(
+      graph::ResourceGraph(graph::make_geometric(kN, 0.5, {1, 5}, 15.0, rng)),
+      CommCostPolicy::kShortestPath);
+  const CostEvaluator eval(tig, plat);
+  std::vector<double> scratch;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Mapping m = Mapping::random_permutation(kN, rng);
+    const double ref = eval.evaluate(m).makespan;
+    EXPECT_NEAR(eval.makespan(m.assignment(), scratch), ref,
+                1e-9 * std::max(1.0, ref));
+  }
+}
+
 TEST(CostEvaluator, BatchMatchesSerial) {
   rng::Rng rng(2);
   workload::PaperParams params;

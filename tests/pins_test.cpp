@@ -75,6 +75,49 @@ TEST(GenPermPins, UnpinnedTasksNeverTakePinnedResources) {
   }
 }
 
+TEST(GenPermPins, AliasBackendRespectsPins) {
+  // The alias backend's rejection loop must treat pinned resources as
+  // taken from the first pick: pinned tasks land on their resource, no
+  // unpinned task ever takes a pinned one, and every draw is a valid
+  // permutation.  Rows are biased toward the pinned resources so the
+  // rejection path (not just the fallback) is exercised.
+  constexpr std::size_t kN = 12;
+  std::vector<double> values(kN * kN, 0.01);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i * kN + 5] = 0.5;
+    values[i * kN + 9] = 0.3;
+    double sum = 0.0;
+    for (std::size_t j = 0; j < kN; ++j) sum += values[i * kN + j];
+    for (std::size_t j = 0; j < kN; ++j) values[i * kN + j] /= sum;
+  }
+  const auto p = StochasticMatrix::from_values(kN, kN, std::move(values));
+  RowAliasTables tables;
+  tables.build(p);
+
+  std::vector<graph::NodeId> pins(kN, GenPermSampler::kNoPin);
+  pins[1] = 5;
+  pins[8] = 9;
+  GenPermSampler sampler(kN);
+  rng::Rng rng(12);
+  std::vector<graph::NodeId> out(kN);
+  for (int trial = 0; trial < 500; ++trial) {
+    sampler.sample(p, tables, rng, out, true, pins);
+    EXPECT_EQ(out[1], 5u);
+    EXPECT_EQ(out[8], 9u);
+    for (std::size_t t = 0; t < kN; ++t) {
+      if (t != 1) {
+        EXPECT_NE(out[t], 5u) << "trial " << trial;
+      }
+      if (t != 8) {
+        EXPECT_NE(out[t], 9u) << "trial " << trial;
+      }
+    }
+    ASSERT_TRUE(sim::Mapping(std::vector<graph::NodeId>(out.begin(),
+                                                        out.end()))
+                    .is_permutation());
+  }
+}
+
 TEST(MatchPins, ResultRespectsPins) {
   Fixture f(10, 3);
   MatchOptimizer opt(f.eval);

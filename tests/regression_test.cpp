@@ -51,6 +51,20 @@ TEST(Regression, MatchOptimizer) {
   core::MatchOptimizer opt(g.eval);
   rng::Rng rng(99);
   const auto r = opt.run(match::SolverContext(rng));
+  EXPECT_DOUBLE_EQ(r.best_cost, 3328.0);
+  EXPECT_EQ(r.iterations, 25u);
+}
+
+// The legacy exact-scan backend must stay bit-identical to pre-alias
+// library versions: these are the values the default configuration
+// produced before `SamplerBackend::kAlias` became the default.
+TEST(Regression, MatchOptimizerScanBackend) {
+  Golden g;
+  core::MatchParams params;
+  params.sampler = core::SamplerBackend::kScan;
+  core::MatchOptimizer opt(g.eval, params);
+  rng::Rng rng(99);
+  const auto r = opt.run(match::SolverContext(rng));
   EXPECT_DOUBLE_EQ(r.best_cost, 3557.0);
   EXPECT_EQ(r.iterations, 26u);
 }

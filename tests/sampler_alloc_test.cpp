@@ -1,0 +1,124 @@
+// Zero-allocation guarantees of the CE hot path.  This file installs a
+// counting global operator new/delete, so it must stay its own test
+// binary (one binary per test file; see tests/CMakeLists.txt): the
+// override would otherwise leak into unrelated suites.
+//
+// The contract under test: after a warm-up draw, GenPermSampler (both
+// backends), RowAliasTables::build, and the scratch overload of
+// CostEvaluator::makespan perform no heap allocation, and a serially
+// reused ScratchPool creates exactly one state.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/genperm.hpp"
+#include "core/stochastic_matrix.hpp"
+#include "parallel/scratch.hpp"
+#include "sim/evaluator.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+std::atomic<long> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace match::core {
+namespace {
+
+StochasticMatrix skewed(std::size_t n) {
+  std::vector<double> v(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      v[i * n + j] = static_cast<double>((i + j) % n + 1);
+      sum += v[i * n + j];
+    }
+    for (std::size_t j = 0; j < n; ++j) v[i * n + j] /= sum;
+  }
+  return StochasticMatrix::from_values(n, n, std::move(v));
+}
+
+TEST(SamplerAlloc, WarmDrawAndMakespanAreAllocationFree) {
+  constexpr std::size_t kN = 32;
+  rng::Rng setup(123);
+  workload::PaperParams wp;
+  wp.n = kN;
+  const auto inst = workload::make_paper_instance(wp, setup);
+  const auto platform = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, platform);
+
+  const auto p = skewed(kN);
+  RowAliasTables tables;
+  tables.build(p);
+
+  GenPermSampler sampler(kN);
+  std::vector<graph::NodeId> out(kN);
+  std::vector<double> load;
+  rng::Rng rng(5);
+
+  // Warm-up: first calls size every scratch buffer to capacity.
+  sampler.sample(p, rng, out);
+  sampler.sample(p, tables, rng, out);
+  (void)eval.makespan(std::span<const graph::NodeId>(out), load);
+
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  double sink = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    sampler.sample(p, rng, out);
+    sink += eval.makespan(std::span<const graph::NodeId>(out), load);
+    sampler.sample(p, tables, rng, out);
+    sink += eval.makespan(std::span<const graph::NodeId>(out), load);
+  }
+  tables.build(p);  // steady-state rebuild reuses its storage
+  const long after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after, before) << "hot loop allocated " << (after - before)
+                           << " times";
+  EXPECT_GT(sink, 0.0);  // defeat dead-code elimination
+}
+
+TEST(SamplerAlloc, ScratchPoolReusesOneStateSerially) {
+  parallel::ScratchPool<std::vector<double>> pool(
+      [] { return std::make_unique<std::vector<double>>(64, 0.0); });
+  for (int round = 0; round < 100; ++round) {
+    auto lease = pool.acquire();
+    (*lease)[0] += 1.0;
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  pool.for_each([](std::vector<double>& v) { EXPECT_EQ(v[0], 100.0); });
+}
+
+TEST(SamplerAlloc, ScratchPoolReleaseIsAllocationFree) {
+  parallel::ScratchPool<std::vector<double>> pool(
+      [] { return std::make_unique<std::vector<double>>(8, 0.0); });
+  { auto warm = pool.acquire(); }  // first acquire creates + reserves
+
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int round = 0; round < 100; ++round) {
+    auto lease = pool.acquire();
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+  EXPECT_EQ(pool.created(), 1u);
+}
+
+}  // namespace
+}  // namespace match::core

@@ -189,5 +189,44 @@ TEST(Descriptive, WiderLevelGivesWiderInterval) {
   EXPECT_GT(ci99.hi, ci95.hi);
 }
 
+TEST(ChiSquare, MatchesClosedFormForTwoDof) {
+  // With 2 dof the chi-square CDF is exactly 1 - exp(-x/2).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 25.0}) {
+    EXPECT_NEAR(chi_square_cdf(x, 2.0), 1.0 - std::exp(-x / 2.0), 1e-12)
+        << "x = " << x;
+  }
+}
+
+TEST(ChiSquare, MatchesErfForOneDof) {
+  // With 1 dof: P(X² <= x) = erf(sqrt(x/2)).
+  for (const double x : {0.2, 1.0, 3.84, 6.63, 15.0}) {
+    EXPECT_NEAR(chi_square_cdf(x, 1.0), std::erf(std::sqrt(x / 2.0)), 1e-10)
+        << "x = " << x;
+  }
+}
+
+TEST(ChiSquare, KnownCriticalValues) {
+  // Classic table entries: P(X² > 3.841) = 0.05 at 1 dof,
+  // P(X² > 18.307) = 0.05 at 10 dof.
+  EXPECT_NEAR(chi_square_sf(3.841, 1.0), 0.05, 5e-4);
+  EXPECT_NEAR(chi_square_sf(18.307, 10.0), 0.05, 5e-4);
+  EXPECT_DOUBLE_EQ(chi_square_cdf(0.0, 4.0), 0.0);
+  EXPECT_NEAR(chi_square_cdf(1000.0, 4.0), 1.0, 1e-12);
+}
+
+TEST(ChiSquare, IncompleteGammaEdgeCases) {
+  EXPECT_DOUBLE_EQ(incomplete_gamma_p(2.5, 0.0), 0.0);
+  // P(a, x) is a CDF in x: monotone increasing toward 1.
+  double prev = 0.0;
+  for (double x = 0.5; x <= 20.0; x += 0.5) {
+    const double cur = incomplete_gamma_p(3.0, x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-6);
+  EXPECT_THROW(incomplete_gamma_p(0.0, 1.0), std::domain_error);
+  EXPECT_THROW(incomplete_gamma_p(1.0, -1.0), std::domain_error);
+}
+
 }  // namespace
 }  // namespace match::stats
