@@ -1,0 +1,507 @@
+// Sustained-load generator for the network front end (net::MatchServer).
+//
+// Two phases against one server over loopback:
+//
+//  1. **Closed loop** — C connections, each a thread issuing synchronous
+//     request/response round trips as fast as the server answers.  This
+//     measures the saturation throughput λ* (requests/second) and the
+//     in-loop latency distribution.
+//
+//  2. **Open loop** — Poisson arrivals (exponential gaps, optionally
+//     with periodic bursts) offered at fixed fractions of λ*
+//     (0.5×, 1×, 2×), pipelined over the connection pool with reader
+//     threads.  Arrivals do not wait for responses, so when the offered
+//     rate exceeds capacity the admission layer must shed — this phase
+//     draws the saturation curve (offered vs served vs shed vs p99).
+//
+// The request mix is small paper instances registered inline once, then
+// referenced by fingerprint with a fixed seed — i.e. solution-cache
+// hits, the cheap high-rate traffic the wire format's fingerprint path
+// exists for.  `--miss-fraction F` salts a fraction of seeds to force
+// fresh solver runs; `--deadline S` attaches a strict deadline to
+// everything so the rejection path is exercised too.
+//
+// By default the server runs in-process (ephemeral port) so the bench
+// is standalone and can assert the admission accounting identity
+// exactly: offered == served + shed + rejected + errors, checked
+// against both the client's and the server's books.  `--port P`
+// targets an external server instead (e.g. `match_server --listen P`);
+// the identity check then uses client-side books only.
+//
+// Results land in BENCH_ext_net_loadgen.json: one case per phase/rate
+// with requests/sec offered and served, shed/reject fractions, and
+// client-observed p50/p99 latency.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "io/table.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "rng/rng.hpp"
+#include "service/service.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+using match::net::Client;
+using match::net::Priority;
+using match::net::Status;
+using match::net::WireRequest;
+using match::net::WireResponse;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct Options {
+  bool quick = false;
+  std::uint16_t port = 0;     ///< 0 = spawn the server in-process
+  std::size_t connections = 4;
+  double closed_seconds = 2.0;
+  double open_seconds = 2.0;
+  double miss_fraction = 0.0;  ///< fraction of requests with fresh seeds
+  double deadline = 0.0;       ///< strict per-request deadline (0 = none)
+  double burst_every = 0.0;    ///< inject a burst every S seconds (0 = off)
+  std::size_t burst_size = 64;
+  std::string out_dir = ".";
+};
+
+struct Tally {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t errors = 0;  ///< bad request / unknown instance / server error
+  std::vector<double> latencies;
+
+  void count(Status status) {
+    switch (status) {
+      case Status::kOk: ++served; break;
+      case Status::kShed: ++shed; break;
+      case Status::kRejectedDeadline: ++rejected; break;
+      default: ++errors; break;
+    }
+  }
+  void merge(const Tally& other) {
+    offered += other.offered;
+    served += other.served;
+    shed += other.shed;
+    rejected += other.rejected;
+    errors += other.errors;
+    latencies.insert(latencies.end(), other.latencies.begin(),
+                     other.latencies.end());
+  }
+  std::uint64_t answered() const {
+    return served + shed + rejected + errors;
+  }
+  double quantile(double q) {
+    if (latencies.empty()) return 0.0;
+    std::sort(latencies.begin(), latencies.end());
+    const std::size_t idx = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(latencies.size())));
+    return latencies[idx];
+  }
+};
+
+/// The shared request mix: tiny instances, registered inline up front,
+/// then addressed by fingerprint.
+struct Mix {
+  std::vector<std::shared_ptr<const match::workload::Instance>> instances;
+  std::vector<std::uint64_t> fingerprints;
+};
+
+Mix make_mix() {
+  Mix mix;
+  for (std::size_t i = 0; i < 3; ++i) {
+    match::rng::Rng rng(500 + i);
+    match::workload::PaperParams params;
+    params.n = 8 + 2 * i;  // 8, 10, 12
+    auto inst = std::make_shared<match::workload::Instance>(
+        match::workload::make_paper_instance(params, rng));
+    mix.fingerprints.push_back(match::service::fingerprint_instance(*inst));
+    mix.instances.push_back(std::move(inst));
+  }
+  return mix;
+}
+
+WireRequest make_request(const Mix& mix, std::uint64_t id, std::uint64_t seed,
+                         const Options& opt) {
+  WireRequest req;
+  req.request_id = id;
+  req.by_fingerprint = true;
+  req.instance_fingerprint = mix.fingerprints[id % mix.fingerprints.size()];
+  req.request.id = id;
+  req.request.solver = match::service::SolverKind::kMinMin;
+  req.request.options.seed = seed;
+  if (opt.deadline > 0.0) {
+    req.strict_deadline = true;
+    req.request.options.deadline_seconds = opt.deadline;
+  }
+  return req;
+}
+
+/// Registers every instance inline (one request each) so the
+/// fingerprint path works for the rest of the run, and warms the
+/// solution cache for the base seed.
+void register_instances(const std::string& host, std::uint16_t port,
+                        const Mix& mix) {
+  Client client(host, port);
+  std::uint64_t id = 1;
+  for (const auto& inst : mix.instances) {
+    WireRequest req;
+    req.request_id = id;
+    req.request.id = id;
+    req.request.instance = inst;
+    req.request.solver = match::service::SolverKind::kMinMin;
+    req.request.options.seed = 1;
+    const WireResponse resp = client.call(req);
+    if (resp.status != Status::kOk) {
+      throw std::runtime_error(std::string("instance registration failed: ") +
+                               match::net::to_string(resp.status));
+    }
+    ++id;
+  }
+}
+
+/// Phase 1: C threads in closed loops; returns the merged tally.
+Tally closed_loop(const std::string& host, std::uint16_t port, const Mix& mix,
+                  const Options& opt) {
+  std::vector<Tally> tallies(opt.connections);
+  std::vector<std::thread> threads;
+  std::atomic<bool> stop{false};
+  for (std::size_t c = 0; c < opt.connections; ++c) {
+    threads.emplace_back([&, c] {
+      Client client(host, port);
+      match::rng::Rng rng(9000 + c);
+      Tally& tally = tallies[c];
+      std::uint64_t id = (c + 1) << 32;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const bool miss = opt.miss_fraction > 0.0 &&
+                          rng.uniform() < opt.miss_fraction;
+        const std::uint64_t seed = miss ? 1'000'000 + id : 1;
+        const WireRequest req = make_request(mix, ++id, seed, opt);
+        const auto sent = Clock::now();
+        const WireResponse resp = client.call(req);
+        ++tally.offered;
+        tally.count(resp.status);
+        tally.latencies.push_back(seconds_since(sent));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.closed_seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  Tally merged;
+  for (const Tally& t : tallies) merged.merge(t);
+  return merged;
+}
+
+/// Phase 2: Poisson arrivals at `rate` req/s for `duration` seconds,
+/// pipelined round-robin over the connection pool; a reader thread per
+/// connection collects responses.  Returns the merged tally (offered =
+/// every send; every send gets exactly one response, so the client-side
+/// books close once the readers drain).
+Tally open_loop(const std::string& host, std::uint16_t port, const Mix& mix,
+                const Options& opt, double rate, double duration) {
+  std::vector<Client> clients;
+  clients.reserve(opt.connections);
+  for (std::size_t c = 0; c < opt.connections; ++c) {
+    clients.emplace_back(host, port);
+  }
+
+  // Send timestamps by request id, so readers can compute latency.
+  std::mutex sent_mutex;
+  std::unordered_map<std::uint64_t, Clock::time_point> sent_log;
+  sent_log.reserve(static_cast<std::size_t>(rate * duration) + 64);
+
+  std::vector<Tally> reader_tallies(opt.connections);
+  std::vector<std::thread> readers;
+  for (std::size_t c = 0; c < opt.connections; ++c) {
+    readers.emplace_back([&, c] {
+      Tally& tally = reader_tallies[c];
+      try {
+        for (;;) {
+          const WireResponse resp = clients[c].receive();
+          tally.count(resp.status);
+          Clock::time_point sent_at{};
+          bool found = false;
+          {
+            std::lock_guard<std::mutex> lock(sent_mutex);
+            const auto it = sent_log.find(resp.request_id);
+            if (it != sent_log.end()) {
+              sent_at = it->second;
+              found = true;
+              sent_log.erase(it);
+            }
+          }
+          if (found) tally.latencies.push_back(seconds_since(sent_at));
+        }
+      } catch (const std::exception&) {
+        // EOF after shutdown_send + server drain: the phase is over.
+      }
+    });
+  }
+
+  match::rng::Rng rng(31337);
+  Tally sender;
+  std::uint64_t id = 1ull << 48;
+  const auto start = Clock::now();
+  double next_arrival = 0.0;
+  double next_burst = opt.burst_every;
+  std::size_t turn = 0;
+  while (true) {
+    const double elapsed = seconds_since(start);
+    if (elapsed >= duration) break;
+    if (next_arrival > elapsed) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(next_arrival - elapsed));
+    }
+    std::size_t batch = 1;
+    if (opt.burst_every > 0.0 && next_arrival >= next_burst) {
+      batch += opt.burst_size;  // a burst rides on top of the process
+      next_burst += opt.burst_every;
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      const bool miss =
+          opt.miss_fraction > 0.0 && rng.uniform() < opt.miss_fraction;
+      const std::uint64_t seed = miss ? 2'000'000 + id : 1;
+      const WireRequest req = make_request(mix, ++id, seed, opt);
+      {
+        std::lock_guard<std::mutex> lock(sent_mutex);
+        sent_log.emplace(req.request_id, Clock::now());
+      }
+      try {
+        clients[turn % clients.size()].send(req);
+        ++sender.offered;
+      } catch (const std::exception&) {
+        // Connection closed under us (e.g. slow-client eviction); count
+        // the request as shed so the books still close.
+        ++sender.shed;
+        ++sender.offered;
+      }
+      ++turn;
+    }
+    // Exponential inter-arrival gap: Poisson process at `rate`.
+    next_arrival += rng.exponential(rate);
+  }
+
+  // Half-close every connection; the server answers what it accepted,
+  // then the readers see EOF once we close after the server drains.
+  for (auto& c : clients) c.shutdown_send();
+  // Give the server time to answer the tail, then force EOF.
+  const auto deadline = Clock::now() + std::chrono::seconds(10);
+  while (Clock::now() < deadline) {
+    std::uint64_t answered = sender.shed;  // locally-failed sends
+    for (const Tally& t : reader_tallies) answered += t.answered();
+    if (answered >= sender.offered) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  for (auto& c : clients) c.close();
+  for (auto& t : readers) t.join();
+
+  Tally merged;
+  merged.offered = sender.offered;
+  merged.shed = sender.shed;
+  for (const Tally& t : reader_tallies) {
+    merged.served += t.served;
+    merged.shed += t.shed;
+    merged.rejected += t.rejected;
+    merged.errors += t.errors;
+    merged.latencies.insert(merged.latencies.end(), t.latencies.begin(),
+                            t.latencies.end());
+  }
+  return merged;
+}
+
+match::bench::BenchCase to_case(const std::string& name, Tally& tally,
+                                double wall_seconds, double offered_rate) {
+  match::bench::BenchCase c;
+  c.name = name;
+  c.wall_seconds = wall_seconds;
+  c.metrics["offered"] = static_cast<double>(tally.offered);
+  c.metrics["offered_per_sec"] = offered_rate;
+  c.metrics["served_per_sec"] =
+      static_cast<double>(tally.served) / wall_seconds;
+  c.metrics["served"] = static_cast<double>(tally.served);
+  c.metrics["shed"] = static_cast<double>(tally.shed);
+  c.metrics["rejected_deadline"] = static_cast<double>(tally.rejected);
+  c.metrics["errors"] = static_cast<double>(tally.errors);
+  c.metrics["shed_fraction"] =
+      tally.offered == 0
+          ? 0.0
+          : static_cast<double>(tally.shed) /
+                static_cast<double>(tally.offered);
+  c.metrics["p50_seconds"] = tally.quantile(0.50);
+  c.metrics["p99_seconds"] = tally.quantile(0.99);
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+      opt.closed_seconds = 0.5;
+      opt.open_seconds = 0.5;
+      opt.connections = 2;
+    } else if (std::strcmp(argv[i], "--full") == 0) {
+      opt.closed_seconds = 5.0;
+      opt.open_seconds = 5.0;
+      opt.connections = 8;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      opt.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      opt.connections = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      opt.closed_seconds = opt.open_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--miss-fraction") == 0 && i + 1 < argc) {
+      opt.miss_fraction = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline") == 0 && i + 1 < argc) {
+      opt.deadline = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--burst-every") == 0 && i + 1 < argc) {
+      opt.burst_every = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--burst-size") == 0 && i + 1 < argc) {
+      opt.burst_size = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out-dir") == 0 && i + 1 < argc) {
+      opt.out_dir = argv[++i];
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--quick|--full] [--port P] [--connections C]"
+                << " [--seconds S] [--miss-fraction F] [--deadline S]"
+                << " [--burst-every S [--burst-size N]] [--out-dir D]\n";
+      return 2;
+    }
+  }
+  if (opt.connections == 0) opt.connections = 1;
+
+  // In-process server unless --port points at an external one.
+  std::unique_ptr<match::service::MappingService> service;
+  std::unique_ptr<match::net::MatchServer> server;
+  std::uint16_t port = opt.port;
+  const bool in_process = opt.port == 0;
+  if (in_process) {
+    match::service::ServiceConfig sconfig;
+    sconfig.workers = 4;
+    sconfig.queue_capacity = 2048;
+    service = std::make_unique<match::service::MappingService>(sconfig);
+    match::net::ServerConfig nconfig;
+    nconfig.admission.max_pending = 512;
+    server = std::make_unique<match::net::MatchServer>(*service, nconfig);
+    port = server->port();
+  }
+  const std::string host = "127.0.0.1";
+  std::cout << "== ext_net_loadgen: " << (in_process ? "in-process" : "external")
+            << " server on " << host << ":" << port << ", "
+            << opt.connections << " connections ==\n";
+
+  const Mix mix = make_mix();
+  register_instances(host, port, mix);
+
+  match::bench::BenchReport report;
+  report.name = "ext_net_loadgen";
+  report.git_sha = match::bench::current_git_sha();
+  report.config["quick"] = opt.quick ? "1" : "0";
+  report.config["connections"] = std::to_string(opt.connections);
+  report.config["closed_seconds"] = std::to_string(opt.closed_seconds);
+  report.config["open_seconds"] = std::to_string(opt.open_seconds);
+  report.config["miss_fraction"] = std::to_string(opt.miss_fraction);
+  report.config["deadline"] = std::to_string(opt.deadline);
+  report.config["in_process"] = in_process ? "1" : "0";
+
+  bool ok = true;
+  match::io::Table table({"phase", "offered/s", "served/s", "shed %",
+                          "p50 ms", "p99 ms"});
+
+  // ---- Phase 1: closed loop to find the saturation throughput. ---------
+  Tally closed = closed_loop(host, port, mix, opt);
+  const double closed_rate =
+      static_cast<double>(closed.offered) / opt.closed_seconds;
+  {
+    Tally& t = closed;
+    table.add_row({"closed loop", match::io::Table::num(closed_rate, 0),
+                   match::io::Table::num(
+                       static_cast<double>(t.served) / opt.closed_seconds, 0),
+                   match::io::Table::num(
+                       100.0 * static_cast<double>(t.shed) /
+                           std::max<std::uint64_t>(1, t.offered), 2),
+                   match::io::Table::num(1e3 * t.quantile(0.50), 3),
+                   match::io::Table::num(1e3 * t.quantile(0.99), 3)});
+    report.cases.push_back(
+        to_case("closed_loop", closed, opt.closed_seconds, closed_rate));
+    if (t.offered != t.answered()) {
+      std::cerr << "FAIL: closed loop offered " << t.offered
+                << " but answered " << t.answered() << "\n";
+      ok = false;
+    }
+  }
+
+  // ---- Phase 2: open loop at 0.5x / 1x / 2x of saturation. -------------
+  for (const double mult : {0.5, 1.0, 2.0}) {
+    const double rate = std::max(100.0, closed_rate * mult);
+    Tally t = open_loop(host, port, mix, opt, rate, opt.open_seconds);
+    const std::string name =
+        "open_loop_" + match::io::Table::num(mult, 1) + "x";
+    table.add_row({name, match::io::Table::num(rate, 0),
+                   match::io::Table::num(
+                       static_cast<double>(t.served) / opt.open_seconds, 0),
+                   match::io::Table::num(
+                       100.0 * static_cast<double>(t.shed) /
+                           std::max<std::uint64_t>(1, t.offered), 2),
+                   match::io::Table::num(1e3 * t.quantile(0.50), 3),
+                   match::io::Table::num(1e3 * t.quantile(0.99), 3)});
+    report.cases.push_back(to_case(name, t, opt.open_seconds, rate));
+    if (t.offered != t.answered()) {
+      std::cerr << "FAIL: " << name << " offered " << t.offered
+                << " but answered " << t.answered()
+                << " (served " << t.served << ", shed " << t.shed
+                << ", rejected " << t.rejected << ", errors " << t.errors
+                << ")\n";
+      ok = false;
+    }
+  }
+
+  table.print(std::cout);
+
+  // ---- Server-side accounting (in-process only): the identity must ----
+  // ---- hold on the server's books too, plus the registration calls. ---
+  if (in_process) {
+    server->stop();
+    const match::net::ServerCounters c = server->counters();
+    if (c.requests != c.terminal()) {
+      std::cerr << "FAIL: server books do not balance: requests=" << c.requests
+                << " terminal=" << c.terminal() << "\n";
+      ok = false;
+    }
+    std::cout << "server books: " << c.requests << " requests == "
+              << c.served << " served + " << c.shed << " shed + "
+              << c.rejected_deadline << " rejected + "
+              << c.bad_request + c.unknown_instance + c.server_error
+              << " errors: " << (c.requests == c.terminal() ? "yes" : "NO")
+              << "\n";
+    report.attach_snapshot(service->metrics().snapshot());
+    service->shutdown();
+  }
+
+  const std::string path = report.write(opt.out_dir);
+  std::cout << "report: " << path << "\n";
+  std::cout << (ok ? "OK" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}

@@ -23,8 +23,17 @@
 // `/healthz`) for the life of the process — scrape it mid-run, or pass
 // `--linger S` to keep the exporter up S seconds after the audit
 // finishes (N = 0 binds an ephemeral port, printed at startup).
+//
+// `--listen PORT` switches the binary from audit mode into a network
+// server: it starts the net::MatchServer reactor on 127.0.0.1:PORT
+// (0 = ephemeral, printed as `listening on 127.0.0.1:<port>`) and
+// serves the binary wire protocol (docs/NETWORKING.md) until SIGINT/
+// SIGTERM or `--serve-seconds S` elapses.  `bench/ext_net_loadgen` is
+// the matching client.
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -37,6 +46,7 @@
 #include "core/matchalgo.hpp"
 #include "core/solver_context.hpp"
 #include "io/table.hpp"
+#include "net/server.hpp"
 #include "obs/events.hpp"
 #include "obs/http_exposer.hpp"
 #include "obs/prometheus.hpp"
@@ -233,6 +243,55 @@ bool audit_gamma_trajectory(MappingService& service,
   return ok;
 }
 
+std::atomic<bool> g_stop{false};
+
+extern "C" void handle_stop_signal(int) { g_stop.store(true); }
+
+/// `--listen` mode: serve the wire protocol until a signal or the time
+/// budget, then print the admission accounting.
+int run_listen_mode(MappingService& service, int listen_port,
+                    double serve_seconds, match::obs::EventSink* sink) {
+  match::net::ServerConfig config;
+  config.port = static_cast<std::uint16_t>(listen_port);
+  config.sink = sink;
+  match::net::MatchServer server(service, config);
+  std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
+
+  struct sigaction sa {};
+  sa.sa_handler = handle_stop_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  const auto start = std::chrono::steady_clock::now();
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (serve_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start).count() >= serve_seconds) {
+      break;
+    }
+  }
+  server.stop();
+
+  const match::net::ServerCounters c = server.counters();
+  match::io::Table table({"net counter", "value"});
+  table.add_row({"requests", std::to_string(c.requests)});
+  table.add_row({"served", std::to_string(c.served)});
+  table.add_row({"served (deadline missed)",
+                 std::to_string(c.served_deadline_missed)});
+  table.add_row({"shed", std::to_string(c.shed)});
+  table.add_row({"rejected (deadline)", std::to_string(c.rejected_deadline)});
+  table.add_row({"bad request", std::to_string(c.bad_request)});
+  table.add_row({"unknown instance", std::to_string(c.unknown_instance)});
+  table.add_row({"server error", std::to_string(c.server_error)});
+  std::cout << "\n-- admission accounting --\n";
+  table.print(std::cout);
+  const bool balanced = c.requests == c.terminal();
+  std::cout << "requests == served + shed + rejected + errors: "
+            << (balanced ? "yes" : "NO") << "\n";
+  return balanced ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -241,6 +300,8 @@ int main(int argc, char** argv) {
   const char* trace_path = nullptr;
   int metrics_port = -1;  // -1 = exporter off; 0 = ephemeral
   double linger_seconds = 0.0;
+  int listen_port = -1;  // -1 = audit mode; 0 = serve on ephemeral port
+  double serve_seconds = 0.0;  // 0 = until SIGINT/SIGTERM
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       count = 120;
@@ -256,10 +317,19 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
       linger_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_port = std::atoi(argv[++i]);
+      if (listen_port < 0 || listen_port > 65535) {
+        std::cerr << "--listen wants 0..65535\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--serve-seconds") == 0 && i + 1 < argc) {
+      serve_seconds = std::atof(argv[++i]);
     } else {
       std::cerr << "usage: " << argv[0]
                 << " [--quick|--full] [--trace out.jsonl]"
-                << " [--metrics-port N] [--linger S]\n";
+                << " [--metrics-port N] [--linger S]"
+                << " [--listen PORT [--serve-seconds S]]\n";
       return 2;
     }
   }
@@ -312,6 +382,18 @@ int main(int argc, char** argv) {
     }
     std::cout << "metrics: http://127.0.0.1:" << exposer->port()
               << "/metrics (and /healthz)\n";
+  }
+
+  if (listen_port >= 0) {
+    const int rc = run_listen_mode(service, listen_port, serve_seconds, sink);
+    service.shutdown();
+    if (trace_path != nullptr) {
+      jsonl->flush();
+      std::cout << "trace: " << jsonl->emitted() << " events written to "
+                << trace_path << "\n";
+    }
+    if (exposer) exposer->stop();
+    return rc;
   }
 
   // ---- Run 1: cold cache, open loop. -----------------------------------

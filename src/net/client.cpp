@@ -1,0 +1,67 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <stdexcept>
+#include <utility>
+
+namespace match::net {
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : fd_(connect_to(host, port)) {}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::close() { close_fd(fd_); }
+
+void Client::shutdown_send() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+WireResponse Client::call(const WireRequest& request) {
+  send(request);
+  return receive();
+}
+
+void Client::send(const WireRequest& request) {
+  if (fd_ < 0) throw std::runtime_error("client connection is closed");
+  const std::string frame = encode_request(request);
+  if (!send_all(fd_, frame.data(), frame.size())) {
+    close();
+    throw std::runtime_error("connection broke while sending request");
+  }
+}
+
+WireResponse Client::receive() {
+  if (fd_ < 0) throw std::runtime_error("client connection is closed");
+  char header_buf[kHeaderSize];
+  if (!recv_all(fd_, header_buf, sizeof(header_buf))) {
+    close();
+    throw std::runtime_error("connection closed before a response header");
+  }
+  const FrameHeader header =
+      decode_header(std::string_view(header_buf, sizeof(header_buf)));
+  if (header.type != MsgType::kResponse) {
+    close();
+    throw WireError("expected a response frame");
+  }
+  std::string payload(header.payload_size, '\0');
+  if (header.payload_size > 0 &&
+      !recv_all(fd_, payload.data(), payload.size())) {
+    close();
+    throw std::runtime_error("connection closed mid-response");
+  }
+  return decode_response(header, payload);
+}
+
+}  // namespace match::net

@@ -1,0 +1,56 @@
+#pragma once
+
+// Minimal blocking client for the MatchServer wire protocol — the
+// counterpart tests and the load generator drive the reactor with.  One
+// TCP connection per client; `call()` is the synchronous
+// request/response path, and the split `send()` / `receive()` pair
+// supports pipelining (many requests in flight on one connection, the
+// server answers in completion order, correlate by request id).
+//
+// Deliberately not a production SDK: blocking sockets, no reconnect, no
+// TLS — its job is to exercise the server from tests and benchmarks
+// without depending on anything beyond POSIX.
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket_util.hpp"
+#include "net/wire.hpp"
+
+namespace match::net {
+
+class Client {
+ public:
+  /// Connects (blocking); throws `std::runtime_error` on failure.
+  Client(const std::string& host, std::uint16_t port);
+
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Synchronous round trip: `send(request)` then `receive()`.
+  WireResponse call(const WireRequest& request);
+
+  /// Writes one request frame (blocking until fully written).  Throws
+  /// `std::runtime_error` when the connection broke.
+  void send(const WireRequest& request);
+
+  /// Blocks for the next response frame.  Throws `std::runtime_error`
+  /// on EOF / connection reset and `WireError` on a malformed frame.
+  WireResponse receive();
+
+  /// Half-close the write side (signals the server no more requests are
+  /// coming while pipelined responses are still being read).
+  void shutdown_send();
+
+  void close();
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace match::net

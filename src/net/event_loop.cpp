@@ -1,0 +1,164 @@
+#include "net/event_loop.hpp"
+
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/socket_util.hpp"
+
+namespace match::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + " (" + std::strerror(errno) +
+                           ")");
+}
+
+#ifdef __linux__
+std::uint32_t epoll_mask(bool want_read, bool want_write) {
+  std::uint32_t events = 0;
+  if (want_read) events |= EPOLLIN;
+  if (want_write) events |= EPOLLOUT;
+  return events;
+}
+#endif
+
+short poll_mask(bool want_read, bool want_write) {
+  short events = 0;
+  if (want_read) events |= POLLIN;
+  if (want_write) events |= POLLOUT;
+  return events;
+}
+
+}  // namespace
+
+EventLoop::Backend EventLoop::default_backend() noexcept {
+#ifdef __linux__
+  return Backend::kEpoll;
+#else
+  return Backend::kPoll;
+#endif
+}
+
+EventLoop::EventLoop(Backend backend) : backend_(backend) {
+  if (backend_ == Backend::kEpoll) {
+#ifdef __linux__
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) throw_errno("epoll_create1() failed");
+#else
+    throw std::runtime_error("EventLoop: epoll backend requires Linux");
+#endif
+  }
+}
+
+EventLoop::~EventLoop() { close_fd(epoll_fd_); }
+
+void EventLoop::add(int fd, bool want_read, bool want_write) {
+  if (!interest_.emplace(fd, Interest{want_read, want_write}).second) {
+    throw std::runtime_error("EventLoop::add: fd already registered");
+  }
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      interest_.erase(fd);
+      throw_errno("epoll_ctl(ADD) failed");
+    }
+  }
+#endif
+  pollfds_dirty_ = true;
+}
+
+void EventLoop::modify(int fd, bool want_read, bool want_write) {
+  const auto it = interest_.find(fd);
+  if (it == interest_.end()) {
+    throw std::runtime_error("EventLoop::modify: fd not registered");
+  }
+  if (it->second.read == want_read && it->second.write == want_write) return;
+  it->second = Interest{want_read, want_write};
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    epoll_event ev{};
+    ev.events = epoll_mask(want_read, want_write);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+      throw_errno("epoll_ctl(MOD) failed");
+    }
+  }
+#endif
+  pollfds_dirty_ = true;
+}
+
+void EventLoop::remove(int fd) noexcept {
+  if (interest_.erase(fd) == 0) return;
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    // Fails with EBADF when the fd was closed first; the kernel already
+    // dropped it from the set, so the failure is the desired state.
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+#endif
+  pollfds_dirty_ = true;
+}
+
+std::size_t EventLoop::wait(int timeout_ms, std::vector<Ready>& out) {
+  out.clear();
+#ifdef __linux__
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw_errno("epoll_wait() failed");
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Ready ready;
+      ready.fd = events[i].data.fd;
+      ready.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      ready.readable = ready.error || (events[i].events & EPOLLIN) != 0;
+      ready.writable = (events[i].events & EPOLLOUT) != 0;
+      out.push_back(ready);
+    }
+    return out.size();
+  }
+#endif
+
+  if (pollfds_dirty_) {
+    pollfds_.clear();
+    pollfds_.reserve(interest_.size());
+    for (const auto& [fd, want] : interest_) {
+      pollfds_.push_back({fd, poll_mask(want.read, want.write), 0});
+    }
+    pollfds_dirty_ = false;
+  } else {
+    for (pollfd& p : pollfds_) p.revents = 0;
+  }
+  const int n = ::poll(pollfds_.data(),
+                       static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw_errno("poll() failed");
+  }
+  for (const pollfd& p : pollfds_) {
+    if (p.revents == 0) continue;
+    Ready ready;
+    ready.fd = p.fd;
+    ready.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    ready.readable = ready.error || (p.revents & POLLIN) != 0;
+    ready.writable = (p.revents & POLLOUT) != 0;
+    out.push_back(ready);
+  }
+  return out.size();
+}
+
+}  // namespace match::net

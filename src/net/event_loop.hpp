@@ -1,0 +1,82 @@
+#pragma once
+
+// A thin readiness multiplexer: epoll(7) on Linux with a poll(2)
+// fallback behind the same interface, so the reactor code is identical
+// on both backends and tests can exercise the fallback everywhere.
+//
+// Level-triggered on both backends (poll has no edge mode, and level
+// semantics make the partial-read/partial-write state machine in
+// server.cpp immune to "forgot to re-arm" bugs).  Not thread-safe: one
+// loop belongs to one thread; cross-thread signaling goes through a
+// `net::Wakeup` fd registered like any other.
+
+#include <poll.h>
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace match::net {
+
+class EventLoop {
+ public:
+  enum class Backend {
+    kEpoll,  ///< Linux only; constructor throws elsewhere
+    kPoll,   ///< portable fallback
+  };
+
+  /// kEpoll on Linux, kPoll elsewhere.
+  static Backend default_backend() noexcept;
+
+  /// Throws `std::runtime_error` when the backend cannot be created
+  /// (epoll on a non-Linux host, or fd exhaustion).
+  explicit EventLoop(Backend backend = default_backend());
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Backend backend() const noexcept { return backend_; }
+
+  /// Registers `fd`.  Throws `std::runtime_error` on kernel refusal or
+  /// double registration.
+  void add(int fd, bool want_read, bool want_write);
+
+  /// Updates interest for a registered fd.
+  void modify(int fd, bool want_read, bool want_write);
+
+  /// Deregisters; unknown fds are ignored (close() already removed
+  /// them from epoll, and remove-after-close must not throw).
+  void remove(int fd) noexcept;
+
+  std::size_t size() const noexcept { return interest_.size(); }
+
+  struct Ready {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error/hangup: the fd should be drained (readable is also set so
+    /// a reader observes the EOF) and closed.
+    bool error = false;
+  };
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely), fills `out` with
+  /// ready fds (cleared first), and returns the count.  EINTR returns 0
+  /// ready fds rather than throwing.
+  std::size_t wait(int timeout_ms, std::vector<Ready>& out);
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+
+  Backend backend_;
+  int epoll_fd_ = -1;
+  std::unordered_map<int, Interest> interest_;
+  /// Scratch for the poll backend, rebuilt only when interest changes.
+  std::vector<pollfd> pollfds_;
+  bool pollfds_dirty_ = true;
+};
+
+}  // namespace match::net

@@ -1,0 +1,536 @@
+#include "net/server.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+#include "service/instance_cache.hpp"
+
+namespace match::net {
+
+namespace {
+
+using service::Clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double>(to - from).count();
+}
+
+/// Housekeeping granularity: idle sweeps and outbox drains happen at
+/// least this often even with no socket activity.
+constexpr int kTickMs = 50;
+
+constexpr std::size_t kRecvChunk = 64 * 1024;
+
+/// Compact the input buffer once the consumed prefix crosses this, so
+/// frame reassembly stays O(bytes) instead of O(bytes²).
+constexpr std::size_t kCompactThreshold = 64 * 1024;
+
+const char* event_action(Status status, bool deadline_missed) {
+  if (status == Status::kOk) {
+    return deadline_missed ? "net.served_deadline_missed" : "net.served";
+  }
+  switch (status) {
+    case Status::kShed:
+      return "net.shed";
+    case Status::kRejectedDeadline:
+      return "net.rejected_deadline";
+    case Status::kBadRequest:
+      return "net.bad_request";
+    case Status::kUnknownInstance:
+      return "net.unknown_instance";
+    case Status::kServerError:
+      return "net.server_error";
+    case Status::kOk:
+      break;
+  }
+  return "net.served";
+}
+
+const char* status_counter(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "net.served";
+    case Status::kShed:
+      return "net.shed";
+    case Status::kRejectedDeadline:
+      return "net.rejected_deadline";
+    case Status::kBadRequest:
+      return "net.bad_request";
+    case Status::kUnknownInstance:
+      return "net.unknown_instance";
+    case Status::kServerError:
+      return "net.server_error";
+  }
+  return "net.served";
+}
+
+}  // namespace
+
+MatchServer::MatchServer(service::MappingService& service, ServerConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      metrics_(service.metrics()),
+      loop_(config_.backend) {
+  ListenerOptions listener;
+  listener.bind_address = config_.bind_address;
+  listener.port = config_.port;
+  listener.backlog = config_.backlog;
+  listener.non_blocking = true;
+  listen_fd_ = open_listener(listener);
+  try {
+    port_ = bound_port(listen_fd_);
+    loop_.add(listen_fd_, /*want_read=*/true, /*want_write=*/false);
+    loop_.add(wakeup_.fd(), /*want_read=*/true, /*want_write=*/false);
+  } catch (...) {
+    close_fd(listen_fd_);
+    throw;
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+MatchServer::~MatchServer() { stop(); }
+
+void MatchServer::stop() {
+  if (stopped_) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  wakeup_.notify();
+  if (thread_.joinable()) thread_.join();
+  // Outstanding admitted requests keep their completion callbacks alive
+  // inside the service; wait them out so no callback can touch a dead
+  // server, then fold their terminal counters in (undelivered — every
+  // connection is going away — but accounted, so
+  // served+shed+rejected == offered survives a mid-flight stop).
+  service_.drain();
+  drain_outbox(/*deliver=*/false);
+  for (auto& [fd, conn] : conns_) {
+    int client = conn.fd;
+    close_fd(client);
+    metrics_.counter("net.connections_closed").add();
+  }
+  conns_.clear();
+  conn_fd_.clear();
+  live_connections_.store(0, std::memory_order_relaxed);
+  close_fd(listen_fd_);
+  stopped_ = true;
+}
+
+ServerCounters MatchServer::counters() const {
+  const obs::MetricsRegistry& m = metrics_;
+  ServerCounters c;
+  c.requests = m.counter_value("net.requests");
+  c.served = m.counter_value("net.served");
+  c.served_deadline_missed = m.counter_value("net.served_deadline_missed");
+  c.shed = m.counter_value("net.shed");
+  c.rejected_deadline = m.counter_value("net.rejected_deadline");
+  c.bad_request = m.counter_value("net.bad_request");
+  c.unknown_instance = m.counter_value("net.unknown_instance");
+  c.server_error = m.counter_value("net.server_error");
+  return c;
+}
+
+std::size_t MatchServer::connections() const {
+  return live_connections_.load(std::memory_order_relaxed);
+}
+
+void MatchServer::run() {
+  std::vector<EventLoop::Ready> ready;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    loop_.wait(kTickMs, ready);
+    drain_outbox(/*deliver=*/true);
+    for (const EventLoop::Ready& ev : ready) {
+      if (ev.fd == listen_fd_) {
+        accept_new();
+        continue;
+      }
+      if (ev.fd == wakeup_.fd()) {
+        wakeup_.drain();
+        continue;  // outbox already drained above
+      }
+      const auto it = conns_.find(ev.fd);
+      if (it == conns_.end()) continue;  // closed earlier this iteration
+      if (ev.error) {
+        close_connection(it->second, "net.connections_closed");
+        continue;
+      }
+      if (ev.readable && !handle_readable(ev.fd)) continue;
+      if (ev.writable) {
+        const auto again = conns_.find(ev.fd);
+        if (again != conns_.end() && flush_writes(again->second)) {
+          maybe_close_half_closed(ev.fd);
+        }
+      }
+    }
+    sweep_idle();
+  }
+}
+
+void MatchServer::accept_new() {
+  for (;;) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN: drained.  Anything else (EMFILE, ...) is transient —
+      // the listener stays registered and we retry on the next tick.
+      return;
+    }
+    if (conns_.size() >= config_.max_connections) {
+      int fd = client;
+      close_fd(fd);
+      metrics_.counter("net.connections_rejected").add();
+      continue;
+    }
+    if (!set_nonblocking(client, true)) {
+      int fd = client;
+      close_fd(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    Connection conn;
+    conn.id = next_conn_id_++;
+    conn.fd = client;
+    conn.last_activity = Clock::now();
+    try {
+      loop_.add(client, /*want_read=*/true, /*want_write=*/false);
+    } catch (...) {
+      int fd = client;
+      close_fd(fd);
+      continue;
+    }
+    conn_fd_.emplace(conn.id, client);
+    conns_.emplace(client, std::move(conn));
+    metrics_.counter("net.connections_accepted").add();
+    live_connections_.store(conns_.size(), std::memory_order_relaxed);
+  }
+}
+
+void MatchServer::close_connection(Connection& conn, const char* counter) {
+  const int fd = conn.fd;
+  const std::uint64_t id = conn.id;
+  loop_.remove(fd);
+  int closing = fd;
+  close_fd(closing);
+  conn_fd_.erase(id);
+  conns_.erase(fd);  // invalidates `conn`
+  metrics_.counter(counter).add();
+  if (counter != std::string_view("net.connections_closed")) {
+    metrics_.counter("net.connections_closed").add();
+  }
+  live_connections_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+bool MatchServer::handle_readable(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return false;
+  Connection& conn = it->second;  // stable: nothing closes in the recv loop
+  bool eof = false;
+  char buf[kRecvChunk];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) {
+      eof = true;  // half-close: parse what we have, answer it, then close
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn, "net.connections_closed");
+      return false;
+    }
+    conn.in.append(buf, static_cast<std::size_t>(n));
+    conn.last_activity = Clock::now();
+    if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+  }
+  if (!parse_frames(fd)) {
+    metrics_.counter("net.protocol_errors").add();
+    const auto again = conns_.find(fd);
+    if (again != conns_.end()) {
+      close_connection(again->second, "net.connections_closed");
+    }
+    return false;
+  }
+  const auto again = conns_.find(fd);
+  if (again == conns_.end()) return false;  // closed while answering
+  if (eof) {
+    Connection& half = again->second;
+    half.read_closed = true;
+    half.last_activity = Clock::now();
+    loop_.modify(fd, /*want_read=*/false, half.want_write);
+    maybe_close_half_closed(fd);
+    return conns_.find(fd) != conns_.end();
+  }
+  return true;
+}
+
+bool MatchServer::parse_frames(int fd) {
+  // Re-look the connection up every frame: handling a request can close
+  // it (slow-client eviction on the write path), which invalidates any
+  // held reference.
+  for (;;) {
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return true;
+    Connection& conn = it->second;
+    const std::string_view buffered =
+        std::string_view(conn.in).substr(conn.in_consumed);
+    if (buffered.size() < kHeaderSize) break;
+    FrameHeader header;
+    try {
+      header = decode_header(buffered);
+    } catch (const WireError&) {
+      return false;  // bad magic/version/size: the stream is unsynced
+    }
+    if (header.type != MsgType::kRequest) return false;
+    const std::size_t frame_size = kHeaderSize + header.payload_size;
+    if (buffered.size() < frame_size) break;  // wait for the rest
+    handle_request(conn, header,
+                   buffered.substr(kHeaderSize, header.payload_size));
+    const auto after = conns_.find(fd);
+    if (after == conns_.end()) return true;
+    after->second.in_consumed += frame_size;
+  }
+  const auto it = conns_.find(fd);
+  if (it != conns_.end()) {
+    Connection& conn = it->second;
+    if (conn.in_consumed == conn.in.size()) {
+      conn.in.clear();
+      conn.in_consumed = 0;
+    } else if (conn.in_consumed > kCompactThreshold) {
+      conn.in.erase(0, conn.in_consumed);
+      conn.in_consumed = 0;
+    }
+  }
+  return true;
+}
+
+void MatchServer::maybe_close_half_closed(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  if (conn.read_closed && conn.inflight == 0 &&
+      conn.out_written >= conn.out.size()) {
+    close_connection(conn, "net.connections_closed");
+  }
+}
+
+std::size_t MatchServer::shed_threshold(Priority priority) const {
+  const AdmissionConfig& adm = config_.admission;
+  const double cap = static_cast<double>(adm.max_pending);
+  switch (priority) {
+    case Priority::kLow:
+      return static_cast<std::size_t>(adm.low_watermark * cap);
+    case Priority::kNormal:
+      return static_cast<std::size_t>(adm.normal_watermark * cap);
+    case Priority::kHigh:
+      break;
+  }
+  return adm.max_pending;
+}
+
+void MatchServer::finish(Status status, std::uint64_t request_id,
+                         service::SolverKind solver,
+                         Clock::time_point arrived_at, bool deadline_missed) {
+  metrics_.counter(status_counter(status)).add();
+  if (status == Status::kOk && deadline_missed) {
+    metrics_.counter("net.served_deadline_missed").add();
+  }
+  const double seconds = seconds_between(arrived_at, Clock::now());
+  metrics_.histogram("net.request_seconds").observe(seconds);
+  if (config_.sink != nullptr) {
+    config_.sink->emit(obs::Event::service_event(
+        request_id, service::to_string(solver),
+        event_action(status, deadline_missed), seconds));
+  }
+}
+
+void MatchServer::handle_request(Connection& conn, const FrameHeader& header,
+                                 std::string_view payload) {
+  metrics_.counter("net.requests").add();
+  const Clock::time_point arrived_at = Clock::now();
+
+  WireResponse reply;
+  reply.request_id = header.request_id;
+
+  WireRequest request;
+  try {
+    request = decode_request(header, payload);
+  } catch (const WireError& e) {
+    reply.status = Status::kBadRequest;
+    reply.error = e.what();
+    finish(reply.status, header.request_id, service::SolverKind::kMatch,
+           arrived_at, false);
+    respond(conn, reply);
+    return;
+  }
+  reply.response.solver = request.request.solver;
+
+  const auto refuse = [&](Status status, std::string error) {
+    reply.status = status;
+    reply.error = std::move(error);
+    finish(status, request.request_id, request.request.solver, arrived_at,
+           false);
+    respond(conn, reply);
+  };
+
+  // ---- Instance resolution (inline registers, fingerprint looks up). --
+  if (request.by_fingerprint) {
+    const auto it = instances_.find(request.instance_fingerprint);
+    if (it == instances_.end()) {
+      refuse(Status::kUnknownInstance,
+             "no instance registered under that fingerprint; resend inline");
+      return;
+    }
+    request.request.instance = it->second;
+  } else {
+    const std::uint64_t fp =
+        service::fingerprint_instance(*request.request.instance);
+    if (instances_.emplace(fp, request.request.instance).second) {
+      instance_order_.push_back(fp);
+      while (instances_.size() > config_.max_instances) {
+        instances_.erase(instance_order_.front());
+        instance_order_.pop_front();
+      }
+    }
+  }
+
+  if (!service_.registry().contains(request.request.solver)) {
+    refuse(Status::kBadRequest, "no solver registered for that kind");
+    return;
+  }
+
+  // ---- Deadline-aware early rejection. --------------------------------
+  const double deadline = request.request.options.deadline_seconds;
+  if (request.strict_deadline && deadline <= 0.0) {
+    refuse(Status::kRejectedDeadline, "deadline expired before admission");
+    return;
+  }
+  if (config_.admission.deadline_early_reject && deadline > 0.0) {
+    const double projected = service_.projected_wait_seconds();
+    metrics_.histogram("net.projected_wait_seconds").observe(projected);
+    if (projected >= deadline) {
+      refuse(Status::kRejectedDeadline,
+             "projected queue wait exceeds the deadline");
+      return;
+    }
+  }
+
+  // ---- Load shedding: bounded pending set, low priority first. --------
+  if (pending_ >= shed_threshold(request.priority)) {
+    refuse(Status::kShed, "over the admission watermark for this priority");
+    return;
+  }
+
+  const std::uint64_t conn_id = conn.id;
+  const bool admitted = service_.try_submit(
+      std::move(request.request),
+      [this, conn_id, arrived_at](service::MapResponse&& response) {
+        Completed done;
+        done.conn_id = conn_id;
+        done.arrived_at = arrived_at;
+        done.response.request_id = response.id;
+        done.response.status = Status::kOk;  // re-derived on the reactor
+        done.response.response = std::move(response);
+        {
+          std::lock_guard<std::mutex> lock(outbox_mutex_);
+          outbox_.push_back(std::move(done));
+        }
+        wakeup_.notify();
+      });
+  if (!admitted) {
+    refuse(Status::kShed, "service queue full");
+    return;
+  }
+  ++pending_;
+  ++conn.inflight;
+}
+
+void MatchServer::drain_outbox(bool deliver) {
+  std::vector<Completed> batch;
+  {
+    std::lock_guard<std::mutex> lock(outbox_mutex_);
+    batch.swap(outbox_);
+  }
+  for (Completed& done : batch) {
+    if (pending_ > 0) --pending_;
+    // A solve that failed after admission comes back with an empty
+    // mapping (MappingService callback contract): classify, then count.
+    WireResponse& reply = done.response;
+    if (reply.response.mapping.num_tasks() == 0) {
+      reply.status = Status::kServerError;
+      reply.error = "solver failed after admission";
+    }
+    finish(reply.status, reply.request_id, reply.response.solver,
+           done.arrived_at, reply.response.deadline_missed);
+    if (!deliver) continue;
+    const auto fd_it = conn_fd_.find(done.conn_id);
+    if (fd_it == conn_fd_.end()) continue;  // client already went away
+    const int fd = fd_it->second;
+    const auto conn_it = conns_.find(fd);
+    if (conn_it == conns_.end()) continue;
+    Connection& conn = conn_it->second;
+    if (conn.inflight > 0) --conn.inflight;
+    respond(conn, reply);  // may close on a write failure — re-look-up
+    maybe_close_half_closed(fd);
+  }
+}
+
+void MatchServer::respond(Connection& conn, const WireResponse& response) {
+  conn.out += encode_response(response);
+  if (conn.out.size() - conn.out_written > config_.max_write_buffer) {
+    close_connection(conn, "net.slow_client_closed");
+    return;
+  }
+  flush_writes(conn);
+}
+
+bool MatchServer::flush_writes(Connection& conn) {
+  while (conn.out_written < conn.out.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data() + conn.out_written,
+               conn.out.size() - conn.out_written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!conn.want_write) {
+          conn.want_write = true;
+          loop_.modify(conn.fd, !conn.read_closed, /*want_write=*/true);
+        }
+        return true;
+      }
+      close_connection(conn, "net.connections_closed");
+      return false;
+    }
+    conn.out_written += static_cast<std::size_t>(n);
+  }
+  conn.out.clear();
+  conn.out_written = 0;
+  conn.last_activity = Clock::now();
+  if (conn.want_write) {
+    conn.want_write = false;
+    loop_.modify(conn.fd, !conn.read_closed, /*want_write=*/false);
+  }
+  return true;
+}
+
+void MatchServer::sweep_idle() {
+  if (config_.idle_timeout_seconds <= 0.0) return;
+  const Clock::time_point now = Clock::now();
+  std::vector<int> stale;
+  for (const auto& [fd, conn] : conns_) {
+    if (seconds_between(conn.last_activity, now) >
+        config_.idle_timeout_seconds) {
+      stale.push_back(fd);
+    }
+  }
+  for (int fd : stale) {
+    const auto it = conns_.find(fd);
+    if (it != conns_.end()) close_connection(it->second, "net.idle_closed");
+  }
+}
+
+}  // namespace match::net

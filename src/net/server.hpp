@@ -1,0 +1,229 @@
+#pragma once
+
+// The asynchronous network front end of the mapping service.
+//
+//   clients ──► Acceptor ──► per-connection state machine ──► admission
+//                (epoll/poll EventLoop, one reactor thread)      │
+//                                                                ├─ shed (queue watermark by priority)
+//                                                                ├─ reject (deadline already infeasible)
+//                                                                └─ MappingService::try_submit
+//                                                                     └─ worker callback ─► outbox ─► wakeup ─► reactor writes response
+//
+// One thread runs the reactor: it accepts connections, reassembles
+// length-prefixed frames from partial reads (wire.hpp), makes the
+// admission decision inline, and writes responses with partial-write
+// buffering — it never blocks on a socket, a queue, or a solver, so the
+// listener stays responsive at any offered load.  Solves happen on the
+// service's worker pumps; completions cross back to the reactor through
+// a mutex-guarded outbox plus a `Wakeup` fd.
+//
+// Admission control, in decision order per request:
+//   1. malformed payload / unknown solver  → kBadRequest
+//   2. unknown instance fingerprint        → kUnknownInstance
+//   3. strict deadline already expired, or projected queue wait
+//      (MappingService::projected_wait_seconds, estimated from the
+//      service latency histograms) >= remaining deadline
+//                                          → kRejectedDeadline
+//   4. pending depth over the priority's watermark (low sheds first,
+//      high last), or the service queue full → kShed
+//   5. otherwise                            → enqueue; kOk (or
+//      kServerError if the solver fails after admission)
+//
+// Every request reaches exactly one terminal `net.*` counter, so
+//   net.requests == net.served + net.shed + net.rejected_deadline
+//                 + net.bad_request + net.unknown_instance
+//                 + net.server_error
+// holds exactly once the server is quiesced (pinned by
+// tests/net_server_test.cpp).  Counters land in the service's
+// MetricsRegistry, so one /metrics scrape covers the whole stack;
+// overload decisions are also emitted as `net.*` service events on the
+// configured sink for `match_inspect overload`.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/socket_util.hpp"
+#include "net/wire.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "service/deadline.hpp"
+#include "service/service.hpp"
+
+namespace match::net {
+
+struct AdmissionConfig {
+  /// Bounded accept queue: requests admitted to the service but not yet
+  /// answered.  The service's own `queue_capacity` should be >= this,
+  /// otherwise `try_submit` turns the excess into sheds anyway.
+  std::size_t max_pending = 512;
+
+  /// Per-priority drop policy, as fractions of `max_pending`: a low-
+  /// priority request is shed once pending >= low_watermark × max, a
+  /// normal one at normal_watermark × max, and high priority uses the
+  /// full budget.  Low sheds first under overload by construction.
+  double low_watermark = 0.5;
+  double normal_watermark = 0.8;
+
+  /// Reject a deadline-carrying request when the projected queue wait
+  /// already exceeds its whole budget (cheaper for everyone than
+  /// queueing work guaranteed to miss).
+  bool deadline_early_reject = true;
+};
+
+struct ServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see `MatchServer::port()`
+  int backlog = 128;
+  std::size_t max_connections = 1024;
+
+  /// Connections silent for this long are closed on the reactor's
+  /// housekeeping tick (~100 ms granularity).  <= 0 disables.
+  double idle_timeout_seconds = 30.0;
+
+  /// A connection whose unsent response backlog exceeds this is closed:
+  /// a reader that stops reading must not hold reactor memory hostage.
+  std::size_t max_write_buffer = 4u << 20;
+
+  /// Inline instances are remembered by canonical fingerprint (FIFO
+  /// eviction) so clients can switch to cheap fingerprint-only requests.
+  std::size_t max_instances = 4096;
+
+  AdmissionConfig admission;
+  EventLoop::Backend backend = EventLoop::default_backend();
+
+  /// Optional sink for per-request overload events (`net.served`,
+  /// `net.shed`, ...); must be thread-compatible with the reactor
+  /// thread and outlive the server.  Null disables.
+  obs::EventSink* sink = nullptr;
+};
+
+/// Point-in-time admission accounting, read from the service registry.
+struct ServerCounters {
+  std::uint64_t requests = 0;  ///< offered = every decoded request frame
+  std::uint64_t served = 0;
+  std::uint64_t served_deadline_missed = 0;  ///< subset of `served`
+  std::uint64_t shed = 0;
+  std::uint64_t rejected_deadline = 0;
+  std::uint64_t bad_request = 0;
+  std::uint64_t unknown_instance = 0;
+  std::uint64_t server_error = 0;
+
+  std::uint64_t terminal() const {
+    return served + shed + rejected_deadline + bad_request +
+           unknown_instance + server_error;
+  }
+};
+
+class MatchServer {
+ public:
+  /// Binds and starts the reactor thread.  The service must outlive the
+  /// server.  Throws `std::runtime_error` when the port cannot be
+  /// bound.
+  explicit MatchServer(service::MappingService& service,
+                       ServerConfig config = {});
+
+  /// Runs `stop()`.
+  ~MatchServer();
+
+  MatchServer(const MatchServer&) = delete;
+  MatchServer& operator=(const MatchServer&) = delete;
+
+  /// The port actually bound (== config.port unless that was 0).
+  std::uint16_t port() const noexcept { return port_; }
+
+  const ServerConfig& config() const noexcept { return config_; }
+
+  /// Closes the listener, joins the reactor, drains outstanding
+  /// admitted requests (their terminal counters still land, so the
+  /// accounting identity holds after stop), and closes every
+  /// connection.  Idempotent.
+  void stop();
+
+  /// Snapshot of the `net.*` admission counters.
+  ServerCounters counters() const;
+
+  /// Live connection count (reactor-maintained gauge).
+  std::size_t connections() const;
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::string in;
+    std::size_t in_consumed = 0;
+    std::string out;
+    std::size_t out_written = 0;
+    service::Clock::time_point last_activity;
+    bool want_write = false;
+    /// Peer half-closed (read EOF) — a pipelining client that sent its
+    /// batch and shut down its write side.  The connection stays open
+    /// until every admitted request has been answered and flushed.
+    bool read_closed = false;
+    /// Admitted-but-unanswered requests from THIS connection.
+    std::size_t inflight = 0;
+  };
+
+  struct Completed {
+    std::uint64_t conn_id = 0;
+    WireResponse response;
+    service::Clock::time_point arrived_at;
+  };
+
+  void run();
+  void accept_new();
+  void close_connection(Connection& conn, const char* counter);
+  bool handle_readable(int fd);   ///< false: connection closed
+  bool parse_frames(int fd);      ///< false: protocol error
+  void handle_request(Connection& conn, const FrameHeader& header,
+                      std::string_view payload);
+  void respond(Connection& conn, const WireResponse& response);
+  bool flush_writes(Connection& conn);      ///< false: connection closed
+  /// Closes `fd` iff the peer half-closed and nothing is owed to it.
+  void maybe_close_half_closed(int fd);
+  void drain_outbox(bool deliver);
+  void sweep_idle();
+  std::size_t shed_threshold(Priority priority) const;
+  void finish(Status status, std::uint64_t request_id,
+              service::SolverKind solver,
+              service::Clock::time_point arrived_at, bool deadline_missed);
+
+  service::MappingService& service_;
+  ServerConfig config_;
+  obs::MetricsRegistry& metrics_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  EventLoop loop_;
+  Wakeup wakeup_;
+
+  std::unordered_map<int, Connection> conns_;       ///< by fd
+  std::unordered_map<std::uint64_t, int> conn_fd_;  ///< id → fd
+  std::uint64_t next_conn_id_ = 1;
+  std::atomic<std::size_t> live_connections_{0};
+
+  /// Admitted-but-unanswered requests (reactor thread only).
+  std::size_t pending_ = 0;
+
+  /// Inline instances by canonical fingerprint, FIFO-evicted.
+  std::unordered_map<std::uint64_t,
+                     std::shared_ptr<const workload::Instance>>
+      instances_;
+  std::deque<std::uint64_t> instance_order_;
+
+  std::mutex outbox_mutex_;
+  std::vector<Completed> outbox_;
+
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;  ///< stop() ran to completion (main thread only)
+  std::thread thread_;
+};
+
+}  // namespace match::net

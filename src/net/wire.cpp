@@ -1,0 +1,398 @@
+#include "net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/platform.hpp"
+#include "workload/instance.hpp"
+
+namespace match::net {
+
+namespace {
+
+// ---- Little-endian primitive writers -----------------------------------
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string(std::string& out, std::string_view s) {
+  if (s.size() > 0xffff) s = s.substr(0, 0xffff);  // names are labels, cap
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+// ---- Bounds-checked reader ---------------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int shift = 0; shift < 16; shift += 8) {
+      v = static_cast<std::uint16_t>(
+          v | static_cast<std::uint16_t>(
+                  static_cast<std::uint8_t>(data_[pos_++]))
+                  << shift);
+    }
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data_[pos_++]))
+           << shift;
+    }
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 8) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_++]))
+           << shift;
+    }
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint16_t n = u16();
+    need(n);
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+
+  void expect_done() const {
+    if (!done()) throw WireError("wire: trailing bytes after payload");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) throw WireError("wire: truncated payload");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Graph / instance payload shape ------------------------------------
+
+void put_graph(std::string& out, const graph::Graph& g) {
+  put_u32(out, static_cast<std::uint32_t>(g.num_nodes()));
+  for (double w : g.node_weights()) put_f64(out, w);
+  const std::vector<graph::Edge> edges = g.edge_list();
+  put_u32(out, static_cast<std::uint32_t>(edges.size()));
+  for (const graph::Edge& e : edges) {
+    put_u32(out, e.u);
+    put_u32(out, e.v);
+    put_f64(out, e.weight);
+  }
+}
+
+graph::Graph read_graph(Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (n == 0 || n > kMaxWireNodes) {
+    throw WireError("wire: graph node count out of range");
+  }
+  std::vector<double> weights(n);
+  for (double& w : weights) w = r.f64();
+  const std::uint32_t m = r.u32();
+  // An undirected simple graph has at most n*(n-1)/2 edges; anything
+  // claiming more is garbage and would only waste allocation.
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges) throw WireError("wire: graph edge count out of range");
+  std::vector<graph::Edge> edges(m);
+  for (graph::Edge& e : edges) {
+    e.u = r.u32();
+    e.v = r.u32();
+    e.weight = r.f64();
+  }
+  try {
+    return graph::Graph::from_edges(n, std::move(weights), edges);
+  } catch (const std::invalid_argument& e) {
+    throw WireError(std::string("wire: invalid graph (") + e.what() + ")");
+  }
+}
+
+void put_instance(std::string& out, const workload::Instance& inst) {
+  put_string(out, inst.name);
+  put_u8(out, static_cast<std::uint8_t>(inst.comm_policy));
+  put_graph(out, inst.tig.graph());
+  put_graph(out, inst.resources.graph());
+}
+
+workload::Instance read_instance(Reader& r) {
+  workload::Instance inst;
+  inst.name = r.str();
+  const std::uint8_t policy = r.u8();
+  if (policy > static_cast<std::uint8_t>(sim::CommCostPolicy::kShortestPath)) {
+    throw WireError("wire: unknown comm-cost policy");
+  }
+  inst.comm_policy = static_cast<sim::CommCostPolicy>(policy);
+  inst.tig = graph::Tig(read_graph(r));
+  inst.resources = graph::ResourceGraph(read_graph(r));
+  return inst;
+}
+
+void put_header(std::string& out, MsgType type, std::uint8_t flags,
+                std::uint64_t request_id, std::uint32_t payload_size) {
+  put_u32(out, kWireMagic);
+  put_u16(out, kWireVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u8(out, flags);
+  put_u64(out, request_id);
+  put_u32(out, payload_size);
+}
+
+std::string seal(MsgType type, std::uint8_t flags, std::uint64_t request_id,
+                 std::string_view payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  put_header(out, type, flags, request_id,
+             static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+std::uint8_t priority_flags(Priority priority) {
+  switch (priority) {
+    case Priority::kLow:
+      return kFlagPriorityLow;
+    case Priority::kHigh:
+      return kFlagPriorityHigh;
+    case Priority::kNormal:
+      break;
+  }
+  return 0;
+}
+
+constexpr std::uint8_t kMaxSolverKind =
+    static_cast<std::uint8_t>(service::SolverKind::kSufferage);
+constexpr std::uint8_t kMaxServedBy =
+    static_cast<std::uint8_t>(service::ServedBy::kCoalesced);
+constexpr std::uint8_t kMaxStatus =
+    static_cast<std::uint8_t>(Status::kServerError);
+
+}  // namespace
+
+const char* to_string(Priority priority) {
+  switch (priority) {
+    case Priority::kLow:
+      return "low";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kShed:
+      return "shed";
+    case Status::kRejectedDeadline:
+      return "rejected_deadline";
+    case Status::kBadRequest:
+      return "bad_request";
+    case Status::kUnknownInstance:
+      return "unknown_instance";
+    case Status::kServerError:
+      return "server_error";
+  }
+  return "?";
+}
+
+std::string encode_request(const WireRequest& request) {
+  std::string payload;
+  put_u8(payload, static_cast<std::uint8_t>(request.request.solver));
+  const service::SolveOptions& opt = request.request.options;
+  put_u8(payload, opt.use_cache ? 1 : 0);
+  put_u64(payload, opt.seed);
+  put_f64(payload, opt.deadline_seconds);
+  put_f64(payload, opt.target_cost);
+  put_u64(payload, opt.max_iterations);
+  put_u8(payload, request.by_fingerprint ? 1 : 0);
+  if (request.by_fingerprint) {
+    put_u64(payload, request.instance_fingerprint);
+  } else {
+    if (!request.request.instance) {
+      throw WireError("encode_request: inline request with null instance");
+    }
+    put_instance(payload, *request.request.instance);
+  }
+
+  std::uint8_t flags = priority_flags(request.priority);
+  if (request.strict_deadline) flags |= kFlagStrictDeadline;
+  return seal(MsgType::kRequest, flags, request.request_id, payload);
+}
+
+std::string encode_response(const WireResponse& response) {
+  std::string payload;
+  put_u8(payload, static_cast<std::uint8_t>(response.status));
+  const service::MapResponse& r = response.response;
+  put_u8(payload, static_cast<std::uint8_t>(r.served_by));
+  put_u8(payload, static_cast<std::uint8_t>(r.solver));
+  put_u8(payload, r.deadline_missed ? 1 : 0);
+  put_f64(payload, r.cost);
+  put_u64(payload, r.iterations);
+  put_u64(payload, r.fingerprint);
+  put_f64(payload, r.queue_seconds);
+  put_f64(payload, r.solve_seconds);
+  put_f64(payload, r.total_seconds);
+  if (response.status == Status::kOk) {
+    const auto assignment = r.mapping.assignment();
+    put_u32(payload, static_cast<std::uint32_t>(assignment.size()));
+    for (graph::NodeId id : assignment) put_u32(payload, id);
+  } else {
+    put_string(payload, response.error);
+  }
+  return seal(MsgType::kResponse, 0, response.request_id, payload);
+}
+
+FrameHeader decode_header(std::string_view data) {
+  if (data.size() < kHeaderSize) {
+    throw WireError("wire: short header");
+  }
+  Reader r(data.substr(0, kHeaderSize));
+  FrameHeader header;
+  if (r.u32() != kWireMagic) throw WireError("wire: bad magic");
+  header.version = r.u16();
+  if (header.version != kWireVersion) {
+    throw WireError("wire: unsupported version " +
+                    std::to_string(header.version));
+  }
+  const std::uint8_t type = r.u8();
+  if (type != static_cast<std::uint8_t>(MsgType::kRequest) &&
+      type != static_cast<std::uint8_t>(MsgType::kResponse)) {
+    throw WireError("wire: unknown message type");
+  }
+  header.type = static_cast<MsgType>(type);
+  header.flags = r.u8();
+  header.request_id = r.u64();
+  header.payload_size = r.u32();
+  if (header.payload_size > kMaxPayload) {
+    throw WireError("wire: payload exceeds size cap");
+  }
+  return header;
+}
+
+WireRequest decode_request(const FrameHeader& header,
+                           std::string_view payload) {
+  if (header.type != MsgType::kRequest) {
+    throw WireError("wire: frame is not a request");
+  }
+  if ((header.flags & kFlagPriorityLow) && (header.flags & kFlagPriorityHigh)) {
+    throw WireError("wire: contradictory priority flags");
+  }
+  WireRequest out;
+  out.request_id = header.request_id;
+  out.priority = (header.flags & kFlagPriorityLow)    ? Priority::kLow
+                 : (header.flags & kFlagPriorityHigh) ? Priority::kHigh
+                                                      : Priority::kNormal;
+  out.strict_deadline = (header.flags & kFlagStrictDeadline) != 0;
+
+  Reader r(payload);
+  const std::uint8_t solver = r.u8();
+  if (solver > kMaxSolverKind) throw WireError("wire: unknown solver kind");
+  out.request.solver = static_cast<service::SolverKind>(solver);
+  out.request.id = header.request_id;
+  service::SolveOptions& opt = out.request.options;
+  opt.use_cache = r.u8() != 0;
+  opt.seed = r.u64();
+  opt.deadline_seconds = r.f64();
+  opt.target_cost = r.f64();
+  opt.max_iterations = r.u64();
+  out.by_fingerprint = r.u8() != 0;
+  if (out.by_fingerprint) {
+    out.instance_fingerprint = r.u64();
+  } else {
+    out.request.instance =
+        std::make_shared<const workload::Instance>(read_instance(r));
+  }
+  r.expect_done();
+  return out;
+}
+
+WireResponse decode_response(const FrameHeader& header,
+                             std::string_view payload) {
+  if (header.type != MsgType::kResponse) {
+    throw WireError("wire: frame is not a response");
+  }
+  WireResponse out;
+  out.request_id = header.request_id;
+  Reader r(payload);
+  const std::uint8_t status = r.u8();
+  if (status > kMaxStatus) throw WireError("wire: unknown status");
+  out.status = static_cast<Status>(status);
+  service::MapResponse& resp = out.response;
+  resp.id = header.request_id;
+  const std::uint8_t served_by = r.u8();
+  if (served_by > kMaxServedBy) throw WireError("wire: unknown served_by");
+  resp.served_by = static_cast<service::ServedBy>(served_by);
+  const std::uint8_t solver = r.u8();
+  if (solver > kMaxSolverKind) throw WireError("wire: unknown solver kind");
+  resp.solver = static_cast<service::SolverKind>(solver);
+  resp.deadline_missed = r.u8() != 0;
+  resp.cost = r.f64();
+  resp.iterations = r.u64();
+  resp.fingerprint = r.u64();
+  resp.queue_seconds = r.f64();
+  resp.solve_seconds = r.f64();
+  resp.total_seconds = r.f64();
+  if (out.status == Status::kOk) {
+    const std::uint32_t n = r.u32();
+    if (n > kMaxWireNodes) throw WireError("wire: mapping size out of range");
+    std::vector<graph::NodeId> assign(n);
+    for (graph::NodeId& id : assign) id = r.u32();
+    resp.mapping = sim::Mapping(std::move(assign));
+  } else {
+    out.error = r.str();
+  }
+  r.expect_done();
+  return out;
+}
+
+}  // namespace match::net

@@ -1,0 +1,133 @@
+#pragma once
+
+// The versioned length-prefixed binary protocol of the mapping front
+// end.  One frame per message, either direction:
+//
+//   offset  size  field
+//   0       4     magic "MTCH"
+//   4       2     version (currently 1), little-endian
+//   6       1     type: 1 = request, 2 = response
+//   7       1     flags (requests: priority + deadline bits, see below)
+//   8       8     request id (echoed verbatim in the response)
+//   16      4     payload length N
+//   20      N     payload
+//
+// All integers are little-endian; doubles travel as their IEEE-754 bit
+// pattern, so every value round-trips exactly (pinned by
+// tests/wire_test.cpp).  The payload is a serialized
+// `service::MapRequest` — solver kind, result-affecting options, and
+// the instance either inline (TIG + resource graph, the graph wire
+// shape mirrors graph/io.hpp) or as the 64-bit canonical fingerprint of
+// an instance the server has already seen inline — or a serialized
+// `service::MapResponse` plus a status byte classifying the admission
+// outcome (served / shed / rejected / error).  Full field tables:
+// docs/NETWORKING.md.
+//
+// Decoders never trust the peer: every read is bounds-checked, string
+// and array lengths are capped, and any malformed input throws
+// `WireError` (never UB, never a partial object).
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "service/request.hpp"
+
+namespace match::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x4854434Du;  // "MTCH" LE
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 20;
+/// Frames above this payload size are rejected before buffering — a bad
+/// magic-collision or a hostile peer must not make the server allocate.
+inline constexpr std::uint32_t kMaxPayload = 16u << 20;
+/// Inline instances are capped (tasks and resources) so a single frame
+/// cannot smuggle a multi-gigabyte graph past admission control.
+inline constexpr std::uint32_t kMaxWireNodes = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+};
+
+// Request flag bits (header byte 7).
+inline constexpr std::uint8_t kFlagPriorityLow = 0x01;
+inline constexpr std::uint8_t kFlagPriorityHigh = 0x02;
+/// When set, `deadline_seconds` is a hard remaining budget: a value
+/// <= 0 means the deadline already expired in transit and the server
+/// must reject before enqueueing.  When clear, deadline 0 = unbounded
+/// (the in-process `SolveOptions` convention).
+inline constexpr std::uint8_t kFlagStrictDeadline = 0x04;
+
+/// Admission priority, decoded from the flag bits.  Low sheds first
+/// under overload, high sheds last (watermarks in server.hpp).
+enum class Priority : std::uint8_t { kLow = 0, kNormal = 1, kHigh = 2 };
+
+const char* to_string(Priority priority);
+
+/// The admission outcome carried by every response.
+enum class Status : std::uint8_t {
+  kOk = 0,                ///< served; payload carries the mapping
+  kShed = 1,              ///< dropped by load shedding (queue watermark)
+  kRejectedDeadline = 2,  ///< deadline expired or projected wait exceeds it
+  kBadRequest = 3,        ///< payload failed validation
+  kUnknownInstance = 4,   ///< fingerprint reference the server has not seen
+  kServerError = 5,       ///< solver failed after admission
+};
+
+const char* to_string(Status status);
+
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct FrameHeader {
+  std::uint16_t version = kWireVersion;
+  MsgType type = MsgType::kRequest;
+  std::uint8_t flags = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t payload_size = 0;
+};
+
+/// A decoded request frame.  `request.instance` is null when the client
+/// sent a fingerprint reference instead of an inline instance.
+struct WireRequest {
+  std::uint64_t request_id = 0;
+  Priority priority = Priority::kNormal;
+  bool strict_deadline = false;
+  bool by_fingerprint = false;
+  std::uint64_t instance_fingerprint = 0;  ///< set iff by_fingerprint
+  service::MapRequest request;
+};
+
+/// A response frame.  `response` is meaningful only when
+/// `status == kOk`; other statuses carry a short diagnostic in `error`.
+struct WireResponse {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  std::string error;
+  service::MapResponse response;
+};
+
+// ---- Encoding (always succeeds; allocation is the only cost) ----------
+
+std::string encode_request(const WireRequest& request);
+std::string encode_response(const WireResponse& response);
+
+// ---- Decoding (throws WireError on any malformation) -------------------
+
+/// Parses the 20-byte header; `data` must hold >= kHeaderSize bytes.
+/// Validates magic, version, type, and the payload-size cap, so a
+/// reactor can reject garbage before buffering the payload.
+FrameHeader decode_header(std::string_view data);
+
+/// Decodes a request payload (frame bytes after the header).  The
+/// header supplies request id and flags.
+WireRequest decode_request(const FrameHeader& header, std::string_view payload);
+
+/// Decodes a response payload.
+WireResponse decode_response(const FrameHeader& header,
+                             std::string_view payload);
+
+}  // namespace match::net

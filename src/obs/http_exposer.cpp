@@ -1,36 +1,20 @@
 #include "obs/http_exposer.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <cstring>
 #include <stdexcept>
 #include <string_view>
+
+#include "net/socket_util.hpp"
 
 namespace match::obs {
 namespace {
 
-void close_fd(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
-  }
-}
-
 void write_all(int fd, std::string_view data) {
-  std::size_t written = 0;
-  while (written < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + written, data.size() - written, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;  // client went away; nothing useful to do
-    }
-    written += static_cast<std::size_t>(n);
-  }
+  // Best-effort: a client that went away mid-response is its problem.
+  (void)net::send_all(fd, data.data(), data.size());
 }
 
 std::string make_response(int status, const char* reason,
@@ -57,37 +41,17 @@ HttpExposer::HttpExposer(Renderer render_metrics, Options options)
   if (!render_metrics_) {
     throw std::invalid_argument("HttpExposer: null renderer");
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error("HttpExposer: socket() failed");
+  net::ListenerOptions listener;
+  listener.bind_address = options.bind_address;
+  listener.port = options.port;
+  listener.backlog = 16;
+  try {
+    listen_fd_ = net::open_listener(listener);
+    port_ = net::bound_port(listen_fd_);
+  } catch (const std::exception& e) {
+    net::close_fd(listen_fd_);
+    throw std::runtime_error(std::string("HttpExposer: ") + e.what());
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) != 1) {
-    close_fd(listen_fd_);
-    throw std::runtime_error("HttpExposer: bad bind address '" +
-                             options.bind_address + "'");
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listen_fd_, 16) < 0) {
-    const int err = errno;
-    close_fd(listen_fd_);
-    throw std::runtime_error(std::string("HttpExposer: cannot listen on ") +
-                             options.bind_address + ":" +
-                             std::to_string(options.port) + " (" +
-                             std::strerror(err) + ")");
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
-    close_fd(listen_fd_);
-    throw std::runtime_error("HttpExposer: getsockname() failed");
-  }
-  port_ = ntohs(bound.sin_port);
   thread_ = std::thread([this] { serve(); });
 }
 
@@ -100,7 +64,7 @@ void HttpExposer::stop() {
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   }
   if (thread_.joinable()) thread_.join();
-  close_fd(listen_fd_);
+  net::close_fd(listen_fd_);
 }
 
 std::uint64_t HttpExposer::requests_served() const {
@@ -109,9 +73,8 @@ std::uint64_t HttpExposer::requests_served() const {
 
 void HttpExposer::serve() {
   while (!stopping_.load(std::memory_order_relaxed)) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = net::accept_retry(listen_fd_);
     if (client < 0) {
-      if (errno == EINTR) continue;
       if (stopping_.load(std::memory_order_relaxed)) return;
       // Transient accept failure (e.g. EMFILE); keep listening.
       continue;

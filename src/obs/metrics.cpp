@@ -143,6 +143,13 @@ std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   return it == shard.counters.end() ? 0 : it->second->value();
 }
 
+const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
+  const Shard& shard = shard_for(name);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.histograms.find(std::string(name));
+  return it == shard.histograms.end() ? nullptr : it->second.get();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
   for (const Shard& shard : shards_) {

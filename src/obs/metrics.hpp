@@ -132,6 +132,12 @@ class MetricsRegistry {
   /// Value of a counter, 0 if it was never touched (const: never creates).
   std::uint64_t counter_value(std::string_view name) const;
 
+  /// The histogram, or null if it was never touched (const: never
+  /// creates).  The pointer stays valid for the registry's lifetime —
+  /// admission control resolves `service.*_seconds` once and then reads
+  /// only atomics.
+  const Histogram* find_histogram(std::string_view name) const;
+
   MetricsSnapshot snapshot() const;
 
  private:

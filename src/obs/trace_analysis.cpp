@@ -168,6 +168,58 @@ TraceReport analyze_file(const std::string& path) {
   return report;
 }
 
+double OverloadReport::shed_pct() const {
+  if (offered == 0) return 0.0;
+  return 100.0 * static_cast<double>(shed) / static_cast<double>(offered);
+}
+
+double OverloadReport::mean_served_seconds() const {
+  if (served_seconds.empty()) return std::numeric_limits<double>::quiet_NaN();
+  double sum = 0.0;
+  for (const double s : served_seconds) sum += s;
+  return sum / static_cast<double>(served_seconds.size());
+}
+
+double OverloadReport::served_seconds_quantile(double q) const {
+  if (served_seconds.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> sorted = served_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = std::ceil(std::clamp(q, 0.0, 1.0) *
+                                static_cast<double>(sorted.size()));
+  const std::size_t index =
+      rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+OverloadReport summarize_overload(const std::vector<Event>& events) {
+  OverloadReport report;
+  for (const Event& e : events) {
+    if (e.kind != EventKind::kService) continue;
+    ++report.action_counts[e.phase];
+    if (e.phase == "net.served" || e.phase == "net.served_deadline_missed") {
+      ++report.served;
+      if (e.phase == "net.served_deadline_missed") {
+        ++report.served_deadline_missed;
+      }
+      report.served_seconds.push_back(e.seconds);
+    } else if (e.phase == "net.shed") {
+      ++report.shed;
+    } else if (e.phase == "net.rejected_deadline") {
+      ++report.rejected_deadline;
+    } else if (e.phase == "net.bad_request" ||
+               e.phase == "net.unknown_instance" ||
+               e.phase == "net.server_error") {
+      ++report.errors;
+    } else {
+      // Service lifecycle action (enqueue, cache_hit, ...): counted in
+      // `action_counts` above but not a per-request terminal decision.
+      continue;
+    }
+    ++report.offered;
+  }
+  return report;
+}
+
 TraceDiff diff_traces(const TraceReport& a, const TraceReport& b,
                       const DiffOptions& options) {
   TraceDiff diff;
@@ -215,6 +267,7 @@ int usage(std::ostream& err) {
          "[--stability-window W]\n"
          "  match_inspect diff <baseline.jsonl> <candidate.jsonl> "
          "[--makespan-tol PCT] [--iterations-tol PCT]\n"
+         "  match_inspect overload <trace.jsonl> [--max-shed-pct PCT]\n"
          "\n"
          "summary: per-run convergence report (gamma trajectory, "
          "iterations-to-stability,\n"
@@ -223,7 +276,12 @@ int usage(std::ostream& err) {
          "         best-so-far regressed within its own trace.\n"
          "diff:    compares candidate against baseline; exit 1 on "
          "makespan or\n"
-         "         iteration-count regression beyond the tolerance.\n";
+         "         iteration-count regression beyond the tolerance.\n"
+         "overload: admission accounting from a server trace (per-action"
+         " counts,\n"
+         "         shed fraction, served-latency distribution); with "
+         "--max-shed-pct,\n"
+         "         exit 1 when the shed fraction exceeds the gate.\n";
   return 2;
 }
 
@@ -362,6 +420,72 @@ int cmd_diff(const std::vector<std::string>& args, std::ostream& out,
   return diff.regressed() ? 1 : 0;
 }
 
+int cmd_overload(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  std::string path;
+  double max_shed_pct = std::numeric_limits<double>::quiet_NaN();  // no gate
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--max-shed-pct" && i + 1 < args.size()) {
+      if (!parse_double_arg(args[++i], max_shed_pct) || max_shed_pct < 0) {
+        return usage(err);
+      }
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage(err);
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      return usage(err);
+    }
+  }
+  if (path.empty()) return usage(err);
+
+  std::ifstream in(path);
+  if (!in) {
+    err << "match_inspect: cannot open '" << path << "'\n";
+    return 2;
+  }
+  const LenientTrace trace = read_jsonl_lenient(in);
+  const OverloadReport report = summarize_overload(trace.events);
+
+  out << "== " << path << ": " << report.offered << " request(s) offered ==\n";
+  if (trace.skipped_lines > 0) {
+    out << "note: skipped " << trace.skipped_lines << " malformed line(s) of "
+        << trace.total_lines << "\n";
+  }
+
+  io::Table table({"action", "count", "% of offered"});
+  for (const auto& [action, count] : report.action_counts) {
+    const bool terminal = action.rfind("net.", 0) == 0;
+    table.add_row({action, std::to_string(count),
+                   terminal && report.offered > 0
+                       ? io::Table::num(100.0 * static_cast<double>(count) /
+                                            static_cast<double>(report.offered),
+                                        3)
+                       : "-"});
+  }
+  table.print(out);
+
+  out << "\nserved " << report.served << " ("
+      << report.served_deadline_missed << " past deadline), shed "
+      << report.shed << " (" << io::Table::num(report.shed_pct(), 3)
+      << "%), rejected " << report.rejected_deadline << ", errors "
+      << report.errors << "\n";
+  if (!report.served_seconds.empty()) {
+    out << "served latency: mean "
+        << fmt_or_dash(report.mean_served_seconds()) << "s, p50 "
+        << fmt_or_dash(report.served_seconds_quantile(0.5)) << "s, p99 "
+        << fmt_or_dash(report.served_seconds_quantile(0.99)) << "s, max "
+        << fmt_or_dash(report.served_seconds_quantile(1.0)) << "s\n";
+  }
+
+  if (!std::isnan(max_shed_pct) && report.shed_pct() > max_shed_pct) {
+    out << "OVERLOAD REGRESSION: shed " << io::Table::num(report.shed_pct(), 3)
+        << "% > gate " << io::Table::num(max_shed_pct, 3) << "%\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_inspect_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -371,6 +495,7 @@ int run_inspect_cli(const std::vector<std::string>& args, std::ostream& out,
   const std::vector<std::string> rest(args.begin() + 1, args.end());
   if (command == "summary") return cmd_summary(rest, out, err);
   if (command == "diff") return cmd_diff(rest, out, err);
+  if (command == "overload") return cmd_overload(rest, out, err);
   return usage(err);
 }
 

@@ -102,6 +102,42 @@ TraceReport analyze(const std::vector<Event>& events);
 /// file cannot be opened; content problems are counted, not thrown.
 TraceReport analyze_file(const std::string& path);
 
+/// Aggregate view of the admission/service events in a trace: every
+/// `kService` event counted by action, with the terminal `net.*`
+/// decisions (exactly one per request, emitted by `MatchServer::finish`)
+/// also folded into offered/served/shed totals plus the served-latency
+/// distribution.  `match_inspect overload` prints this and can gate CI
+/// on the shed fraction.
+struct OverloadReport {
+  /// Every `kService` action seen → occurrence count.  Terminal network
+  /// decisions carry a `net.` prefix; service lifecycle actions
+  /// (enqueue, cache_hit, coalesced, ...) are unprefixed.
+  std::map<std::string, std::uint64_t> action_counts;
+
+  std::uint64_t offered = 0;  ///< terminal `net.*` decisions
+  std::uint64_t served = 0;   ///< net.served + net.served_deadline_missed
+  std::uint64_t served_deadline_missed = 0;  ///< subset of `served`
+  std::uint64_t shed = 0;
+  std::uint64_t rejected_deadline = 0;
+  /// net.bad_request + net.unknown_instance + net.server_error.
+  std::uint64_t errors = 0;
+
+  /// Request latency (`seconds`) of every served request, trace order.
+  std::vector<double> served_seconds;
+
+  double shed_pct() const;  ///< 100·shed/offered; 0 when nothing offered
+
+  double mean_served_seconds() const;  ///< NaN when nothing was served
+
+  /// Nearest-rank quantile of the served latencies (q in [0, 1]); NaN
+  /// when nothing was served.
+  double served_seconds_quantile(double q) const;
+};
+
+/// Folds the `kService` events of a trace into an `OverloadReport`;
+/// every other event kind is ignored.
+OverloadReport summarize_overload(const std::vector<Event>& events);
+
 struct DiffOptions {
   /// Candidate mean final best may exceed the baseline's by this many
   /// percent before the diff counts as a makespan regression.

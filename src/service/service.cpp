@@ -43,7 +43,7 @@ MappingService::MappingService(ServiceConfig config)
 
 MappingService::~MappingService() { shutdown(); }
 
-std::future<MapResponse> MappingService::submit(MapRequest request) {
+MappingService::Pending MappingService::make_pending(MapRequest request) {
   if (!request.instance) {
     throw std::invalid_argument("MappingService::submit: null instance");
   }
@@ -51,7 +51,6 @@ std::future<MapResponse> MappingService::submit(MapRequest request) {
     throw std::invalid_argument(
         "MappingService::submit: no solver registered for request");
   }
-
   Pending pending;
   pending.submitted_at = Clock::now();
   pending.deadline =
@@ -63,11 +62,19 @@ std::future<MapResponse> MappingService::submit(MapRequest request) {
           : Deadline::never();
   pending.request = std::move(request);
   pending.run_id = next_run_id_.fetch_add(1, std::memory_order_relaxed);
-  std::future<MapResponse> future = pending.promise.get_future();
+  return pending;
+}
 
+void MappingService::note_enqueued(std::uint64_t run_id, SolverKind solver) {
   metrics_.counter("service.submitted").add();
-  emit_service_event(config_.sink, pending.run_id, pending.request.solver,
-                     "enqueue");
+  emit_service_event(config_.sink, run_id, solver, "enqueue");
+}
+
+std::future<MapResponse> MappingService::submit(MapRequest request) {
+  Pending pending = make_pending(std::move(request));
+  std::future<MapResponse> future = pending.promise.get_future();
+  const std::uint64_t run_id = pending.run_id;
+  const SolverKind solver = pending.request.solver;
 
   {
     std::unique_lock<std::mutex> lock(queue_mutex_);
@@ -84,8 +91,33 @@ std::future<MapResponse> MappingService::submit(MapRequest request) {
       peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
     }
   }
+  note_enqueued(run_id, solver);
   queue_not_empty_.notify_one();
   return future;
+}
+
+bool MappingService::try_submit(MapRequest request, CompletionFn on_complete) {
+  if (!on_complete) {
+    throw std::invalid_argument("MappingService::try_submit: null callback");
+  }
+  Pending pending = make_pending(std::move(request));
+  pending.on_complete = std::move(on_complete);
+  const std::uint64_t run_id = pending.run_id;
+  const SolverKind solver = pending.request.solver;
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!accepting_ || queue_.size() >= config_.queue_capacity) return false;
+    queue_.push_back(std::move(pending));
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++submitted_;
+      peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+    }
+  }
+  note_enqueued(run_id, solver);
+  queue_not_empty_.notify_one();
+  return true;
 }
 
 MapResponse MappingService::solve(MapRequest request) {
@@ -130,13 +162,32 @@ void MappingService::pump() {
     }
     queue_not_full_.notify_one();
 
-    std::promise<MapResponse> promise = std::move(pending.promise);
-    try {
-      MapResponse response = process(pending);
+    if (pending.on_complete) {
+      // Callback path (network front end): failures are delivered
+      // in-band as a response with an empty mapping, so the callback
+      // always fires exactly once and the caller owns the error surface.
+      MapResponse response;
+      try {
+        response = process(pending);
+      } catch (...) {
+        response = MapResponse{};
+        response.id = pending.request.id;
+        response.solver = pending.request.solver;
+        response.total_seconds =
+            seconds_between(pending.submitted_at, Clock::now());
+        metrics_.counter("service.solve_failures").add();
+      }
       record_completion(response);
-      promise.set_value(std::move(response));
-    } catch (...) {
-      promise.set_exception(std::current_exception());
+      pending.on_complete(std::move(response));
+    } else {
+      std::promise<MapResponse> promise = std::move(pending.promise);
+      try {
+        MapResponse response = process(pending);
+        record_completion(response);
+        promise.set_value(std::move(response));
+      } catch (...) {
+        promise.set_exception(std::current_exception());
+      }
     }
 
     {
@@ -281,6 +332,10 @@ MapResponse MappingService::process(Pending& pending) {
 void MappingService::record_completion(const MapResponse& response) {
   metrics_.counter("service.completed").add();
   metrics_.histogram("service.latency_seconds").observe(response.total_seconds);
+  // Pure service time (queue wait excluded): the admission layer's
+  // projected-wait estimator wants how long a worker holds a request,
+  // not how long requests waited under the current load.
+  metrics_.histogram("service.solve_seconds").observe(response.solve_seconds);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++completed_;
   if (response.deadline_missed) ++deadline_misses_;
@@ -301,6 +356,28 @@ double percentile(std::vector<double> values, double p) {
 }
 
 }  // namespace
+
+std::size_t MappingService::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+double MappingService::projected_wait_seconds() const {
+  const obs::Histogram* solve = metrics_.find_histogram("service.solve_seconds");
+  if (solve == nullptr || solve->count() == 0) {
+    solve = metrics_.find_histogram("service.latency_seconds");
+  }
+  if (solve == nullptr || solve->count() == 0) return 0.0;
+  const double mean_service =
+      solve->sum() / static_cast<double>(solve->count());
+  std::size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    depth = queue_.size();
+  }
+  return mean_service * static_cast<double>(depth) /
+         static_cast<double>(config_.workers);
+}
 
 ServiceStats MappingService::stats() const {
   ServiceStats out;

@@ -117,6 +117,20 @@ class MappingService {
   /// `std::runtime_error` after `shutdown()`.
   std::future<MapResponse> submit(MapRequest request);
 
+  /// Completion hook of `try_submit`, invoked exactly once on a worker
+  /// thread.  A failed solve (adapter threw) delivers a response with an
+  /// *empty* mapping — callback callers own the error surface, so the
+  /// service reports the failure in-band instead of through a future's
+  /// exception channel.
+  using CompletionFn = std::function<void(MapResponse&&)>;
+
+  /// Non-blocking admission: enqueues and returns true, or returns
+  /// false immediately when the queue is full or the service stopped
+  /// accepting — never blocks, which is what an event-loop front end
+  /// needs (a full queue there is a shed decision, not a wait).
+  /// Throws like `submit` on an invalid request.
+  bool try_submit(MapRequest request, CompletionFn on_complete);
+
   /// Convenience: submit + wait.
   MapResponse solve(MapRequest request);
 
@@ -129,19 +143,38 @@ class MappingService {
 
   ServiceStats stats() const;
 
+  /// Requests queued but not yet picked up — the cheap accessor the
+  /// admission layer polls per request (`stats()` copies the latency
+  /// vector and is snapshot-priced, not per-request-priced).
+  std::size_t queue_depth() const;
+
+  /// Projected queue wait for a newly admitted request: queue depth ×
+  /// mean solve time / workers, estimated from the
+  /// `service.solve_seconds` histogram in the metrics registry (falling
+  /// back to `service.latency_seconds` before the first completion
+  /// lands there).  0 until any request has completed.  Deadline-aware
+  /// admission rejects a request whose remaining budget is below this.
+  double projected_wait_seconds() const;
+
   const ServiceConfig& config() const noexcept { return config_; }
   const SolverRegistry& registry() const noexcept { return registry_; }
 
   /// The service-wide metrics registry: request counters, the
-  /// `service.latency_seconds` histogram, and every counter/histogram the
-  /// solvers record (e.g. `solver.fallback_draws`,
-  /// `match.phase.*_seconds`).
+  /// `service.latency_seconds` / `service.solve_seconds` histograms, and
+  /// every counter/histogram the solvers record (e.g.
+  /// `solver.fallback_draws`, `match.phase.*_seconds`).
   const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  /// Mutable registry access for co-located subsystems (the network
+  /// front end records its `net.*` counters here so one `/metrics`
+  /// scrape covers the whole serving stack).
+  obs::MetricsRegistry& metrics() noexcept { return metrics_; }
 
  private:
   struct Pending {
     MapRequest request;
     std::promise<MapResponse> promise;
+    CompletionFn on_complete;  ///< non-null: callback path (try_submit)
     Clock::time_point submitted_at;
     Deadline deadline;
     std::uint64_t run_id = 0;
@@ -152,6 +185,8 @@ class MappingService {
     std::shared_future<CachedSolution> result;
   };
 
+  Pending make_pending(MapRequest request);
+  void note_enqueued(std::uint64_t run_id, SolverKind solver);
   void pump();
   MapResponse process(Pending& pending);
   void record_completion(const MapResponse& response);

@@ -156,6 +156,60 @@ TEST(RunReport, StallAndRegressionDetection) {
   EXPECT_TRUE(corrupt.best_regressed());
 }
 
+// ---------------------------------------------------------------- overload
+
+// A trace like a loaded server writes: terminal net.* decisions (one per
+// request) interleaved with service lifecycle actions.
+std::vector<Event> make_overload_events() {
+  std::vector<Event> events;
+  for (int i = 0; i < 6; ++i) {
+    events.push_back(
+        Event::service_event(i + 1, "match", "net.served", 0.001 * (i + 1)));
+  }
+  events.push_back(
+      Event::service_event(7, "match", "net.served_deadline_missed", 0.05));
+  events.push_back(Event::service_event(8, "match", "net.shed"));
+  events.push_back(Event::service_event(9, "match", "net.shed"));
+  events.push_back(Event::service_event(10, "match", "net.rejected_deadline"));
+  events.push_back(Event::service_event(11, "", "net.bad_request"));
+  events.push_back(Event::service_event(1, "match", "enqueue"));
+  events.push_back(Event::service_event(2, "match", "cache_hit"));
+  return events;
+}
+
+TEST(Overload, FoldsTerminalDecisionsAndLatencies) {
+  const OverloadReport report = summarize_overload(make_overload_events());
+  EXPECT_EQ(report.offered, 11u);
+  EXPECT_EQ(report.served, 7u);
+  EXPECT_EQ(report.served_deadline_missed, 1u);
+  EXPECT_EQ(report.shed, 2u);
+  EXPECT_EQ(report.rejected_deadline, 1u);
+  EXPECT_EQ(report.errors, 1u);
+  EXPECT_NEAR(report.shed_pct(), 100.0 * 2.0 / 11.0, 1e-9);
+  ASSERT_EQ(report.served_seconds.size(), 7u);
+  EXPECT_NEAR(report.mean_served_seconds(), (0.021 + 0.05) / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.served_seconds_quantile(1.0), 0.05);
+  EXPECT_DOUBLE_EQ(report.served_seconds_quantile(0.5), 0.004);
+  // Lifecycle actions are counted by name but are not per-request
+  // terminal decisions, so they never inflate `offered`.
+  EXPECT_EQ(report.action_counts.at("enqueue"), 1u);
+  EXPECT_EQ(report.action_counts.at("cache_hit"), 1u);
+  EXPECT_EQ(report.action_counts.at("net.served"), 6u);
+  // Non-service events (iterations, phases, run brackets) are invisible
+  // to the overload summary.
+  std::vector<Event> mixed = make_run(1, 10.0, 4);
+  EXPECT_EQ(summarize_overload(mixed).offered, 0u);
+  EXPECT_TRUE(summarize_overload(mixed).action_counts.empty());
+}
+
+TEST(Overload, EmptyTraceIsZerosWithNaNLatency) {
+  const OverloadReport report = summarize_overload({});
+  EXPECT_EQ(report.offered, 0u);
+  EXPECT_DOUBLE_EQ(report.shed_pct(), 0.0);
+  EXPECT_TRUE(std::isnan(report.mean_served_seconds()));
+  EXPECT_TRUE(std::isnan(report.served_seconds_quantile(0.99)));
+}
+
 // -------------------------------------------------------------------- diff
 
 TEST(Diff, FlagsMakespanRegressionBeyondTolerance) {
@@ -259,6 +313,35 @@ TEST(InspectCli, UsageAndIoErrorsExitTwo) {
   EXPECT_EQ(run_cli({"summary", "x.jsonl", "--stability-eps", "not-a-num"}),
             2);
   EXPECT_EQ(run_cli({"summary", "x.jsonl", "--unknown-flag"}), 2);
+}
+
+TEST(InspectCli, OverloadPrintsTheActionTable) {
+  const std::string path =
+      write_trace("overload.jsonl", make_overload_events());
+  std::string text;
+  EXPECT_EQ(run_cli({"overload", path}, &text), 0);
+  EXPECT_NE(text.find("net.served"), std::string::npos);
+  EXPECT_NE(text.find("net.shed"), std::string::npos);
+  EXPECT_NE(text.find("11 request(s) offered"), std::string::npos);
+  EXPECT_NE(text.find("served latency"), std::string::npos);
+}
+
+TEST(InspectCli, OverloadShedGateFlipsTheExitCode) {
+  const std::string path =
+      write_trace("overload_gate.jsonl", make_overload_events());
+  // 2 of 11 shed ≈ 18.2%: a gate at 25% passes, a gate at 10% trips.
+  EXPECT_EQ(run_cli({"overload", path, "--max-shed-pct", "25"}), 0);
+  std::string text;
+  EXPECT_EQ(run_cli({"overload", path, "--max-shed-pct", "10"}, &text), 1);
+  EXPECT_NE(text.find("OVERLOAD REGRESSION"), std::string::npos);
+}
+
+TEST(InspectCli, OverloadUsageAndIoErrorsExitTwo) {
+  EXPECT_EQ(run_cli({"overload"}), 2);
+  EXPECT_EQ(run_cli({"overload", "/nonexistent/trace.jsonl"}), 2);
+  EXPECT_EQ(run_cli({"overload", "x.jsonl", "--max-shed-pct", "nope"}), 2);
+  EXPECT_EQ(run_cli({"overload", "x.jsonl", "--max-shed-pct", "-1"}), 2);
+  EXPECT_EQ(run_cli({"overload", "x.jsonl", "--unknown"}), 2);
 }
 
 TEST(InspectCli, StabilityFlagsReachTheAnalyzer) {

@@ -1,0 +1,462 @@
+// End-to-end tests of the network front end: MatchServer + Client over
+// loopback.  The load-bearing property throughout is the admission
+// accounting identity —
+//   net.requests == net.served + net.shed + net.rejected_deadline
+//                 + net.bad_request + net.unknown_instance
+//                 + net.server_error
+// — asserted EXACTLY (==, not >=) after every scenario, including
+// synthetic overload and a mid-flight stop.
+
+#include "net/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/socket_util.hpp"
+#include "net/wire.hpp"
+#include "obs/events.hpp"
+#include "rng/rng.hpp"
+#include "service/instance_cache.hpp"
+#include "service/service.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+using namespace match;
+using namespace match::net;
+
+std::shared_ptr<const workload::Instance> make_instance(std::uint64_t seed,
+                                                        std::size_t n = 8) {
+  rng::Rng rng(seed);
+  workload::PaperParams params;
+  params.n = n;
+  return std::make_shared<const workload::Instance>(
+      workload::make_paper_instance(params, rng));
+}
+
+WireRequest inline_request(std::uint64_t id,
+                           std::shared_ptr<const workload::Instance> inst,
+                           service::SolverKind solver =
+                               service::SolverKind::kMinMin) {
+  WireRequest req;
+  req.request_id = id;
+  req.request.id = id;
+  req.request.instance = std::move(inst);
+  req.request.solver = solver;
+  return req;
+}
+
+void expect_books_balance(const MatchServer& server) {
+  const ServerCounters c = server.counters();
+  EXPECT_EQ(c.requests, c.terminal())
+      << "served=" << c.served << " shed=" << c.shed
+      << " rejected=" << c.rejected_deadline << " bad=" << c.bad_request
+      << " unknown=" << c.unknown_instance << " err=" << c.server_error;
+}
+
+struct Stack {
+  explicit Stack(service::ServiceConfig sconfig = {},
+                 ServerConfig nconfig = {})
+      : service(std::move(sconfig)),
+        server(service, std::move(nconfig)) {}
+  service::MappingService service;
+  MatchServer server;
+};
+
+TEST(NetServer, ServesAnInlineRequestEndToEnd) {
+  Stack stack;
+  Client client("127.0.0.1", stack.server.port());
+
+  const auto inst = make_instance(1);
+  const WireResponse resp = client.call(inline_request(7, inst));
+  ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+  EXPECT_EQ(resp.request_id, 7u);
+  EXPECT_TRUE(resp.response.mapping.is_permutation());
+  EXPECT_EQ(resp.response.mapping.num_tasks(), inst->tig.graph().num_nodes());
+  EXPECT_GT(resp.response.cost, 0.0);
+
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.requests, 1u);
+  EXPECT_EQ(c.served, 1u);
+  expect_books_balance(stack.server);
+}
+
+TEST(NetServer, FingerprintPathUnknownThenRegisteredThenServed) {
+  Stack stack;
+  Client client("127.0.0.1", stack.server.port());
+  const auto inst = make_instance(2);
+  const std::uint64_t fp = service::fingerprint_instance(*inst);
+
+  WireRequest by_fp;
+  by_fp.request_id = 1;
+  by_fp.request.id = 1;
+  by_fp.by_fingerprint = true;
+  by_fp.instance_fingerprint = fp;
+  by_fp.request.solver = service::SolverKind::kMinMin;
+
+  // Never seen inline: explicit unknown-instance response, not a guess.
+  const WireResponse unknown = client.call(by_fp);
+  EXPECT_EQ(unknown.status, Status::kUnknownInstance);
+
+  // Register inline, then the fingerprint resolves — to the same answer.
+  const WireResponse registered = client.call(inline_request(2, inst));
+  ASSERT_EQ(registered.status, Status::kOk);
+  by_fp.request_id = 3;
+  by_fp.request.id = 3;
+  const WireResponse resolved = client.call(by_fp);
+  ASSERT_EQ(resolved.status, Status::kOk) << resolved.error;
+  EXPECT_TRUE(resolved.response.mapping == registered.response.mapping);
+
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.requests, 3u);
+  EXPECT_EQ(c.served, 2u);
+  EXPECT_EQ(c.unknown_instance, 1u);
+  expect_books_balance(stack.server);
+}
+
+TEST(NetServer, MalformedPayloadIsBadRequestAndTheConnectionSurvives) {
+  Stack stack;
+  Client client("127.0.0.1", stack.server.port());
+
+  // A frame whose header is fine but whose payload is garbage: the
+  // server must answer kBadRequest on the same connection, not close it.
+  WireRequest req;
+  req.request_id = 5;
+  req.by_fingerprint = true;
+  req.instance_fingerprint = 1;
+  std::string frame = encode_request(req);
+  frame.resize(kHeaderSize + 2);  // truncate the payload...
+  const std::uint32_t short_size = 2;
+  frame[16] = static_cast<char>(short_size);  // ...and fix up the length
+  frame[17] = frame[18] = frame[19] = 0;
+
+  // Send raw bytes through a plain socket alongside the typed client.
+  int raw = connect_to("127.0.0.1", stack.server.port());
+  ASSERT_TRUE(send_all(raw, frame.data(), frame.size()));
+  char header_buf[kHeaderSize];
+  ASSERT_TRUE(recv_all(raw, header_buf, sizeof(header_buf)));
+  const FrameHeader h =
+      decode_header(std::string_view(header_buf, sizeof(header_buf)));
+  std::string payload(h.payload_size, '\0');
+  ASSERT_TRUE(recv_all(raw, payload.data(), payload.size()));
+  const WireResponse bad = decode_response(h, payload);
+  EXPECT_EQ(bad.status, Status::kBadRequest);
+  EXPECT_EQ(bad.request_id, 5u);
+  close_fd(raw);
+
+  // The typed client still gets served.
+  const WireResponse ok = client.call(inline_request(6, make_instance(3)));
+  EXPECT_EQ(ok.status, Status::kOk);
+
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.bad_request, 1u);
+  EXPECT_EQ(c.served, 1u);
+  expect_books_balance(stack.server);
+}
+
+TEST(NetServer, GarbageBytesCloseTheConnectionWithoutCrashing) {
+  Stack stack;
+  int raw = connect_to("127.0.0.1", stack.server.port());
+  // Wrong protocol entirely — and comfortably longer than one frame
+  // header, so the server must judge it rather than wait for more.
+  const std::string garbage =
+      "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  ASSERT_TRUE(send_all(raw, garbage.data(), garbage.size()));
+  char byte;
+  EXPECT_FALSE(recv_all(raw, &byte, 1)) << "server should close, not answer";
+  close_fd(raw);
+
+  // No request ever decoded, so the books show zero requests — balanced.
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.requests, 0u);
+  expect_books_balance(stack.server);
+  EXPECT_EQ(stack.service.metrics().counter_value("net.protocol_errors"), 1u);
+}
+
+// ---- Satellite: service::Deadline edge cases under admission ----------
+
+TEST(NetServer, StrictZeroOrExpiredDeadlineIsRejectedBeforeEnqueue) {
+  Stack stack;
+  Client client("127.0.0.1", stack.server.port());
+
+  // Register the instance first (this request does enqueue).
+  const auto inst = make_instance(4);
+  ASSERT_EQ(client.call(inline_request(1, inst)).status, Status::kOk);
+  const std::uint64_t submitted_before =
+      stack.service.metrics().counter_value("service.submitted");
+
+  for (const double expired : {0.0, -1.0, -1e-9}) {
+    WireRequest req = inline_request(2, inst);
+    req.strict_deadline = true;
+    req.request.options.deadline_seconds = expired;
+    const WireResponse resp = client.call(req);
+    EXPECT_EQ(resp.status, Status::kRejectedDeadline)
+        << "deadline " << expired;
+  }
+
+  // Rejected BEFORE enqueue: the service never saw them.
+  EXPECT_EQ(stack.service.metrics().counter_value("service.submitted"),
+            submitted_before);
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.rejected_deadline, 3u);
+  expect_books_balance(stack.server);
+
+  // The same deadline without the strict flag means "unbounded" (the
+  // in-process convention) and is served.
+  WireRequest relaxed = inline_request(3, inst);
+  relaxed.request.options.deadline_seconds = 0.0;
+  EXPECT_EQ(client.call(relaxed).status, Status::kOk);
+}
+
+TEST(NetServer, LowPriorityShedsFirstAtItsWatermark) {
+  // low_watermark = 0 makes the low-priority threshold literally zero:
+  // any pending depth (even 0) sheds low traffic while normal/high pass.
+  ServerConfig nconfig;
+  nconfig.admission.max_pending = 8;
+  nconfig.admission.low_watermark = 0.0;
+  Stack stack({}, nconfig);
+  Client client("127.0.0.1", stack.server.port());
+  const auto inst = make_instance(5);
+
+  WireRequest low = inline_request(1, inst);
+  low.priority = Priority::kLow;
+  EXPECT_EQ(client.call(low).status, Status::kShed);
+
+  WireRequest normal = inline_request(2, inst);
+  EXPECT_EQ(client.call(normal).status, Status::kOk);
+
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.shed, 1u);
+  EXPECT_EQ(c.served, 1u);
+  expect_books_balance(stack.server);
+}
+
+// ---- The overload scenario: offered == served + shed, exactly. --------
+
+TEST(NetServer, OverloadAccountingBalancesExactly) {
+  // One slow worker, a tiny service queue, and a small pending budget:
+  // pipelined fresh-seed requests (cache off) must overflow admission.
+  service::ServiceConfig sconfig;
+  sconfig.workers = 1;
+  sconfig.queue_capacity = 4;
+  sconfig.cache_capacity = 0;  // every request runs the solver
+  ServerConfig nconfig;
+  nconfig.admission.max_pending = 8;
+  Stack stack(sconfig, nconfig);
+  Client client("127.0.0.1", stack.server.port());
+  const auto inst = make_instance(6, 12);
+
+  constexpr std::uint64_t kOffered = 200;
+  for (std::uint64_t i = 0; i < kOffered; ++i) {
+    WireRequest req = inline_request(i, inst, service::SolverKind::kMatch);
+    req.request.options.seed = 1000 + i;  // no coalescing, no cache reuse
+    req.request.options.max_iterations = 5;
+    client.send(req);
+  }
+  client.shutdown_send();
+
+  std::uint64_t served = 0, shed = 0, other = 0;
+  for (std::uint64_t i = 0; i < kOffered; ++i) {
+    const WireResponse resp = client.receive();
+    switch (resp.status) {
+      case Status::kOk: ++served; break;
+      case Status::kShed: ++shed; break;
+      default: ++other; break;
+    }
+  }
+  EXPECT_EQ(served + shed + other, kOffered) << "every request answered";
+  EXPECT_GT(shed, 0u) << "overload must actually shed";
+  EXPECT_GT(served, 0u) << "overload must not starve everyone";
+  EXPECT_EQ(other, 0u);
+
+  stack.server.stop();
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.requests, kOffered);
+  EXPECT_EQ(c.served, served);
+  EXPECT_EQ(c.shed, shed);
+  expect_books_balance(stack.server);
+
+  // Server books and service books tell one story: exactly the admitted
+  // requests (served or failed-after-admission) reached the service.
+  EXPECT_EQ(stack.service.metrics().counter_value("service.submitted"),
+            c.served + c.server_error);
+}
+
+TEST(NetServer, DeadlineAwareEarlyRejectionUsesTheLatencyEstimate) {
+  // Same overload shape, but requests carry a 1 µs deadline: once the
+  // first completion seeds the latency histogram, the projected wait
+  // exceeds the budget and admission rejects instead of queueing work
+  // that is guaranteed to miss.
+  service::ServiceConfig sconfig;
+  sconfig.workers = 1;
+  sconfig.queue_capacity = 64;
+  sconfig.cache_capacity = 0;
+  Stack stack(sconfig, {});
+  Client client("127.0.0.1", stack.server.port());
+  const auto inst = make_instance(7, 12);
+
+  // Prime the latency histogram with one served request.
+  WireRequest first = inline_request(0, inst, service::SolverKind::kMatch);
+  first.request.options.max_iterations = 5;
+  ASSERT_EQ(client.call(first).status, Status::kOk);
+
+  constexpr std::uint64_t kOffered = 100;
+  for (std::uint64_t i = 1; i <= kOffered; ++i) {
+    WireRequest req = inline_request(i, inst, service::SolverKind::kMatch);
+    req.request.options.seed = 5000 + i;
+    req.request.options.max_iterations = 5;
+    req.request.options.deadline_seconds = 1e-6;
+    req.strict_deadline = true;
+    client.send(req);
+  }
+  client.shutdown_send();
+
+  std::uint64_t rejected = 0;
+  for (std::uint64_t i = 1; i <= kOffered; ++i) {
+    const WireResponse resp = client.receive();
+    if (resp.status == Status::kRejectedDeadline) ++rejected;
+  }
+  EXPECT_GT(rejected, 0u)
+      << "projected wait never exceeded a 1 µs budget under backlog?";
+  stack.server.stop();
+  expect_books_balance(stack.server);
+}
+
+TEST(NetServer, StopMidFlightStillBalancesTheBooks) {
+  service::ServiceConfig sconfig;
+  sconfig.workers = 1;
+  sconfig.cache_capacity = 0;
+  Stack stack(sconfig, {});
+  Client client("127.0.0.1", stack.server.port());
+  const auto inst = make_instance(8, 12);
+
+  constexpr std::uint64_t kOffered = 50;
+  for (std::uint64_t i = 0; i < kOffered; ++i) {
+    WireRequest req = inline_request(i, inst, service::SolverKind::kMatch);
+    req.request.options.seed = 9000 + i;
+    req.request.options.max_iterations = 10;
+    client.send(req);
+  }
+  // Wait until the reactor has decoded (and mostly admitted) the batch,
+  // then stop with solves still in the single worker's queue: the
+  // undelivered completions must still reach their terminal counters.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (stack.server.counters().requests < kOffered &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(stack.server.counters().requests, kOffered);
+  stack.server.stop();
+  expect_books_balance(stack.server);
+  EXPECT_EQ(stack.server.counters().requests, kOffered);
+}
+
+TEST(NetServer, PollBackendServesIdentically) {
+  ServerConfig nconfig;
+  nconfig.backend = EventLoop::Backend::kPoll;
+  Stack stack({}, nconfig);
+  Client client("127.0.0.1", stack.server.port());
+  const WireResponse resp = client.call(inline_request(1, make_instance(9)));
+  ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+  EXPECT_TRUE(resp.response.mapping.is_permutation());
+  expect_books_balance(stack.server);
+}
+
+TEST(NetServer, IdleConnectionsAreSweptAndCounted) {
+  ServerConfig nconfig;
+  nconfig.idle_timeout_seconds = 0.15;
+  Stack stack({}, nconfig);
+  Client idle("127.0.0.1", stack.server.port());
+
+  // Wait past the timeout (+ reactor tick): the server closes us.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool closed = false;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (stack.service.metrics().counter_value("net.idle_closed") > 0) {
+      closed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(closed);
+  EXPECT_THROW((void)idle.receive(), std::runtime_error);
+}
+
+TEST(NetServer, OverloadEventsLandOnTheSink) {
+  obs::RingBufferSink ring(1024);
+  ServerConfig nconfig;
+  nconfig.sink = &ring;
+  nconfig.admission.max_pending = 8;
+  nconfig.admission.low_watermark = 0.0;
+  Stack stack({}, nconfig);
+  Client client("127.0.0.1", stack.server.port());
+  const auto inst = make_instance(10);
+
+  ASSERT_EQ(client.call(inline_request(1, inst)).status, Status::kOk);
+  WireRequest low = inline_request(2, inst);
+  low.priority = Priority::kLow;
+  ASSERT_EQ(client.call(low).status, Status::kShed);
+
+  std::size_t served_events = 0, shed_events = 0;
+  for (const obs::Event& e : ring.snapshot()) {
+    if (e.kind != obs::EventKind::kService) continue;
+    if (e.phase == "net.served") ++served_events;
+    if (e.phase == "net.shed") ++shed_events;
+  }
+  EXPECT_EQ(served_events, 1u);
+  EXPECT_EQ(shed_events, 1u);
+}
+
+TEST(NetServer, ManyConcurrentClientsAllGetTheirOwnAnswers) {
+  Stack stack;
+  const auto inst = make_instance(11);
+  // Register once so the threads can go through the fingerprint path.
+  {
+    Client registrar("127.0.0.1", stack.server.port());
+    ASSERT_EQ(registrar.call(inline_request(0, inst)).status, Status::kOk);
+  }
+  const std::uint64_t fp = service::fingerprint_instance(*inst);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client("127.0.0.1", stack.server.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint64_t id =
+            (static_cast<std::uint64_t>(t + 1) << 32) | i;
+        WireRequest req;
+        req.request_id = id;
+        req.request.id = id;
+        req.by_fingerprint = true;
+        req.instance_fingerprint = fp;
+        req.request.solver = service::SolverKind::kMinMin;
+        const WireResponse resp = client.call(req);
+        // The response on this connection answers this request: ids are
+        // per-connection proof against cross-wiring.
+        if (resp.status != Status::kOk || resp.request_id != id) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.requests, 1u + kThreads * kPerThread);
+  EXPECT_EQ(c.served, 1u + kThreads * kPerThread);
+  expect_books_balance(stack.server);
+}
+
+}  // namespace

@@ -268,6 +268,29 @@ TEST(HttpExposer, StopIsIdempotentAndFreesThePort) {
   EXPECT_NE(get_path(port, "/metrics").find("back\n"), std::string::npos);
 }
 
+// Regression for the shared-socket-util refactor: restarting on the same
+// port must also work after the first exposer actually SERVED requests —
+// served connections leave sockets in TIME_WAIT on that port, which is
+// exactly the case SO_REUSEADDR exists for (a never-used listener rebinds
+// even without it).
+TEST(HttpExposer, RestartOnSamePortAfterServingScrapes) {
+  HttpExposerOptions options;
+  auto first = std::make_unique<HttpExposer>(
+      [] { return std::string("gen-1\n"); }, options);
+  const std::uint16_t port = first->port();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NE(get_path(port, "/metrics").find("gen-1\n"), std::string::npos);
+  }
+  first.reset();  // stop + close while scrape sockets linger in TIME_WAIT
+
+  options.port = port;
+  std::unique_ptr<HttpExposer> second;
+  ASSERT_NO_THROW(second = std::make_unique<HttpExposer>(
+                      [] { return std::string("gen-2\n"); }, options));
+  EXPECT_EQ(second->port(), port);
+  EXPECT_NE(get_path(port, "/metrics").find("gen-2\n"), std::string::npos);
+}
+
 TEST(HttpExposer, NullRendererIsRejected) {
   EXPECT_THROW(HttpExposer(HttpExposer::Renderer()), std::invalid_argument);
 }

@@ -1,0 +1,310 @@
+// Wire-format tests: exact round trips (including IEEE-754 bit
+// patterns), header validation, and fuzz-ish robustness — truncation at
+// every byte boundary and random corruption must throw WireError (or
+// decode cleanly), never crash or leak a partial object.
+
+#include "net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "service/instance_cache.hpp"
+#include "sim/mapping.hpp"
+#include "workload/paper_suite.hpp"
+
+namespace {
+
+using namespace match;
+using namespace match::net;
+
+std::shared_ptr<const workload::Instance> make_instance(std::size_t n = 8) {
+  rng::Rng rng(77);
+  workload::PaperParams params;
+  params.n = n;
+  return std::make_shared<const workload::Instance>(
+      workload::make_paper_instance(params, rng));
+}
+
+void expect_graphs_equal(const graph::Graph& a, const graph::Graph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  const auto wa = a.node_weights();
+  const auto wb = b.node_weights();
+  for (std::size_t i = 0; i < wa.size(); ++i) {
+    EXPECT_EQ(wa[i], wb[i]) << "node weight " << i;  // exact, not approx
+  }
+  const auto ea = a.edge_list();
+  const auto eb = b.edge_list();
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].u, eb[i].u);
+    EXPECT_EQ(ea[i].v, eb[i].v);
+    EXPECT_EQ(ea[i].weight, eb[i].weight);
+  }
+}
+
+WireRequest decode_frame(const std::string& frame) {
+  const FrameHeader header = decode_header(frame);
+  return decode_request(header,
+                        std::string_view(frame).substr(kHeaderSize));
+}
+
+// ---------------------------------------------------------- round trips
+
+TEST(Wire, InlineRequestRoundTripsExactly) {
+  WireRequest req;
+  req.request_id = 0xdeadbeefcafef00dull;
+  req.priority = Priority::kHigh;
+  req.strict_deadline = true;
+  req.request.instance = make_instance();
+  req.request.solver = service::SolverKind::kGa;
+  req.request.options.seed = 0xffffffffffffffffull;
+  req.request.options.deadline_seconds = 0.1;  // not exactly representable
+  req.request.options.target_cost = 1e-300;    // subnormal-adjacent
+  req.request.options.max_iterations = 123456789;
+  req.request.options.use_cache = false;
+
+  const WireRequest back = decode_frame(encode_request(req));
+  EXPECT_EQ(back.request_id, req.request_id);
+  EXPECT_EQ(back.priority, Priority::kHigh);
+  EXPECT_TRUE(back.strict_deadline);
+  EXPECT_FALSE(back.by_fingerprint);
+  EXPECT_EQ(back.request.solver, service::SolverKind::kGa);
+  EXPECT_EQ(back.request.options.seed, req.request.options.seed);
+  EXPECT_EQ(back.request.options.deadline_seconds, 0.1);  // bit-exact
+  EXPECT_EQ(back.request.options.target_cost, 1e-300);
+  EXPECT_EQ(back.request.options.max_iterations, 123456789u);
+  EXPECT_FALSE(back.request.options.use_cache);
+
+  ASSERT_NE(back.request.instance, nullptr);
+  EXPECT_EQ(back.request.instance->name, req.request.instance->name);
+  EXPECT_EQ(back.request.instance->comm_policy,
+            req.request.instance->comm_policy);
+  expect_graphs_equal(back.request.instance->tig.graph(),
+                      req.request.instance->tig.graph());
+  expect_graphs_equal(back.request.instance->resources.graph(),
+                      req.request.instance->resources.graph());
+
+  // The decoded instance fingerprints identically — the property the
+  // server's fingerprint store depends on.
+  EXPECT_EQ(service::fingerprint_instance(*back.request.instance),
+            service::fingerprint_instance(*req.request.instance));
+}
+
+TEST(Wire, FingerprintRequestRoundTrips) {
+  WireRequest req;
+  req.request_id = 42;
+  req.priority = Priority::kLow;
+  req.by_fingerprint = true;
+  req.instance_fingerprint = 0x0123456789abcdefull;
+  req.request.solver = service::SolverKind::kMinMin;
+
+  const std::string frame = encode_request(req);
+  const WireRequest back = decode_frame(frame);
+  EXPECT_TRUE(back.by_fingerprint);
+  EXPECT_EQ(back.instance_fingerprint, req.instance_fingerprint);
+  EXPECT_EQ(back.priority, Priority::kLow);
+  EXPECT_FALSE(back.strict_deadline);
+  EXPECT_EQ(back.request.instance, nullptr);
+  // Fingerprint requests are tiny — that is their reason to exist.
+  EXPECT_LT(frame.size(), 100u);
+}
+
+TEST(Wire, OkResponseRoundTripsExactly) {
+  WireResponse resp;
+  resp.request_id = 7;
+  resp.status = Status::kOk;
+  resp.response.mapping = sim::Mapping({2, 0, 1, 3});
+  resp.response.cost = 123.456789012345;
+  resp.response.iterations = 40;
+  resp.response.deadline_missed = true;
+  resp.response.served_by = service::ServedBy::kCache;
+  resp.response.solver = service::SolverKind::kLocalSearch;
+  resp.response.fingerprint = 0xabcdefull;
+  resp.response.queue_seconds = 1e-9;
+  resp.response.solve_seconds = 0.25;
+  resp.response.total_seconds = std::numeric_limits<double>::denorm_min();
+
+  const std::string frame = encode_response(resp);
+  const FrameHeader header = decode_header(frame);
+  EXPECT_EQ(header.type, MsgType::kResponse);
+  const WireResponse back =
+      decode_response(header, std::string_view(frame).substr(kHeaderSize));
+  EXPECT_EQ(back.request_id, 7u);
+  EXPECT_EQ(back.status, Status::kOk);
+  EXPECT_TRUE(back.response.mapping == resp.response.mapping);
+  EXPECT_EQ(back.response.cost, resp.response.cost);
+  EXPECT_EQ(back.response.iterations, 40u);
+  EXPECT_TRUE(back.response.deadline_missed);
+  EXPECT_EQ(back.response.served_by, service::ServedBy::kCache);
+  EXPECT_EQ(back.response.solver, service::SolverKind::kLocalSearch);
+  EXPECT_EQ(back.response.fingerprint, 0xabcdefull);
+  EXPECT_EQ(back.response.queue_seconds, 1e-9);
+  EXPECT_EQ(back.response.total_seconds,
+            std::numeric_limits<double>::denorm_min());
+}
+
+TEST(Wire, ErrorResponseCarriesDiagnosticInsteadOfMapping) {
+  WireResponse resp;
+  resp.request_id = 9;
+  resp.status = Status::kShed;
+  resp.error = "over the admission watermark";
+
+  const std::string frame = encode_response(resp);
+  const WireResponse back = decode_response(
+      decode_header(frame), std::string_view(frame).substr(kHeaderSize));
+  EXPECT_EQ(back.status, Status::kShed);
+  EXPECT_EQ(back.error, "over the admission watermark");
+  EXPECT_EQ(back.response.mapping.num_tasks(), 0u);
+}
+
+// ------------------------------------------------------ header validation
+
+std::string valid_request_frame() {
+  WireRequest req;
+  req.request_id = 1;
+  req.by_fingerprint = true;
+  req.instance_fingerprint = 99;
+  return encode_request(req);
+}
+
+TEST(Wire, HeaderRejectsBadMagicVersionTypeAndOversizedPayload) {
+  const std::string good = valid_request_frame();
+  ASSERT_NO_THROW(decode_header(good));
+
+  std::string bad = good;
+  bad[0] = 'X';  // magic
+  EXPECT_THROW(decode_header(bad), WireError);
+
+  bad = good;
+  bad[4] = 0x7f;  // version
+  EXPECT_THROW(decode_header(bad), WireError);
+
+  bad = good;
+  bad[6] = 0x09;  // type
+  EXPECT_THROW(decode_header(bad), WireError);
+
+  bad = good;
+  // payload_size (bytes 16..19) just above the cap.
+  const std::uint32_t huge = kMaxPayload + 1;
+  std::memcpy(bad.data() + 16, &huge, sizeof(huge));  // LE host assumed in CI
+  EXPECT_THROW(decode_header(bad), WireError);
+
+  EXPECT_THROW(decode_header(std::string_view(good).substr(0, kHeaderSize - 1)),
+               WireError);
+}
+
+TEST(Wire, ContradictoryPriorityFlagsThrow) {
+  std::string frame = valid_request_frame();
+  frame[7] = static_cast<char>(kFlagPriorityLow | kFlagPriorityHigh);
+  const FrameHeader header = decode_header(frame);
+  EXPECT_THROW(
+      decode_request(header, std::string_view(frame).substr(kHeaderSize)),
+      WireError);
+}
+
+TEST(Wire, WrongFrameTypeForDecoderThrows) {
+  const std::string req = valid_request_frame();
+  EXPECT_THROW(decode_response(decode_header(req),
+                               std::string_view(req).substr(kHeaderSize)),
+               WireError);
+}
+
+// ------------------------------------------------- truncation / corruption
+
+TEST(Wire, EveryTruncationOfARequestPayloadThrows) {
+  WireRequest req;
+  req.request_id = 5;
+  req.request.instance = make_instance(6);
+  const std::string frame = encode_request(req);
+  const FrameHeader header = decode_header(frame);
+  const std::string_view payload = std::string_view(frame).substr(kHeaderSize);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(decode_request(header, payload.substr(0, len)), WireError)
+        << "prefix length " << len;
+  }
+  EXPECT_NO_THROW(decode_request(header, payload));
+}
+
+TEST(Wire, EveryTruncationOfAResponsePayloadThrows) {
+  WireResponse resp;
+  resp.request_id = 6;
+  resp.status = Status::kOk;
+  resp.response.mapping = sim::Mapping({1, 0, 2});
+  const std::string frame = encode_response(resp);
+  const FrameHeader header = decode_header(frame);
+  const std::string_view payload = std::string_view(frame).substr(kHeaderSize);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(decode_response(header, payload.substr(0, len)), WireError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(Wire, TrailingBytesAfterPayloadThrow) {
+  const std::string frame = valid_request_frame();
+  std::string padded = frame;
+  padded.push_back('\0');
+  EXPECT_THROW(decode_request(decode_header(padded),
+                              std::string_view(padded).substr(kHeaderSize)),
+               WireError);
+}
+
+TEST(Wire, RandomCorruptionNeverEscapesWireError) {
+  WireRequest req;
+  req.request_id = 11;
+  req.request.instance = make_instance(8);
+  req.request.options.deadline_seconds = 0.5;
+  const std::string pristine = encode_request(req);
+
+  rng::Rng rng(20260808);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string frame = pristine;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(frame.size());
+      frame[pos] = static_cast<char>(frame[pos] ^
+                                     static_cast<char>(1 + rng.below(255)));
+    }
+    // Mimic the reactor: header first, then the payload the header
+    // claims — if the claim exceeds what we have, a real reactor would
+    // keep buffering, so the decode simply isn't attempted.
+    try {
+      const FrameHeader header = decode_header(frame);
+      if (kHeaderSize + header.payload_size > frame.size()) continue;
+      const std::string_view payload =
+          std::string_view(frame).substr(kHeaderSize, header.payload_size);
+      if (header.type == MsgType::kRequest) {
+        (void)decode_request(header, payload);
+      } else {
+        (void)decode_response(header, payload);
+      }
+    } catch (const WireError&) {
+      // The only acceptable failure mode.
+    }
+  }
+}
+
+TEST(Wire, GraphNodeAndEdgeCountsAreCapped) {
+  // Handcraft a fingerprint-free request whose instance claims 2^30
+  // nodes: the decoder must refuse before allocating.
+  WireRequest req;
+  req.request_id = 3;
+  req.request.instance = make_instance(6);
+  std::string frame = encode_request(req);
+  // Payload layout: solver u8, use_cache u8, seed u64, deadline f64,
+  // target f64, max_iter u64, by_fp u8 (=0), then name (u16 len + bytes),
+  // policy u8, then the TIG node count u32.
+  const std::size_t name_len = req.request.instance->name.size();
+  const std::size_t node_count_at =
+      kHeaderSize + 1 + 1 + 8 + 8 + 8 + 8 + 1 + 2 + name_len + 1;
+  const std::uint32_t huge = 1u << 30;
+  std::memcpy(frame.data() + node_count_at, &huge, sizeof(huge));
+  EXPECT_THROW(decode_frame(frame), WireError);
+}
+
+}  // namespace
