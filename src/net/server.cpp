@@ -140,32 +140,49 @@ std::size_t MatchServer::connections() const {
 void MatchServer::run() {
   std::vector<EventLoop::Ready> ready;
   while (!stopping_.load(std::memory_order_relaxed)) {
-    loop_.wait(kTickMs, ready);
-    drain_outbox(/*deliver=*/true);
-    for (const EventLoop::Ready& ev : ready) {
-      if (ev.fd == listen_fd_) {
-        accept_new();
-        continue;
-      }
-      if (ev.fd == wakeup_.fd()) {
-        wakeup_.drain();
-        continue;  // outbox already drained above
-      }
-      const auto it = conns_.find(ev.fd);
-      if (it == conns_.end()) continue;  // closed earlier this iteration
-      if (ev.error) {
-        close_connection(it->second, "net.connections_closed");
-        continue;
-      }
-      if (ev.readable && !handle_readable(ev.fd)) continue;
-      if (ev.writable) {
-        const auto again = conns_.find(ev.fd);
-        if (again != conns_.end() && flush_writes(again->second)) {
-          maybe_close_half_closed(ev.fd);
+    try {
+      loop_.wait(kTickMs, ready);
+      // Ready entries were collected at wait() time: a connection
+      // accepted later in this iteration can reuse the fd of one that
+      // drain_outbox or an earlier event closed, and a stale entry for
+      // the old fd must not be applied to the newcomer.  Ids are
+      // monotonic, so anything at or past this limit postdates the
+      // batch; its real readiness is re-reported on the next wait().
+      const std::uint64_t batch_id_limit = next_conn_id_;
+      drain_outbox(/*deliver=*/true);
+      for (const EventLoop::Ready& ev : ready) {
+        if (ev.fd == listen_fd_) {
+          accept_new();
+          continue;
+        }
+        if (ev.fd == wakeup_.fd()) {
+          wakeup_.drain();
+          continue;  // outbox already drained above
+        }
+        const auto it = conns_.find(ev.fd);
+        if (it == conns_.end()) continue;  // closed earlier this iteration
+        if (it->second.id >= batch_id_limit) continue;  // fd reused
+        if (ev.error) {
+          close_connection(it->second, "net.connections_closed");
+          continue;
+        }
+        if (ev.readable && !handle_readable(ev.fd)) continue;
+        if (ev.writable) {
+          const auto again = conns_.find(ev.fd);
+          if (again != conns_.end() && flush_writes(again->second)) {
+            maybe_close_half_closed(ev.fd);
+          }
         }
       }
+      sweep_idle();
+    } catch (const std::exception&) {
+      // A transient kernel refusal (epoll_ctl/poll ENOMEM, ...) must
+      // not unwind the reactor thread — an escaped exception would
+      // std::terminate the whole process.  Count it and keep serving;
+      // level-triggered readiness re-reports whatever the aborted
+      // iteration left undone.
+      metrics_.counter("net.reactor_errors").add();
     }
-    sweep_idle();
   }
 }
 
@@ -366,6 +383,16 @@ void MatchServer::handle_request(Connection& conn, const FrameHeader& header,
            arrived_at, false);
     respond(conn, reply);
     return;
+  } catch (const std::exception&) {
+    // Defense in depth: a decoder allocation failure (bad_alloc on a
+    // hostile claimed size the bounds missed) is an answered bad
+    // request, not an exception unwinding the reactor thread.
+    reply.status = Status::kBadRequest;
+    reply.error = "request payload could not be decoded";
+    finish(reply.status, header.request_id, service::SolverKind::kMatch,
+           arrived_at, false);
+    respond(conn, reply);
+    return;
   }
   reply.response.solver = request.request.solver;
 
@@ -522,6 +549,11 @@ void MatchServer::sweep_idle() {
   const Clock::time_point now = Clock::now();
   std::vector<int> stale;
   for (const auto& [fd, conn] : conns_) {
+    // A connection waiting on an admitted solve is not idle: closing
+    // it would silently drop the response the client is quietly
+    // waiting for.  (The half-close path waits for inflight == 0 for
+    // the same reason; completion delivery refreshes last_activity.)
+    if (conn.inflight > 0) continue;
     if (seconds_between(conn.last_activity, now) >
         config_.idle_timeout_seconds) {
       stale.push_back(fd);

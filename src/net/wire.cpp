@@ -101,6 +101,11 @@ class Reader {
 
   bool done() const { return pos_ == data_.size(); }
 
+  /// Bytes not yet consumed — the hard ceiling on any claimed element
+  /// count, checked BEFORE allocating (a hostile count must cost a
+  /// WireError, never a multi-gigabyte value-initialized vector).
+  std::size_t remaining() const { return data_.size() - pos_; }
+
   void expect_done() const {
     if (!done()) throw WireError("wire: trailing bytes after payload");
   }
@@ -130,17 +135,22 @@ void put_graph(std::string& out, const graph::Graph& g) {
 
 graph::Graph read_graph(Reader& r) {
   const std::uint32_t n = r.u32();
-  if (n == 0 || n > kMaxWireNodes) {
+  if (n == 0 || n > kMaxWireNodes || r.remaining() / 8 < n) {
     throw WireError("wire: graph node count out of range");
   }
   std::vector<double> weights(n);
   for (double& w : weights) w = r.f64();
   const std::uint32_t m = r.u32();
-  // An undirected simple graph has at most n*(n-1)/2 edges; anything
-  // claiming more is garbage and would only waste allocation.
+  // An undirected simple graph has at most n*(n-1)/2 edges — but for
+  // n ≳ 93k that bound exceeds u32, so it alone admits a claimed count
+  // the payload cannot possibly hold (16 bytes per wire edge), and the
+  // vector below would value-initialize up to ~64 GiB before reading a
+  // single edge byte.  Bound by the remaining payload too.
   const std::uint64_t max_edges =
       static_cast<std::uint64_t>(n) * (n - 1) / 2;
-  if (m > max_edges) throw WireError("wire: graph edge count out of range");
+  if (m > max_edges || r.remaining() / 16 < m) {
+    throw WireError("wire: graph edge count out of range");
+  }
   std::vector<graph::Edge> edges(m);
   for (graph::Edge& e : edges) {
     e.u = r.u32();
@@ -384,7 +394,9 @@ WireResponse decode_response(const FrameHeader& header,
   resp.total_seconds = r.f64();
   if (out.status == Status::kOk) {
     const std::uint32_t n = r.u32();
-    if (n > kMaxWireNodes) throw WireError("wire: mapping size out of range");
+    if (n > kMaxWireNodes || r.remaining() / 4 < n) {
+      throw WireError("wire: mapping size out of range");
+    }
     std::vector<graph::NodeId> assign(n);
     for (graph::NodeId& id : assign) id = r.u32();
     resp.mapping = sim::Mapping(std::move(assign));

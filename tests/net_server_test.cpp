@@ -390,6 +390,39 @@ TEST(NetServer, IdleConnectionsAreSweptAndCounted) {
   EXPECT_THROW((void)idle.receive(), std::runtime_error);
 }
 
+TEST(NetServer, InFlightRequestOutlastingIdleTimeoutIsNotSwept) {
+  // A solve that legitimately runs longer than the idle timeout must
+  // not get its connection closed as "idle" while the client quietly
+  // waits for the answer.  The deadline contract makes the run length
+  // deterministic: restarted hill climbing has no convergence early-out,
+  // so an unreachable evaluation budget plus a 0.6 s (non-strict)
+  // deadline pins the solve at ~0.6 s regardless of machine speed, far
+  // past the 0.15 s timeout below.
+  ServerConfig nconfig;
+  nconfig.idle_timeout_seconds = 0.15;
+  service::ServiceConfig sconfig;
+  sconfig.cache_capacity = 0;
+  Stack stack(sconfig, nconfig);
+  Client client("127.0.0.1", stack.server.port());
+
+  WireRequest req = inline_request(1, make_instance(12, 12),
+                                   service::SolverKind::kLocalSearch);
+  req.request.options.max_iterations = 1u << 30;
+  req.request.options.deadline_seconds = 0.6;
+  const auto t0 = std::chrono::steady_clock::now();
+  const WireResponse resp = client.call(req);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+  EXPECT_TRUE(resp.response.mapping.is_permutation());
+  // Non-vacuous: the connection really did sit in-flight past the
+  // timeout (several sweep ticks deep) before the response landed.
+  EXPECT_GT(elapsed, 0.3);
+  EXPECT_EQ(stack.service.metrics().counter_value("net.idle_closed"), 0u);
+  expect_books_balance(stack.server);
+}
+
 TEST(NetServer, OverloadEventsLandOnTheSink) {
   obs::RingBufferSink ring(1024);
   ServerConfig nconfig;

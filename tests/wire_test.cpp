@@ -307,4 +307,74 @@ TEST(Wire, GraphNodeAndEdgeCountsAreCapped) {
   EXPECT_THROW(decode_frame(frame), WireError);
 }
 
+TEST(Wire, EdgeCountBeyondPayloadBytesThrowsBeforeAllocating) {
+  // For n >= ~93k the simple-graph bound n*(n-1)/2 exceeds u32, so any
+  // claimed edge count passes it — the decoder must also bound the
+  // claim by the bytes actually left in the payload, or a <1 MB frame
+  // drives a ~64 GiB value-initialized allocation (bad_alloc, not the
+  // WireError the reactor catches).  Handcraft exactly that frame.
+  std::string payload;
+  auto put8 = [&](std::uint8_t v) { payload.push_back(static_cast<char>(v)); };
+  auto put32 = [&](std::uint32_t v) {
+    for (int s = 0; s < 32; s += 8) {
+      payload.push_back(static_cast<char>((v >> s) & 0xff));
+    }
+  };
+  auto put64 = [&](std::uint64_t v) {
+    for (int s = 0; s < 64; s += 8) {
+      payload.push_back(static_cast<char>((v >> s) & 0xff));
+    }
+  };
+  put8(0);           // solver kind
+  put8(1);           // use_cache
+  put64(0);          // seed
+  put64(0);          // deadline_seconds bits (0.0)
+  put64(0);          // target_cost bits
+  put64(0);          // max_iterations
+  put8(0);           // by_fingerprint = inline instance follows
+  put8(0); put8(0);  // instance name: u16 length 0
+  put8(0);           // comm policy
+  const std::uint32_t n = 100000;  // n*(n-1)/2 ≈ 5e9 > any u32 claim
+  put32(n);
+  payload.append(std::size_t{n} * 8, '\0');  // node weights
+  put32(0xffffffffu);                        // claimed edges, 0 bytes behind
+
+  FrameHeader header;
+  header.type = MsgType::kRequest;
+  header.request_id = 1;
+  header.payload_size = static_cast<std::uint32_t>(payload.size());
+  EXPECT_THROW(decode_request(header, payload), WireError);
+}
+
+TEST(Wire, NodeAndMappingCountsBeyondPayloadBytesThrow) {
+  // Same property for the two other length-prefixed arrays: a node
+  // count or response-mapping count the payload cannot hold is a
+  // WireError before any allocation happens.
+  std::string payload;
+  auto put_bytes = [&](std::initializer_list<std::uint8_t> bytes) {
+    for (std::uint8_t b : bytes) payload.push_back(static_cast<char>(b));
+  };
+  put_bytes({0, 1});                       // solver, use_cache
+  payload.append(8 + 8 + 8 + 8, '\0');     // seed, deadline, target, max_iter
+  put_bytes({0, 0, 0, 0});                 // inline, empty name, policy
+  put_bytes({0xff, 0xff, 0x0f, 0x00});     // node count 2^20 = kMaxWireNodes-ish
+  FrameHeader header;
+  header.type = MsgType::kRequest;
+  header.payload_size = static_cast<std::uint32_t>(payload.size());
+  EXPECT_THROW(decode_request(header, payload), WireError);
+
+  WireResponse resp;
+  resp.request_id = 1;
+  resp.status = Status::kOk;
+  resp.response.mapping = sim::Mapping({0, 1});
+  std::string frame = encode_response(resp);
+  // Mapping count is the last u32 before the two entries: claim 2^20.
+  const std::size_t count_at = frame.size() - 4 - 2 * 4;
+  const std::uint32_t huge = 1u << 20;
+  std::memcpy(frame.data() + count_at, &huge, sizeof(huge));
+  EXPECT_THROW(decode_response(decode_header(frame),
+                               std::string_view(frame).substr(kHeaderSize)),
+               WireError);
+}
+
 }  // namespace
