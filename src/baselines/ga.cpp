@@ -4,7 +4,9 @@
 #include <cassert>
 #include <chrono>
 #include <limits>
+#include <span>
 #include <stdexcept>
+#include <string>
 
 #include "obs/scoped_timer.hpp"
 #include "parallel/parallel_for.hpp"
@@ -72,9 +74,7 @@ GaResult GaOptimizer::run(const match::SolverContext& ctx) {
   const std::size_t pop_size = params_.population;
   const std::size_t n = n_;
 
-  // A context-supplied stop hook wins over the deprecated member.
-  const match::StopFn& should_stop =
-      ctx.stop_fn() ? ctx.stop_fn() : should_stop_;
+  const match::StopFn& should_stop = ctx.stop_fn();
   obs::PhaseProbe probe(ctx.sink(), ctx.metrics(), "ga", ctx.run_id());
   obs::Counter* iter_counter = ctx.metrics() != nullptr
                                    ? &ctx.metrics()->counter("ga.iterations")
@@ -82,10 +82,24 @@ GaResult GaOptimizer::run(const match::SolverContext& ctx) {
   ctx.emit(obs::Event::run_start(ctx.run_id(), "ga"));
 
   // Flat population storage: row i = chromosome i (task -> resource).
+  // Breeding is row-oriented, so the population stays AoS; each
+  // generation's scoring pass transposes it into the SoA block for the
+  // batch evaluator (both buffers are allocated once, before the loop).
   std::vector<graph::NodeId> pop(pop_size * n);
   std::vector<graph::NodeId> next(pop_size * n);
+  sim::SampleBlock block(n, pop_size);
   std::vector<double> costs(pop_size);
   std::vector<double> fitness(pop_size);
+  std::vector<double> load;  // scalar recompute scratch (serial use only)
+
+  // One batch evaluator for the whole run: the backend is resolved once
+  // (kAuto -> feature probe) and reported once for metrics dashboards.
+  sim::BatchEvaluator batch_eval(*eval_, params_.eval_backend);
+  if (ctx.metrics() != nullptr) {
+    ctx.metrics()
+        ->counter(std::string("solver.backend.") + batch_eval.backend_name())
+        .add();
+  }
 
   for (std::size_t i = 0; i < pop_size; ++i) {
     const sim::Mapping m = sim::Mapping::random_permutation(n, rng);
@@ -111,7 +125,11 @@ GaResult GaOptimizer::run(const match::SolverContext& ctx) {
       break;
     }
     probe.start_iteration(gen);
-    eval_->makespans_batch(pop, pop_size, costs, for_opts);
+    for (std::size_t i = 0; i < pop_size; ++i) {
+      block.store_sample(i, std::span<const graph::NodeId>(pop.data() + i * n,
+                                                           n));
+    }
+    batch_eval.evaluate(block, costs, for_opts);
     probe.split("cost");
 
     double gen_best = std::numeric_limits<double>::infinity();
@@ -127,10 +145,16 @@ GaResult GaOptimizer::run(const match::SolverContext& ctx) {
     mean /= static_cast<double>(pop_size);
 
     if (gen_best < result.best_cost) {
-      result.best_cost = gen_best;
-      std::copy(pop.begin() + static_cast<std::ptrdiff_t>(gen_best_idx * n),
-                pop.begin() + static_cast<std::ptrdiff_t>((gen_best_idx + 1) * n),
-                best_chrom.begin());
+      // Recompute the winner with the scalar per-sample kernel so
+      // `best_cost == makespan(best_mapping)` bit-exactly under every
+      // backend (no-op on integer workloads, where SIMD sums are exact).
+      const std::span<const graph::NodeId> winner(
+          pop.data() + gen_best_idx * n, n);
+      const double exact = eval_->makespan(winner, load);
+      if (exact < result.best_cost) {
+        result.best_cost = exact;
+        std::copy(winner.begin(), winner.end(), best_chrom.begin());
+      }
     }
     result.history.push_back(
         GaGenerationStats{gen, gen_best, result.best_cost, mean});

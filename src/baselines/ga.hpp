@@ -7,7 +7,7 @@
 #include "core/run_summary.hpp"
 #include "core/solver_context.hpp"
 #include "core/stop.hpp"
-#include "rng/rng.hpp"
+#include "sim/batch_eval.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
 
@@ -27,6 +27,10 @@ struct GaParams {
 
   /// Quality target: stop once best-so-far ≤ this value (0 disables).
   double target_cost = 0.0;
+
+  /// Batch-evaluation backend for the per-generation cost pass; same
+  /// semantics as `core::MatchParams::eval_backend`.
+  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
 
   void validate() const;
 
@@ -76,30 +80,19 @@ struct GaResult : match::RunSummary {
 /// act identically on either string.
 class GaOptimizer {
  public:
-  /// Deprecated alias; use `match::StopFn` (core/stop.hpp).  Polled once
-  /// per generation; on true the run stops and reports best-so-far.
+  /// Alias for `match::StopFn` (core/stop.hpp), supplied via
+  /// `SolverContext(rng, stop)`.  Polled once per generation; on true
+  /// the run stops and reports best-so-far.
   using StopFn = match::StopFn;
 
   explicit GaOptimizer(const sim::CostEvaluator& eval, GaParams params = {});
 
   const GaParams& params() const noexcept { return params_; }
 
-  /// Installs the cancellation hook (empty = never stop early).
-  /// Deprecated: attach the hook to the SolverContext instead; a
-  /// context-supplied hook wins over this one.
-  [[deprecated("pass the stop hook via SolverContext")]]
-  void set_should_stop(match::StopFn should_stop) {
-    should_stop_ = std::move(should_stop);
-  }
-
   /// Runs the GA.  The context supplies the RNG stream (required), stop
   /// hook, thread pool, and optional telemetry (per-generation iteration
   /// events plus cost/breed phase timings).
   GaResult run(const match::SolverContext& ctx);
-
-  /// Deprecated forwarder for the pre-SolverContext signature.
-  [[deprecated("use run(SolverContext)")]]
-  GaResult run(rng::Rng& rng) { return run(match::SolverContext(rng)); }
 
   /// The paper's crossover, exposed for unit testing: copies the first
   /// half of `parent1`, then fills the second half from `parent2` (second
@@ -112,7 +105,6 @@ class GaOptimizer {
   const sim::CostEvaluator* eval_;
   GaParams params_;
   std::size_t n_;
-  match::StopFn should_stop_;
 };
 
 }  // namespace match::baselines

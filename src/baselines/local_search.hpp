@@ -4,7 +4,6 @@
 
 #include "core/run_summary.hpp"
 #include "core/solver_context.hpp"
-#include "rng/rng.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
 
@@ -28,13 +27,6 @@ SearchResult random_search(const sim::CostEvaluator& eval,
                            std::size_t num_samples,
                            const match::SolverContext& ctx);
 
-/// Deprecated forwarder for the pre-SolverContext signature.
-[[deprecated("use random_search(eval, num_samples, SolverContext)")]]
-inline SearchResult random_search(const sim::CostEvaluator& eval,
-                                  std::size_t num_samples, rng::Rng& rng) {
-  return random_search(eval, num_samples, match::SolverContext(rng));
-}
-
 /// Greedy constructive mapping: tasks in descending compute weight, each
 /// assigned to the free resource that minimizes the resulting makespan.
 /// Deterministic; O(n^2) evaluations.
@@ -46,13 +38,6 @@ SearchResult greedy_constructive(const sim::CostEvaluator& eval);
 SearchResult hill_climb(const sim::CostEvaluator& eval,
                         std::size_t max_evaluations,
                         const match::SolverContext& ctx);
-
-/// Deprecated forwarder for the pre-SolverContext signature.
-[[deprecated("use hill_climb(eval, max_evaluations, SolverContext)")]]
-inline SearchResult hill_climb(const sim::CostEvaluator& eval,
-                               std::size_t max_evaluations, rng::Rng& rng) {
-  return hill_climb(eval, max_evaluations, match::SolverContext(rng));
-}
 
 /// Simulated annealing over swap moves with geometric cooling.
 struct SaParams {
@@ -67,12 +52,5 @@ struct SaParams {
 SearchResult simulated_annealing(const sim::CostEvaluator& eval,
                                  const SaParams& params,
                                  const match::SolverContext& ctx);
-
-/// Deprecated forwarder for the pre-SolverContext signature.
-[[deprecated("use simulated_annealing(eval, params, SolverContext)")]]
-inline SearchResult simulated_annealing(const sim::CostEvaluator& eval,
-                                        const SaParams& params, rng::Rng& rng) {
-  return simulated_annealing(eval, params, match::SolverContext(rng));
-}
 
 }  // namespace match::baselines

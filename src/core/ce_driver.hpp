@@ -182,14 +182,4 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
   return result;
 }
 
-/// Deprecated forwarder for the pre-SolverContext signature.
-template <typename Problem>
-[[deprecated("use run_ce(problem, params, SolverContext)")]]
-CeResult<typename Problem::Sample> run_ce(Problem& problem,
-                                          const CeDriverParams& params,
-                                          rng::Rng& rng,
-                                          const StopFn& should_stop = {}) {
-  return run_ce(problem, params, SolverContext(rng, should_stop));
-}
-
 }  // namespace match::core

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "obs/scoped_timer.hpp"
 #include "parallel/parallel_for.hpp"
@@ -66,10 +67,24 @@ MatchResult GeneralMatchOptimizer::run(const SolverContext& ctx) {
 
   StochasticMatrix p = StochasticMatrix::uniform(nt, nr);
 
-  std::vector<graph::NodeId> samples(batch * nt);
+  // Samples live in SoA (transposed task-major) form: the naive sampler
+  // scatters each draw in, the batch evaluator and the elite count read
+  // task rows directly.
+  sim::SampleBlock block(nt, batch);
   std::vector<double> costs(batch);
   std::vector<std::size_t> order(batch);
   std::vector<double> counts(nt * nr);
+  std::vector<graph::NodeId> best_row(nt);
+  std::vector<double> load;  // scalar recompute scratch (serial use only)
+  std::vector<std::size_t> elite_idx;
+  elite_idx.reserve(batch);
+
+  sim::BatchEvaluator batch_eval(*eval_, params_.eval_backend);
+  if (ctx.metrics() != nullptr) {
+    ctx.metrics()
+        ->counter(std::string("solver.backend.") + batch_eval.backend_name())
+        .add();
+  }
 
   MatchResult result;
   result.best_cost = std::numeric_limits<double>::infinity();
@@ -93,23 +108,26 @@ MatchResult GeneralMatchOptimizer::run(const SolverContext& ctx) {
     probe.start_iteration(iter);
     const std::uint64_t iter_seed = rng.bits();
     // Naive independent-rows sampler: each task draws its resource from
-    // its own row of P, no uniqueness constraint.
+    // its own row of P, no uniqueness constraint.  Draws are seeded from
+    // (iter_seed, i) alone, so splitting the draw and cost passes keeps
+    // the stream identical to the historical fused loop.
     parallel::parallel_for_chunked(
         0, batch,
         [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+          std::vector<graph::NodeId> row(nt);
           for (std::size_t i = lo; i < hi; ++i) {
             rng::Rng local(sample_seed(iter_seed, i));
-            graph::NodeId* row = samples.data() + i * nt;
             for (std::size_t t = 0; t < nt; ++t) {
               row[t] = static_cast<graph::NodeId>(
                   local.weighted_pick(p.row(t), 1.0));
             }
-            costs[i] = eval_->makespan(
-                std::span<const graph::NodeId>(row, nt));
+            block.store_sample(i, row);
           }
         },
         for_opts);
-    probe.split("draw_cost");
+    probe.split("draw");
+    batch_eval.evaluate(block, costs, for_opts);
+    probe.split("cost");
 
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -121,25 +139,32 @@ MatchResult GeneralMatchOptimizer::run(const SolverContext& ctx) {
     const double gamma = costs[order[rho_count - 1]];
 
     if (costs[order[0]] < result.best_cost) {
-      result.best_cost = costs[order[0]];
-      const std::size_t bi = order[0];
-      result.best_mapping = sim::Mapping(std::vector<graph::NodeId>(
-          samples.begin() + static_cast<std::ptrdiff_t>(bi * nt),
-          samples.begin() + static_cast<std::ptrdiff_t>((bi + 1) * nt)));
+      // Scalar recompute keeps best_cost == makespan(best_mapping)
+      // bit-exact under every backend (see MatchOptimizer::run).
+      block.load_sample(order[0], best_row);
+      const double exact = eval_->makespan(best_row, load);
+      if (exact < result.best_cost) {
+        result.best_cost = exact;
+        result.best_mapping = sim::Mapping(
+            std::vector<graph::NodeId>(best_row.begin(), best_row.end()));
+      }
     }
 
-    std::fill(counts.begin(), counts.end(), 0.0);
-    std::size_t elite = 0;
+    // Task-major elite count straight from the SoA block (see
+    // MatchOptimizer::run for why this needs no per-worker buffers).
+    elite_idx.clear();
     for (std::size_t i = 0; i < batch; ++i) {
-      if (costs[i] <= gamma) {
-        ++elite;
-        const graph::NodeId* row = samples.data() + i * nt;
-        for (std::size_t t = 0; t < nt; ++t) counts[t * nr + row[t]] += 1.0;
-      }
+      if (costs[i] <= gamma) elite_idx.push_back(i);
+    }
+    const std::size_t elite = elite_idx.size();
+    std::fill(counts.begin(), counts.end(), 0.0);
+    for (std::size_t t = 0; t < nt; ++t) {
+      const graph::NodeId* row = block.task_row(t);
+      double* ct = counts.data() + t * nr;
+      for (const std::size_t i : elite_idx) ct[row[i]] += 1.0;
     }
     for (double& c : counts) c /= static_cast<double>(elite);
     const StochasticMatrix q = StochasticMatrix::from_values(nt, nr, counts);
-    counts.assign(nt * nr, 0.0);
     p.blend_from(q, params_.zeta);
     probe.split("update");
 

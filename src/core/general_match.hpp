@@ -36,6 +36,10 @@ struct GeneralMatchParams {
   std::size_t max_iterations = 1000;
   bool parallel = true;
 
+  /// Batch-evaluation backend for the per-iteration cost pass; same
+  /// semantics as `MatchParams::eval_backend`.
+  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
+
   void validate() const;
 };
 
@@ -60,10 +64,6 @@ class GeneralMatchOptimizer {
   /// iteration; on cancellation the best-so-far mapping is reported
   /// (with a single naive fallback draw if no batch completed).
   MatchResult run(const SolverContext& ctx);
-
-  /// Deprecated forwarder for the pre-SolverContext signature.
-  [[deprecated("use run(SolverContext)")]]
-  MatchResult run(rng::Rng& rng) { return run(SolverContext(rng)); }
 
  private:
   const sim::CostEvaluator* eval_;

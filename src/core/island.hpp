@@ -64,10 +64,6 @@ class IslandMatchOptimizer {
   /// carries the global best.
   IslandResult run(const SolverContext& ctx);
 
-  /// Deprecated forwarder for the pre-SolverContext signature.
-  [[deprecated("use run(SolverContext)")]]
-  IslandResult run(rng::Rng& rng) { return run(SolverContext(rng)); }
-
  private:
   const sim::CostEvaluator* eval_;
   IslandParams params_;

@@ -6,6 +6,7 @@
 #include <limits>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "core/genperm.hpp"
 #include "obs/scoped_timer.hpp"
@@ -84,17 +85,14 @@ std::uint64_t sample_seed(std::uint64_t iter_seed, std::uint64_t index) {
 /// Per-worker reusable hot-loop state, handed out by a ScratchPool: the
 /// GenPerm sampler (scratch-heavy, hoisted out of the chunk lambdas so
 /// it is built once per worker per run instead of once per chunk per
-/// iteration), the makespan load buffer, and the eq. (11) partial count
-/// accumulator.  Everything here is either fully overwritten per use or
-/// reduced order-insensitively, so timing-dependent chunk→worker
-/// assignment cannot perturb results.
+/// iteration) and the contiguous draw row scattered into the SoA block.
+/// Everything here is fully overwritten per use, so timing-dependent
+/// chunk→worker assignment cannot perturb results.
 struct MatchWorker {
   GenPermSampler sampler;
-  std::vector<double> load;    ///< CostEvaluator::makespan scratch
-  std::vector<double> counts;  ///< eq. (11) partial counts (n*n, lazily sized)
-  std::size_t elite = 0;       ///< eq. (11) partial elite count
+  std::vector<graph::NodeId> row;  ///< one GenPerm draw, pre-SoA-store
 
-  explicit MatchWorker(std::size_t n) : sampler(n) {}
+  explicit MatchWorker(std::size_t n) : sampler(n), row(n) {}
 };
 
 }  // namespace
@@ -130,9 +128,7 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
   const std::size_t n = n_;
   const std::size_t batch = sample_size_;
 
-  // A context-supplied stop hook wins over the deprecated member.
-  const match::StopFn& should_stop =
-      ctx.stop_fn() ? ctx.stop_fn() : should_stop_;
+  const match::StopFn& should_stop = ctx.stop_fn();
   obs::PhaseProbe probe(ctx.sink(), ctx.metrics(), "match", ctx.run_id());
   obs::Counter* iter_counter = ctx.metrics() != nullptr
                                    ? &ctx.metrics()->counter("match.iterations")
@@ -142,10 +138,27 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
   StochasticMatrix p = initial_.rows() == n ? initial_
                                             : StochasticMatrix::uniform(n, n);
 
-  std::vector<graph::NodeId> samples(batch * n);
+  // Samples live in SoA (transposed task-major) form for the whole
+  // iteration: GenPerm draws scatter in, the batch evaluator and the
+  // elite count both read task rows directly, and only the winning lane
+  // is ever gathered back out.
+  sim::SampleBlock block(n, batch);
   std::vector<double> costs(batch);
   std::vector<double> gamma_scratch(batch);  // nth_element workspace
   std::vector<double> counts(n * n);
+  std::vector<graph::NodeId> best_row(n);
+  std::vector<double> load;  // scalar recompute scratch (serial use only)
+  std::vector<std::size_t> elite_idx;
+  elite_idx.reserve(batch);
+
+  // One batch evaluator for the whole run: the backend is resolved once
+  // (kAuto -> feature probe) and reported once for metrics dashboards.
+  sim::BatchEvaluator batch_eval(*eval_, params_.eval_backend);
+  if (ctx.metrics() != nullptr) {
+    ctx.metrics()
+        ->counter(std::string("solver.backend.") + batch_eval.backend_name())
+        .add();
+  }
 
   // Per-worker state outlives the iteration loop, so samplers and
   // scratch buffers are constructed at most once per worker thread for
@@ -181,66 +194,37 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
     }
     probe.start_iteration(iter);
     // --- Step 3 (Fig. 5): draw N mappings via GenPerm. -------------------
+    // Each sample's RNG is seeded from (iter_seed, i) alone and cost
+    // evaluation consumes no randomness, so the draw/cost phases are
+    // separate passes (the SoA block decouples them) yet produce the
+    // same samples and costs as the historical fused loop.
     const std::uint64_t iter_seed = rng.bits();
     if (use_alias) alias_tables.build(p);
-    const auto draw_one = [&](MatchWorker& w, rng::Rng& local,
-                              std::span<graph::NodeId> row) {
-      if (use_alias) {
-        w.sampler.sample(p, alias_tables, local, row,
-                         params_.random_task_order, pins_);
-      } else {
-        w.sampler.sample(p, local, row, params_.random_task_order, pins_);
-      }
-    };
-    if (!probe.armed()) {
-      parallel::parallel_for_chunked(
-          0, batch,
-          [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-            auto lease = workers.acquire();
-            // The legacy code constructed a fresh sampler per chunk, and
-            // the shuffled task order chains across draws; resetting it
-            // at the old construction point keeps the stream bit-exact
-            // and independent of which pooled worker serves the chunk.
-            lease->sampler.reset_order();
-            for (std::size_t i = lo; i < hi; ++i) {
-              rng::Rng local(sample_seed(iter_seed, i));
-              const std::span<graph::NodeId> row(samples.data() + i * n, n);
-              draw_one(*lease, local, row);
-              costs[i] = eval_->makespan(row, lease->load);
+    parallel::parallel_for_chunked(
+        0, batch,
+        [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+          auto lease = workers.acquire();
+          // The legacy code constructed a fresh sampler per chunk, and
+          // the shuffled task order chains across draws; resetting it
+          // at the old construction point keeps the stream bit-exact
+          // and independent of which pooled worker serves the chunk.
+          lease->sampler.reset_order();
+          for (std::size_t i = lo; i < hi; ++i) {
+            rng::Rng local(sample_seed(iter_seed, i));
+            if (use_alias) {
+              lease->sampler.sample(p, alias_tables, local, lease->row,
+                                    params_.random_task_order, pins_);
+            } else {
+              lease->sampler.sample(p, local, lease->row,
+                                    params_.random_task_order, pins_);
             }
-          },
-          for_opts);
-    } else {
-      // Instrumented path: split the fused loop so draw and cost time
-      // separately.  Each sample's RNG is seeded from (iter_seed, i)
-      // alone and cost evaluation consumes no randomness, so the split
-      // produces bit-identical samples and costs.
-      parallel::parallel_for_chunked(
-          0, batch,
-          [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-            auto lease = workers.acquire();
-            lease->sampler.reset_order();  // see the fused loop above
-            for (std::size_t i = lo; i < hi; ++i) {
-              rng::Rng local(sample_seed(iter_seed, i));
-              const std::span<graph::NodeId> row(samples.data() + i * n, n);
-              draw_one(*lease, local, row);
-            }
-          },
-          for_opts);
-      probe.split("draw");
-      parallel::parallel_for_chunked(
-          0, batch,
-          [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-            auto lease = workers.acquire();
-            for (std::size_t i = lo; i < hi; ++i) {
-              const std::span<const graph::NodeId> row(samples.data() + i * n,
-                                                       n);
-              costs[i] = eval_->makespan(row, lease->load);
-            }
-          },
-          for_opts);
-      probe.split("cost");
-    }
+            block.store_sample(i, lease->row);
+          }
+        },
+        for_opts);
+    probe.split("draw");
+    batch_eval.evaluate(block, costs, for_opts);
+    probe.split("cost");
 
     // --- Steps 4–5: pick the elite threshold γ. --------------------------
     // γ is a single order statistic and the elite set below is selected
@@ -272,51 +256,48 @@ MatchResult MatchOptimizer::run(const SolverContext& ctx) {
     probe.split("sort");
 
     if (iter_best < result.best_cost) {
-      result.best_cost = iter_best;
-      result.best_mapping = sim::Mapping(std::vector<graph::NodeId>(
-          samples.begin() + static_cast<std::ptrdiff_t>(best_index * n),
-          samples.begin() + static_cast<std::ptrdiff_t>((best_index + 1) * n)));
+      // Gather the winning lane and recompute its cost with the scalar
+      // per-sample kernel, so `best_cost == makespan(best_mapping)`
+      // bit-exactly under every backend (SIMD sums reassociate on
+      // fractional workloads; on integer ones the recompute is a no-op).
+      block.load_sample(best_index, best_row);
+      const double exact = eval_->makespan(best_row, load);
+      if (exact < result.best_cost) {
+        result.best_cost = exact;
+        result.best_mapping = sim::Mapping(
+            std::vector<graph::NodeId>(best_row.begin(), best_row.end()));
+      }
     }
 
     // --- Step 6: re-estimate P from the elite set (eq. 11). --------------
-    // Parallel accumulation into per-worker count buffers.  Every
-    // increment is an exact +1.0 in double, so the reduction below is
-    // exact and order-insensitive: results are bit-identical to the
-    // serial accumulation regardless of chunking or thread timing.
-    workers.for_each([&](MatchWorker& w) {
-      if (!w.counts.empty()) std::fill(w.counts.begin(), w.counts.end(), 0.0);
-      w.elite = 0;
-    });
+    // Collect the elite lane indices once, then accumulate counts
+    // task-major straight from the SoA block: task t's counts live in
+    // the disjoint slice counts[t*n, t*n + n), so the task-parallel loop
+    // needs no per-worker count buffers and no reduction — and every
+    // increment is an exact +1.0, so results are independent of
+    // chunking and thread timing.
+    elite_idx.clear();
+    for (std::size_t i = 0; i < batch; ++i) {
+      if (costs[i] <= gamma) elite_idx.push_back(i);
+    }
+    // elite >= 1 by construction of gamma.
+    const std::size_t elite = elite_idx.size();
+    std::fill(counts.begin(), counts.end(), 0.0);
     parallel::parallel_for_chunked(
-        0, batch,
-        [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-          auto lease = workers.acquire();
-          MatchWorker& w = *lease;
-          if (w.counts.empty()) w.counts.assign(n * n, 0.0);
-          for (std::size_t i = lo; i < hi; ++i) {
-            if (costs[i] <= gamma) {
-              ++w.elite;
-              const graph::NodeId* row = samples.data() + i * n;
-              for (std::size_t t = 0; t < n; ++t) w.counts[t * n + row[t]] += 1.0;
-            }
+        0, n,
+        [&](std::size_t t_lo, std::size_t t_hi, std::size_t /*chunk*/) {
+          for (std::size_t t = t_lo; t < t_hi; ++t) {
+            const graph::NodeId* row = block.task_row(t);
+            double* ct = counts.data() + t * n;
+            for (const std::size_t i : elite_idx) ct[row[i]] += 1.0;
           }
         },
         for_opts);
-    std::fill(counts.begin(), counts.end(), 0.0);
-    std::size_t elite = 0;
-    workers.for_each([&](MatchWorker& w) {
-      elite += w.elite;
-      if (w.elite != 0) {
-        for (std::size_t k = 0; k < counts.size(); ++k) counts[k] += w.counts[k];
-      }
-    });
-    // elite >= 1 by construction of gamma.
     for (double& c : counts) c /= static_cast<double>(elite);
     // The counts were normalized right here, so skip the redundant
     // O(n²) row-sum revalidation of the checked factory.
     const StochasticMatrix q =
         StochasticMatrix::from_values_unchecked(n, n, counts);
-    counts.assign(n * n, 0.0);
 
     // --- Smoothing (eq. 13), optionally decayed over iterations. ---------
     double zeta_k = params_.zeta;

@@ -10,6 +10,7 @@
 #include "core/stochastic_matrix.hpp"
 #include "core/stop.hpp"
 #include "rng/rng.hpp"
+#include "sim/batch_eval.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/mapping.hpp"
 
@@ -94,6 +95,15 @@ struct MatchParams {
   /// Evaluate/sample batches on the thread pool.
   bool parallel = true;
 
+  /// Batch-evaluation backend for the per-iteration cost pass.  `kAuto`
+  /// (default) picks the best SIMD kernel the CPU supports; `kScalar`
+  /// pins the reference kernel (bit-compatible with
+  /// `CostEvaluator::makespan`).  The resolved choice is reported via
+  /// the `solver.backend.<name>` metric.  On integer-valued workloads
+  /// (the paper's) every backend is bit-identical; on fractional ones
+  /// SIMD sums reassociate — see sim/batch_eval.hpp.
+  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
+
   /// Throws `std::invalid_argument` when a field is out of range.
   void validate() const;
 };
@@ -140,11 +150,12 @@ class MatchOptimizer {
   using TraceFn =
       std::function<void(const IterationStats&, const StochasticMatrix&)>;
 
-  /// Deprecated alias; use `match::StopFn` (core/stop.hpp).  Polled once
-  /// per iteration before the batch is drawn; returning true stops the
-  /// run with `StopReason::kCancelled` and the best mapping seen so far.
-  /// When it fires before the first batch, a single GenPerm draw is
-  /// evaluated so the result always carries a valid permutation.
+  /// Alias for `match::StopFn` (core/stop.hpp).  The hook is supplied
+  /// via `SolverContext(rng, stop)` and polled once per iteration before
+  /// the batch is drawn; returning true stops the run with
+  /// `StopReason::kCancelled` and the best mapping seen so far.  When it
+  /// fires before the first batch, a single GenPerm draw is evaluated so
+  /// the result always carries a valid permutation.
   using StopFn = match::StopFn;
 
   /// The evaluator must describe a square instance (|V_t| = |V_r|);
@@ -153,15 +164,6 @@ class MatchOptimizer {
                           MatchParams params = {});
 
   void set_trace(TraceFn trace) { trace_ = std::move(trace); }
-
-  /// Installs the cancellation hook (empty = never stop early).
-  /// Deprecated: attach the hook to the SolverContext instead
-  /// (`SolverContext(rng, stop)`); a context-supplied hook wins over
-  /// this one.
-  [[deprecated("pass the stop hook via SolverContext")]]
-  void set_should_stop(match::StopFn should_stop) {
-    should_stop_ = std::move(should_stop);
-  }
 
   /// Replaces the uniform P_0 with a caller-supplied starting matrix
   /// (must be n x n row-stochastic).  Used by the warm-start re-mapper
@@ -188,17 +190,12 @@ class MatchOptimizer {
   /// stream.
   MatchResult run(const SolverContext& ctx);
 
-  /// Deprecated forwarder for the pre-SolverContext signature.
-  [[deprecated("use run(SolverContext)")]]
-  MatchResult run(rng::Rng& rng) { return run(SolverContext(rng)); }
-
  private:
   const sim::CostEvaluator* eval_;
   MatchParams params_;
   std::size_t n_;
   std::size_t sample_size_;
   TraceFn trace_;
-  match::StopFn should_stop_;
   StochasticMatrix initial_;          ///< empty -> uniform
   std::vector<graph::NodeId> pins_;   ///< empty -> no pins
 };

@@ -45,12 +45,4 @@ MatchResult rematch(const sim::CostEvaluator& eval,
                     const sim::Mapping& incumbent, const RematchParams& params,
                     const SolverContext& ctx);
 
-/// Deprecated forwarder for the pre-SolverContext signature.
-[[deprecated("use rematch(eval, incumbent, params, SolverContext)")]]
-inline MatchResult rematch(const sim::CostEvaluator& eval,
-                           const sim::Mapping& incumbent,
-                           const RematchParams& params, rng::Rng& rng) {
-  return rematch(eval, incumbent, params, SolverContext(rng));
-}
-
 }  // namespace match::core

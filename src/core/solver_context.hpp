@@ -22,7 +22,7 @@
 // Solvers accept `const SolverContext&`, so a temporary
 // `opt.run(match::SolverContext(rng))` works at call sites that only
 // have an RNG.  The old per-solver `(rng)` / `(rng, stop)` signatures
-// remain as [[deprecated]] forwarders for one release.
+// were removed after one deprecation release (see docs/MIGRATION.md).
 
 #include <cstdint>
 #include <stdexcept>

@@ -33,7 +33,9 @@ void ServiceConfig::validate() const {
 }
 
 MappingService::MappingService(ServiceConfig config)
-    : config_(config), cache_(config.cache_capacity) {
+    : config_(config),
+      registry_(config.eval_backend),
+      cache_(config.cache_capacity) {
   config_.validate();
   pool_ = std::make_unique<parallel::ThreadPool>(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {

@@ -60,6 +60,12 @@ struct ServiceConfig {
   /// Batch identical concurrent requests onto one solver run.
   bool coalesce = true;
 
+  /// Batch-evaluation backend handed to the built-in solver adapters
+  /// (`kAuto` probes the CPU and picks the widest SIMD tier; `kScalar`
+  /// forces the bit-compatible reference kernel).  Per-request telemetry
+  /// reports the resolved choice as a `solver.backend.<name>` counter.
+  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
+
   /// Optional event sink shared by every request: service lifecycle
   /// events (enqueue, cache hit/miss, coalesce, deadline expiry) plus the
   /// per-run solver events (iterations, phases, fallback draws), all

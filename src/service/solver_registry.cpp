@@ -21,6 +21,9 @@ namespace {
 /// quality target and deadline hook threaded through.
 class MatchSolver final : public Solver {
  public:
+  explicit MatchSolver(sim::EvalBackend eval_backend)
+      : eval_backend_(eval_backend) {}
+
   const char* name() const override { return "match"; }
 
   SolveOutcome solve(const workload::Instance& instance,
@@ -34,6 +37,7 @@ class MatchSolver final : public Solver {
       params.max_iterations = options.max_iterations;
     }
     params.target_cost = options.target_cost;
+    params.eval_backend = eval_backend_;
 
     core::MatchOptimizer optimizer(eval, params);
 
@@ -47,6 +51,9 @@ class MatchSolver final : public Solver {
     out.mapping = r.best_mapping;
     return out;
   }
+
+ private:
+  sim::EvalBackend eval_backend_;
 };
 
 /// FastMap-GA adapter.  The paper's tuned configuration (population 500 ×
@@ -56,6 +63,9 @@ class MatchSolver final : public Solver {
 /// the request overrides the budget.
 class GaSolver final : public Solver {
  public:
+  explicit GaSolver(sim::EvalBackend eval_backend)
+      : eval_backend_(eval_backend) {}
+
   const char* name() const override { return "fastmap-ga"; }
 
   SolveOutcome solve(const workload::Instance& instance,
@@ -69,6 +79,7 @@ class GaSolver final : public Solver {
     params.generations = options.max_iterations != 0 ? options.max_iterations
                                                      : 150;
     params.target_cost = options.target_cost;
+    params.eval_backend = eval_backend_;
 
     baselines::GaOptimizer optimizer(eval, params);
 
@@ -82,6 +93,9 @@ class GaSolver final : public Solver {
     out.mapping = r.best_mapping;
     return out;
   }
+
+ private:
+  sim::EvalBackend eval_backend_;
 };
 
 /// Restarted hill climbing, adapted to cooperative cancellation by
@@ -166,9 +180,10 @@ class ListSolver final : public Solver {
 
 }  // namespace
 
-SolverRegistry::SolverRegistry() {
-  register_solver(SolverKind::kMatch, std::make_unique<MatchSolver>());
-  register_solver(SolverKind::kGa, std::make_unique<GaSolver>());
+SolverRegistry::SolverRegistry(sim::EvalBackend eval_backend) {
+  register_solver(SolverKind::kMatch,
+                  std::make_unique<MatchSolver>(eval_backend));
+  register_solver(SolverKind::kGa, std::make_unique<GaSolver>(eval_backend));
   register_solver(SolverKind::kLocalSearch,
                   std::make_unique<LocalSearchSolver>());
   register_solver(SolverKind::kMinMin,

@@ -26,6 +26,7 @@
 #include "core/solver_context.hpp"
 #include "service/deadline.hpp"
 #include "service/request.hpp"
+#include "sim/batch_eval.hpp"
 #include "sim/mapping.hpp"
 #include "workload/instance.hpp"
 
@@ -52,24 +53,18 @@ class Solver {
   virtual SolveOutcome solve(const workload::Instance& instance,
                              const SolveOptions& options,
                              const match::SolverContext& ctx) const = 0;
-
-  /// Deprecated forwarder for the pre-SolverContext signature.
-  [[deprecated("use solve(instance, options, SolverContext)")]]
-  SolveOutcome solve(const workload::Instance& instance,
-                     const SolveOptions& options,
-                     const match::StopFn& should_stop) const {
-    match::SolverContext ctx;
-    if (should_stop) ctx.with_stop(should_stop);
-    return solve(instance, options, ctx);
-  }
 };
 
 /// SolverKind → Solver dispatch table.  The default constructor registers
 /// every built-in adapter; callers may override or extend.
 class SolverRegistry {
  public:
-  /// Builds the registry with all built-in solvers registered.
-  SolverRegistry();
+  /// Builds the registry with all built-in solvers registered.  The
+  /// batch-evaluation backend is threaded into every adapter that runs a
+  /// population/batch solver (MaTCH, FastMap-GA); `kAuto` picks the best
+  /// SIMD tier the host supports.
+  explicit SolverRegistry(
+      sim::EvalBackend eval_backend = sim::EvalBackend::kAuto);
 
   /// Registers (or replaces) the solver for `kind`.
   void register_solver(SolverKind kind, std::unique_ptr<Solver> solver);

@@ -1,0 +1,224 @@
+// AVX2+FMA batch-evaluation kernel.  This translation unit is the only
+// one compiled with -mavx2 -mfma (see src/CMakeLists.txt); everything
+// here stays behind the plain-ABI entry points declared in
+// sim/batch_eval.hpp so the rest of the library keeps the baseline ISA.
+// MATCH_DISABLE_SIMD (CMake option) compiles the stubs instead, which is
+// how CI keeps the scalar fallback honest.
+//
+// Shape: 8 samples (two 4-wide double vectors) per step.  The comm term
+// makes two passes over the edge stream.  Pass A walks it sorted by `a`:
+// each edge's contribution x = C·c_{sa,sb} is built once from a
+// vgatherdpd on the comm matrix, accumulated into the a-endpoint's
+// run total (vector registers, one lane_load touch per run), and
+// spilled through the precomputed inverse permutation directly into its
+// b-sorted slot of a per-edge buffer.  Pass B walks the same edges
+// sorted by `b` and charges the b endpoints by re-reading the spilled
+// terms sequentially — plain prefetchable loads, no second gather.
+// Two things make this fast where the naive
+// translation was not: per-edge scalar read-modify-writes on the lane
+// loads are gone entirely (run accumulation amortizes them), and the
+// comm matrix is gathered exactly once per edge (symmetry c_{s,b} ==
+// c_{b,s} is what lets one term serve both endpoint charges).  Sums
+// reassociate relative to a per-sample evaluation; on integer-valued
+// workloads they are still exact, hence bit-identical (see
+// tests/batch_eval_test.cpp).
+
+#include "sim/batch_eval.hpp"
+
+#if defined(__x86_64__) && !defined(MATCH_DISABLE_SIMD)
+#define MATCH_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
+#include <cstdint>
+
+namespace match::sim::detail {
+
+bool avx2_kernel_compiled() noexcept {
+#if defined(MATCH_AVX2_KERNEL)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_cpu_supported() noexcept {
+#if defined(MATCH_AVX2_KERNEL)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+#if defined(MATCH_AVX2_KERNEL)
+
+namespace {
+
+/// Rounds a buffer base up to 32 bytes so the kernel's group-wide rows
+/// take aligned vector loads/stores (vector<double> storage only
+/// guarantees 16).  Callers over-allocate by 3 doubles.
+inline double* align32(std::vector<double>& v, std::size_t need) {
+  v.resize(need + 3);
+  return reinterpret_cast<double*>(
+      (reinterpret_cast<std::uintptr_t>(v.data()) + 31) & ~std::uintptr_t{31});
+}
+
+/// lb[s * kLaneGroup + l] += x[l] for the 4 lanes described by (idx, x).
+inline void scatter_add4(double* lb, __m128i idx, __m256d x,
+                         std::size_t half) {
+  alignas(32) double xs[4];
+  alignas(16) std::uint32_t is[4];
+  _mm256_store_pd(xs, x);
+  _mm_store_si128(reinterpret_cast<__m128i*>(is), idx);
+  double* base = lb + half * 4;
+  base[is[0] * kLaneGroup + 0] += xs[0];
+  base[is[1] * kLaneGroup + 1] += xs[1];
+  base[is[2] * kLaneGroup + 2] += xs[2];
+  base[is[3] * kLaneGroup + 3] += xs[3];
+}
+
+}  // namespace
+
+void batch_eval_avx2_range(const CostEvaluator& eval,
+                           const VectorEdgeTables& tables,
+                           const SampleBlock& block, std::size_t lo,
+                           std::size_t hi, EvalScratch& scratch, double* out) {
+  static_assert(kLaneGroup == 8, "kernel is written for 8-lane groups");
+  const std::size_t n = block.num_tasks();
+  const std::size_t nr = eval.num_resources();
+  const Platform& plat = eval.platform();
+  const double* comm = plat.comm_row(0);
+  const double* proc = plat.proc_costs();
+  const double* node_w = eval.tig().graph().node_weights().data();
+  const std::span<const UndirectedEdge> edges = eval.undirected_edges();
+  const std::size_t num_edges = edges.size();
+  const UndirectedEdge* edge = edges.data();
+  const UndirectedEdge* edgeb = tables.by_b.data();
+  const std::uint32_t* xpos = tables.xpos.data();
+
+  double* lb = align32(scratch.lane_load, nr * kLaneGroup);
+  double* xb = align32(scratch.xbuf, num_edges * kLaneGroup);
+  const __m256i nr_v = _mm256_set1_epi32(static_cast<int>(nr));
+
+  // Aligned groups: a chunk boundary inside a group evaluates the whole
+  // group (the neighbor chunk recomputes it identically) and writes only
+  // its own lanes, so lane values are chunking-independent.
+  for (std::size_t g = lo / kLaneGroup * kLaneGroup; g < hi;
+       g += kLaneGroup) {
+    const __m256d zero = _mm256_setzero_pd();
+    for (std::size_t s = 0; s < nr; ++s) {
+      _mm256_store_pd(lb + s * kLaneGroup, zero);
+      _mm256_store_pd(lb + s * kLaneGroup + 4, zero);
+    }
+
+    // Compute term: load[s_t] += W_t * w_{s_t} per task, 8 lanes a step.
+    for (std::size_t t = 0; t < n; ++t) {
+      const graph::NodeId* row = block.task_row(t) + g;
+      const __m128i s0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row));
+      const __m128i s1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + 4));
+      const __m256d w = _mm256_set1_pd(node_w[t]);
+      scatter_add4(lb, s0, _mm256_mul_pd(w, _mm256_i32gather_pd(proc, s0, 8)),
+                   0);
+      scatter_add4(lb, s1, _mm256_mul_pd(w, _mm256_i32gather_pd(proc, s1, 8)),
+                   1);
+    }
+
+    // Comm term, pass A: gather each edge's term once, run-accumulate
+    // the a side, spill the term for pass B.  Counted run loops (CSR
+    // offsets) keep the per-edge run-end compare out of the inner loop.
+    for (std::size_t r = 0; r + 1 < tables.a_off.size(); ++r) {
+      const std::size_t e0 = tables.a_off[r];
+      const std::size_t e1 = tables.a_off[r + 1];
+      const graph::NodeId* row_a = block.task_row(edge[e0].a) + g;
+      const __m256i sa =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row_a));
+      const __m256i base = _mm256_mullo_epi32(sa, nr_v);
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      for (std::size_t e = e0; e < e1; ++e) {
+        const graph::NodeId* row_b = block.task_row(edge[e].b) + g;
+        const __m256i idx = _mm256_add_epi32(
+            base,
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row_b)));
+        const __m256d w = _mm256_set1_pd(edge[e].w);
+        const __m256d x0 = _mm256_mul_pd(
+            w, _mm256_i32gather_pd(comm, _mm256_castsi256_si128(idx), 8));
+        const __m256d x1 = _mm256_mul_pd(
+            w, _mm256_i32gather_pd(comm, _mm256_extracti128_si256(idx, 1), 8));
+        acc0 = _mm256_add_pd(acc0, x0);
+        acc1 = _mm256_add_pd(acc1, x1);
+        double* spill = xb + xpos[e] * kLaneGroup;
+        _mm256_store_pd(spill, x0);
+        _mm256_store_pd(spill + 4, x1);
+      }
+      scatter_add4(lb, _mm256_castsi256_si128(sa), acc0, 0);
+      scatter_add4(lb, _mm256_extracti128_si256(sa, 1), acc1, 1);
+    }
+
+    // Comm term, pass B: charge the b endpoints by replaying the spilled
+    // terms in b-sorted order.  The loads stream sequentially (the
+    // hardware prefetcher hides them), so the bottleneck is the add
+    // dependency chain — a two-edge unroll doubles the independent
+    // chains per half-group.  The reassociation is deterministic (fixed
+    // unroll for a given run length) and exact on integer workloads,
+    // where every partial sum is integral and representable.
+    for (std::size_t r = 0; r + 1 < tables.b_off.size(); ++r) {
+      const std::size_t e0 = tables.b_off[r];
+      const std::size_t e1 = tables.b_off[r + 1];
+      const graph::NodeId* row_b = block.task_row(edgeb[e0].b) + g;
+      const __m256i sb =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row_b));
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      std::size_t e = e0;
+      for (; e + 2 <= e1; e += 2) {
+        const double* x = xb + e * kLaneGroup;
+        acc0 = _mm256_add_pd(acc0, _mm256_load_pd(x));
+        acc1 = _mm256_add_pd(acc1, _mm256_load_pd(x + 4));
+        acc2 = _mm256_add_pd(acc2, _mm256_load_pd(x + 8));
+        acc3 = _mm256_add_pd(acc3, _mm256_load_pd(x + 12));
+      }
+      if (e < e1) {
+        const double* x = xb + e * kLaneGroup;
+        acc0 = _mm256_add_pd(acc0, _mm256_load_pd(x));
+        acc1 = _mm256_add_pd(acc1, _mm256_load_pd(x + 4));
+      }
+      acc0 = _mm256_add_pd(acc0, acc2);
+      acc1 = _mm256_add_pd(acc1, acc3);
+      scatter_add4(lb, _mm256_castsi256_si128(sb), acc0, 0);
+      scatter_add4(lb, _mm256_extracti128_si256(sb, 1), acc1, 1);
+    }
+
+    // Makespan: vertical max over resources, then per-lane store.
+    __m256d m0 = _mm256_setzero_pd();
+    __m256d m1 = _mm256_setzero_pd();
+    for (std::size_t s = 0; s < nr; ++s) {
+      m0 = _mm256_max_pd(m0, _mm256_load_pd(lb + s * kLaneGroup));
+      m1 = _mm256_max_pd(m1, _mm256_load_pd(lb + s * kLaneGroup + 4));
+    }
+    alignas(32) double mk[kLaneGroup];
+    _mm256_store_pd(mk, m0);
+    _mm256_store_pd(mk + 4, m1);
+    for (std::size_t l = 0; l < kLaneGroup; ++l) {
+      const std::size_t i = g + l;
+      if (i >= lo && i < hi) out[i] = mk[l];
+    }
+  }
+}
+
+#else  // !MATCH_AVX2_KERNEL
+
+void batch_eval_avx2_range(const CostEvaluator&, const VectorEdgeTables&,
+                           const SampleBlock&, std::size_t, std::size_t,
+                           EvalScratch&, double*) {
+  // Unreachable: resolve_eval_backend never selects kAvx2 when the
+  // kernel is not compiled in.
+}
+
+#endif  // MATCH_AVX2_KERNEL
+
+}  // namespace match::sim::detail

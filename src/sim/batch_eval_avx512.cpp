@@ -1,0 +1,179 @@
+// AVX-512F batch-evaluation kernel.  Identical two-pass spill-and-replay
+// structure to the AVX2 kernel (see batch_eval_avx2.cpp for the why),
+// but one 8-wide zmm vector covers a whole lane group, so each edge
+// takes a single vgatherdpd and roughly half the instruction count.
+// Gather-dominated and FP-light, so 512-bit license downclocking is a
+// non-issue in practice.  This TU is the only one compiled with
+// -mavx512f (see src/CMakeLists.txt); runtime dispatch keeps it off
+// CPUs without the feature.
+
+#include "sim/batch_eval.hpp"
+
+#if defined(__x86_64__) && !defined(MATCH_DISABLE_SIMD)
+#define MATCH_AVX512_KERNEL 1
+#include <immintrin.h>
+#endif
+
+#include <cstdint>
+
+namespace match::sim::detail {
+
+bool avx512_kernel_compiled() noexcept {
+#if defined(MATCH_AVX512_KERNEL)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx512_cpu_supported() noexcept {
+#if defined(MATCH_AVX512_KERNEL)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+#if defined(MATCH_AVX512_KERNEL)
+
+namespace {
+
+/// Rounds a buffer base up to 64 bytes for aligned zmm rows.  Callers
+/// over-allocate by 7 doubles.
+inline double* align64(std::vector<double>& v, std::size_t need) {
+  v.resize(need + 7);
+  return reinterpret_cast<double*>(
+      (reinterpret_cast<std::uintptr_t>(v.data()) + 63) & ~std::uintptr_t{63});
+}
+
+/// lb[s * kLaneGroup + l] += x[l] for all 8 lanes (idx holds the 8 s
+/// values).  Run-end cost only — never on the per-edge path.
+inline void scatter_add8(double* lb, __m256i idx, __m512d x) {
+  alignas(64) double xs[kLaneGroup];
+  alignas(32) std::uint32_t is[kLaneGroup];
+  _mm512_store_pd(xs, x);
+  _mm256_store_si256(reinterpret_cast<__m256i*>(is), idx);
+  for (std::size_t l = 0; l < kLaneGroup; ++l) {
+    lb[is[l] * kLaneGroup + l] += xs[l];
+  }
+}
+
+}  // namespace
+
+void batch_eval_avx512_range(const CostEvaluator& eval,
+                             const VectorEdgeTables& tables,
+                             const SampleBlock& block, std::size_t lo,
+                             std::size_t hi, EvalScratch& scratch,
+                             double* out) {
+  static_assert(kLaneGroup == 8, "kernel is written for 8-lane groups");
+  const std::size_t n = block.num_tasks();
+  const std::size_t nr = eval.num_resources();
+  const Platform& plat = eval.platform();
+  const double* comm = plat.comm_row(0);
+  const double* proc = plat.proc_costs();
+  const double* node_w = eval.tig().graph().node_weights().data();
+  const std::size_t num_edges = eval.undirected_edges().size();
+  const UndirectedEdge* edge = eval.undirected_edges().data();
+  const UndirectedEdge* edgeb = tables.by_b.data();
+  const std::uint32_t* xpos = tables.xpos.data();
+
+  double* lb = align64(scratch.lane_load, nr * kLaneGroup);
+  double* xb = align64(scratch.xbuf, num_edges * kLaneGroup);
+  const __m256i nr_v = _mm256_set1_epi32(static_cast<int>(nr));
+
+  // Aligned groups: a chunk boundary inside a group evaluates the whole
+  // group (the neighbor chunk recomputes it identically) and writes only
+  // its own lanes, so lane values are chunking-independent.
+  for (std::size_t g = lo / kLaneGroup * kLaneGroup; g < hi;
+       g += kLaneGroup) {
+    const __m512d zero = _mm512_setzero_pd();
+    for (std::size_t s = 0; s < nr; ++s) {
+      _mm512_store_pd(lb + s * kLaneGroup, zero);
+    }
+
+    // Compute term: load[s_t] += W_t * w_{s_t} per task, 8 lanes a step.
+    for (std::size_t t = 0; t < n; ++t) {
+      const __m256i s = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block.task_row(t) + g));
+      const __m512d w = _mm512_set1_pd(node_w[t]);
+      scatter_add8(lb, s, _mm512_mul_pd(w, _mm512_i32gather_pd(s, proc, 8)));
+    }
+
+    // Comm term, pass A: gather each edge's term once, run-accumulate
+    // the a side, spill the term for pass B.
+    for (std::size_t r = 0; r + 1 < tables.a_off.size(); ++r) {
+      const std::size_t e0 = tables.a_off[r];
+      const std::size_t e1 = tables.a_off[r + 1];
+      const __m256i sa = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block.task_row(edge[e0].a) + g));
+      const __m256i base = _mm256_mullo_epi32(sa, nr_v);
+      __m512d acc = _mm512_setzero_pd();
+      for (std::size_t e = e0; e < e1; ++e) {
+        const __m256i idx = _mm256_add_epi32(
+            base, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                      block.task_row(edge[e].b) + g)));
+        const __m512d x = _mm512_mul_pd(_mm512_set1_pd(edge[e].w),
+                                        _mm512_i32gather_pd(idx, comm, 8));
+        acc = _mm512_add_pd(acc, x);
+        _mm512_store_pd(xb + xpos[e] * kLaneGroup, x);
+      }
+      scatter_add8(lb, sa, acc);
+    }
+
+    // Comm term, pass B: charge the b endpoints by replaying the spilled
+    // terms in b-sorted order.  The loads stream sequentially (the
+    // hardware prefetcher hides them), so the bottleneck is the add
+    // dependency chain — four independent accumulators cut its latency
+    // 4x.  The reassociation is deterministic (fixed unroll for a given
+    // run length) and exact on integer workloads, where every partial
+    // sum is integral and representable.
+    for (std::size_t r = 0; r + 1 < tables.b_off.size(); ++r) {
+      const std::size_t e0 = tables.b_off[r];
+      const std::size_t e1 = tables.b_off[r + 1];
+      const __m256i sb = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block.task_row(edgeb[e0].b) + g));
+      __m512d acc0 = _mm512_setzero_pd();
+      __m512d acc1 = _mm512_setzero_pd();
+      __m512d acc2 = _mm512_setzero_pd();
+      __m512d acc3 = _mm512_setzero_pd();
+      std::size_t e = e0;
+      for (; e + 4 <= e1; e += 4) {
+        acc0 = _mm512_add_pd(acc0, _mm512_load_pd(xb + e * kLaneGroup));
+        acc1 = _mm512_add_pd(acc1, _mm512_load_pd(xb + (e + 1) * kLaneGroup));
+        acc2 = _mm512_add_pd(acc2, _mm512_load_pd(xb + (e + 2) * kLaneGroup));
+        acc3 = _mm512_add_pd(acc3, _mm512_load_pd(xb + (e + 3) * kLaneGroup));
+      }
+      for (; e < e1; ++e) {
+        acc0 = _mm512_add_pd(acc0, _mm512_load_pd(xb + e * kLaneGroup));
+      }
+      const __m512d acc = _mm512_add_pd(_mm512_add_pd(acc0, acc1),
+                                        _mm512_add_pd(acc2, acc3));
+      scatter_add8(lb, sb, acc);
+    }
+
+    // Makespan: vertical max over resources, then per-lane store.
+    __m512d m = _mm512_setzero_pd();
+    for (std::size_t s = 0; s < nr; ++s) {
+      m = _mm512_max_pd(m, _mm512_load_pd(lb + s * kLaneGroup));
+    }
+    alignas(64) double mk[kLaneGroup];
+    _mm512_store_pd(mk, m);
+    for (std::size_t l = 0; l < kLaneGroup; ++l) {
+      const std::size_t i = g + l;
+      if (i >= lo && i < hi) out[i] = mk[l];
+    }
+  }
+}
+
+#else  // !MATCH_AVX512_KERNEL
+
+void batch_eval_avx512_range(const CostEvaluator&, const VectorEdgeTables&,
+                             const SampleBlock&, std::size_t, std::size_t,
+                             EvalScratch&, double*) {
+  // Unreachable: resolve_eval_backend never selects kAvx512 when the
+  // kernel is not compiled in.
+}
+
+#endif  // MATCH_AVX512_KERNEL
+
+}  // namespace match::sim::detail

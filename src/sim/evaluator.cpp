@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/batch_eval.hpp"
+
 namespace match::sim {
 
 CostEvaluator::CostEvaluator(const graph::Tig& tig, const Platform& platform)
@@ -137,20 +139,8 @@ EvalResult CostEvaluator::evaluate(const Mapping& m) const {
 void CostEvaluator::makespans_batch(std::span<const graph::NodeId> rows,
                                     std::size_t count, std::span<double> out,
                                     const parallel::ForOptions& opts) const {
-  const std::size_t n = tig_->num_tasks();
-  if (rows.size() < count * n || out.size() < count) {
-    throw std::invalid_argument("makespans_batch: buffer sizes");
-  }
-  parallel::parallel_for_chunked(
-      0, count,
-      [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
-        // One load buffer per chunk: zero allocations per sample.
-        std::vector<double> load;
-        for (std::size_t i = lo; i < hi; ++i) {
-          out[i] = makespan(rows.subspan(i * n, n), load);
-        }
-      },
-      opts);
+  BatchEvaluator scalar(*this, EvalBackend::kScalar);
+  scalar.evaluate_rows(rows, count, out, opts);
 }
 
 LoadTracker::LoadTracker(const CostEvaluator& eval, const Mapping& initial)

@@ -11,6 +11,15 @@
 
 namespace match::sim {
 
+/// One record per undirected TIG edge (a < b), packed for streaming and
+/// sorted by `a`.  Shared by the per-sample makespan kernel and the SoA
+/// batch kernels (sim/batch_eval*.cpp), which walk the same stream.
+struct UndirectedEdge {
+  graph::NodeId a;
+  graph::NodeId b;
+  double w;
+};
+
 /// Per-resource breakdown of a mapping's cost (eq. (1) of the paper).
 struct ResourceLoad {
   double compute = 0.0;  ///< Σ_{t on s} W^t · w_s
@@ -58,9 +67,10 @@ class CostEvaluator {
   EvalResult evaluate(const Mapping& m) const;
 
   /// Batch evaluation: out[i] = makespan(assignments row i).  Rows are
-  /// contiguous blocks of `num_tasks()` entries.  Runs on the thread
-  /// pool; each worker chunk reuses one load-scratch buffer, so the
-  /// per-sample cost is allocation-free.
+  /// contiguous blocks of `num_tasks()` entries.  Thin adapter over the
+  /// scalar `sim::BatchEvaluator` backend (bit-identical to calling
+  /// `makespan` per row); SoA call sites should hold a `BatchEvaluator`
+  /// directly, which is also how the SIMD backends are reached.
   void makespans_batch(std::span<const graph::NodeId> rows, std::size_t count,
                        std::span<double> out,
                        const parallel::ForOptions& opts = {}) const;
@@ -68,14 +78,19 @@ class CostEvaluator {
   const graph::Tig& tig() const noexcept { return *tig_; }
   const Platform& platform() const noexcept { return *platform_; }
 
- private:
-  /// One record per undirected TIG edge (a < b), packed for streaming.
-  struct UndirectedEdge {
-    graph::NodeId a;
-    graph::NodeId b;
-    double w;
-  };
+  /// True when the comm matrix satisfies c_{s,b} == c_{b,s} for all
+  /// pairs (every generator-built platform).  Gates the edge-streaming
+  /// kernels — per-sample and batch — which charge both endpoints from
+  /// one comm load.
+  bool comm_symmetric() const noexcept { return comm_symmetric_; }
 
+  /// The precomputed undirected edge stream (a < b, sorted by a); the
+  /// batch kernels in sim/batch_eval*.cpp walk it directly.
+  std::span<const UndirectedEdge> undirected_edges() const noexcept {
+    return edges_;
+  }
+
+ private:
   const graph::Tig* tig_;
   const Platform* platform_;
   std::vector<UndirectedEdge> edges_;

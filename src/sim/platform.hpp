@@ -48,6 +48,10 @@ class Platform {
     return comm_cost_.data() + static_cast<std::size_t>(s) * num_resources();
   }
 
+  /// Dense per-resource processing-cost array (length `num_resources()`);
+  /// the SIMD batch kernels gather from it directly.
+  const double* proc_costs() const noexcept { return proc_cost_.data(); }
+
   const graph::ResourceGraph& resource_graph() const noexcept { return rg_; }
   CommCostPolicy policy() const noexcept { return policy_; }
 

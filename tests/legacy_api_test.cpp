@@ -1,11 +1,14 @@
-// Compatibility tests for the deprecated pre-SolverContext signatures.
-// Each forwarder must keep compiling (this file builds with deprecation
-// warnings exempted — see tests/CMakeLists.txt) and must produce results
-// identical to the SolverContext overload it forwards to.
+// Retirement tests for the pre-SolverContext entry points.  The
+// deprecated `(rng)` / `(rng, stop)` forwarders shipped for exactly one
+// release; this file pins that they are GONE — each requires-expression
+// asserts the legacy call does NOT compile anymore — while the stop-hook
+// type aliases (part of the supported API) keep working, and the
+// one-true SolverContext signature remains callable everywhere.
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "baselines/ga.hpp"
@@ -17,7 +20,6 @@
 #include "core/rematch.hpp"
 #include "core/solver_context.hpp"
 #include "rng/rng.hpp"
-#include "service/deadline.hpp"
 #include "service/solver_registry.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/platform.hpp"
@@ -44,218 +46,148 @@ struct Fixture {
   }
 };
 
-// The old stop-hook typedefs must still name match::StopFn.
+// The stop-hook typedefs are supported API and must keep naming
+// match::StopFn.
 static_assert(std::is_same_v<core::CeStopFn, match::StopFn>);
 static_assert(std::is_same_v<core::MatchOptimizer::StopFn, match::StopFn>);
 static_assert(std::is_same_v<baselines::GaOptimizer::StopFn, match::StopFn>);
 static_assert(std::is_same_v<service::StopFn, match::StopFn>);
 
-TEST(LegacyApi, MatchOptimizerRunRngMatchesContextRun) {
-  Fixture f(10, 1);
-  core::MatchParams params;
-  params.max_iterations = 15;
+// --- The retired signatures must NOT compile anymore. -------------------
+// Each probe is a requires-expression evaluated against the real types;
+// a revived forwarder turns one of these into `true` and fails the
+// static_assert, which is the whole point.
 
-  rng::Rng old_rng(5);
-  const auto via_old = core::MatchOptimizer(f.eval, params).run(old_rng);
-  rng::Rng new_rng(5);
-  const auto via_ctx =
-      core::MatchOptimizer(f.eval, params).run(SolverContext(new_rng));
-  EXPECT_EQ(via_old.best_mapping, via_ctx.best_mapping);
-  EXPECT_EQ(via_old.best_cost, via_ctx.best_cost);
-  EXPECT_EQ(via_old.iterations, via_ctx.iterations);
-}
+template <typename Opt>
+concept HasRunRng = requires(Opt opt, rng::Rng rng) { opt.run(rng); };
 
-TEST(LegacyApi, SetShouldStopStillCancels) {
-  Fixture f(10, 1);
-  core::MatchOptimizer opt(f.eval);
-  opt.set_should_stop([] { return true; });
-  rng::Rng rng(2);
-  const auto r = opt.run(rng);
-  EXPECT_TRUE(r.cancelled);
-  EXPECT_TRUE(r.best_mapping.is_permutation());
-}
+template <typename Opt>
+concept HasSetShouldStop =
+    requires(Opt opt, match::StopFn stop) { opt.set_should_stop(stop); };
 
-TEST(LegacyApi, ContextStopHookWinsOverDeprecatedMember) {
-  Fixture f(10, 1);
-  core::MatchParams params;
-  params.max_iterations = 5;
-  core::MatchOptimizer opt(f.eval, params);
-  opt.set_should_stop([] { return true; });
-  rng::Rng rng(2);
-  // A present-but-never-firing context hook overrides the member hook.
-  const auto r = opt.run(SolverContext(rng, [] { return false; }));
-  EXPECT_FALSE(r.cancelled);
-}
+static_assert(!HasRunRng<core::MatchOptimizer>,
+              "MatchOptimizer::run(rng) was retired; use run(SolverContext)");
+static_assert(!HasRunRng<core::GeneralMatchOptimizer>);
+static_assert(!HasRunRng<core::IslandMatchOptimizer>);
+static_assert(!HasRunRng<baselines::GaOptimizer>);
+static_assert(!HasSetShouldStop<core::MatchOptimizer>,
+              "set_should_stop was retired; pass the hook via SolverContext");
+static_assert(!HasSetShouldStop<baselines::GaOptimizer>);
 
-/// Minimal CE problem (maximize the number of set bits) for exercising
-/// the run_ce forwarders without dragging in a mapping instance.
-class BitProblem {
- public:
+/// Minimal CE problem for probing the run_ce surface.
+struct BitProblem {
   using Sample = std::vector<char>;
-
   Sample draw(rng::Rng& rng) const {
-    Sample s(6);
-    for (std::size_t i = 0; i < s.size(); ++i) {
-      s[i] = rng.bernoulli(p_[i]) ? 1 : 0;
-    }
+    Sample s(4);
+    for (auto& b : s) b = rng.bernoulli(0.5) ? 1 : 0;
     return s;
   }
-
   double cost(const Sample& s) const {
     double ones = 0.0;
     for (char b : s) ones += b;
     return static_cast<double>(s.size()) - ones;
   }
-
-  void update(const std::vector<const Sample*>& elites, double zeta) {
-    if (elites.empty()) return;
-    for (std::size_t i = 0; i < p_.size(); ++i) {
-      double freq = 0.0;
-      for (const Sample* s : elites) freq += (*s)[i];
-      p_[i] = zeta * (freq / static_cast<double>(elites.size())) +
-              (1.0 - zeta) * p_[i];
-    }
-  }
-
-  bool degenerate(double eps) const {
-    for (double p : p_) {
-      if (p > eps && p < 1.0 - eps) return false;
-    }
-    return true;
-  }
-
- private:
-  std::vector<double> p_ = std::vector<double>(6, 0.5);
+  void update(const std::vector<const Sample*>&, double) {}
+  bool degenerate(double) const { return false; }
 };
 
-TEST(LegacyApi, RunCeRngAndStopFnForwarders) {
-  core::CeDriverParams params;
-  params.sample_size = 24;
-  params.max_iterations = 10;
+template <typename Problem>
+concept HasRunCeRng = requires(Problem problem, core::CeDriverParams params,
+                               rng::Rng rng) {
+  core::run_ce(problem, params, rng);
+};
 
-  BitProblem old_problem;
-  rng::Rng old_rng(4);
-  const auto via_old = core::run_ce(old_problem, params, old_rng);
+template <typename Problem>
+concept HasRunCeRngStop =
+    requires(Problem problem, core::CeDriverParams params, rng::Rng rng,
+             match::StopFn stop) { core::run_ce(problem, params, rng, stop); };
 
-  BitProblem new_problem;
-  rng::Rng new_rng(4);
-  const auto via_ctx =
-      core::run_ce(new_problem, params, SolverContext(new_rng));
-  EXPECT_EQ(via_old.best, via_ctx.best);
-  EXPECT_EQ(via_old.best_cost, via_ctx.best_cost);
-  EXPECT_EQ(via_old.iterations, via_ctx.iterations);
+static_assert(!HasRunCeRng<BitProblem>,
+              "run_ce(problem, params, rng) was retired");
+static_assert(!HasRunCeRngStop<BitProblem>);
 
-  // The 4-arg (rng, stop) forwarder still cancels.
-  BitProblem cancelled_problem;
-  rng::Rng rng(4);
-  const auto r =
-      core::run_ce(cancelled_problem, params, rng, [] { return true; });
+// Requires-expressions with invalid operands are a hard error outside a
+// template, so each free-function probe is a (trivially instantiated)
+// concept like the member probes above.
+template <typename E>
+concept HasRandomSearchRng = requires(const E& eval, rng::Rng rng) {
+  baselines::random_search(eval, std::size_t{10}, rng);
+};
+template <typename E>
+concept HasHillClimbRng = requires(const E& eval, rng::Rng rng) {
+  baselines::hill_climb(eval, std::size_t{10}, rng);
+};
+template <typename E>
+concept HasSimulatedAnnealingRng =
+    requires(const E& eval, baselines::SaParams params, rng::Rng rng) {
+      baselines::simulated_annealing(eval, params, rng);
+    };
+template <typename E>
+concept HasRematchRng = requires(const E& eval, const sim::Mapping& m,
+                                 core::RematchParams params, rng::Rng rng) {
+  core::rematch(eval, m, params, rng);
+};
+template <typename S>
+concept HasSolveStopFn =
+    requires(const S& solver, const workload::Instance& inst,
+             const service::SolveOptions& options, const match::StopFn& stop) {
+      solver.solve(inst, options, stop);
+    };
+
+using Eval = sim::CostEvaluator;
+
+static_assert(!HasRandomSearchRng<Eval>,
+              "random_search(eval, budget, rng) was retired");
+static_assert(!HasHillClimbRng<Eval>);
+static_assert(!HasSimulatedAnnealingRng<Eval>);
+static_assert(!HasRematchRng<Eval>,
+              "rematch(eval, mapping, params, rng) was retired");
+static_assert(!HasSolveStopFn<service::Solver>,
+              "Solver::solve(instance, options, StopFn) was retired");
+
+// --- And the one-true signature still works end to end. -----------------
+
+TEST(LegacyApi, SolverContextIsTheOnlyEntryPoint) {
+  Fixture f(10, 1);
+  core::MatchParams params;
+  params.max_iterations = 15;
+
+  rng::Rng rng(5);
+  const auto r = core::MatchOptimizer(f.eval, params).run(SolverContext(rng));
+  EXPECT_TRUE(r.best_mapping.is_permutation());
+  EXPECT_EQ(r.best_cost, f.eval.makespan(r.best_mapping));
+
+  // Determinism: the same seed through a fresh context reproduces the run.
+  rng::Rng rng2(5);
+  const auto r2 = core::MatchOptimizer(f.eval, params).run(SolverContext(rng2));
+  EXPECT_EQ(r.best_mapping, r2.best_mapping);
+  EXPECT_EQ(r.best_cost, r2.best_cost);
+  EXPECT_EQ(r.iterations, r2.iterations);
+}
+
+TEST(LegacyApi, ContextStopHookCancels) {
+  Fixture f(10, 1);
+  core::MatchOptimizer opt(f.eval);
+  rng::Rng rng(2);
+  const auto r = opt.run(SolverContext(rng, [] { return true; }));
   EXPECT_TRUE(r.cancelled);
-  EXPECT_EQ(r.iterations, 0u);
+  EXPECT_TRUE(r.best_mapping.is_permutation());
 }
 
-TEST(LegacyApi, GaOptimizerRunRngMatchesContextRun) {
-  Fixture f(8, 2);
-  baselines::GaParams params;
-  params.population = 24;
-  params.generations = 10;
-
-  rng::Rng old_rng(6);
-  const auto via_old = baselines::GaOptimizer(f.eval, params).run(old_rng);
-  rng::Rng new_rng(6);
-  const auto via_ctx =
-      baselines::GaOptimizer(f.eval, params).run(SolverContext(new_rng));
-  EXPECT_EQ(via_old.best_mapping, via_ctx.best_mapping);
-  EXPECT_EQ(via_old.best_cost, via_ctx.best_cost);
-  EXPECT_EQ(via_old.generations, via_ctx.generations);
-  EXPECT_EQ(via_ctx.iterations, via_ctx.generations);
-}
-
-TEST(LegacyApi, IslandRunRngMatchesContextRun) {
-  Fixture f(8, 4);
-  core::IslandParams params;
-  params.islands = 2;
-  params.max_epochs = 3;
-
-  rng::Rng old_rng(7);
-  const auto via_old =
-      core::IslandMatchOptimizer(f.eval, params).run(old_rng);
-  rng::Rng new_rng(7);
-  const auto via_ctx =
-      core::IslandMatchOptimizer(f.eval, params).run(SolverContext(new_rng));
-  EXPECT_EQ(via_old.best_mapping, via_ctx.best_mapping);
-  EXPECT_EQ(via_old.best_cost, via_ctx.best_cost);
-  EXPECT_EQ(via_old.epochs, via_ctx.epochs);
-}
-
-TEST(LegacyApi, GeneralMatchRunRngMatchesContextRun) {
-  Fixture f(9, 5);
-  core::GeneralMatchParams params;
-  params.max_iterations = 10;
-
-  rng::Rng old_rng(8);
-  const auto via_old =
-      core::GeneralMatchOptimizer(f.eval, params).run(old_rng);
-  rng::Rng new_rng(8);
-  const auto via_ctx =
-      core::GeneralMatchOptimizer(f.eval, params).run(SolverContext(new_rng));
-  EXPECT_EQ(via_old.best_mapping, via_ctx.best_mapping);
-  EXPECT_EQ(via_old.best_cost, via_ctx.best_cost);
-}
-
-TEST(LegacyApi, RematchRngForwarder) {
-  Fixture f(10, 6);
-  rng::Rng seed_rng(9);
-  const auto incumbent =
-      core::MatchOptimizer(f.eval).run(SolverContext(seed_rng));
-
-  core::RematchParams params;
-  rng::Rng old_rng(10);
-  const auto via_old =
-      core::rematch(f.eval, incumbent.best_mapping, params, old_rng);
-  rng::Rng new_rng(10);
-  const auto via_ctx = core::rematch(f.eval, incumbent.best_mapping, params,
-                                     SolverContext(new_rng));
-  EXPECT_EQ(via_old.best_mapping, via_ctx.best_mapping);
-  EXPECT_EQ(via_old.best_cost, via_ctx.best_cost);
-}
-
-TEST(LegacyApi, LocalSearchRngForwarders) {
-  Fixture f(10, 7);
-
-  rng::Rng o1(11), n1(11);
-  EXPECT_EQ(baselines::random_search(f.eval, 50, o1).best_cost,
-            baselines::random_search(f.eval, 50, SolverContext(n1)).best_cost);
-
-  rng::Rng o2(12), n2(12);
-  EXPECT_EQ(baselines::hill_climb(f.eval, 500, o2).best_cost,
-            baselines::hill_climb(f.eval, 500, SolverContext(n2)).best_cost);
-
-  baselines::SaParams sa;
-  sa.steps = 500;
-  rng::Rng o3(13), n3(13);
-  EXPECT_EQ(
-      baselines::simulated_annealing(f.eval, sa, o3).best_cost,
-      baselines::simulated_annealing(f.eval, sa, SolverContext(n3)).best_cost);
-}
-
-TEST(LegacyApi, ServiceSolveStopFnForwarder) {
-  const auto inst = std::make_shared<workload::Instance>(Fixture::make(8, 8));
+TEST(LegacyApi, ServiceSolveTakesContext) {
+  const auto inst = Fixture::make(8, 8);
   service::SolverRegistry registry;
   service::SolveOptions options;
   options.max_iterations = 10;
 
-  const auto via_old = registry.get(service::SolverKind::kMatch)
-                           .solve(*inst, options, match::StopFn{});
-  const auto via_ctx = registry.get(service::SolverKind::kMatch)
-                           .solve(*inst, options, SolverContext());
-  EXPECT_EQ(via_old.mapping, via_ctx.mapping);
-  EXPECT_EQ(via_old.best_cost, via_ctx.best_cost);
+  const auto outcome = registry.get(service::SolverKind::kMatch)
+                           .solve(inst, options, SolverContext());
+  EXPECT_TRUE(outcome.mapping.is_permutation());
 
-  // And the stop hook still cancels through the forwarder.
-  const auto cancelled =
-      registry.get(service::SolverKind::kMatch)
-          .solve(*inst, options, match::StopFn([] { return true; }));
+  SolverContext cancelled_ctx;
+  cancelled_ctx.with_stop([] { return true; });
+  const auto cancelled = registry.get(service::SolverKind::kMatch)
+                             .solve(inst, options, cancelled_ctx);
   EXPECT_TRUE(cancelled.cancelled);
   EXPECT_TRUE(cancelled.mapping.is_permutation());
 }

@@ -4,20 +4,24 @@
 // override would otherwise leak into unrelated suites.
 //
 // The contract under test: after a warm-up draw, GenPermSampler (both
-// backends), RowAliasTables::build, and the scratch overload of
-// CostEvaluator::makespan perform no heap allocation, and a serially
-// reused ScratchPool creates exactly one state.
+// backends), RowAliasTables::build, the scratch overload of
+// CostEvaluator::makespan, and the SoA SampleBlock → BatchEvaluator
+// pipeline perform no heap allocation, and a serially reused ScratchPool
+// creates exactly one state.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <cstdlib>
+#include <limits>
 #include <new>
 #include <vector>
 
 #include "core/genperm.hpp"
 #include "core/stochastic_matrix.hpp"
+#include "parallel/parallel_for.hpp"
 #include "parallel/scratch.hpp"
+#include "sim/batch_eval.hpp"
 #include "sim/evaluator.hpp"
 #include "workload/paper_suite.hpp"
 
@@ -93,6 +97,57 @@ TEST(SamplerAlloc, WarmDrawAndMakespanAreAllocationFree) {
   EXPECT_EQ(after, before) << "hot loop allocated " << (after - before)
                            << " times";
   EXPECT_GT(sink, 0.0);  // defeat dead-code elimination
+}
+
+TEST(SamplerAlloc, SoaBatchEvaluateIsAllocationFreeWhenWarm) {
+  constexpr std::size_t kN = 24;
+  constexpr std::size_t kBatch = 64;
+  rng::Rng setup(321);
+  workload::PaperParams wp;
+  wp.n = kN;
+  const auto inst = workload::make_paper_instance(wp, setup);
+  const auto platform = inst.make_platform();
+  const sim::CostEvaluator eval(inst.tig, platform);
+
+  // The steady-state CE iteration: draw into a reused SampleBlock,
+  // evaluate the whole block through one BatchEvaluator.  Serial so the
+  // single warmed scratch state serves every chunk.
+  parallel::ForOptions serial;
+  serial.serial_cutoff = std::numeric_limits<std::size_t>::max();
+
+  const auto p = skewed(kN);
+  GenPermSampler sampler(kN);
+  std::vector<graph::NodeId> row(kN);
+  std::vector<double> costs(kBatch);
+  rng::Rng rng(7);
+
+  sim::SampleBlock block(kN, kBatch);
+  sim::BatchEvaluator batch_eval(eval);  // kAuto: exercises the host's
+                                         // widest compiled-in backend
+
+  // Warm-up: first evaluate leases (creates) the scratch state and sizes
+  // its row/load/spill buffers to capacity.
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    sampler.sample(p, rng, row);
+    block.store_sample(i, row);
+  }
+  batch_eval.evaluate(block, costs, serial);
+
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  double sink = 0.0;
+  for (int iter = 0; iter < 20; ++iter) {
+    for (std::size_t i = 0; i < kBatch; ++i) {
+      sampler.sample(p, rng, row);
+      block.store_sample(i, row);
+    }
+    batch_eval.evaluate(block, costs, serial);
+    sink += costs[0];
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+
+  EXPECT_EQ(after, before) << "warm SoA batch evaluation allocated "
+                           << (after - before) << " times";
+  EXPECT_GT(sink, 0.0);
 }
 
 TEST(SamplerAlloc, ScratchPoolReusesOneStateSerially) {
