@@ -46,7 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "bench_report.hpp"
+#include "obs/bench_report.hpp"
 #include "io/table.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"

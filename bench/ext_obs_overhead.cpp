@@ -1,14 +1,17 @@
 // Extension bench: telemetry overhead of the obs subsystem on the
 // paper's fig. 7 workloads.  Runs identical MatchOptimizer solves under
-// three arms — no observer (disarmed probe, fused sampling loop), a
-// NullSink + metrics registry, and a JsonlSink streaming every event to
-// a file — and reports the wall-clock overhead of each instrumented arm
-// against the uninstrumented baseline.
+// four arms — no observer (disarmed probe, fused sampling loop), a
+// NullSink + metrics registry, a JsonlSink streaming every event to a
+// file, and a span flight recorder stamping a per-solve SpanTimeline —
+// and reports the wall-clock overhead of each instrumented arm against
+// the uninstrumented baseline.
 //
 // Acceptance: the JSONL arm stays within a 2% budget of the NullSink
-// arm (serialization + file I/O is the marginal cost of tracing), and
-// all three arms produce bit-identical best costs (attaching telemetry
-// must not perturb the RNG stream).
+// arm (serialization + file I/O is the marginal cost of tracing), the
+// spans arm within 2% of the uninstrumented baseline (the per-request
+// stamp/finalize/record pattern the network server performs), and all
+// arms produce bit-identical best costs (attaching telemetry must not
+// perturb the RNG stream).
 
 #include <algorithm>
 #include <chrono>
@@ -19,12 +22,13 @@
 #include <iostream>
 #include <vector>
 
-#include "bench_report.hpp"
+#include "obs/bench_report.hpp"
 #include "core/matchalgo.hpp"
 #include "core/solver_context.hpp"
 #include "io/table.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "workload/paper_suite.hpp"
 
 namespace {
@@ -32,6 +36,9 @@ namespace {
 struct Arm {
   const char* name;
   std::function<match::SolverContext()> make_ctx;
+  /// Non-null: wrap every solve in the per-request span pattern the
+  /// network server performs (start → stamp → finalize → record).
+  match::obs::FlightRecorder* recorder = nullptr;
   std::vector<double> trial_seconds;
   std::vector<double> costs;  ///< best cost per rep (first trial)
 
@@ -53,8 +60,24 @@ void run_trial(Arm& arm, const match::sim::CostEvaluator& eval,
     match::rng::Rng rng(100 + rep);
     match::SolverContext ctx = arm.make_ctx();
     ctx.with_rng(rng).with_run_id(rep + 1);
-    const auto r = opt.run(ctx);
-    if (first_trial) arm.costs.push_back(r.best_cost);
+    if (arm.recorder != nullptr) {
+      // The traced-request hot path: one timeline per solve, stamped
+      // from timestamps the caller takes anyway, sealed into the
+      // recorder.  No sink, no metrics — isolates the span cost.
+      match::obs::SpanTimeline tl;
+      const auto started = match::obs::SpanClock::now();
+      tl.start(rep + 1, started);
+      ctx.with_span(&tl);
+      const auto r = opt.run(ctx);
+      const auto done = match::obs::SpanClock::now();
+      tl.stamp(match::obs::SpanStage::kSolve, started, done, "solver");
+      tl.finalize("net.served", done);
+      arm.recorder->record(std::move(tl));
+      if (first_trial) arm.costs.push_back(r.best_cost);
+    } else {
+      const auto r = opt.run(ctx);
+      if (first_trial) arm.costs.push_back(r.best_cost);
+    }
   }
   arm.trial_seconds.push_back(std::chrono::duration<double>(
                                   std::chrono::steady_clock::now() - t0)
@@ -111,21 +134,26 @@ int main(int argc, char** argv) {
   // Arm 2: NullSink + metrics — every event is built and every phase is
   // timed, then discarded; isolates instrumentation cost from I/O.
   // Arm 3: JsonlSink streaming to a file — the realistic tracing setup.
+  // Arm 4: span flight recorder — no sink, no metrics; each solve is
+  // wrapped in the start/stamp/finalize/record pattern MatchServer
+  // performs per traced request.
   match::obs::NullSink null_sink;
   match::obs::MetricsRegistry null_metrics;
   const char* trace_path = "ext_obs_overhead.trace.jsonl";
   std::ofstream trace_file(trace_path);
   match::obs::JsonlSink jsonl(trace_file);
   match::obs::MetricsRegistry jsonl_metrics;
+  match::obs::FlightRecorder recorder;
 
-  Arm arms[3] = {
-      {"no observer", [] { return match::SolverContext(); }, {}, {}},
+  Arm arms[4] = {
+      {"no observer", [] { return match::SolverContext(); }, nullptr, {}, {}},
       {"NullSink + metrics",
        [&] {
          match::SolverContext ctx;
          ctx.with_sink(&null_sink).with_metrics(&null_metrics);
          return ctx;
        },
+       nullptr,
        {},
        {}},
       {"JsonlSink (file)",
@@ -134,8 +162,11 @@ int main(int argc, char** argv) {
          ctx.with_sink(&jsonl).with_metrics(&jsonl_metrics);
          return ctx;
        },
+       nullptr,
        {},
        {}},
+      {"spans (flight recorder)", [] { return match::SolverContext(); },
+       &recorder, {}, {}},
   };
 
   // Trials interleave round-robin across the arms so slow drift in the
@@ -153,17 +184,19 @@ int main(int argc, char** argv) {
 
   Table table({"arm", "best time (s)", "overhead vs no observer"});
   table.add_row({base.name, Table::num(base.best_seconds(), 4), "-"});
-  for (std::size_t a = 1; a < 3; ++a) {
+  for (std::size_t a = 1; a < 4; ++a) {
     table.add_row({arms[a].name, Table::num(arms[a].best_seconds(), 4),
                    Table::num(overhead_pct(arms[a], base), 2) + "%"});
   }
   table.print(std::cout);
   std::cout << "\ntraced " << jsonl.emitted() << " events to " << trace_path
-            << "\n";
+            << "\nrecorded " << recorder.recorded()
+            << " span timelines in the flight recorder\n";
 
   // Telemetry must be a pure observer: identical costs across all arms.
-  const bool identical =
-      base.costs == arms[1].costs && base.costs == arms[2].costs;
+  const bool identical = base.costs == arms[1].costs &&
+                         base.costs == arms[2].costs &&
+                         base.costs == arms[3].costs;
   std::cout << "determinism: best costs identical across all arms: "
             << (identical ? "yes" : "NO") << "\n";
 
@@ -175,7 +208,16 @@ int main(int argc, char** argv) {
   std::cout << "overhead budget: JSONL vs null sink " << Table::num(jsonl_over, 2)
             << "% < 2%: " << (under_budget ? "yes" : "NO") << "\n";
 
-  // Machine-readable perf point: the three arms plus the JSONL arm's
+  // Span tracing is budgeted against the *uninstrumented* baseline:
+  // unlike the event arms it adds nothing inside the solver loop, only
+  // per-request stamps around it, so the whole cost must be marginal.
+  const double spans_over = overhead_pct(arms[3], base);
+  const bool spans_under_budget = spans_over < 2.0;
+  std::cout << "overhead budget: spans vs no observer "
+            << Table::num(spans_over, 2)
+            << "% < 2%: " << (spans_under_budget ? "yes" : "NO") << "\n";
+
+  // Machine-readable perf point: the four arms plus the JSONL arm's
   // solver metrics snapshot, appended to the repo's BENCH_* trajectory.
   match::bench::BenchReport report;
   report.name = "ext_obs_overhead";
@@ -191,12 +233,15 @@ int main(int argc, char** argv) {
     c.metrics["overhead_vs_baseline_pct"] = overhead_pct(arm, base);
     report.cases.push_back(std::move(c));
   }
-  report.cases.back().metrics["jsonl_vs_null_pct"] = jsonl_over;
-  report.cases.back().metrics["events_traced"] =
+  report.cases[2].metrics["jsonl_vs_null_pct"] = jsonl_over;
+  report.cases[2].metrics["events_traced"] =
       static_cast<double>(jsonl.emitted());
+  report.cases.back().metrics["spans_vs_baseline_pct"] = spans_over;
+  report.cases.back().metrics["timelines_recorded"] =
+      static_cast<double>(recorder.recorded());
   report.attach_snapshot(jsonl_metrics.snapshot());
   std::cout << "bench json: " << report.write() << "\n";
 
   std::remove(trace_path);
-  return (identical && under_budget) ? 0 : 1;
+  return (identical && under_budget && spans_under_budget) ? 0 : 1;
 }

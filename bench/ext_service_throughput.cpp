@@ -16,7 +16,7 @@
 #include <thread>
 #include <vector>
 
-#include "bench_report.hpp"
+#include "obs/bench_report.hpp"
 #include "io/run_record.hpp"
 #include "io/table.hpp"
 #include "obs/metrics.hpp"

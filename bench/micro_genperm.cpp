@@ -21,7 +21,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_report.hpp"
+#include "obs/bench_report.hpp"
 #include "core/genperm.hpp"
 #include "core/matchalgo.hpp"
 #include "core/stochastic_matrix.hpp"

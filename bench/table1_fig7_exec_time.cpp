@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <iostream>
 
-#include "bench_report.hpp"
+#include "obs/bench_report.hpp"
 #include "io/ascii_chart.hpp"
 #include "io/table.hpp"
 #include "sweep.hpp"

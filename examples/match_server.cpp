@@ -29,7 +29,11 @@
 // (0 = ephemeral, printed as `listening on 127.0.0.1:<port>`) and
 // serves the binary wire protocol (docs/NETWORKING.md) until SIGINT/
 // SIGTERM or `--serve-seconds S` elapses.  `bench/ext_net_loadgen` is
-// the matching client.
+// the matching client.  Listen mode always runs a span flight recorder
+// (obs/spans.hpp): the last-N plus all-slow request timelines are
+// dumpable at `/debug/requests` on the metrics exporter, and
+// `--span-trace out.jsonl` streams every sealed timeline to a JSONL
+// file for `match_inspect spans`.
 
 #include <atomic>
 #include <chrono>
@@ -50,6 +54,7 @@
 #include "obs/events.hpp"
 #include "obs/http_exposer.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/spans.hpp"
 #include "service/service.hpp"
 #include "sim/evaluator.hpp"
 #include "sim/platform.hpp"
@@ -250,10 +255,12 @@ extern "C" void handle_stop_signal(int) { g_stop.store(true); }
 /// `--listen` mode: serve the wire protocol until a signal or the time
 /// budget, then print the admission accounting.
 int run_listen_mode(MappingService& service, int listen_port,
-                    double serve_seconds, match::obs::EventSink* sink) {
+                    double serve_seconds, match::obs::EventSink* sink,
+                    match::obs::FlightRecorder& recorder) {
   match::net::ServerConfig config;
   config.port = static_cast<std::uint16_t>(listen_port);
   config.sink = sink;
+  config.recorder = &recorder;
   match::net::MatchServer server(service, config);
   std::cout << "listening on 127.0.0.1:" << server.port() << std::endl;
 
@@ -289,6 +296,8 @@ int run_listen_mode(MappingService& service, int listen_port,
   const bool balanced = c.requests == c.terminal();
   std::cout << "requests == served + shed + rejected + errors: "
             << (balanced ? "yes" : "NO") << "\n";
+  std::cout << "spans: " << recorder.recorded() << " timeline(s) recorded, "
+            << recorder.dropped() << " evicted\n";
   return balanced ? 0 : 1;
 }
 
@@ -302,6 +311,7 @@ int main(int argc, char** argv) {
   double linger_seconds = 0.0;
   int listen_port = -1;  // -1 = audit mode; 0 = serve on ephemeral port
   double serve_seconds = 0.0;  // 0 = until SIGINT/SIGTERM
+  const char* span_trace_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       count = 120;
@@ -309,6 +319,8 @@ int main(int argc, char** argv) {
       count = 2000;
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--span-trace") == 0 && i + 1 < argc) {
+      span_trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--metrics-port") == 0 && i + 1 < argc) {
       metrics_port = std::atoi(argv[++i]);
       if (metrics_port < 0 || metrics_port > 65535) {
@@ -329,9 +341,15 @@ int main(int argc, char** argv) {
       std::cerr << "usage: " << argv[0]
                 << " [--quick|--full] [--trace out.jsonl]"
                 << " [--metrics-port N] [--linger S]"
-                << " [--listen PORT [--serve-seconds S]]\n";
+                << " [--listen PORT [--serve-seconds S]"
+                << " [--span-trace spans.jsonl]]\n";
       return 2;
     }
+  }
+  if (span_trace_path != nullptr && listen_port < 0) {
+    std::cerr << "--span-trace requires --listen (spans are stamped by the "
+                 "network server)\n";
+    return 2;
   }
 
   const auto templates = make_templates(8);
@@ -385,8 +403,38 @@ int main(int argc, char** argv) {
   }
 
   if (listen_port >= 0) {
-    const int rc = run_listen_mode(service, listen_port, serve_seconds, sink);
+    // The flight recorder always runs in listen mode: the retention cost
+    // is bounded and `/debug/requests` should answer during an incident,
+    // not only when tracing was preconfigured.
+    match::obs::FlightRecorder recorder;
+    std::ofstream span_file;
+    if (span_trace_path != nullptr) {
+      span_file.open(span_trace_path);
+      if (!span_file) {
+        std::cerr << "cannot open span trace file: " << span_trace_path
+                  << "\n";
+        return 2;
+      }
+      recorder.attach_stream(&span_file);
+      std::cout << "span trace: streaming timelines to " << span_trace_path
+                << "\n";
+    }
+    if (exposer) {
+      exposer->add_route("/debug/requests", [&recorder] {
+        return match::obs::render_debug_requests(recorder);
+      });
+      std::cout << "debug: http://127.0.0.1:" << exposer->port()
+                << "/debug/requests\n";
+    }
+    const int rc = run_listen_mode(service, listen_port, serve_seconds, sink,
+                                   recorder);
     service.shutdown();
+    if (span_trace_path != nullptr) {
+      recorder.flush_stream();
+      recorder.attach_stream(nullptr);  // detach before span_file dies
+      std::cout << "span trace: " << recorder.recorded()
+                << " timeline(s) written to " << span_trace_path << "\n";
+    }
     if (trace_path != nullptr) {
       jsonl->flush();
       std::cout << "trace: " << jsonl->emitted() << " events written to "

@@ -39,6 +39,10 @@ namespace parallel {
 class ThreadPool;
 }
 
+namespace obs {
+struct SpanTimeline;
+}
+
 class SolverContext {
  public:
   SolverContext() = default;
@@ -76,6 +80,12 @@ class SolverContext {
     run_id_ = run_id;
     return *this;
   }
+  /// Attaches the request's span timeline (single-writer: the worker
+  /// thread running the solver owns it for the duration of the call).
+  SolverContext& with_span(obs::SpanTimeline* span) {
+    span_ = span;
+    return *this;
+  }
 
   // -- Accessors. --
   bool has_rng() const { return rng_ != nullptr; }
@@ -98,6 +108,7 @@ class SolverContext {
   obs::MetricsRegistry* metrics() const { return metrics_; }
   parallel::ThreadPool* pool() const { return pool_; }
   std::uint64_t run_id() const { return run_id_; }
+  obs::SpanTimeline* span() const { return span_; }
 
   /// True when an event sink is attached (solvers may restructure loops
   /// for phase timing only in this case).
@@ -115,6 +126,7 @@ class SolverContext {
   obs::MetricsRegistry* metrics_ = nullptr;
   parallel::ThreadPool* pool_ = nullptr;
   std::uint64_t run_id_ = 0;
+  obs::SpanTimeline* span_ = nullptr;
 };
 
 }  // namespace match

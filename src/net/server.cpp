@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <utility>
 
+#include "obs/spans.hpp"
 #include "service/instance_cache.hpp"
 
 namespace match::net {
@@ -68,6 +69,27 @@ const char* status_counter(Status status) {
   }
   return "net.served";
 }
+
+/// Admission-span outcome tag for a refused request.
+const char* admission_outcome(Status status) {
+  switch (status) {
+    case Status::kShed:
+      return "shed";
+    case Status::kRejectedDeadline:
+      return "rejected_deadline";
+    case Status::kBadRequest:
+      return "bad_request";
+    case Status::kUnknownInstance:
+      return "unknown_instance";
+    case Status::kServerError:
+    case Status::kOk:
+      break;
+  }
+  return "admitted";
+}
+
+/// Gauge sampling period for the reactor saturation telemetry.
+constexpr double kGaugeSampleSeconds = 0.25;
 
 }  // namespace
 
@@ -139,9 +161,19 @@ std::size_t MatchServer::connections() const {
 
 void MatchServer::run() {
   std::vector<EventLoop::Ready> ready;
+  // Saturation telemetry: resolve the metric references once — the loop
+  // body must not pay a registry lookup per iteration.
+  obs::Histogram& iteration_hist =
+      metrics_.histogram("net.reactor.iteration_seconds");
+  obs::Gauge& pending_gauge = metrics_.gauge("net.reactor.pending_requests");
+  obs::Gauge& connections_gauge = metrics_.gauge("net.reactor.connections");
+  obs::Gauge& queue_depth_gauge = metrics_.gauge("service.queue_depth");
+  obs::Gauge& in_flight_gauge = metrics_.gauge("service.in_flight");
+  Clock::time_point last_sample = Clock::now();
   while (!stopping_.load(std::memory_order_relaxed)) {
     try {
       loop_.wait(kTickMs, ready);
+      const Clock::time_point iteration_start = Clock::now();
       // Ready entries were collected at wait() time: a connection
       // accepted later in this iteration can reuse the fd of one that
       // drain_outbox or an earlier event closed, and a stale entry for
@@ -175,6 +207,18 @@ void MatchServer::run() {
         }
       }
       sweep_idle();
+      // Iteration latency excludes the wait itself: a loop that sleeps
+      // 50 ms idle is healthy; one that *works* 50 ms per wakeup is
+      // saturated.
+      const Clock::time_point iteration_end = Clock::now();
+      iteration_hist.observe(seconds_between(iteration_start, iteration_end));
+      if (seconds_between(last_sample, iteration_end) >= kGaugeSampleSeconds) {
+        last_sample = iteration_end;
+        pending_gauge.set(static_cast<double>(pending_));
+        connections_gauge.set(static_cast<double>(conns_.size()));
+        queue_depth_gauge.set(static_cast<double>(service_.queue_depth()));
+        in_flight_gauge.set(static_cast<double>(service_.in_flight()));
+      }
     } catch (const std::exception&) {
       // A transient kernel refusal (epoll_ctl/poll ENOMEM, ...) must
       // not unwind the reactor thread — an escaped exception would
@@ -245,6 +289,10 @@ void MatchServer::close_connection(Connection& conn, const char* counter) {
 bool MatchServer::handle_readable(int fd) {
   const auto it = conns_.find(fd);
   if (it == conns_.end()) return false;
+  // Accept-span origin for every frame decoded from this read burst
+  // (pipelined frames share it: each span reads "readiness → my decode
+  // started", which for frame N includes its wait behind frames 1..N-1).
+  if (tracing()) read_started_ = Clock::now();
   Connection& conn = it->second;  // stable: nothing closes in the recv loop
   bool eof = false;
   char buf[kRecvChunk];
@@ -365,10 +413,29 @@ void MatchServer::finish(Status status, std::uint64_t request_id,
   }
 }
 
+void MatchServer::seal_timeline(std::shared_ptr<obs::SpanTimeline> timeline,
+                                Status status, bool deadline_missed) {
+  if (timeline == nullptr || config_.recorder == nullptr) return;
+  timeline->finalize(event_action(status, deadline_missed), Clock::now());
+  config_.recorder->record(std::move(*timeline));
+}
+
 void MatchServer::handle_request(Connection& conn, const FrameHeader& header,
                                  std::string_view payload) {
   metrics_.counter("net.requests").add();
   const Clock::time_point arrived_at = Clock::now();
+
+  // Span timeline for this request.  Stamping discipline: the reactor
+  // stamps accept/decode/admission here, hands ownership to the worker
+  // through `request.timeline` + the callback closure, and stamps
+  // encode/write_flush in respond() when the completion comes back.
+  // Refusals are stamped and sealed entirely on this thread.
+  std::shared_ptr<obs::SpanTimeline> tl;
+  if (tracing()) {
+    tl = std::make_shared<obs::SpanTimeline>();
+    tl->start(header.request_id, read_started_);
+    tl->stamp(obs::SpanStage::kAccept, read_started_, arrived_at);
+  }
 
   WireResponse reply;
   reply.request_id = header.request_id;
@@ -379,9 +446,14 @@ void MatchServer::handle_request(Connection& conn, const FrameHeader& header,
   } catch (const WireError& e) {
     reply.status = Status::kBadRequest;
     reply.error = e.what();
+    if (tl) {
+      tl->stamp(obs::SpanStage::kDecode, arrived_at, Clock::now(),
+                "bad_request");
+    }
     finish(reply.status, header.request_id, service::SolverKind::kMatch,
            arrived_at, false);
-    respond(conn, reply);
+    respond(conn, reply, tl.get());
+    seal_timeline(std::move(tl), reply.status, false);
     return;
   } catch (const std::exception&) {
     // Defense in depth: a decoder allocation failure (bad_alloc on a
@@ -389,19 +461,44 @@ void MatchServer::handle_request(Connection& conn, const FrameHeader& header,
     // request, not an exception unwinding the reactor thread.
     reply.status = Status::kBadRequest;
     reply.error = "request payload could not be decoded";
+    if (tl) {
+      tl->stamp(obs::SpanStage::kDecode, arrived_at, Clock::now(),
+                "bad_request");
+    }
     finish(reply.status, header.request_id, service::SolverKind::kMatch,
            arrived_at, false);
-    respond(conn, reply);
+    respond(conn, reply, tl.get());
+    seal_timeline(std::move(tl), reply.status, false);
     return;
   }
   reply.response.solver = request.request.solver;
 
+  Clock::time_point decoded_at = arrived_at;
+  if (tl) {
+    decoded_at = Clock::now();
+    tl->stamp(obs::SpanStage::kDecode, arrived_at, decoded_at);
+  }
+
   const auto refuse = [&](Status status, std::string error) {
     reply.status = status;
     reply.error = std::move(error);
+    // Every refusal is an admission decision; the span covers decode
+    // end → the decision.  When admission was already stamped
+    // "admitted" (the try_submit race below lost), correct the tag
+    // instead of stamping twice.
+    if (tl) {
+      if (tl->find(obs::SpanStage::kAdmission) == nullptr) {
+        tl->stamp(obs::SpanStage::kAdmission, decoded_at, Clock::now(),
+                  admission_outcome(status));
+      } else {
+        tl->set_outcome(obs::SpanStage::kAdmission,
+                        admission_outcome(status));
+      }
+    }
     finish(status, request.request_id, request.request.solver, arrived_at,
            false);
-    respond(conn, reply);
+    respond(conn, reply, tl.get());
+    seal_timeline(std::move(tl), status, false);
   };
 
   // ---- Instance resolution (inline registers, fingerprint looks up). --
@@ -453,12 +550,24 @@ void MatchServer::handle_request(Connection& conn, const FrameHeader& header,
   }
 
   const std::uint64_t conn_id = conn.id;
+  // Admission must be stamped BEFORE try_submit: on success the worker
+  // owns the timeline and the reactor may not touch it until the
+  // completion crosses back through the outbox.  (On failure the
+  // service destroys the Pending — and with it the callback's copy of
+  // the shared_ptr — without ever running it, so `refuse` correcting
+  // the tag above is safe.)
+  if (tl) {
+    tl->stamp(obs::SpanStage::kAdmission, decoded_at, Clock::now(),
+              "admitted");
+    request.request.timeline = tl.get();
+  }
   const bool admitted = service_.try_submit(
       std::move(request.request),
-      [this, conn_id, arrived_at](service::MapResponse&& response) {
+      [this, conn_id, arrived_at, tl](service::MapResponse&& response) {
         Completed done;
         done.conn_id = conn_id;
         done.arrived_at = arrived_at;
+        done.timeline = tl;
         done.response.request_id = response.id;
         done.response.status = Status::kOk;  // re-derived on the reactor
         done.response.response = std::move(response);
@@ -491,28 +600,62 @@ void MatchServer::drain_outbox(bool deliver) {
       reply.status = Status::kServerError;
       reply.error = "solver failed after admission";
     }
+    // Book the decision first — by the time the client holds its
+    // answer the counters must already tell the story — then deliver,
+    // then seal the timeline so the encode/write_flush spans are on it.
     finish(reply.status, reply.request_id, reply.response.solver,
            done.arrived_at, reply.response.deadline_missed);
-    if (!deliver) continue;
-    const auto fd_it = conn_fd_.find(done.conn_id);
-    if (fd_it == conn_fd_.end()) continue;  // client already went away
-    const int fd = fd_it->second;
-    const auto conn_it = conns_.find(fd);
-    if (conn_it == conns_.end()) continue;
-    Connection& conn = conn_it->second;
-    if (conn.inflight > 0) --conn.inflight;
-    respond(conn, reply);  // may close on a write failure — re-look-up
-    maybe_close_half_closed(fd);
+    if (deliver) {
+      const auto fd_it = conn_fd_.find(done.conn_id);
+      if (fd_it != conn_fd_.end()) {  // else: client already went away
+        const int fd = fd_it->second;
+        const auto conn_it = conns_.find(fd);
+        if (conn_it != conns_.end()) {
+          Connection& conn = conn_it->second;
+          if (conn.inflight > 0) --conn.inflight;
+          // May close on a write failure — `conn` is dead afterwards.
+          respond(conn, reply, done.timeline.get());
+          maybe_close_half_closed(fd);
+        }
+      }
+    }
+    seal_timeline(std::move(done.timeline), reply.status,
+                  reply.response.deadline_missed);
   }
 }
 
-void MatchServer::respond(Connection& conn, const WireResponse& response) {
-  conn.out += encode_response(response);
-  if (conn.out.size() - conn.out_written > config_.max_write_buffer) {
-    close_connection(conn, "net.slow_client_closed");
+void MatchServer::respond(Connection& conn, const WireResponse& response,
+                          obs::SpanTimeline* timeline) {
+  if (timeline == nullptr) {
+    conn.out += encode_response(response);
+    if (conn.out.size() - conn.out_written > config_.max_write_buffer) {
+      close_connection(conn, "net.slow_client_closed");
+      return;
+    }
+    flush_writes(conn);
     return;
   }
-  flush_writes(conn);
+
+  const Clock::time_point encode_start = Clock::now();
+  conn.out += encode_response(response);
+  const Clock::time_point encode_end = Clock::now();
+  timeline->stamp(obs::SpanStage::kEncode, encode_start, encode_end);
+  if (conn.out.size() - conn.out_written > config_.max_write_buffer) {
+    close_connection(conn, "net.slow_client_closed");  // kills `conn`
+    timeline->stamp(obs::SpanStage::kWriteFlush, encode_end, encode_end,
+                    "slow_client_closed");
+    return;
+  }
+  const bool alive = flush_writes(conn);  // false: `conn` is dead
+  const Clock::time_point flush_end = Clock::now();
+  const char* outcome = "flushed";
+  if (!alive) {
+    outcome = "connection_closed";
+  } else if (conn.out_written < conn.out.size()) {
+    outcome = "partial";  // EAGAIN: the rest goes out on writability
+  }
+  timeline->stamp(obs::SpanStage::kWriteFlush, encode_end, flush_end,
+                  outcome);
 }
 
 bool MatchServer::flush_writes(Connection& conn) {

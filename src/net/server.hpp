@@ -38,6 +38,23 @@
 // MetricsRegistry, so one /metrics scrape covers the whole stack;
 // overload decisions are also emitted as `net.*` service events on the
 // configured sink for `match_inspect overload`.
+//
+// Span tracing (obs/spans.hpp): when `ServerConfig::recorder` is set,
+// every request carries a `SpanTimeline` stamped at each pipeline stage
+// (accept/decode/admission on the reactor, queue_wait/solve in the
+// service, encode/write_flush back on the reactor) and sealed into the
+// recorder by `finish`.  With no recorder the reactor takes zero extra
+// clock reads and the hot path is byte-identical to the untraced build
+// (pure-observer contract, pinned by tests and the span arm of
+// bench/ext_obs_overhead.cpp).
+//
+// Reactor saturation telemetry, always on: the
+// `net.reactor.iteration_seconds` histogram times each event-loop
+// iteration (wait return → housekeeping done), and every ~250 ms the
+// reactor samples `net.reactor.pending_requests`,
+// `net.reactor.connections`, `service.queue_depth`, and
+// `service.in_flight` gauges — the four numbers that say whether the
+// loop, the admission window, or the worker pool is the bottleneck.
 
 #include <atomic>
 #include <cstdint>
@@ -56,6 +73,11 @@
 #include "obs/metrics.hpp"
 #include "service/deadline.hpp"
 #include "service/service.hpp"
+
+namespace match::obs {
+class FlightRecorder;
+struct SpanTimeline;
+}
 
 namespace match::net {
 
@@ -103,6 +125,11 @@ struct ServerConfig {
   /// `net.shed`, ...); must be thread-compatible with the reactor
   /// thread and outlive the server.  Null disables.
   obs::EventSink* sink = nullptr;
+
+  /// Optional flight recorder; non-null turns on per-request span
+  /// timelines (see the header comment).  Must outlive the server.
+  /// Null disables tracing entirely — zero extra clock reads.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 /// Point-in-time admission accounting, read from the service registry.
@@ -175,6 +202,10 @@ class MatchServer {
     std::uint64_t conn_id = 0;
     WireResponse response;
     service::Clock::time_point arrived_at;
+    /// The request's span timeline riding back from the worker (null
+    /// when tracing is off).  shared_ptr because the completion
+    /// callback lives in a copyable std::function.
+    std::shared_ptr<obs::SpanTimeline> timeline;
   };
 
   void run();
@@ -184,16 +215,27 @@ class MatchServer {
   bool parse_frames(int fd);      ///< false: protocol error
   void handle_request(Connection& conn, const FrameHeader& header,
                       std::string_view payload);
-  void respond(Connection& conn, const WireResponse& response);
+  void respond(Connection& conn, const WireResponse& response,
+               obs::SpanTimeline* timeline = nullptr);
   bool flush_writes(Connection& conn);      ///< false: connection closed
   /// Closes `fd` iff the peer half-closed and nothing is owed to it.
   void maybe_close_half_closed(int fd);
   void drain_outbox(bool deliver);
   void sweep_idle();
   std::size_t shed_threshold(Priority priority) const;
+  /// Books the terminal decision: counter, latency histogram, overload
+  /// event.  Runs BEFORE the response bytes go out, so a client that
+  /// already holds its answer always observes up-to-date counters.
   void finish(Status status, std::uint64_t request_id,
               service::SolverKind solver,
               service::Clock::time_point arrived_at, bool deadline_missed);
+  /// Seals and records the span timeline.  Runs AFTER respond() so the
+  /// encode/write_flush spans are on the timeline; the timeline total
+  /// therefore covers encode + flush even though net.request_seconds
+  /// (stamped in finish) does not.
+  void seal_timeline(std::shared_ptr<obs::SpanTimeline> timeline,
+                     Status status, bool deadline_missed);
+  bool tracing() const { return config_.recorder != nullptr; }
 
   service::MappingService& service_;
   ServerConfig config_;
@@ -211,6 +253,10 @@ class MatchServer {
 
   /// Admitted-but-unanswered requests (reactor thread only).
   std::size_t pending_ = 0;
+
+  /// When tracing: the instant the current read burst became readable —
+  /// the accept-span origin for every frame decoded from that burst.
+  service::Clock::time_point read_started_{};
 
   /// Inline instances by canonical fingerprint, FIFO-evicted.
   std::unordered_map<std::uint64_t,

@@ -1,4 +1,4 @@
-#include "bench_report.hpp"
+#include "obs/bench_report.hpp"
 
 #include <charconv>
 #include <cstdio>
@@ -265,7 +265,7 @@ void BenchReport::attach_snapshot(const obs::MetricsSnapshot& snapshot) {
   histograms = snapshot.histograms;
   // Bucket arrays stay out of the report (see header); drop them so two
   // reports with identical stats compare equal after a round trip.
-  for (auto& [name, stats] : histograms) stats.buckets.clear();
+  for (auto& [hist_name, stats] : histograms) { (void)hist_name; stats.buckets.clear(); }
 }
 
 std::string BenchReport::to_json() const {

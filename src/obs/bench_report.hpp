@@ -2,8 +2,11 @@
 
 // Machine-readable benchmark reports: the perf-trajectory artifact.
 //
-// Every bench that matters writes a `BENCH_<name>.json` next to its
-// stdout tables, so successive commits accumulate a comparable series:
+// Lives in `src/obs/` (it started next to the benches) because the
+// schema is shared by more than the bench binaries now: every bench
+// writes a `BENCH_<name>.json`, and `match_inspect --json` emits the
+// same schema so CI consumes one report format everywhere.  Successive
+// commits accumulate a comparable series:
 //
 //   {
 //     "name": "ext_obs_overhead",

@@ -71,6 +71,24 @@ std::uint64_t HttpExposer::requests_served() const {
   return requests_.load(std::memory_order_relaxed);
 }
 
+void HttpExposer::add_route(std::string path, Renderer render,
+                            std::string content_type) {
+  if (!render) {
+    throw std::invalid_argument("HttpExposer::add_route: null renderer");
+  }
+  if (path.empty() || path.front() != '/') {
+    throw std::invalid_argument(
+        "HttpExposer::add_route: path must start with '/'");
+  }
+  if (path == "/metrics" || path == "/healthz") {
+    throw std::invalid_argument(
+        "HttpExposer::add_route: cannot shadow a built-in route");
+  }
+  std::lock_guard<std::mutex> lock(routes_mutex_);
+  routes_[std::move(path)] =
+      Route{std::move(render), std::move(content_type)};
+}
+
 void HttpExposer::serve() {
   while (!stopping_.load(std::memory_order_relaxed)) {
     const int client = net::accept_retry(listen_fd_);
@@ -138,8 +156,28 @@ void HttpExposer::handle_connection(int client_fd) {
   } else if (target == "/healthz") {
     response = make_response(200, "OK", "text/plain", "ok\n");
   } else {
-    response = make_response(404, "Not Found", "text/plain",
-                             "try /metrics or /healthz\n");
+    Route route;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(routes_mutex_);
+      const auto it = routes_.find(std::string(target));
+      if (it != routes_.end()) {
+        route = it->second;  // copy: render outside the lock
+        found = true;
+      }
+    }
+    if (found) {
+      try {
+        response =
+            make_response(200, "OK", route.content_type.c_str(), route.render());
+      } catch (...) {
+        response = make_response(500, "Internal Server Error", "text/plain",
+                                 "route renderer failed\n");
+      }
+    } else {
+      response = make_response(404, "Not Found", "text/plain",
+                               "try /metrics or /healthz\n");
+    }
   }
   if (method == "HEAD") {
     response.resize(response.find("\r\n\r\n") + 4);

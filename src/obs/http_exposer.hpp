@@ -9,12 +9,19 @@
 //   GET /metrics  → 200, the renderer callback's output
 //                   (`text/plain; version=0.0.4`)
 //   GET /healthz  → 200 `ok`
+//   GET <custom>  → 200, any route registered with `add_route` (e.g.
+//                   `/debug/requests` renders the span flight recorder)
 //   anything else → 404 (or 405 for non-GET methods)
 //
-// The renderer runs on the accept thread, so a scrape can never block a
-// solver; the usual renderer is `[&] { return
+// Every response — every status, every route — carries explicit
+// `Content-Type`, an exact `Content-Length`, and `Connection: close`,
+// so naive HTTP clients never hang waiting for more bytes (pinned by
+// tests/prometheus_test.cpp).
+//
+// Renderers run on the accept thread, so a scrape can never block a
+// solver; the usual metrics renderer is `[&] { return
 // to_prometheus(registry.snapshot()); }`, which only reads atomics.  If
-// the renderer throws, the client gets a 500 and the listener keeps
+// a renderer throws, the client gets a 500 and the listener keeps
 // serving.  Scrapes are pure observers: they read a `MetricsSnapshot`
 // and never touch solver state or RNG streams (pinned by
 // tests/obs_test.cpp).
@@ -28,6 +35,8 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -57,14 +66,29 @@ class HttpExposer {
   /// Closes the listener and joins the accept thread.  Idempotent.
   void stop();
 
+  /// Registers (or replaces) a GET route.  The renderer runs on the
+  /// accept thread under the same try/catch-→-500 contract as
+  /// `/metrics`.  Throws `std::invalid_argument` on a null renderer, a
+  /// path not starting with '/', or an attempt to shadow a built-in
+  /// route.  Thread-safe; callable while serving.
+  void add_route(std::string path, Renderer render,
+                 std::string content_type = "application/json");
+
   /// Connections served so far (any route, including 404s).
   std::uint64_t requests_served() const;
 
  private:
+  struct Route {
+    Renderer render;
+    std::string content_type;
+  };
+
   void serve();
   void handle_connection(int client_fd);
 
   Renderer render_metrics_;
+  mutable std::mutex routes_mutex_;
+  std::map<std::string, Route> routes_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::thread thread_;

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "io/table.hpp"
+#include "obs/bench_report.hpp"
 
 namespace match::obs {
 
@@ -220,6 +221,98 @@ OverloadReport summarize_overload(const std::vector<Event>& events) {
   return report;
 }
 
+namespace {
+
+double nearest_rank(std::vector<double> sorted_in_place, double q) {
+  if (sorted_in_place.empty()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  const double rank = std::ceil(std::clamp(q, 0.0, 1.0) *
+                                static_cast<double>(sorted_in_place.size()));
+  const std::size_t index =
+      rank < 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  return sorted_in_place[std::min(index, sorted_in_place.size() - 1)];
+}
+
+}  // namespace
+
+double SpanReport::totals_quantile(double q) const {
+  return nearest_rank(totals, q);
+}
+
+SpanReport summarize_spans(const std::vector<SpanTimeline>& timelines) {
+  SpanReport report;
+  report.requests = timelines.size();
+
+  // One sample per request per stage: a stage stamped twice contributes
+  // the sum of its crossings to that request's sample.
+  std::map<std::string, std::vector<double>> samples;
+  for (const SpanTimeline& tl : timelines) {
+    ++report.outcome_counts[tl.outcome];
+    report.totals.push_back(tl.total_seconds);
+    std::map<std::string, double> per_stage;
+    for (const SpanRecord& span : tl.spans) {
+      per_stage[to_string(span.stage)] += span.duration_seconds();
+    }
+    for (const auto& [stage, seconds] : per_stage) {
+      samples[stage].push_back(seconds);
+    }
+  }
+  for (auto& [stage, values] : samples) {
+    StageStats stats;
+    stats.count = values.size();
+    for (const double v : values) stats.total_seconds += v;
+    std::sort(values.begin(), values.end());
+    stats.max = values.back();
+    stats.p50 = nearest_rank(values, 0.50);
+    stats.p90 = nearest_rank(values, 0.90);
+    stats.p99 = nearest_rank(values, 0.99);
+    report.stages.emplace(stage, stats);
+  }
+
+  if (timelines.empty()) return report;
+
+  // The tail: every request at or above the p99 of end-to-end latency
+  // (nearest-rank, so at least one request always qualifies).
+  report.tail_threshold_seconds = report.totals_quantile(0.99);
+  double attributed_fraction_sum = 0.0;
+  std::size_t attributable = 0;
+  double tail_queue = 0.0;
+  double tail_solve = 0.0;
+  for (const SpanTimeline& tl : timelines) {
+    if (tl.total_seconds < report.tail_threshold_seconds) continue;
+    ++report.tail_requests;
+    const SpanRecord* dominant = nullptr;
+    std::map<std::string, double> per_stage;
+    for (const SpanRecord& span : tl.spans) {
+      per_stage[to_string(span.stage)] += span.duration_seconds();
+      if (dominant == nullptr ||
+          span.duration_seconds() > dominant->duration_seconds()) {
+        dominant = &span;
+      }
+    }
+    if (dominant != nullptr) {
+      ++report.tail_dominant_stage[to_string(dominant->stage)];
+    }
+    if (tl.total_seconds > 0.0) {
+      attributed_fraction_sum += tl.attributed_seconds() / tl.total_seconds;
+      ++attributable;
+    }
+    tail_queue += per_stage[to_string(SpanStage::kQueueWait)];
+    tail_solve += per_stage[to_string(SpanStage::kSolve)];
+  }
+  if (attributable > 0) {
+    report.tail_attributed_fraction =
+        attributed_fraction_sum / static_cast<double>(attributable);
+  }
+  if (tail_queue + tail_solve > 0.0) {
+    report.tail_queue_vs_solve_pct =
+        100.0 * tail_queue / (tail_queue + tail_solve);
+  }
+  return report;
+}
+
 TraceDiff diff_traces(const TraceReport& a, const TraceReport& b,
                       const DiffOptions& options) {
   TraceDiff diff;
@@ -267,7 +360,11 @@ int usage(std::ostream& err) {
          "[--stability-window W]\n"
          "  match_inspect diff <baseline.jsonl> <candidate.jsonl> "
          "[--makespan-tol PCT] [--iterations-tol PCT]\n"
-         "  match_inspect overload <trace.jsonl> [--max-shed-pct PCT]\n"
+         "  match_inspect overload <trace.jsonl> [--max-shed-pct PCT] "
+         "[--json]\n"
+         "  match_inspect spans <spans.jsonl> [--max-stage-p99 "
+         "[STAGE:]SECONDS]...\n"
+         "                [--min-tail-attribution PCT] [--json]\n"
          "\n"
          "summary: per-run convergence report (gamma trajectory, "
          "iterations-to-stability,\n"
@@ -281,7 +378,19 @@ int usage(std::ostream& err) {
          " counts,\n"
          "         shed fraction, served-latency distribution); with "
          "--max-shed-pct,\n"
-         "         exit 1 when the shed fraction exceeds the gate.\n";
+         "         exit 1 when the shed fraction exceeds the gate.\n"
+         "spans:   per-stage latency breakdown and tail attribution from"
+         " a span trace\n"
+         "         (match_server --span-trace); --max-stage-p99 gates "
+         "one stage's p99\n"
+         "         (or every stage's, with no STAGE:), "
+         "--min-tail-attribution gates the\n"
+         "         fraction of p99-tail latency explained by named "
+         "stages; exit 1 on\n"
+         "         any gate violation.\n"
+         "\n"
+         "--json: machine-readable BenchReport JSON on stdout "
+         "(overload/spans only).\n";
   return 2;
 }
 
@@ -424,11 +533,14 @@ int cmd_overload(const std::vector<std::string>& args, std::ostream& out,
                  std::ostream& err) {
   std::string path;
   double max_shed_pct = std::numeric_limits<double>::quiet_NaN();  // no gate
+  bool json = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--max-shed-pct" && i + 1 < args.size()) {
       if (!parse_double_arg(args[++i], max_shed_pct) || max_shed_pct < 0) {
         return usage(err);
       }
+    } else if (args[i] == "--json") {
+      json = true;
     } else if (!args[i].empty() && args[i][0] == '-') {
       return usage(err);
     } else if (path.empty()) {
@@ -446,6 +558,46 @@ int cmd_overload(const std::vector<std::string>& args, std::ostream& out,
   }
   const LenientTrace trace = read_jsonl_lenient(in);
   const OverloadReport report = summarize_overload(trace.events);
+  const bool gated =
+      !std::isnan(max_shed_pct) && report.shed_pct() > max_shed_pct;
+
+  if (json) {
+    // Machine-readable path: the BenchReport schema CI already parses
+    // for every BENCH_<name>.json — human notes go to err only.
+    if (trace.skipped_lines > 0) {
+      err << "note: skipped " << trace.skipped_lines
+          << " malformed line(s) of " << trace.total_lines << "\n";
+    }
+    bench::BenchReport bench;
+    bench.name = "match_inspect_overload";
+    bench.git_sha = bench::current_git_sha();
+    bench.config["trace"] = path;
+    if (!std::isnan(max_shed_pct)) {
+      bench.config["max_shed_pct"] = io::Table::num(max_shed_pct, 6);
+    }
+    bench.counters = report.action_counts;
+    bench::BenchCase c;
+    c.name = "overload";
+    c.metrics["offered"] = static_cast<double>(report.offered);
+    c.metrics["served"] = static_cast<double>(report.served);
+    c.metrics["served_deadline_missed"] =
+        static_cast<double>(report.served_deadline_missed);
+    c.metrics["shed"] = static_cast<double>(report.shed);
+    c.metrics["rejected_deadline"] =
+        static_cast<double>(report.rejected_deadline);
+    c.metrics["errors"] = static_cast<double>(report.errors);
+    c.metrics["shed_pct"] = report.shed_pct();
+    if (!report.served_seconds.empty()) {
+      c.metrics["served_mean_seconds"] = report.mean_served_seconds();
+      c.metrics["served_p50_seconds"] = report.served_seconds_quantile(0.5);
+      c.metrics["served_p99_seconds"] = report.served_seconds_quantile(0.99);
+      c.metrics["served_max_seconds"] = report.served_seconds_quantile(1.0);
+    }
+    c.metrics["gate_violated"] = gated ? 1.0 : 0.0;
+    bench.cases.push_back(std::move(c));
+    out << bench.to_json() << "\n";
+    return gated ? 1 : 0;
+  }
 
   out << "== " << path << ": " << report.offered << " request(s) offered ==\n";
   if (trace.skipped_lines > 0) {
@@ -478,12 +630,194 @@ int cmd_overload(const std::vector<std::string>& args, std::ostream& out,
         << fmt_or_dash(report.served_seconds_quantile(1.0)) << "s\n";
   }
 
-  if (!std::isnan(max_shed_pct) && report.shed_pct() > max_shed_pct) {
+  if (gated) {
     out << "OVERLOAD REGRESSION: shed " << io::Table::num(report.shed_pct(), 3)
         << "% > gate " << io::Table::num(max_shed_pct, 3) << "%\n";
     return 1;
   }
   return 0;
+}
+
+/// One `--max-stage-p99` gate: `SECONDS` (all stages) or `STAGE:SECONDS`.
+struct StageGate {
+  std::string stage;  ///< "" = every stage present in the trace
+  double max_p99_seconds = 0.0;
+};
+
+int cmd_spans(const std::vector<std::string>& args, std::ostream& out,
+              std::ostream& err) {
+  std::string path;
+  std::vector<StageGate> gates;
+  double min_tail_attribution_pct =
+      std::numeric_limits<double>::quiet_NaN();  // no gate
+  bool json = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--max-stage-p99" && i + 1 < args.size()) {
+      const std::string& spec = args[++i];
+      StageGate gate;
+      const std::size_t colon = spec.find(':');
+      std::string seconds_part = spec;
+      if (colon != std::string::npos) {
+        gate.stage = spec.substr(0, colon);
+        seconds_part = spec.substr(colon + 1);
+        try {
+          (void)parse_span_stage(gate.stage);
+        } catch (const std::exception&) {
+          err << "match_inspect: unknown stage '" << gate.stage << "'\n";
+          return 2;
+        }
+      }
+      if (!parse_double_arg(seconds_part, gate.max_p99_seconds) ||
+          gate.max_p99_seconds < 0) {
+        return usage(err);
+      }
+      gates.push_back(std::move(gate));
+    } else if (args[i] == "--min-tail-attribution" && i + 1 < args.size()) {
+      if (!parse_double_arg(args[++i], min_tail_attribution_pct) ||
+          min_tail_attribution_pct < 0 || min_tail_attribution_pct > 100) {
+        return usage(err);
+      }
+    } else if (args[i] == "--json") {
+      json = true;
+    } else if (!args[i].empty() && args[i][0] == '-') {
+      return usage(err);
+    } else if (path.empty()) {
+      path = args[i];
+    } else {
+      return usage(err);
+    }
+  }
+  if (path.empty()) return usage(err);
+
+  std::ifstream in(path);
+  if (!in) {
+    err << "match_inspect: cannot open '" << path << "'\n";
+    return 2;
+  }
+  const SpanTrace trace = read_span_jsonl_lenient(in);
+  const SpanReport report = summarize_spans(trace.timelines);
+
+  // Gates.  An empty trace with gates configured fails loudly: "no
+  // data" must never read as "all gates green" in CI.
+  std::vector<std::string> violations;
+  const bool has_gates =
+      !gates.empty() || !std::isnan(min_tail_attribution_pct);
+  if (report.requests == 0 && has_gates) {
+    violations.push_back("trace contains no span timelines");
+  }
+  for (const StageGate& gate : gates) {
+    for (const auto& [stage, stats] : report.stages) {
+      if (!gate.stage.empty() && stage != gate.stage) continue;
+      if (stats.p99 > gate.max_p99_seconds) {
+        violations.push_back("stage " + stage + " p99 " +
+                             io::Table::num(stats.p99, 6) + "s > gate " +
+                             io::Table::num(gate.max_p99_seconds, 6) + "s");
+      }
+    }
+  }
+  if (!std::isnan(min_tail_attribution_pct) && report.requests > 0) {
+    const double pct = 100.0 * report.tail_attributed_fraction;
+    if (std::isnan(pct) || pct < min_tail_attribution_pct) {
+      violations.push_back(
+          "tail attribution " + fmt_or_dash(pct, 3) + "% < gate " +
+          io::Table::num(min_tail_attribution_pct, 3) + "%");
+    }
+  }
+
+  if (json) {
+    if (trace.skipped_lines > 0) {
+      err << "note: skipped " << trace.skipped_lines
+          << " malformed line(s) of " << trace.total_lines << "\n";
+    }
+    bench::BenchReport bench;
+    bench.name = "match_inspect_spans";
+    bench.git_sha = bench::current_git_sha();
+    bench.config["trace"] = path;
+    if (!std::isnan(min_tail_attribution_pct)) {
+      bench.config["min_tail_attribution_pct"] =
+          io::Table::num(min_tail_attribution_pct, 6);
+    }
+    for (const auto& [outcome, count] : report.outcome_counts) {
+      bench.counters["outcome." + outcome] = count;
+    }
+    for (const auto& [stage, count] : report.tail_dominant_stage) {
+      bench.counters["tail_dominant." + stage] = count;
+    }
+    for (const auto& [stage, stats] : report.stages) {
+      bench::BenchCase c;
+      c.name = "stage." + stage;
+      c.wall_seconds = stats.total_seconds;
+      c.metrics["count"] = static_cast<double>(stats.count);
+      c.metrics["mean_seconds"] = stats.mean();
+      c.metrics["p50_seconds"] = stats.p50;
+      c.metrics["p90_seconds"] = stats.p90;
+      c.metrics["p99_seconds"] = stats.p99;
+      c.metrics["max_seconds"] = stats.max;
+      bench.cases.push_back(std::move(c));
+    }
+    bench::BenchCase tail;
+    tail.name = "tail";
+    tail.metrics["requests"] = static_cast<double>(report.requests);
+    tail.metrics["tail_requests"] = static_cast<double>(report.tail_requests);
+    tail.metrics["threshold_seconds"] = report.tail_threshold_seconds;
+    tail.metrics["attributed_fraction"] = report.tail_attributed_fraction;
+    tail.metrics["queue_vs_solve_pct"] = report.tail_queue_vs_solve_pct;
+    tail.metrics["total_p50_seconds"] = report.totals_quantile(0.5);
+    tail.metrics["total_p99_seconds"] = report.totals_quantile(0.99);
+    tail.metrics["gate_violations"] = static_cast<double>(violations.size());
+    bench.cases.push_back(std::move(tail));
+    out << bench.to_json() << "\n";
+    for (const std::string& v : violations) err << "SPAN GATE: " << v << "\n";
+    return violations.empty() ? 0 : 1;
+  }
+
+  out << "== " << path << ": " << report.requests
+      << " request timeline(s) ==\n";
+  if (trace.skipped_lines > 0) {
+    out << "note: skipped " << trace.skipped_lines << " malformed line(s) of "
+        << trace.total_lines << "\n";
+  }
+
+  io::Table table({"stage", "count", "mean (s)", "p50 (s)", "p90 (s)",
+                   "p99 (s)", "max (s)"});
+  for (const auto& [stage, stats] : report.stages) {
+    table.add_row({stage, std::to_string(stats.count),
+                   fmt_or_dash(stats.mean()), fmt_or_dash(stats.p50),
+                   fmt_or_dash(stats.p90), fmt_or_dash(stats.p99),
+                   fmt_or_dash(stats.max)});
+  }
+  table.print(out);
+
+  out << "\nend-to-end: p50 " << fmt_or_dash(report.totals_quantile(0.5))
+      << "s, p99 " << fmt_or_dash(report.totals_quantile(0.99)) << "s, max "
+      << fmt_or_dash(report.totals_quantile(1.0)) << "s\n";
+  out << "outcomes:";
+  for (const auto& [outcome, count] : report.outcome_counts) {
+    out << " " << (outcome.empty() ? "(none)" : outcome) << "=" << count;
+  }
+  out << "\n";
+  if (report.tail_requests > 0) {
+    out << "tail (total >= " << fmt_or_dash(report.tail_threshold_seconds)
+        << "s, " << report.tail_requests << " request(s)): attribution "
+        << fmt_or_dash(100.0 * report.tail_attributed_fraction, 3)
+        << "% of latency in named stages";
+    if (!std::isnan(report.tail_queue_vs_solve_pct)) {
+      out << "; queue-wait "
+          << fmt_or_dash(report.tail_queue_vs_solve_pct, 3)
+          << "% of queue+solve";
+    }
+    out << "\n";
+    out << "tail dominant stage:";
+    for (const auto& [stage, count] : report.tail_dominant_stage) {
+      out << " " << stage << "=" << count;
+    }
+    out << "\n";
+  }
+
+  for (const std::string& v : violations) {
+    out << "SPAN GATE VIOLATION: " << v << "\n";
+  }
+  return violations.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -496,6 +830,7 @@ int run_inspect_cli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "summary") return cmd_summary(rest, out, err);
   if (command == "diff") return cmd_diff(rest, out, err);
   if (command == "overload") return cmd_overload(rest, out, err);
+  if (command == "spans") return cmd_spans(rest, out, err);
   return usage(err);
 }
 

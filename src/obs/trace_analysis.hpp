@@ -17,6 +17,12 @@
 // contract `match_inspect diff` turns into an exit status, making traces
 // a CI-gateable artifact.
 //
+// `summarize_spans` does the same for span traces (obs/spans.hpp, the
+// files `match_server --span-trace` writes): per-stage latency
+// distributions and tail-latency attribution — which stage each p99
+// request spent its time in — behind `match_inspect spans`, gateable
+// with `--max-stage-p99` / `--min-tail-attribution`.
+//
 // `run_inspect_cli` is the whole `tools/match_inspect` CLI behind a
 // testable interface: tests drive argv vectors through it and assert on
 // the exit code without spawning a process.
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "obs/events.hpp"
+#include "obs/spans.hpp"
 
 namespace match::obs {
 
@@ -137,6 +144,65 @@ struct OverloadReport {
 /// Folds the `kService` events of a trace into an `OverloadReport`;
 /// every other event kind is ignored.
 OverloadReport summarize_overload(const std::vector<Event>& events);
+
+/// Latency distribution of one pipeline stage across a span trace.
+struct StageStats {
+  std::size_t count = 0;         ///< timelines that crossed this stage
+  double total_seconds = 0.0;    ///< sum of stage durations
+  double p50 = std::numeric_limits<double>::quiet_NaN();
+  double p90 = std::numeric_limits<double>::quiet_NaN();
+  double p99 = std::numeric_limits<double>::quiet_NaN();
+  double max = std::numeric_limits<double>::quiet_NaN();
+
+  double mean() const {
+    return count == 0 ? std::numeric_limits<double>::quiet_NaN()
+                      : total_seconds / static_cast<double>(count);
+  }
+};
+
+/// Tail-latency attribution over a span trace (`match_inspect spans`):
+/// per-stage latency distributions, plus — for the requests at or above
+/// the p99 of end-to-end latency — which stage dominated each one and
+/// how much of their time named stages explain at all.
+struct SpanReport {
+  std::size_t requests = 0;  ///< timelines analyzed
+
+  /// Stage name (`to_string(SpanStage)`) → distribution.  A stage a
+  /// request stamped twice contributes the *sum* of its crossings to
+  /// that request's sample (one sample per request per stage).
+  std::map<std::string, StageStats> stages;
+
+  /// Terminal outcome ("net.served", "net.shed", ...) → count.
+  std::map<std::string, std::uint64_t> outcome_counts;
+
+  /// End-to-end (`total_seconds`) latencies, trace order.
+  std::vector<double> totals;
+
+  /// p99 (nearest-rank) of `totals`; the tail is every request with
+  /// total >= this.  NaN when the trace is empty.
+  double tail_threshold_seconds = std::numeric_limits<double>::quiet_NaN();
+  std::size_t tail_requests = 0;
+
+  /// Stage name → number of tail requests whose single largest span is
+  /// that stage.  Under queue-driven overload this is dominated by
+  /// "queue_wait"; under solver-driven load by "solve".
+  std::map<std::string, std::uint64_t> tail_dominant_stage;
+
+  /// Mean over the tail of attributed/total — the fraction of each tail
+  /// request's latency that named stages explain (the rest is hand-off:
+  /// outbox crossing, wakeup latency).  NaN when the tail is empty.
+  double tail_attributed_fraction = std::numeric_limits<double>::quiet_NaN();
+
+  /// 100 · Σ queue_wait / (Σ queue_wait + Σ solve) over the *tail* —
+  /// the queue-vs-solve attribution a capacity decision turns on.  NaN
+  /// when the tail never crossed either stage.
+  double tail_queue_vs_solve_pct = std::numeric_limits<double>::quiet_NaN();
+
+  /// Nearest-rank quantile of `totals` (q in [0, 1]); NaN when empty.
+  double totals_quantile(double q) const;
+};
+
+SpanReport summarize_spans(const std::vector<SpanTimeline>& timelines);
 
 struct DiffOptions {
   /// Candidate mean final best may exceed the baseline's by this many

@@ -13,6 +13,10 @@
 #include "sim/mapping.hpp"
 #include "workload/instance.hpp"
 
+namespace match::obs {
+struct SpanTimeline;
+}
+
 namespace match::service {
 
 /// Which solver the request wants.  The registry adapts every mapping
@@ -64,6 +68,12 @@ struct MapRequest {
   std::shared_ptr<const workload::Instance> instance;
   SolverKind solver = SolverKind::kMatch;
   SolveOptions options;
+
+  /// Optional span timeline to stamp queue-wait/solve crossings on.
+  /// Non-owning: the submitter keeps it alive until the completion
+  /// callback has run (the net front end parks a shared_ptr in the
+  /// callback closure).  nullptr = untraced, zero overhead.
+  obs::SpanTimeline* timeline = nullptr;
 };
 
 /// Who produced the response's mapping.

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/spans.hpp"
+
 namespace match::service {
 
 namespace {
@@ -204,6 +206,15 @@ MapResponse MappingService::process(Pending& pending) {
   const Clock::time_point picked_up = Clock::now();
   const MapRequest& request = pending.request;
 
+  // Span stamping reuses the timestamps this function takes anyway
+  // (`picked_up` here, `done` below): a traced request costs zero extra
+  // clock reads inside the service.
+  obs::SpanTimeline* const timeline = request.timeline;
+  if (timeline != nullptr) {
+    timeline->stamp(obs::SpanStage::kQueueWait, pending.submitted_at,
+                    picked_up);
+  }
+
   MapResponse response;
   response.id = request.id;
   response.solver = request.solver;
@@ -282,7 +293,8 @@ MapResponse MappingService::process(Pending& pending) {
     if (should_stop) ctx.with_stop(should_stop);
     ctx.with_sink(config_.sink)
         .with_metrics(&metrics_)
-        .with_run_id(pending.run_id);
+        .with_run_id(pending.run_id)
+        .with_span(timeline);
     try {
       const SolveOutcome outcome = registry_.get(request.solver)
                                        .solve(*request.instance,
@@ -318,6 +330,11 @@ MapResponse MappingService::process(Pending& pending) {
       response.served_by == ServedBy::kSolver ? solution.iterations : 0;
 
   const Clock::time_point done = Clock::now();
+  if (timeline != nullptr) {
+    timeline->stamp(obs::SpanStage::kSolve, picked_up, done,
+                    to_string(response.served_by));
+    timeline->solver = to_string(request.solver);
+  }
   response.queue_seconds = seconds_between(pending.submitted_at, picked_up);
   response.solve_seconds = seconds_between(picked_up, done);
   response.total_seconds = seconds_between(pending.submitted_at, done);
@@ -362,6 +379,11 @@ double percentile(std::vector<double> values, double p) {
 std::size_t MappingService::queue_depth() const {
   std::lock_guard<std::mutex> lock(queue_mutex_);
   return queue_.size();
+}
+
+std::size_t MappingService::in_flight() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return processing_;
 }
 
 double MappingService::projected_wait_seconds() const {

@@ -154,6 +154,10 @@ class MappingService {
   /// vector and is snapshot-priced, not per-request-priced).
   std::size_t queue_depth() const;
 
+  /// Requests picked up but not yet completed — with `queue_depth` the
+  /// two saturation gauges the reactor samples each housekeeping tick.
+  std::size_t in_flight() const;
+
   /// Projected queue wait for a newly admitted request: queue depth ×
   /// mean solve time / workers, estimated from the
   /// `service.solve_seconds` histogram in the metrics registry (falling

@@ -1,5 +1,5 @@
 // Schema round-trip tests for the BENCH_<name>.json reports
-// (bench/bench_report.{hpp,cpp}): a report serialized with `to_json`
+// (src/obs/bench_report.{hpp,cpp}): a report serialized with `to_json`
 // and parsed back with `from_json` must compare equal field-for-field,
 // including exact doubles, u64 counters beyond 2^53, and hostile
 // strings.  Also pins the on-disk `write()` artifact and the
@@ -13,7 +13,7 @@
 #include <sstream>
 #include <string>
 
-#include "bench_report.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/metrics.hpp"
 
 namespace match::bench {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/bench_report.hpp"
 #include "obs/events.hpp"
 #include "obs/trace_analysis.hpp"
 
@@ -334,6 +335,33 @@ TEST(InspectCli, OverloadShedGateFlipsTheExitCode) {
   std::string text;
   EXPECT_EQ(run_cli({"overload", path, "--max-shed-pct", "10"}, &text), 1);
   EXPECT_NE(text.find("OVERLOAD REGRESSION"), std::string::npos);
+}
+
+TEST(InspectCli, OverloadJsonEmitsAParseableBenchReport) {
+  const std::string path =
+      write_trace("overload_json.jsonl", make_overload_events());
+  std::ostringstream out, err;
+  EXPECT_EQ(run_inspect_cli({"overload", path, "--json"}, out, err), 0);
+  // --json owns stdout: the human table moves out of the way entirely.
+  EXPECT_EQ(out.str().find("request(s) offered"), std::string::npos);
+  const bench::BenchReport report = bench::BenchReport::from_json(out.str());
+  EXPECT_EQ(report.name, "match_inspect_overload");
+  EXPECT_EQ(report.counters.at("net.served"), 6u);
+  ASSERT_EQ(report.cases.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.cases[0].metrics.at("offered"), 11.0);
+  EXPECT_DOUBLE_EQ(report.cases[0].metrics.at("shed"), 2.0);
+  EXPECT_NEAR(report.cases[0].metrics.at("shed_pct"), 100.0 * 2 / 11, 1e-9);
+  EXPECT_DOUBLE_EQ(report.cases[0].metrics.at("gate_violated"), 0.0);
+
+  // A tripped gate still emits the report, with the violation flagged in
+  // the JSON and the exit code.
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_inspect_cli({"overload", path, "--json", "--max-shed-pct",
+                             "10"},
+                            out2, err2),
+            1);
+  const bench::BenchReport tripped = bench::BenchReport::from_json(out2.str());
+  EXPECT_DOUBLE_EQ(tripped.cases[0].metrics.at("gate_violated"), 1.0);
 }
 
 TEST(InspectCli, OverloadUsageAndIoErrorsExitTwo) {

@@ -21,6 +21,7 @@
 #include "obs/http_exposer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
+#include "obs/spans.hpp"
 
 namespace match::obs {
 namespace {
@@ -293,6 +294,101 @@ TEST(HttpExposer, RestartOnSamePortAfterServingScrapes) {
 
 TEST(HttpExposer, NullRendererIsRejected) {
   EXPECT_THROW(HttpExposer(HttpExposer::Renderer()), std::invalid_argument);
+}
+
+// Every response — including /healthz and errors — must carry an
+// explicit Content-Type, an exact Content-Length, and Connection: close,
+// or a scraper that honors keep-alive by default hangs until timeout.
+TEST(HttpExposer, EveryResponseCarriesExplicitFramingHeaders) {
+  HttpExposer exposer([] { return std::string("m 1\n"); });
+  const struct {
+    const char* path;
+    const char* content_type;
+    std::size_t body_size;
+  } expectations[] = {
+      {"/metrics", "Content-Type: text/plain; version=0.0.4", 4},
+      {"/healthz", "Content-Type: text/plain", 3},  // "ok\n"
+      {"/nope", "Content-Type: text/plain", 0},     // 404, any body
+  };
+  for (const auto& e : expectations) {
+    const std::string response = get_path(exposer.port(), e.path);
+    EXPECT_NE(response.find(e.content_type), std::string::npos) << e.path;
+    EXPECT_NE(response.find("Content-Length: "), std::string::npos) << e.path;
+    EXPECT_NE(response.find("Connection: close"), std::string::npos) << e.path;
+    if (e.body_size > 0) {
+      EXPECT_NE(response.find("Content-Length: " +
+                              std::to_string(e.body_size)),
+                std::string::npos)
+          << e.path;
+    }
+  }
+}
+
+// ------------------------------------------------------------ custom routes
+
+TEST(HttpExposer, AddRouteServesWithItsContentType) {
+  HttpExposer exposer([] { return std::string(); });
+  exposer.add_route("/debug/thing", [] { return std::string("{\"x\":1}"); });
+  const std::string response = get_path(exposer.port(), "/debug/thing");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 7"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("{\"x\":1}"), std::string::npos);
+
+  // Re-registration replaces, and a custom content type is honored.
+  exposer.add_route("/debug/thing", [] { return std::string("plain"); },
+                    "text/plain");
+  const std::string replaced = get_path(exposer.port(), "/debug/thing");
+  EXPECT_NE(replaced.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(replaced.find("plain"), std::string::npos);
+}
+
+TEST(HttpExposer, AddRouteRejectsBadArguments) {
+  HttpExposer exposer([] { return std::string(); });
+  EXPECT_THROW(exposer.add_route("/x", HttpExposer::Renderer()),
+               std::invalid_argument);
+  EXPECT_THROW(exposer.add_route("no-slash", [] { return std::string(); }),
+               std::invalid_argument);
+  EXPECT_THROW(exposer.add_route("", [] { return std::string(); }),
+               std::invalid_argument);
+  EXPECT_THROW(exposer.add_route("/metrics", [] { return std::string(); }),
+               std::invalid_argument);
+  EXPECT_THROW(exposer.add_route("/healthz", [] { return std::string(); }),
+               std::invalid_argument);
+}
+
+TEST(HttpExposer, RouteRendererThrowIsA500AndTheListenerSurvives) {
+  HttpExposer exposer([] { return std::string(); });
+  exposer.add_route("/boom", []() -> std::string {
+    throw std::runtime_error("route boom");
+  });
+  EXPECT_NE(get_path(exposer.port(), "/boom").find("HTTP/1.1 500"),
+            std::string::npos);
+  EXPECT_NE(get_path(exposer.port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
+TEST(HttpExposer, DebugRequestsRouteServesTheFlightRecorder) {
+  FlightRecorder recorder;
+  SpanTimeline tl;
+  tl.start(7, SpanClock::time_point{});
+  tl.stamp_seconds(SpanStage::kSolve, 0.0, 0.003, "match");
+  tl.outcome = "net.served";
+  tl.total_seconds = 0.004;
+  recorder.record(std::move(tl));
+
+  HttpExposer exposer([] { return std::string(); });
+  exposer.add_route("/debug/requests",
+                    [&recorder] { return render_debug_requests(recorder); });
+  const std::string response = get_path(exposer.port(), "/debug/requests");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(response.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(response.find("\"request\":7"), std::string::npos);
+  EXPECT_NE(response.find("\"stage\":\"solve\""), std::string::npos);
 }
 
 TEST(HttpExposer, PortInUseThrowsInsteadOfServingNothing) {

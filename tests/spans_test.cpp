@@ -1,0 +1,534 @@
+// Tests for request span tracing (src/obs/spans.{hpp,cpp}) and the
+// tail-latency analyzer behind `match_inspect spans`
+// (src/obs/trace_analysis.{hpp,cpp}):
+//
+//   * SpanTimeline stamping semantics — stamp/stamp_seconds,
+//     set_outcome on the last crossing, finalize, attribution math;
+//   * the JSONL wire form — exact shortest-round-trip doubles, hostile
+//     strings, unknown-key tolerance for schema growth, strict
+//     rejection of malformed lines, and the lenient reader's torn-line
+//     behaviour;
+//   * FlightRecorder retention — last-N ring eviction that *keeps*
+//     slow timelines, dropped accounting, snapshot ordering, the
+//     attached JSONL stream, and config validation;
+//   * render_debug_requests — envelope fields and the whole-timeline
+//     byte bound for /debug/requests;
+//   * summarize_spans — per-stage quantiles, tail attribution,
+//     dominant-stage counting, queue-vs-solve split;
+//   * the `match_inspect spans` / `overload --json` CLI — gate exit
+//     codes and BenchReport-parseable --json output.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.hpp"
+#include "obs/spans.hpp"
+#include "obs/trace_analysis.hpp"
+
+namespace match::obs {
+namespace {
+
+// ---------------------------------------------------------------- stages
+
+TEST(SpanStageNames, RoundTripAllStages) {
+  const SpanStage all[] = {
+      SpanStage::kAccept,    SpanStage::kDecode, SpanStage::kAdmission,
+      SpanStage::kQueueWait, SpanStage::kSolve,  SpanStage::kEncode,
+      SpanStage::kWriteFlush,
+  };
+  ASSERT_EQ(std::size(all), kNumSpanStages);
+  for (SpanStage stage : all) {
+    EXPECT_EQ(parse_span_stage(to_string(stage)), stage);
+  }
+  EXPECT_STREQ(to_string(SpanStage::kQueueWait), "queue_wait");
+  EXPECT_THROW(parse_span_stage("no_such_stage"), std::invalid_argument);
+  EXPECT_THROW(parse_span_stage(""), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- timeline
+
+SpanTimeline sample_timeline() {
+  SpanTimeline tl;
+  tl.start(42, SpanClock::time_point{});
+  tl.stamp_seconds(SpanStage::kAccept, 0.0, 1e-5);
+  tl.stamp_seconds(SpanStage::kDecode, 1e-5, 3e-5, "ok");
+  tl.stamp_seconds(SpanStage::kAdmission, 3e-5, 4e-5, "admitted");
+  tl.stamp_seconds(SpanStage::kQueueWait, 4e-5, 0.002);
+  tl.stamp_seconds(SpanStage::kSolve, 0.002, 0.0521874999999997, "match");
+  tl.stamp_seconds(SpanStage::kEncode, 0.0525, 0.0526);
+  tl.stamp_seconds(SpanStage::kWriteFlush, 0.0526, 0.0527, "flushed");
+  tl.solver = "match";
+  tl.outcome = "net.served";
+  tl.total_seconds = 0.0528;
+  return tl;
+}
+
+TEST(SpanTimeline, StampFromTimePointsIsOriginRelative) {
+  SpanTimeline tl;
+  const auto origin = SpanClock::now();
+  tl.start(7, origin);
+  tl.stamp(SpanStage::kSolve, origin + std::chrono::milliseconds(2),
+           origin + std::chrono::milliseconds(5), "match");
+  ASSERT_EQ(tl.spans.size(), 1u);
+  EXPECT_NEAR(tl.spans[0].start_seconds, 0.002, 1e-12);
+  EXPECT_NEAR(tl.spans[0].end_seconds, 0.005, 1e-12);
+  EXPECT_EQ(tl.spans[0].outcome, "match");
+  tl.finalize("net.served", origin + std::chrono::milliseconds(6));
+  EXPECT_EQ(tl.outcome, "net.served");
+  EXPECT_NEAR(tl.total_seconds, 0.006, 1e-12);
+}
+
+TEST(SpanTimeline, SetOutcomeRewritesLastCrossingOfStage) {
+  SpanTimeline tl;
+  tl.start(1, SpanClock::time_point{});
+  // No-op when the stage was never stamped.
+  tl.set_outcome(SpanStage::kAdmission, "shed");
+  EXPECT_TRUE(tl.spans.empty());
+
+  tl.stamp_seconds(SpanStage::kAdmission, 0.0, 1e-6, "admitted");
+  tl.stamp_seconds(SpanStage::kAdmission, 2e-6, 3e-6, "admitted");
+  tl.set_outcome(SpanStage::kAdmission, "shed");
+  EXPECT_EQ(tl.spans[0].outcome, "admitted");  // earlier crossing untouched
+  EXPECT_EQ(tl.spans[1].outcome, "shed");
+}
+
+TEST(SpanTimeline, AttributionMath) {
+  SpanTimeline tl = sample_timeline();
+  double expected = 0.0;
+  for (const SpanRecord& s : tl.spans) expected += s.duration_seconds();
+  EXPECT_DOUBLE_EQ(tl.attributed_seconds(), expected);
+  EXPECT_DOUBLE_EQ(tl.unattributed_seconds(), tl.total_seconds - expected);
+  EXPECT_GT(tl.unattributed_seconds(), 0.0);  // well-formed: gaps exist
+}
+
+TEST(SpanTimeline, FindReturnsFirstCrossing) {
+  const SpanTimeline tl = sample_timeline();
+  const SpanRecord* solve = tl.find(SpanStage::kSolve);
+  ASSERT_NE(solve, nullptr);
+  EXPECT_EQ(solve->outcome, "match");
+  EXPECT_EQ(tl.find(SpanStage::kAccept)->start_seconds, 0.0);
+}
+
+// ----------------------------------------------------------------- jsonl
+
+TEST(SpanJsonl, RoundTripsExactly) {
+  const SpanTimeline tl = sample_timeline();
+  const SpanTimeline back = from_span_jsonl(to_span_jsonl(tl));
+  EXPECT_EQ(back.request_id, tl.request_id);
+  EXPECT_EQ(back.outcome, tl.outcome);
+  EXPECT_EQ(back.solver, tl.solver);
+  EXPECT_EQ(back.total_seconds, tl.total_seconds);  // exact double
+  EXPECT_EQ(back.spans, tl.spans);
+  // Second generation is a fixed point.
+  EXPECT_EQ(to_span_jsonl(back), to_span_jsonl(tl));
+}
+
+TEST(SpanJsonl, RoundTripsHostileDoubles) {
+  const double hostile[] = {0.1,
+                            1.0 / 3.0,
+                            1e-17,
+                            5e-324,  // smallest denormal
+                            std::numeric_limits<double>::min(),
+                            std::numeric_limits<double>::max(),
+                            -0.0,
+                            0.4121874999999997};
+  for (double d : hostile) {
+    SpanTimeline tl;
+    tl.start(1, SpanClock::time_point{});
+    tl.stamp_seconds(SpanStage::kSolve, d, d);
+    tl.total_seconds = d;
+    const SpanTimeline back = from_span_jsonl(to_span_jsonl(tl));
+    EXPECT_EQ(back.total_seconds, d);
+    EXPECT_EQ(back.spans[0].start_seconds, d);
+  }
+}
+
+TEST(SpanJsonl, RoundTripsHostileStrings) {
+  SpanTimeline tl;
+  tl.start(9, SpanClock::time_point{});
+  tl.outcome = "quo\"te\\back\nnew\ttab\rcr";
+  tl.solver = std::string("\x01\x02", 2);
+  tl.stamp_seconds(SpanStage::kDecode, 0.0, 1.0, "μ-outcome");
+  const SpanTimeline back = from_span_jsonl(to_span_jsonl(tl));
+  EXPECT_EQ(back.outcome, tl.outcome);
+  EXPECT_EQ(back.solver, tl.solver);
+  EXPECT_EQ(back.spans[0].outcome, tl.spans[0].outcome);
+}
+
+TEST(SpanJsonl, OmitsEmptyOutcomeAndSolver) {
+  SpanTimeline tl;
+  tl.start(3, SpanClock::time_point{});
+  tl.outcome = "net.served";
+  tl.stamp_seconds(SpanStage::kSolve, 0.0, 1.0);
+  const std::string line = to_span_jsonl(tl);
+  EXPECT_EQ(line.find("\"solver\""), std::string::npos);
+  const SpanTimeline back = from_span_jsonl(line);
+  EXPECT_TRUE(back.solver.empty());
+  EXPECT_TRUE(back.spans[0].outcome.empty());
+}
+
+TEST(SpanJsonl, ToleratesUnknownKeysForSchemaGrowth) {
+  const SpanTimeline back = from_span_jsonl(
+      "{\"request\":5,\"future\":{\"deep\":[1,{\"k\":\"}]\"}]},"
+      "\"outcome\":\"net.served\",\"total\":0.25,"
+      "\"spans\":[{\"stage\":\"solve\",\"start\":0.1,\"end\":0.2,"
+      "\"annotations\":[true,null]}]}");
+  EXPECT_EQ(back.request_id, 5u);
+  EXPECT_EQ(back.outcome, "net.served");
+  ASSERT_EQ(back.spans.size(), 1u);
+  EXPECT_EQ(back.spans[0].stage, SpanStage::kSolve);
+  EXPECT_EQ(back.spans[0].end_seconds, 0.2);
+}
+
+TEST(SpanJsonl, RejectsMalformedLines) {
+  EXPECT_THROW(from_span_jsonl(""), std::invalid_argument);
+  EXPECT_THROW(from_span_jsonl("not json"), std::invalid_argument);
+  // Missing the required request id.
+  EXPECT_THROW(from_span_jsonl("{\"outcome\":\"x\"}"), std::invalid_argument);
+  // Truncated mid-array (a torn tail line).
+  EXPECT_THROW(from_span_jsonl("{\"request\":1,\"spans\":[{\"stage\":"),
+               std::invalid_argument);
+  // A span without a stage name.
+  EXPECT_THROW(
+      from_span_jsonl("{\"request\":1,\"spans\":[{\"start\":0.0}]}"),
+      std::invalid_argument);
+  // Unknown stage name.
+  EXPECT_THROW(from_span_jsonl(
+                   "{\"request\":1,\"spans\":[{\"stage\":\"warp\"}]}"),
+               std::invalid_argument);
+  // Bad escape.
+  EXPECT_THROW(from_span_jsonl("{\"request\":1,\"outcome\":\"\\q\"}"),
+               std::invalid_argument);
+  // Trailing garbage after the object.
+  EXPECT_THROW(from_span_jsonl("{\"request\":1} trailing"),
+               std::invalid_argument);
+}
+
+TEST(SpanJsonl, LenientReaderSkipsTornLines) {
+  std::string file;
+  file += to_span_jsonl(sample_timeline()) + "\n";
+  file += "garbage line\n";
+  file += "\n";  // blank: not counted at all
+  SpanTimeline second = sample_timeline();
+  second.request_id = 43;
+  file += to_span_jsonl(second) + "\r\n";  // CRLF tolerated
+  file += "{\"request\":44,\"spans\":[{\"st";  // torn mid-write, no newline
+
+  std::istringstream is(file);
+  const SpanTrace trace = read_span_jsonl_lenient(is);
+  EXPECT_EQ(trace.total_lines, 4u);
+  EXPECT_EQ(trace.skipped_lines, 2u);
+  ASSERT_EQ(trace.timelines.size(), 2u);
+  EXPECT_EQ(trace.timelines[0].request_id, 42u);
+  EXPECT_EQ(trace.timelines[1].request_id, 43u);
+}
+
+// ------------------------------------------------------- flight recorder
+
+SpanTimeline quick_timeline(std::uint64_t id, double total) {
+  SpanTimeline tl;
+  tl.start(id, SpanClock::time_point{});
+  tl.stamp_seconds(SpanStage::kSolve, 0.0, total, "match");
+  tl.outcome = "net.served";
+  tl.total_seconds = total;
+  return tl;
+}
+
+TEST(FlightRecorderConfigTest, ValidateRejectsNonsense) {
+  FlightRecorderConfig ok;
+  EXPECT_NO_THROW(ok.validate());
+  FlightRecorderConfig zero_recent;
+  zero_recent.recent_capacity = 0;
+  EXPECT_THROW(zero_recent.validate(), std::invalid_argument);
+  FlightRecorderConfig negative_threshold;
+  negative_threshold.slow_threshold_seconds = -0.5;
+  EXPECT_THROW(negative_threshold.validate(), std::invalid_argument);
+}
+
+TEST(FlightRecorderTest, RingEvictionKeepsSlowTimelines) {
+  FlightRecorderConfig config;
+  config.recent_capacity = 4;
+  config.slow_threshold_seconds = 0.100;
+  config.slow_capacity = 64;
+  config.shards = 1;  // deterministic single-shard retention
+  FlightRecorder recorder(config);
+
+  // One slow request early, then a flood of fast ones that overruns the
+  // recent ring many times over.
+  recorder.record(quick_timeline(1, 0.250));
+  for (std::uint64_t id = 2; id <= 41; ++id) {
+    recorder.record(quick_timeline(id, 0.001));
+  }
+
+  EXPECT_EQ(recorder.recorded(), 41u);
+  const std::vector<SpanTimeline> kept = recorder.snapshot();
+  // 4 recent + the slow one, which the flood must not have evicted.
+  ASSERT_EQ(kept.size(), 5u);
+  EXPECT_EQ(kept.front().request_id, 1u);  // oldest first
+  EXPECT_DOUBLE_EQ(kept.front().total_seconds, 0.250);
+  // The remaining four are the newest fast requests, in record order.
+  for (std::size_t i = 1; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].request_id, 37u + i);
+  }
+  // 40 fast − 4 retained = 36 evicted without slow retention.
+  EXPECT_EQ(recorder.dropped(), 36u);
+}
+
+TEST(FlightRecorderTest, SlowListIsBoundedFifo) {
+  FlightRecorderConfig config;
+  config.recent_capacity = 2;
+  config.slow_threshold_seconds = 0.010;
+  config.slow_capacity = 3;
+  config.shards = 1;
+  FlightRecorder recorder(config);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    recorder.record(quick_timeline(id, 0.020));  // all slow
+  }
+  const std::vector<SpanTimeline> kept = recorder.snapshot();
+  // Slow list keeps the newest 3; the 2 evicted ones count as dropped.
+  std::size_t slow_kept = 0;
+  for (const SpanTimeline& tl : kept) {
+    if (tl.request_id >= 3) ++slow_kept;
+  }
+  EXPECT_GE(slow_kept, 3u);
+  EXPECT_EQ(recorder.recorded(), 5u);
+}
+
+TEST(FlightRecorderTest, SnapshotIsGloballyOrderedAcrossShards) {
+  FlightRecorderConfig config;
+  config.recent_capacity = 64;
+  config.shards = 8;
+  FlightRecorder recorder(config);
+  for (std::uint64_t id = 1; id <= 32; ++id) {
+    recorder.record(quick_timeline(id, 0.001));
+  }
+  const std::vector<SpanTimeline> kept = recorder.snapshot();
+  ASSERT_EQ(kept.size(), 32u);
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].request_id, i + 1);  // record order, not shard order
+  }
+}
+
+TEST(FlightRecorderTest, AttachedStreamReceivesEveryTimeline) {
+  FlightRecorderConfig config;
+  config.recent_capacity = 2;  // far smaller than what we record
+  config.slow_threshold_seconds = 1.0;
+  config.shards = 1;
+  FlightRecorder recorder(config);
+  std::ostringstream stream;
+  recorder.attach_stream(&stream);
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    recorder.record(quick_timeline(id, 0.001));
+  }
+  recorder.flush_stream();
+  recorder.attach_stream(nullptr);
+
+  // Eviction bounds retention, not the stream: all 10 lines round-trip.
+  std::istringstream is(stream.str());
+  const SpanTrace trace = read_span_jsonl_lenient(is);
+  EXPECT_EQ(trace.skipped_lines, 0u);
+  ASSERT_EQ(trace.timelines.size(), 10u);
+  EXPECT_EQ(trace.timelines[9].request_id, 10u);
+}
+
+TEST(DebugRequests, EnvelopeAndByteBound) {
+  FlightRecorderConfig config;
+  config.recent_capacity = 128;
+  config.shards = 1;
+  FlightRecorder recorder(config);
+  for (std::uint64_t id = 1; id <= 50; ++id) {
+    recorder.record(quick_timeline(id, 0.001));
+  }
+
+  const std::string full = render_debug_requests(recorder);
+  EXPECT_NE(full.find("\"recorded\":50"), std::string::npos);
+  EXPECT_NE(full.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(full.find("\"returned\":50"), std::string::npos);
+  // Newest first: request 50 appears before request 1.
+  EXPECT_LT(full.find("\"request\":50"), full.find("\"request\":1,"));
+
+  // A tight byte budget truncates to whole timelines and says so.
+  const std::string tight = render_debug_requests(recorder, 600);
+  EXPECT_LE(tight.size(), 600u + 64u);
+  EXPECT_NE(tight.find("\"recorded\":50"), std::string::npos);
+  // Parses as far as counting returned < retained.
+  EXPECT_EQ(tight.find("\"returned\":50"), std::string::npos);
+}
+
+// ------------------------------------------------------- summarize_spans
+
+TEST(SummarizeSpans, StageQuantilesAndTailAttribution) {
+  std::vector<SpanTimeline> timelines;
+  // 9 fast requests solver-bound (distinct totals: nearest-rank p99 of
+  // 10 samples is the max, so ties cannot smear the tail), 1 slow
+  // request queue-bound: the tail is exactly the slow one and its
+  // dominant stage is queue_wait.
+  for (std::uint64_t id = 1; id <= 9; ++id) {
+    SpanTimeline tl;
+    tl.start(id, SpanClock::time_point{});
+    tl.stamp_seconds(SpanStage::kQueueWait, 0.0, 0.0001);
+    tl.stamp_seconds(SpanStage::kSolve, 0.0001, 0.0011, "match");
+    tl.outcome = "net.served";
+    tl.total_seconds = 0.0012 + static_cast<double>(id) * 1e-6;
+    timelines.push_back(std::move(tl));
+  }
+  SpanTimeline slow;
+  slow.start(10, SpanClock::time_point{});
+  slow.stamp_seconds(SpanStage::kQueueWait, 0.0, 0.080);
+  slow.stamp_seconds(SpanStage::kSolve, 0.080, 0.081, "match");
+  slow.outcome = "net.served";
+  slow.total_seconds = 0.082;
+  timelines.push_back(std::move(slow));
+
+  const SpanReport report = summarize_spans(timelines);
+  EXPECT_EQ(report.requests, 10u);
+  ASSERT_TRUE(report.stages.count("queue_wait"));
+  ASSERT_TRUE(report.stages.count("solve"));
+  EXPECT_EQ(report.stages.at("solve").count, 10u);
+  EXPECT_DOUBLE_EQ(report.stages.at("solve").p50, 0.001);
+  EXPECT_DOUBLE_EQ(report.stages.at("queue_wait").max, 0.080);
+  EXPECT_EQ(report.outcome_counts.at("net.served"), 10u);
+
+  // Tail: the single slow request.
+  EXPECT_DOUBLE_EQ(report.tail_threshold_seconds, 0.082);
+  EXPECT_EQ(report.tail_requests, 1u);
+  EXPECT_EQ(report.tail_dominant_stage.at("queue_wait"), 1u);
+  // 0.081 of 0.082 attributed — comfortably over any 90% gate.
+  EXPECT_GT(report.tail_attributed_fraction, 0.9);
+  // Queue-vs-solve on the tail: 0.080 / (0.080 + 0.001).
+  EXPECT_NEAR(report.tail_queue_vs_solve_pct, 100.0 * 0.080 / 0.081, 1e-9);
+  // Median end-to-end latency: the 5th of the 10 distinct totals.
+  EXPECT_DOUBLE_EQ(report.totals_quantile(0.5), 0.0012 + 5e-6);
+}
+
+TEST(SummarizeSpans, DoubleStampedStageContributesSumPerRequest) {
+  SpanTimeline tl;
+  tl.start(1, SpanClock::time_point{});
+  tl.stamp_seconds(SpanStage::kAdmission, 0.0, 0.001, "admitted");
+  tl.stamp_seconds(SpanStage::kAdmission, 0.002, 0.005, "shed");
+  tl.outcome = "net.shed";
+  tl.total_seconds = 0.006;
+  const SpanReport report = summarize_spans({tl});
+  // One sample per request per stage: 0.001 + 0.003 = 0.004.
+  EXPECT_EQ(report.stages.at("admission").count, 1u);
+  EXPECT_DOUBLE_EQ(report.stages.at("admission").p50, 0.004);
+}
+
+TEST(SummarizeSpans, EmptyTraceIsAllNaN) {
+  const SpanReport report = summarize_spans({});
+  EXPECT_EQ(report.requests, 0u);
+  EXPECT_TRUE(std::isnan(report.tail_threshold_seconds));
+  EXPECT_TRUE(std::isnan(report.tail_attributed_fraction));
+  EXPECT_TRUE(std::isnan(report.totals_quantile(0.5)));
+}
+
+// --------------------------------------------------------------- the CLI
+
+class SpansCliTest : public ::testing::Test {
+ protected:
+  /// Writes `timelines` as a JSONL trace in the test temp dir.
+  std::string write_trace(const std::vector<SpanTimeline>& timelines,
+                          const char* name) {
+    const std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    for (const SpanTimeline& tl : timelines) out << to_span_jsonl(tl) << "\n";
+    out.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(SpansCliTest, PassesAndFailsStageGates) {
+  const std::string path =
+      write_trace({quick_timeline(1, 0.020), quick_timeline(2, 0.030)},
+                  "spans_cli_gate.jsonl");
+  std::ostringstream out, err;
+  // solve p99 is 0.030: a generous gate passes...
+  EXPECT_EQ(run_inspect_cli({"spans", path, "--max-stage-p99", "solve:0.5"},
+                            out, err),
+            0);
+  // ...a tight one fails with a visible violation.
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_inspect_cli({"spans", path, "--max-stage-p99", "solve:0.001"},
+                            out2, err2),
+            1);
+  EXPECT_NE(out2.str().find("SPAN GATE VIOLATION"), std::string::npos);
+}
+
+TEST_F(SpansCliTest, UnknownStageOrBadUsageExitsTwo) {
+  const std::string path =
+      write_trace({quick_timeline(1, 0.020)}, "spans_cli_usage.jsonl");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_inspect_cli({"spans", path, "--max-stage-p99", "warp:0.5"},
+                            out, err),
+            2);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_inspect_cli({"spans"}, out2, err2), 2);  // missing path
+  std::ostringstream out3, err3;
+  EXPECT_EQ(run_inspect_cli({"spans", "/no/such/file.jsonl"}, out3, err3), 2);
+}
+
+TEST_F(SpansCliTest, EmptyTraceWithGatesFailsLoudly) {
+  const std::string path = write_trace({}, "spans_cli_empty.jsonl");
+  std::ostringstream out, err;
+  // No data must never read as all-gates-green in CI.
+  EXPECT_EQ(run_inspect_cli({"spans", path, "--max-stage-p99", "0.5"},
+                            out, err),
+            1);
+  // Without gates an empty trace is merely a report, not a failure.
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_inspect_cli({"spans", path}, out2, err2), 0);
+}
+
+TEST_F(SpansCliTest, JsonOutputParsesAsBenchReport) {
+  const std::string path =
+      write_trace({quick_timeline(1, 0.020), quick_timeline(2, 0.030)},
+                  "spans_cli_json.jsonl");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_inspect_cli({"spans", path, "--json"}, out, err), 0);
+  const bench::BenchReport report = bench::BenchReport::from_json(out.str());
+  EXPECT_EQ(report.name, "match_inspect_spans");
+  EXPECT_EQ(report.counters.at("outcome.net.served"), 2u);
+  bool has_solve_case = false;
+  for (const bench::BenchCase& c : report.cases) {
+    if (c.name == "stage.solve") {
+      has_solve_case = true;
+      EXPECT_EQ(c.metrics.at("count"), 2.0);
+    }
+  }
+  EXPECT_TRUE(has_solve_case);
+}
+
+TEST_F(SpansCliTest, TailAttributionGate) {
+  // A timeline whose spans explain almost none of its latency.
+  SpanTimeline opaque;
+  opaque.start(1, SpanClock::time_point{});
+  opaque.stamp_seconds(SpanStage::kSolve, 0.0, 0.001, "match");
+  opaque.outcome = "net.served";
+  opaque.total_seconds = 1.0;
+  const std::string path = write_trace({opaque}, "spans_cli_attr.jsonl");
+  std::ostringstream out, err;
+  EXPECT_EQ(run_inspect_cli({"spans", path, "--min-tail-attribution", "90"},
+                            out, err),
+            1);
+  std::ostringstream out2, err2;
+  EXPECT_EQ(run_inspect_cli({"spans", path, "--min-tail-attribution", "0.05"},
+                            out2, err2),
+            0);
+}
+
+}  // namespace
+}  // namespace match::obs
