@@ -122,7 +122,7 @@ struct Tally {
 /// The shared request mix: tiny instances, registered inline up front,
 /// then addressed by fingerprint.
 struct Mix {
-  std::vector<std::shared_ptr<const match::workload::Instance>> instances;
+  std::vector<std::shared_ptr<const match::workload::AnyInstance>> instances;
   std::vector<std::uint64_t> fingerprints;
 };
 
@@ -132,7 +132,7 @@ Mix make_mix() {
     match::rng::Rng rng(500 + i);
     match::workload::PaperParams params;
     params.n = 8 + 2 * i;  // 8, 10, 12
-    auto inst = std::make_shared<match::workload::Instance>(
+    auto inst = std::make_shared<match::workload::AnyInstance>(
         match::workload::make_paper_instance(params, rng));
     mix.fingerprints.push_back(match::service::fingerprint_instance(*inst));
     mix.instances.push_back(std::move(inst));

@@ -41,7 +41,7 @@ struct BenchResult {
 
 BenchResult run_batch(
     std::size_t workers,
-    const std::vector<std::shared_ptr<const match::workload::Instance>>&
+    const std::vector<std::shared_ptr<const match::workload::AnyInstance>>&
         instances,
     std::size_t requests, std::size_t match_iterations) {
   match::service::ServiceConfig config;
@@ -99,12 +99,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<std::shared_ptr<const match::workload::Instance>> instances;
+  std::vector<std::shared_ptr<const match::workload::AnyInstance>> instances;
   for (std::size_t i = 0; i < 4; ++i) {
     match::rng::Rng rng(500 + i);
     match::workload::PaperParams params;
     params.n = n;
-    instances.push_back(std::make_shared<match::workload::Instance>(
+    instances.push_back(std::make_shared<match::workload::AnyInstance>(
         match::workload::make_paper_instance(params, rng)));
   }
 

@@ -2,20 +2,37 @@
 // paper-style instances — the summary table a practitioner would want
 // before picking one.  Reports mean ET, mean mapping time, and the gap
 // to the best heuristic per size.
+//
+// Second act: the DAG shootout.  CE-over-priorities (core/dag_ce.hpp)
+// against HEFT, topological list scheduling, and random priority search
+// at CE's exact evaluation budget, across all three DAG generator
+// families.  Every schedule is run through the feasibility checker, and
+// the results land in BENCH_dag.json (obs/bench_report.hpp) next to the
+// perf trajectory artifacts.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <numeric>
+#include <string>
 #include <vector>
 
 #include "baselines/clustering.hpp"
 #include "baselines/ga.hpp"
+#include "baselines/heft.hpp"
 #include "baselines/list_heuristics.hpp"
 #include "baselines/local_search.hpp"
+#include "core/dag_ce.hpp"
 #include "core/island.hpp"
 #include "core/matchalgo.hpp"
 #include "io/table.hpp"
+#include "obs/bench_report.hpp"
+#include "sim/schedule_eval.hpp"
+#include "workload/dag_suite.hpp"
 #include "workload/paper_suite.hpp"
 
 namespace {
@@ -25,6 +42,13 @@ struct Entry {
   double seconds = 0.0;
 };
 
+/// Per-family accumulator of the DAG shootout.
+struct DagEntry {
+  double makespan = 0.0;
+  double seconds = 0.0;
+  double evaluations = 0.0;  ///< list-scheduler invocations
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -32,13 +56,19 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> sizes = {20, 30};
   std::size_t runs = 2;
+  std::size_t dag_tasks = 30;
+  std::size_t dag_ce_iterations = 120;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       sizes = {15};
       runs = 1;
+      dag_tasks = 20;
+      dag_ce_iterations = 40;
     } else if (std::strcmp(argv[i], "--full") == 0) {
       sizes = {20, 30, 40};
       runs = 3;
+      dag_tasks = 40;
+      dag_ce_iterations = 200;
     } else {
       std::fprintf(stderr, "usage: %s [--quick|--full]\n", argv[0]);
       return 2;
@@ -144,8 +174,151 @@ int main(int argc, char** argv) {
     match_near_best_everywhere &= entries[names[0]].et <= best_et * 1.10;
   }
 
+  // ---- DAG shootout: CE-over-priorities vs HEFT-class baselines --------
+  //
+  // All four contenders run through the SAME insertion-based list
+  // scheduler (`ScheduleEvaluator::schedule_priorities`), so makespan
+  // differences are attributable to the priority order alone.  The
+  // random-search arm replays CE's exact evaluation count, making the
+  // "equal evaluation budget" comparison explicit.
+  const std::vector<match::workload::DagFamily> families = {
+      match::workload::DagFamily::kLayered,
+      match::workload::DagFamily::kForkJoin,
+      match::workload::DagFamily::kSeriesParallel};
+  const std::vector<std::string> dag_names = {"HEFT", "topo list", "CE (dag)",
+                                              "random(=CE)"};
+
+  match::bench::BenchReport report;
+  report.name = "dag";
+  report.git_sha = match::bench::current_git_sha();
+  report.config["tasks"] = std::to_string(dag_tasks);
+  report.config["resources"] = "8";
+  report.config["runs"] = std::to_string(runs);
+  report.config["ce_max_iterations"] = std::to_string(dag_ce_iterations);
+
+  bool all_feasible = true;
+  std::size_t ce_win_families = 0;
+
+  for (std::size_t fi = 0; fi < families.size(); ++fi) {
+    const auto family = families[fi];
+    const char* family_name = match::workload::dag_family_name(family);
+    std::map<std::string, DagEntry> entries;
+
+    for (std::size_t run = 0; run < runs; ++run) {
+      match::rng::Rng setup(9000 + 131 * fi + run);
+      match::workload::DagSuiteParams params;
+      params.tasks = dag_tasks;
+      const auto inst =
+          match::workload::make_dag_instance(family, params, setup);
+      const auto plat = inst.make_platform();
+      const match::sim::ScheduleEvaluator eval(inst.dag, plat);
+      const std::size_t n = eval.num_tasks();
+
+      const auto check = [&](const std::string& who,
+                             const match::sim::Schedule& schedule) {
+        std::string why;
+        if (!match::sim::schedule_feasible(inst.dag, plat, schedule, &why)) {
+          std::fprintf(stderr, "INFEASIBLE schedule: %s / %s: %s\n",
+                       family_name, who.c_str(), why.c_str());
+          all_feasible = false;
+        }
+      };
+      const auto record = [&](const std::string& name, double makespan,
+                              double secs, double evals) {
+        entries[name].makespan += makespan;
+        entries[name].seconds += secs;
+        entries[name].evaluations += evals;
+      };
+
+      {
+        const auto res = match::baselines::heft_schedule(eval);
+        check(dag_names[0], res.schedule);
+        record(dag_names[0], res.best_cost, res.elapsed_seconds, 1.0);
+      }
+      {
+        const auto res = match::baselines::topo_list_schedule(eval);
+        check(dag_names[1], res.schedule);
+        record(dag_names[1], res.best_cost, res.elapsed_seconds, 1.0);
+      }
+      std::size_t ce_evaluations = 0;
+      {
+        match::core::DagCeParams cp;
+        cp.max_iterations = dag_ce_iterations;
+        match::rng::Rng r(run + 1);
+        const auto res =
+            match::core::solve_dag_ce(eval, cp, match::SolverContext(r));
+        check(dag_names[2], res.schedule);
+        record(dag_names[2], res.best_cost, res.elapsed_seconds,
+               static_cast<double>(res.evaluations));
+        ce_evaluations = res.evaluations;
+      }
+      {
+        // Random priority search at CE's exact budget: the control that
+        // shows whether CE's matrix is learning anything.
+        match::rng::Rng r(run + 101);
+        std::vector<match::graph::NodeId> perm(n);
+        std::iota(perm.begin(), perm.end(), match::graph::NodeId{0});
+        match::sim::ScheduleEvaluator::Scratch scratch;
+        match::sim::Schedule best_schedule;
+        double best = std::numeric_limits<double>::infinity();
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t e = 0; e < ce_evaluations; ++e) {
+          r.shuffle(perm);
+          match::sim::Schedule schedule;
+          const double ms = eval.schedule_priorities(perm, scratch, &schedule);
+          if (ms < best) {
+            best = ms;
+            best_schedule = std::move(schedule);
+          }
+        }
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        check(dag_names[3], best_schedule);
+        record(dag_names[3], best, secs,
+               static_cast<double>(ce_evaluations));
+      }
+      std::fprintf(stderr, "  dag family=%s run=%zu done\n", family_name, run);
+    }
+
+    const double heft_mean = entries[dag_names[0]].makespan / runs;
+    const double ce_mean = entries[dag_names[2]].makespan / runs;
+    if (ce_mean <= heft_mean) ++ce_win_families;
+
+    std::cout << "== DAG shootout, family = " << family_name << " (n = "
+              << dag_tasks << ", " << runs << " instances) ==\n\n";
+    Table table({"scheduler", "mean makespan", "vs HEFT", "mean MT (s)",
+                 "mean evals"});
+    for (const std::string& name : dag_names) {
+      const DagEntry& e = entries[name];
+      table.add_row({name, Table::num(e.makespan / runs, 6),
+                     Table::num((e.makespan / runs) / heft_mean, 4),
+                     Table::num(e.seconds / runs, 3),
+                     Table::num(e.evaluations / runs, 1)});
+      match::bench::BenchCase bench_case;
+      bench_case.name = std::string(family_name) + "/" + name;
+      bench_case.wall_seconds = e.seconds / runs;
+      bench_case.metrics["makespan"] = e.makespan / runs;
+      bench_case.metrics["vs_heft"] = (e.makespan / runs) / heft_mean;
+      bench_case.metrics["evaluations"] = e.evaluations / runs;
+      report.cases.push_back(std::move(bench_case));
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+
+  const std::string report_path = report.write();
+  std::cout << "wrote " << report_path << "\n";
+
+  const bool ce_competitive = ce_win_families >= 1;
   std::cout << "shape-check: MaTCH within 10% of the best heuristic at "
                "every size: "
             << (match_near_best_everywhere ? "yes" : "NO") << "\n";
-  return match_near_best_everywhere ? 0 : 1;
+  std::cout << "shape-check: every DAG schedule precedence-feasible: "
+            << (all_feasible ? "yes" : "NO") << "\n";
+  std::cout << "shape-check: CE matches or beats HEFT on >= 1 family ("
+            << ce_win_families << "/" << families.size()
+            << "): " << (ce_competitive ? "yes" : "NO") << "\n";
+  return (match_near_best_everywhere && all_feasible && ce_competitive) ? 0
+                                                                        : 1;
 }

@@ -71,7 +71,7 @@ using match::service::ServiceStats;
 using match::service::SolverKind;
 
 struct RequestTemplate {
-  std::shared_ptr<const match::workload::Instance> instance;
+  std::shared_ptr<const match::workload::AnyInstance> instance;
   SolverKind solver = SolverKind::kMatch;
   match::service::SolveOptions options;
 };
@@ -82,7 +82,7 @@ std::vector<RequestTemplate> make_templates(std::size_t num_instances) {
     match::rng::Rng rng(1000 + i);
     match::workload::PaperParams params;
     params.n = 8 + 2 * (i % 3);  // 8, 10, 12
-    auto inst = std::make_shared<match::workload::Instance>(
+    auto inst = std::make_shared<match::workload::AnyInstance>(
         match::workload::make_paper_instance(params, rng));
 
     for (std::uint64_t seed : {1ull, 2ull}) {
@@ -197,7 +197,7 @@ void print_stats(const char* label, const ServiceStats& s) {
 /// run id carry exactly the optimizer's per-iteration γ trajectory.
 bool audit_gamma_trajectory(MappingService& service,
                             const match::obs::RingBufferSink& ring,
-                            std::shared_ptr<const match::workload::Instance>
+                            std::shared_ptr<const match::workload::AnyInstance>
                                 instance) {
   MapRequest request;
   request.id = 999999;
@@ -216,7 +216,7 @@ bool audit_gamma_trajectory(MappingService& service,
   // library-default MatchParams with the request's iteration budget, RNG
   // seeded from options.seed.
   const match::sim::Platform platform = instance->make_platform();
-  const match::sim::CostEvaluator eval(instance->tig, platform);
+  const match::sim::CostEvaluator eval(instance->tig().tig, platform);
   match::core::MatchParams params;
   params.max_iterations = 40;
   match::core::MatchOptimizer optimizer(eval, params);

@@ -14,6 +14,7 @@
 namespace match::baselines {
 
 void GaParams::validate() const {
+  validate_common("GaParams");
   if (population < 2) throw std::invalid_argument("GaParams: population < 2");
   if (generations == 0) throw std::invalid_argument("GaParams: generations");
   if (crossover_prob < 0.0 || crossover_prob > 1.0) {
@@ -21,9 +22,6 @@ void GaParams::validate() const {
   }
   if (mutation_prob < 0.0 || mutation_prob > 1.0) {
     throw std::invalid_argument("GaParams: mutation_prob");
-  }
-  if (target_cost < 0.0) {
-    throw std::invalid_argument("GaParams: target_cost < 0");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/ce_params.hpp"
 #include "core/run_summary.hpp"
 #include "core/solver_context.hpp"
 #include "core/stop.hpp"
@@ -16,21 +17,18 @@ namespace match::baselines {
 /// Parameters of the FastMap-GA baseline (paper §5.1).  Defaults are the
 /// paper's tuned configuration (population 500, 1000 generations,
 /// crossover 0.85, mutation 0.07, elitism on).
-struct GaParams {
+///
+/// The `core::CeCommonParams` base supplies the cross-solver knobs; the
+/// GA consumes `parallel`, `target_cost`, and `eval_backend` (the
+/// per-generation cost pass) and ignores the CE-only fields — `rho`,
+/// `zeta`, `sample_size`, `sampler` have no GA meaning (`population` is
+/// the GA's batch-size knob).
+struct GaParams : core::CeCommonParams {
   std::size_t population = 500;
   std::size_t generations = 1000;
   double crossover_prob = 0.85;
   double mutation_prob = 0.07;
   bool elitism = true;
-  /// Evaluate each generation's population on the thread pool.
-  bool parallel = true;
-
-  /// Quality target: stop once best-so-far ≤ this value (0 disables).
-  double target_cost = 0.0;
-
-  /// Batch-evaluation backend for the per-generation cost pass; same
-  /// semantics as `core::MatchParams::eval_backend`.
-  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
 
   void validate() const;
 

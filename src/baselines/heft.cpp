@@ -1,0 +1,46 @@
+#include "baselines/heft.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+#include <vector>
+
+namespace match::baselines {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+DagScheduleResult run_priorities(const sim::ScheduleEvaluator& eval,
+                                 std::span<const graph::NodeId> priority) {
+  const auto t0 = Clock::now();
+  DagScheduleResult result;
+  sim::ScheduleEvaluator::Scratch scratch;
+  result.best_cost = eval.schedule_priorities(priority, scratch,
+                                              &result.schedule);
+  result.best_mapping = sim::Mapping(result.schedule.assignment);
+  result.iterations = eval.num_tasks();
+  result.elapsed_seconds =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace
+
+DagScheduleResult heft_schedule(const sim::ScheduleEvaluator& eval) {
+  const std::vector<double> rank = eval.upward_ranks();
+  std::vector<graph::NodeId> priority(eval.num_tasks());
+  std::iota(priority.begin(), priority.end(), graph::NodeId{0});
+  // Descending rank; stable so equal ranks fall back to ascending id.
+  std::stable_sort(priority.begin(), priority.end(),
+                   [&](graph::NodeId a, graph::NodeId b) {
+                     return rank[a] > rank[b];
+                   });
+  return run_priorities(eval, priority);
+}
+
+DagScheduleResult topo_list_schedule(const sim::ScheduleEvaluator& eval) {
+  return run_priorities(eval, eval.topo_order());
+}
+
+}  // namespace match::baselines

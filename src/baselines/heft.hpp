@@ -1,0 +1,46 @@
+#pragma once
+
+// HEFT-class list schedulers for DAG workloads.
+//
+// HEFT (Topcuoglu, Hariri & Wu, "Performance-effective and
+// low-complexity task scheduling for heterogeneous computing") is the
+// standard baseline every DAG-scheduling paper compares against: order
+// tasks by *upward rank* (mean execution + mean communication critical
+// path to the exit), then place each on the resource that finishes it
+// earliest, allowed to slot into idle gaps (insertion-based EFT).  The
+// topological-sort variant keeps the same EFT placement but orders tasks
+// by the canonical topological order — the cheapest defensible priority,
+// and the natural "no rank information" control.
+//
+// Both run through `sim::ScheduleEvaluator::schedule_priorities`, i.e.
+// exactly the machinery CE-over-priorities samples (core/dag_ce.hpp), so
+// a makespan difference between CE and HEFT is attributable to the
+// priority order alone.
+
+#include <cstddef>
+
+#include "core/run_summary.hpp"
+#include "sim/mapping.hpp"
+#include "sim/schedule_eval.hpp"
+
+namespace match::baselines {
+
+/// Result of a deterministic DAG list scheduler: the placement as a
+/// `Mapping` (task → resource, many-to-one) plus the full timed schedule
+/// it came from.  `best_cost` is the makespan; `iterations` counts
+/// scheduled tasks.
+struct DagScheduleResult : match::RunSummary {
+  sim::Mapping best_mapping;
+  sim::Schedule schedule;
+  double elapsed_seconds = 0.0;
+};
+
+/// HEFT: descending upward-rank priority (ties → lower task id) +
+/// insertion-based EFT placement.  Deterministic.
+DagScheduleResult heft_schedule(const sim::ScheduleEvaluator& eval);
+
+/// Topological list scheduling: canonical topological order priority +
+/// insertion-based EFT placement.  Deterministic.
+DagScheduleResult topo_list_schedule(const sim::ScheduleEvaluator& eval);
+
+}  // namespace match::baselines

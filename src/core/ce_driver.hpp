@@ -26,6 +26,9 @@ struct CeDriverParams {
   /// (the generic analogue of the paper's eq. (12) stability check).
   std::size_t gamma_stall_window = 8;
   double degeneracy_eps = 1e-3;
+  /// Stop once best-so-far ≤ this value (0 — the default — disables the
+  /// check); mirrors `MatchParams::target_cost` for the generic loop.
+  double target_cost = 0.0;
 
   void validate() const {
     if (!(rho > 0.0 && rho < 1.0)) throw std::invalid_argument("CE: rho");
@@ -33,6 +36,7 @@ struct CeDriverParams {
     if (sample_size < 2) throw std::invalid_argument("CE: sample_size");
     if (max_iterations == 0) throw std::invalid_argument("CE: max_iterations");
     if (gamma_stall_window == 0) throw std::invalid_argument("CE: stall");
+    if (target_cost < 0.0) throw std::invalid_argument("CE: target_cost");
   }
 };
 
@@ -157,6 +161,10 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
     ctx.emit(obs::Event::iteration_event(
         ctx.run_id(), "ce", iter, gamma, costs[order[0]], result.best_cost,
         gamma - costs[order[0]], 0.0, 0.0, rho_count));
+
+    if (params.target_cost > 0.0 && result.best_cost <= params.target_cost) {
+      break;
+    }
 
     stall = (gamma < prev_gamma - 1e-12) ? 0 : stall + 1;
     prev_gamma = std::min(prev_gamma, gamma);

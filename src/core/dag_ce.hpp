@@ -1,0 +1,105 @@
+#pragma once
+
+// Cross-entropy over priority permutations for DAG scheduling.
+//
+// MaTCH's CE machinery optimizes over permutation mappings; for DAG
+// workloads the natural permutation space is *priority orders*: a
+// priority permutation fed to the insertion-based list scheduler
+// (`sim::ScheduleEvaluator::schedule_priorities`) yields a full timed
+// schedule, so CE searches the space of list-scheduling priorities —
+// exactly the degree of freedom that separates HEFT from its
+// competitors.  The stochastic matrix parameterizes P[slot][task]
+// ("which task is the k-th most urgent"), `GenPermSampler` draws valid
+// permutations from it, and the elite update re-estimates slot→task
+// frequencies — the same GenPerm + elite-frequency scheme as MaTCH, run
+// through the generic `run_ce` driver with no solver-core changes.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ce_driver.hpp"
+#include "core/ce_params.hpp"
+#include "core/genperm.hpp"
+#include "core/solver_context.hpp"
+#include "core/stochastic_matrix.hpp"
+#include "rng/rng.hpp"
+#include "sim/mapping.hpp"
+#include "sim/schedule_eval.hpp"
+
+namespace match::core {
+
+/// Parameters of the DAG priority-space CE solver.  The shared knobs
+/// live in the `CeCommonParams` base; `sample_size` 0 resolves to
+/// max(64, 2·tasks) — priority space is n-dimensional, not n²-, so the
+/// paper's 2n² batch would overspend.  `parallel` is accepted but the
+/// run is serial per sample (the generic `run_ce` loop evaluates costs
+/// one by one); `eval_backend` has no effect because schedule recurrences
+/// are inherently scalar.
+struct DagCeParams : CeCommonParams {
+  std::size_t max_iterations = 200;
+  std::size_t gamma_stall_window = 10;
+  double degeneracy_eps = 1e-3;
+  /// GenPerm visits priority slots in random order (avoids the early-slot
+  /// bias a fixed order would give); fixed order for ablations.
+  bool random_task_order = true;
+
+  void validate() const;
+};
+
+/// The `run_ce` problem adapter: Sample = priority permutation
+/// (`sample[k]` = the k-th most urgent task).
+class DagPriorityProblem {
+ public:
+  using Sample = std::vector<graph::NodeId>;
+
+  DagPriorityProblem(const sim::ScheduleEvaluator& eval,
+                     SamplerBackend backend = SamplerBackend::kAlias,
+                     bool random_task_order = true);
+
+  std::size_t size() const noexcept { return n_; }
+
+  // --- CE driver interface -------------------------------------------
+  Sample draw(rng::Rng& rng);
+  double cost(const Sample& priority);
+  void update(const std::vector<const Sample*>& elites, double zeta);
+  bool degenerate(double eps) const;
+
+  const StochasticMatrix& priority_matrix() const noexcept { return p_; }
+  std::size_t evaluations() const noexcept { return evaluations_; }
+
+ private:
+  const sim::ScheduleEvaluator* eval_;
+  std::size_t n_;
+  StochasticMatrix p_;  ///< P[slot][task], row-stochastic
+  GenPermSampler sampler_;
+  RowAliasTables tables_;
+  SamplerBackend backend_;
+  bool random_task_order_;
+  bool tables_dirty_ = true;
+  std::size_t evaluations_ = 0;
+  sim::ScheduleEvaluator::Scratch scratch_;
+  std::vector<double> counts_;
+};
+
+/// Outcome of a DAG CE run.  `best_cost` is the makespan; the schedule
+/// is the best priority's full timed schedule (re-derived once at the
+/// end — the list scheduler is deterministic, so it reproduces the cost
+/// the run observed).
+struct DagCeResult : match::RunSummary {
+  std::vector<graph::NodeId> best_priority;
+  sim::Mapping best_mapping;
+  sim::Schedule schedule;
+  std::size_t evaluations = 0;  ///< list-scheduler invocations spent
+  std::vector<CeIterationStats> history;
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs CE over priority permutations on `eval`'s DAG + platform.  The
+/// context supplies the RNG stream (required), stop hook, and telemetry;
+/// determinism and cancellation semantics follow `run_ce` (including the
+/// single fallback draw when cancelled before the first batch).
+DagCeResult solve_dag_ce(const sim::ScheduleEvaluator& eval,
+                         const DagCeParams& params,
+                         const match::SolverContext& ctx);
+
+}  // namespace match::core

@@ -15,12 +15,7 @@
 namespace match::core {
 
 void GeneralMatchParams::validate() const {
-  if (!(rho > 0.0 && rho < 1.0)) {
-    throw std::invalid_argument("GeneralMatchParams: rho must be in (0, 1)");
-  }
-  if (!(zeta > 0.0 && zeta <= 1.0)) {
-    throw std::invalid_argument("GeneralMatchParams: zeta must be in (0, 1]");
-  }
+  validate_common("GeneralMatchParams");
   if (stability_window == 0 || gamma_stall_window == 0) {
     throw std::invalid_argument("GeneralMatchParams: zero window");
   }
@@ -194,6 +189,10 @@ MatchResult GeneralMatchOptimizer::run(const SolverContext& ctx) {
         ctx.run_id(), "general", iter, gamma, stats.iter_best,
         result.best_cost, gamma - stats.iter_best, stats.row_max_mean,
         stats.mean_entropy, elite));
+    if (params_.target_cost > 0.0 && result.best_cost <= params_.target_cost) {
+      result.stop_reason = StopReason::kTargetReached;
+      break;
+    }
     stable_iters = stable ? stable_iters + 1 : 0;
     if (stable_iters >= params_.stability_window) {
       result.stop_reason = StopReason::kRowMaxStable;

@@ -23,22 +23,18 @@
 namespace match::core {
 
 /// Parameters for the general (many-to-one) CE mapper.  Semantics match
-/// `MatchParams`; the default sample size is 2 · |V_t| · |V_r|, the
-/// rectangular analogue of the paper's 2n².
-struct GeneralMatchParams {
-  double rho = 0.05;
-  double zeta = 0.3;
-  std::size_t sample_size = 0;  ///< 0 → 2 · tasks · resources
+/// `MatchParams`; the shared knobs live in the `core::CeCommonParams`
+/// base (`sample_size` 0 → 2 · tasks · resources, the rectangular
+/// analogue of the paper's 2n²).  The base's `sampler` field is accepted
+/// but ignored: without the permutation constraint each task draws its
+/// resource independently from its own row, so there is no GenPerm
+/// backend to select.
+struct GeneralMatchParams : CeCommonParams {
   std::size_t stability_window = 5;
   std::size_t gamma_stall_window = 10;
   double stability_eps = 1e-6;
   double degeneracy_eps = 1e-3;
   std::size_t max_iterations = 1000;
-  bool parallel = true;
-
-  /// Batch-evaluation backend for the per-iteration cost pass; same
-  /// semantics as `MatchParams::eval_backend`.
-  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
 
   void validate() const;
 };

@@ -17,12 +17,7 @@
 namespace match::core {
 
 void MatchParams::validate() const {
-  if (!(rho > 0.0 && rho < 1.0)) {
-    throw std::invalid_argument("MatchParams: rho must be in (0, 1)");
-  }
-  if (!(zeta > 0.0 && zeta <= 1.0)) {
-    throw std::invalid_argument("MatchParams: zeta must be in (0, 1]");
-  }
+  validate_common("MatchParams");
   if (stability_window == 0) {
     throw std::invalid_argument("MatchParams: stability_window must be >= 1");
   }
@@ -37,9 +32,6 @@ void MatchParams::validate() const {
   }
   if (max_iterations == 0) {
     throw std::invalid_argument("MatchParams: max_iterations must be >= 1");
-  }
-  if (target_cost < 0.0) {
-    throw std::invalid_argument("MatchParams: target_cost < 0");
   }
 }
 

@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/ce_params.hpp"
 #include "core/genperm.hpp"
 #include "core/run_summary.hpp"
 #include "core/solver_context.hpp"
@@ -30,24 +31,17 @@ enum class StopReason {
 const char* to_string(StopReason reason);
 
 /// Tunable parameters of the MaTCH heuristic.  Defaults reproduce the
-/// paper's published configuration.
-struct MatchParams {
-  /// Focus parameter ρ — fraction of each batch kept as the elite set.
-  /// The paper recommends 0.01 ≤ ρ ≤ 0.1.
-  double rho = 0.05;
-
-  /// Smoothing factor ζ of eq. (13); the paper uses 0.3.  ζ = 1 disables
-  /// smoothing (coarse update).
-  double zeta = 0.3;
-
+/// paper's published configuration.  The cross-solver knobs — `rho`,
+/// `zeta`, `sample_size` (0 → the paper's 2·n²), `parallel`,
+/// `target_cost`, `sampler`, `eval_backend` — live in the
+/// `core::CeCommonParams` base (core/ce_params.hpp); MaTCH consumes all
+/// of them.
+struct MatchParams : CeCommonParams {
   /// Dynamic smoothing exponent q (de Boer et al. §5 / Rubinstein): when
   /// > 0, the effective smoothing decays over iterations,
   /// ζ_k = ζ · (1 − (1 − 1/(k+1))^q), giving aggressive early updates
   /// and gentle late ones.  0 (default) keeps the paper's constant ζ.
   double dynamic_smoothing_q = 0.0;
-
-  /// Samples per iteration N; 0 selects the paper's N = 2·n².
-  std::size_t sample_size = 0;
 
   /// The paper's `c`: iterations the per-row maxima must stay unchanged.
   std::size_t stability_window = 5;
@@ -69,40 +63,15 @@ struct MatchParams {
   /// Hard iteration cap.
   std::size_t max_iterations = 1000;
 
-  /// Quality target: stop as soon as best-so-far ≤ this value
-  /// (`StopReason::kTargetReached`).  0 (default) disables the check; the
-  /// service layer uses it for "good enough, answer now" requests.
-  double target_cost = 0.0;
-
   /// GenPerm visits tasks in random order (paper behavior).  Fixed order
   /// is exposed for the ablation study.
   bool random_task_order = true;
-
-  /// GenPerm draw backend.  `kAlias` (default) builds per-row alias
-  /// tables once per iteration and rejection-samples each pick in O(1)
-  /// expected — distributionally identical to the exact scan but
-  /// ~O(n log n) instead of O(n²) per sample.  `kScan` is the legacy
-  /// exact scan, bit-identical to pre-alias library versions for a
-  /// fixed seed (see docs/ALGORITHMS.md).
-  SamplerBackend sampler = SamplerBackend::kAlias;
 
   /// Ablation switch: use the literal Fig.-5 elite rule (sort descending,
   /// γ = s_{⌊ρN⌋}) instead of the standard best-ρ-fraction reading.  The
   /// literal rule keeps ~(1−ρ)·N samples "elite" and barely optimizes;
   /// see DESIGN.md §3.
   bool paper_literal_elite = false;
-
-  /// Evaluate/sample batches on the thread pool.
-  bool parallel = true;
-
-  /// Batch-evaluation backend for the per-iteration cost pass.  `kAuto`
-  /// (default) picks the best SIMD kernel the CPU supports; `kScalar`
-  /// pins the reference kernel (bit-compatible with
-  /// `CostEvaluator::makespan`).  The resolved choice is reported via
-  /// the `solver.backend.<name>` metric.  On integer-valued workloads
-  /// (the paper's) every backend is bit-identical; on fractional ones
-  /// SIMD sums reassociate — see sim/batch_eval.hpp.
-  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
 
   /// Throws `std::invalid_argument` when a field is out of range.
   void validate() const;

@@ -1,6 +1,7 @@
 #include "graph/algorithms.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <limits>
 #include <queue>
 #include <stdexcept>
@@ -185,6 +186,61 @@ std::vector<Edge> minimum_spanning_forest(const Graph& g) {
     return std::pair(a.u, a.v) < std::pair(b.u, b.v);
   });
   return tree;
+}
+
+std::vector<NodeId> topological_order(const Dag& g) {
+  const std::size_t n = g.num_nodes();
+  std::vector<std::size_t> indegree(n);
+  // Min-heap over ready node ids (std::priority_queue is a max-heap, so
+  // invert the comparison).
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<NodeId>> ready;
+  for (std::size_t v = 0; v < n; ++v) {
+    indegree[v] = g.in_degree(static_cast<NodeId>(v));
+    if (indegree[v] == 0) ready.push(static_cast<NodeId>(v));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId u = ready.top();
+    ready.pop();
+    order.push_back(u);
+    for (const auto& s : g.successors(u)) {
+      if (--indegree[s.id] == 0) ready.push(s.id);
+    }
+  }
+  return order;  // always complete: Dag construction rejects cycles
+}
+
+bool is_topological_order(const Dag& g, std::span<const NodeId> order) {
+  const std::size_t n = g.num_nodes();
+  if (order.size() != n) return false;
+  constexpr std::size_t kUnseen = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> position(n, kUnseen);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (order[i] >= n || position[order[i]] != kUnseen) return false;
+    position[order[i]] = i;
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    for (const auto& s : g.successors(static_cast<NodeId>(u))) {
+      if (position[u] >= position[s.id]) return false;
+    }
+  }
+  return true;
+}
+
+double critical_path_node_weight(const Dag& g) {
+  const auto order = topological_order(g);
+  std::vector<double> path(g.num_nodes(), 0.0);
+  double best = 0.0;
+  for (const NodeId u : order) {
+    double longest_pred = 0.0;
+    for (const auto& p : g.predecessors(u)) {
+      longest_pred = std::max(longest_pred, path[p.id]);
+    }
+    path[u] = longest_pred + g.node_weight(u);
+    best = std::max(best, path[u]);
+  }
+  return best;
 }
 
 }  // namespace match::graph

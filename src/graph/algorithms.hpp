@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "graph/dag.hpp"
 #include "graph/graph.hpp"
 
 namespace match::graph {
@@ -53,5 +55,21 @@ std::vector<double> all_pairs_shortest_paths(const Graph& g);
 /// (u < v) edges sorted by (u, v).  Used to build cheap backbone
 /// topologies from geometric resource layouts.
 std::vector<Edge> minimum_spanning_forest(const Graph& g);
+
+/// The canonical topological order of a DAG: Kahn's algorithm with a
+/// min-heap over ready nodes, so among all valid orders this returns the
+/// lexicographically smallest — a deterministic order independent of how
+/// the DAG was constructed.  `Dag` construction already rejects cycles,
+/// so every Dag has one.
+std::vector<NodeId> topological_order(const Dag& g);
+
+/// True if `order` is a permutation of the DAG's nodes in which every arc
+/// points forward (each node appears after all its predecessors).
+bool is_topological_order(const Dag& g, std::span<const NodeId> order);
+
+/// Length of the longest path by node weight (sum of node weights along
+/// the path; arc weights are ignored).  The classic critical-path lower
+/// bound on any schedule when every resource has unit speed.
+double critical_path_node_weight(const Dag& g);
 
 }  // namespace match::graph

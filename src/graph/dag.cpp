@@ -1,0 +1,160 @@
+#include "graph/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace match::graph {
+
+Dag Dag::from_edges(std::size_t num_nodes, std::vector<double> node_weights,
+                    std::span<const Edge> edges) {
+  if (node_weights.empty()) {
+    node_weights.assign(num_nodes, 1.0);
+  } else if (node_weights.size() != num_nodes) {
+    throw std::invalid_argument("Dag: node_weights size mismatch");
+  }
+
+  // Canonicalize and validate the arc list.  Direction is meaningful, so
+  // no endpoint swap here — (u, v) and (v, u) are distinct arcs.
+  std::vector<Edge> canon(edges.begin(), edges.end());
+  for (const auto& e : canon) {
+    if (e.u >= num_nodes || e.v >= num_nodes) {
+      throw std::invalid_argument("Dag: edge endpoint out of range");
+    }
+    if (e.u == e.v) throw std::invalid_argument("Dag: self-loop");
+  }
+  std::sort(canon.begin(), canon.end(), [](const Edge& a, const Edge& b) {
+    return std::pair(a.u, a.v) < std::pair(b.u, b.v);
+  });
+  for (std::size_t i = 1; i < canon.size(); ++i) {
+    if (canon[i].u == canon[i - 1].u && canon[i].v == canon[i - 1].v) {
+      throw std::invalid_argument("Dag: duplicate edge");
+    }
+  }
+
+  Dag g;
+  g.node_weights_ = std::move(node_weights);
+  g.total_node_weight_ = 0.0;
+  for (double w : g.node_weights_) g.total_node_weight_ += w;
+
+  g.edge_u_.reserve(canon.size());
+  g.edge_v_.reserve(canon.size());
+  g.total_edge_weight_ = 0.0;
+
+  g.succ_offsets_.assign(num_nodes + 1, 0);
+  g.pred_offsets_.assign(num_nodes + 1, 0);
+  for (const auto& e : canon) {
+    ++g.succ_offsets_[e.u + 1];
+    ++g.pred_offsets_[e.v + 1];
+  }
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    g.succ_offsets_[i + 1] += g.succ_offsets_[i];
+    g.pred_offsets_[i + 1] += g.pred_offsets_[i];
+  }
+
+  g.successors_.resize(canon.size());
+  g.predecessors_.resize(canon.size());
+  std::vector<std::size_t> succ_cursor(g.succ_offsets_.begin(),
+                                       g.succ_offsets_.end() - 1);
+  std::vector<std::size_t> pred_cursor(g.pred_offsets_.begin(),
+                                       g.pred_offsets_.end() - 1);
+  for (const auto& e : canon) {
+    g.successors_[succ_cursor[e.u]++] = Neighbor{e.v, e.weight};
+    g.predecessors_[pred_cursor[e.v]++] = Neighbor{e.u, e.weight};
+    g.edge_u_.push_back(e.u);
+    g.edge_v_.push_back(e.v);
+    g.total_edge_weight_ += e.weight;
+  }
+  // Successor rows are already sorted ((u, v)-sorted insertion); the
+  // predecessor rows fill in tail order, which is also ascending — but
+  // sort defensively so the invariant never depends on insertion order.
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    std::sort(
+        g.predecessors_.begin() + static_cast<std::ptrdiff_t>(g.pred_offsets_[i]),
+        g.predecessors_.begin() +
+            static_cast<std::ptrdiff_t>(g.pred_offsets_[i + 1]),
+        [](const Neighbor& a, const Neighbor& b) { return a.id < b.id; });
+  }
+
+  // Kahn's algorithm as a cycle check: if some node is never released,
+  // the remaining arcs close a cycle.
+  std::vector<std::size_t> indegree(num_nodes);
+  std::vector<NodeId> ready;
+  ready.reserve(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    indegree[v] = g.in_degree(static_cast<NodeId>(v));
+    if (indegree[v] == 0) ready.push_back(static_cast<NodeId>(v));
+  }
+  std::size_t released = 0;
+  while (released < ready.size()) {
+    const NodeId u = ready[released++];
+    for (const auto& s : g.successors(u)) {
+      if (--indegree[s.id] == 0) ready.push_back(s.id);
+    }
+  }
+  if (released != num_nodes) throw std::invalid_argument("Dag: cycle");
+
+  return g;
+}
+
+Dag::Builder::Builder(std::size_t num_nodes) : node_weights_(num_nodes, 1.0) {}
+
+NodeId Dag::Builder::add_node(double weight) {
+  node_weights_.push_back(weight);
+  return static_cast<NodeId>(node_weights_.size() - 1);
+}
+
+void Dag::Builder::set_node_weight(NodeId node, double weight) {
+  if (node >= node_weights_.size()) {
+    throw std::out_of_range("Dag::Builder::set_node_weight: no such node");
+  }
+  node_weights_[node] = weight;
+}
+
+void Dag::Builder::add_edge(NodeId from, NodeId to, double weight) {
+  if (from >= node_weights_.size() || to >= node_weights_.size()) {
+    throw std::out_of_range("Dag::Builder::add_edge: no such node");
+  }
+  edges_.push_back(Edge{from, to, weight});
+}
+
+Dag Dag::Builder::build() {
+  const std::size_t n = node_weights_.size();
+  Dag g = Dag::from_edges(n, std::move(node_weights_), edges_);
+  node_weights_.clear();
+  edges_.clear();
+  return g;
+}
+
+bool Dag::has_edge(NodeId from, NodeId to) const {
+  const auto row = successors(from);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const Neighbor& n, NodeId id) { return n.id < id; });
+  return it != row.end() && it->id == to;
+}
+
+double Dag::edge_weight(NodeId from, NodeId to) const {
+  const auto row = successors(from);
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), to,
+      [](const Neighbor& n, NodeId id) { return n.id < id; });
+  return (it != row.end() && it->id == to) ? it->weight : 0.0;
+}
+
+std::vector<Edge> Dag::edge_list() const {
+  std::vector<Edge> out;
+  out.reserve(edge_u_.size());
+  for (std::size_t i = 0; i < edge_u_.size(); ++i) {
+    out.push_back(Edge{edge_u_[i], edge_v_[i],
+                       edge_weight(edge_u_[i], edge_v_[i])});
+  }
+  return out;
+}
+
+bool operator==(const Dag& a, const Dag& b) {
+  return a.node_weights_ == b.node_weights_ &&
+         a.succ_offsets_ == b.succ_offsets_ && a.successors_ == b.successors_;
+}
+
+}  // namespace match::graph

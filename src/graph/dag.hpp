@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace match::graph {
+
+/// Immutable directed acyclic graph with per-node and per-edge weights,
+/// stored in compressed-sparse-row form twice: once by successor (the
+/// direction list schedulers walk when releasing ready tasks) and once by
+/// predecessor (the direction they walk when computing ready times).
+///
+/// Node weights are task computation amounts; edge weights are the data
+/// volumes transferred from a task to its successor.  Like `Graph`, a Dag
+/// is built once (via `Builder` or `from_edges`) and never mutated, and
+/// construction rejects anything that is not a simple DAG: out-of-range
+/// endpoints, self-loops, duplicate arcs, and cycles all throw
+/// `std::invalid_argument`.
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Builds a DAG from an explicit arc list (`Edge::u` is the tail /
+  /// predecessor, `Edge::v` the head / successor).  Node weights default
+  /// to 1 when `node_weights` is empty; otherwise it must have exactly
+  /// `num_nodes` entries.
+  static Dag from_edges(std::size_t num_nodes, std::vector<double> node_weights,
+                        std::span<const Edge> edges);
+
+  /// Incremental construction helper; validation happens in `build()`.
+  class Builder {
+   public:
+    explicit Builder(std::size_t num_nodes = 0);
+
+    /// Appends a node and returns its id.
+    NodeId add_node(double weight = 1.0);
+
+    /// Sets the weight of an existing node.
+    void set_node_weight(NodeId node, double weight);
+
+    /// Adds the directed arc `from → to`; endpoints must already exist.
+    void add_edge(NodeId from, NodeId to, double weight = 1.0);
+
+    std::size_t num_nodes() const noexcept { return node_weights_.size(); }
+
+    /// Finalizes into CSR form (throws on cycles etc.).  The builder is
+    /// left empty.
+    Dag build();
+
+   private:
+    std::vector<double> node_weights_;
+    std::vector<Edge> edges_;
+  };
+
+  std::size_t num_nodes() const noexcept { return node_weights_.size(); }
+  std::size_t num_edges() const noexcept { return edge_u_.size(); }
+
+  double node_weight(NodeId node) const { return node_weights_[node]; }
+  std::span<const double> node_weights() const noexcept { return node_weights_; }
+
+  /// Sum of all node weights.
+  double total_node_weight() const noexcept { return total_node_weight_; }
+
+  /// Sum of all edge weights.
+  double total_edge_weight() const noexcept { return total_edge_weight_; }
+
+  std::size_t out_degree(NodeId node) const {
+    return succ_offsets_[node + 1] - succ_offsets_[node];
+  }
+  std::size_t in_degree(NodeId node) const {
+    return pred_offsets_[node + 1] - pred_offsets_[node];
+  }
+
+  /// The successors of `node` with the arc weights, sorted by id.
+  std::span<const Neighbor> successors(NodeId node) const {
+    return {successors_.data() + succ_offsets_[node],
+            successors_.data() + succ_offsets_[node + 1]};
+  }
+
+  /// The predecessors of `node` with the arc weights, sorted by id.
+  std::span<const Neighbor> predecessors(NodeId node) const {
+    return {predecessors_.data() + pred_offsets_[node],
+            predecessors_.data() + pred_offsets_[node + 1]};
+  }
+
+  /// True if the arc `from → to` exists.  O(log out_degree(from)).
+  bool has_edge(NodeId from, NodeId to) const;
+
+  /// Weight of arc `from → to`, or 0 if absent.  O(log out_degree(from)).
+  double edge_weight(NodeId from, NodeId to) const;
+
+  /// Each arc exactly once as (u=tail, v=head), sorted by (u, v).
+  std::vector<Edge> edge_list() const;
+
+  /// Structural + weight equality.
+  friend bool operator==(const Dag& a, const Dag& b);
+
+ private:
+  std::vector<double> node_weights_;
+  std::vector<std::size_t> succ_offsets_;  // size num_nodes + 1
+  std::vector<Neighbor> successors_;       // size num_edges
+  std::vector<std::size_t> pred_offsets_;  // size num_nodes + 1
+  std::vector<Neighbor> predecessors_;     // size num_edges
+  std::vector<NodeId> edge_u_, edge_v_;    // canonical arc list, (u, v)-sorted
+  double total_node_weight_ = 0.0;
+  double total_edge_weight_ = 0.0;
+};
+
+}  // namespace match::graph

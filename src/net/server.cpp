@@ -526,6 +526,19 @@ void MatchServer::handle_request(Connection& conn, const FrameHeader& header,
     refuse(Status::kBadRequest, "no solver registered for that kind");
     return;
   }
+  // Workload-kind compatibility: a TIG solver must not receive a DAG (or
+  // vice versa).  Checked here — not by letting try_submit throw — so
+  // the refusal is an answered kBadRequest, not a reactor exception.
+  if (!service_.registry()
+           .get(request.request.solver)
+           .supports(request.request.instance->kind())) {
+    refuse(Status::kBadRequest,
+           std::string("solver does not support ") +
+               workload::workload_kind_name(
+                   request.request.instance->kind()) +
+               " workloads");
+    return;
+  }
 
   // ---- Deadline-aware early rejection. --------------------------------
   const double deadline = request.request.options.deadline_seconds;

@@ -258,9 +258,10 @@ class MatchServer {
   /// the accept-span origin for every frame decoded from that burst.
   service::Clock::time_point read_started_{};
 
-  /// Inline instances by canonical fingerprint, FIFO-evicted.
+  /// Inline instances (TIG or DAG) by canonical fingerprint,
+  /// FIFO-evicted.
   std::unordered_map<std::uint64_t,
-                     std::shared_ptr<const workload::Instance>>
+                     std::shared_ptr<const workload::AnyInstance>>
       instances_;
   std::deque<std::uint64_t> instance_order_;
 

@@ -5,8 +5,10 @@
 #include <memory>
 #include <vector>
 
+#include "graph/dag.hpp"
 #include "graph/graph.hpp"
 #include "sim/platform.hpp"
+#include "workload/any_instance.hpp"
 #include "workload/instance.hpp"
 
 namespace match::net {
@@ -164,24 +166,90 @@ graph::Graph read_graph(Reader& r) {
   }
 }
 
-void put_instance(std::string& out, const workload::Instance& inst) {
-  put_string(out, inst.name);
-  put_u8(out, static_cast<std::uint8_t>(inst.comm_policy));
-  put_graph(out, inst.tig.graph());
-  put_graph(out, inst.resources.graph());
+// The DAG wire shape mirrors the undirected one field for field; the
+// edge list is directed (u = tail, v = head) and cycle rejection happens
+// in `Dag::from_edges`, so a frame that decodes is already a valid DAG.
+void put_dag(std::string& out, const graph::Dag& g) {
+  put_u32(out, static_cast<std::uint32_t>(g.num_nodes()));
+  for (double w : g.node_weights()) put_f64(out, w);
+  const std::vector<graph::Edge> edges = g.edge_list();
+  put_u32(out, static_cast<std::uint32_t>(edges.size()));
+  for (const graph::Edge& e : edges) {
+    put_u32(out, e.u);
+    put_u32(out, e.v);
+    put_f64(out, e.weight);
+  }
 }
 
-workload::Instance read_instance(Reader& r) {
-  workload::Instance inst;
-  inst.name = r.str();
+graph::Dag read_dag(Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (n == 0 || n > kMaxWireNodes || r.remaining() / 8 < n) {
+    throw WireError("wire: dag node count out of range");
+  }
+  std::vector<double> weights(n);
+  for (double& w : weights) w = r.f64();
+  const std::uint32_t m = r.u32();
+  // A simple DAG has at most n*(n-1)/2 arcs; like read_graph, also bound
+  // the claimed count by what the remaining payload can physically hold
+  // (16 bytes per wire edge) before allocating.
+  const std::uint64_t max_edges =
+      static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  if (m > max_edges || r.remaining() / 16 < m) {
+    throw WireError("wire: dag edge count out of range");
+  }
+  std::vector<graph::Edge> edges(m);
+  for (graph::Edge& e : edges) {
+    e.u = r.u32();
+    e.v = r.u32();
+    e.weight = r.f64();
+  }
+  try {
+    return graph::Dag::from_edges(n, std::move(weights), edges);
+  } catch (const std::invalid_argument& e) {
+    throw WireError(std::string("wire: invalid dag (") + e.what() + ")");
+  }
+}
+
+void put_instance(std::string& out, const workload::AnyInstance& any) {
+  // The workload-kind discriminant leads: a decoder knows the shape of
+  // everything after this byte before reading it.
+  put_u8(out, static_cast<std::uint8_t>(any.kind()));
+  put_string(out, any.name());
+  put_u8(out, static_cast<std::uint8_t>(any.comm_policy()));
+  if (any.is_tig()) {
+    put_graph(out, any.tig().tig.graph());
+  } else {
+    put_dag(out, any.dag().dag);
+  }
+  put_graph(out, any.resources().graph());
+}
+
+workload::AnyInstance read_instance(Reader& r) {
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(workload::WorkloadKind::kDag)) {
+    throw WireError("wire: unknown workload kind");
+  }
+  std::string name = r.str();
   const std::uint8_t policy = r.u8();
   if (policy > static_cast<std::uint8_t>(sim::CommCostPolicy::kShortestPath)) {
     throw WireError("wire: unknown comm-cost policy");
   }
-  inst.comm_policy = static_cast<sim::CommCostPolicy>(policy);
-  inst.tig = graph::Tig(read_graph(r));
+  const auto comm_policy = static_cast<sim::CommCostPolicy>(policy);
+  if (static_cast<workload::WorkloadKind>(kind) ==
+      workload::WorkloadKind::kTig) {
+    workload::Instance inst;
+    inst.name = std::move(name);
+    inst.comm_policy = comm_policy;
+    inst.tig = graph::Tig(read_graph(r));
+    inst.resources = graph::ResourceGraph(read_graph(r));
+    return workload::AnyInstance(std::move(inst));
+  }
+  workload::DagInstance inst;
+  inst.name = std::move(name);
+  inst.comm_policy = comm_policy;
+  inst.dag = read_dag(r);
   inst.resources = graph::ResourceGraph(read_graph(r));
-  return inst;
+  return workload::AnyInstance(std::move(inst));
 }
 
 void put_header(std::string& out, MsgType type, std::uint8_t flags,
@@ -217,7 +285,7 @@ std::uint8_t priority_flags(Priority priority) {
 }
 
 constexpr std::uint8_t kMaxSolverKind =
-    static_cast<std::uint8_t>(service::SolverKind::kSufferage);
+    static_cast<std::uint8_t>(service::SolverKind::kDagCe);
 constexpr std::uint8_t kMaxServedBy =
     static_cast<std::uint8_t>(service::ServedBy::kCoalesced);
 constexpr std::uint8_t kMaxStatus =
@@ -360,7 +428,7 @@ WireRequest decode_request(const FrameHeader& header,
     out.instance_fingerprint = r.u64();
   } else {
     out.request.instance =
-        std::make_shared<const workload::Instance>(read_instance(r));
+        std::make_shared<const workload::AnyInstance>(read_instance(r));
   }
   r.expect_done();
   return out;

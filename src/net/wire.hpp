@@ -5,7 +5,7 @@
 //
 //   offset  size  field
 //   0       4     magic "MTCH"
-//   4       2     version (currently 1), little-endian
+//   4       2     version (currently 2), little-endian
 //   6       1     type: 1 = request, 2 = response
 //   7       1     flags (requests: priority + deadline bits, see below)
 //   8       8     request id (echoed verbatim in the response)
@@ -16,12 +16,21 @@
 // pattern, so every value round-trips exactly (pinned by
 // tests/wire_test.cpp).  The payload is a serialized
 // `service::MapRequest` — solver kind, result-affecting options, and
-// the instance either inline (TIG + resource graph, the graph wire
-// shape mirrors graph/io.hpp) or as the 64-bit canonical fingerprint of
+// the instance either inline or as the 64-bit canonical fingerprint of
 // an instance the server has already seen inline — or a serialized
 // `service::MapResponse` plus a status byte classifying the admission
-// outcome (served / shed / rejected / error).  Full field tables:
-// docs/NETWORKING.md.
+// outcome (served / shed / rejected / error).
+//
+// Version 2 prefixes every inline instance with a one-byte
+// `workload::WorkloadKind` discriminant: 0 = TIG (undirected task graph
+// + resource graph, the graph wire shape mirrors graph/io.hpp), 1 = DAG
+// (directed task graph with precedence arcs + resource graph).  Unknown
+// kind bytes throw `WireError`, which the server answers with
+// `kBadRequest` — the composition point where future workload families
+// slot in without another version bump.  Version 1 frames (no
+// discriminant) are no longer accepted; the protocol predates any
+// deployed client, so no compatibility shim is carried.  Full field
+// tables: docs/NETWORKING.md.
 //
 // Decoders never trust the peer: every read is bounds-checked, string
 // and array lengths are capped, and any malformed input throws
@@ -37,7 +46,7 @@
 namespace match::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x4854434Du;  // "MTCH" LE
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kHeaderSize = 20;
 /// Frames above this payload size are rejected before buffering — a bad
 /// magic-collision or a hostile peer must not make the server allocate.

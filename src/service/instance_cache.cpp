@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "graph/dag.hpp"
 #include "graph/graph.hpp"
 #include "rng/splitmix64.hpp"
 
@@ -29,6 +30,17 @@ void mix_graph(Fingerprinter& fp, const graph::Graph& g) {
   }
 }
 
+void mix_dag(Fingerprinter& fp, const graph::Dag& g) {
+  fp.mix(g.num_nodes());
+  for (double w : g.node_weights()) fp.mix_double(w);
+  fp.mix(g.num_edges());
+  for (const graph::Edge& e : g.edge_list()) {
+    fp.mix(e.u);
+    fp.mix(e.v);
+    fp.mix_double(e.weight);
+  }
+}
+
 }  // namespace
 
 std::uint64_t fingerprint_instance(const workload::Instance& instance) {
@@ -37,6 +49,23 @@ std::uint64_t fingerprint_instance(const workload::Instance& instance) {
   mix_graph(fp, instance.tig.graph());
   mix_graph(fp, instance.resources.graph());
   fp.mix(static_cast<std::uint64_t>(instance.comm_policy));
+  return fp.digest();
+}
+
+std::uint64_t fingerprint_instance(const workload::DagInstance& instance) {
+  Fingerprinter fp;
+  fp.mix(0x4441472d46503164ULL);  // domain tag ("DAG-FP1d")
+  mix_dag(fp, instance.dag);
+  mix_graph(fp, instance.resources.graph());
+  fp.mix(static_cast<std::uint64_t>(instance.comm_policy));
+  return fp.digest();
+}
+
+std::uint64_t fingerprint_instance(const workload::AnyInstance& instance) {
+  Fingerprinter fp;
+  fp.mix(static_cast<std::uint64_t>(instance.kind()));
+  fp.mix(instance.is_tig() ? fingerprint_instance(instance.tig())
+                           : fingerprint_instance(instance.dag()));
   return fp.digest();
 }
 

@@ -26,6 +26,7 @@
 
 #include "service/request.hpp"
 #include "sim/mapping.hpp"
+#include "workload/any_instance.hpp"
 #include "workload/instance.hpp"
 
 namespace match::service {
@@ -44,6 +45,15 @@ class Fingerprinter {
 
 /// Canonical fingerprint of the problem data (TIG + platform + policy).
 std::uint64_t fingerprint_instance(const workload::Instance& instance);
+
+/// Canonical fingerprint of a DAG instance (task DAG + platform + policy).
+std::uint64_t fingerprint_instance(const workload::DagInstance& instance);
+
+/// Kind-composed fingerprint: the `WorkloadKind` discriminant is mixed
+/// FIRST, then the per-kind digest, so a TIG and a DAG can never collide
+/// by byte coincidence.  This is the digest the service cache and the
+/// wire protocol's fingerprint references use.
+std::uint64_t fingerprint_instance(const workload::AnyInstance& instance);
 
 /// Full cache key: instance fingerprint ⊕ solver kind ⊕ result-affecting
 /// options (seed, max_iterations, target_cost — not the deadline).

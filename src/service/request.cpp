@@ -18,6 +18,12 @@ const char* to_string(SolverKind kind) {
       return "max-min";
     case SolverKind::kSufferage:
       return "sufferage";
+    case SolverKind::kHeft:
+      return "heft";
+    case SolverKind::kTopoList:
+      return "topo-list";
+    case SolverKind::kDagCe:
+      return "dag-ce";
   }
   return "unknown";
 }
@@ -25,7 +31,8 @@ const char* to_string(SolverKind kind) {
 SolverKind parse_solver_kind(const std::string& name) {
   for (SolverKind kind :
        {SolverKind::kMatch, SolverKind::kGa, SolverKind::kLocalSearch,
-        SolverKind::kMinMin, SolverKind::kMaxMin, SolverKind::kSufferage}) {
+        SolverKind::kMinMin, SolverKind::kMaxMin, SolverKind::kSufferage,
+        SolverKind::kHeft, SolverKind::kTopoList, SolverKind::kDagCe}) {
     if (name == to_string(kind)) return kind;
   }
   throw std::invalid_argument("parse_solver_kind: unknown solver '" + name +

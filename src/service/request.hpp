@@ -11,7 +11,7 @@
 #include <string>
 
 #include "sim/mapping.hpp"
-#include "workload/instance.hpp"
+#include "workload/any_instance.hpp"
 
 namespace match::obs {
 struct SpanTimeline;
@@ -20,7 +20,8 @@ struct SpanTimeline;
 namespace match::service {
 
 /// Which solver the request wants.  The registry adapts every mapping
-/// heuristic in the library behind one `solve()` entry point.
+/// heuristic in the library behind one `solve()` entry point.  Values
+/// travel on the wire — only append, never renumber.
 enum class SolverKind {
   kMatch,        ///< MaTCH cross-entropy (core::MatchOptimizer)
   kGa,           ///< FastMap-GA (baselines::GaOptimizer)
@@ -28,6 +29,9 @@ enum class SolverKind {
   kMinMin,       ///< list heuristic (baselines::list_schedule)
   kMaxMin,
   kSufferage,
+  kHeft,      ///< HEFT: upward-rank + insertion EFT (DAG workloads)
+  kTopoList,  ///< topological-order list scheduling (DAG workloads)
+  kDagCe,     ///< CE over priority permutations (core::solve_dag_ce)
 };
 
 const char* to_string(SolverKind kind);
@@ -60,12 +64,14 @@ struct SolveOptions {
 };
 
 /// One mapping request.  The instance is shared (not copied) so requests
-/// are cheap to enqueue and many requests can reference the same TIG.
+/// are cheap to enqueue and many requests can reference the same
+/// workload; `workload::AnyInstance` carries either a TIG or a DAG, and
+/// the service checks `Solver::supports` against its kind at admission.
 struct MapRequest {
   /// Caller tag, echoed in the response.  The service does not interpret
   /// it (0 is fine; ids need not be unique).
   std::uint64_t id = 0;
-  std::shared_ptr<const workload::Instance> instance;
+  std::shared_ptr<const workload::AnyInstance> instance;
   SolverKind solver = SolverKind::kMatch;
   SolveOptions options;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/spans.hpp"
@@ -32,11 +33,12 @@ void ServiceConfig::validate() const {
   if (queue_capacity == 0) {
     throw std::invalid_argument("ServiceConfig: queue_capacity must be >= 1");
   }
+  solver_defaults.validate_common("ServiceConfig.solver_defaults");
 }
 
 MappingService::MappingService(ServiceConfig config)
     : config_(config),
-      registry_(config.eval_backend),
+      registry_(config.solver_defaults),
       cache_(config.cache_capacity) {
   config_.validate();
   pool_ = std::make_unique<parallel::ThreadPool>(config_.workers);
@@ -54,6 +56,13 @@ MappingService::Pending MappingService::make_pending(MapRequest request) {
   if (!registry_.contains(request.solver)) {
     throw std::invalid_argument(
         "MappingService::submit: no solver registered for request");
+  }
+  if (!registry_.get(request.solver).supports(request.instance->kind())) {
+    throw std::invalid_argument(
+        std::string("MappingService::submit: solver '") +
+        to_string(request.solver) + "' does not support " +
+        workload::workload_kind_name(request.instance->kind()) +
+        " workloads");
   }
   Pending pending;
   pending.submitted_at = Clock::now();

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/ce_params.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
@@ -60,11 +61,16 @@ struct ServiceConfig {
   /// Batch identical concurrent requests onto one solver run.
   bool coalesce = true;
 
-  /// Batch-evaluation backend handed to the built-in solver adapters
-  /// (`kAuto` probes the CPU and picks the widest SIMD tier; `kScalar`
-  /// forces the bit-compatible reference kernel).  Per-request telemetry
-  /// reports the resolved choice as a `solver.backend.<name>` counter.
-  sim::EvalBackend eval_backend = sim::EvalBackend::kAuto;
+  /// Service-wide solver knobs (`core::CeCommonParams`), threaded into
+  /// every built-in adapter through the registry: `eval_backend` picks
+  /// the batch-evaluation kernel (`kAuto` probes the CPU and picks the
+  /// widest SIMD tier; `kScalar` forces the bit-compatible reference
+  /// kernel), `rho`/`zeta`/`sampler`/`parallel` tune the CE-family
+  /// solvers.  One struct, one set of field names and defaults — the
+  /// same knobs a library caller sets on `MatchParams` directly.
+  /// Per-request telemetry reports the resolved backend as a
+  /// `solver.backend.<name>` counter.
+  core::CeCommonParams solver_defaults;
 
   /// Optional event sink shared by every request: service lifecycle
   /// events (enqueue, cache hit/miss, coalesce, deadline expiry) plus the

@@ -2,9 +2,16 @@
 
 // Uniform solver interface of the mapping service: every mapping
 // heuristic in the library (MaTCH, FastMap-GA, restarted hill climbing,
-// the list heuristics) is adapted behind one
+// the list heuristics, and the DAG schedulers HEFT / topological list /
+// CE-over-priorities) is adapted behind one
 // `solve(instance, options, context)` entry point, so the service
 // dispatches on `SolverKind` without knowing any solver's API.
+//
+// The instance argument is a `workload::AnyInstance` — a TIG or a DAG
+// behind one value type.  Each adapter declares which workload kinds it
+// can serve via `supports()`; the service checks compatibility at
+// admission, so by the time `solve` runs the downcast (`tig()` /
+// `dag()`) cannot fail.
 //
 // Adapter contract (matches the deadline contract in deadline.hpp):
 //  * deterministic: equal (instance, options) → byte-identical mapping,
@@ -22,13 +29,14 @@
 #include <memory>
 #include <vector>
 
+#include "core/ce_params.hpp"
 #include "core/run_summary.hpp"
 #include "core/solver_context.hpp"
 #include "service/deadline.hpp"
 #include "service/request.hpp"
 #include "sim/batch_eval.hpp"
 #include "sim/mapping.hpp"
-#include "workload/instance.hpp"
+#include "workload/any_instance.hpp"
 
 namespace match::service {
 
@@ -46,28 +54,52 @@ class Solver {
 
   virtual const char* name() const = 0;
 
+  /// Which workload kinds this solver can serve.  The base default is
+  /// TIG-only (every pre-DAG adapter); DAG schedulers override.  The
+  /// service rejects a request whose instance kind is unsupported
+  /// BEFORE enqueueing, so `solve` never sees a mismatched instance.
+  virtual bool supports(workload::WorkloadKind kind) const {
+    return kind == workload::WorkloadKind::kTig;
+  }
+
   /// Solves the instance under the given options.  The context carries
   /// the stop hook (may be empty: no deadline, no cancellation) and
   /// optional telemetry; its RNG slot is ignored — adapters seed their
   /// own stream from `options.seed`.
-  virtual SolveOutcome solve(const workload::Instance& instance,
+  virtual SolveOutcome solve(const workload::AnyInstance& instance,
                              const SolveOptions& options,
                              const match::SolverContext& ctx) const = 0;
 };
 
 /// SolverKind → Solver dispatch table.  The default constructor registers
-/// every built-in adapter; callers may override or extend.
+/// every built-in adapter; callers may extend with `register_solver`
+/// (duplicate kinds are rejected) or swap an adapter with
+/// `replace_solver`.
 class SolverRegistry {
  public:
   /// Builds the registry with all built-in solvers registered.  The
-  /// batch-evaluation backend is threaded into every adapter that runs a
-  /// population/batch solver (MaTCH, FastMap-GA); `kAuto` picks the best
-  /// SIMD tier the host supports.
-  explicit SolverRegistry(
-      sim::EvalBackend eval_backend = sim::EvalBackend::kAuto);
+  /// `defaults` struct carries the knobs every CE-family solver shares
+  /// (`core::CeCommonParams`): notably `eval_backend` is threaded into
+  /// every adapter that runs a population/batch solver (MaTCH,
+  /// FastMap-GA) and `parallel` / `sampler` flow into the CE adapters.
+  /// Per-request `SolveOptions` still override the result-affecting
+  /// knobs they carry (budget, target, seed).
+  explicit SolverRegistry(core::CeCommonParams defaults = {});
 
-  /// Registers (or replaces) the solver for `kind`.
+  /// Convenience overload retained for callers that only care about the
+  /// batch-evaluation backend.
+  explicit SolverRegistry(sim::EvalBackend eval_backend);
+
+  /// Registers the solver for `kind`.  Throws `std::invalid_argument`
+  /// when a solver is already registered for that kind — silent
+  /// replacement has bitten: a double registration is a wiring bug, and
+  /// the cache would keep serving results computed by the evicted
+  /// solver under the same fingerprint.
   void register_solver(SolverKind kind, std::unique_ptr<Solver> solver);
+
+  /// Deliberate replacement for callers that DO want to swap an
+  /// adapter (tests, custom deployments).
+  void replace_solver(SolverKind kind, std::unique_ptr<Solver> solver);
 
   /// Throws `std::out_of_range` when no solver is registered for `kind`.
   const Solver& get(SolverKind kind) const;

@@ -1,0 +1,49 @@
+#include "workload/any_instance.hpp"
+
+#include <stdexcept>
+
+namespace match::workload {
+
+const char* workload_kind_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kTig: return "tig";
+    case WorkloadKind::kDag: return "dag";
+  }
+  return "?";
+}
+
+const std::string& AnyInstance::name() const noexcept {
+  if (const auto* t = std::get_if<Instance>(&v_)) return t->name;
+  return std::get<DagInstance>(v_).name;
+}
+
+std::size_t AnyInstance::size() const noexcept {
+  if (const auto* t = std::get_if<Instance>(&v_)) return t->size();
+  return std::get<DagInstance>(v_).size();
+}
+
+const graph::ResourceGraph& AnyInstance::resources() const noexcept {
+  if (const auto* t = std::get_if<Instance>(&v_)) return t->resources;
+  return std::get<DagInstance>(v_).resources;
+}
+
+sim::CommCostPolicy AnyInstance::comm_policy() const noexcept {
+  if (const auto* t = std::get_if<Instance>(&v_)) return t->comm_policy;
+  return std::get<DagInstance>(v_).comm_policy;
+}
+
+sim::Platform AnyInstance::make_platform() const {
+  return sim::Platform(resources(), comm_policy());
+}
+
+const Instance& AnyInstance::tig() const {
+  if (const auto* t = std::get_if<Instance>(&v_)) return *t;
+  throw std::logic_error("AnyInstance::tig: instance holds a DAG workload");
+}
+
+const DagInstance& AnyInstance::dag() const {
+  if (const auto* d = std::get_if<DagInstance>(&v_)) return *d;
+  throw std::logic_error("AnyInstance::dag: instance holds a TIG workload");
+}
+
+}  // namespace match::workload

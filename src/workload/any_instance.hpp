@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "workload/dag_suite.hpp"
+#include "workload/instance.hpp"
+
+namespace match::workload {
+
+/// Discriminant for the workload families the system can carry end to
+/// end (service, cache, wire protocol).  Values are stable — they appear
+/// in fingerprints and on the wire — so only append, never renumber.
+enum class WorkloadKind : std::uint8_t {
+  kTig = 0,  ///< undirected task-interaction graph, busiest-resource cost
+  kDag = 1,  ///< precedence DAG, schedule-makespan cost
+};
+
+const char* workload_kind_name(WorkloadKind kind);
+
+/// A workload of either kind behind one value type: the unit the service
+/// queues, the cache fingerprints, and the wire protocol frames.  Solvers
+/// declare which kinds they support (`Solver::supports`) and downcast via
+/// `tig()` / `dag()`, which throw `std::logic_error` on a kind mismatch —
+/// the registry checks support before dispatch, so a throw here is a
+/// solver-adapter bug, not an input error.
+class AnyInstance {
+ public:
+  AnyInstance() : v_(Instance{}) {}
+  AnyInstance(Instance inst) : v_(std::move(inst)) {}        // NOLINT(google-explicit-constructor)
+  AnyInstance(DagInstance inst) : v_(std::move(inst)) {}     // NOLINT(google-explicit-constructor)
+
+  WorkloadKind kind() const noexcept {
+    return std::holds_alternative<Instance>(v_) ? WorkloadKind::kTig
+                                                : WorkloadKind::kDag;
+  }
+
+  const std::string& name() const noexcept;
+  std::size_t size() const noexcept;
+
+  /// The shared platform side (resource graph + comm policy) regardless
+  /// of kind.
+  const graph::ResourceGraph& resources() const noexcept;
+  sim::CommCostPolicy comm_policy() const noexcept;
+  sim::Platform make_platform() const;
+
+  bool is_tig() const noexcept { return kind() == WorkloadKind::kTig; }
+  bool is_dag() const noexcept { return kind() == WorkloadKind::kDag; }
+
+  /// Kind-checked accessors; throw `std::logic_error` on mismatch.
+  const Instance& tig() const;
+  const DagInstance& dag() const;
+
+ private:
+  std::variant<Instance, DagInstance> v_;
+};
+
+}  // namespace match::workload

@@ -1,0 +1,256 @@
+#include "workload/dag_suite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace match::workload {
+
+namespace {
+
+using graph::Edge;
+using graph::NodeId;
+
+}  // namespace
+
+graph::Dag make_layered_dag(const LayeredDagParams& params, rng::Rng& rng) {
+  if (params.tasks < 2) {
+    throw std::invalid_argument("make_layered_dag: tasks < 2");
+  }
+  if (params.layers < 2 || params.layers > params.tasks) {
+    throw std::invalid_argument("make_layered_dag: bad layer count");
+  }
+  if (params.p_forward < 0.0 || params.p_forward > 1.0) {
+    throw std::invalid_argument("make_layered_dag: p_forward out of [0,1]");
+  }
+
+  // Assign each task a layer: one guaranteed per layer, the rest uniform.
+  const std::size_t n = params.tasks;
+  const std::size_t layers = params.layers;
+  std::vector<std::size_t> layer_of(n);
+  for (std::size_t l = 0; l < layers; ++l) layer_of[l] = l;
+  for (std::size_t t = layers; t < n; ++t) {
+    layer_of[t] = static_cast<std::size_t>(rng.below(layers));
+  }
+  // Renumber so ids ascend with layer (arcs then always point forward,
+  // and the canonical topological order reads naturally).
+  std::vector<NodeId> by_layer(n);
+  for (std::size_t t = 0; t < n; ++t) by_layer[t] = static_cast<NodeId>(t);
+  std::stable_sort(by_layer.begin(), by_layer.end(),
+                   [&](NodeId a, NodeId b) { return layer_of[a] < layer_of[b]; });
+  std::vector<std::size_t> layer(n);
+  std::vector<std::vector<NodeId>> members(layers);
+  for (std::size_t i = 0; i < n; ++i) {
+    layer[i] = layer_of[by_layer[i]];
+    members[layer[i]].push_back(static_cast<NodeId>(i));
+  }
+
+  std::vector<double> node_w(n);
+  for (auto& w : node_w) w = params.task_w.sample(rng);
+
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t l = layer[i];
+    if (l == 0) continue;
+    // Guaranteed predecessor from the previous layer keeps every task
+    // reachable from layer 0 (no free-floating roots mid-graph).
+    const auto& prev = members[l - 1];
+    const NodeId anchor = prev[rng.below(prev.size())];
+    edges.push_back(Edge{anchor, static_cast<NodeId>(i),
+                         params.edge_w.sample(rng)});
+    // Extra forward arcs from nearby earlier layers.
+    const std::size_t lo_layer =
+        l > params.max_skip ? l - params.max_skip : std::size_t{0};
+    for (std::size_t pl = lo_layer; pl < l; ++pl) {
+      for (const NodeId p : members[pl]) {
+        if (p == anchor && pl == l - 1) continue;
+        if (rng.bernoulli(params.p_forward)) {
+          edges.push_back(
+              Edge{p, static_cast<NodeId>(i), params.edge_w.sample(rng)});
+        }
+      }
+    }
+  }
+  return graph::Dag::from_edges(n, std::move(node_w), edges);
+}
+
+graph::Dag make_fork_join_dag(const ForkJoinDagParams& params, rng::Rng& rng) {
+  if (params.tasks < 3) {
+    throw std::invalid_argument("make_fork_join_dag: tasks < 3");
+  }
+  if (params.max_width < 1) {
+    throw std::invalid_argument("make_fork_join_dag: max_width < 1");
+  }
+
+  std::vector<double> node_w;
+  std::vector<Edge> edges;
+  const auto new_task = [&] {
+    node_w.push_back(params.task_w.sample(rng));
+    return static_cast<NodeId>(node_w.size() - 1);
+  };
+  NodeId frontier = new_task();  // source
+  std::size_t remaining = params.tasks - 1;
+  while (remaining > 0) {
+    if (remaining <= 2) {
+      // Not enough budget for a fork stage; finish with a chain.
+      while (remaining-- > 0) {
+        const NodeId next = new_task();
+        edges.push_back(Edge{frontier, next, params.edge_w.sample(rng)});
+        frontier = next;
+      }
+      break;
+    }
+    // A stage costs width + 1 nodes (parallel tasks + join).
+    const std::size_t max_width = std::min(params.max_width, remaining - 1);
+    const std::size_t width = 1 + rng.below(max_width);
+    std::vector<NodeId> branch(width);
+    for (auto& t : branch) {
+      t = new_task();
+      edges.push_back(Edge{frontier, t, params.edge_w.sample(rng)});
+    }
+    const NodeId join = new_task();
+    for (const NodeId t : branch) {
+      edges.push_back(Edge{t, join, params.edge_w.sample(rng)});
+    }
+    frontier = join;
+    remaining -= width + 1;
+  }
+  // Hoist the count: `node_w` may be moved-from before `.size()` is
+  // evaluated (argument evaluation order is unspecified).
+  const std::size_t num_nodes = node_w.size();
+  return graph::Dag::from_edges(num_nodes, std::move(node_w), edges);
+}
+
+namespace {
+
+struct SpBuilder {
+  const SeriesParallelDagParams& params;
+  rng::Rng& rng;
+  std::vector<double> node_w;
+  std::vector<Edge> edges;
+
+  NodeId new_task() {
+    node_w.push_back(params.task_w.sample(rng));
+    return static_cast<NodeId>(node_w.size() - 1);
+  }
+
+  void arc(NodeId from, NodeId to) {
+    edges.push_back(Edge{from, to, params.edge_w.sample(rng)});
+  }
+
+  /// Emits a two-terminal block of exactly `budget` tasks; returns its
+  /// (source, sink) pair.
+  std::pair<NodeId, NodeId> block(std::size_t budget) {
+    if (budget == 1) {
+      const NodeId t = new_task();
+      return {t, t};
+    }
+    // Parallel needs fork + join + >= 2 branch tasks.
+    const bool can_parallel = budget >= 4;
+    if (can_parallel && rng.bernoulli(params.parallel_prob)) {
+      const std::size_t inner = budget - 2;
+      const std::size_t max_branches =
+          std::min(params.max_branches, inner);
+      const std::size_t branches =
+          max_branches <= 2 ? 2 : 2 + rng.below(max_branches - 1);
+      const NodeId fork = new_task();
+      const NodeId join = new_task();
+      // Split `inner` tasks among `branches`, each >= 1.
+      std::size_t left = inner;
+      for (std::size_t i = 0; i < branches; ++i) {
+        const std::size_t remaining_branches = branches - i - 1;
+        const std::size_t max_here = left - remaining_branches;
+        const std::size_t take =
+            remaining_branches == 0 ? left : 1 + rng.below(max_here);
+        const auto [src, snk] = block(take);
+        arc(fork, src);
+        arc(snk, join);
+        left -= take;
+      }
+      return {fork, join};
+    }
+    // Series: split the budget in two non-empty parts.
+    const std::size_t first = 1 + rng.below(budget - 1);
+    const auto [s1, k1] = block(first);
+    const auto [s2, k2] = block(budget - first);
+    arc(k1, s2);
+    return {s1, k2};
+  }
+};
+
+}  // namespace
+
+graph::Dag make_series_parallel_dag(const SeriesParallelDagParams& params,
+                                    rng::Rng& rng) {
+  if (params.tasks < 2) {
+    throw std::invalid_argument("make_series_parallel_dag: tasks < 2");
+  }
+  if (params.parallel_prob < 0.0 || params.parallel_prob > 1.0) {
+    throw std::invalid_argument(
+        "make_series_parallel_dag: parallel_prob out of [0,1]");
+  }
+  if (params.max_branches < 2) {
+    throw std::invalid_argument("make_series_parallel_dag: max_branches < 2");
+  }
+  SpBuilder b{params, rng, {}, {}};
+  b.block(params.tasks);
+  const std::size_t num_nodes = b.node_w.size();  // hoisted before the move
+  return graph::Dag::from_edges(num_nodes, std::move(b.node_w), b.edges);
+}
+
+const char* dag_family_name(DagFamily family) {
+  switch (family) {
+    case DagFamily::kLayered: return "layered";
+    case DagFamily::kForkJoin: return "fork-join";
+    case DagFamily::kSeriesParallel: return "series-parallel";
+  }
+  return "?";
+}
+
+DagInstance make_dag_instance(DagFamily family, const DagSuiteParams& params,
+                              rng::Rng& rng) {
+  if (params.resources < 2) {
+    throw std::invalid_argument("make_dag_instance: resources < 2");
+  }
+  DagInstance inst;
+  switch (family) {
+    case DagFamily::kLayered: {
+      LayeredDagParams p;
+      p.tasks = params.tasks;
+      p.layers = std::min(params.layers, params.tasks);
+      p.p_forward = params.p_forward;
+      p.max_skip = params.max_skip;
+      p.task_w = params.task_w;
+      p.edge_w = params.edge_w;
+      inst.dag = make_layered_dag(p, rng);
+      break;
+    }
+    case DagFamily::kForkJoin: {
+      ForkJoinDagParams p;
+      p.tasks = params.tasks;
+      p.max_width = params.fork_max_width;
+      p.task_w = params.task_w;
+      p.edge_w = params.edge_w;
+      inst.dag = make_fork_join_dag(p, rng);
+      break;
+    }
+    case DagFamily::kSeriesParallel: {
+      SeriesParallelDagParams p;
+      p.tasks = params.tasks;
+      p.parallel_prob = params.sp_parallel_prob;
+      p.max_branches = params.sp_max_branches;
+      p.task_w = params.task_w;
+      p.edge_w = params.edge_w;
+      inst.dag = make_series_parallel_dag(p, rng);
+      break;
+    }
+  }
+  inst.name = std::string("dag-") + dag_family_name(family) + "-n" +
+              std::to_string(inst.dag.num_nodes());
+  inst.resources = graph::ResourceGraph(graph::make_complete(
+      params.resources, params.res_node, params.res_edge, rng));
+  inst.comm_policy = sim::CommCostPolicy::kDirectLinks;
+  return inst;
+}
+
+}  // namespace match::workload

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "graph/generators.hpp"
+#include "rng/rng.hpp"
+#include "sim/platform.hpp"
+
+namespace match::workload {
+
+/// A complete DAG-scheduling instance: the application task graph (with
+/// precedence arcs) plus the platform it runs on.  The structural sibling
+/// of the TIG `Instance` — same resource-graph + comm-policy platform
+/// model, but the application side carries precedence, so the right cost
+/// model is a schedule makespan (`sim::ScheduleEvaluator`), not the
+/// busiest-resource load.
+struct DagInstance {
+  std::string name;
+  graph::Dag dag;
+  graph::ResourceGraph resources;
+  sim::CommCostPolicy comm_policy = sim::CommCostPolicy::kDirectLinks;
+
+  std::size_t size() const noexcept { return dag.num_nodes(); }
+
+  /// Builds the flattened platform for this instance.
+  sim::Platform make_platform() const {
+    return sim::Platform(resources, comm_policy);
+  }
+};
+
+/// Layered random DAG (Tobita–Kasahara style): `tasks` nodes spread over
+/// `layers` layers, every non-first-layer node wired to at least one node
+/// of the previous layer, plus extra forward arcs with probability
+/// `p_forward` reaching up to `max_skip` layers ahead.
+struct LayeredDagParams {
+  std::size_t tasks = 20;
+  std::size_t layers = 5;
+  double p_forward = 0.35;
+  std::size_t max_skip = 2;
+  graph::WeightRange task_w{1, 10};
+  graph::WeightRange edge_w{50, 100};
+};
+graph::Dag make_layered_dag(const LayeredDagParams& params, rng::Rng& rng);
+
+/// Fork-join chain: a source task, then repeated stages of `width_i`
+/// parallel tasks (drawn from [1, max_width]) funneling into a join task,
+/// until the task budget is spent.  The classic bulk-synchronous shape.
+struct ForkJoinDagParams {
+  std::size_t tasks = 20;
+  std::size_t max_width = 4;
+  graph::WeightRange task_w{1, 10};
+  graph::WeightRange edge_w{50, 100};
+};
+graph::Dag make_fork_join_dag(const ForkJoinDagParams& params, rng::Rng& rng);
+
+/// Series-parallel DAG by recursive two-terminal composition: a block is
+/// a single task, a series chain of blocks, or a parallel composition of
+/// blocks between a fork task and a join task.  `parallel_prob` picks the
+/// parallel rule when the budget allows it (Wilhelm & Pionteck evaluate
+/// mappers on exactly this family).
+struct SeriesParallelDagParams {
+  std::size_t tasks = 20;
+  double parallel_prob = 0.6;
+  std::size_t max_branches = 3;
+  graph::WeightRange task_w{1, 10};
+  graph::WeightRange edge_w{50, 100};
+};
+graph::Dag make_series_parallel_dag(const SeriesParallelDagParams& params,
+                                    rng::Rng& rng);
+
+/// The three generator families above, as a closed enum the benches and
+/// tests iterate over.
+enum class DagFamily { kLayered, kForkJoin, kSeriesParallel };
+const char* dag_family_name(DagFamily family);
+
+/// Parameters for a full instance (task DAG + platform) of any family.
+/// Platform defaults mirror `PaperParams`: complete resource graph,
+/// resource node weights 1–5 (processing cost), link weights 10–20.
+struct DagSuiteParams {
+  std::size_t tasks = 20;
+  std::size_t resources = 8;
+
+  graph::WeightRange task_w{1, 10};
+  graph::WeightRange edge_w{50, 100};
+  graph::WeightRange res_node{1, 5};
+  graph::WeightRange res_edge{10, 20};
+
+  std::size_t layers = 5;        ///< kLayered
+  double p_forward = 0.35;       ///< kLayered
+  std::size_t max_skip = 2;      ///< kLayered
+  std::size_t fork_max_width = 4;  ///< kForkJoin
+  double sp_parallel_prob = 0.6;   ///< kSeriesParallel
+  std::size_t sp_max_branches = 3;  ///< kSeriesParallel
+};
+
+/// Generates one instance of `family`: the task DAG from the matching
+/// generator plus a complete heterogeneous resource graph.
+DagInstance make_dag_instance(DagFamily family, const DagSuiteParams& params,
+                              rng::Rng& rng);
+
+}  // namespace match::workload

@@ -1,0 +1,191 @@
+// Tests of the directed-graph layer (src/graph/dag.*): CSR construction
+// in both directions, rejection of everything that is not a simple DAG,
+// the topological utilities, and the three random DAG generator families
+// (structure, determinism, weight ranges).
+
+#include "graph/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "rng/rng.hpp"
+#include "workload/dag_suite.hpp"
+
+namespace {
+
+using namespace match;
+using graph::Dag;
+using graph::Edge;
+using graph::NodeId;
+
+Dag diamond() {
+  // 0 → {1, 2} → 3, distinct weights everywhere.
+  std::vector<Edge> edges = {
+      {0, 1, 1.0}, {0, 2, 2.0}, {1, 3, 1.0}, {2, 3, 3.0}};
+  return Dag::from_edges(4, {2.0, 3.0, 4.0, 1.0}, edges);
+}
+
+// ---- Construction ------------------------------------------------------
+
+TEST(Dag, CsrAdjacencyIsConsistentInBothDirections) {
+  const Dag g = diamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_DOUBLE_EQ(g.total_node_weight(), 10.0);
+  EXPECT_DOUBLE_EQ(g.total_edge_weight(), 7.0);
+
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(3), 2u);
+
+  // Every arc is visible from both endpoints with the same weight.
+  for (const Edge& e : g.edge_list()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v));
+    EXPECT_FALSE(g.has_edge(e.v, e.u)) << "arcs are directed";
+    EXPECT_DOUBLE_EQ(g.edge_weight(e.u, e.v), e.weight);
+    const auto succ = g.successors(e.u);
+    EXPECT_TRUE(std::any_of(succ.begin(), succ.end(), [&](const auto& s) {
+      return s.id == e.v && s.weight == e.weight;
+    }));
+    const auto pred = g.predecessors(e.v);
+    EXPECT_TRUE(std::any_of(pred.begin(), pred.end(), [&](const auto& p) {
+      return p.id == e.u && p.weight == e.weight;
+    }));
+  }
+}
+
+TEST(Dag, DefaultNodeWeightsAreOne) {
+  std::vector<Edge> edges = {{0, 1, 1.0}};
+  const Dag g = Dag::from_edges(2, {}, edges);
+  EXPECT_DOUBLE_EQ(g.node_weight(0), 1.0);
+  EXPECT_DOUBLE_EQ(g.node_weight(1), 1.0);
+}
+
+TEST(Dag, RejectsCyclesSelfLoopsDuplicatesAndBadEndpoints) {
+  std::vector<Edge> cycle = {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}};
+  EXPECT_THROW(Dag::from_edges(3, {}, cycle), std::invalid_argument);
+
+  std::vector<Edge> self_loop = {{1, 1, 1.0}};
+  EXPECT_THROW(Dag::from_edges(2, {}, self_loop), std::invalid_argument);
+
+  std::vector<Edge> duplicate = {{0, 1, 1.0}, {0, 1, 2.0}};
+  EXPECT_THROW(Dag::from_edges(2, {}, duplicate), std::invalid_argument);
+
+  std::vector<Edge> out_of_range = {{0, 5, 1.0}};
+  EXPECT_THROW(Dag::from_edges(2, {}, out_of_range), std::invalid_argument);
+
+  std::vector<Edge> ok = {{0, 1, 1.0}};
+  EXPECT_THROW(Dag::from_edges(2, {1.0}, ok), std::invalid_argument)
+      << "node_weights size mismatch";
+}
+
+TEST(Dag, BuilderProducesSameGraphAsFromEdges) {
+  Dag::Builder b;
+  const NodeId n0 = b.add_node(2.0);
+  const NodeId n1 = b.add_node(3.0);
+  const NodeId n2 = b.add_node(4.0);
+  const NodeId n3 = b.add_node(1.0);
+  b.add_edge(n0, n1, 1.0);
+  b.add_edge(n0, n2, 2.0);
+  b.add_edge(n1, n3, 1.0);
+  b.add_edge(n2, n3, 3.0);
+  EXPECT_TRUE(b.build() == diamond());
+}
+
+// ---- Topological utilities ---------------------------------------------
+
+TEST(DagAlgorithms, TopologicalOrderIsValidAndCanonical) {
+  const Dag g = diamond();
+  const std::vector<NodeId> order = graph::topological_order(g);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  EXPECT_TRUE(graph::is_topological_order(g, order));
+  // Canonical: deterministic for a fixed graph.
+  EXPECT_EQ(graph::topological_order(g), order);
+
+  std::vector<NodeId> bad = order;
+  std::swap(bad.front(), bad.back());  // source after sink
+  EXPECT_FALSE(graph::is_topological_order(g, bad));
+  bad = {0, 0, 1, 2};  // not a permutation
+  EXPECT_FALSE(graph::is_topological_order(g, bad));
+}
+
+TEST(DagAlgorithms, CriticalPathOfTheDiamond) {
+  // Heaviest node-weight chain: 0 → 2 → 3 = 2 + 4 + 1.
+  EXPECT_DOUBLE_EQ(graph::critical_path_node_weight(diamond()), 7.0);
+}
+
+// ---- Generator families ------------------------------------------------
+
+TEST(DagGenerators, AllFamiliesProduceValidDagsOfTheRequestedSize) {
+  for (const auto family :
+       {workload::DagFamily::kLayered, workload::DagFamily::kForkJoin,
+        workload::DagFamily::kSeriesParallel}) {
+    for (const std::size_t tasks : {3u, 8u, 20u, 57u}) {
+      for (std::uint64_t seed = 0; seed < 10; ++seed) {
+        rng::Rng rng(seed);
+        workload::DagSuiteParams params;
+        params.tasks = tasks;
+        const auto inst = workload::make_dag_instance(family, params, rng);
+        EXPECT_EQ(inst.dag.num_nodes(), tasks)
+            << workload::dag_family_name(family) << " seed " << seed;
+        // Construction already rejects cycles; also check weight ranges.
+        for (std::size_t t = 0; t < tasks; ++t) {
+          const double w = inst.dag.node_weight(static_cast<NodeId>(t));
+          EXPECT_GE(w, params.task_w.lo);
+          EXPECT_LE(w, params.task_w.hi);
+        }
+        for (const Edge& e : inst.dag.edge_list()) {
+          EXPECT_GE(e.weight, params.edge_w.lo);
+          EXPECT_LE(e.weight, params.edge_w.hi);
+        }
+        EXPECT_EQ(inst.resources.num_resources(), params.resources);
+      }
+    }
+  }
+}
+
+TEST(DagGenerators, DeterministicForAFixedSeed) {
+  for (const auto family :
+       {workload::DagFamily::kLayered, workload::DagFamily::kForkJoin,
+        workload::DagFamily::kSeriesParallel}) {
+    rng::Rng a(42), b(42);
+    workload::DagSuiteParams params;
+    params.tasks = 24;
+    const auto x = workload::make_dag_instance(family, params, a);
+    const auto y = workload::make_dag_instance(family, params, b);
+    EXPECT_TRUE(x.dag == y.dag) << workload::dag_family_name(family);
+    EXPECT_EQ(x.name, y.name);
+  }
+}
+
+TEST(DagGenerators, FamiliesAreStructurallyDistinct) {
+  // Fork-join always has a unique source; series-parallel a unique source
+  // AND a unique sink (two-terminal by construction).
+  rng::Rng rng(7);
+  workload::DagSuiteParams params;
+  params.tasks = 30;
+  const auto fj = workload::make_dag_instance(workload::DagFamily::kForkJoin,
+                                              params, rng);
+  std::size_t fj_sources = 0;
+  for (std::size_t t = 0; t < fj.dag.num_nodes(); ++t) {
+    if (fj.dag.in_degree(static_cast<NodeId>(t)) == 0) ++fj_sources;
+  }
+  EXPECT_EQ(fj_sources, 1u);
+
+  const auto sp = workload::make_dag_instance(
+      workload::DagFamily::kSeriesParallel, params, rng);
+  std::size_t sp_sources = 0, sp_sinks = 0;
+  for (std::size_t t = 0; t < sp.dag.num_nodes(); ++t) {
+    if (sp.dag.in_degree(static_cast<NodeId>(t)) == 0) ++sp_sources;
+    if (sp.dag.out_degree(static_cast<NodeId>(t)) == 0) ++sp_sinks;
+  }
+  EXPECT_EQ(sp_sources, 1u);
+  EXPECT_EQ(sp_sinks, 1u);
+}
+
+}  // namespace

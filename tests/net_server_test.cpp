@@ -26,6 +26,8 @@
 #include "rng/rng.hpp"
 #include "service/instance_cache.hpp"
 #include "service/service.hpp"
+#include "workload/any_instance.hpp"
+#include "workload/dag_suite.hpp"
 #include "workload/paper_suite.hpp"
 
 namespace {
@@ -33,17 +35,26 @@ namespace {
 using namespace match;
 using namespace match::net;
 
-std::shared_ptr<const workload::Instance> make_instance(std::uint64_t seed,
-                                                        std::size_t n = 8) {
+std::shared_ptr<const workload::AnyInstance> make_instance(std::uint64_t seed,
+                                                           std::size_t n = 8) {
   rng::Rng rng(seed);
   workload::PaperParams params;
   params.n = n;
-  return std::make_shared<const workload::Instance>(
+  return std::make_shared<const workload::AnyInstance>(
       workload::make_paper_instance(params, rng));
 }
 
+std::shared_ptr<const workload::AnyInstance> make_dag(std::uint64_t seed,
+                                                      std::size_t n = 10) {
+  rng::Rng rng(seed);
+  workload::DagSuiteParams params;
+  params.tasks = n;
+  return std::make_shared<const workload::AnyInstance>(
+      workload::make_dag_instance(workload::DagFamily::kLayered, params, rng));
+}
+
 WireRequest inline_request(std::uint64_t id,
-                           std::shared_ptr<const workload::Instance> inst,
+                           std::shared_ptr<const workload::AnyInstance> inst,
                            service::SolverKind solver =
                                service::SolverKind::kMinMin) {
   WireRequest req;
@@ -80,11 +91,66 @@ TEST(NetServer, ServesAnInlineRequestEndToEnd) {
   ASSERT_EQ(resp.status, Status::kOk) << resp.error;
   EXPECT_EQ(resp.request_id, 7u);
   EXPECT_TRUE(resp.response.mapping.is_permutation());
-  EXPECT_EQ(resp.response.mapping.num_tasks(), inst->tig.graph().num_nodes());
+  EXPECT_EQ(resp.response.mapping.num_tasks(), inst->size());
   EXPECT_GT(resp.response.cost, 0.0);
 
   const ServerCounters c = stack.server.counters();
   EXPECT_EQ(c.requests, 1u);
+  EXPECT_EQ(c.served, 1u);
+  expect_books_balance(stack.server);
+}
+
+TEST(NetServer, ServesADagRequestEndToEnd) {
+  Stack stack;
+  Client client("127.0.0.1", stack.server.port());
+
+  const auto inst = make_dag(3);
+  for (const auto solver :
+       {service::SolverKind::kHeft, service::SolverKind::kTopoList,
+        service::SolverKind::kDagCe}) {
+    const WireResponse resp =
+        client.call(inline_request(static_cast<std::uint64_t>(solver), inst,
+                                   solver));
+    ASSERT_EQ(resp.status, Status::kOk) << resp.error;
+    EXPECT_EQ(resp.response.mapping.num_tasks(), inst->size());
+    EXPECT_GT(resp.response.cost, 0.0);
+  }
+
+  // The DAG registered under its canonical fingerprint like any TIG.
+  WireRequest by_fp;
+  by_fp.request_id = 50;
+  by_fp.request.id = 50;
+  by_fp.by_fingerprint = true;
+  by_fp.instance_fingerprint = service::fingerprint_instance(*inst);
+  by_fp.request.solver = service::SolverKind::kHeft;
+  EXPECT_EQ(client.call(by_fp).status, Status::kOk);
+
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.requests, 4u);
+  EXPECT_EQ(c.served, 4u);
+  expect_books_balance(stack.server);
+}
+
+TEST(NetServer, WorkloadKindMismatchIsABadRequestNotAHangup) {
+  Stack stack;
+  Client client("127.0.0.1", stack.server.port());
+
+  // TIG solver asked to serve a DAG, and vice versa: both answered
+  // in-band with kBadRequest — the connection survives.
+  const WireResponse dag_to_tig =
+      client.call(inline_request(1, make_dag(4), service::SolverKind::kMatch));
+  EXPECT_EQ(dag_to_tig.status, Status::kBadRequest);
+  const WireResponse tig_to_dag = client.call(
+      inline_request(2, make_instance(4), service::SolverKind::kHeft));
+  EXPECT_EQ(tig_to_dag.status, Status::kBadRequest);
+
+  // Same connection still serves a well-formed request.
+  const WireResponse ok = client.call(inline_request(3, make_instance(5)));
+  EXPECT_EQ(ok.status, Status::kOk) << ok.error;
+
+  const ServerCounters c = stack.server.counters();
+  EXPECT_EQ(c.requests, 3u);
+  EXPECT_EQ(c.bad_request, 2u);
   EXPECT_EQ(c.served, 1u);
   expect_books_balance(stack.server);
 }

@@ -18,18 +18,29 @@
 #include "service/service.hpp"
 #include "service/solver_registry.hpp"
 #include "sim/evaluator.hpp"
+#include "workload/any_instance.hpp"
+#include "workload/dag_suite.hpp"
 #include "workload/paper_suite.hpp"
 
 namespace match::service {
 namespace {
 
-std::shared_ptr<const workload::Instance> make_instance(std::size_t n,
-                                                        std::uint64_t seed) {
+std::shared_ptr<const workload::AnyInstance> make_instance(std::size_t n,
+                                                           std::uint64_t seed) {
   rng::Rng rng(seed);
   workload::PaperParams params;
   params.n = n;
-  return std::make_shared<workload::Instance>(
+  return std::make_shared<workload::AnyInstance>(
       workload::make_paper_instance(params, rng));
+}
+
+std::shared_ptr<const workload::AnyInstance> make_dag_instance(
+    std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  workload::DagSuiteParams params;
+  params.tasks = n;
+  return std::make_shared<workload::AnyInstance>(workload::make_dag_instance(
+      workload::DagFamily::kLayered, params, rng));
 }
 
 // ---- Fingerprinting ----------------------------------------------------
@@ -48,6 +59,18 @@ TEST(Fingerprint, DiscriminatesDistinctInstances) {
   const auto c = make_instance(12, 1);   // different size
   EXPECT_NE(fingerprint_instance(*a), fingerprint_instance(*b));
   EXPECT_NE(fingerprint_instance(*a), fingerprint_instance(*c));
+}
+
+TEST(Fingerprint, DagStableAcrossRegenerationAndDistinctFromTig) {
+  const auto a = make_dag_instance(12, 1);
+  const auto b = make_dag_instance(12, 1);
+  const auto c = make_dag_instance(12, 2);
+  EXPECT_EQ(fingerprint_instance(*a), fingerprint_instance(*b));
+  EXPECT_NE(fingerprint_instance(*a), fingerprint_instance(*c));
+  // Kind is mixed into the digest first, so a TIG and a DAG instance can
+  // never collide by construction.
+  const auto tig = make_instance(12, 1);
+  EXPECT_NE(fingerprint_instance(*a), fingerprint_instance(*tig));
 }
 
 TEST(CacheKey, MixesSolverAndResultAffectingOptions) {
@@ -153,7 +176,7 @@ TEST(DeadlineContract, UnlimitedDeadlineYieldsEmptyStopFn) {
 TEST(DeadlineContract, MatchCancelledImmediatelyReturnsValidMapping) {
   const auto inst = make_instance(10, 3);
   const auto platform = inst->make_platform();
-  sim::CostEvaluator eval(inst->tig, platform);
+  sim::CostEvaluator eval(inst->tig().tig, platform);
   core::MatchOptimizer opt(eval);
   rng::Rng rng(1);
   const auto r = opt.run(match::SolverContext(rng, [] { return true; }));
@@ -164,14 +187,24 @@ TEST(DeadlineContract, MatchCancelledImmediatelyReturnsValidMapping) {
 }
 
 TEST(DeadlineContract, EverySolverSurvivesImmediateCancellation) {
-  const auto inst = make_instance(8, 4);
+  const auto tig = make_instance(8, 4);
+  const auto dag = make_dag_instance(8, 4);
   SolverRegistry registry;
   SolveOptions options;
   for (SolverKind kind : registry.kinds()) {
-    const SolveOutcome outcome =
-        registry.get(kind).solve(*inst, options,
-                                 match::SolverContext([] { return true; }));
-    EXPECT_TRUE(outcome.mapping.is_permutation()) << to_string(kind);
+    const Solver& solver = registry.get(kind);
+    // Feed each solver an instance of a kind it supports; DAG mappings
+    // are many-to-one, so permutation-ness is a TIG-only invariant.
+    const bool is_tig = solver.supports(workload::WorkloadKind::kTig);
+    const auto& inst = is_tig ? *tig : *dag;
+    ASSERT_TRUE(solver.supports(inst.kind())) << to_string(kind);
+    const SolveOutcome outcome = solver.solve(
+        inst, options, match::SolverContext([] { return true; }));
+    if (is_tig) {
+      EXPECT_TRUE(outcome.mapping.is_permutation()) << to_string(kind);
+    } else {
+      EXPECT_EQ(outcome.mapping.num_tasks(), dag->size()) << to_string(kind);
+    }
     EXPECT_TRUE(std::isfinite(outcome.best_cost)) << to_string(kind);
   }
 }
@@ -314,7 +347,7 @@ TEST(Service, IdenticalConcurrentRequestsAllAgree) {
 
 std::vector<MapResponse> run_smoke_batch(std::size_t workers,
                                          std::size_t requests) {
-  const std::vector<std::shared_ptr<const workload::Instance>> instances = {
+  const std::vector<std::shared_ptr<const workload::AnyInstance>> instances = {
       make_instance(8, 100), make_instance(10, 101), make_instance(12, 102)};
 
   ServiceConfig config;
@@ -401,10 +434,84 @@ TEST(Service, StatsAccountForEveryRequest) {
 TEST(Request, SolverKindNamesRoundTrip) {
   for (SolverKind kind :
        {SolverKind::kMatch, SolverKind::kGa, SolverKind::kLocalSearch,
-        SolverKind::kMinMin, SolverKind::kMaxMin, SolverKind::kSufferage}) {
+        SolverKind::kMinMin, SolverKind::kMaxMin, SolverKind::kSufferage,
+        SolverKind::kHeft, SolverKind::kTopoList, SolverKind::kDagCe}) {
     EXPECT_EQ(parse_solver_kind(to_string(kind)), kind);
   }
   EXPECT_THROW(parse_solver_kind("no-such-solver"), std::invalid_argument);
+}
+
+// ---- Registry contract -------------------------------------------------
+
+TEST(Registry, DuplicateRegistrationIsRejected) {
+  // A second adapter silently shadowing the first would make dispatch
+  // dependent on registration order; the registry refuses instead, and
+  // `replace_solver` is the deliberate swap path.
+  class NullSolver final : public Solver {
+   public:
+    const char* name() const override { return "null"; }
+    SolveOutcome solve(const workload::AnyInstance&, const SolveOptions&,
+                       const match::SolverContext&) const override {
+      return {};
+    }
+  };
+  SolverRegistry registry;
+  EXPECT_THROW(
+      registry.register_solver(SolverKind::kMatch,
+                               std::make_unique<NullSolver>()),
+      std::invalid_argument);
+  // The original adapter is untouched by the failed insert.
+  EXPECT_STREQ(registry.get(SolverKind::kMatch).name(), "match");
+  registry.replace_solver(SolverKind::kMatch, std::make_unique<NullSolver>());
+  EXPECT_STREQ(registry.get(SolverKind::kMatch).name(), "null");
+}
+
+TEST(Registry, WorkloadKindSupportMatchesAdapterFamily) {
+  SolverRegistry registry;
+  EXPECT_TRUE(registry.get(SolverKind::kMatch)
+                  .supports(workload::WorkloadKind::kTig));
+  EXPECT_FALSE(registry.get(SolverKind::kMatch)
+                   .supports(workload::WorkloadKind::kDag));
+  EXPECT_TRUE(registry.get(SolverKind::kHeft)
+                  .supports(workload::WorkloadKind::kDag));
+  EXPECT_FALSE(registry.get(SolverKind::kHeft)
+                   .supports(workload::WorkloadKind::kTig));
+  EXPECT_TRUE(registry.get(SolverKind::kDagCe)
+                  .supports(workload::WorkloadKind::kDag));
+}
+
+TEST(Service, RejectsWorkloadKindMismatchAtSubmit) {
+  MappingService service;
+  MapRequest request;
+  request.instance = make_dag_instance(8, 21);
+  request.solver = SolverKind::kMatch;  // TIG-only solver, DAG instance
+  EXPECT_THROW(service.submit(std::move(request)), std::invalid_argument);
+
+  MapRequest tig_to_dag;
+  tig_to_dag.instance = make_instance(8, 22);
+  tig_to_dag.solver = SolverKind::kHeft;  // DAG-only solver, TIG instance
+  EXPECT_THROW(service.submit(std::move(tig_to_dag)), std::invalid_argument);
+  service.shutdown();
+}
+
+TEST(Service, ServesDagWorkloadsEndToEnd) {
+  ServiceConfig config;
+  config.workers = 2;
+  MappingService service(config);
+
+  const auto inst = make_dag_instance(12, 23);
+  for (SolverKind kind :
+       {SolverKind::kHeft, SolverKind::kTopoList, SolverKind::kDagCe}) {
+    MapRequest request;
+    request.instance = inst;
+    request.solver = kind;
+    request.options.seed = 7;
+    const MapResponse response = service.solve(std::move(request));
+    EXPECT_EQ(response.mapping.num_tasks(), inst->size()) << to_string(kind);
+    EXPECT_TRUE(std::isfinite(response.cost)) << to_string(kind);
+    EXPECT_GT(response.cost, 0.0) << to_string(kind);
+  }
+  service.shutdown();
 }
 
 }  // namespace

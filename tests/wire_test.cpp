@@ -16,6 +16,8 @@
 #include "rng/rng.hpp"
 #include "service/instance_cache.hpp"
 #include "sim/mapping.hpp"
+#include "workload/any_instance.hpp"
+#include "workload/dag_suite.hpp"
 #include "workload/paper_suite.hpp"
 
 namespace {
@@ -23,12 +25,22 @@ namespace {
 using namespace match;
 using namespace match::net;
 
-std::shared_ptr<const workload::Instance> make_instance(std::size_t n = 8) {
+std::shared_ptr<const workload::AnyInstance> make_instance(std::size_t n = 8) {
   rng::Rng rng(77);
   workload::PaperParams params;
   params.n = n;
-  return std::make_shared<const workload::Instance>(
+  return std::make_shared<const workload::AnyInstance>(
       workload::make_paper_instance(params, rng));
+}
+
+std::shared_ptr<const workload::AnyInstance> make_dag_instance(
+    std::size_t n = 10,
+    workload::DagFamily family = workload::DagFamily::kLayered) {
+  rng::Rng rng(78);
+  workload::DagSuiteParams params;
+  params.tasks = n;
+  return std::make_shared<const workload::AnyInstance>(
+      workload::make_dag_instance(family, params, rng));
 }
 
 void expect_graphs_equal(const graph::Graph& a, const graph::Graph& b) {
@@ -82,13 +94,14 @@ TEST(Wire, InlineRequestRoundTripsExactly) {
   EXPECT_FALSE(back.request.options.use_cache);
 
   ASSERT_NE(back.request.instance, nullptr);
-  EXPECT_EQ(back.request.instance->name, req.request.instance->name);
-  EXPECT_EQ(back.request.instance->comm_policy,
-            req.request.instance->comm_policy);
-  expect_graphs_equal(back.request.instance->tig.graph(),
-                      req.request.instance->tig.graph());
-  expect_graphs_equal(back.request.instance->resources.graph(),
-                      req.request.instance->resources.graph());
+  EXPECT_EQ(back.request.instance->kind(), workload::WorkloadKind::kTig);
+  EXPECT_EQ(back.request.instance->name(), req.request.instance->name());
+  EXPECT_EQ(back.request.instance->comm_policy(),
+            req.request.instance->comm_policy());
+  expect_graphs_equal(back.request.instance->tig().tig.graph(),
+                      req.request.instance->tig().tig.graph());
+  expect_graphs_equal(back.request.instance->resources().graph(),
+                      req.request.instance->resources().graph());
 
   // The decoded instance fingerprints identically — the property the
   // server's fingerprint store depends on.
@@ -161,6 +174,122 @@ TEST(Wire, ErrorResponseCarriesDiagnosticInsteadOfMapping) {
   EXPECT_EQ(back.status, Status::kShed);
   EXPECT_EQ(back.error, "over the admission watermark");
   EXPECT_EQ(back.response.mapping.num_tasks(), 0u);
+}
+
+// ------------------------------------------------------- DAG instances (v2)
+
+TEST(Wire, VersionIsTwo) {
+  // The workload-kind discriminant is a v2 feature; the encoded header
+  // must say so (byte 4..5, little-endian).
+  EXPECT_EQ(kWireVersion, 2);
+  WireRequest req;
+  req.by_fingerprint = true;
+  req.instance_fingerprint = 1;
+  const std::string frame = encode_request(req);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[4]), 2);
+  EXPECT_EQ(static_cast<std::uint8_t>(frame[5]), 0);
+}
+
+TEST(Wire, DagRequestRoundTripsExactlyForEveryFamily) {
+  for (const auto family :
+       {workload::DagFamily::kLayered, workload::DagFamily::kForkJoin,
+        workload::DagFamily::kSeriesParallel}) {
+    WireRequest req;
+    req.request_id = 21;
+    req.request.instance = make_dag_instance(12, family);
+    req.request.solver = service::SolverKind::kDagCe;
+
+    const WireRequest back = decode_frame(encode_request(req));
+    ASSERT_NE(back.request.instance, nullptr);
+    EXPECT_EQ(back.request.instance->kind(), workload::WorkloadKind::kDag);
+    EXPECT_EQ(back.request.solver, service::SolverKind::kDagCe);
+    EXPECT_EQ(back.request.instance->name(), req.request.instance->name());
+
+    const graph::Dag& a = back.request.instance->dag().dag;
+    const graph::Dag& b = req.request.instance->dag().dag;
+    ASSERT_EQ(a.num_nodes(), b.num_nodes());
+    for (std::size_t i = 0; i < a.num_nodes(); ++i) {
+      EXPECT_EQ(a.node_weight(static_cast<graph::NodeId>(i)),
+                b.node_weight(static_cast<graph::NodeId>(i)));  // bit-exact
+    }
+    const auto ea = a.edge_list();
+    const auto eb = b.edge_list();
+    ASSERT_EQ(ea.size(), eb.size());
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+      EXPECT_EQ(ea[i].u, eb[i].u);
+      EXPECT_EQ(ea[i].v, eb[i].v);
+      EXPECT_EQ(ea[i].weight, eb[i].weight);
+    }
+    expect_graphs_equal(back.request.instance->resources().graph(),
+                        req.request.instance->resources().graph());
+    EXPECT_EQ(service::fingerprint_instance(*back.request.instance),
+              service::fingerprint_instance(*req.request.instance));
+  }
+}
+
+TEST(Wire, UnknownWorkloadKindThrows) {
+  WireRequest req;
+  req.request_id = 22;
+  req.request.instance = make_instance(6);
+  std::string frame = encode_request(req);
+  // The kind byte sits right after the fixed-size option block + by_fp.
+  const std::size_t kind_at = kHeaderSize + 1 + 1 + 8 + 8 + 8 + 8 + 1;
+  ASSERT_EQ(frame[kind_at], 0);  // TIG
+  frame[kind_at] = 7;            // no such workload family
+  EXPECT_THROW(decode_frame(frame), WireError);
+}
+
+TEST(Wire, DagSolverKindsSurviveTheWire) {
+  for (const auto kind :
+       {service::SolverKind::kHeft, service::SolverKind::kTopoList,
+        service::SolverKind::kDagCe}) {
+    WireRequest req;
+    req.by_fingerprint = true;
+    req.instance_fingerprint = 1;
+    req.request.solver = kind;
+    EXPECT_EQ(decode_frame(encode_request(req)).request.solver, kind);
+  }
+}
+
+TEST(Wire, EveryTruncationOfADagRequestPayloadThrows) {
+  WireRequest req;
+  req.request_id = 23;
+  req.request.instance = make_dag_instance(8);
+  const std::string frame = encode_request(req);
+  const FrameHeader header = decode_header(frame);
+  const std::string_view payload = std::string_view(frame).substr(kHeaderSize);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    EXPECT_THROW(decode_request(header, payload.substr(0, len)), WireError)
+        << "prefix length " << len;
+  }
+  EXPECT_NO_THROW(decode_request(header, payload));
+}
+
+TEST(Wire, RandomCorruptionOfADagFrameNeverEscapesWireError) {
+  WireRequest req;
+  req.request_id = 24;
+  req.request.instance = make_dag_instance(10);
+  const std::string pristine = encode_request(req);
+
+  rng::Rng rng(20260809);
+  for (int iter = 0; iter < 4000; ++iter) {
+    std::string frame = pristine;
+    const std::size_t flips = 1 + rng.below(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      const std::size_t pos = rng.below(frame.size());
+      frame[pos] = static_cast<char>(frame[pos] ^
+                                     static_cast<char>(1 + rng.below(255)));
+    }
+    try {
+      const FrameHeader header = decode_header(frame);
+      if (kHeaderSize + header.payload_size > frame.size()) continue;
+      (void)decode_request(
+          header,
+          std::string_view(frame).substr(kHeaderSize, header.payload_size));
+    } catch (const WireError&) {
+      // The only acceptable failure mode.
+    }
+  }
 }
 
 // ------------------------------------------------------ header validation
@@ -296,12 +425,12 @@ TEST(Wire, GraphNodeAndEdgeCountsAreCapped) {
   req.request_id = 3;
   req.request.instance = make_instance(6);
   std::string frame = encode_request(req);
-  // Payload layout: solver u8, use_cache u8, seed u64, deadline f64,
-  // target f64, max_iter u64, by_fp u8 (=0), then name (u16 len + bytes),
-  // policy u8, then the TIG node count u32.
-  const std::size_t name_len = req.request.instance->name.size();
+  // Payload layout (v2): solver u8, use_cache u8, seed u64, deadline
+  // f64, target f64, max_iter u64, by_fp u8 (=0), workload-kind u8, then
+  // name (u16 len + bytes), policy u8, then the TIG node count u32.
+  const std::size_t name_len = req.request.instance->name().size();
   const std::size_t node_count_at =
-      kHeaderSize + 1 + 1 + 8 + 8 + 8 + 8 + 1 + 2 + name_len + 1;
+      kHeaderSize + 1 + 1 + 8 + 8 + 8 + 8 + 1 + 1 + 2 + name_len + 1;
   const std::uint32_t huge = 1u << 30;
   std::memcpy(frame.data() + node_count_at, &huge, sizeof(huge));
   EXPECT_THROW(decode_frame(frame), WireError);
@@ -332,6 +461,7 @@ TEST(Wire, EdgeCountBeyondPayloadBytesThrowsBeforeAllocating) {
   put64(0);          // target_cost bits
   put64(0);          // max_iterations
   put8(0);           // by_fingerprint = inline instance follows
+  put8(0);           // workload kind: TIG
   put8(0); put8(0);  // instance name: u16 length 0
   put8(0);           // comm policy
   const std::uint32_t n = 100000;  // n*(n-1)/2 ≈ 5e9 > any u32 claim
@@ -356,7 +486,7 @@ TEST(Wire, NodeAndMappingCountsBeyondPayloadBytesThrow) {
   };
   put_bytes({0, 1});                       // solver, use_cache
   payload.append(8 + 8 + 8 + 8, '\0');     // seed, deadline, target, max_iter
-  put_bytes({0, 0, 0, 0});                 // inline, empty name, policy
+  put_bytes({0, 0, 0, 0, 0});              // inline, TIG kind, name, policy
   put_bytes({0xff, 0xff, 0x0f, 0x00});     // node count 2^20 = kMaxWireNodes-ish
   FrameHeader header;
   header.type = MsgType::kRequest;
