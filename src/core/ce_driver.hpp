@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <limits>
 #include <numeric>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -110,8 +111,17 @@ CeResult<typename Problem::Sample> run_ce(Problem& problem,
       samples[i] = problem.draw(rng);
     }
     probe.split("draw");
-    for (std::size_t i = 0; i < params.sample_size; ++i) {
-      costs[i] = problem.cost(samples[i]);
+    // Problems that can evaluate a whole batch at once (SoA re-pack, SIMD
+    // kernels, thread-pool fan-out) expose `costs(samples, out, ctx)`; the
+    // driver prefers it and falls back to the per-sample loop otherwise.
+    if constexpr (requires {
+                    problem.costs(samples, std::span<double>(costs), ctx);
+                  }) {
+      problem.costs(samples, std::span<double>(costs), ctx);
+    } else {
+      for (std::size_t i = 0; i < params.sample_size; ++i) {
+        costs[i] = problem.cost(samples[i]);
+      }
     }
     probe.split("cost");
 

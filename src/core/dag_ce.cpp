@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "parallel/parallel_for.hpp"
 
 namespace match::core {
 
@@ -22,7 +26,7 @@ void DagCeParams::validate() const {
 
 DagPriorityProblem::DagPriorityProblem(const sim::ScheduleEvaluator& eval,
                                        SamplerBackend backend,
-                                       bool random_task_order)
+                                       bool random_task_order, bool parallel)
     : eval_(&eval),
       n_(eval.num_tasks()),
       p_(StochasticMatrix::uniform(eval.num_tasks() > 0 ? eval.num_tasks() : 1,
@@ -30,7 +34,8 @@ DagPriorityProblem::DagPriorityProblem(const sim::ScheduleEvaluator& eval,
                                                         : 1)),
       sampler_(eval.num_tasks()),
       backend_(backend),
-      random_task_order_(random_task_order) {
+      random_task_order_(random_task_order),
+      parallel_(parallel) {
   if (n_ < 2) {
     throw std::invalid_argument("DagPriorityProblem: need >= 2 tasks");
   }
@@ -55,6 +60,24 @@ DagPriorityProblem::Sample DagPriorityProblem::draw(rng::Rng& rng) {
 double DagPriorityProblem::cost(const Sample& priority) {
   ++evaluations_;
   return eval_->schedule_priorities(priority, scratch_);
+}
+
+void DagPriorityProblem::costs(const std::vector<Sample>& samples,
+                               std::span<double> out,
+                               const match::SolverContext& ctx) {
+  block_.reset(n_, samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    block_.store_sample(i, samples[i]);
+  }
+  parallel::ForOptions opts;
+  opts.pool = ctx.pool();
+  if (!parallel_) {
+    // Lane results are thread-count-independent either way; serial mode
+    // just never touches the pool.
+    opts.serial_cutoff = std::numeric_limits<std::size_t>::max();
+  }
+  eval_->priority_makespans_batch(block_, out, opts);
+  evaluations_ += samples.size();
 }
 
 void DagPriorityProblem::update(const std::vector<const Sample*>& elites,
@@ -83,7 +106,15 @@ DagCeResult solve_dag_ce(const sim::ScheduleEvaluator& eval,
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t n = eval.num_tasks();
 
-  DagPriorityProblem problem(eval, params.sampler, params.random_task_order);
+  DagPriorityProblem problem(eval, params.sampler, params.random_task_order,
+                             params.parallel);
+  if (ctx.metrics() != nullptr) {
+    // Book the evaluator's resolved kernel so operators can see which
+    // backend actually served the run (same booking as matchalgo/ga).
+    ctx.metrics()
+        ->counter(std::string("solver.backend.") + eval.backend_name())
+        .add();
+  }
 
   CeDriverParams driver;
   driver.rho = params.rho;

@@ -15,6 +15,7 @@
 // through the generic `run_ce` driver with no solver-core changes.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/ce_driver.hpp"
@@ -31,10 +32,15 @@ namespace match::core {
 /// Parameters of the DAG priority-space CE solver.  The shared knobs
 /// live in the `CeCommonParams` base; `sample_size` 0 resolves to
 /// max(64, 2·tasks) — priority space is n-dimensional, not n²-, so the
-/// paper's 2n² batch would overspend.  `parallel` is accepted but the
-/// run is serial per sample (the generic `run_ce` loop evaluates costs
-/// one by one); `eval_backend` has no effect because schedule recurrences
-/// are inherently scalar.
+/// paper's 2n² batch would overspend.  `parallel` spreads each batch's
+/// cost pass across the context's thread pool (lane results are
+/// thread-count-independent, so parallel and serial runs agree exactly).
+/// `eval_backend` is consumed where the `ScheduleEvaluator` is built —
+/// the service layer threads it into the evaluator's constructor — and
+/// the resolved choice is reported via the `solver.backend.<name>`
+/// metric; it selects the assignment-mode SIMD kernel, while this
+/// solver's priority-mode cost pass keeps scalar lanes (the
+/// insertion-EFT gap scan resists vectorization).
 struct DagCeParams : CeCommonParams {
   std::size_t max_iterations = 200;
   std::size_t gamma_stall_window = 10;
@@ -54,13 +60,19 @@ class DagPriorityProblem {
 
   DagPriorityProblem(const sim::ScheduleEvaluator& eval,
                      SamplerBackend backend = SamplerBackend::kAlias,
-                     bool random_task_order = true);
+                     bool random_task_order = true, bool parallel = false);
 
   std::size_t size() const noexcept { return n_; }
 
   // --- CE driver interface -------------------------------------------
   Sample draw(rng::Rng& rng);
   double cost(const Sample& priority);
+  /// Batched cost hook preferred by `run_ce`: re-packs the batch into a
+  /// task-major `SampleBlock` and runs `priority_makespans_batch`
+  /// (scalar lanes, pooled scratch), fanning lanes across `ctx`'s thread
+  /// pool when `parallel` was set.  Results match `cost()` lane for lane.
+  void costs(const std::vector<Sample>& samples, std::span<double> out,
+             const match::SolverContext& ctx);
   void update(const std::vector<const Sample*>& elites, double zeta);
   bool degenerate(double eps) const;
 
@@ -75,9 +87,11 @@ class DagPriorityProblem {
   RowAliasTables tables_;
   SamplerBackend backend_;
   bool random_task_order_;
+  bool parallel_;
   bool tables_dirty_ = true;
   std::size_t evaluations_ = 0;
   sim::ScheduleEvaluator::Scratch scratch_;
+  sim::SampleBlock block_;  ///< batched-cost re-pack, reused per iteration
   std::vector<double> counts_;
 };
 

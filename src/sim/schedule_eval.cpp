@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -22,13 +23,44 @@ double time_tol(double scale) { return 1e-9 * (1.0 + std::abs(scale)); }
 }  // namespace
 
 ScheduleEvaluator::ScheduleEvaluator(const graph::Dag& dag,
-                                     const Platform& platform)
+                                     const Platform& platform,
+                                     EvalBackend backend)
     : dag_(&dag),
       platform_(&platform),
       topo_order_(graph::topological_order(dag)),
+      backend_(resolve_eval_backend(backend)),
       pool_([] { return std::make_unique<BatchScratch>(); }) {
   if (platform.num_resources() == 0) {
     throw std::invalid_argument("ScheduleEvaluator: empty platform");
+  }
+  const std::size_t n = dag.num_nodes();
+  const std::size_t nr = platform.num_resources();
+
+  // exec_[t·nr + r] = W_t · w_r, built once: the scalar recurrences trade
+  // a multiply for a load, the SIMD kernels get a gatherable row per
+  // task, and upward_ranks reads row means off the same table.
+  exec_.resize(n * nr);
+  for (std::size_t t = 0; t < n; ++t) {
+    const double w = dag.node_weight(static_cast<NodeId>(t));
+    for (std::size_t r = 0; r < nr; ++r) {
+      exec_[t * nr + r] = w * platform.processing_cost(static_cast<NodeId>(r));
+    }
+  }
+
+  // Flatten the predecessor lists in topological order so the batch
+  // kernels walk one linear stream (offsets are topo-position-indexed).
+  pred_off_.resize(n + 1);
+  pred_off_[0] = 0;
+  std::size_t num_preds = 0;
+  for (const NodeId t : topo_order_) num_preds += dag.predecessors(t).size();
+  pred_id_.reserve(num_preds);
+  pred_w_.reserve(num_preds);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const auto& p : dag.predecessors(topo_order_[i])) {
+      pred_id_.push_back(p.id);
+      pred_w_.push_back(p.weight);
+    }
+    pred_off_[i + 1] = static_cast<std::uint32_t>(pred_id_.size());
   }
 }
 
@@ -41,11 +73,15 @@ double ScheduleEvaluator::makespan(std::span<const NodeId> assignment,
   }
   scratch.finish.resize(n);
   scratch.avail.assign(nr, 0.0);
+  const double* exec = exec_.data();
 
   double makespan = 0.0;
   for (const NodeId t : topo_order_) {
     const NodeId r = assignment[t];
-    const double exec = dag_->node_weight(t) * platform_->processing_cost(r);
+    if (r >= nr) {
+      throw std::invalid_argument(
+          "ScheduleEvaluator::makespan: resource id out of range");
+    }
     const double* crow = platform_->comm_row(r);
     double ready = 0.0;
     for (const auto& p : dag_->predecessors(t)) {
@@ -55,7 +91,7 @@ double ScheduleEvaluator::makespan(std::span<const NodeId> assignment,
       ready = std::max(ready, arrive);
     }
     const double start = std::max(scratch.avail[r], ready);
-    scratch.finish[t] = start + exec;
+    scratch.finish[t] = start + exec[t * nr + r];
     scratch.avail[r] = scratch.finish[t];
     makespan = std::max(makespan, scratch.finish[t]);
   }
@@ -92,11 +128,16 @@ double ScheduleEvaluator::schedule_priorities(std::span<const NodeId> priority,
   scratch.assign.resize(n);
   scratch.indegree.resize(n);
   scratch.heap.clear();
-  scratch.busy_start.resize(nr);
-  scratch.busy_end.resize(nr);
+
+  // Busy-interval arena: a resource holds at most n intervals plus the
+  // sentinel, so every segment has room and inserts never reallocate.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t stride = 2 * (n + 1);
+  scratch.busy.resize(nr * stride);
+  scratch.busy_len.assign(nr, 0);
   for (std::size_t r = 0; r < nr; ++r) {
-    scratch.busy_start[r].clear();
-    scratch.busy_end[r].clear();
+    scratch.busy[r * stride] = kInf;
+    scratch.busy[r * stride + 1] = kInf;
   }
 
   // Min-heap over ready tasks, keyed by priority slot.
@@ -112,6 +153,7 @@ double ScheduleEvaluator::schedule_priorities(std::span<const NodeId> priority,
   }
   std::make_heap(scratch.heap.begin(), scratch.heap.end(), later);
 
+  const double* exec = exec_.data();
   double makespan = 0.0;
   std::size_t scheduled = 0;
   while (!scratch.heap.empty()) {
@@ -125,8 +167,7 @@ double ScheduleEvaluator::schedule_priorities(std::span<const NodeId> priority,
     double best_start = 0.0;
     NodeId best_r = 0;
     for (std::size_t r = 0; r < nr; ++r) {
-      const double exec = dag_->node_weight(t) *
-                          platform_->processing_cost(static_cast<NodeId>(r));
+      const double exec_tr = exec[t * nr + r];
       const double* crow = platform_->comm_row(static_cast<NodeId>(r));
       double ready = 0.0;
       for (const auto& p : dag_->predecessors(t)) {
@@ -136,16 +177,17 @@ double ScheduleEvaluator::schedule_priorities(std::span<const NodeId> priority,
             (pr == static_cast<NodeId>(r) ? 0.0 : p.weight * crow[pr]);
         ready = std::max(ready, arrive);
       }
-      // Earliest gap in r's busy list that fits `exec` no earlier than
-      // `ready`.  Lists are sorted by start and non-overlapping.
-      const auto& bs = scratch.busy_start[r];
-      const auto& be = scratch.busy_end[r];
+      // Earliest gap in r's busy arena that fits `exec_tr` no earlier
+      // than `ready`.  The sentinel's +inf start satisfies the break
+      // condition for any finite slot, so the scan carries no length
+      // compare, and the slide over each interval is a branchless maxsd.
+      const double* iv = scratch.busy.data() + r * stride;
       double slot_start = ready;
-      for (std::size_t i = 0; i < bs.size(); ++i) {
-        if (bs[i] - slot_start >= exec) break;  // fits before interval i
-        slot_start = std::max(slot_start, be[i]);
+      for (std::size_t i = 0;; ++i) {
+        if (iv[2 * i] - slot_start >= exec_tr) break;
+        slot_start = std::max(slot_start, iv[2 * i + 1]);
       }
-      const double eft = slot_start + exec;
+      const double eft = slot_start + exec_tr;
       if (eft < best_eft) {
         best_eft = eft;
         best_start = slot_start;
@@ -158,13 +200,25 @@ double ScheduleEvaluator::schedule_priorities(std::span<const NodeId> priority,
     scratch.finish[t] = best_eft;
     makespan = std::max(makespan, best_eft);
 
-    // Insert the busy interval at its sorted position.
-    auto& bs = scratch.busy_start[best_r];
-    auto& be = scratch.busy_end[best_r];
-    const auto pos = std::upper_bound(bs.begin(), bs.end(), best_start);
-    const std::size_t idx = static_cast<std::size_t>(pos - bs.begin());
-    bs.insert(pos, best_start);
-    be.insert(be.begin() + static_cast<std::ptrdiff_t>(idx), best_eft);
+    // Insert the busy interval at its sorted position: strided binary
+    // search, then one memmove that carries the sentinel along.
+    double* iv = scratch.busy.data() + best_r * stride;
+    const std::uint32_t len = scratch.busy_len[best_r];
+    std::uint32_t pos = 0;
+    std::uint32_t hi = len;
+    while (pos < hi) {
+      const std::uint32_t mid = (pos + hi) / 2;
+      if (iv[2 * mid] <= best_start) {
+        pos = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    std::memmove(iv + 2 * (pos + 1), iv + 2 * pos,
+                 sizeof(double) * 2 * (len - pos + 1));
+    iv[2 * pos] = best_start;
+    iv[2 * pos + 1] = best_eft;
+    scratch.busy_len[best_r] = len + 1;
 
     for (const auto& s : dag_->successors(t)) {
       if (--scratch.indegree[s.id] == 0) {
@@ -188,11 +242,6 @@ double ScheduleEvaluator::schedule_priorities(std::span<const NodeId> priority,
 std::vector<double> ScheduleEvaluator::upward_ranks() const {
   const std::size_t n = num_tasks();
   const std::size_t nr = num_resources();
-  double mean_w = 0.0;
-  for (std::size_t r = 0; r < nr; ++r) {
-    mean_w += platform_->processing_cost(static_cast<NodeId>(r));
-  }
-  mean_w /= static_cast<double>(nr);
   // Mean comm cost over distinct ordered resource pairs (0 on a single
   // resource, where no transfer ever happens).
   double mean_c = 0.0;
@@ -206,14 +255,19 @@ std::vector<double> ScheduleEvaluator::upward_ranks() const {
     mean_c /= static_cast<double>(nr * (nr - 1));
   }
 
+  const double* exec = exec_.data();
   std::vector<double> rank(n, 0.0);
   for (std::size_t i = n; i-- > 0;) {
     const NodeId t = topo_order_[i];
+    // Mean exec over the task's exec-cost table row.
+    double mean_w = 0.0;
+    for (std::size_t r = 0; r < nr; ++r) mean_w += exec[t * nr + r];
+    mean_w /= static_cast<double>(nr);
     double tail = 0.0;
     for (const auto& s : dag_->successors(t)) {
       tail = std::max(tail, s.weight * mean_c + rank[s.id]);
     }
-    rank[t] = dag_->node_weight(t) * mean_w + tail;
+    rank[t] = mean_w + tail;
   }
   return rank;
 }
@@ -229,14 +283,47 @@ void ScheduleEvaluator::makespans_batch(const SampleBlock& block,
     throw std::invalid_argument(
         "ScheduleEvaluator::makespans_batch: output too small");
   }
+  // Validate every lane's resource ids serially up front: thread-pool
+  // tasks must not throw (parallel/thread_pool.hpp), so the kernels below
+  // run on known-good data.  Padding lanes are zero-filled, so scanning
+  // whole task rows (stride included) is safe — and the scan is a plain
+  // unsigned max-reduction the compiler vectorizes on its own.
+  const std::size_t nr = num_resources();
+  if (block.num_tasks() > 0) {
+    const NodeId* data = block.task_row(0);
+    const std::size_t total = block.num_tasks() * block.lane_stride();
+    NodeId max_id = 0;
+    for (std::size_t i = 0; i < total; ++i) max_id = std::max(max_id, data[i]);
+    if (max_id >= nr) {
+      throw std::invalid_argument(
+          "ScheduleEvaluator::makespans_batch: resource id out of range");
+    }
+  }
   parallel::parallel_for_chunked(
       0, block.size(),
       [&](std::size_t lo, std::size_t hi, std::size_t) {
         auto lease = pool_.acquire();
-        lease->row.resize(num_tasks());
-        for (std::size_t i = lo; i < hi; ++i) {
-          block.load_sample(i, lease->row);
-          out[i] = makespan(lease->row, lease->sched);
+        switch (backend_) {
+          case EvalBackend::kAvx2:
+            detail::schedule_eval_avx2_range(*this, block, lo, hi,
+                                             lease->lanes, out.data());
+            break;
+          case EvalBackend::kAvx512:
+            detail::schedule_eval_avx512_range(*this, block, lo, hi,
+                                               lease->lanes, out.data());
+            break;
+          case EvalBackend::kNeon:
+            detail::schedule_eval_neon_range(*this, block, lo, hi,
+                                             lease->lanes, out.data());
+            break;
+          default: {
+            lease->row.resize(num_tasks());
+            for (std::size_t i = lo; i < hi; ++i) {
+              block.load_sample(i, lease->row);
+              out[i] = makespan(lease->row, lease->sched);
+            }
+            break;
+          }
         }
       },
       opts);
@@ -313,19 +400,31 @@ bool schedule_feasible(const graph::Dag& dag, const Platform& platform,
       }
     }
   }
-  // Resource exclusivity: no two tasks overlap on one resource.
-  std::vector<std::vector<std::pair<double, double>>> busy(nr);
+  // Resource exclusivity: one flat (resource, start, finish) record per
+  // task, a single sort (resource-major, start-minor), and an adjacent-
+  // overlap scan — one allocation per call instead of a vector per
+  // resource (this runs on every solver result the service returns).
+  struct BusyRecord {
+    NodeId resource;
+    double start;
+    double finish;
+  };
+  std::vector<BusyRecord> busy;
+  busy.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
-    busy[schedule.assignment[t]].emplace_back(schedule.start[t],
-                                              schedule.finish[t]);
+    busy.push_back(
+        {schedule.assignment[t], schedule.start[t], schedule.finish[t]});
   }
-  for (std::size_t r = 0; r < nr; ++r) {
-    std::sort(busy[r].begin(), busy[r].end());
-    for (std::size_t i = 1; i < busy[r].size(); ++i) {
-      if (busy[r][i].first + time_tol(busy[r][i].first) <
-          busy[r][i - 1].second) {
-        return fail("overlapping tasks on resource " + std::to_string(r));
-      }
+  std::sort(busy.begin(), busy.end(),
+            [](const BusyRecord& a, const BusyRecord& b) {
+              return a.resource != b.resource ? a.resource < b.resource
+                                              : a.start < b.start;
+            });
+  for (std::size_t i = 1; i < busy.size(); ++i) {
+    if (busy[i].resource == busy[i - 1].resource &&
+        busy[i].start + time_tol(busy[i].start) < busy[i - 1].finish) {
+      return fail("overlapping tasks on resource " +
+                  std::to_string(busy[i].resource));
     }
   }
   if (why != nullptr) why->clear();

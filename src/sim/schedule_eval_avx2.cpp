@@ -1,0 +1,177 @@
+// AVX2 lane-parallel schedule kernel (assignment mode).  This
+// translation unit is compiled with -mavx2 -mfma (see src/CMakeLists.txt)
+// and stays behind the plain-ABI entry point declared in
+// sim/schedule_eval.hpp; MATCH_DISABLE_SIMD compiles the stub instead.
+//
+// Shape: the schedule recurrence is sequential over *tasks* but
+// embarrassingly parallel over *lanes*, so the kernel walks the canonical
+// topological order once and advances 8 samples (two 4-wide double
+// vectors) per task.  Per task: the 8 assigned resources load with unit
+// stride from the task-major SampleBlock row; each predecessor
+// contributes max(ready, finish + comm), with the comm term gathered from
+// the matrix at r·nr + pr and masked to zero where the predecessor shares
+// the resource (cmpeq → sign-extended 64-bit mask → andnot — the
+// branchless form of the scalar `pr == r ? 0 : w·c`); the exec cost
+// gathers from the task's precomputed exec-table row; and the
+// per-resource avail times live lane-transposed (`avail[r·8 + l]`) so
+// they gather by r·8 + lane and scatter back with a scalar extract loop
+// (AVX2 has no scatter).
+//
+// Every lane performs exactly the scalar kernel's operation sequence —
+// max / mul / add, no reassociation, and never a fused multiply-add
+// (explicit mul_pd + add_pd; intrinsics are not contracted) — so the
+// result is bit-identical to the scalar path even on fractional
+// workloads.  Groups are globally aligned: a chunk boundary inside a
+// group re-evaluates the whole group and writes only its own lanes, so
+// lane values are chunking- and thread-count-independent.
+
+#include "sim/schedule_eval.hpp"
+
+#if defined(__x86_64__) && !defined(MATCH_DISABLE_SIMD)
+#define MATCH_AVX2_KERNEL 1
+#include <immintrin.h>
+#endif
+
+#include <cstdint>
+
+namespace match::sim::detail {
+
+#if defined(MATCH_AVX2_KERNEL)
+
+namespace {
+
+/// Rounds a buffer base up to 32 bytes so the kernel's group-wide rows
+/// take aligned vector loads/stores (vector<double> storage only
+/// guarantees 16).  Callers over-allocate by 3 doubles.
+inline double* align32(std::vector<double>& v, std::size_t need) {
+  v.resize(need + 3);
+  return reinterpret_cast<double*>(
+      (reinterpret_cast<std::uintptr_t>(v.data()) + 31) & ~std::uintptr_t{31});
+}
+
+}  // namespace
+
+void schedule_eval_avx2_range(const ScheduleEvaluator& eval,
+                              const SampleBlock& block, std::size_t lo,
+                              std::size_t hi, ScheduleLaneScratch& scratch,
+                              double* out) {
+  static_assert(kLaneGroup == 8, "kernel is written for 8-lane groups");
+  const std::size_t n = block.num_tasks();
+  const std::size_t nr = eval.num_resources();
+  const double* comm = eval.platform().comm_row(0);
+  const double* exec = eval.exec_costs().data();
+  const graph::NodeId* topo = eval.topo_order().data();
+  const std::uint32_t* pred_off = eval.pred_offsets().data();
+  const graph::NodeId* pred_id = eval.pred_ids().data();
+  const double* pred_w = eval.pred_weights().data();
+
+  double* fin = align32(scratch.finish, n * kLaneGroup);
+  double* avail = align32(scratch.avail, nr * kLaneGroup);
+  const __m256i nr_v = _mm256_set1_epi32(static_cast<int>(nr));
+  const __m256i lane_off = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+
+  // Aligned groups: a chunk boundary inside a group evaluates the whole
+  // group (the neighbor chunk recomputes it identically) and writes only
+  // its own lanes, so lane values are chunking-independent.
+  for (std::size_t g = lo / kLaneGroup * kLaneGroup; g < hi;
+       g += kLaneGroup) {
+    const __m256d zero = _mm256_setzero_pd();
+    for (std::size_t s = 0; s < nr; ++s) {
+      _mm256_store_pd(avail + s * kLaneGroup, zero);
+      _mm256_store_pd(avail + s * kLaneGroup + 4, zero);
+    }
+    __m256d mk0 = zero;
+    __m256d mk1 = zero;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const graph::NodeId t = topo[i];
+      const graph::NodeId* row = block.task_row(t) + g;
+      const __m256i r =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row));
+      const __m256i comm_base = _mm256_mullo_epi32(r, nr_v);
+
+      // ready = max over predecessors of finish[p] + masked comm term.
+      __m256d ready0 = zero;
+      __m256d ready1 = zero;
+      for (std::uint32_t e = pred_off[i]; e < pred_off[i + 1]; ++e) {
+        const graph::NodeId p = pred_id[e];
+        const graph::NodeId* prow = block.task_row(p) + g;
+        const __m256i pr =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prow));
+        const __m256i cidx = _mm256_add_epi32(comm_base, pr);
+        const __m256d w = _mm256_set1_pd(pred_w[e]);
+        const __m256d c0 =
+            _mm256_i32gather_pd(comm, _mm256_castsi256_si128(cidx), 8);
+        const __m256d c1 =
+            _mm256_i32gather_pd(comm, _mm256_extracti128_si256(cidx, 1), 8);
+        // Widen the 32-bit equality masks to 64-bit lane masks; andnot
+        // zeroes the comm term where pred and task share a resource.
+        const __m256i eq = _mm256_cmpeq_epi32(pr, r);
+        const __m256d eq0 = _mm256_castsi256_pd(
+            _mm256_cvtepi32_epi64(_mm256_castsi256_si128(eq)));
+        const __m256d eq1 = _mm256_castsi256_pd(
+            _mm256_cvtepi32_epi64(_mm256_extracti128_si256(eq, 1)));
+        // mul then add, never fmadd: contraction would break the
+        // bit-identical-to-scalar contract on fractional workloads.
+        const __m256d term0 = _mm256_andnot_pd(eq0, _mm256_mul_pd(w, c0));
+        const __m256d term1 = _mm256_andnot_pd(eq1, _mm256_mul_pd(w, c1));
+        const __m256d pf0 =
+            _mm256_load_pd(fin + static_cast<std::size_t>(p) * kLaneGroup);
+        const __m256d pf1 =
+            _mm256_load_pd(fin + static_cast<std::size_t>(p) * kLaneGroup + 4);
+        ready0 = _mm256_max_pd(ready0, _mm256_add_pd(pf0, term0));
+        ready1 = _mm256_max_pd(ready1, _mm256_add_pd(pf1, term1));
+      }
+
+      // start = max(avail[r], ready); finish = start + exec[t][r].
+      const double* exec_t = exec + static_cast<std::size_t>(t) * nr;
+      const __m256d e0 =
+          _mm256_i32gather_pd(exec_t, _mm256_castsi256_si128(r), 8);
+      const __m256d e1 =
+          _mm256_i32gather_pd(exec_t, _mm256_extracti128_si256(r, 1), 8);
+      const __m256i av_idx =
+          _mm256_add_epi32(_mm256_slli_epi32(r, 3), lane_off);
+      const __m256d av0 =
+          _mm256_i32gather_pd(avail, _mm256_castsi256_si128(av_idx), 8);
+      const __m256d av1 =
+          _mm256_i32gather_pd(avail, _mm256_extracti128_si256(av_idx, 1), 8);
+      const __m256d f0 = _mm256_add_pd(_mm256_max_pd(av0, ready0), e0);
+      const __m256d f1 = _mm256_add_pd(_mm256_max_pd(av1, ready1), e1);
+      _mm256_store_pd(fin + static_cast<std::size_t>(t) * kLaneGroup, f0);
+      _mm256_store_pd(fin + static_cast<std::size_t>(t) * kLaneGroup + 4, f1);
+
+      // Scatter the new avail times back (no AVX2 scatter — extract).
+      alignas(32) double fs[kLaneGroup];
+      alignas(32) std::uint32_t rs[kLaneGroup];
+      _mm256_store_pd(fs, f0);
+      _mm256_store_pd(fs + 4, f1);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(rs), r);
+      for (std::size_t l = 0; l < kLaneGroup; ++l) {
+        avail[rs[l] * kLaneGroup + l] = fs[l];
+      }
+      mk0 = _mm256_max_pd(mk0, f0);
+      mk1 = _mm256_max_pd(mk1, f1);
+    }
+
+    alignas(32) double mk[kLaneGroup];
+    _mm256_store_pd(mk, mk0);
+    _mm256_store_pd(mk + 4, mk1);
+    for (std::size_t l = 0; l < kLaneGroup; ++l) {
+      const std::size_t i = g + l;
+      if (i >= lo && i < hi) out[i] = mk[l];
+    }
+  }
+}
+
+#else  // !MATCH_AVX2_KERNEL
+
+void schedule_eval_avx2_range(const ScheduleEvaluator&, const SampleBlock&,
+                              std::size_t, std::size_t, ScheduleLaneScratch&,
+                              double*) {
+  // Unreachable: resolve_eval_backend never selects kAvx2 when the
+  // kernel is not compiled in.
+}
+
+#endif  // MATCH_AVX2_KERNEL
+
+}  // namespace match::sim::detail

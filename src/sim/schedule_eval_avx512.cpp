@@ -1,0 +1,128 @@
+// AVX-512F lane-parallel schedule kernel (assignment mode).  Identical
+// lane-recurrence structure to the AVX2 kernel (see
+// schedule_eval_avx2.cpp for the why), but one 8-wide zmm vector covers
+// a whole lane group, the resource-equality mask is a real predicate
+// (the 32-bit ids widen to epi64 for the compare — this TU compiles with
+// -mavx512f only, so no AVX512VL 256-bit mask ops), the masked comm add
+// is a single `_mm512_mask_add_pd`, and the per-resource avail
+// write-back uses the native `_mm512_i32scatter_pd` instead of the AVX2
+// extract loop.  Like the AVX2 kernel it never fuses multiply-adds, so
+// results stay bit-identical to the scalar path.
+
+#include "sim/schedule_eval.hpp"
+
+#if defined(__x86_64__) && !defined(MATCH_DISABLE_SIMD)
+#define MATCH_AVX512_KERNEL 1
+#include <immintrin.h>
+#endif
+
+#include <cstdint>
+
+namespace match::sim::detail {
+
+#if defined(MATCH_AVX512_KERNEL)
+
+namespace {
+
+/// Rounds a buffer base up to 64 bytes for aligned zmm rows.  Callers
+/// over-allocate by 7 doubles.
+inline double* align64(std::vector<double>& v, std::size_t need) {
+  v.resize(need + 7);
+  return reinterpret_cast<double*>(
+      (reinterpret_cast<std::uintptr_t>(v.data()) + 63) & ~std::uintptr_t{63});
+}
+
+}  // namespace
+
+void schedule_eval_avx512_range(const ScheduleEvaluator& eval,
+                                const SampleBlock& block, std::size_t lo,
+                                std::size_t hi, ScheduleLaneScratch& scratch,
+                                double* out) {
+  static_assert(kLaneGroup == 8, "kernel is written for 8-lane groups");
+  const std::size_t n = block.num_tasks();
+  const std::size_t nr = eval.num_resources();
+  const double* comm = eval.platform().comm_row(0);
+  const double* exec = eval.exec_costs().data();
+  const graph::NodeId* topo = eval.topo_order().data();
+  const std::uint32_t* pred_off = eval.pred_offsets().data();
+  const graph::NodeId* pred_id = eval.pred_ids().data();
+  const double* pred_w = eval.pred_weights().data();
+
+  double* fin = align64(scratch.finish, n * kLaneGroup);
+  double* avail = align64(scratch.avail, nr * kLaneGroup);
+  const __m256i nr_v = _mm256_set1_epi32(static_cast<int>(nr));
+  const __m256i lane_off = _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7);
+
+  // Aligned groups: a chunk boundary inside a group evaluates the whole
+  // group (the neighbor chunk recomputes it identically) and writes only
+  // its own lanes, so lane values are chunking-independent.
+  for (std::size_t g = lo / kLaneGroup * kLaneGroup; g < hi;
+       g += kLaneGroup) {
+    const __m512d zero = _mm512_setzero_pd();
+    for (std::size_t s = 0; s < nr; ++s) {
+      _mm512_store_pd(avail + s * kLaneGroup, zero);
+    }
+    __m512d mk = zero;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const graph::NodeId t = topo[i];
+      const __m256i r = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(block.task_row(t) + g));
+      const __m512i r64 = _mm512_cvtepu32_epi64(r);
+      const __m256i comm_base = _mm256_mullo_epi32(r, nr_v);
+
+      // ready = max over predecessors of finish[p] + masked comm term.
+      __m512d ready = zero;
+      for (std::uint32_t e = pred_off[i]; e < pred_off[i + 1]; ++e) {
+        const graph::NodeId p = pred_id[e];
+        const __m256i pr = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(block.task_row(p) + g));
+        const __m256i cidx = _mm256_add_epi32(comm_base, pr);
+        const __m512d c = _mm512_i32gather_pd(cidx, comm, 8);
+        // mul then masked add, never fmadd: contraction would break the
+        // bit-identical-to-scalar contract on fractional workloads.
+        const __m512d term = _mm512_mul_pd(_mm512_set1_pd(pred_w[e]), c);
+        const __mmask8 neq =
+            _mm512_cmpneq_epi64_mask(_mm512_cvtepu32_epi64(pr), r64);
+        const __m512d pf =
+            _mm512_load_pd(fin + static_cast<std::size_t>(p) * kLaneGroup);
+        // arrive = finish + (pred on another resource ? term : 0).
+        const __m512d arrive = _mm512_mask_add_pd(pf, neq, pf, term);
+        ready = _mm512_max_pd(ready, arrive);
+      }
+
+      // start = max(avail[r], ready); finish = start + exec[t][r].
+      const double* exec_t = exec + static_cast<std::size_t>(t) * nr;
+      const __m512d ex = _mm512_i32gather_pd(r, exec_t, 8);
+      const __m256i av_idx =
+          _mm256_add_epi32(_mm256_slli_epi32(r, 3), lane_off);
+      const __m512d av = _mm512_i32gather_pd(av_idx, avail, 8);
+      const __m512d f = _mm512_add_pd(_mm512_max_pd(av, ready), ex);
+      _mm512_store_pd(fin + static_cast<std::size_t>(t) * kLaneGroup, f);
+      // Native scatter: lanes index distinct slots (r·8 + lane), so no
+      // conflict handling is needed.
+      _mm512_i32scatter_pd(avail, av_idx, f, 8);
+      mk = _mm512_max_pd(mk, f);
+    }
+
+    alignas(64) double mks[kLaneGroup];
+    _mm512_store_pd(mks, mk);
+    for (std::size_t l = 0; l < kLaneGroup; ++l) {
+      const std::size_t i = g + l;
+      if (i >= lo && i < hi) out[i] = mks[l];
+    }
+  }
+}
+
+#else  // !MATCH_AVX512_KERNEL
+
+void schedule_eval_avx512_range(const ScheduleEvaluator&, const SampleBlock&,
+                                std::size_t, std::size_t,
+                                ScheduleLaneScratch&, double*) {
+  // Unreachable: resolve_eval_backend never selects kAvx512 when the
+  // kernel is not compiled in.
+}
+
+#endif  // MATCH_AVX512_KERNEL
+
+}  // namespace match::sim::detail

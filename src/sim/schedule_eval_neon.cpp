@@ -1,0 +1,121 @@
+// AArch64 NEON lane-parallel schedule kernel (assignment mode).  Same
+// contract and topo-walk structure as the AVX2 kernel (aligned groups of
+// kLaneGroup samples, one pass over the canonical topological order,
+// lane-transposed finish/avail scratch), but built from 2-wide
+// float64x2 vectors — four per group — with scalar gathers for the comm,
+// exec, and avail lookups, since NEON has neither gather nor scatter.
+// The win over the scalar per-lane path is the shared recurrence
+// bookkeeping: the assignment row loads once per task for all 8 lanes
+// (no per-sample load_sample gather), the comm-vs-same-resource select
+// is branchless, and the max/add chains run 2 lanes per instruction.
+// Per lane the operation sequence is exactly the scalar kernel's
+// (max / mul / add, no fusion, no reassociation), so results are
+// bit-identical to the scalar path.  Compiled unconditionally into the
+// library; the implementation is gated on __aarch64__ (and
+// MATCH_DISABLE_SIMD) with the shared `neon_kernel_compiled()` probe
+// reporting which variant this TU holds.
+
+#include "sim/schedule_eval.hpp"
+
+#if defined(__aarch64__) && !defined(MATCH_DISABLE_SIMD)
+#define MATCH_NEON_KERNEL 1
+#include <arm_neon.h>
+#endif
+
+#include <cstdint>
+
+namespace match::sim::detail {
+
+#if defined(MATCH_NEON_KERNEL)
+
+void schedule_eval_neon_range(const ScheduleEvaluator& eval,
+                              const SampleBlock& block, std::size_t lo,
+                              std::size_t hi, ScheduleLaneScratch& scratch,
+                              double* out) {
+  static_assert(kLaneGroup == 8, "kernel is written for 8-lane groups");
+  const std::size_t n = block.num_tasks();
+  const std::size_t nr = eval.num_resources();
+  const double* comm = eval.platform().comm_row(0);
+  const double* exec = eval.exec_costs().data();
+  const graph::NodeId* topo = eval.topo_order().data();
+  const std::uint32_t* pred_off = eval.pred_offsets().data();
+  const graph::NodeId* pred_id = eval.pred_ids().data();
+  const double* pred_w = eval.pred_weights().data();
+
+  scratch.finish.resize(n * kLaneGroup);
+  scratch.avail.resize(nr * kLaneGroup);
+  double* fin = scratch.finish.data();
+  double* avail = scratch.avail.data();
+
+  for (std::size_t g = lo / kLaneGroup * kLaneGroup; g < hi;
+       g += kLaneGroup) {
+    for (std::size_t s = 0; s < nr * kLaneGroup; ++s) avail[s] = 0.0;
+    float64x2_t mk[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                         vdupq_n_f64(0.0)};
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const graph::NodeId t = topo[i];
+      const graph::NodeId* row = block.task_row(t) + g;
+
+      // ready = max over predecessors of finish[p] + masked comm term.
+      float64x2_t ready[4] = {vdupq_n_f64(0.0), vdupq_n_f64(0.0),
+                              vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+      for (std::uint32_t e = pred_off[i]; e < pred_off[i + 1]; ++e) {
+        const graph::NodeId p = pred_id[e];
+        const graph::NodeId* prow = block.task_row(p) + g;
+        const double w = pred_w[e];
+        double term[kLaneGroup];
+        for (std::size_t l = 0; l < kLaneGroup; ++l) {
+          term[l] =
+              prow[l] == row[l] ? 0.0 : w * comm[row[l] * nr + prow[l]];
+        }
+        const double* pf = fin + static_cast<std::size_t>(p) * kLaneGroup;
+        for (std::size_t v = 0; v < 4; ++v) {
+          ready[v] = vmaxq_f64(
+              ready[v], vaddq_f64(vld1q_f64(pf + 2 * v),
+                                  vld1q_f64(term + 2 * v)));
+        }
+      }
+
+      // start = max(avail[r], ready); finish = start + exec[t][r].
+      const double* exec_t = exec + static_cast<std::size_t>(t) * nr;
+      double ex[kLaneGroup];
+      double av[kLaneGroup];
+      for (std::size_t l = 0; l < kLaneGroup; ++l) {
+        ex[l] = exec_t[row[l]];
+        av[l] = avail[row[l] * kLaneGroup + l];
+      }
+      double* ft = fin + static_cast<std::size_t>(t) * kLaneGroup;
+      for (std::size_t v = 0; v < 4; ++v) {
+        const float64x2_t f =
+            vaddq_f64(vmaxq_f64(vld1q_f64(av + 2 * v), ready[v]),
+                      vld1q_f64(ex + 2 * v));
+        vst1q_f64(ft + 2 * v, f);
+        mk[v] = vmaxq_f64(mk[v], f);
+      }
+      for (std::size_t l = 0; l < kLaneGroup; ++l) {
+        avail[row[l] * kLaneGroup + l] = ft[l];
+      }
+    }
+
+    double mks[kLaneGroup];
+    for (std::size_t v = 0; v < 4; ++v) vst1q_f64(mks + 2 * v, mk[v]);
+    for (std::size_t l = 0; l < kLaneGroup; ++l) {
+      const std::size_t i = g + l;
+      if (i >= lo && i < hi) out[i] = mks[l];
+    }
+  }
+}
+
+#else  // !MATCH_NEON_KERNEL
+
+void schedule_eval_neon_range(const ScheduleEvaluator&, const SampleBlock&,
+                              std::size_t, std::size_t, ScheduleLaneScratch&,
+                              double*) {
+  // Unreachable: resolve_eval_backend never selects kNeon when the
+  // kernel is not compiled in.
+}
+
+#endif  // MATCH_NEON_KERNEL
+
+}  // namespace match::sim::detail

@@ -23,6 +23,8 @@
 #include "parallel/scratch.hpp"
 #include "sim/batch_eval.hpp"
 #include "sim/evaluator.hpp"
+#include "sim/schedule_eval.hpp"
+#include "workload/dag_suite.hpp"
 #include "workload/paper_suite.hpp"
 
 namespace {
@@ -148,6 +150,41 @@ TEST(SamplerAlloc, SoaBatchEvaluateIsAllocationFreeWhenWarm) {
   EXPECT_EQ(after, before) << "warm SoA batch evaluation allocated "
                            << (after - before) << " times";
   EXPECT_GT(sink, 0.0);
+}
+
+TEST(SamplerAlloc, ScheduleFeasibleAllocatesOneFlatBufferPerCall) {
+  // The exclusivity check sorts one flat (resource, start, finish) record
+  // array instead of building per-resource vector<vector<pair>> — so a
+  // call costs at most two heap allocations (the record buffer; libstdc++
+  // may take one more inside sort's temporary buffer heuristics), not
+  // O(resources) of them.
+  rng::Rng setup(77);
+  workload::DagSuiteParams wp;
+  wp.tasks = 40;
+  const auto inst = workload::make_dag_instance(
+      workload::DagFamily::kLayered, wp, setup);
+  const auto platform = inst.make_platform();
+  const sim::ScheduleEvaluator eval(inst.dag, platform);
+
+  std::vector<graph::NodeId> priority(40);
+  for (std::size_t k = 0; k < 40; ++k) {
+    priority[k] = static_cast<graph::NodeId>(k);
+  }
+  sim::ScheduleEvaluator::Scratch scratch;
+  sim::Schedule schedule;
+  (void)eval.schedule_priorities(priority, scratch, &schedule);
+
+  ASSERT_TRUE(sim::schedule_feasible(inst.dag, platform, schedule));  // warm
+
+  constexpr int kCalls = 50;
+  const long before = g_allocations.load(std::memory_order_relaxed);
+  for (int call = 0; call < kCalls; ++call) {
+    ASSERT_TRUE(sim::schedule_feasible(inst.dag, platform, schedule));
+  }
+  const long after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_LE(after - before, 2L * kCalls)
+      << "schedule_feasible averaged "
+      << static_cast<double>(after - before) / kCalls << " allocations/call";
 }
 
 TEST(SamplerAlloc, ScratchPoolReusesOneStateSerially) {

@@ -1,0 +1,245 @@
+// Backend dispatch of the lane-parallel DAG schedule kernels: every
+// compiled-in SIMD backend must reproduce the scalar assignment-mode
+// makespans bit for bit, lane for lane, on every DAG family — and the
+// answer must not depend on thread count or chunk geometry (groups are
+// globally aligned, so a chunk boundary inside a lane group re-evaluates
+// the whole group and writes only its own lanes).  Also covers the
+// batch entry points' validation contract (resource ids are checked
+// serially up front — worker tasks must not throw) and the exec-cost
+// table the kernels gather from.
+
+#include "sim/schedule_eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "workload/dag_suite.hpp"
+
+namespace match::sim {
+namespace {
+
+const workload::DagFamily kFamilies[] = {
+    workload::DagFamily::kLayered,
+    workload::DagFamily::kForkJoin,
+    workload::DagFamily::kSeriesParallel,
+};
+
+workload::DagInstance make_instance(workload::DagFamily family,
+                                    std::size_t tasks, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  workload::DagSuiteParams params;
+  params.tasks = tasks;
+  return workload::make_dag_instance(family, params, rng);
+}
+
+/// Fills `block` with uniform random assignments over `nr` resources and
+/// returns the AoS copy.
+std::vector<graph::NodeId> fill_assignments(SampleBlock& block, std::size_t n,
+                                            std::size_t count, std::size_t nr,
+                                            rng::Rng& rng) {
+  block.reset(n, count);
+  std::vector<graph::NodeId> rows(count * n);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t t = 0; t < n; ++t) {
+      rows[i * n + t] = static_cast<graph::NodeId>(rng.below(nr));
+    }
+    block.store_sample(i,
+                       std::span<const graph::NodeId>(rows.data() + i * n, n));
+  }
+  return rows;
+}
+
+std::vector<EvalBackend> available_vector_backends() {
+  std::vector<EvalBackend> v;
+  for (EvalBackend b :
+       {EvalBackend::kAvx2, EvalBackend::kAvx512, EvalBackend::kNeon}) {
+    if (eval_backend_available(b)) v.push_back(b);
+  }
+  return v;
+}
+
+TEST(ScheduleBackend, ResolutionMirrorsBatchEvaluatorRules) {
+  const ScheduleEvaluator::Scratch scratch;
+  const workload::DagInstance inst =
+      make_instance(workload::DagFamily::kLayered, 12, 3);
+  const Platform platform = inst.make_platform();
+
+  // kAuto resolves to the process-wide widest available backend; an
+  // unavailable explicit request degrades to kScalar, never throws.
+  const ScheduleEvaluator autod(inst.dag, platform);
+  EXPECT_EQ(autod.backend(), resolve_eval_backend(EvalBackend::kAuto));
+  const ScheduleEvaluator forced(inst.dag, platform, EvalBackend::kScalar);
+  EXPECT_EQ(forced.backend(), EvalBackend::kScalar);
+  EXPECT_STREQ(forced.backend_name(), "scalar");
+  for (EvalBackend b : {EvalBackend::kAvx2, EvalBackend::kAvx512,
+                        EvalBackend::kNeon}) {
+    const ScheduleEvaluator e(inst.dag, platform, b);
+    EXPECT_EQ(e.backend(),
+              eval_backend_available(b) ? b : EvalBackend::kScalar);
+  }
+}
+
+TEST(ScheduleBackend, ExecCostTableMatchesDefinition) {
+  const workload::DagInstance inst =
+      make_instance(workload::DagFamily::kForkJoin, 16, 5);
+  const Platform platform = inst.make_platform();
+  const ScheduleEvaluator eval(inst.dag, platform, EvalBackend::kScalar);
+  const std::size_t nr = platform.num_resources();
+  ASSERT_EQ(eval.exec_costs().size(), 16 * nr);
+  for (std::size_t t = 0; t < 16; ++t) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      EXPECT_EQ(eval.exec_cost(t, r),
+                inst.dag.node_weight(static_cast<graph::NodeId>(t)) *
+                    platform.processing_cost(r));
+    }
+  }
+}
+
+TEST(ScheduleBackend, BatchScalarMatchesPerSampleMakespan) {
+  for (const workload::DagFamily family : kFamilies) {
+    const workload::DagInstance inst = make_instance(family, 20, 11);
+    const Platform platform = inst.make_platform();
+    const ScheduleEvaluator eval(inst.dag, platform, EvalBackend::kScalar);
+    rng::Rng rng(4);
+    SampleBlock block;
+    const auto rows =
+        fill_assignments(block, 20, 33, platform.num_resources(), rng);
+    std::vector<double> out(33);
+    eval.makespans_batch(block, out);
+    ScheduleEvaluator::Scratch scratch;
+    for (std::size_t i = 0; i < 33; ++i) {
+      EXPECT_EQ(out[i], eval.makespan(std::span<const graph::NodeId>(
+                            rows.data() + i * 20, 20),
+                                      scratch))
+          << workload::dag_family_name(family) << " sample " << i;
+    }
+  }
+}
+
+TEST(ScheduleBackend, VectorBackendsBitIdenticalAcrossFamilies) {
+  // The DAG suite draws integer task/edge/resource weights, so every
+  // backend must agree bitwise — the kernels never reassociate or fuse.
+  for (const workload::DagFamily family : kFamilies) {
+    const workload::DagInstance inst = make_instance(family, 48, 17);
+    const Platform platform = inst.make_platform();
+    rng::Rng rng(5);
+    SampleBlock block;
+    // Odd count exercises the tail (partial) lane group.
+    fill_assignments(block, 48, 101, platform.num_resources(), rng);
+
+    const ScheduleEvaluator scalar(inst.dag, platform, EvalBackend::kScalar);
+    std::vector<double> ref(101), out(101);
+    scalar.makespans_batch(block, ref);
+
+    for (const EvalBackend b : available_vector_backends()) {
+      const ScheduleEvaluator vec(inst.dag, platform, b);
+      ASSERT_EQ(vec.backend(), b);
+      std::fill(out.begin(), out.end(), -1.0);
+      vec.makespans_batch(block, out);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], ref[i]) << to_string(b) << " on "
+                                  << workload::dag_family_name(family)
+                                  << " sample " << i;
+      }
+    }
+  }
+}
+
+TEST(ScheduleBackend, ThreadCountAndChunkGeometryDoNotChangeResults) {
+  const workload::DagInstance inst =
+      make_instance(workload::DagFamily::kLayered, 32, 23);
+  const Platform platform = inst.make_platform();
+  rng::Rng rng(8);
+  SampleBlock block;
+  fill_assignments(block, 32, 107, platform.num_resources(), rng);
+
+  std::vector<EvalBackend> backends = {EvalBackend::kScalar};
+  for (const EvalBackend b : available_vector_backends()) backends.push_back(b);
+
+  for (const EvalBackend b : backends) {
+    const ScheduleEvaluator eval(inst.dag, platform, b);
+    std::vector<double> serial(107), pooled(107);
+    parallel::ForOptions one_chunk;
+    one_chunk.serial_cutoff = 1 << 20;
+    eval.makespans_batch(block, serial, one_chunk);
+
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      parallel::ThreadPool pool(threads);
+      // Uneven grains put chunk boundaries inside lane groups; the
+      // aligned-group contract makes that invisible in the output.
+      for (const std::size_t grain : {1u, 3u, 7u}) {
+        parallel::ForOptions opts;
+        opts.pool = &pool;
+        opts.serial_cutoff = 0;
+        opts.grain = grain;
+        std::fill(pooled.begin(), pooled.end(), -1.0);
+        eval.makespans_batch(block, pooled, opts);
+        for (std::size_t i = 0; i < pooled.size(); ++i) {
+          EXPECT_EQ(pooled[i], serial[i])
+              << to_string(b) << " threads=" << threads << " grain=" << grain
+              << " sample " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ScheduleBackend, PriorityBatchMatchesPerSampleScheduler) {
+  for (const workload::DagFamily family : kFamilies) {
+    const workload::DagInstance inst = make_instance(family, 24, 29);
+    const Platform platform = inst.make_platform();
+    const ScheduleEvaluator eval(inst.dag, platform);
+    rng::Rng rng(6);
+
+    const std::size_t count = 21;
+    SampleBlock block(24, count);
+    std::vector<graph::NodeId> row(24);
+    std::vector<std::vector<graph::NodeId>> perms;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::iota(row.begin(), row.end(), graph::NodeId{0});
+      rng.shuffle(std::span<graph::NodeId>(row));
+      block.store_sample(i, row);
+      perms.push_back(row);
+    }
+    std::vector<double> out(count);
+    eval.priority_makespans_batch(block, out);
+    ScheduleEvaluator::Scratch scratch;
+    for (std::size_t i = 0; i < count; ++i) {
+      EXPECT_EQ(out[i], eval.schedule_priorities(perms[i], scratch))
+          << workload::dag_family_name(family) << " sample " << i;
+    }
+  }
+}
+
+TEST(ScheduleBackend, OutOfRangeResourceIdsThrow) {
+  const workload::DagInstance inst =
+      make_instance(workload::DagFamily::kSeriesParallel, 10, 31);
+  const Platform platform = inst.make_platform();
+  const ScheduleEvaluator eval(inst.dag, platform);
+  const std::size_t nr = platform.num_resources();
+
+  std::vector<graph::NodeId> assignment(10, 0);
+  assignment[7] = static_cast<graph::NodeId>(nr);  // one past the end
+  ScheduleEvaluator::Scratch scratch;
+  EXPECT_THROW((void)eval.makespan(assignment, scratch),
+               std::invalid_argument);
+
+  // The batch path validates the whole block up front (serially — the
+  // worker tasks must not throw), so a single bad lane rejects the call.
+  SampleBlock block(10, 12);
+  std::vector<graph::NodeId> row(10, 0);
+  for (std::size_t i = 0; i < 12; ++i) block.store_sample(i, row);
+  row[3] = static_cast<graph::NodeId>(nr + 4);
+  block.store_sample(11, row);
+  std::vector<double> out(12);
+  EXPECT_THROW(eval.makespans_batch(block, out), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace match::sim

@@ -9,6 +9,7 @@
 #include <future>
 #include <memory>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/matchalgo.hpp"
@@ -17,6 +18,7 @@
 #include "service/request.hpp"
 #include "service/service.hpp"
 #include "service/solver_registry.hpp"
+#include "sim/batch_eval.hpp"
 #include "sim/evaluator.hpp"
 #include "workload/any_instance.hpp"
 #include "workload/dag_suite.hpp"
@@ -512,6 +514,43 @@ TEST(Service, ServesDagWorkloadsEndToEnd) {
     EXPECT_GT(response.cost, 0.0) << to_string(kind);
   }
   service.shutdown();
+}
+
+TEST(Service, DagCeBooksResolvedEvalBackendCounter) {
+  // The DAG CE adapter threads `solver_defaults.eval_backend` into its
+  // ScheduleEvaluator and books the resolved kernel as a
+  // `solver.backend.<name>` counter — same observability contract as the
+  // TIG batch-evaluation solvers.
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.solver_defaults.eval_backend = sim::EvalBackend::kScalar;
+    MappingService service(config);
+    MapRequest request;
+    request.instance = make_dag_instance(10, 31);
+    request.solver = SolverKind::kDagCe;
+    request.options.seed = 3;
+    request.options.max_iterations = 2;
+    (void)service.solve(std::move(request));
+    EXPECT_GE(service.metrics().counter_value("solver.backend.scalar"), 1u);
+    service.shutdown();
+  }
+  {
+    ServiceConfig config;
+    config.workers = 1;
+    config.solver_defaults.eval_backend = sim::EvalBackend::kAuto;
+    MappingService service(config);
+    MapRequest request;
+    request.instance = make_dag_instance(10, 31);
+    request.solver = SolverKind::kDagCe;
+    request.options.seed = 3;
+    request.options.max_iterations = 2;
+    (void)service.solve(std::move(request));
+    const std::string resolved = std::string("solver.backend.") +
+        sim::to_string(sim::resolve_eval_backend(sim::EvalBackend::kAuto));
+    EXPECT_GE(service.metrics().counter_value(resolved), 1u);
+    service.shutdown();
+  }
 }
 
 }  // namespace
